@@ -1,0 +1,163 @@
+use crate::error::AsmError;
+use pytfhe_netlist::GateKind;
+
+/// The all-ones pattern of a 62-bit field, used as the "no index here"
+/// marker of input/output instructions (Figure 5's `0x3FFF…`).
+pub const FIELD_ONES: u64 = (1u64 << 62) - 1;
+
+/// Size of one encoded instruction in bytes.
+pub const INSTRUCTION_BYTES: usize = 16;
+
+/// One decoded 128-bit PyTFHE instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// The mandatory first instruction, declaring the total gate count.
+    Header {
+        /// Number of gate instructions in the program.
+        total_gates: u64,
+    },
+    /// Reserves `index` for an input signal.
+    Input {
+        /// The reserved index.
+        index: u64,
+    },
+    /// A gate evaluating `kind` on the signals at `input0`/`input1`.
+    /// Constants carry [`FIELD_ONES`] in both operand fields.
+    Gate {
+        /// Gate function.
+        kind: GateKind,
+        /// First operand index.
+        input0: u64,
+        /// Second operand index.
+        input1: u64,
+    },
+    /// Declares the signal at `index` as a program output.
+    Output {
+        /// The producing gate/input index.
+        index: u64,
+    },
+}
+
+impl Instruction {
+    /// Encodes into the 128-bit wire format.
+    pub fn encode(self) -> u128 {
+        let (f1, f2, nib) = match self {
+            Instruction::Header { total_gates } => (0, total_gates, 0x0u8),
+            Instruction::Input { index } => (FIELD_ONES, index, 0xF),
+            Instruction::Gate { kind, input0, input1 } => (input0, input1, kind.opcode()),
+            Instruction::Output { index } => (FIELD_ONES, index, 0x3),
+        };
+        (u128::from(f1) << 66) | (u128::from(f2) << 4) | u128::from(nib)
+    }
+
+    /// Decodes an instruction. `position` is its index in the stream
+    /// (position 0 must be a header; headers are invalid elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::BadInstruction`] for malformed field patterns.
+    pub fn decode(word: u128, position: usize) -> Result<Self, AsmError> {
+        let f1 = ((word >> 66) & u128::from(FIELD_ONES)) as u64;
+        let f2 = ((word >> 4) & u128::from(FIELD_ONES)) as u64;
+        let nib = (word & 0xF) as u8;
+        if position == 0 {
+            if nib != 0 || f1 != 0 {
+                return Err(AsmError::BadInstruction {
+                    position,
+                    reason: "first instruction must be a header",
+                });
+            }
+            return Ok(Instruction::Header { total_gates: f2 });
+        }
+        match nib {
+            0xF => {
+                if f1 != FIELD_ONES {
+                    return Err(AsmError::BadInstruction {
+                        position,
+                        reason: "input instruction must carry all-ones in field 1",
+                    });
+                }
+                Ok(Instruction::Input { index: f2 })
+            }
+            0x3 => {
+                if f1 != FIELD_ONES {
+                    return Err(AsmError::BadInstruction {
+                        position,
+                        reason: "output instruction must carry all-ones in field 1",
+                    });
+                }
+                Ok(Instruction::Output { index: f2 })
+            }
+            op => {
+                let kind = GateKind::from_opcode(op).map_err(|_| AsmError::BadInstruction {
+                    position,
+                    reason: "unknown gate opcode",
+                })?;
+                Ok(Instruction::Gate { kind, input0: f1, input1: f2 })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cases = [
+            Instruction::Header { total_gates: 2 },
+            Instruction::Input { index: 1 },
+            Instruction::Gate { kind: GateKind::Xor, input0: 1, input1: 2 },
+            Instruction::Gate { kind: GateKind::Const1, input0: FIELD_ONES, input1: FIELD_ONES },
+            Instruction::Output { index: 3 },
+            Instruction::Input { index: FIELD_ONES - 1 },
+        ];
+        for (pos, inst) in cases.into_iter().enumerate() {
+            let back = Instruction::decode(inst.encode(), pos).unwrap();
+            assert_eq!(back, inst, "position {pos}");
+        }
+    }
+
+    #[test]
+    fn figure_6_xor_encoding() {
+        // The paper's half adder: XOR at index 3 with inputs 1 and 2,
+        // gate type nibble 0110.
+        let inst = Instruction::Gate { kind: GateKind::Xor, input0: 1, input1: 2 };
+        let word = inst.encode();
+        assert_eq!(word & 0xF, 0b0110);
+        assert_eq!((word >> 66) as u64 & FIELD_ONES, 1);
+        assert_eq!((word >> 4) as u64 & FIELD_ONES, 2);
+    }
+
+    #[test]
+    fn header_layout() {
+        let word = Instruction::Header { total_gates: 2 }.encode();
+        // Everything zero except the gate-count field.
+        assert_eq!(word, 2u128 << 4);
+    }
+
+    #[test]
+    fn input_layout_is_all_ones_except_index() {
+        let word = Instruction::Input { index: 1 }.encode();
+        assert_eq!(word & 0xF, 0xF);
+        assert_eq!((word >> 66) as u64 & FIELD_ONES, FIELD_ONES);
+        assert_eq!((word >> 4) as u64 & FIELD_ONES, 1);
+    }
+
+    #[test]
+    fn non_header_at_position_zero_rejected() {
+        let word = Instruction::Input { index: 1 }.encode();
+        assert!(Instruction::decode(word, 0).is_err());
+    }
+
+    #[test]
+    fn corrupt_patterns_rejected() {
+        // Input nibble with a non-all-ones field 1.
+        let bogus = (5u128 << 66) | (1u128 << 4) | 0xF;
+        assert!(Instruction::decode(bogus, 3).is_err());
+        // Output with bad field 1.
+        let bogus = (5u128 << 66) | (1u128 << 4) | 0x3;
+        assert!(Instruction::decode(bogus, 3).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Pluggable gate evaluators.
+//!
+//! Executors are generic over a [`GateEngine`], so the same scheduling
+//! code runs real homomorphic evaluation ([`TfheEngine`]) and plaintext
+//! functional evaluation ([`PlainEngine`]). This mirrors the paper's
+//! architecture, where the backend wraps the TFHE library's
+//! bootstrapped-gate primitives behind a uniform interface.
+
+use pytfhe_netlist::GateKind;
+use pytfhe_tfhe::tgsw::ExternalProductScratch;
+use pytfhe_tfhe::{LweCiphertext, ServerKey};
+
+/// Evaluates individual gates on some value domain.
+///
+/// `Scratch` carries per-worker reusable buffers (the FFT scratch of a
+/// bootstrap); each worker thread owns one instance.
+pub trait GateEngine: Sync {
+    /// The ciphertext (or plaintext) type of a single signal.
+    type Value: Clone + Send + Sync;
+    /// Per-worker scratch buffers.
+    type Scratch: Send;
+
+    /// Allocates scratch for one worker.
+    fn scratch(&self) -> Self::Scratch;
+
+    /// Evaluates one gate. Unary gates read only `a`; constants read
+    /// neither.
+    fn eval(&self, kind: GateKind, a: &Self::Value, b: &Self::Value, scratch: &mut Self::Scratch)
+        -> Self::Value;
+
+    /// The engine's encoding of a constant bit.
+    fn constant(&self, bit: bool) -> Self::Value;
+}
+
+/// Plaintext functional evaluation: gates on `bool`.
+///
+/// This is the engine behind program validation and behind the
+/// performance simulators (running MNIST_L homomorphically on one core
+/// would take days — exactly the paper's point about baselines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainEngine;
+
+impl PlainEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        PlainEngine
+    }
+}
+
+impl GateEngine for PlainEngine {
+    type Value = bool;
+    type Scratch = ();
+
+    fn scratch(&self) -> Self::Scratch {}
+
+    #[inline]
+    fn eval(&self, kind: GateKind, a: &bool, b: &bool, _scratch: &mut ()) -> bool {
+        kind.eval(*a, *b)
+    }
+
+    fn constant(&self, bit: bool) -> bool {
+        bit
+    }
+}
+
+/// Real homomorphic evaluation: gates on LWE ciphertexts via the cloud
+/// key's bootstrapped-gate primitives.
+#[derive(Debug, Clone)]
+pub struct TfheEngine<'k> {
+    key: &'k ServerKey,
+}
+
+impl<'k> TfheEngine<'k> {
+    /// Creates the engine over a server (cloud) key.
+    pub fn new(key: &'k ServerKey) -> Self {
+        TfheEngine { key }
+    }
+
+    /// The underlying server key.
+    pub fn server_key(&self) -> &'k ServerKey {
+        self.key
+    }
+}
+
+impl GateEngine for TfheEngine<'_> {
+    type Value = LweCiphertext;
+    type Scratch = ExternalProductScratch;
+
+    fn scratch(&self) -> Self::Scratch {
+        self.key.gate_scratch()
+    }
+
+    fn eval(
+        &self,
+        kind: GateKind,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut Self::Scratch,
+    ) -> LweCiphertext {
+        let k = self.key;
+        match kind {
+            GateKind::Nand => k.nand_with(a, b, scratch),
+            GateKind::And => k.and_with(a, b, scratch),
+            GateKind::Or => k.or_with(a, b, scratch),
+            GateKind::Nor => k.nor_with(a, b, scratch),
+            GateKind::Xnor => k.xnor_with(a, b, scratch),
+            GateKind::Xor => k.xor_with(a, b, scratch),
+            GateKind::Andny => k.andny_with(a, b, scratch),
+            GateKind::Andyn => k.andyn_with(a, b, scratch),
+            GateKind::Orny => k.orny_with(a, b, scratch),
+            GateKind::Oryn => k.oryn_with(a, b, scratch),
+            GateKind::Not => k.not(a),
+            GateKind::Const0 => k.constant(false),
+            GateKind::Const1 => k.constant(true),
+            GateKind::Buf => a.clone(),
+        }
+    }
+
+    fn constant(&self, bit: bool) -> LweCiphertext {
+        self.key.constant(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytfhe_netlist::ALL_GATE_KINDS;
+    use pytfhe_tfhe::{ClientKey, Params, SecureRng};
+
+    #[test]
+    fn plain_engine_matches_gate_truth_tables() {
+        let engine = PlainEngine::new();
+        let mut s = engine.scratch();
+        for &kind in &ALL_GATE_KINDS {
+            for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+                assert_eq!(engine.eval(kind, &a, &b, &mut s), kind.eval(a, b));
+            }
+        }
+        assert!(engine.constant(true));
+    }
+
+    #[test]
+    fn tfhe_engine_matches_plain_engine() {
+        let mut rng = SecureRng::seed_from_u64(7);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let engine = TfheEngine::new(&server);
+        let plain = PlainEngine::new();
+        let mut scratch = engine.scratch();
+        for &kind in &ALL_GATE_KINDS {
+            for (a, b) in [(false, true), (true, true), (false, false)] {
+                let ca = client.encrypt_bit(a, &mut rng);
+                let cb = client.encrypt_bit(b, &mut rng);
+                let out = engine.eval(kind, &ca, &cb, &mut scratch);
+                let want = plain.eval(kind, &a, &b, &mut ());
+                assert_eq!(client.decrypt_bit(&out), want, "{kind}({a},{b})");
+            }
+        }
+        assert!(client.decrypt_bit(&engine.constant(true)));
+        assert!(!client.decrypt_bit(&engine.constant(false)));
+    }
+}

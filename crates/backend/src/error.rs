@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced while executing a PyTFHE program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The number of provided input values does not match the program.
+    InputCountMismatch {
+        /// Inputs the program declares.
+        expected: usize,
+        /// Inputs provided.
+        got: usize,
+    },
+    /// The program failed validation before execution.
+    InvalidProgram(pytfhe_netlist::NetlistError),
+    /// A worker thread panicked (encrypted evaluation bugs surface here
+    /// rather than poisoning results).
+    WorkerPanicked,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InputCountMismatch { expected, got } => {
+                write!(f, "program expects {expected} inputs, got {got}")
+            }
+            ExecError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+            ExecError::WorkerPanicked => write!(f, "a worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::InvalidProgram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pytfhe_netlist::NetlistError> for ExecError {
+    fn from(e: pytfhe_netlist::NetlistError) -> Self {
+        ExecError::InvalidProgram(e)
+    }
+}

@@ -1,0 +1,37 @@
+//! Execution backends for PyTFHE programs (Sections IV-D and IV-E of the
+//! paper).
+//!
+//! A compiled TFHE program is a DAG of bootstrapped gates; executing it
+//! means traversing the DAG in dependency order (the BFS wavefront of the
+//! paper's Algorithm 1) and evaluating each gate. This crate provides:
+//!
+//! * [`engine`] — the pluggable gate evaluator: [`engine::TfheEngine`]
+//!   computes on real LWE ciphertexts via `pytfhe-tfhe`;
+//!   [`engine::PlainEngine`] computes on plaintext bits (the functional
+//!   mode used to validate programs and drive the performance
+//!   simulators);
+//! * [`exec`] — a single-threaded reference executor and the
+//!   multi-threaded wavefront executor (Algorithm 1 on a worker pool, the
+//!   single-node form of the paper's distributed CPU backend);
+//! * [`cost`] — the calibrated cost model (Figure 7: one bootstrapped
+//!   gate ≈ 13 ms on one CPU core; ciphertext = 2.46 KB; per-task
+//!   communication ≈ 0.094 % of runtime);
+//! * [`sim`] — discrete-event simulators of the paper's distributed CPU
+//!   cluster (Ray, Section IV-D) and GPU backends (cuFHE vs CUDA-Graphs
+//!   batching, Section IV-E), which regenerate Figures 7-13 and Table IV.
+//!
+//! See DESIGN.md for why the cluster and GPU are simulated rather than
+//! driven natively, and how the simulators were calibrated.
+
+pub mod cost;
+pub mod engine;
+mod error;
+pub mod exec;
+pub mod runtime;
+pub mod sim;
+
+pub use cost::{CpuCostModel, GpuCostModel};
+pub use engine::{GateEngine, PlainEngine, TfheEngine};
+pub use error::ExecError;
+pub use exec::{execute, execute_parallel, ExecStats};
+pub use runtime::{Evaluator, RtWord};

@@ -1,0 +1,342 @@
+//! Direct homomorphic integer evaluation — an interpreter-style runtime
+//! API over the gate engines.
+//!
+//! The compiled path (netlist → binary → executor) is PyTFHE's main
+//! road; this module is the on-ramp for ad-hoc server-side computation:
+//! arithmetic on encrypted words evaluated gate by gate, without
+//! building a circuit first. It is generic over [`GateEngine`], so every
+//! operation is validated cheaply against plaintext semantics
+//! ([`crate::PlainEngine`]) and then runs unchanged on ciphertexts
+//! ([`crate::TfheEngine`]).
+//!
+//! The gate recipes mirror `pytfhe-hdl`'s generators (ripple-carry
+//! adders, Baugh–Wooley multiplication, borrow-based comparison), so the
+//! two paths produce identical results bit for bit.
+
+use crate::engine::GateEngine;
+use pytfhe_netlist::GateKind;
+
+/// A little-endian bundle of engine values — the runtime twin of
+/// `pytfhe_hdl::Word`.
+#[derive(Debug, Clone)]
+pub struct RtWord<V> {
+    bits: Vec<V>,
+}
+
+impl<V: Clone> RtWord<V> {
+    /// Wraps bit values (LSB first).
+    pub fn from_bits(bits: Vec<V>) -> Self {
+        RtWord { bits }
+    }
+
+    /// The bit width.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the word is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bits, LSB first.
+    pub fn bits(&self) -> &[V] {
+        &self.bits
+    }
+
+    /// Consumes the word, returning its bits.
+    pub fn into_bits(self) -> Vec<V> {
+        self.bits
+    }
+
+    /// The most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is empty.
+    pub fn msb(&self) -> &V {
+        self.bits.last().expect("msb of empty word")
+    }
+}
+
+/// An evaluator: an engine plus its scratch buffers, exposing word-level
+/// homomorphic operations.
+#[derive(Debug)]
+pub struct Evaluator<'e, E: GateEngine> {
+    engine: &'e E,
+    scratch: E::Scratch,
+}
+
+impl<'e, E: GateEngine> Evaluator<'e, E> {
+    /// Creates an evaluator over an engine.
+    pub fn new(engine: &'e E) -> Self {
+        Evaluator { scratch: engine.scratch(), engine }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &'e E {
+        self.engine
+    }
+
+    #[inline]
+    fn gate(&mut self, kind: GateKind, a: &E::Value, b: &E::Value) -> E::Value {
+        self.engine.eval(kind, a, b, &mut self.scratch)
+    }
+
+    /// The engine's constant bit.
+    pub fn constant_bit(&self, bit: bool) -> E::Value {
+        self.engine.constant(bit)
+    }
+
+    /// A constant word (two's complement of `value`).
+    pub fn constant(&self, value: i64, width: usize) -> RtWord<E::Value> {
+        RtWord::from_bits(
+            (0..width).map(|i| self.engine.constant((value >> i.min(63)) & 1 == 1)).collect(),
+        )
+    }
+
+    fn full_adder(
+        &mut self,
+        a: &E::Value,
+        b: &E::Value,
+        cin: &E::Value,
+    ) -> (E::Value, E::Value) {
+        let axb = self.gate(GateKind::Xor, a, b);
+        let sum = self.gate(GateKind::Xor, &axb, cin);
+        let ab = self.gate(GateKind::And, a, b);
+        let c_axb = self.gate(GateKind::And, &axb, cin);
+        let carry = self.gate(GateKind::Or, &ab, &c_axb);
+        (sum, carry)
+    }
+
+    fn add_with_carry(
+        &mut self,
+        a: &RtWord<E::Value>,
+        b: &RtWord<E::Value>,
+        cin: E::Value,
+    ) -> (RtWord<E::Value>, E::Value) {
+        assert_eq!(a.width(), b.width(), "runtime add: width mismatch");
+        let mut carry = cin;
+        let mut bits = Vec::with_capacity(a.width());
+        for (x, y) in a.bits().iter().zip(b.bits()) {
+            let (s, c) = self.full_adder(x, y, &carry);
+            bits.push(s);
+            carry = c;
+        }
+        (RtWord::from_bits(bits), carry)
+    }
+
+    /// Wrapping addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add(&mut self, a: &RtWord<E::Value>, b: &RtWord<E::Value>) -> RtWord<E::Value> {
+        let zero = self.constant_bit(false);
+        self.add_with_carry(a, b, zero).0
+    }
+
+    /// Wrapping subtraction `a - b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn sub(&mut self, a: &RtWord<E::Value>, b: &RtWord<E::Value>) -> RtWord<E::Value> {
+        let nb = self.not_word(b);
+        let one = self.constant_bit(true);
+        self.add_with_carry(a, &nb, one).0
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: &RtWord<E::Value>) -> RtWord<E::Value> {
+        let zero = self.constant(0, a.width());
+        self.sub(&zero, a)
+    }
+
+    /// Bitwise NOT.
+    pub fn not_word(&mut self, a: &RtWord<E::Value>) -> RtWord<E::Value> {
+        RtWord::from_bits(a.bits().iter().map(|x| self.gate(GateKind::Not, x, x)).collect())
+    }
+
+    /// Unsigned multiplication, `a.width() + b.width()` bits (schoolbook).
+    pub fn mul_unsigned(
+        &mut self,
+        a: &RtWord<E::Value>,
+        b: &RtWord<E::Value>,
+    ) -> RtWord<E::Value> {
+        let (wa, wb) = (a.width(), b.width());
+        let mut acc = self.constant(0, wa + wb);
+        for j in 0..wb {
+            let bj = &b.bits()[j];
+            let mut row: Vec<E::Value> = (0..j).map(|_| self.constant_bit(false)).collect();
+            for i in 0..wa {
+                row.push(self.gate(GateKind::And, &a.bits()[i], bj));
+            }
+            row.resize(wa + wb, self.constant_bit(false));
+            acc = self.add(&acc, &RtWord::from_bits(row));
+        }
+        acc
+    }
+
+    /// Equality comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn eq(&mut self, a: &RtWord<E::Value>, b: &RtWord<E::Value>) -> E::Value {
+        assert_eq!(a.width(), b.width(), "runtime eq: width mismatch");
+        let mut acc = self.constant_bit(true);
+        for (x, y) in a.bits().iter().zip(b.bits()) {
+            let same = self.gate(GateKind::Xnor, x, y);
+            acc = self.gate(GateKind::And, &acc, &same);
+        }
+        acc
+    }
+
+    /// Unsigned `a < b` via the subtractor borrow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn lt_unsigned(&mut self, a: &RtWord<E::Value>, b: &RtWord<E::Value>) -> E::Value {
+        let nb = self.not_word(b);
+        let one = self.constant_bit(true);
+        let (_, no_borrow) = self.add_with_carry(a, &nb, one);
+        self.gate(GateKind::Not, &no_borrow, &no_borrow)
+    }
+
+    /// Signed `a < b` (flip sign bits, compare unsigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or the words are empty.
+    pub fn lt_signed(&mut self, a: &RtWord<E::Value>, b: &RtWord<E::Value>) -> E::Value {
+        assert!(!a.is_empty(), "lt_signed on empty word");
+        let w = a.width();
+        let mut af = a.bits().to_vec();
+        let mut bf = b.bits().to_vec();
+        af[w - 1] = self.gate(GateKind::Not, &af[w - 1], &af[w - 1]);
+        bf[w - 1] = self.gate(GateKind::Not, &bf[w - 1], &bf[w - 1]);
+        self.lt_unsigned(&RtWord::from_bits(af), &RtWord::from_bits(bf))
+    }
+
+    /// Bitwise select `s ? a : b` per bit (`b ^ (s & (a ^ b))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn select(
+        &mut self,
+        s: &E::Value,
+        a: &RtWord<E::Value>,
+        b: &RtWord<E::Value>,
+    ) -> RtWord<E::Value> {
+        assert_eq!(a.width(), b.width(), "runtime select: width mismatch");
+        let bits = a
+            .bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(x, y)| {
+                let axb = self.gate(GateKind::Xor, x, y);
+                let masked = self.gate(GateKind::And, s, &axb);
+                self.gate(GateKind::Xor, y, &masked)
+            })
+            .collect();
+        RtWord::from_bits(bits)
+    }
+
+    /// `max(a, b)` as signed integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn max_signed(
+        &mut self,
+        a: &RtWord<E::Value>,
+        b: &RtWord<E::Value>,
+    ) -> RtWord<E::Value> {
+        let lt = self.lt_signed(a, b);
+        self.select(&lt, b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{PlainEngine, TfheEngine};
+    use pytfhe_tfhe::{ClientKey, Params, SecureRng};
+
+    fn plain_word(bits: u64, w: usize) -> RtWord<bool> {
+        RtWord::from_bits((0..w).map(|i| (bits >> i) & 1 == 1).collect())
+    }
+
+    fn as_u64(word: &RtWord<bool>) -> u64 {
+        word.bits().iter().enumerate().fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn plain_arithmetic_exhaustive_4bit() {
+        let engine = PlainEngine::new();
+        let mut ev = Evaluator::new(&engine);
+        for x in 0u64..16 {
+            for y in 0u64..16 {
+                let a = plain_word(x, 4);
+                let b = plain_word(y, 4);
+                assert_eq!(as_u64(&ev.add(&a, &b)), (x + y) % 16, "{x}+{y}");
+                assert_eq!(as_u64(&ev.sub(&a, &b)), (16 + x - y) % 16, "{x}-{y}");
+                assert_eq!(as_u64(&ev.mul_unsigned(&a, &b)), x * y, "{x}*{y}");
+                assert_eq!(ev.eq(&a, &b), x == y, "{x}=={y}");
+                assert_eq!(ev.lt_unsigned(&a, &b), x < y, "{x}<{y}");
+                let (sx, sy) = ((x as i64 ^ 8) - 8, (y as i64 ^ 8) - 8);
+                assert_eq!(ev.lt_signed(&a, &b), sx < sy, "signed {sx}<{sy}");
+                assert_eq!(
+                    as_u64(&ev.max_signed(&a, &b)) as i64,
+                    (sx.max(sy)) & 15,
+                    "max {sx} {sy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_and_neg_plain() {
+        let engine = PlainEngine::new();
+        let mut ev = Evaluator::new(&engine);
+        let a = plain_word(0b1010, 4);
+        let b = plain_word(0b0101, 4);
+        assert_eq!(as_u64(&ev.select(&true, &a, &b)), 0b1010);
+        assert_eq!(as_u64(&ev.select(&false, &a, &b)), 0b0101);
+        assert_eq!(as_u64(&ev.neg(&a)) as i64, (-(0b1010i64)) & 15);
+    }
+
+    #[test]
+    fn encrypted_arithmetic_matches_plain() {
+        let mut rng = SecureRng::seed_from_u64(314);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let engine = TfheEngine::new(&server);
+        let mut ev = Evaluator::new(&engine);
+        let enc = |v: u64, w: usize, c: &ClientKey, rng: &mut SecureRng| {
+            RtWord::from_bits(
+                (0..w).map(|i| c.encrypt_bit((v >> i) & 1 == 1, rng)).collect(),
+            )
+        };
+        let dec = |word: &RtWord<pytfhe_tfhe::LweCiphertext>, c: &ClientKey| {
+            word.bits()
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, ct)| acc | (u64::from(c.decrypt_bit(ct)) << i))
+        };
+        let (x, y) = (11u64, 6u64);
+        let a = enc(x, 4, &client, &mut rng);
+        let b = enc(y, 4, &client, &mut rng);
+        assert_eq!(dec(&ev.add(&a, &b), &client), (x + y) % 16);
+        assert_eq!(dec(&ev.sub(&a, &b), &client), (16 + x - y) % 16);
+        assert_eq!(dec(&ev.mul_unsigned(&a, &b), &client), x * y);
+        assert!(!client.decrypt_bit(&ev.eq(&a, &b)));
+        assert!(!client.decrypt_bit(&ev.lt_unsigned(&a, &b)));
+        let m = ev.max_signed(&a, &b);
+        // 11 as signed 4-bit is -5; 6 stays 6; max = 6.
+        assert_eq!(dec(&m, &client), 6);
+    }
+}

@@ -1,0 +1,114 @@
+use pytfhe_netlist::ALL_GATE_KINDS;
+use pytfhe_netlist::topo::Levels;
+use pytfhe_netlist::{GateKind, Netlist, Node};
+
+/// The gate composition of one scheduling wave.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaveProfile {
+    counts: [u64; 16],
+}
+
+impl WaveProfile {
+    /// Gates of one kind in this wave.
+    pub fn count(&self, kind: GateKind) -> u64 {
+        self.counts[kind.opcode() as usize]
+    }
+
+    /// Gates in this wave that cost a bootstrap (constants and buffers
+    /// excluded — they are free on every backend).
+    pub fn bootstrapped(&self) -> u64 {
+        ALL_GATE_KINDS
+            .iter()
+            .filter(|k| !k.is_const() && **k != GateKind::Buf)
+            .map(|k| self.count(*k))
+            .sum()
+    }
+
+    /// All gates in this wave.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(kind, count)` over the bootstrapped gate kinds present.
+    pub fn iter_bootstrapped(&self) -> impl Iterator<Item = (GateKind, u64)> + '_ {
+        ALL_GATE_KINDS
+            .iter()
+            .filter(|k| !k.is_const() && **k != GateKind::Buf)
+            .map(|&k| (k, self.count(k)))
+            .filter(|(_, c)| *c > 0)
+    }
+}
+
+/// The structural profile of a compiled program: everything the
+/// performance simulators need, extracted from the netlist in one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramProfile {
+    /// Per-wave gate compositions (wave 0 holds constants only).
+    pub waves: Vec<WaveProfile>,
+    /// Primary input count (ciphertexts uploaded).
+    pub num_inputs: usize,
+    /// Primary output count (ciphertexts downloaded).
+    pub num_outputs: usize,
+}
+
+impl ProgramProfile {
+    /// Profiles a netlist.
+    pub fn of(nl: &Netlist) -> Self {
+        let levels = Levels::compute(nl);
+        let mut waves = vec![WaveProfile::default(); levels.sizes.len()];
+        for (i, node) in nl.nodes().iter().enumerate() {
+            if let Node::Gate { kind, .. } = node {
+                waves[levels.level[i] as usize].counts[kind.opcode() as usize] += 1;
+            }
+        }
+        ProgramProfile { waves, num_inputs: nl.num_inputs(), num_outputs: nl.outputs().len() }
+    }
+
+    /// Total bootstrapped gates.
+    pub fn total_bootstrapped(&self) -> u64 {
+        self.waves.iter().map(WaveProfile::bootstrapped).sum()
+    }
+
+    /// Total gates of any kind.
+    pub fn total_gates(&self) -> u64 {
+        self.waves.iter().map(WaveProfile::total).sum()
+    }
+
+    /// The widest wave (bootstrapped gates only).
+    pub fn max_width(&self) -> u64 {
+        self.waves.iter().map(WaveProfile::bootstrapped).max().unwrap_or(0)
+    }
+
+    /// Critical-path depth in bootstrapped waves.
+    pub fn depth(&self) -> usize {
+        self.waves.iter().filter(|w| w.bootstrapped() > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_counts_by_wave() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(GateKind::Xor, a, b).unwrap();
+        let y = nl.add_gate(GateKind::And, a, b).unwrap();
+        let z = nl.add_gate(GateKind::Or, x, y).unwrap();
+        let buf = nl.add_gate(GateKind::Buf, z, z).unwrap();
+        nl.mark_output(buf).unwrap();
+        let p = ProgramProfile::of(&nl);
+        assert_eq!(p.total_gates(), 4);
+        assert_eq!(p.total_bootstrapped(), 3);
+        assert_eq!(p.waves[1].count(GateKind::Xor), 1);
+        assert_eq!(p.waves[1].count(GateKind::And), 1);
+        assert_eq!(p.waves[2].count(GateKind::Or), 1);
+        assert_eq!(p.max_width(), 2);
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.num_inputs, 2);
+        assert_eq!(p.num_outputs, 1);
+        assert_eq!(p.waves[1].iter_bootstrapped().count(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Execution timelines: the data behind the paper's Gantt-style figures
+//! (Figure 7's gate profile, Figure 8's serialized cuFHE flow, Figure 9's
+//! overlapped CUDA-Graphs flow).
+
+use std::fmt;
+
+/// One labelled span of activity on one lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Lane name (e.g. `"CPU"`, `"GPU"`, `"PCIe"`).
+    pub lane: &'static str,
+    /// Activity label (e.g. `"kernel"`, `"H2D"`).
+    pub label: String,
+    /// Start time in seconds.
+    pub start_s: f64,
+    /// End time in seconds.
+    pub end_s: f64,
+}
+
+/// An ordered collection of segments, renderable as an ASCII Gantt chart.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    segments: Vec<Segment>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a segment.
+    pub fn push(&mut self, lane: &'static str, label: impl Into<String>, start_s: f64, end_s: f64) {
+        debug_assert!(end_s >= start_s, "segment must not end before it starts");
+        self.segments.push(Segment { lane, label: label.into(), start_s, end_s });
+    }
+
+    /// All segments in insertion order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The overall makespan (latest end time).
+    pub fn makespan_s(&self) -> f64 {
+        self.segments.iter().map(|s| s.end_s).fold(0.0, f64::max)
+    }
+
+    /// Total busy time on one lane.
+    pub fn lane_busy_s(&self, lane: &str) -> f64 {
+        self.segments.iter().filter(|s| s.lane == lane).map(|s| s.end_s - s.start_s).sum()
+    }
+
+    /// Renders an ASCII Gantt chart, `width` characters wide.
+    pub fn render(&self, width: usize) -> String {
+        let span = self.makespan_s().max(1e-12);
+        let mut lanes: Vec<&'static str> = Vec::new();
+        for s in &self.segments {
+            if !lanes.contains(&s.lane) {
+                lanes.push(s.lane);
+            }
+        }
+        let mut out = String::new();
+        for lane in lanes {
+            let mut row = vec![b' '; width];
+            for s in self.segments.iter().filter(|s| s.lane == lane) {
+                let a = ((s.start_s / span) * width as f64).floor() as usize;
+                let b = (((s.end_s / span) * width as f64).ceil() as usize).min(width);
+                let glyph = s.label.bytes().next().unwrap_or(b'#');
+                for cell in row.iter_mut().take(b).skip(a.min(width)) {
+                    *cell = glyph;
+                }
+            }
+            out.push_str(&format!("{lane:>6} |{}|\n", String::from_utf8_lossy(&row)));
+        }
+        out.push_str(&format!("        0 {:>width$.3} s\n", span, width = width - 2));
+        out
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(72))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_and_busy() {
+        let mut t = Timeline::new();
+        t.push("CPU", "build", 0.0, 1.0);
+        t.push("GPU", "exec", 0.5, 2.5);
+        t.push("CPU", "build", 1.0, 1.5);
+        assert!((t.makespan_s() - 2.5).abs() < 1e-12);
+        assert!((t.lane_busy_s("CPU") - 1.5).abs() < 1e-12);
+        assert!((t.lane_busy_s("GPU") - 2.0).abs() < 1e-12);
+        assert_eq!(t.segments().len(), 3);
+    }
+
+    #[test]
+    fn render_contains_lanes() {
+        let mut t = Timeline::new();
+        t.push("CPU", "x", 0.0, 1.0);
+        t.push("GPU", "k", 1.0, 2.0);
+        let s = t.render(40);
+        assert!(s.contains("CPU"));
+        assert!(s.contains("GPU"));
+        assert!(s.contains('x'));
+        assert!(s.contains('k'));
+    }
+}

@@ -1,0 +1,70 @@
+//! Runtime estimation and comparison rows — the paper's methodology for
+//! Figure 13 and Table IV (footnote 1: baseline runtimes are "estimated
+//! using the gate count divided by the average throughput of the TFHE
+//! library running on a single CPU core").
+
+use pytfhe_backend::cost::CpuCostModel;
+use pytfhe_netlist::Netlist;
+
+/// Estimated single-core runtime of a netlist: bootstrapped gates times
+/// per-gate cost.
+pub fn estimated_single_core_s(nl: &Netlist, cost: &CpuCostModel) -> f64 {
+    nl.num_bootstrapped_gates() as f64 * cost.gate_s()
+}
+
+/// One row of a framework-comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Framework name.
+    pub name: String,
+    /// Bootstrapped gate count of its `MNIST_S` netlist.
+    pub gates: usize,
+    /// Estimated single-core runtime in seconds.
+    pub single_core_s: f64,
+}
+
+impl ComparisonRow {
+    /// Builds a row from a lowered netlist.
+    pub fn new(name: impl Into<String>, nl: &Netlist, cost: &CpuCostModel) -> Self {
+        ComparisonRow {
+            name: name.into(),
+            gates: nl.num_bootstrapped_gates(),
+            single_core_s: estimated_single_core_s(nl, cost),
+        }
+    }
+
+    /// Speedup of `self` over `other` under the estimate (Table IV
+    /// entries are `other / self`).
+    pub fn speedup_over(&self, other: &ComparisonRow) -> f64 {
+        other.single_core_s / self.single_core_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{all_profiles, lower_mnist, MnistScale};
+
+    #[test]
+    fn estimate_is_gate_count_times_gate_cost() {
+        let cost = CpuCostModel::paper();
+        let nl = lower_mnist(&crate::LoweringProfile::pytfhe(), MnistScale::Small);
+        let est = estimated_single_core_s(&nl, &cost);
+        let expect = nl.num_bootstrapped_gates() as f64 * cost.gate_s();
+        assert!((est - expect).abs() < 1e-9);
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn comparison_rows_rank_like_table_iv() {
+        let cost = CpuCostModel::paper();
+        let rows: Vec<ComparisonRow> = all_profiles()
+            .iter()
+            .map(|p| ComparisonRow::new(p.name, &lower_mnist(p, MnistScale::Small), &cost))
+            .collect();
+        let py = &rows[0];
+        for other in &rows[1..] {
+            assert!(py.speedup_over(other) > 1.0, "PyTFHE faster than {}", other.name);
+        }
+    }
+}

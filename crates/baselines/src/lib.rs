@@ -1,0 +1,33 @@
+//! Baseline-framework lowerings for the paper's comparison experiments
+//! (Sections III-B, V-B and V-C; Figures 12-14 and Table IV).
+//!
+//! The paper compares PyTFHE against three TFHE frameworks — Google's
+//! Transpiler, Cingulata, and E3 — by building the same `MNIST_S` model
+//! in each and measuring the gates they emit (their runtimes are then
+//! *estimated* as `gate count / single-core TFHE throughput`, footnote 1
+//! of the paper). This crate reproduces that methodology: one
+//! [`LoweringProfile`] per framework captures the characteristic
+//! compilation decisions the paper attributes to it, and
+//! [`lower_mnist`] emits a *real, runnable netlist* for the same model
+//! under each profile:
+//!
+//! * **PyTFHE** — narrow fixed-point data types, constant folding of
+//!   plaintext weights, reshape-as-wiring, sign-bit ReLU, and the full
+//!   netlist optimization pipeline;
+//! * **Cingulata** — an integer DSL: 16-bit arithmetic, DSL-level
+//!   constant propagation, but "no gate-level or boolean optimizations"
+//!   (Section III-B) and comparator-based non-linearities;
+//! * **E3** — hardcoded byte-aligned gate templates: 16-bit integers,
+//!   no constant folding at all, no optimizations;
+//! * **Transpiler** — C semantics in total ordering: native 32-bit
+//!   `int` arithmetic, no folding, and buffer gates for `Flatten`
+//!   ("Transpiler still emitted gates for the Flatten layer",
+//!   Section V-C).
+
+mod estimate;
+mod lowering;
+mod profiles;
+
+pub use estimate::{estimated_single_core_s, ComparisonRow};
+pub use lowering::{lower_mnist, MnistScale};
+pub use profiles::{all_profiles, LoweringProfile, OptLevel};

@@ -1,0 +1,137 @@
+/// How much netlist-level cleanup a framework performs after lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Emit gates verbatim (the Transpiler's statically-mapped output).
+    None,
+    /// Dead-gate sweeping only — what any reasonable DSL code generator
+    /// does (unused product bits are not emitted), but no boolean
+    /// optimization ("Both Cingulata and E3 do not provide any gate-level
+    /// or boolean optimizations", Section III-B).
+    DceOnly,
+    /// The full PyTFHE pipeline: constant folding, inverter absorption,
+    /// CSE and DCE.
+    Full,
+}
+
+/// The compilation decisions that distinguish the four frameworks.
+///
+/// Every flag corresponds to a behaviour the paper calls out; see the
+/// [crate documentation](crate) for the mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweringProfile {
+    /// Framework name as used in the paper's figures.
+    pub name: &'static str,
+    /// Total bit width of the fixed-point values the framework computes
+    /// on (PyTFHE: parameterizable and narrow; Cingulata/E3: the DSL's
+    /// integer width; Transpiler: C `int`).
+    pub width: usize,
+    /// Fractional bits of the fixed-point interpretation.
+    pub frac: usize,
+    /// Whether plaintext constants (model weights) fold into the circuit
+    /// at build time.
+    pub fold_constants: bool,
+    /// Post-lowering netlist cleanup level.
+    pub opt: OptLevel,
+    /// Whether `Flatten`/reshape emits one buffer gate per bit instead of
+    /// pure wiring.
+    pub flatten_buffers: bool,
+    /// Whether `ReLU` is lowered through a generic comparator-plus-mux
+    /// (frameworks without bit-level control) instead of the sign-bit
+    /// masking trick.
+    pub relu_via_compare: bool,
+    /// Whether signed multiplication uses the naive sign-extension array
+    /// (HLS-style statically mapped code) instead of the Baugh-Wooley
+    /// formulation that hand-tuned gate libraries use.
+    pub naive_multiplier: bool,
+}
+
+impl LoweringProfile {
+    /// PyTFHE's own lowering (the reference all speedups are relative
+    /// to).
+    pub fn pytfhe() -> Self {
+        LoweringProfile {
+            name: "PyTFHE",
+            width: 12,
+            frac: 6,
+            fold_constants: true,
+            opt: OptLevel::Full,
+            flatten_buffers: false,
+            relu_via_compare: false,
+            naive_multiplier: false,
+        }
+    }
+
+    /// Cingulata-style lowering.
+    pub fn cingulata() -> Self {
+        LoweringProfile {
+            name: "Cingulata",
+            width: 14,
+            frac: 6,
+            fold_constants: true, // DSL-level constant propagation
+            opt: OptLevel::DceOnly,
+            flatten_buffers: false,
+            relu_via_compare: true,
+            naive_multiplier: false,
+        }
+    }
+
+    /// E3-style lowering.
+    pub fn e3() -> Self {
+        LoweringProfile {
+            name: "E3",
+            width: 16, // byte-aligned: two 8-bit limbs
+            frac: 6,
+            fold_constants: true,
+            opt: OptLevel::DceOnly,
+            flatten_buffers: false,
+            relu_via_compare: true,
+            naive_multiplier: false,
+        }
+    }
+
+    /// Google-Transpiler-style lowering.
+    pub fn transpiler() -> Self {
+        LoweringProfile {
+            name: "Transpiler",
+            width: 32, // C native `int`
+            frac: 6,
+            fold_constants: true, // XLS constant propagation
+            opt: OptLevel::None,
+            flatten_buffers: true,
+            relu_via_compare: true,
+            naive_multiplier: true,
+        }
+    }
+}
+
+/// All four profiles, PyTFHE first.
+pub fn all_profiles() -> [LoweringProfile; 4] {
+    [
+        LoweringProfile::pytfhe(),
+        LoweringProfile::cingulata(),
+        LoweringProfile::e3(),
+        LoweringProfile::transpiler(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct_and_named() {
+        let ps = all_profiles();
+        assert_eq!(ps[0].name, "PyTFHE");
+        let mut names: Vec<_> = ps.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn pytfhe_is_the_only_fully_optimizing_profile() {
+        for p in all_profiles() {
+            assert_eq!(p.opt == OptLevel::Full, p.name == "PyTFHE", "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Compilation-side benchmarks: ChiselTorch model compilation, netlist
+//! optimization, and baseline lowering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use chiseltorch::{compile, nn, DType};
+use pytfhe_baselines::{lower_mnist, LoweringProfile, MnistScale};
+use pytfhe_netlist::opt::{optimize, OptConfig};
+use std::hint::black_box;
+
+fn mnist_model() -> nn::Sequential {
+    nn::Sequential::new(DType::Fixed { width: 12, frac: 6 })
+        .add(nn::Conv2d::new(1, 1, 3, 1))
+        .add(nn::ReLU::new())
+        .add(nn::MaxPool2d::new(2, 1))
+        .add(nn::Flatten::new())
+        .add(nn::Linear::new(9, 4))
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let model = mnist_model();
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+    group.bench_function("chiseltorch_mnist_tiny", |b| {
+        b.iter(|| black_box(compile(&model, &[1, 6, 6]).expect("compiles")))
+    });
+    group.bench_function("baseline_lowering_pytfhe", |b| {
+        b.iter(|| black_box(lower_mnist(&LoweringProfile::pytfhe(), MnistScale::Small)))
+    });
+    group.finish();
+
+    // The optimizer on an unoptimized netlist.
+    let raw = lower_mnist(&LoweringProfile::e3(), MnistScale::Small);
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(10);
+    group.bench_function("full_pipeline_mnist_small", |b| {
+        b.iter(|| black_box(optimize(&raw, &OptConfig::default()).expect("valid")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbenchmarks of the negacyclic FFT — the inner loop of blind
+//! rotation (the "Blind Rotation" segment of Figure 7 is almost entirely
+//! this).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pytfhe_tfhe::fft::{FftPlan, FreqPoly};
+use pytfhe_tfhe::poly::{IntPoly, TorusPoly};
+use pytfhe_tfhe::SecureRng;
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut rng = SecureRng::seed_from_u64(3);
+    for n in [128usize, 1024] {
+        let plan = FftPlan::new(n);
+        let ip = IntPoly::binary(n, &mut rng);
+        let tp = TorusPoly::uniform(n, &mut rng);
+        let fa = plan.forward_int(&ip);
+        let fb = plan.forward_torus(&tp);
+        c.bench_function(&format!("forward_int_{n}"), |bench| {
+            bench.iter(|| black_box(plan.forward_int(black_box(&ip))))
+        });
+        c.bench_function(&format!("inverse_torus_{n}"), |bench| {
+            let mut acc = FreqPoly::zero(n);
+            acc.add_mul_assign(&fa, &fb);
+            bench.iter(|| black_box(plan.inverse_torus(black_box(&acc))))
+        });
+        c.bench_function(&format!("negacyclic_mul_{n}"), |bench| {
+            bench.iter(|| black_box(plan.negacyclic_mul(black_box(&ip), black_box(&tp))))
+        });
+        c.bench_function(&format!("freq_mac_{n}"), |bench| {
+            let mut acc = FreqPoly::zero(n);
+            bench.iter(|| acc.add_mul_assign(black_box(&fa), black_box(&fb)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmarks of the real TFHE primitives: gate bootstrapping at
+//! both parameter scales — the per-gate cost that anchors every
+//! performance number in the paper (Figure 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pytfhe_tfhe::{ClientKey, Params, SecureRng};
+use std::hint::black_box;
+
+fn bench_gates(c: &mut Criterion) {
+    // Miniature (insecure) parameters: algorithmic shape without the
+    // 128-bit cost.
+    let mut rng = SecureRng::seed_from_u64(1);
+    let client = ClientKey::generate(Params::testing(), &mut rng);
+    let server = client.server_key(&mut rng);
+    let a = client.encrypt_bit(true, &mut rng);
+    let b = client.encrypt_bit(false, &mut rng);
+    let mut scratch = server.gate_scratch();
+    c.bench_function("nand_gate_testing_params", |bench| {
+        bench.iter(|| black_box(server.nand_with(black_box(&a), black_box(&b), &mut scratch)))
+    });
+    c.bench_function("mux_gate_testing_params", |bench| {
+        bench.iter(|| black_box(server.mux_with(&a, &a, &b, &mut scratch)))
+    });
+
+    // The paper's 128-bit setting. Key generation is expensive, so keep
+    // the sample count low.
+    let mut rng = SecureRng::seed_from_u64(2);
+    let client = ClientKey::generate(Params::default_128(), &mut rng);
+    let server = client.server_key(&mut rng);
+    let a = client.encrypt_bit(true, &mut rng);
+    let b = client.encrypt_bit(false, &mut rng);
+    let mut scratch = server.gate_scratch();
+    let mut group = c.benchmark_group("default_128");
+    group.sample_size(10);
+    group.bench_function("nand_gate", |bench| {
+        bench.iter(|| black_box(server.nand_with(black_box(&a), black_box(&b), &mut scratch)))
+    });
+    group.bench_function("xor_gate", |bench| {
+        bench.iter(|| black_box(server.xor_with(&a, &b, &mut scratch)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gates);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Minimal fixed-width table rendering for the reproduction reports.
+
+/// A simple left-column + numeric-columns table printer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders with per-column widths.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = width[i]));
+                } else {
+                    line.push_str(&format!("  {:>w$}", c, w = width[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 86400.0 {
+        format!("{:.1} d", s / 86400.0)
+    } else if s >= 3600.0 {
+        format!("{:.1} h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1} min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.2} ms", s * 1e3)
+    }
+}
+
+/// Renders a horizontal ASCII bar scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "gates", "speedup"]);
+        t.row(vec!["Hamming".into(), "123".into(), "4.5".into()]);
+        t.row(vec!["MNIST_S".into(), "456789".into(), "17.4".into()]);
+        let s = t.render();
+        assert!(s.contains("Hamming"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(0.0132), "13.20 ms");
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_seconds(120.0), "2.0 min");
+        assert_eq!(fmt_seconds(7200.0), "2.0 h");
+        assert_eq!(fmt_seconds(172800.0), "2.0 d");
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+    }
+}

@@ -1,0 +1,64 @@
+use pytfhe_hdl::HdlError;
+use std::fmt;
+
+/// Errors produced while building or compiling a ChiselTorch model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TorchError {
+    /// Tensor shapes are incompatible with the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the expectation.
+        expected: String,
+        /// The shape that was provided.
+        got: Vec<usize>,
+        /// The operation.
+        op: &'static str,
+    },
+    /// A reshape changed the element count.
+    BadReshape {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// A layer's parameter tensor has the wrong shape.
+    BadWeights {
+        /// Which layer.
+        layer: &'static str,
+        /// Description of the expectation.
+        expected: String,
+    },
+    /// The underlying circuit generator failed.
+    Hdl(HdlError),
+}
+
+impl fmt::Display for TorchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TorchError::ShapeMismatch { expected, got, op } => {
+                write!(f, "shape mismatch in `{op}`: expected {expected}, got {got:?}")
+            }
+            TorchError::BadReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+            TorchError::BadWeights { layer, expected } => {
+                write!(f, "bad weights for {layer}: expected {expected}")
+            }
+            TorchError::Hdl(e) => write!(f, "circuit generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TorchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TorchError::Hdl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HdlError> for TorchError {
+    fn from(e: HdlError) -> Self {
+        TorchError::Hdl(e)
+    }
+}

@@ -1,0 +1,46 @@
+//! **ChiselTorch** — the PyTorch-compatible neural-network frontend of
+//! PyTFHE (Section IV-B of the paper).
+//!
+//! ChiselTorch lets users declare privacy-preserving neural networks with
+//! the layer vocabulary of `torch.nn` and compile them into TFHE gate
+//! netlists. It reproduces the paper's three desiderata:
+//!
+//! * **correctness** — every layer is a pre-built, pre-validated circuit
+//!   generator with a plaintext reference implementation tested against
+//!   the compiled circuit;
+//! * **productivity** — models are declared like Figure 4 of the paper:
+//!
+//! ```
+//! use chiseltorch::nn;
+//! use chiseltorch::DType;
+//!
+//! let mnist_model = nn::Sequential::new(DType::Float { exp: 8, man: 8 })
+//!     .add(nn::Conv2d::new(1, 1, 3, 1))
+//!     .add(nn::ReLU::new())
+//!     .add(nn::MaxPool2d::new(3, 1))
+//!     .add(nn::Flatten::new())
+//!     .add(nn::Linear::new(36, 10));
+//! # let _ = mnist_model;
+//! ```
+//!
+//! * **performance** — weights are plaintext constants folded into the
+//!   circuit, reshapes compile to pure wiring (the `Flatten` optimization
+//!   the paper calls out against the Transpiler in Section V-C), and the
+//!   data type is a free parameter (`Float(8, 8)`, `SInt(7)`,
+//!   `Fixed(12, 6)`, …) trading accuracy for gate count.
+//!
+//! The supported layer and tensor-primitive vocabulary matches Table I of
+//! the paper; see [`nn`] and [`Tensor`].
+
+pub mod compile;
+mod error;
+pub mod nn;
+pub mod ops;
+mod plain;
+mod tensor;
+
+pub use compile::{compile, compile_with, CompiledModel};
+pub use error::TorchError;
+pub use plain::PlainTensor;
+pub use pytfhe_hdl::{Circuit, DType, Value};
+pub use tensor::Tensor;

@@ -1,0 +1,139 @@
+use super::Module;
+use crate::error::TorchError;
+use crate::plain::PlainTensor;
+use crate::tensor::Tensor;
+use pytfhe_hdl::{Circuit, Value};
+
+/// `torch.nn.Hardsigmoid`: the piecewise-linear sigmoid substitute
+/// `clamp(x / 6 + 1/2, 0, 1)` — the standard FHE-friendly replacement
+/// for the transcendental sigmoid (cf. the paper's Section III-A
+/// discussion of polynomial-approximation costs in word-wise schemes;
+/// under TFHE a clamp is just comparators and muxes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HardSigmoid;
+
+impl HardSigmoid {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        HardSigmoid
+    }
+}
+
+/// `torch.nn.Hardtanh`: `clamp(x, -1, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HardTanh;
+
+impl HardTanh {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        HardTanh
+    }
+}
+
+/// Clamps a value between constant bounds with two compares + muxes.
+fn clamp(c: &mut Circuit, x: &Value, lo: f64, hi: f64) -> Result<Value, TorchError> {
+    let lo_c = Value::constant(c, lo, x.dtype);
+    let hi_c = Value::constant(c, hi, x.dtype);
+    let below = c.v_lt(x, &lo_c)?;
+    let x = c.v_mux(below, &lo_c, x)?;
+    let above = c.v_lt(&hi_c, &x)?;
+    Ok(c.v_mux(above, &hi_c, &x)?)
+}
+
+impl Module for HardSigmoid {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        let dtype = input.dtype();
+        let sixth = Value::constant(c, 1.0 / 6.0, dtype);
+        let half = Value::constant(c, 0.5, dtype);
+        let data = input
+            .values()
+            .iter()
+            .map(|v| {
+                let scaled = c.v_mul(v, &sixth)?;
+                let shifted = c.v_add(&scaled, &half)?;
+                clamp(c, &shifted, 0.0, 1.0)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Tensor::from_values(input.shape(), data)
+    }
+
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        let data = input.data().iter().map(|&x| (x / 6.0 + 0.5).clamp(0.0, 1.0)).collect();
+        PlainTensor::from_vec(input.shape(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "HardSigmoid"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        Ok(input.to_vec())
+    }
+}
+
+impl Module for HardTanh {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        let data = input
+            .values()
+            .iter()
+            .map(|v| clamp(c, v, -1.0, 1.0))
+            .collect::<Result<Vec<_>, _>>()?;
+        Tensor::from_values(input.shape(), data)
+    }
+
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        let data = input.data().iter().map(|&x| x.clamp(-1.0, 1.0)).collect();
+        PlainTensor::from_vec(input.shape(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "HardTanh"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        Ok(input.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_layer_against_plain;
+    use super::*;
+    use pytfhe_hdl::DType;
+
+    const DT: DType = DType::Fixed { width: 14, frac: 8 };
+
+    #[test]
+    fn hard_sigmoid_matches_plain() {
+        let input =
+            PlainTensor::from_vec(&[7], vec![-10.0, -3.0, -1.5, 0.0, 1.5, 3.0, 10.0]).unwrap();
+        check_layer_against_plain(&HardSigmoid::new(), &[7], DT, &input, 4.0 * DT.resolution());
+    }
+
+    #[test]
+    fn hard_tanh_matches_plain() {
+        let input = PlainTensor::from_vec(&[5], vec![-5.0, -1.0, 0.25, 1.0, 5.0]).unwrap();
+        check_layer_against_plain(&HardTanh::new(), &[5], DT, &input, 2.0 * DT.resolution());
+    }
+
+    #[test]
+    fn saturation_regions_are_exact() {
+        let hs = HardSigmoid::new();
+        let out = hs
+            .forward_plain(&PlainTensor::from_vec(&[2], vec![-100.0, 100.0]).unwrap())
+            .unwrap();
+        assert_eq!(out.data(), &[0.0, 1.0]);
+        let ht = HardTanh::new();
+        let out = ht
+            .forward_plain(&PlainTensor::from_vec(&[2], vec![-100.0, 100.0]).unwrap())
+            .unwrap();
+        assert_eq!(out.data(), &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn float_dtype_works_too() {
+        let dtype = DType::Float { exp: 6, man: 7 };
+        let input = PlainTensor::from_vec(&[4], vec![-2.0, -0.5, 0.5, 2.0]).unwrap();
+        check_layer_against_plain(&HardTanh::new(), &[4], dtype, &input, 0.05);
+    }
+}

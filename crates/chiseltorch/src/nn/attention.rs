@@ -1,0 +1,186 @@
+use super::Module;
+use crate::error::TorchError;
+use crate::ops;
+use crate::plain::PlainTensor;
+use crate::tensor::Tensor;
+use pytfhe_hdl::{Circuit, Value};
+
+/// A single-head self-attention layer built entirely from Table I tensor
+/// primitives (`matmul`, `transpose`, elementwise ops) — the paper's
+/// demonstration that ChiselTorch supports "non-native complicated neural
+/// network structures with the provided primitives" (Section V-A; the
+/// `Attention_S` / `Attention_L` benchmarks).
+///
+/// Softmax over encrypted data would require a gate-level `exp`; like
+/// other FHE inference work, we use the standard FHE-friendly substitute
+/// `relu(s) / (sum(relu(s)) + 1)` row-wise, which preserves the
+/// convex-combination structure of attention while staying inside the
+/// primitive vocabulary. (Documented as a substitution in DESIGN.md.)
+#[derive(Debug, Clone)]
+pub struct SelfAttention {
+    seq_len: usize,
+    hidden: usize,
+    wq: PlainTensor,
+    wk: PlainTensor,
+    wv: PlainTensor,
+}
+
+impl SelfAttention {
+    /// Creates a single-head self-attention layer for `[seq_len, hidden]`
+    /// inputs with deterministic pseudo-random projection matrices.
+    pub fn new(seq_len: usize, hidden: usize) -> Self {
+        let bound = 1.0 / (hidden as f64).sqrt();
+        SelfAttention {
+            seq_len,
+            hidden,
+            wq: PlainTensor::random(&[hidden, hidden], bound, 0xa77e_0001),
+            wk: PlainTensor::random(&[hidden, hidden], bound, 0xa77e_0002),
+            wv: PlainTensor::random(&[hidden, hidden], bound, 0xa77e_0003),
+        }
+    }
+
+    /// The sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// The hidden dimension (the paper's `Attention_S` uses 32,
+    /// `Attention_L` 64).
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    fn check(&self, shape: &[usize], op: &'static str) -> Result<(), TorchError> {
+        if shape != [self.seq_len, self.hidden] {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("[{}, {}]", self.seq_len, self.hidden),
+                got: shape.to_vec(),
+                op,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Module for SelfAttention {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        self.check(input.shape(), "SelfAttention")?;
+        let dtype = input.dtype();
+        let wq = Tensor::constant(c, &self.wq, dtype);
+        let wk = Tensor::constant(c, &self.wk, dtype);
+        let wv = Tensor::constant(c, &self.wv, dtype);
+        let q = ops::matmul(c, input, &wq)?;
+        let k = ops::matmul(c, input, &wk)?;
+        let v = ops::matmul(c, input, &wv)?;
+        // scores = Q K^T / sqrt(d)
+        let kt = k.transpose()?;
+        let scores = ops::matmul(c, &q, &kt)?;
+        let scale = Value::constant(c, 1.0 / (self.hidden as f64).sqrt(), dtype);
+        let scaled: Vec<Value> = scores
+            .values()
+            .iter()
+            .map(|s| c.v_mul(s, &scale))
+            .collect::<Result<_, _>>()?;
+        // FHE-friendly softmax substitute: w = relu(s); a = w / (row_sum + 1).
+        let relu: Vec<Value> = scaled.iter().map(|s| c.v_relu(s)).collect();
+        let t = self.seq_len;
+        let one = Value::constant(c, 1.0, dtype);
+        let mut attn = Vec::with_capacity(t * t);
+        for i in 0..t {
+            let row = &relu[i * t..(i + 1) * t];
+            let row_sum = ops::sum_values(c, row)?;
+            let denom = c.v_add(&row_sum, &one)?;
+            for w in row {
+                attn.push(c.v_div(w, &denom)?);
+            }
+        }
+        let attn = Tensor::from_values(&[t, t], attn)?;
+        ops::matmul(c, &attn, &v)
+    }
+
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        self.check(input.shape(), "SelfAttention")?;
+        let t = self.seq_len;
+        let d = self.hidden;
+        let mm = |a: &PlainTensor, b: &PlainTensor, m: usize, k: usize, n: usize| {
+            let mut out = PlainTensor::zeros(&[m, n]);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for kk in 0..k {
+                        acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                    }
+                    out.set(&[i, j], acc);
+                }
+            }
+            out
+        };
+        let q = mm(input, &self.wq, t, d, d);
+        let k = mm(input, &self.wk, t, d, d);
+        let v = mm(input, &self.wv, t, d, d);
+        let scale = 1.0 / (d as f64).sqrt();
+        let mut attn = PlainTensor::zeros(&[t, t]);
+        for i in 0..t {
+            let mut row: Vec<f64> = (0..t)
+                .map(|j| {
+                    let mut s = 0.0;
+                    for kk in 0..d {
+                        s += q.at(&[i, kk]) * k.at(&[j, kk]);
+                    }
+                    (s * scale).max(0.0)
+                })
+                .collect();
+            let denom: f64 = row.iter().sum::<f64>() + 1.0;
+            for r in &mut row {
+                *r /= denom;
+            }
+            for (j, r) in row.iter().enumerate() {
+                attn.set(&[i, j], *r);
+            }
+        }
+        Ok(mm(&attn, &v, t, t, d))
+    }
+
+    fn name(&self) -> &'static str {
+        "SelfAttention"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        self.check(input, "SelfAttention")?;
+        Ok(input.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_layer_against_plain;
+    use super::*;
+    use pytfhe_hdl::DType;
+
+    #[test]
+    fn attention_matches_plain_small() {
+        // Tiny instance so the exhaustive circuit evaluation stays fast.
+        let layer = SelfAttention::new(2, 4);
+        let dtype = DType::Fixed { width: 18, frac: 10 };
+        let input = PlainTensor::random(&[2, 4], 1.0, 61);
+        // Error accumulates through two matmuls, division and reweighting.
+        check_layer_against_plain(&layer, &[2, 4], dtype, &input, 0.05);
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        let layer = SelfAttention::new(3, 4);
+        let input = PlainTensor::random(&[3, 4], 1.0, 62);
+        let out = layer.forward_plain(&input).unwrap();
+        assert_eq!(out.shape(), &[3, 4]);
+        // Output magnitudes are bounded by value-projection magnitudes.
+        assert!(out.data().iter().all(|x| x.abs() < 10.0));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let layer = SelfAttention::new(4, 8);
+        assert!(layer.output_shape(&[4, 4]).is_err());
+        assert!(layer.output_shape(&[4, 8]).is_ok());
+    }
+}

@@ -1,0 +1,412 @@
+use super::Module;
+use crate::error::TorchError;
+use crate::ops::sum_values;
+use crate::plain::PlainTensor;
+use crate::tensor::Tensor;
+use pytfhe_hdl::{Circuit, Value};
+
+/// 2-D convolution `torch.nn.Conv2d(in_channels, out_channels,
+/// kernel_size, stride)` — the paper's running example is
+/// `Conv2d(1, 1, 2, 1)` (Figure 3).
+///
+/// Input layout is `[C, H, W]` (batch of one); output is
+/// `[O, (H + 2p - k)/s + 1, (W + 2p - k)/s + 1]`. Padding defaults to 0
+/// (`valid`); set it with [`Conv2d::with_padding`].
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: PlainTensor,
+    bias: PlainTensor,
+}
+
+impl Conv2d {
+    /// Creates the layer with deterministic pseudo-random parameters.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let bound = 1.0 / (fan_in as f64).sqrt();
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding: 0,
+            weight: PlainTensor::random(
+                &[out_channels, in_channels, kernel, kernel],
+                bound,
+                0xc0b2d,
+            ),
+            bias: PlainTensor::random(&[out_channels], bound, 0xb1a5c),
+        }
+    }
+
+    /// Sets zero padding on each spatial side (`torch.nn.Conv2d`'s
+    /// `padding` argument).
+    #[must_use]
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Replaces the kernel weights (`[out, in, k, k]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError::BadWeights`] on shape mismatch.
+    pub fn with_weight(mut self, weight: PlainTensor) -> Result<Self, TorchError> {
+        let expect = [self.out_channels, self.in_channels, self.kernel, self.kernel];
+        if weight.shape() != expect {
+            return Err(TorchError::BadWeights { layer: "Conv2d", expected: format!("{expect:?}") });
+        }
+        self.weight = weight;
+        Ok(self)
+    }
+
+    /// Replaces the bias (`[out]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError::BadWeights`] on shape mismatch.
+    pub fn with_bias(mut self, bias: PlainTensor) -> Result<Self, TorchError> {
+        if bias.shape() != [self.out_channels] {
+            return Err(TorchError::BadWeights {
+                layer: "Conv2d",
+                expected: format!("[{}]", self.out_channels),
+            });
+        }
+        self.bias = bias;
+        Ok(self)
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), TorchError> {
+        let (h, w) = (h + 2 * self.padding, w + 2 * self.padding);
+        if h < self.kernel || w < self.kernel || self.stride == 0 {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("spatial dims >= kernel {}", self.kernel),
+                got: vec![h, w],
+                op: "Conv2d",
+            });
+        }
+        Ok(((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1))
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        let [ch, h, w] = input.shape()[..] else {
+            return Err(TorchError::ShapeMismatch {
+                expected: "[C, H, W]".into(),
+                got: input.shape().to_vec(),
+                op: "Conv2d",
+            });
+        };
+        if ch != self.in_channels {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("{} input channels", self.in_channels),
+                got: input.shape().to_vec(),
+                op: "Conv2d",
+            });
+        }
+        let (oh, ow) = self.out_hw(h, w)?;
+        let padded;
+        let input = if self.padding > 0 {
+            padded = input.pad2d(c, self.padding)?;
+            &padded
+        } else {
+            input
+        };
+        let dtype = input.dtype();
+        let mut out = Vec::with_capacity(self.out_channels * oh * ow);
+        for o in 0..self.out_channels {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut terms = Vec::with_capacity(self.in_channels * self.kernel * self.kernel + 1);
+                    for i in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let wv = self.weight.at(&[o, i, ky, kx]);
+                                let wc = Value::constant(c, wv, dtype);
+                                let pixel =
+                                    input.at(&[i, y * self.stride + ky, x * self.stride + kx]);
+                                terms.push(c.v_mul(pixel, &wc)?);
+                            }
+                        }
+                    }
+                    terms.push(Value::constant(c, self.bias.at(&[o]), dtype));
+                    out.push(sum_values(c, &terms)?);
+                }
+            }
+        }
+        Tensor::from_values(&[self.out_channels, oh, ow], out)
+    }
+
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        let [ch, h, w] = input.shape()[..] else {
+            return Err(TorchError::ShapeMismatch {
+                expected: "[C, H, W]".into(),
+                got: input.shape().to_vec(),
+                op: "Conv2d",
+            });
+        };
+        assert_eq!(ch, self.in_channels, "input channel mismatch");
+        let (oh, ow) = self.out_hw(h, w)?;
+        let pad = self.padding;
+        let px = |i: usize, y: usize, x: usize| {
+            if y < pad || x < pad || y >= h + pad || x >= w + pad {
+                0.0
+            } else {
+                input.at(&[i, y - pad, x - pad])
+            }
+        };
+        let mut out = PlainTensor::zeros(&[self.out_channels, oh, ow]);
+        for o in 0..self.out_channels {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = self.bias.at(&[o]);
+                    for i in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                acc += self.weight.at(&[o, i, ky, kx])
+                                    * px(i, y * self.stride + ky, x * self.stride + kx);
+                            }
+                        }
+                    }
+                    out.set(&[o, y, x], acc);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        let [ch, h, w] = input[..] else {
+            return Err(TorchError::ShapeMismatch {
+                expected: "[C, H, W]".into(),
+                got: input.to_vec(),
+                op: "Conv2d",
+            });
+        };
+        if ch != self.in_channels {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("{} input channels", self.in_channels),
+                got: input.to_vec(),
+                op: "Conv2d",
+            });
+        }
+        let (oh, ow) = self.out_hw(h, w)?;
+        Ok(vec![self.out_channels, oh, ow])
+    }
+}
+
+/// 1-D convolution `torch.nn.Conv1d`; input layout `[C, L]`.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    weight: PlainTensor,
+    bias: PlainTensor,
+}
+
+impl Conv1d {
+    /// Creates the layer with deterministic pseudo-random parameters.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize) -> Self {
+        let bound = 1.0 / ((in_channels * kernel) as f64).sqrt();
+        Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weight: PlainTensor::random(&[out_channels, in_channels, kernel], bound, 0xc0b1d),
+            bias: PlainTensor::random(&[out_channels], bound, 0xb1a51),
+        }
+    }
+
+    /// Replaces the kernel weights (`[out, in, k]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError::BadWeights`] on shape mismatch.
+    pub fn with_weight(mut self, weight: PlainTensor) -> Result<Self, TorchError> {
+        let expect = [self.out_channels, self.in_channels, self.kernel];
+        if weight.shape() != expect {
+            return Err(TorchError::BadWeights { layer: "Conv1d", expected: format!("{expect:?}") });
+        }
+        self.weight = weight;
+        Ok(self)
+    }
+
+    fn out_len(&self, l: usize) -> Result<usize, TorchError> {
+        if l < self.kernel || self.stride == 0 {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("length >= kernel {}", self.kernel),
+                got: vec![l],
+                op: "Conv1d",
+            });
+        }
+        Ok((l - self.kernel) / self.stride + 1)
+    }
+}
+
+impl Module for Conv1d {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        let [ch, l] = input.shape()[..] else {
+            return Err(TorchError::ShapeMismatch {
+                expected: "[C, L]".into(),
+                got: input.shape().to_vec(),
+                op: "Conv1d",
+            });
+        };
+        if ch != self.in_channels {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("{} input channels", self.in_channels),
+                got: input.shape().to_vec(),
+                op: "Conv1d",
+            });
+        }
+        let ol = self.out_len(l)?;
+        let dtype = input.dtype();
+        let mut out = Vec::with_capacity(self.out_channels * ol);
+        for o in 0..self.out_channels {
+            for x in 0..ol {
+                let mut terms = Vec::with_capacity(self.in_channels * self.kernel + 1);
+                for i in 0..self.in_channels {
+                    for k in 0..self.kernel {
+                        let wc = Value::constant(c, self.weight.at(&[o, i, k]), dtype);
+                        terms.push(c.v_mul(input.at(&[i, x * self.stride + k]), &wc)?);
+                    }
+                }
+                terms.push(Value::constant(c, self.bias.at(&[o]), dtype));
+                out.push(sum_values(c, &terms)?);
+            }
+        }
+        Tensor::from_values(&[self.out_channels, ol], out)
+    }
+
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        let [ch, l] = input.shape()[..] else {
+            return Err(TorchError::ShapeMismatch {
+                expected: "[C, L]".into(),
+                got: input.shape().to_vec(),
+                op: "Conv1d",
+            });
+        };
+        assert_eq!(ch, self.in_channels, "input channel mismatch");
+        let ol = self.out_len(l)?;
+        let mut out = PlainTensor::zeros(&[self.out_channels, ol]);
+        for o in 0..self.out_channels {
+            for x in 0..ol {
+                let mut acc = self.bias.at(&[o]);
+                for i in 0..self.in_channels {
+                    for k in 0..self.kernel {
+                        acc += self.weight.at(&[o, i, k]) * input.at(&[i, x * self.stride + k]);
+                    }
+                }
+                out.set(&[o, x], acc);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv1d"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        let [ch, l] = input[..] else {
+            return Err(TorchError::ShapeMismatch {
+                expected: "[C, L]".into(),
+                got: input.to_vec(),
+                op: "Conv1d",
+            });
+        };
+        if ch != self.in_channels {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("{} input channels", self.in_channels),
+                got: input.to_vec(),
+                op: "Conv1d",
+            });
+        }
+        Ok(vec![self.out_channels, self.out_len(l)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_layer_against_plain;
+    use super::*;
+    use pytfhe_hdl::DType;
+
+    #[test]
+    fn conv2d_matches_plain() {
+        let dtype = DType::Fixed { width: 16, frac: 8 };
+        let layer = Conv2d::new(1, 2, 2, 1);
+        let input = PlainTensor::random(&[1, 4, 4], 1.0, 31);
+        check_layer_against_plain(&layer, &[1, 4, 4], dtype, &input, 8.0 * dtype.resolution());
+    }
+
+    #[test]
+    fn conv2d_stride_two() {
+        let dtype = DType::Fixed { width: 16, frac: 8 };
+        let layer = Conv2d::new(1, 1, 2, 2);
+        assert_eq!(layer.output_shape(&[1, 6, 6]).unwrap(), vec![1, 3, 3]);
+        let input = PlainTensor::random(&[1, 6, 6], 1.0, 32);
+        check_layer_against_plain(&layer, &[1, 6, 6], dtype, &input, 8.0 * dtype.resolution());
+    }
+
+    #[test]
+    fn conv2d_multichannel() {
+        let dtype = DType::Fixed { width: 16, frac: 8 };
+        let layer = Conv2d::new(2, 1, 2, 1);
+        let input = PlainTensor::random(&[2, 3, 3], 1.0, 33);
+        check_layer_against_plain(&layer, &[2, 3, 3], dtype, &input, 12.0 * dtype.resolution());
+    }
+
+    #[test]
+    fn conv1d_matches_plain() {
+        let dtype = DType::Fixed { width: 16, frac: 8 };
+        let layer = Conv1d::new(1, 2, 3, 1);
+        let input = PlainTensor::random(&[1, 8], 1.0, 34);
+        check_layer_against_plain(&layer, &[1, 8], dtype, &input, 8.0 * dtype.resolution());
+    }
+
+    #[test]
+    fn explicit_conv2d_weight() {
+        // An identity kernel: picks the top-left pixel.
+        let layer = Conv2d::new(1, 1, 2, 1)
+            .with_weight(PlainTensor::from_vec(&[1, 1, 2, 2], vec![1.0, 0.0, 0.0, 0.0]).unwrap())
+            .unwrap()
+            .with_bias(PlainTensor::from_vec(&[1], vec![0.0]).unwrap())
+            .unwrap();
+        let input =
+            PlainTensor::from_vec(&[1, 2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let out = layer.forward_plain(&input).unwrap();
+        assert_eq!(out.data(), &[5.0]);
+    }
+
+    #[test]
+    fn conv2d_with_padding_matches_plain() {
+        let dtype = DType::Fixed { width: 16, frac: 8 };
+        let layer = Conv2d::new(1, 1, 3, 1).with_padding(1);
+        assert_eq!(layer.output_shape(&[1, 4, 4]).unwrap(), vec![1, 4, 4], "same padding");
+        let input = PlainTensor::random(&[1, 4, 4], 1.0, 35);
+        check_layer_against_plain(&layer, &[1, 4, 4], dtype, &input, 8.0 * dtype.resolution());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let layer = Conv2d::new(1, 1, 3, 1);
+        assert!(layer.output_shape(&[1, 2, 2]).is_err(), "input smaller than kernel");
+        assert!(layer.output_shape(&[2, 4, 4]).is_err(), "channel mismatch");
+        assert!(layer.output_shape(&[4, 4]).is_err(), "bad rank");
+        assert!(Conv2d::new(1, 1, 2, 1).with_weight(PlainTensor::zeros(&[1, 1, 3, 3])).is_err());
+    }
+}

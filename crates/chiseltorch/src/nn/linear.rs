@@ -1,0 +1,175 @@
+use super::Module;
+use crate::error::TorchError;
+use crate::ops::sum_values;
+use crate::plain::PlainTensor;
+use crate::tensor::Tensor;
+use pytfhe_hdl::{Circuit, Value};
+
+/// A fully-connected layer `y = W x + b` with plaintext weights baked into
+/// the circuit — `torch.nn.Linear` (Table I).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: PlainTensor,
+    bias: PlainTensor,
+}
+
+impl Linear {
+    /// Creates the layer with deterministic pseudo-random parameters
+    /// (bounded by `1/sqrt(in_features)`, the PyTorch default).
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        let bound = 1.0 / (in_features as f64).sqrt();
+        Linear {
+            in_features,
+            out_features,
+            weight: PlainTensor::random(&[out_features, in_features], bound, 0x11ea2),
+            bias: PlainTensor::random(&[out_features], bound, 0xb1a5),
+        }
+    }
+
+    /// Replaces the weight matrix (`[out_features, in_features]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError::BadWeights`] on shape mismatch.
+    pub fn with_weight(mut self, weight: PlainTensor) -> Result<Self, TorchError> {
+        if weight.shape() != [self.out_features, self.in_features] {
+            return Err(TorchError::BadWeights {
+                layer: "Linear",
+                expected: format!("[{}, {}]", self.out_features, self.in_features),
+            });
+        }
+        self.weight = weight;
+        Ok(self)
+    }
+
+    /// Replaces the bias vector (`[out_features]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError::BadWeights`] on shape mismatch.
+    pub fn with_bias(mut self, bias: PlainTensor) -> Result<Self, TorchError> {
+        if bias.shape() != [self.out_features] {
+            return Err(TorchError::BadWeights {
+                layer: "Linear",
+                expected: format!("[{}]", self.out_features),
+            });
+        }
+        self.bias = bias;
+        Ok(self)
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        if input.shape() != [self.in_features] {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("[{}]", self.in_features),
+                got: input.shape().to_vec(),
+                op: "Linear",
+            });
+        }
+        let dtype = input.dtype();
+        let mut out = Vec::with_capacity(self.out_features);
+        for o in 0..self.out_features {
+            let mut terms = Vec::with_capacity(self.in_features + 1);
+            for i in 0..self.in_features {
+                let w = Value::constant(c, self.weight.at(&[o, i]), dtype);
+                terms.push(c.v_mul(input.at(&[i]), &w)?);
+            }
+            terms.push(Value::constant(c, self.bias.at(&[o]), dtype));
+            out.push(sum_values(c, &terms)?);
+        }
+        Tensor::from_values(&[self.out_features], out)
+    }
+
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        if input.shape() != [self.in_features] {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("[{}]", self.in_features),
+                got: input.shape().to_vec(),
+                op: "Linear",
+            });
+        }
+        let mut out = Vec::with_capacity(self.out_features);
+        for o in 0..self.out_features {
+            let mut acc = self.bias.at(&[o]);
+            for i in 0..self.in_features {
+                acc += self.weight.at(&[o, i]) * input.at(&[i]);
+            }
+            out.push(acc);
+        }
+        PlainTensor::from_vec(&[self.out_features], out)
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        if input != [self.in_features] {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("[{}]", self.in_features),
+                got: input.to_vec(),
+                op: "Linear",
+            });
+        }
+        Ok(vec![self.out_features])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_layer_against_plain;
+    use super::*;
+    use pytfhe_hdl::DType;
+
+    #[test]
+    fn matches_plain_oracle_fixed() {
+        let dtype = DType::Fixed { width: 16, frac: 8 };
+        let layer = Linear::new(6, 3);
+        let input = PlainTensor::random(&[6], 1.0, 21);
+        // Tolerance: per-term quantization of weights (resolution/2 each)
+        // times terms, plus product truncation.
+        check_layer_against_plain(&layer, &[6], dtype, &input, 10.0 * dtype.resolution());
+    }
+
+    #[test]
+    fn matches_plain_oracle_float() {
+        let dtype = DType::Float { exp: 8, man: 10 };
+        let layer = Linear::new(5, 2);
+        let input = PlainTensor::random(&[5], 2.0, 22);
+        check_layer_against_plain(&layer, &[5], dtype, &input, 0.05);
+    }
+
+    #[test]
+    fn explicit_weights() {
+        let layer = Linear::new(2, 1)
+            .with_weight(PlainTensor::from_vec(&[1, 2], vec![2.0, -1.0]).unwrap())
+            .unwrap()
+            .with_bias(PlainTensor::from_vec(&[1], vec![0.5]).unwrap())
+            .unwrap();
+        let out = layer
+            .forward_plain(&PlainTensor::from_vec(&[2], vec![3.0, 4.0]).unwrap())
+            .unwrap();
+        assert_eq!(out.data(), &[2.0 * 3.0 - 4.0 + 0.5]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Linear::new(2, 1).with_weight(PlainTensor::zeros(&[2, 2])).is_err());
+        assert!(Linear::new(2, 1).with_bias(PlainTensor::zeros(&[2])).is_err());
+        assert!(Linear::new(2, 1).output_shape(&[3]).is_err());
+    }
+}

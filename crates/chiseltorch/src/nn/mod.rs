@@ -1,0 +1,210 @@
+//! Pre-built neural-network layers — the left-hand column of Table I of
+//! the paper: `Conv1d`/`Conv2d`, `BatchNorm1d`/`BatchNorm2d`, `Linear`,
+//! `ReLU`, `MaxPool1d`/`AvgPool1d`, `MaxPool2d`/`AvgPool2d`, `Flatten`,
+//! composed with [`Sequential`]; plus [`SelfAttention`], the paper's
+//! showcase of building non-native layers from tensor primitives
+//! (Section V-A).
+//!
+//! Every layer implements [`Module`] twice over: `forward` generates the
+//! TFHE circuit, `forward_plain` is the f64 reference the tests compare
+//! against — the "pre-build and validate" correctness strategy of
+//! Section IV-B.
+
+mod activations;
+mod attention;
+mod conv;
+mod linear;
+mod norm;
+mod pool;
+mod simple;
+
+pub use activations::{HardSigmoid, HardTanh};
+pub use attention::SelfAttention;
+pub use conv::{Conv1d, Conv2d};
+pub use linear::Linear;
+pub use norm::{BatchNorm1d, BatchNorm2d};
+pub use pool::{AvgPool1d, AvgPool2d, MaxPool1d, MaxPool2d};
+pub use simple::{Flatten, ReLU};
+
+use crate::error::TorchError;
+use crate::plain::PlainTensor;
+use crate::tensor::Tensor;
+use pytfhe_hdl::{Circuit, DType};
+
+/// A neural-network layer: a circuit generator plus its plaintext
+/// reference semantics.
+pub trait Module: std::fmt::Debug + Send + Sync {
+    /// Generates the layer's circuit for `input`, returning the output
+    /// tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError`] on shape or dtype mismatches.
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError>;
+
+    /// The f64 reference semantics (unquantized), used as the correctness
+    /// oracle and for accuracy analyses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError`] on shape mismatches.
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError>;
+
+    /// The layer's display name (e.g. `"Conv2d"`).
+    fn name(&self) -> &'static str;
+
+    /// The output shape for a given input shape, when statically known.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError`] if the input shape is invalid for the layer.
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError>;
+}
+
+/// An ordered container of layers with a model-wide data type — the
+/// ChiselTorch analogue of `torch.nn.Sequential` (Figure 4 of the paper:
+/// `new.Sequential(Seq(...), dtype = Float(8, 8))`).
+#[derive(Debug)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+    dtype: DType,
+}
+
+impl Sequential {
+    /// Creates an empty model with the given data type.
+    pub fn new(dtype: DType) -> Self {
+        Sequential { layers: Vec::new(), dtype }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn add(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    #[must_use]
+    pub fn add_boxed(mut self, layer: Box<dyn Module>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// The model's data type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// The contained layers.
+    pub fn layers(&self) -> &[Box<dyn Module>] {
+        &self.layers
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        let mut cur = input.clone();
+        for layer in &self.layers {
+            cur = layer.forward(c, &cur)?;
+        }
+        Ok(cur)
+    }
+
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        let mut cur = input.clone();
+        for layer in &self.layers {
+            cur = layer.forward_plain(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        let mut shape = input.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape)?;
+        }
+        Ok(shape)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Compiles `layer` over an input of `shape`/`dtype`, evaluates it on
+    /// `input`, and compares against `forward_plain` of the quantized
+    /// input within `tol`.
+    pub(crate) fn check_layer_against_plain(
+        layer: &dyn Module,
+        shape: &[usize],
+        dtype: DType,
+        input: &PlainTensor,
+        tol: f64,
+    ) {
+        let mut c = Circuit::new();
+        let x = Tensor::input(&mut c, "x", shape, dtype);
+        let y = layer.forward(&mut c, &x).expect("forward");
+        y.output(&mut c, "y");
+        let nl = c.finish().expect("netlist");
+        // Quantize the input like the client would.
+        let q: Vec<f64> =
+            input.data().iter().map(|&v| dtype.decode_f64(&dtype.encode_f64(v))).collect();
+        let qin = PlainTensor::from_vec(shape, q).unwrap();
+        let want = layer.forward_plain(&qin).expect("plain forward");
+        let bits: Vec<bool> = input.data().iter().flat_map(|&v| dtype.encode_f64(v)).collect();
+        let out = nl.eval_plain(&bits);
+        let w = dtype.width();
+        let got: Vec<f64> = out.chunks(w).map(|ch| dtype.decode_f64(ch)).collect();
+        assert_eq!(got.len(), want.len(), "output element count");
+        for (i, (g, wv)) in got.iter().zip(want.data()).enumerate() {
+            assert!(
+                (g - wv).abs() <= tol,
+                "{}[{i}]: got {g}, want {wv} (tol {tol})",
+                layer.name()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plain::PlainTensor;
+
+    #[test]
+    fn sequential_composes_shapes() {
+        let model = Sequential::new(DType::Fixed { width: 12, frac: 4 })
+            .add(Conv2d::new(1, 2, 3, 1))
+            .add(ReLU::new())
+            .add(MaxPool2d::new(2, 1))
+            .add(Flatten::new())
+            .add(Linear::new(18, 4));
+        assert_eq!(model.output_shape(&[1, 6, 6]).unwrap(), vec![4]);
+        assert_eq!(model.layers().len(), 5);
+    }
+
+    #[test]
+    fn sequential_plain_forward_runs() {
+        let model = Sequential::new(DType::Fixed { width: 12, frac: 4 })
+            .add(Flatten::new())
+            .add(Linear::new(4, 2));
+        let input = PlainTensor::random(&[2, 2], 1.0, 3);
+        let out = model.forward_plain(&input).unwrap();
+        assert_eq!(out.shape(), &[2]);
+    }
+
+    #[test]
+    fn sequential_end_to_end_small() {
+        let dtype = DType::Fixed { width: 14, frac: 6 };
+        let model = Sequential::new(dtype)
+            .add(ReLU::new())
+            .add(Flatten::new())
+            .add(Linear::new(4, 2));
+        let input = PlainTensor::random(&[4], 1.5, 11);
+        testutil::check_layer_against_plain(&model, &[4], dtype, &input, 0.25);
+    }
+}

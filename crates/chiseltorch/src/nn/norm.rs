@@ -1,0 +1,227 @@
+use super::Module;
+use crate::error::TorchError;
+use crate::plain::PlainTensor;
+use crate::tensor::Tensor;
+use pytfhe_hdl::{Circuit, Value};
+
+/// Shared inference-mode batch-norm math: with frozen statistics the layer
+/// is the per-channel affine map `y = g * x + h` where
+/// `g = gamma / sqrt(var + eps)` and `h = beta - mean * g` — both
+/// plaintext constants folded into the circuit at compile time.
+#[derive(Debug, Clone)]
+struct BatchNormInner {
+    channels: usize,
+    gamma: PlainTensor,
+    beta: PlainTensor,
+    running_mean: PlainTensor,
+    running_var: PlainTensor,
+    eps: f64,
+}
+
+impl BatchNormInner {
+    fn new(channels: usize) -> Self {
+        BatchNormInner {
+            channels,
+            gamma: PlainTensor::from_vec(&[channels], vec![1.0; channels]).expect("shape"),
+            beta: PlainTensor::zeros(&[channels]),
+            running_mean: PlainTensor::zeros(&[channels]),
+            running_var: PlainTensor::from_vec(&[channels], vec![1.0; channels]).expect("shape"),
+            eps: 1e-5,
+        }
+    }
+
+    /// The folded per-channel scale and shift.
+    fn affine(&self, ch: usize) -> (f64, f64) {
+        let g = self.gamma.at(&[ch]) / (self.running_var.at(&[ch]) + self.eps).sqrt();
+        let h = self.beta.at(&[ch]) - self.running_mean.at(&[ch]) * g;
+        (g, h)
+    }
+
+    fn set_stats(
+        &mut self,
+        layer: &'static str,
+        gamma: PlainTensor,
+        beta: PlainTensor,
+        mean: PlainTensor,
+        var: PlainTensor,
+    ) -> Result<(), TorchError> {
+        for t in [&gamma, &beta, &mean, &var] {
+            if t.shape() != [self.channels] {
+                return Err(TorchError::BadWeights {
+                    layer,
+                    expected: format!("[{}] statistics", self.channels),
+                });
+            }
+        }
+        self.gamma = gamma;
+        self.beta = beta;
+        self.running_mean = mean;
+        self.running_var = var;
+        Ok(())
+    }
+}
+
+macro_rules! batchnorm {
+    ($name:ident, $layer_name:literal, $rank_doc:literal, $check:expr) => {
+        #[doc = concat!("Inference-mode `torch.nn.", $layer_name, "` over ", $rank_doc, ".")]
+        #[doc = ""]
+        #[doc = "With frozen running statistics this folds to a per-channel"]
+        #[doc = "affine transform whose coefficients are plaintext constants."]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            inner: BatchNormInner,
+        }
+
+        impl $name {
+            /// Creates the layer with identity statistics.
+            pub fn new(channels: usize) -> Self {
+                Self { inner: BatchNormInner::new(channels) }
+            }
+
+            /// Sets the frozen statistics (`gamma`, `beta`, running mean,
+            /// running variance), each of shape `[channels]`.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`TorchError::BadWeights`] on shape mismatch.
+            pub fn with_stats(
+                mut self,
+                gamma: PlainTensor,
+                beta: PlainTensor,
+                mean: PlainTensor,
+                var: PlainTensor,
+            ) -> Result<Self, TorchError> {
+                self.inner.set_stats($layer_name, gamma, beta, mean, var)?;
+                Ok(self)
+            }
+
+            fn check_shape(&self, shape: &[usize]) -> Result<(), TorchError> {
+                let ok: fn(&[usize], usize) -> bool = $check;
+                if !ok(shape, self.inner.channels) {
+                    return Err(TorchError::ShapeMismatch {
+                        expected: format!("{} with {} channels", $rank_doc, self.inner.channels),
+                        got: shape.to_vec(),
+                        op: $layer_name,
+                    });
+                }
+                Ok(())
+            }
+        }
+
+        impl Module for $name {
+            fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+                self.check_shape(input.shape())?;
+                let dtype = input.dtype();
+                let per_channel: usize = input.shape()[1..].iter().product();
+                let mut out = Vec::with_capacity(input.len());
+                for (i, v) in input.values().iter().enumerate() {
+                    let ch = i / per_channel;
+                    let (g, h) = self.inner.affine(ch);
+                    let gc = Value::constant(c, g, dtype);
+                    let hc = Value::constant(c, h, dtype);
+                    let scaled = c.v_mul(v, &gc)?;
+                    out.push(c.v_add(&scaled, &hc)?);
+                }
+                Tensor::from_values(input.shape(), out)
+            }
+
+            fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+                self.check_shape(input.shape())?;
+                let per_channel: usize = input.shape()[1..].iter().product();
+                let data = input
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| {
+                        let (g, h) = self.inner.affine(i / per_channel);
+                        g * x + h
+                    })
+                    .collect();
+                PlainTensor::from_vec(input.shape(), data)
+            }
+
+            fn name(&self) -> &'static str {
+                $layer_name
+            }
+
+            fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+                self.check_shape(input)?;
+                Ok(input.to_vec())
+            }
+        }
+    };
+}
+
+batchnorm!(BatchNorm1d, "BatchNorm1d", "`[C, L]` or `[C]` inputs", |s, c| {
+    (s.len() == 2 || s.len() == 1) && s[0] == c
+});
+batchnorm!(BatchNorm2d, "BatchNorm2d", "`[C, H, W]` inputs", |s, c| s.len() == 3 && s[0] == c);
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_layer_against_plain;
+    use super::*;
+    use pytfhe_hdl::DType;
+
+    const DT: DType = DType::Fixed { width: 16, frac: 8 };
+
+    #[test]
+    fn identity_stats_is_identity() {
+        let layer = BatchNorm2d::new(2);
+        let input = PlainTensor::random(&[2, 2, 2], 2.0, 51);
+        let out = layer.forward_plain(&input).unwrap();
+        for (a, b) in input.data().iter().zip(out.data()) {
+            // Not bit-exact: eps keeps g = 1/sqrt(1 + 1e-5) just below 1.
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn custom_stats_normalize() {
+        let layer = BatchNorm1d::new(2)
+            .with_stats(
+                PlainTensor::from_vec(&[2], vec![2.0, 1.0]).unwrap(),
+                PlainTensor::from_vec(&[2], vec![0.5, -0.5]).unwrap(),
+                PlainTensor::from_vec(&[2], vec![1.0, 2.0]).unwrap(),
+                PlainTensor::from_vec(&[2], vec![4.0, 1.0]).unwrap(),
+            )
+            .unwrap();
+        let input = PlainTensor::from_vec(&[2, 2], vec![3.0, 1.0, 2.0, 4.0]).unwrap();
+        let out = layer.forward_plain(&input).unwrap();
+        // ch0: (x - 1)/2 * 2 + 0.5 = x - 1 + 0.5
+        assert!((out.at(&[0, 0]) - 2.5).abs() < 1e-4);
+        assert!((out.at(&[0, 1]) - 0.5).abs() < 1e-4);
+        // ch1: (x - 2)/1 * 1 - 0.5
+        assert!((out.at(&[1, 0]) - (-0.5)).abs() < 1e-4);
+        assert!((out.at(&[1, 1]) - 1.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn circuit_matches_plain() {
+        let layer = BatchNorm2d::new(2)
+            .with_stats(
+                PlainTensor::from_vec(&[2], vec![1.5, 0.5]).unwrap(),
+                PlainTensor::from_vec(&[2], vec![0.25, -0.25]).unwrap(),
+                PlainTensor::from_vec(&[2], vec![0.5, -0.5]).unwrap(),
+                PlainTensor::from_vec(&[2], vec![1.0, 2.25]).unwrap(),
+            )
+            .unwrap();
+        let input = PlainTensor::random(&[2, 2, 2], 2.0, 52);
+        check_layer_against_plain(&layer, &[2, 2, 2], DT, &input, 6.0 * DT.resolution());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(BatchNorm2d::new(2).output_shape(&[3, 2, 2]).is_err());
+        assert!(BatchNorm2d::new(2).output_shape(&[2, 2]).is_err());
+        assert!(BatchNorm1d::new(2).output_shape(&[2, 5]).is_ok());
+        assert!(BatchNorm1d::new(2)
+            .with_stats(
+                PlainTensor::zeros(&[3]),
+                PlainTensor::zeros(&[2]),
+                PlainTensor::zeros(&[2]),
+                PlainTensor::zeros(&[2]),
+            )
+            .is_err());
+    }
+}

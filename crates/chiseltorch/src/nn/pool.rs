@@ -1,0 +1,370 @@
+use super::Module;
+use crate::error::TorchError;
+use crate::ops::sum_values;
+use crate::plain::PlainTensor;
+use crate::tensor::Tensor;
+use pytfhe_hdl::{Circuit, DType, Value};
+
+fn pooled_len(l: usize, kernel: usize, stride: usize, op: &'static str) -> Result<usize, TorchError> {
+    if l < kernel || stride == 0 {
+        return Err(TorchError::ShapeMismatch {
+            expected: format!("length >= kernel {kernel}"),
+            got: vec![l],
+            op,
+        });
+    }
+    Ok((l - kernel) / stride + 1)
+}
+
+/// Reduces a window of values with the max tree.
+fn max_values(c: &mut Circuit, values: &[Value]) -> Result<Value, TorchError> {
+    let mut layer = values.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(c.v_max(&pair[0], &pair[1])?);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+    }
+    Ok(layer.pop().expect("nonempty window"))
+}
+
+/// Divides a window sum by the constant window size: multiply by the
+/// reciprocal for fractional types, divide for integers (truncating, as
+/// integer average pooling must).
+fn average(c: &mut Circuit, total: &Value, count: usize) -> Result<Value, TorchError> {
+    match total.dtype {
+        DType::UInt(_) | DType::SInt(_) => {
+            let k = Value::constant(c, count as f64, total.dtype);
+            Ok(c.v_div(total, &k)?)
+        }
+        DType::Fixed { .. } | DType::Float { .. } => {
+            let inv = Value::constant(c, 1.0 / count as f64, total.dtype);
+            Ok(c.v_mul(total, &inv)?)
+        }
+    }
+}
+
+macro_rules! pool_layer {
+    ($name:ident, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name {
+            kernel: usize,
+            stride: usize,
+        }
+
+        impl $name {
+            /// Creates the pooling layer with the given kernel and stride.
+            pub fn new(kernel: usize, stride: usize) -> Self {
+                Self { kernel, stride }
+            }
+
+            /// The window size.
+            pub fn kernel(&self) -> usize {
+                self.kernel
+            }
+
+            /// The stride.
+            pub fn stride(&self) -> usize {
+                self.stride
+            }
+        }
+    };
+}
+
+pool_layer!(MaxPool2d, "2-D max pooling (`torch.nn.MaxPool2d`); input layout `[C, H, W]`.");
+pool_layer!(AvgPool2d, "2-D average pooling (`torch.nn.AvgPool2d`); input layout `[C, H, W]`.");
+pool_layer!(MaxPool1d, "1-D max pooling (`torch.nn.MaxPool1d`); input layout `[C, L]`.");
+pool_layer!(AvgPool1d, "1-D average pooling (`torch.nn.AvgPool1d`); input layout `[C, L]`.");
+
+fn window2d(input: &Tensor, ch: usize, y: usize, x: usize, k: usize, s: usize) -> Vec<Value> {
+    let mut vals = Vec::with_capacity(k * k);
+    for ky in 0..k {
+        for kx in 0..k {
+            vals.push(input.at(&[ch, y * s + ky, x * s + kx]).clone());
+        }
+    }
+    vals
+}
+
+fn forward2d(
+    c: &mut Circuit,
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    is_max: bool,
+    op: &'static str,
+) -> Result<Tensor, TorchError> {
+    let [ch, h, w] = input.shape()[..] else {
+        return Err(TorchError::ShapeMismatch {
+            expected: "[C, H, W]".into(),
+            got: input.shape().to_vec(),
+            op,
+        });
+    };
+    let oh = pooled_len(h, kernel, stride, op)?;
+    let ow = pooled_len(w, kernel, stride, op)?;
+    let mut out = Vec::with_capacity(ch * oh * ow);
+    for i in 0..ch {
+        for y in 0..oh {
+            for x in 0..ow {
+                let vals = window2d(input, i, y, x, kernel, stride);
+                out.push(if is_max {
+                    max_values(c, &vals)?
+                } else {
+                    let s = sum_values(c, &vals)?;
+                    average(c, &s, kernel * kernel)?
+                });
+            }
+        }
+    }
+    Tensor::from_values(&[ch, oh, ow], out)
+}
+
+fn plain2d(
+    input: &PlainTensor,
+    kernel: usize,
+    stride: usize,
+    is_max: bool,
+    op: &'static str,
+) -> Result<PlainTensor, TorchError> {
+    let [ch, h, w] = input.shape()[..] else {
+        return Err(TorchError::ShapeMismatch {
+            expected: "[C, H, W]".into(),
+            got: input.shape().to_vec(),
+            op,
+        });
+    };
+    let oh = pooled_len(h, kernel, stride, op)?;
+    let ow = pooled_len(w, kernel, stride, op)?;
+    let mut out = PlainTensor::zeros(&[ch, oh, ow]);
+    for i in 0..ch {
+        for y in 0..oh {
+            for x in 0..ow {
+                let mut acc: Option<f64> = None;
+                let mut sum = 0.0;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let v = input.at(&[i, y * stride + ky, x * stride + kx]);
+                        sum += v;
+                        acc = Some(acc.map_or(v, |a: f64| a.max(v)));
+                    }
+                }
+                let v = if is_max { acc.unwrap_or(0.0) } else { sum / (kernel * kernel) as f64 };
+                out.set(&[i, y, x], v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn shape2d(input: &[usize], kernel: usize, stride: usize, op: &'static str) -> Result<Vec<usize>, TorchError> {
+    let [ch, h, w] = input[..] else {
+        return Err(TorchError::ShapeMismatch {
+            expected: "[C, H, W]".into(),
+            got: input.to_vec(),
+            op,
+        });
+    };
+    Ok(vec![ch, pooled_len(h, kernel, stride, op)?, pooled_len(w, kernel, stride, op)?])
+}
+
+impl Module for MaxPool2d {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        forward2d(c, input, self.kernel, self.stride, true, "MaxPool2d")
+    }
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        plain2d(input, self.kernel, self.stride, true, "MaxPool2d")
+    }
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        shape2d(input, self.kernel, self.stride, "MaxPool2d")
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        forward2d(c, input, self.kernel, self.stride, false, "AvgPool2d")
+    }
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        plain2d(input, self.kernel, self.stride, false, "AvgPool2d")
+    }
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        shape2d(input, self.kernel, self.stride, "AvgPool2d")
+    }
+}
+
+fn forward1d(
+    c: &mut Circuit,
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    is_max: bool,
+    op: &'static str,
+) -> Result<Tensor, TorchError> {
+    let [ch, l] = input.shape()[..] else {
+        return Err(TorchError::ShapeMismatch {
+            expected: "[C, L]".into(),
+            got: input.shape().to_vec(),
+            op,
+        });
+    };
+    let ol = pooled_len(l, kernel, stride, op)?;
+    let mut out = Vec::with_capacity(ch * ol);
+    for i in 0..ch {
+        for x in 0..ol {
+            let vals: Vec<Value> =
+                (0..kernel).map(|k| input.at(&[i, x * stride + k]).clone()).collect();
+            out.push(if is_max {
+                max_values(c, &vals)?
+            } else {
+                let s = sum_values(c, &vals)?;
+                average(c, &s, kernel)?
+            });
+        }
+    }
+    Tensor::from_values(&[ch, ol], out)
+}
+
+fn plain1d(
+    input: &PlainTensor,
+    kernel: usize,
+    stride: usize,
+    is_max: bool,
+    op: &'static str,
+) -> Result<PlainTensor, TorchError> {
+    let [ch, l] = input.shape()[..] else {
+        return Err(TorchError::ShapeMismatch {
+            expected: "[C, L]".into(),
+            got: input.shape().to_vec(),
+            op,
+        });
+    };
+    let ol = pooled_len(l, kernel, stride, op)?;
+    let mut out = PlainTensor::zeros(&[ch, ol]);
+    for i in 0..ch {
+        for x in 0..ol {
+            let window: Vec<f64> = (0..kernel).map(|k| input.at(&[i, x * stride + k])).collect();
+            let v = if is_max {
+                window.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            } else {
+                window.iter().sum::<f64>() / kernel as f64
+            };
+            out.set(&[i, x], v);
+        }
+    }
+    Ok(out)
+}
+
+impl Module for MaxPool1d {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        forward1d(c, input, self.kernel, self.stride, true, "MaxPool1d")
+    }
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        plain1d(input, self.kernel, self.stride, true, "MaxPool1d")
+    }
+    fn name(&self) -> &'static str {
+        "MaxPool1d"
+    }
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        let [ch, l] = input[..] else {
+            return Err(TorchError::ShapeMismatch {
+                expected: "[C, L]".into(),
+                got: input.to_vec(),
+                op: "MaxPool1d",
+            });
+        };
+        Ok(vec![ch, pooled_len(l, self.kernel, self.stride, "MaxPool1d")?])
+    }
+}
+
+impl Module for AvgPool1d {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        forward1d(c, input, self.kernel, self.stride, false, "AvgPool1d")
+    }
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        plain1d(input, self.kernel, self.stride, false, "AvgPool1d")
+    }
+    fn name(&self) -> &'static str {
+        "AvgPool1d"
+    }
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        let [ch, l] = input[..] else {
+            return Err(TorchError::ShapeMismatch {
+                expected: "[C, L]".into(),
+                got: input.to_vec(),
+                op: "AvgPool1d",
+            });
+        };
+        Ok(vec![ch, pooled_len(l, self.kernel, self.stride, "AvgPool1d")?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_layer_against_plain;
+    use super::*;
+
+    const DT: DType = DType::Fixed { width: 12, frac: 4 };
+
+    #[test]
+    fn maxpool2d_matches_plain() {
+        let input = PlainTensor::random(&[2, 4, 4], 4.0, 41);
+        check_layer_against_plain(&MaxPool2d::new(2, 2), &[2, 4, 4], DT, &input, DT.resolution());
+        check_layer_against_plain(&MaxPool2d::new(3, 1), &[2, 4, 4], DT, &input, DT.resolution());
+    }
+
+    #[test]
+    fn avgpool2d_matches_plain() {
+        let input = PlainTensor::random(&[1, 4, 4], 4.0, 42);
+        check_layer_against_plain(
+            &AvgPool2d::new(2, 2),
+            &[1, 4, 4],
+            DT,
+            &input,
+            4.0 * DT.resolution(),
+        );
+    }
+
+    #[test]
+    fn pool1d_matches_plain() {
+        let input = PlainTensor::random(&[2, 6], 4.0, 43);
+        check_layer_against_plain(&MaxPool1d::new(2, 2), &[2, 6], DT, &input, DT.resolution());
+        check_layer_against_plain(&AvgPool1d::new(3, 1), &[2, 6], DT, &input, 4.0 * DT.resolution());
+    }
+
+    #[test]
+    fn avgpool_integer_truncates() {
+        let layer = AvgPool1d::new(2, 2);
+        let dtype = DType::SInt(8);
+        let mut c = Circuit::new();
+        let x = Tensor::input(&mut c, "x", &[1, 2], dtype);
+        let y = layer.forward(&mut c, &x).unwrap();
+        y.output(&mut c, "y");
+        let nl = c.finish().unwrap();
+        let mut bits = dtype.encode_f64(3.0);
+        bits.extend(dtype.encode_f64(4.0));
+        let out = nl.eval_plain(&bits);
+        // (3 + 4) / 2 truncates to 3 for integers.
+        assert_eq!(dtype.decode_f64(&out), 3.0);
+    }
+
+    #[test]
+    fn output_shapes() {
+        assert_eq!(MaxPool2d::new(3, 1).output_shape(&[1, 5, 5]).unwrap(), vec![1, 3, 3]);
+        assert_eq!(AvgPool2d::new(2, 2).output_shape(&[3, 6, 6]).unwrap(), vec![3, 3, 3]);
+        assert_eq!(MaxPool1d::new(2, 2).output_shape(&[2, 8]).unwrap(), vec![2, 4]);
+        assert!(MaxPool2d::new(4, 1).output_shape(&[1, 3, 3]).is_err());
+        assert!(MaxPool2d::new(2, 1).output_shape(&[9]).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+use super::Module;
+use crate::error::TorchError;
+use crate::plain::PlainTensor;
+use crate::tensor::Tensor;
+use pytfhe_hdl::Circuit;
+
+/// The `ReLU` activation — two gates per bit under TFHE, in contrast to
+/// the expensive polynomial approximations word-wise schemes need
+/// (Section II-C of the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReLU;
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        ReLU
+    }
+}
+
+impl Module for ReLU {
+    fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        let data = input.values().iter().map(|v| c.v_relu(v)).collect();
+        Tensor::from_values(input.shape(), data)
+    }
+
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        let data = input.data().iter().map(|&x| x.max(0.0)).collect();
+        PlainTensor::from_vec(input.shape(), data)
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        Ok(input.to_vec())
+    }
+}
+
+/// `Flatten` — pure wiring, zero gates (the optimization the Transpiler
+/// misses, Section V-C of the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flatten;
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten
+    }
+}
+
+impl Module for Flatten {
+    fn forward(&self, _c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
+        Ok(input.flatten())
+    }
+
+    fn forward_plain(&self, input: &PlainTensor) -> Result<PlainTensor, TorchError> {
+        PlainTensor::from_vec(&[input.len()], input.data().to_vec())
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Result<Vec<usize>, TorchError> {
+        Ok(vec![input.iter().product()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_layer_against_plain;
+    use super::*;
+    use pytfhe_hdl::{DType, Value};
+
+    #[test]
+    fn relu_all_dtypes() {
+        let input = PlainTensor::from_vec(&[4], vec![-2.0, -0.25, 0.5, 3.0]).unwrap();
+        for dtype in [
+            DType::SInt(8),
+            DType::Fixed { width: 10, frac: 4 },
+            DType::Float { exp: 6, man: 6 },
+        ] {
+            check_layer_against_plain(&ReLU::new(), &[4], dtype, &input, dtype.resolution());
+        }
+    }
+
+    #[test]
+    fn flatten_is_free() {
+        let mut c = Circuit::new();
+        let x = Tensor::input(&mut c, "x", &[2, 3, 4], DType::SInt(5));
+        let before = c.num_gates();
+        let y = Flatten::new().forward(&mut c, &x).unwrap();
+        assert_eq!(c.num_gates(), before);
+        assert_eq!(y.shape(), &[24]);
+        let first: &Value = y.at(&[0]);
+        assert_eq!(first, x.at(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(ReLU::new().output_shape(&[3, 4]).unwrap(), vec![3, 4]);
+        assert_eq!(Flatten::new().output_shape(&[3, 4]).unwrap(), vec![12]);
+    }
+}

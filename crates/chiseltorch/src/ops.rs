@@ -1,0 +1,494 @@
+//! Tensor primitive operations — the right-hand column of Table I of the
+//! paper: `matmul`, `dot`, comparisons, reductions, `argmax`/`argmin`,
+//! elementwise arithmetic, `max`/`min`.
+//!
+//! With these primitives "users may also implement their own neural
+//! network layers that are not yet available as pre-built modules" —
+//! the self-attention layer in [`crate::nn::SelfAttention`] is built
+//! entirely from `reshape`, `transpose`, `matmul` and the elementwise ops
+//! here, exactly as the paper suggests.
+
+use crate::error::TorchError;
+use crate::tensor::Tensor;
+use pytfhe_hdl::{Circuit, DType, Value, Word};
+
+fn check_same_shape(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(), TorchError> {
+    if a.shape() != b.shape() {
+        return Err(TorchError::ShapeMismatch {
+            expected: format!("{:?}", a.shape()),
+            got: b.shape().to_vec(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+/// Applies a fallible binary element op across two same-shaped tensors.
+fn zip_elementwise(
+    c: &mut Circuit,
+    a: &Tensor,
+    b: &Tensor,
+    op: &'static str,
+    mut f: impl FnMut(&mut Circuit, &Value, &Value) -> Result<Value, pytfhe_hdl::HdlError>,
+) -> Result<Tensor, TorchError> {
+    check_same_shape(a, b, op)?;
+    let data = a
+        .values()
+        .iter()
+        .zip(b.values())
+        .map(|(x, y)| f(c, x, y))
+        .collect::<Result<Vec<_>, _>>()?;
+    Tensor::from_values(a.shape(), data)
+}
+
+/// Elementwise addition (`+`).
+///
+/// # Errors
+///
+/// Returns a shape or dtype mismatch error.
+pub fn add(c: &mut Circuit, a: &Tensor, b: &Tensor) -> Result<Tensor, TorchError> {
+    zip_elementwise(c, a, b, "+", Circuit::v_add)
+}
+
+/// Elementwise subtraction (`-`).
+///
+/// # Errors
+///
+/// Returns a shape or dtype mismatch error.
+pub fn sub(c: &mut Circuit, a: &Tensor, b: &Tensor) -> Result<Tensor, TorchError> {
+    zip_elementwise(c, a, b, "-", Circuit::v_sub)
+}
+
+/// Elementwise multiplication (`*`).
+///
+/// # Errors
+///
+/// Returns a shape or dtype mismatch error.
+pub fn mul(c: &mut Circuit, a: &Tensor, b: &Tensor) -> Result<Tensor, TorchError> {
+    zip_elementwise(c, a, b, "*", Circuit::v_mul)
+}
+
+/// Elementwise division (`/`).
+///
+/// # Errors
+///
+/// Returns a shape or dtype mismatch error.
+pub fn div(c: &mut Circuit, a: &Tensor, b: &Tensor) -> Result<Tensor, TorchError> {
+    zip_elementwise(c, a, b, "/", Circuit::v_div)
+}
+
+/// Elementwise maximum (`max`).
+///
+/// # Errors
+///
+/// Returns a shape or dtype mismatch error.
+pub fn max(c: &mut Circuit, a: &Tensor, b: &Tensor) -> Result<Tensor, TorchError> {
+    zip_elementwise(c, a, b, "max", Circuit::v_max)
+}
+
+/// Elementwise minimum (`min`).
+///
+/// # Errors
+///
+/// Returns a shape or dtype mismatch error.
+pub fn min(c: &mut Circuit, a: &Tensor, b: &Tensor) -> Result<Tensor, TorchError> {
+    zip_elementwise(c, a, b, "min", Circuit::v_min)
+}
+
+/// The comparison operators of Table I. Results are `UInt(1)` tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Elementwise comparison producing a `UInt(1)` mask tensor.
+///
+/// # Errors
+///
+/// Returns a shape or dtype mismatch error.
+pub fn cmp(c: &mut Circuit, op: CmpOp, a: &Tensor, b: &Tensor) -> Result<Tensor, TorchError> {
+    check_same_shape(a, b, "cmp")?;
+    let data = a
+        .values()
+        .iter()
+        .zip(b.values())
+        .map(|(x, y)| {
+            let bit = match op {
+                CmpOp::Eq => c.v_eq(x, y)?,
+                CmpOp::Ne => {
+                    let e = c.v_eq(x, y)?;
+                    c.not(e)
+                }
+                CmpOp::Lt => c.v_lt(x, y)?,
+                CmpOp::Gt => c.v_lt(y, x)?,
+                CmpOp::Le => {
+                    let gt = c.v_lt(y, x)?;
+                    c.not(gt)
+                }
+                CmpOp::Ge => {
+                    let lt = c.v_lt(x, y)?;
+                    c.not(lt)
+                }
+            };
+            Ok(Value::new(Word::from_bits(vec![bit]), DType::UInt(1)))
+        })
+        .collect::<Result<Vec<_>, TorchError>>()?;
+    Tensor::from_values(a.shape(), data)
+}
+
+/// Sum reduction over all elements (balanced tree).
+///
+/// # Errors
+///
+/// Propagates dtype errors from the element adder.
+pub fn sum(c: &mut Circuit, a: &Tensor) -> Result<Value, TorchError> {
+    sum_values(c, a.values())
+}
+
+/// Sums a slice of values with a balanced tree (log depth → more
+/// wavefront parallelism for the backends).
+///
+/// # Errors
+///
+/// Propagates dtype errors from the element adder.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn sum_values(c: &mut Circuit, values: &[Value]) -> Result<Value, TorchError> {
+    assert!(!values.is_empty(), "sum of empty tensor");
+    let mut layer: Vec<Value> = values.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(c.v_add(&pair[0], &pair[1])?);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+    }
+    Ok(layer.pop().expect("nonempty"))
+}
+
+/// Mean of all elements: `sum / len`, divided exactly for fractional
+/// types (multiply by the reciprocal constant) and truncating for
+/// integers.
+///
+/// # Errors
+///
+/// Propagates dtype errors from the element adder.
+///
+/// # Panics
+///
+/// Panics if the tensor is empty.
+pub fn mean(c: &mut Circuit, a: &Tensor) -> Result<Value, TorchError> {
+    let total = sum(c, a)?;
+    let n = a.len();
+    match total.dtype {
+        DType::UInt(_) | DType::SInt(_) => {
+            let k = Value::constant(c, n as f64, total.dtype);
+            Ok(c.v_div(&total, &k)?)
+        }
+        DType::Fixed { .. } | DType::Float { .. } => {
+            let inv = Value::constant(c, 1.0 / n as f64, total.dtype);
+            Ok(c.v_mul(&total, &inv)?)
+        }
+    }
+}
+
+/// Product reduction over all elements.
+///
+/// # Errors
+///
+/// Propagates dtype errors from the element multiplier.
+///
+/// # Panics
+///
+/// Panics if the tensor is empty.
+pub fn prod(c: &mut Circuit, a: &Tensor) -> Result<Value, TorchError> {
+    let mut layer: Vec<Value> = a.values().to_vec();
+    assert!(!layer.is_empty(), "prod of empty tensor");
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(c.v_mul(&pair[0], &pair[1])?);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+    }
+    Ok(layer.pop().expect("nonempty"))
+}
+
+/// Dot product of two rank-1 tensors (Table I's `dot`).
+///
+/// # Errors
+///
+/// Returns a shape mismatch error for non-vectors or differing lengths.
+pub fn dot(c: &mut Circuit, a: &Tensor, b: &Tensor) -> Result<Value, TorchError> {
+    if a.shape().len() != 1 || b.shape().len() != 1 {
+        return Err(TorchError::ShapeMismatch {
+            expected: "rank-1 tensors".into(),
+            got: if a.shape().len() == 1 { b.shape().to_vec() } else { a.shape().to_vec() },
+            op: "dot",
+        });
+    }
+    let products = mul(c, a, b)?;
+    sum(c, &products)
+}
+
+/// Matrix multiplication of rank-2 tensors (Table I's `matmul`):
+/// `[m, k] x [k, n] -> [m, n]`.
+///
+/// # Errors
+///
+/// Returns a shape mismatch error when inner dimensions disagree.
+pub fn matmul(c: &mut Circuit, a: &Tensor, b: &Tensor) -> Result<Tensor, TorchError> {
+    let ([m, ka], [kb, n]) = (a.shape(), b.shape()) else {
+        return Err(TorchError::ShapeMismatch {
+            expected: "rank-2 tensors".into(),
+            got: if a.shape().len() == 2 { b.shape().to_vec() } else { a.shape().to_vec() },
+            op: "matmul",
+        });
+    };
+    let (m, ka, kb, n) = (*m, *ka, *kb, *n);
+    if ka != kb {
+        return Err(TorchError::ShapeMismatch {
+            expected: format!("inner dim {ka}"),
+            got: b.shape().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut terms = Vec::with_capacity(ka);
+            for k in 0..ka {
+                terms.push(c.v_mul(a.at(&[i, k]), b.at(&[k, j]))?);
+            }
+            out.push(sum_values(c, &terms)?);
+        }
+    }
+    Tensor::from_values(&[m, n], out)
+}
+
+/// Global argmax (Table I's `argmax`): returns the flat index as a
+/// `UInt(ceil(log2(len)))` value.
+///
+/// # Errors
+///
+/// Propagates dtype errors from the comparators.
+pub fn argmax(c: &mut Circuit, a: &Tensor) -> Result<Value, TorchError> {
+    let (_, idx) = c.v_argmax(a.values())?;
+    let w = idx.width();
+    Ok(Value::new(idx, DType::UInt(w)))
+}
+
+/// Global argmin (Table I's `argmin`).
+///
+/// # Errors
+///
+/// Propagates dtype errors from the comparators.
+pub fn argmin(c: &mut Circuit, a: &Tensor) -> Result<Value, TorchError> {
+    let (_, idx) = c.v_argmin(a.values())?;
+    let w = idx.width();
+    Ok(Value::new(idx, DType::UInt(w)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plain::PlainTensor;
+    use pytfhe_netlist::Netlist;
+
+    const DT: DType = DType::Fixed { width: 12, frac: 4 };
+
+    /// Builds a circuit over two input tensors and returns the netlist.
+    fn build2(
+        shape_a: &[usize],
+        shape_b: &[usize],
+        f: impl FnOnce(&mut Circuit, &Tensor, &Tensor) -> Tensor,
+    ) -> Netlist {
+        let mut c = Circuit::new();
+        let a = Tensor::input(&mut c, "a", shape_a, DT);
+        let b = Tensor::input(&mut c, "b", shape_b, DT);
+        let out = f(&mut c, &a, &b);
+        out.output(&mut c, "out");
+        c.finish().unwrap()
+    }
+
+    fn encode_tensor(vals: &[f64]) -> Vec<bool> {
+        vals.iter().flat_map(|&v| DT.encode_f64(v)).collect()
+    }
+
+    fn decode_tensor(bits: &[bool]) -> Vec<f64> {
+        bits.chunks(DT.width()).map(|ch| DT.decode_f64(ch)).collect()
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let nl = build2(&[4], &[4], |c, a, b| {
+            let s = add(c, a, b).unwrap();
+            let d = sub(c, &s, b).unwrap();
+            mul(c, &d, b).unwrap()
+        });
+        let a = [1.5, -2.0, 0.25, 3.0];
+        let b = [2.0, 0.5, -4.0, 1.25];
+        let mut input = encode_tensor(&a);
+        input.extend(encode_tensor(&b));
+        let out = decode_tensor(&nl.eval_plain(&input));
+        for i in 0..4 {
+            assert!((out[i] - a[i] * b[i]).abs() <= 2.0 * DT.resolution(), "{i}");
+        }
+    }
+
+    #[test]
+    fn division_elementwise() {
+        let nl = build2(&[2], &[2], |c, a, b| div(c, a, b).unwrap());
+        let mut input = encode_tensor(&[3.0, -8.0]);
+        input.extend(encode_tensor(&[2.0, 4.0]));
+        let out = decode_tensor(&nl.eval_plain(&input));
+        assert!((out[0] - 1.5).abs() <= DT.resolution());
+        assert!((out[1] + 2.0).abs() <= DT.resolution());
+    }
+
+    #[test]
+    fn comparisons() {
+        let mut c = Circuit::new();
+        let a = Tensor::input(&mut c, "a", &[3], DT);
+        let b = Tensor::input(&mut c, "b", &[3], DT);
+        let masks = [
+            cmp(&mut c, CmpOp::Lt, &a, &b).unwrap(),
+            cmp(&mut c, CmpOp::Ge, &a, &b).unwrap(),
+            cmp(&mut c, CmpOp::Eq, &a, &b).unwrap(),
+            cmp(&mut c, CmpOp::Ne, &a, &b).unwrap(),
+            cmp(&mut c, CmpOp::Gt, &a, &b).unwrap(),
+            cmp(&mut c, CmpOp::Le, &a, &b).unwrap(),
+        ];
+        for (i, m) in masks.iter().enumerate() {
+            m.output(&mut c, format!("m{i}"));
+        }
+        let nl = c.finish().unwrap();
+        let av = [1.0, 2.0, -3.0];
+        let bv = [1.0, -2.0, 4.0];
+        let mut input = encode_tensor(&av);
+        input.extend(encode_tensor(&bv));
+        let out = nl.eval_plain(&input);
+        for i in 0..3 {
+            assert_eq!(out[i], av[i] < bv[i], "lt {i}");
+            assert_eq!(out[3 + i], av[i] >= bv[i], "ge {i}");
+            assert_eq!(out[6 + i], av[i] == bv[i], "eq {i}");
+            assert_eq!(out[9 + i], av[i] != bv[i], "ne {i}");
+            assert_eq!(out[12 + i], av[i] > bv[i], "gt {i}");
+            assert_eq!(out[15 + i], av[i] <= bv[i], "le {i}");
+        }
+    }
+
+    #[test]
+    fn mean_matches_average() {
+        let mut c = Circuit::new();
+        let a = Tensor::input(&mut c, "a", &[4], DT);
+        let m = mean(&mut c, &a).unwrap();
+        c.output_word("m", &m.word);
+        let nl = c.finish().unwrap();
+        let vals = [1.0, 2.0, 3.0, 6.0];
+        let out = decode_tensor(&nl.eval_plain(&encode_tensor(&vals)));
+        assert!((out[0] - 3.0).abs() <= 2.0 * DT.resolution(), "mean {out:?}");
+    }
+
+    #[test]
+    fn dot_and_sum_and_prod() {
+        let mut c = Circuit::new();
+        let a = Tensor::input(&mut c, "a", &[4], DT);
+        let b = Tensor::input(&mut c, "b", &[4], DT);
+        let d = dot(&mut c, &a, &b).unwrap();
+        let s = sum(&mut c, &a).unwrap();
+        let p = prod(&mut c, &a).unwrap();
+        c.output_word("d", &d.word);
+        c.output_word("s", &s.word);
+        c.output_word("p", &p.word);
+        let nl = c.finish().unwrap();
+        let av = [1.0, 2.0, 3.0, 0.5];
+        let bv = [2.0, -1.0, 0.5, 4.0];
+        let mut input = encode_tensor(&av);
+        input.extend(encode_tensor(&bv));
+        let out = decode_tensor(&nl.eval_plain(&input));
+        let want_dot: f64 = av.iter().zip(&bv).map(|(x, y)| x * y).sum();
+        let want_sum: f64 = av.iter().sum();
+        let want_prod: f64 = av.iter().product();
+        assert!((out[0] - want_dot).abs() <= 8.0 * DT.resolution(), "dot {out:?}");
+        assert!((out[1] - want_sum).abs() <= 1e-9, "sum");
+        assert!((out[2] - want_prod).abs() <= 8.0 * DT.resolution(), "prod");
+    }
+
+    #[test]
+    fn matmul_against_plain_oracle() {
+        let (m, k, n) = (2, 3, 2);
+        let nl = build2(&[m, k], &[k, n], |c, a, b| matmul(c, a, b).unwrap());
+        let a = PlainTensor::random(&[m, k], 2.0, 1);
+        let b = PlainTensor::random(&[k, n], 2.0, 2);
+        // Quantize the inputs the same way the circuit sees them.
+        let q = |x: f64| DT.decode_f64(&DT.encode_f64(x));
+        let mut input = encode_tensor(a.data());
+        input.extend(encode_tensor(b.data()));
+        let out = decode_tensor(&nl.eval_plain(&input));
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0.0;
+                for kk in 0..k {
+                    want += q(a.at(&[i, kk])) * q(b.at(&[kk, j]));
+                }
+                let got = out[i * n + j];
+                assert!(
+                    (got - want).abs() <= (k as f64 + 1.0) * DT.resolution(),
+                    "({i},{j}): got {got} want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let mut c = Circuit::new();
+        let a = Tensor::input(&mut c, "a", &[2, 3], DT);
+        let b = Tensor::input(&mut c, "b", &[2, 2], DT);
+        assert!(matmul(&mut c, &a, &b).is_err());
+        let v = Tensor::input(&mut c, "v", &[3], DT);
+        assert!(matmul(&mut c, &a, &v).is_err());
+        assert!(dot(&mut c, &a, &v).is_err());
+    }
+
+    #[test]
+    fn argmax_argmin_flat_index() {
+        let mut c = Circuit::new();
+        let a = Tensor::input(&mut c, "a", &[5], DT);
+        let mx = argmax(&mut c, &a).unwrap();
+        let mn = argmin(&mut c, &a).unwrap();
+        c.output_word("mx", &mx.word);
+        c.output_word("mn", &mn.word);
+        let nl = c.finish().unwrap();
+        let vals = [0.5, -1.0, 7.25, 7.25, 3.0];
+        let out = nl.eval_plain(&encode_tensor(&vals));
+        let w = mx.word.width();
+        let as_u64 = |bits: &[bool]| {
+            bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+        };
+        assert_eq!(as_u64(&out[..w]), 2, "argmax (first of tie)");
+        assert_eq!(as_u64(&out[w..]), 1, "argmin");
+    }
+}

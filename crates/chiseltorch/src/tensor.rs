@@ -1,0 +1,249 @@
+use crate::error::TorchError;
+use crate::plain::{flat_index, PlainTensor};
+use pytfhe_hdl::{Circuit, DType, Value};
+
+/// A tensor of encrypted-at-runtime values inside a circuit under
+/// construction: a shape plus one typed [`Value`] per element (row-major).
+///
+/// Structural operations (`view`, `reshape`, `transpose`, `pad`,
+/// `flatten`) rearrange wires and cost **zero gates** — this is the
+/// optimization the paper highlights against the Google Transpiler, which
+/// "still emitted gates for the Flatten layer" (Section V-C).
+#[derive(Debug, Clone)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<Value>,
+    dtype: DType,
+}
+
+impl Tensor {
+    /// Builds a tensor from elements in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError::ShapeMismatch`] if the element count does not
+    /// match the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty (tensors carry at least one element).
+    pub fn from_values(shape: &[usize], data: Vec<Value>) -> Result<Self, TorchError> {
+        let n: usize = shape.iter().product();
+        if data.len() != n {
+            return Err(TorchError::ShapeMismatch {
+                expected: format!("{n} elements for shape {shape:?}"),
+                got: vec![data.len()],
+                op: "from_values",
+            });
+        }
+        let dtype = data.first().expect("tensor cannot be empty").dtype;
+        Ok(Tensor { shape: shape.to_vec(), data, dtype })
+    }
+
+    /// Declares an encrypted input tensor: one fresh circuit input bit per
+    /// element bit, grouped under the port `name`.
+    pub fn input(c: &mut Circuit, name: &str, shape: &[usize], dtype: DType) -> Self {
+        let n: usize = shape.iter().product();
+        let width = dtype.width();
+        let word = c.input_word(name, n * width);
+        let data = (0..n)
+            .map(|i| Value::new(word.slice(i * width, (i + 1) * width), dtype))
+            .collect();
+        Tensor { shape: shape.to_vec(), data, dtype }
+    }
+
+    /// Bakes a plaintext tensor into the circuit as constants (the
+    /// model-weight path: constants fold into downstream arithmetic).
+    pub fn constant(c: &mut Circuit, plain: &PlainTensor, dtype: DType) -> Self {
+        let data = plain.data().iter().map(|&x| Value::constant(c, x, dtype)).collect();
+        Tensor { shape: plain.shape().to_vec(), data, dtype }
+    }
+
+    /// Declares this tensor as the circuit's output port `name`.
+    pub fn output(&self, c: &mut Circuit, name: impl Into<String>) {
+        let mut bits = Vec::new();
+        for v in &self.data {
+            bits.extend_from_slice(v.word.bits());
+        }
+        c.output_word(name, &pytfhe_hdl::Word::from_bits(bits));
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The data type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The elements in row-major order.
+    pub fn values(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// The element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or bounds are wrong.
+    pub fn at(&self, index: &[usize]) -> &Value {
+        &self.data[flat_index(&self.shape, index)]
+    }
+
+    /// `view` / `reshape`: same wires, new shape (Table I's `view`,
+    /// `reshape`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError::BadReshape`] if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TorchError> {
+        let n: usize = shape.iter().product();
+        if n != self.data.len() {
+            return Err(TorchError::BadReshape { from: self.shape.clone(), to: shape.to_vec() });
+        }
+        Ok(Tensor { shape: shape.to_vec(), data: self.data.clone(), dtype: self.dtype })
+    }
+
+    /// Flattens to rank 1 — pure wiring, zero gates.
+    pub fn flatten(&self) -> Tensor {
+        Tensor { shape: vec![self.data.len()], data: self.data.clone(), dtype: self.dtype }
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError::ShapeMismatch`] for other ranks.
+    pub fn transpose(&self) -> Result<Tensor, TorchError> {
+        let [r, c] = self.shape[..] else {
+            return Err(TorchError::ShapeMismatch {
+                expected: "rank-2 tensor".into(),
+                got: self.shape.clone(),
+                op: "transpose",
+            });
+        };
+        let mut data = Vec::with_capacity(self.data.len());
+        for j in 0..c {
+            for i in 0..r {
+                data.push(self.data[i * c + j].clone());
+            }
+        }
+        Ok(Tensor { shape: vec![c, r], data, dtype: self.dtype })
+    }
+
+    /// Zero-pads the last two dimensions by `pad` on each side (Table I's
+    /// `pad`; used to build `same` convolutions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorchError::ShapeMismatch`] if the rank is below 2.
+    pub fn pad2d(&self, c: &mut Circuit, pad: usize) -> Result<Tensor, TorchError> {
+        if self.shape.len() < 2 {
+            return Err(TorchError::ShapeMismatch {
+                expected: "rank >= 2".into(),
+                got: self.shape.clone(),
+                op: "pad",
+            });
+        }
+        let rank = self.shape.len();
+        let (h, w) = (self.shape[rank - 2], self.shape[rank - 1]);
+        let outer: usize = self.shape[..rank - 2].iter().product();
+        let (nh, nw) = (h + 2 * pad, w + 2 * pad);
+        let zero = Value::constant(c, 0.0, self.dtype);
+        let mut data = Vec::with_capacity(outer * nh * nw);
+        for o in 0..outer {
+            for i in 0..nh {
+                for j in 0..nw {
+                    if i >= pad && i < pad + h && j >= pad && j < pad + w {
+                        data.push(self.data[(o * h + (i - pad)) * w + (j - pad)].clone());
+                    } else {
+                        data.push(zero.clone());
+                    }
+                }
+            }
+        }
+        let mut shape = self.shape[..rank - 2].to_vec();
+        shape.push(nh);
+        shape.push(nw);
+        Ok(Tensor { shape, data, dtype: self.dtype })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input_2x3(c: &mut Circuit) -> Tensor {
+        Tensor::input(c, "x", &[2, 3], DType::UInt(4))
+    }
+
+    #[test]
+    fn input_declares_ports() {
+        let mut c = Circuit::new();
+        let t = input_2x3(&mut c);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.dtype(), DType::UInt(4));
+    }
+
+    #[test]
+    fn reshape_preserves_wiring_and_costs_nothing() {
+        let mut c = Circuit::new();
+        let t = input_2x3(&mut c);
+        let before = c.num_gates();
+        let r = t.reshape(&[3, 2]).unwrap();
+        let f = r.flatten();
+        assert_eq!(c.num_gates(), before, "reshape/flatten must be free");
+        assert_eq!(f.shape(), &[6]);
+        assert_eq!(f.values()[0], *t.at(&[0, 0]));
+        assert!(t.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn transpose_moves_elements() {
+        let mut c = Circuit::new();
+        let t = input_2x3(&mut c);
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.shape(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(t.at(&[i, j]), tt.at(&[j, i]));
+            }
+        }
+        assert!(t.flatten().transpose().is_err());
+    }
+
+    #[test]
+    fn pad_surrounds_with_zeros() {
+        let mut c = Circuit::new();
+        let t = input_2x3(&mut c);
+        let p = t.pad2d(&mut c, 1).unwrap();
+        assert_eq!(p.shape(), &[4, 5]);
+        assert_eq!(p.at(&[1, 1]), t.at(&[0, 0]));
+        assert_eq!(p.at(&[2, 3]), t.at(&[1, 2]));
+        // Corners are constant zeros.
+        assert!(p.at(&[0, 0]).word.as_const_u64() == Some(0));
+    }
+
+    #[test]
+    fn constant_tensor_folds() {
+        let mut c = Circuit::new();
+        let plain = PlainTensor::from_vec(&[2], vec![3.0, 5.0]).unwrap();
+        let t = Tensor::constant(&mut c, &plain, DType::UInt(4));
+        assert_eq!(c.num_gates(), 0);
+        assert_eq!(t.at(&[0]).word.as_const_u64(), Some(3));
+        assert_eq!(t.at(&[1]).word.as_const_u64(), Some(5));
+    }
+}

@@ -1,0 +1,67 @@
+//! **PyTFHE** — an end-to-end compilation and execution framework for
+//! TFHE applications, reproduced in Rust.
+//!
+//! This crate is the user-facing facade over the PyTFHE workspace,
+//! wiring together the full pipeline of the paper's Figure 2:
+//!
+//! 1. declare a model with [`chiseltorch`] (PyTorch-compatible API),
+//! 2. [`compile`](fn@chiseltorch::compile) it into an optimized gate netlist
+//!    (the Chisel → Verilog → Yosys path of the paper, fused — see
+//!    DESIGN.md),
+//! 3. [`assemble`](pytfhe_asm::assemble) the netlist into the 128-bit
+//!    PyTFHE binary format,
+//! 4. execute it on a backend: reference, multi-threaded wavefront, or
+//!    the cluster/GPU performance simulators,
+//! 5. decrypt on the client.
+//!
+//! The [`Client`]/[`Server`] session types implement the privacy
+//! protocol of the paper's Figure 1: the client keeps the secret key and
+//! ships only ciphertexts and the public evaluation key; the server
+//! computes blindly.
+//!
+//! # End-to-end example
+//!
+//! ```
+//! use pytfhe::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1-2. Declare and compile a (tiny) model.
+//! let dtype = DType::Fixed { width: 8, frac: 4 };
+//! let model = nn::Sequential::new(dtype).add(nn::ReLU::new());
+//! let compiled = chiseltorch::compile(&model, &[2])?;
+//!
+//! // 3. Assemble the PyTFHE binary and reload it, as the server would.
+//! let binary = pytfhe_asm::assemble(compiled.netlist());
+//! let program = pytfhe_asm::disassemble(&binary)?;
+//!
+//! // 4-5. Encrypted round trip (insecure test parameters for speed).
+//! let mut client = Client::new(Params::testing(), 42);
+//! let server = Server::new(client.make_server_key());
+//! let input = client.encrypt_values(&[-1.5, 0.75], dtype);
+//! let output = server.execute(&program, &input, 1)?;
+//! let result = client.decrypt_values(&output, dtype);
+//! assert_eq!(result, vec![0.0, 0.75]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod session;
+
+pub use session::{Client, Server};
+
+pub use chiseltorch;
+pub use pytfhe_asm;
+pub use pytfhe_backend;
+pub use pytfhe_hdl;
+pub use pytfhe_netlist;
+pub use pytfhe_tfhe;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::{Client, Server};
+    pub use chiseltorch::{self, nn, DType, PlainTensor, Tensor};
+    pub use pytfhe_asm;
+    pub use pytfhe_backend::{execute, execute_parallel, PlainEngine, TfheEngine};
+    pub use pytfhe_netlist::{GateKind, Netlist};
+    pub use pytfhe_tfhe::{Params, SecureRng};
+}

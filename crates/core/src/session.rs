@@ -1,0 +1,148 @@
+//! The client/server session of the paper's Figure 1.
+
+use chiseltorch::DType;
+use pytfhe_backend::{execute_parallel, ExecError, TfheEngine};
+use pytfhe_netlist::Netlist;
+use pytfhe_tfhe::{ClientKey, LweCiphertext, Params, SecureRng, ServerKey};
+
+/// The data owner: holds the secret key, encrypts inputs, decrypts
+/// results. Never ships secret material.
+#[derive(Debug)]
+pub struct Client {
+    key: ClientKey,
+    rng: SecureRng,
+}
+
+impl Client {
+    /// Creates a client with a fresh key pair under `params`, seeded
+    /// deterministically (use [`Client::from_entropy`] outside tests).
+    pub fn new(params: Params, seed: u64) -> Self {
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let key = ClientKey::generate(params, &mut rng);
+        Client { key, rng }
+    }
+
+    /// Creates a client with operating-system randomness.
+    pub fn from_entropy(params: Params) -> Self {
+        let mut rng = SecureRng::from_entropy();
+        let key = ClientKey::generate(params, &mut rng);
+        Client { key, rng }
+    }
+
+    /// Derives the public evaluation key to ship to the server.
+    pub fn make_server_key(&mut self) -> ServerKey {
+        self.key.server_key(&mut self.rng)
+    }
+
+    /// Encrypts raw bits (little-endian program order).
+    pub fn encrypt_bits(&mut self, bits: &[bool]) -> Vec<LweCiphertext> {
+        self.key.encrypt_bits(bits, &mut self.rng)
+    }
+
+    /// Decrypts ciphertexts to bits.
+    pub fn decrypt_bits(&self, cts: &[LweCiphertext]) -> Vec<bool> {
+        self.key.decrypt_bits(cts)
+    }
+
+    /// Quantizes scalars under `dtype` and encrypts the resulting bits —
+    /// the client half of the ChiselTorch data-type contract.
+    pub fn encrypt_values(&mut self, values: &[f64], dtype: DType) -> Vec<LweCiphertext> {
+        let bits: Vec<bool> = values.iter().flat_map(|&v| dtype.encode_f64(v)).collect();
+        self.encrypt_bits(&bits)
+    }
+
+    /// Decrypts ciphertexts and decodes them as `dtype` scalars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext count is not a multiple of the type
+    /// width.
+    pub fn decrypt_values(&self, cts: &[LweCiphertext], dtype: DType) -> Vec<f64> {
+        let bits = self.decrypt_bits(cts);
+        assert_eq!(bits.len() % dtype.width(), 0, "ragged ciphertext vector");
+        bits.chunks(dtype.width()).map(|ch| dtype.decode_f64(ch)).collect()
+    }
+}
+
+/// The untrusted evaluator: holds only the public evaluation key and the
+/// program; sees only ciphertexts.
+#[derive(Debug)]
+pub struct Server {
+    key: ServerKey,
+}
+
+impl Server {
+    /// Creates a server around a received evaluation key.
+    pub fn new(key: ServerKey) -> Self {
+        Server { key }
+    }
+
+    /// The evaluation key (e.g. for engine construction).
+    pub fn key(&self) -> &ServerKey {
+        &self.key
+    }
+
+    /// Executes a program on encrypted inputs with the multi-threaded
+    /// wavefront backend (Algorithm 1 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on input-count mismatches or invalid
+    /// programs.
+    pub fn execute(
+        &self,
+        program: &Netlist,
+        inputs: &[LweCiphertext],
+        workers: usize,
+    ) -> Result<Vec<LweCiphertext>, ExecError> {
+        let engine = TfheEngine::new(&self.key);
+        let (out, _) = execute_parallel(&engine, program, inputs, workers)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytfhe_netlist::GateKind;
+
+    #[test]
+    fn session_round_trip() {
+        let mut client = Client::new(Params::testing(), 5);
+        let server = Server::new(client.make_server_key());
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let g = nl.add_gate(GateKind::Xor, a, b).unwrap();
+        nl.mark_output(g).unwrap();
+        let cts = client.encrypt_bits(&[true, false]);
+        let out = server.execute(&nl, &cts, 2).unwrap();
+        assert_eq!(client.decrypt_bits(&out), vec![true]);
+    }
+
+    #[test]
+    fn typed_values_round_trip() {
+        let mut client = Client::new(Params::testing(), 6);
+        let dtype = DType::SInt(6);
+        let cts = client.encrypt_values(&[-3.0, 7.0], dtype);
+        assert_eq!(cts.len(), 12);
+        let back = client.decrypt_values(&cts, dtype);
+        assert_eq!(back, vec![-3.0, 7.0]);
+    }
+
+    #[test]
+    fn wrong_input_count_is_reported() {
+        let mut client = Client::new(Params::testing(), 7);
+        let server = Server::new(client.make_server_key());
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let g = nl.add_gate(GateKind::And, a, b).unwrap();
+        nl.mark_output(g).unwrap();
+        let cts = client.encrypt_bits(&[true]);
+        assert!(matches!(
+            server.execute(&nl, &cts, 1),
+            Err(ExecError::InputCountMismatch { expected: 2, got: 1 })
+        ));
+    }
+}

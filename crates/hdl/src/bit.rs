@@ -1,0 +1,37 @@
+use pytfhe_netlist::NodeId;
+
+/// A single logical signal: either a compile-time constant or a netlist
+/// node.
+///
+/// Keeping constants symbolic until they reach a gate is what lets the
+/// builder fold them away — when a neural network's plaintext weights are
+/// baked into a circuit, most partial products multiply by constant bits
+/// and vanish entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bit {
+    /// A compile-time constant.
+    Const(bool),
+    /// The output of a netlist node.
+    Node(NodeId),
+}
+
+impl Bit {
+    /// The constant `false`.
+    pub const ZERO: Bit = Bit::Const(false);
+    /// The constant `true`.
+    pub const ONE: Bit = Bit::Const(true);
+
+    /// Returns the constant value, if this bit is a constant.
+    pub fn as_const(self) -> Option<bool> {
+        match self {
+            Bit::Const(b) => Some(b),
+            Bit::Node(_) => None,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        Bit::Const(b)
+    }
+}

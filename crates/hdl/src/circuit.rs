@@ -1,0 +1,405 @@
+use crate::bit::Bit;
+use crate::error::HdlError;
+use crate::word::Word;
+use pytfhe_netlist::{GateKind, Netlist, NetlistError, NodeId};
+
+/// A combinational circuit under construction.
+///
+/// `Circuit` wraps a [`Netlist`] and exposes gate- and word-level builders.
+/// With folding enabled (the default, mirroring the paper's optimized
+/// ChiselTorch flow) the builder simplifies constants and trivial
+/// identities as gates are emitted; with folding disabled (the baseline
+/// frameworks' behaviour, Section III-B) every requested gate is
+/// materialized.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    nl: Netlist,
+    fold: bool,
+    const_nodes: [Option<NodeId>; 2],
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Circuit {
+    /// Creates a circuit builder with constant folding enabled.
+    pub fn new() -> Self {
+        Circuit { nl: Netlist::new(), fold: true, const_nodes: [None, None] }
+    }
+
+    /// Creates a builder that materializes every gate verbatim, like the
+    /// DSL baselines the paper compares against.
+    pub fn without_folding() -> Self {
+        Circuit { nl: Netlist::new(), fold: false, const_nodes: [None, None] }
+    }
+
+    /// Whether on-the-fly folding is enabled.
+    pub fn folding(&self) -> bool {
+        self.fold
+    }
+
+    /// Number of gates emitted so far.
+    pub fn num_gates(&self) -> usize {
+        self.nl.num_gates()
+    }
+
+    /// Finishes construction and returns the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has no outputs.
+    pub fn finish(self) -> Result<Netlist, HdlError> {
+        self.nl.validate()?;
+        Ok(self.nl)
+    }
+
+    /// Declares a `width`-bit input port and returns its word.
+    pub fn input_word(&mut self, name: impl Into<String>, width: usize) -> Word {
+        let ids: Vec<NodeId> = (0..width).map(|_| self.nl.add_input()).collect();
+        self.nl
+            .declare_input_port(name, ids.clone())
+            .expect("fresh inputs always form a valid port");
+        Word::from_bits(ids.into_iter().map(Bit::Node).collect())
+    }
+
+    /// Declares a `width`-bit anonymous input (no port metadata).
+    pub fn input_word_anon(&mut self, width: usize) -> Word {
+        Word::from_bits((0..width).map(|_| Bit::Node(self.nl.add_input())).collect())
+    }
+
+    /// Declares an output port carrying `word`.
+    pub fn output_word(&mut self, name: impl Into<String>, word: &Word) {
+        let ids: Vec<NodeId> = word.bits().iter().map(|&b| self.materialize(b)).collect();
+        self.nl
+            .declare_output_port(name, ids)
+            .expect("materialized bits always form a valid port");
+    }
+
+    /// Materializes a bit as a netlist node (constants become CONST gates,
+    /// cached so each constant is emitted at most once).
+    pub fn materialize(&mut self, bit: Bit) -> NodeId {
+        match bit {
+            Bit::Node(id) => id,
+            Bit::Const(v) => {
+                let slot = usize::from(v);
+                if let Some(id) = self.const_nodes[slot] {
+                    return id;
+                }
+                let kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+                let id = self
+                    .nl
+                    .add_gate(kind, NodeId(0), NodeId(0))
+                    .expect("const gates have no operands");
+                self.const_nodes[slot] = Some(id);
+                id
+            }
+        }
+    }
+
+    fn emit(&mut self, kind: GateKind, a: Bit, b: Bit) -> Bit {
+        let ia = self.materialize(a);
+        let ib = self.materialize(b);
+        match self.nl.add_gate(kind, ia, ib) {
+            Ok(id) => Bit::Node(id),
+            Err(NetlistError::TooLarge) => panic!("circuit exceeds 2^32 nodes"),
+            Err(e) => unreachable!("materialized operands are always valid: {e}"),
+        }
+    }
+
+    /// Emits a `BUF` gate unconditionally, bypassing folding — used to
+    /// model code generators that materialize copies (the Transpiler's
+    /// `Flatten` behaviour, Section V-C of the paper).
+    pub fn emit_buffer(&mut self, a: Bit) -> Bit {
+        self.emit(GateKind::Buf, a, a)
+    }
+
+    /// Emits (or folds) a gate of the given kind.
+    pub fn gate(&mut self, kind: GateKind, a: Bit, b: Bit) -> Bit {
+        if kind == GateKind::Const0 {
+            return if self.fold { Bit::ZERO } else { self.emit(kind, a, b) };
+        }
+        if kind == GateKind::Const1 {
+            return if self.fold { Bit::ONE } else { self.emit(kind, a, b) };
+        }
+        if !self.fold {
+            return self.emit(kind, a, b);
+        }
+        // Unary gates.
+        if kind == GateKind::Buf {
+            return a;
+        }
+        if kind == GateKind::Not {
+            return match a {
+                Bit::Const(v) => Bit::Const(!v),
+                Bit::Node(_) => self.emit(GateKind::Not, a, a),
+            };
+        }
+        // Fully constant.
+        if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
+            return Bit::Const(kind.eval(ca, cb));
+        }
+        // One constant: specialize f(c, x) to {0, 1, x, !x}.
+        if let Some(ca) = a.as_const() {
+            let f0 = kind.eval(ca, false);
+            let f1 = kind.eval(ca, true);
+            return self.unary_of(f0, f1, b);
+        }
+        if let Some(cb) = b.as_const() {
+            let f0 = kind.eval(false, cb);
+            let f1 = kind.eval(true, cb);
+            return self.unary_of(f0, f1, a);
+        }
+        // Same-operand identities.
+        if a == b {
+            return match kind {
+                GateKind::And | GateKind::Or => a,
+                GateKind::Xor | GateKind::Andny | GateKind::Andyn => Bit::ZERO,
+                GateKind::Xnor | GateKind::Orny | GateKind::Oryn => Bit::ONE,
+                GateKind::Nand | GateKind::Nor => self.gate(GateKind::Not, a, a),
+                _ => unreachable!(),
+            };
+        }
+        self.emit(kind, a, b)
+    }
+
+    /// Builds the unary function with truth table `(f(0), f(1)) = (f0, f1)`
+    /// of `x`.
+    fn unary_of(&mut self, f0: bool, f1: bool, x: Bit) -> Bit {
+        match (f0, f1) {
+            (false, false) => Bit::ZERO,
+            (true, true) => Bit::ONE,
+            (false, true) => x,
+            (true, false) => self.gate(GateKind::Not, x, x),
+        }
+    }
+
+    // ---- single-bit convenience gates ----
+
+    /// `!a`.
+    pub fn not(&mut self, a: Bit) -> Bit {
+        self.gate(GateKind::Not, a, a)
+    }
+
+    /// `a & b`.
+    pub fn and(&mut self, a: Bit, b: Bit) -> Bit {
+        self.gate(GateKind::And, a, b)
+    }
+
+    /// `a | b`.
+    pub fn or(&mut self, a: Bit, b: Bit) -> Bit {
+        self.gate(GateKind::Or, a, b)
+    }
+
+    /// `a ^ b`.
+    pub fn xor(&mut self, a: Bit, b: Bit) -> Bit {
+        self.gate(GateKind::Xor, a, b)
+    }
+
+    /// `!(a & b)`.
+    pub fn nand(&mut self, a: Bit, b: Bit) -> Bit {
+        self.gate(GateKind::Nand, a, b)
+    }
+
+    /// `!(a | b)`.
+    pub fn nor(&mut self, a: Bit, b: Bit) -> Bit {
+        self.gate(GateKind::Nor, a, b)
+    }
+
+    /// `!(a ^ b)`.
+    pub fn xnor(&mut self, a: Bit, b: Bit) -> Bit {
+        self.gate(GateKind::Xnor, a, b)
+    }
+
+    /// `a & !b`.
+    pub fn andyn(&mut self, a: Bit, b: Bit) -> Bit {
+        self.gate(GateKind::Andyn, a, b)
+    }
+
+    /// `s ? a : b` — three gates via `b ^ (s & (a ^ b))`.
+    pub fn mux_bit(&mut self, s: Bit, a: Bit, b: Bit) -> Bit {
+        if self.fold {
+            if let Some(sv) = s.as_const() {
+                return if sv { a } else { b };
+            }
+            if a == b {
+                return a;
+            }
+        }
+        let axb = self.gate(GateKind::Xor, a, b);
+        let masked = self.gate(GateKind::And, s, axb);
+        self.gate(GateKind::Xor, b, masked)
+    }
+
+    /// Reduction OR of a word (zero-width reduces to `false`).
+    pub fn or_reduce(&mut self, w: &Word) -> Bit {
+        self.reduce_tree(w, GateKind::Or, Bit::ZERO)
+    }
+
+    /// Reduction AND of a word (zero-width reduces to `true`).
+    pub fn and_reduce(&mut self, w: &Word) -> Bit {
+        self.reduce_tree(w, GateKind::And, Bit::ONE)
+    }
+
+    /// Reduction XOR of a word (parity; zero-width reduces to `false`).
+    pub fn xor_reduce(&mut self, w: &Word) -> Bit {
+        self.reduce_tree(w, GateKind::Xor, Bit::ZERO)
+    }
+
+    fn reduce_tree(&mut self, w: &Word, kind: GateKind, empty: Bit) -> Bit {
+        if w.is_empty() {
+            return empty;
+        }
+        // Balanced tree keeps the critical path logarithmic — wave depth is
+        // what bounds backend parallelism (Algorithm 1).
+        let mut layer: Vec<Bit> = w.bits().to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.gate(kind, pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Bitwise binary operation on equal-width words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::WidthMismatch`] if widths differ.
+    pub fn bitwise(&mut self, kind: GateKind, a: &Word, b: &Word) -> Result<Word, HdlError> {
+        if a.width() != b.width() {
+            return Err(HdlError::WidthMismatch { left: a.width(), right: b.width(), op: "bitwise" });
+        }
+        Ok(a.bits().iter().zip(b.bits()).map(|(&x, &y)| self.gate(kind, x, y)).collect())
+    }
+
+    /// Bitwise NOT of a word.
+    pub fn not_word(&mut self, a: &Word) -> Word {
+        a.bits().iter().map(|&x| self.not(x)).collect()
+    }
+
+    /// Word-level mux: `s ? a : b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::WidthMismatch`] if widths differ.
+    pub fn mux_word(&mut self, s: Bit, a: &Word, b: &Word) -> Result<Word, HdlError> {
+        if a.width() != b.width() {
+            return Err(HdlError::WidthMismatch { left: a.width(), right: b.width(), op: "mux" });
+        }
+        Ok(a.bits().iter().zip(b.bits()).map(|(&x, &y)| self.mux_bit(s, x, y)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates a 1-output circuit on the given input bits.
+    fn eval1(nl: &Netlist, inputs: &[bool]) -> bool {
+        nl.eval_plain(inputs)[0]
+    }
+
+    #[test]
+    fn folding_eliminates_constant_gates() {
+        let mut c = Circuit::new();
+        let a = c.input_word("a", 1);
+        let x = c.and(a.bit(0), Bit::ONE); // = a
+        let y = c.xor(x, Bit::ZERO); // = a
+        let z = c.or(y, Bit::ONE); // = 1
+        assert_eq!(z, Bit::ONE);
+        let w = c.and(y, a.bit(0)); // same node: = a
+        assert_eq!(w, a.bit(0));
+        assert_eq!(c.num_gates(), 0);
+    }
+
+    #[test]
+    fn without_folding_materializes_everything() {
+        let mut c = Circuit::without_folding();
+        let a = c.input_word("a", 1);
+        let x = c.and(a.bit(0), Bit::ONE);
+        let _ = c.xor(x, Bit::ZERO);
+        // 2 logic gates + 2 materialized constants.
+        assert_eq!(c.num_gates(), 4);
+    }
+
+    #[test]
+    fn mux_bit_truth_table() {
+        let mut c = Circuit::new();
+        let w = c.input_word("in", 3);
+        let out = c.mux_bit(w.bit(0), w.bit(1), w.bit(2));
+        c.output_word("out", &Word::from_bits(vec![out]));
+        let nl = c.finish().unwrap();
+        for s in [false, true] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    assert_eq!(eval1(&nl, &[s, a, b]), if s { a } else { b });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let mut c = Circuit::new();
+        let w = c.input_word("in", 5);
+        let or = c.or_reduce(&w);
+        let and = c.and_reduce(&w);
+        let parity = c.xor_reduce(&w);
+        c.output_word("o", &Word::from_bits(vec![or, and, parity]));
+        let nl = c.finish().unwrap();
+        for v in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
+            let out = nl.eval_plain(&bits);
+            assert_eq!(out[0], v != 0);
+            assert_eq!(out[1], v == 31);
+            assert_eq!(out[2], v.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn empty_reductions_fold() {
+        let mut c = Circuit::new();
+        let w = Word::zeros(0);
+        assert_eq!(c.or_reduce(&w), Bit::ZERO);
+        assert_eq!(c.and_reduce(&w), Bit::ONE);
+        assert_eq!(c.xor_reduce(&w), Bit::ZERO);
+    }
+
+    #[test]
+    fn bitwise_checks_widths() {
+        let mut c = Circuit::new();
+        let a = c.input_word("a", 4);
+        let b = c.input_word("b", 3);
+        assert!(matches!(
+            c.bitwise(GateKind::And, &a, &b),
+            Err(HdlError::WidthMismatch { left: 4, right: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn constant_nodes_are_cached() {
+        let mut c = Circuit::new();
+        let n1 = c.materialize(Bit::ONE);
+        let n2 = c.materialize(Bit::ONE);
+        let n3 = c.materialize(Bit::ZERO);
+        assert_eq!(n1, n2);
+        assert_ne!(n1, n3);
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn finish_requires_outputs() {
+        let mut c = Circuit::new();
+        c.input_word("a", 1);
+        assert!(c.finish().is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Restoring division — the `/` tensor primitive of ChiselTorch (Table I)
+//! and the engine of VIP-Bench's iterative approximation workloads
+//! (Newton–Raphson solver, Euler's-number approximation).
+
+use crate::bit::Bit;
+use crate::circuit::Circuit;
+use crate::word::Word;
+
+impl Circuit {
+    /// Unsigned restoring division: returns `(quotient, remainder)`, both
+    /// of `a.width()` bits. Division by zero yields an all-ones quotient
+    /// and `remainder = a` (the conventional restoring-divider result;
+    /// data-oblivious circuits cannot trap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn div_unsigned(&mut self, a: &Word, b: &Word) -> (Word, Word) {
+        assert_eq!(a.width(), b.width(), "div: width mismatch");
+        let w = a.width();
+        if w == 0 {
+            return (Word::zeros(0), Word::zeros(0));
+        }
+        // Remainder register one bit wider than the divisor so trial
+        // subtractions never overflow.
+        let mut rem = Word::zeros(w + 1);
+        let bx = b.zext(w + 1);
+        let mut q = vec![Bit::ZERO; w];
+        for i in (0..w).rev() {
+            // Shift in the next dividend bit.
+            let mut bits = vec![a.bit(i)];
+            bits.extend_from_slice(&rem.bits()[..w]);
+            rem = Word::from_bits(bits);
+            // Trial subtract; keep if non-negative.
+            let (diff, no_borrow) = self.sub_with_borrow(&rem, &bx);
+            q[i] = no_borrow;
+            rem = self.mux_word(no_borrow, &diff, &rem).expect("same widths");
+        }
+        (Word::from_bits(q), rem.slice(0, w))
+    }
+
+    /// Signed division with C semantics (truncation toward zero):
+    /// returns `(quotient, remainder)` with `sign(remainder) = sign(a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn div_signed(&mut self, a: &Word, b: &Word) -> (Word, Word) {
+        assert_eq!(a.width(), b.width(), "div: width mismatch");
+        let abs_a = self.abs(a);
+        let abs_b = self.abs(b);
+        let (q, r) = self.div_unsigned(&abs_a, &abs_b);
+        let sign_q = self.xor(a.msb(), b.msb());
+        let neg_q = self.neg(&q);
+        let neg_r = self.neg(&r);
+        let quotient = self.mux_word(sign_q, &neg_q, &q).expect("same widths");
+        let remainder = self.mux_word(a.msb(), &neg_r, &r).expect("same widths");
+        (quotient, remainder)
+    }
+
+    /// Fixed-point division: `(a << frac_bits) / b`, unsigned. Both inputs
+    /// are `Q(w - frac_bits).frac_bits` values; the result has the same
+    /// format and width.
+    pub fn div_fixed_unsigned(&mut self, a: &Word, b: &Word, frac_bits: usize) -> Word {
+        let w = a.width();
+        let wide = w + frac_bits;
+        let a_shifted = a.zext(wide).shl_const(frac_bits);
+        let (q, _) = self.div_unsigned(&a_shifted, &b.zext(wide));
+        q.slice(0, w)
+    }
+
+    /// Fixed-point signed division (truncating), same format in and out.
+    pub fn div_fixed_signed(&mut self, a: &Word, b: &Word, frac_bits: usize) -> Word {
+        let abs_a = self.abs(a);
+        let abs_b = self.abs(b);
+        let q = self.div_fixed_unsigned(&abs_a, &abs_b, frac_bits);
+        let sign = self.xor(a.msb(), b.msb());
+        let neg = self.neg(&q);
+        self.mux_word(sign, &neg, &q).expect("same widths")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytfhe_netlist::Netlist;
+
+    fn to_bits(x: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (x >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn divider(w: usize, signed: bool) -> Netlist {
+        let mut c = Circuit::new();
+        let a = c.input_word("a", w);
+        let b = c.input_word("b", w);
+        let (q, r) = if signed { c.div_signed(&a, &b) } else { c.div_unsigned(&a, &b) };
+        c.output_word("out", &q.concat(&r));
+        c.finish().unwrap()
+    }
+
+    #[test]
+    fn unsigned_division_exhaustive_5bit() {
+        let nl = divider(5, false);
+        for x in 0u64..32 {
+            for y in 1u64..32 {
+                let mut input = to_bits(x, 5);
+                input.extend(to_bits(y, 5));
+                let out = nl.eval_plain(&input);
+                assert_eq!(from_bits(&out[..5]), x / y, "{x}/{y}");
+                assert_eq!(from_bits(&out[5..]), x % y, "{x}%{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_division_by_zero_is_all_ones() {
+        let nl = divider(4, false);
+        for x in 0u64..16 {
+            let mut input = to_bits(x, 4);
+            input.extend(to_bits(0, 4));
+            let out = nl.eval_plain(&input);
+            assert_eq!(from_bits(&out[..4]), 15, "{x}/0 quotient");
+            assert_eq!(from_bits(&out[4..]), x, "{x}/0 remainder");
+        }
+    }
+
+    #[test]
+    fn signed_division_truncates_toward_zero() {
+        let nl = divider(5, true);
+        for x in -16i64..16 {
+            for y in -16i64..16 {
+                if y == 0 || (x == -16 && y == -1) {
+                    continue; // div-by-zero and overflow are unconstrained
+                }
+                let mut input = to_bits((x & 31) as u64, 5);
+                input.extend(to_bits((y & 31) as u64, 5));
+                let out = nl.eval_plain(&input);
+                let want_q = x / y; // Rust / truncates toward zero, like C
+                let want_r = x % y;
+                assert_eq!(from_bits(&out[..5]), (want_q & 31) as u64, "{x}/{y}");
+                assert_eq!(from_bits(&out[5..]), (want_r & 31) as u64, "{x}%{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_division() {
+        // Q4.4: value = raw / 16.
+        let w = 8;
+        let frac = 4;
+        let mut c = Circuit::new();
+        let a = c.input_word("a", w);
+        let b = c.input_word("b", w);
+        let q = c.div_fixed_signed(&a, &b, frac);
+        c.output_word("q", &q);
+        let nl = c.finish().unwrap();
+        let cases = [(3.0, 2.0), (1.0, 3.0), (-2.5, 0.5), (5.0, -2.0), (0.0625, 0.0625)];
+        for (x, y) in cases {
+            let xr = (x * 16.0) as i64;
+            let yr = (y * 16.0) as i64;
+            let mut input = to_bits((xr & 255) as u64, w);
+            input.extend(to_bits((yr & 255) as u64, w));
+            let out = nl.eval_plain(&input);
+            let raw = from_bits(&out) as i64;
+            let raw = if raw >= 128 { raw - 256 } else { raw };
+            let got = raw as f64 / 16.0;
+            let want = x / y;
+            assert!((got - want).abs() <= 1.0 / 16.0 + 1e-9, "{x}/{y}: got {got} want {want}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+use crate::dtype::DType;
+use std::fmt;
+
+/// Errors produced while generating circuits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HdlError {
+    /// Two words of different widths were combined where equal widths are
+    /// required.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// Two values of different data types were combined.
+    DTypeMismatch {
+        /// Type of the left operand.
+        left: DType,
+        /// Type of the right operand.
+        right: DType,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// The operation is not defined for this data type.
+    Unsupported {
+        /// The data type.
+        dtype: DType,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A zero-width word was used where a value is required.
+    ZeroWidth,
+    /// The underlying netlist rejected a construction step.
+    Netlist(pytfhe_netlist::NetlistError),
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlError::WidthMismatch { left, right, op } => {
+                write!(f, "width mismatch in `{op}`: {left} vs {right} bits")
+            }
+            HdlError::DTypeMismatch { left, right, op } => {
+                write!(f, "dtype mismatch in `{op}`: {left} vs {right}")
+            }
+            HdlError::Unsupported { dtype, op } => {
+                write!(f, "operation `{op}` is not supported for {dtype}")
+            }
+            HdlError::ZeroWidth => write!(f, "zero-width word"),
+            HdlError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HdlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HdlError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pytfhe_netlist::NetlistError> for HdlError {
+    fn from(e: pytfhe_netlist::NetlistError) -> Self {
+        HdlError::Netlist(e)
+    }
+}

@@ -1,0 +1,129 @@
+//! Kogge–Stone parallel-prefix addition — the low-depth alternative to
+//! the ripple-carry adder.
+//!
+//! Gate *count* determines total bootstraps, but gate *depth* bounds how
+//! many waves Algorithm 1 needs — and therefore how much a wide backend
+//! (the paper's 72-core cluster or 64-SM GPU) can overlap. Kogge–Stone
+//! trades ~2× the gates for `O(log w)` instead of `O(w)` depth; the
+//! `repro ablation` harness quantifies the tradeoff so users can pick per
+//! deployment.
+
+use crate::bit::Bit;
+use crate::circuit::Circuit;
+use crate::word::Word;
+
+impl Circuit {
+    /// Kogge–Stone addition: same function as [`Circuit::add`], depth
+    /// `O(log width)` instead of `O(width)`.
+    pub fn add_kogge_stone(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "add: width mismatch");
+        let w = a.width();
+        if w == 0 {
+            return Word::zeros(0);
+        }
+        // Generate/propagate pairs per bit.
+        let mut g: Vec<Bit> = Vec::with_capacity(w);
+        let mut p: Vec<Bit> = Vec::with_capacity(w);
+        for (&x, &y) in a.bits().iter().zip(b.bits()) {
+            g.push(self.and(x, y));
+            p.push(self.xor(x, y));
+        }
+        // Prefix tree: after round d, (g[i], p[i]) summarize the span
+        // [i - 2^d + 1, i].
+        let sum_p = p.clone(); // per-bit propagate for the final sum
+        let mut dist = 1;
+        while dist < w {
+            let (g_prev, p_prev) = (g.clone(), p.clone());
+            for i in dist..w {
+                // (g, p) ∘ (g', p') = (g | (p & g'), p & p')
+                let pg = self.and(p_prev[i], g_prev[i - dist]);
+                g[i] = self.or(g_prev[i], pg);
+                p[i] = self.and(p_prev[i], p_prev[i - dist]);
+            }
+            dist <<= 1;
+        }
+        // carry into bit i is g[i-1] (carry-in zero); sum = p ^ carry.
+        let mut bits = Vec::with_capacity(w);
+        bits.push(sum_p[0]);
+        for i in 1..w {
+            bits.push(self.xor(sum_p[i], g[i - 1]));
+        }
+        Word::from_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytfhe_netlist::topo::Levels;
+    use pytfhe_netlist::Netlist;
+
+    fn to_bits(x: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (x >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn adder(w: usize, kogge_stone: bool) -> Netlist {
+        let mut c = Circuit::new();
+        let a = c.input_word("a", w);
+        let b = c.input_word("b", w);
+        let s = if kogge_stone { c.add_kogge_stone(&a, &b) } else { c.add(&a, &b) };
+        c.output_word("s", &s);
+        c.finish().unwrap()
+    }
+
+    #[test]
+    fn kogge_stone_exhaustive_6bit() {
+        let nl = adder(6, true);
+        for x in 0u64..64 {
+            for y in 0u64..64 {
+                let mut input = to_bits(x, 6);
+                input.extend(to_bits(y, 6));
+                assert_eq!(from_bits(&nl.eval_plain(&input)), (x + y) % 64, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_matches_ripple_at_random_widths() {
+        for w in [1usize, 2, 3, 7, 13, 24] {
+            let ks = adder(w, true);
+            let rc = adder(w, false);
+            let mask = if w >= 64 { u64::MAX } else { (1 << w) - 1 };
+            let mut state = 0xABCDEFu64;
+            for _ in 0..50 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let x = (state >> 10) & mask;
+                let y = (state >> 33) & mask;
+                let mut input = to_bits(x, w);
+                input.extend(to_bits(y, w));
+                assert_eq!(ks.eval_plain(&input), rc.eval_plain(&input), "w={w} {x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_logarithmic_depth() {
+        let w = 32;
+        let ks = Levels::compute(&adder(w, true));
+        let rc = Levels::compute(&adder(w, false));
+        assert!(
+            ks.depth() <= 2 * (w as u32).ilog2() + 4,
+            "KS depth {} should be O(log w)",
+            ks.depth()
+        );
+        assert!(rc.depth() as usize >= w, "ripple depth {} is linear", rc.depth());
+        assert!(ks.depth() < rc.depth() / 2, "KS must halve the critical path at w=32");
+    }
+
+    #[test]
+    fn kogge_stone_costs_more_gates() {
+        let w = 32;
+        let ks = adder(w, true).num_bootstrapped_gates();
+        let rc = adder(w, false).num_bootstrapped_gates();
+        assert!(ks > rc, "the depth win is paid in gates: KS {ks} vs RC {rc}");
+    }
+}

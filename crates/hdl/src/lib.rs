@@ -1,0 +1,68 @@
+//! Parameterizable combinational circuit generators — the pre-built,
+//! pre-validated "Chisel module" layer of the PyTFHE compilation flow
+//! (Step 1 of Figure 2 of the paper).
+//!
+//! In the paper, ChiselTorch instantiates Chisel hardware modules that are
+//! elaborated to Verilog and synthesized by Yosys into a gate netlist. This
+//! crate plays the role of that whole HDL pipeline: its generators build
+//! the gate netlist directly, with the same guarantees the paper derives
+//! from pre-built Chisel modules — correctness (every generator is tested
+//! against an integer/float oracle) and parameterizability (arbitrary bit
+//! widths, arbitrary float formats).
+//!
+//! The central type is [`Circuit`], a builder over
+//! [`pytfhe_netlist::Netlist`] that performs on-the-fly constant folding —
+//! crucial when plaintext model weights are baked into circuits. On top of
+//! it sit:
+//!
+//! * [`Word`] — a little-endian bundle of bits,
+//! * integer arithmetic ([`arith`]): adders, subtractors, multipliers,
+//!   comparators,
+//! * restoring division ([`div`]),
+//! * barrel shifts and priority encoders ([`shift`]),
+//! * multiplexer trees ([`mux`]),
+//! * fully parameterizable floating point ([`float`]): the paper's
+//!   `Float(e, m)` data types, e.g. `Float(8, 8)` (bfloat16) or
+//!   `Float(5, 11)` (half precision),
+//! * the [`DType`] system with plaintext encode/decode codecs ([`dtype`]).
+//!
+//! # Example
+//!
+//! An 8-bit adder compared against its oracle:
+//!
+//! ```
+//! use pytfhe_hdl::Circuit;
+//!
+//! let mut c = Circuit::new();
+//! let a = c.input_word("a", 8);
+//! let b = c.input_word("b", 8);
+//! let sum = c.add(&a, &b);
+//! c.output_word("sum", &sum);
+//! let nl = c.finish().unwrap();
+//!
+//! let bits = |x: u8| (0..8).map(|i| (x >> i) & 1 == 1).collect::<Vec<_>>();
+//! let mut input = bits(100);
+//! input.extend(bits(55));
+//! let out = nl.eval_plain(&input);
+//! let got = out.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << i));
+//! assert_eq!(got, 155);
+//! ```
+
+pub mod arith;
+mod bit;
+mod circuit;
+pub mod div;
+pub mod ks_adder;
+pub mod dtype;
+mod error;
+pub mod float;
+pub mod mux;
+pub mod shift;
+mod word;
+
+pub use bit::Bit;
+pub use circuit::Circuit;
+pub use dtype::{DType, Value};
+pub use error::HdlError;
+pub use float::FloatFormat;
+pub use word::Word;

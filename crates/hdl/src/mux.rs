@@ -1,0 +1,229 @@
+//! Multiplexer trees: selecting among many words by an index signal, and
+//! index-of-maximum (`argmax`) reduction — the circuit behind the
+//! data-oblivious control flow the paper requires ("the control flow ...
+//! should not depend on the encrypted variables", Section IV-B).
+
+use crate::bit::Bit;
+use crate::circuit::Circuit;
+use crate::error::HdlError;
+use crate::word::Word;
+
+impl Circuit {
+    /// Selects `options[index]` with a balanced binary mux tree. Widths
+    /// must agree; an out-of-range index selects the last option (indices
+    /// are clamped structurally by the tree).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::ZeroWidth`] if `options` is empty and
+    /// [`HdlError::WidthMismatch`] if option widths differ.
+    pub fn select(&mut self, options: &[Word], index: &Word) -> Result<Word, HdlError> {
+        if options.is_empty() {
+            return Err(HdlError::ZeroWidth);
+        }
+        let w = options[0].width();
+        for o in options {
+            if o.width() != w {
+                return Err(HdlError::WidthMismatch { left: w, right: o.width(), op: "select" });
+            }
+        }
+        let mut layer: Vec<Word> = options.to_vec();
+        for &sel in index.bits() {
+            if layer.len() == 1 {
+                break;
+            }
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut i = 0;
+            while i < layer.len() {
+                if i + 1 < layer.len() {
+                    next.push(self.mux_word(sel, &layer[i + 1], &layer[i])?);
+                } else {
+                    next.push(layer[i].clone());
+                }
+                i += 2;
+            }
+            layer = next;
+        }
+        Ok(layer.swap_remove(0))
+    }
+
+    /// Computes `(max value, argmax index)` over `items`, comparing as
+    /// signed or unsigned integers. Ties resolve to the *lowest* index,
+    /// matching `torch.argmax` semantics on first occurrence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::ZeroWidth`] if `items` is empty and
+    /// [`HdlError::WidthMismatch`] if widths differ.
+    pub fn argmax_int(&mut self, items: &[Word], signed: bool) -> Result<(Word, Word), HdlError> {
+        self.argopt_int(items, signed, true)
+    }
+
+    /// Computes `(min value, argmin index)`; see [`Circuit::argmax_int`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::argmax_int`].
+    pub fn argmin_int(&mut self, items: &[Word], signed: bool) -> Result<(Word, Word), HdlError> {
+        self.argopt_int(items, signed, false)
+    }
+
+    fn argopt_int(
+        &mut self,
+        items: &[Word],
+        signed: bool,
+        want_max: bool,
+    ) -> Result<(Word, Word), HdlError> {
+        if items.is_empty() {
+            return Err(HdlError::ZeroWidth);
+        }
+        let index_bits = (usize::BITS - (items.len() - 1).max(1).leading_zeros()) as usize;
+        let mut best = items[0].clone();
+        let mut best_idx = Word::zeros(index_bits.max(1));
+        for (i, item) in items.iter().enumerate().skip(1) {
+            // Strict improvement keeps ties at the earlier index.
+            let improves = if want_max {
+                if signed { self.lt_signed(&best, item)? } else { self.lt_unsigned(&best, item)? }
+            } else if signed {
+                self.lt_signed(item, &best)?
+            } else {
+                self.lt_unsigned(item, &best)?
+            };
+            best = self.mux_word(improves, item, &best)?;
+            let idx = Word::constant_u64(i as u64, best_idx.width());
+            best_idx = self.mux_word(improves, &idx, &best_idx)?;
+        }
+        Ok((best, best_idx))
+    }
+
+    /// One-hot select: ORs together `value_i AND sel_i`. The caller
+    /// guarantees at most one `sel` bit is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdlError::WidthMismatch`] if lengths or widths disagree.
+    pub fn onehot_select(&mut self, options: &[Word], sel: &[Bit]) -> Result<Word, HdlError> {
+        if options.len() != sel.len() || options.is_empty() {
+            return Err(HdlError::WidthMismatch {
+                left: options.len(),
+                right: sel.len(),
+                op: "onehot_select",
+            });
+        }
+        let w = options[0].width();
+        let mut acc = Word::zeros(w);
+        for (opt, &s) in options.iter().zip(sel) {
+            if opt.width() != w {
+                return Err(HdlError::WidthMismatch { left: w, right: opt.width(), op: "onehot_select" });
+            }
+            let masked: Word = opt.bits().iter().map(|&b| self.and(b, s)).collect();
+            acc = self.bitwise(pytfhe_netlist::GateKind::Or, &acc, &masked)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_bits(x: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (x >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn select_among_constants() {
+        let mut c = Circuit::new();
+        let idx = c.input_word("i", 2);
+        let options: Vec<Word> = (0..4).map(|v| Word::constant_u64(10 + v, 8)).collect();
+        let out = c.select(&options, &idx).unwrap();
+        c.output_word("out", &out);
+        let nl = c.finish().unwrap();
+        for i in 0u64..4 {
+            assert_eq!(from_bits(&nl.eval_plain(&to_bits(i, 2))), 10 + i);
+        }
+    }
+
+    #[test]
+    fn select_non_power_of_two() {
+        let mut c = Circuit::new();
+        let idx = c.input_word("i", 2);
+        let options: Vec<Word> = (0..3).map(|v| Word::constant_u64(v * 7, 8)).collect();
+        let out = c.select(&options, &idx).unwrap();
+        c.output_word("out", &out);
+        let nl = c.finish().unwrap();
+        for i in 0u64..3 {
+            assert_eq!(from_bits(&nl.eval_plain(&to_bits(i, 2))), i * 7, "i={i}");
+        }
+    }
+
+    #[test]
+    fn select_rejects_empty_and_mismatched() {
+        let mut c = Circuit::new();
+        let idx = c.input_word("i", 1);
+        assert!(matches!(c.select(&[], &idx), Err(HdlError::ZeroWidth)));
+        let opts = vec![Word::zeros(4), Word::zeros(5)];
+        assert!(c.select(&opts, &idx).is_err());
+    }
+
+    #[test]
+    fn argmax_signed_with_ties() {
+        let mut c = Circuit::new();
+        let items: Vec<Word> = (0..4).map(|i| c.input_word(format!("x{i}"), 4)).collect();
+        let (best, idx) = c.argmax_int(&items, true).unwrap();
+        let out = best.concat(&idx);
+        c.output_word("out", &out);
+        let nl = c.finish().unwrap();
+        let cases: [([i64; 4], i64, u64); 4] = [
+            ([1, 5, -3, 5], 5, 1),   // tie resolves low
+            ([-8, -7, -6, -5], -5, 3),
+            ([7, 0, 0, 0], 7, 0),
+            ([0, 0, 0, 0], 0, 0),
+        ];
+        for (vals, want_max, want_idx) in cases {
+            let mut input = Vec::new();
+            for v in vals {
+                input.extend(to_bits((v & 15) as u64, 4));
+            }
+            let out = nl.eval_plain(&input);
+            assert_eq!(from_bits(&out[..4]), (want_max & 15) as u64, "{vals:?}");
+            assert_eq!(from_bits(&out[4..]), want_idx, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn argmin_unsigned() {
+        let mut c = Circuit::new();
+        let items: Vec<Word> = (0..3).map(|i| c.input_word(format!("x{i}"), 4)).collect();
+        let (best, idx) = c.argmin_int(&items, false).unwrap();
+        c.output_word("out", &best.concat(&idx));
+        let nl = c.finish().unwrap();
+        let mut input = Vec::new();
+        for v in [9u64, 2, 4] {
+            input.extend(to_bits(v, 4));
+        }
+        let out = nl.eval_plain(&input);
+        assert_eq!(from_bits(&out[..4]), 2);
+        assert_eq!(from_bits(&out[4..]), 1);
+    }
+
+    #[test]
+    fn onehot_select_works() {
+        let mut c = Circuit::new();
+        let sel_word = c.input_word("s", 3);
+        let options: Vec<Word> = (0..3).map(|v| Word::constant_u64(v + 1, 4)).collect();
+        let sel: Vec<Bit> = sel_word.bits().to_vec();
+        let out = c.onehot_select(&options, &sel).unwrap();
+        c.output_word("out", &out);
+        let nl = c.finish().unwrap();
+        for i in 0..3 {
+            let got = from_bits(&nl.eval_plain(&to_bits(1 << i, 3)));
+            assert_eq!(got, i + 1);
+        }
+        assert_eq!(from_bits(&nl.eval_plain(&to_bits(0, 3))), 0);
+    }
+}

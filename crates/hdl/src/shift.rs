@@ -1,0 +1,147 @@
+//! Barrel shifters and priority encoders — variable-amount shifts used by
+//! the floating-point units (mantissa alignment and normalization).
+
+use crate::bit::Bit;
+use crate::circuit::Circuit;
+use crate::word::Word;
+
+impl Circuit {
+    /// Logical right shift of `a` by the unsigned `amount` word (barrel
+    /// shifter: one mux layer per amount bit). Amount bits beyond
+    /// `log2(width)` shift everything out.
+    pub fn shr_barrel(&mut self, a: &Word, amount: &Word) -> Word {
+        let mut cur = a.clone();
+        for (k, &sel) in amount.bits().iter().enumerate() {
+            let shifted = if k < 64 && (1usize << k.min(63)) <= cur.width() {
+                cur.shr_const(1 << k)
+            } else {
+                Word::zeros(cur.width())
+            };
+            cur = self.mux_word(sel, &shifted, &cur).expect("same widths");
+            // Once a single stage clears the whole word, later stages only
+            // matter if their select bit is set — handled uniformly above.
+            if (1usize << k.min(63)) >= cur.width() {
+                // Remaining higher amount bits each fully clear the word.
+                let zero = Word::zeros(cur.width());
+                for &hi in &amount.bits()[k + 1..] {
+                    cur = self.mux_word(hi, &zero, &cur).expect("same widths");
+                }
+                break;
+            }
+        }
+        cur
+    }
+
+    /// Logical left shift of `a` by the unsigned `amount` word.
+    pub fn shl_barrel(&mut self, a: &Word, amount: &Word) -> Word {
+        let mut cur = a.clone();
+        for (k, &sel) in amount.bits().iter().enumerate() {
+            let shifted = if k < 64 && (1usize << k.min(63)) <= cur.width() {
+                cur.shl_const(1 << k)
+            } else {
+                Word::zeros(cur.width())
+            };
+            cur = self.mux_word(sel, &shifted, &cur).expect("same widths");
+            if (1usize << k.min(63)) >= cur.width() {
+                let zero = Word::zeros(cur.width());
+                for &hi in &amount.bits()[k + 1..] {
+                    cur = self.mux_word(hi, &zero, &cur).expect("same widths");
+                }
+                break;
+            }
+        }
+        cur
+    }
+
+    /// Count of leading zeros of `a` (from the MSB), as a word of
+    /// `ceil(log2(width + 1))` bits. `a == 0` yields `width`.
+    ///
+    /// This is the priority encoder used by float normalization after a
+    /// subtractive cancellation.
+    pub fn leading_zeros(&mut self, a: &Word) -> Word {
+        let w = a.width();
+        let out_bits = usize::BITS as usize - w.leading_zeros() as usize; // ceil(log2(w+1))
+        // Scan from the MSB: lz = index of first set bit.
+        // found: have we seen a 1 yet; count: running count.
+        let mut found = Bit::ZERO;
+        let mut count = Word::zeros(out_bits);
+        for i in (0..w).rev() {
+            let bit = a.bit(i);
+            // If not found and bit is 0, increment count.
+            let not_found = self.not(found);
+            let inc_cond = self.andyn(not_found, bit); // !found & !bit
+            let inc = self.inc(&count);
+            count = self.mux_word(inc_cond, &inc, &count).expect("same widths");
+            found = self.or(found, bit);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_bits(x: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (x >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn shr_barrel_exhaustive() {
+        let (w, aw) = (8usize, 4usize);
+        let mut c = Circuit::new();
+        let a = c.input_word("a", w);
+        let amt = c.input_word("amt", aw);
+        let out = c.shr_barrel(&a, &amt);
+        c.output_word("out", &out);
+        let nl = c.finish().unwrap();
+        for x in [0u64, 1, 0x80, 0xFF, 0xA5] {
+            for s in 0u64..16 {
+                let mut input = to_bits(x, w);
+                input.extend(to_bits(s, aw));
+                let got = from_bits(&nl.eval_plain(&input));
+                let want = if s >= 8 { 0 } else { x >> s };
+                assert_eq!(got, want, "{x} >> {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn shl_barrel_exhaustive() {
+        let (w, aw) = (8usize, 4usize);
+        let mut c = Circuit::new();
+        let a = c.input_word("a", w);
+        let amt = c.input_word("amt", aw);
+        let out = c.shl_barrel(&a, &amt);
+        c.output_word("out", &out);
+        let nl = c.finish().unwrap();
+        for x in [0u64, 1, 0x80, 0xFF, 0xA5] {
+            for s in 0u64..16 {
+                let mut input = to_bits(x, w);
+                input.extend(to_bits(s, aw));
+                let got = from_bits(&nl.eval_plain(&input));
+                let want = if s >= 8 { 0 } else { (x << s) & 0xFF };
+                assert_eq!(got, want, "{x} << {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_zeros_exhaustive_6bit() {
+        let w = 6usize;
+        let mut c = Circuit::new();
+        let a = c.input_word("a", w);
+        let out = c.leading_zeros(&a);
+        c.output_word("out", &out);
+        let nl = c.finish().unwrap();
+        for x in 0u64..64 {
+            let got = from_bits(&nl.eval_plain(&to_bits(x, w)));
+            let want = if x == 0 { 6 } else { (x as u8).leading_zeros() as u64 - 2 };
+            assert_eq!(got, want, "clz({x:06b})");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the circuit generators against integer and
+//! floating-point oracles over randomized widths and operands.
+
+use proptest::prelude::*;
+use pytfhe_hdl::{Circuit, DType, FloatFormat, Value, Word};
+
+fn to_bits(x: u64, w: usize) -> Vec<bool> {
+    (0..w).map(|i| (x >> i) & 1 == 1).collect()
+}
+
+fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Subtraction, negation and comparisons match two's complement
+    /// semantics at random widths.
+    #[test]
+    fn sub_neg_cmp_match_i64(w in 2usize..12, x in any::<i64>(), y in any::<i64>()) {
+        let mask = (1i64 << w) - 1;
+        let (x, y) = (x & mask, y & mask);
+        let sx = (x << (64 - w)) >> (64 - w); // sign-extended views
+        let sy = (y << (64 - w)) >> (64 - w);
+        let mut c = Circuit::new();
+        let a = c.input_word("a", w);
+        let b = c.input_word("b", w);
+        let diff = c.sub(&a, &b);
+        let neg = c.neg(&a);
+        let lts = c.lt_signed(&a, &b).expect("widths");
+        let eq = c.eq(&a, &b).expect("widths");
+        c.output_word("o", &diff.concat(&neg));
+        c.output_word("f", &Word::from_bits(vec![lts, eq]));
+        let nl = c.finish().expect("netlist");
+        let mut input = to_bits(x as u64, w);
+        input.extend(to_bits(y as u64, w));
+        let out = nl.eval_plain(&input);
+        prop_assert_eq!(from_bits(&out[..w]) as i64, (x - y) & mask);
+        prop_assert_eq!(from_bits(&out[w..2 * w]) as i64, (-x) & mask);
+        prop_assert_eq!(out[2 * w], sx < sy);
+        prop_assert_eq!(out[2 * w + 1], x == y);
+    }
+
+    /// Baugh-Wooley multiplication equals the sign-extension oracle for
+    /// random (possibly rectangular) widths.
+    #[test]
+    fn mul_signed_equals_extension_oracle(
+        wa in 1usize..9,
+        wb in 1usize..9,
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        let x = x & ((1 << wa) - 1);
+        let y = y & ((1 << wb) - 1);
+        let mut c = Circuit::new();
+        let a = c.input_word("a", wa);
+        let b = c.input_word("b", wb);
+        let bw = c.mul_signed(&a, &b);
+        let ext = c.mul_signed_ext(&a, &b);
+        c.output_word("bw", &bw);
+        c.output_word("ext", &ext);
+        let nl = c.finish().expect("netlist");
+        let mut input = to_bits(x, wa);
+        input.extend(to_bits(y, wb));
+        let out = nl.eval_plain(&input);
+        let w = wa + wb;
+        prop_assert_eq!(from_bits(&out[..w]), from_bits(&out[w..]), "{}x{}: {} {}", wa, wb, x, y);
+    }
+
+    /// Division satisfies the Euclidean identity at random widths.
+    #[test]
+    fn division_euclidean_identity(w in 2usize..10, x in any::<u64>(), y in any::<u64>()) {
+        let mask = (1u64 << w) - 1;
+        let (x, y) = (x & mask, (y & mask).max(1));
+        let mut c = Circuit::new();
+        let a = c.input_word("a", w);
+        let b = c.input_word("b", w);
+        let (q, r) = c.div_unsigned(&a, &b);
+        c.output_word("q", &q.concat(&r));
+        let nl = c.finish().expect("netlist");
+        let mut input = to_bits(x, w);
+        input.extend(to_bits(y, w));
+        let out = nl.eval_plain(&input);
+        let (q, r) = (from_bits(&out[..w]), from_bits(&out[w..]));
+        prop_assert_eq!(q, x / y);
+        prop_assert_eq!(r, x % y);
+        prop_assert_eq!(q * y + r, x);
+    }
+
+    /// Barrel shifts match `>>`/`<<` for every in-range amount.
+    #[test]
+    fn barrel_shifts_match(w in 2usize..12, x in any::<u64>(), s in 0usize..16) {
+        let x = x & ((1 << w) - 1);
+        let mut c = Circuit::new();
+        let a = c.input_word("a", w);
+        let amt = c.input_word("s", 4);
+        let right = c.shr_barrel(&a, &amt);
+        let left = c.shl_barrel(&a, &amt);
+        c.output_word("o", &right.concat(&left));
+        let nl = c.finish().expect("netlist");
+        let mut input = to_bits(x, w);
+        input.extend(to_bits(s as u64, 4));
+        let out = nl.eval_plain(&input);
+        let want_r = if s >= w { 0 } else { x >> s };
+        let want_l = if s >= w { 0 } else { (x << s) & ((1 << w) - 1) };
+        prop_assert_eq!(from_bits(&out[..w]), want_r);
+        prop_assert_eq!(from_bits(&out[w..]), want_l);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Float add/mul stay within a few ULP of the quantized f64 oracle
+    /// across formats.
+    #[test]
+    fn float_ops_close_to_oracle(
+        e in 5usize..9,
+        m in 4usize..11,
+        x in -200.0f64..200.0,
+        y in -200.0f64..200.0,
+    ) {
+        let fmt = FloatFormat::new(e, m);
+        let mut c = Circuit::new();
+        let a = c.input_word("a", fmt.width());
+        let b = c.input_word("b", fmt.width());
+        let sum = c.fadd(fmt, &a, &b);
+        let prod = c.fmul(fmt, &a, &b);
+        c.output_word("s", &sum);
+        c.output_word("p", &prod);
+        let nl = c.finish().expect("netlist");
+        let mut input = fmt.encode_f64(x);
+        input.extend(fmt.encode_f64(y));
+        let out = nl.eval_plain(&input);
+        let got_sum = fmt.decode_f64(&out[..fmt.width()]);
+        let got_prod = fmt.decode_f64(&out[fmt.width()..]);
+        let xq = fmt.decode_f64(&fmt.encode_f64(x));
+        let yq = fmt.decode_f64(&fmt.encode_f64(y));
+        let tol = |want: f64| 8.0 * fmt.ulp() * want.abs().max(32.0 * fmt.ulp());
+        prop_assert!((got_sum - (xq + yq)).abs() <= tol(xq + yq),
+            "{fmt}: {xq} + {yq} -> {got_sum}");
+        prop_assert!((got_prod - xq * yq).abs() <= tol(xq * yq).max(fmt.ulp()),
+            "{fmt}: {xq} * {yq} -> {got_prod}");
+    }
+
+    /// Typed fixed-point arithmetic stays within resolution of real
+    /// arithmetic.
+    #[test]
+    fn fixed_ops_close_to_real(
+        frac in 2usize..8,
+        x in -7.0f64..7.0,
+        y in -7.0f64..7.0,
+    ) {
+        let dtype = DType::Fixed { width: frac + 8, frac };
+        let mut c = Circuit::new();
+        let a = Value::new(c.input_word("a", dtype.width()), dtype);
+        let b = Value::new(c.input_word("b", dtype.width()), dtype);
+        let sum = c.v_add(&a, &b).expect("same dtype");
+        let prod = c.v_mul(&a, &b).expect("same dtype");
+        c.output_word("s", &sum.word);
+        c.output_word("p", &prod.word);
+        let nl = c.finish().expect("netlist");
+        let mut input = dtype.encode_f64(x);
+        input.extend(dtype.encode_f64(y));
+        let out = nl.eval_plain(&input);
+        let w = dtype.width();
+        let got_sum = dtype.decode_f64(&out[..w]);
+        let got_prod = dtype.decode_f64(&out[w..]);
+        let res = dtype.resolution();
+        prop_assert!((got_sum - (x + y)).abs() <= 2.0 * res, "{x}+{y} -> {got_sum}");
+        prop_assert!((got_prod - x * y).abs() <= res * (x.abs() + y.abs() + 2.0),
+            "{x}*{y} -> {got_prod}");
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced when constructing or validating a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate referenced a node id that does not exist yet.
+    ///
+    /// Gates may only reference earlier nodes; this keeps every netlist
+    /// topologically ordered by construction, which is what allows the
+    /// PyTFHE binary format's fast sequential traversal.
+    DanglingInput {
+        /// The offending node id.
+        node: u64,
+        /// Number of nodes present when the reference was made.
+        len: u64,
+    },
+    /// An output was marked on a node id that does not exist.
+    UnknownOutput {
+        /// The offending node id.
+        node: u64,
+    },
+    /// An unknown 4-bit gate opcode was decoded.
+    UnknownOpcode {
+        /// The offending opcode.
+        opcode: u8,
+    },
+    /// The netlist exceeds the maximum representable size (`2^62` gates in
+    /// the binary format; `2^32` nodes in this in-memory representation).
+    TooLarge,
+    /// A port declaration referenced a node id that does not exist.
+    BadPort {
+        /// Name of the port being declared.
+        name: String,
+    },
+    /// The netlist has no outputs; executing it would be a no-op.
+    NoOutputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DanglingInput { node, len } => {
+                write!(f, "gate references node {node} but only {len} nodes exist")
+            }
+            NetlistError::UnknownOutput { node } => {
+                write!(f, "output marks unknown node {node}")
+            }
+            NetlistError::UnknownOpcode { opcode } => {
+                write!(f, "unknown gate opcode {opcode:#06b}")
+            }
+            NetlistError::TooLarge => write!(f, "netlist exceeds maximum representable size"),
+            NetlistError::BadPort { name } => {
+                write!(f, "port `{name}` references an unknown node")
+            }
+            NetlistError::NoOutputs => write!(f, "netlist has no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,658 @@
+//! Netlist optimization passes — the Yosys-`opt`/ABC substitute of the
+//! PyTFHE compilation flow (Step 2 of Figure 2).
+//!
+//! Every TFHE gate costs a bootstrapping (around 13 ms on one CPU core,
+//! Figure 7), so gate-count reduction translates one-for-one into runtime
+//! reduction. The passes here are semantics-preserving rewrites of the DAG:
+//!
+//! * [`constant_fold`] — propagates `CONST0`/`CONST1` (baked-in plaintext
+//!   model weights produce many), simplifies trivial identities
+//!   (`XOR(x, x) = 0`, `AND(x, x) = x`, …) and removes buffers,
+//! * [`absorb_inverters`] — folds `NOT` gates into their consumers using
+//!   the negated-input gate kinds (`AND(!a, b) → ANDNY(a, b)`),
+//! * [`cse`] — structural common-subexpression elimination,
+//! * [`dce`] — dead-gate elimination by backward reachability,
+//! * [`optimize`] — runs the full pipeline to a fixpoint.
+//!
+//! All passes preserve the number and order of primary inputs and outputs,
+//! so an optimized netlist is a drop-in replacement for the original.
+
+use crate::{GateKind, Netlist, NetlistError, Node, NodeId, Port};
+use std::collections::HashMap;
+
+/// Result of resolving an old node through a rewrite: either a known
+/// constant or a node in the new netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Lit {
+    Const(bool),
+    Id(NodeId),
+}
+
+/// Bookkeeping shared by all passes: maps old node ids to new literals and
+/// rebuilds ports/outputs at the end.
+struct Rewriter {
+    out: Netlist,
+    map: Vec<Lit>,
+}
+
+impl Rewriter {
+    fn new(nl: &Netlist) -> Self {
+        Rewriter {
+            out: Netlist::with_capacity(nl.num_nodes()),
+            map: Vec::with_capacity(nl.num_nodes()),
+        }
+    }
+
+    /// Copies a primary input (inputs are always preserved).
+    fn copy_input(&mut self) {
+        let id = self.out.add_input();
+        self.map.push(Lit::Id(id));
+    }
+
+    fn resolve(&self, old: NodeId) -> Lit {
+        self.map[old.index()]
+    }
+
+    /// Materializes a literal as a node id in the new netlist (constants
+    /// become `CONST` gates). Needed for outputs, which must be node ids.
+    fn materialize(&mut self, lit: Lit) -> NodeId {
+        match lit {
+            Lit::Id(id) => id,
+            Lit::Const(b) => {
+                let kind = if b { GateKind::Const1 } else { GateKind::Const0 };
+                let zero = NodeId(0);
+                self.out
+                    .add_gate(kind, zero, zero)
+                    .expect("materializing a constant cannot fail: node 0 exists")
+            }
+        }
+    }
+
+    /// Finishes the rewrite: rebuilds outputs and ports of `src` in the new
+    /// netlist.
+    fn finish(mut self, src: &Netlist) -> Netlist {
+        debug_assert_eq!(self.map.len(), src.num_nodes());
+        let outputs: Vec<Lit> = src.outputs().iter().map(|&o| self.resolve(o)).collect();
+        // Output ports first (they mark their own outputs); plain outputs
+        // that belong to no port are re-marked individually. To preserve
+        // output *order* exactly we bypass declare_output_port and rebuild
+        // both lists manually.
+        for lit in outputs {
+            let id = self.materialize(lit);
+            self.out.mark_output(id).expect("materialized output exists");
+        }
+        let in_ports: Vec<Port> = src
+            .input_ports()
+            .iter()
+            .map(|p| Port {
+                name: p.name.clone(),
+                bits: p
+                    .bits
+                    .iter()
+                    .map(|&b| match self.resolve(b) {
+                        Lit::Id(id) => id,
+                        Lit::Const(_) => unreachable!("primary inputs never fold to constants"),
+                    })
+                    .collect(),
+            })
+            .collect();
+        for p in in_ports {
+            self.out
+                .declare_input_port(p.name, p.bits)
+                .expect("rewritten input port stays valid");
+        }
+        let out_ports: Vec<(String, Vec<Lit>)> = src
+            .output_ports()
+            .iter()
+            .map(|p| (p.name.clone(), p.bits.iter().map(|&b| self.resolve(b)).collect()))
+            .collect();
+        for (name, lits) in out_ports {
+            let bits: Vec<NodeId> = lits.into_iter().map(|l| self.materialize(l)).collect();
+            // Port bits were already marked as outputs above (output ports
+            // contribute to `outputs()`), so only record the port metadata.
+            self.out.push_output_port_raw(name, bits);
+        }
+        self.out
+    }
+}
+
+impl Netlist {
+    /// Records output-port metadata without re-marking outputs; used by the
+    /// rewriter, which reconstructs the flat output list itself to preserve
+    /// ordering exactly.
+    pub(crate) fn push_output_port_raw(&mut self, name: String, bits: Vec<NodeId>) {
+        // Reuse declare_output_port's validation but drop the extra marks it
+        // added: it appends `bits.len()` entries at the tail.
+        let before = self.outputs().len();
+        self.declare_output_port(name, bits)
+            .expect("rewritten output port stays valid");
+        self.truncate_outputs(before);
+    }
+
+    pub(crate) fn truncate_outputs(&mut self, len: usize) {
+        self.truncate_outputs_impl(len);
+    }
+}
+
+/// Statistics of one optimization pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Gates before the pass.
+    pub gates_before: usize,
+    /// Gates after the pass.
+    pub gates_after: usize,
+}
+
+impl PassStats {
+    /// Gates removed by the pass.
+    pub fn removed(&self) -> usize {
+        self.gates_before.saturating_sub(self.gates_after)
+    }
+}
+
+/// Propagates constants, simplifies same-operand identities, and removes
+/// buffers and double negations.
+pub fn constant_fold(nl: &Netlist) -> (Netlist, PassStats) {
+    let before = nl.num_gates();
+    let mut rw = Rewriter::new(nl);
+    for node in nl.nodes() {
+        match *node {
+            Node::Input => rw.copy_input(),
+            Node::Gate { kind, a, b } => {
+                let lit = if kind.is_const() {
+                    Lit::Const(kind == GateKind::Const1)
+                } else {
+                    let la = rw.resolve(a);
+                    let lb = rw.resolve(b);
+                    fold_gate(&mut rw, kind, la, lb)
+                };
+                rw.map.push(lit);
+            }
+        }
+    }
+    let out = rw.finish(nl);
+    let stats = PassStats { gates_before: before, gates_after: out.num_gates() };
+    (out, stats)
+}
+
+/// Core folding rules for a single gate; emits a gate only when no rule
+/// applies.
+fn fold_gate(rw: &mut Rewriter, kind: GateKind, la: Lit, lb: Lit) -> Lit {
+    use GateKind::*;
+    // Rule 0: constants evaluate immediately.
+    if kind == Const0 {
+        return Lit::Const(false);
+    }
+    if kind == Const1 {
+        return Lit::Const(true);
+    }
+    // Rule 1: both operands constant.
+    if let (Lit::Const(ca), Lit::Const(cb)) = (la, lb) {
+        return Lit::Const(kind.eval(ca, cb));
+    }
+    // Rule 2: unary gates.
+    if kind == Buf {
+        return la;
+    }
+    if kind == Not {
+        return match la {
+            Lit::Const(c) => Lit::Const(!c),
+            Lit::Id(id) => emit_not(rw, id),
+        };
+    }
+    // Rule 3: one constant operand — specialize to a unary function of the
+    // other operand.
+    if let Lit::Const(c) = la {
+        return specialize(rw, kind, c, lb, true);
+    }
+    if let Lit::Const(c) = lb {
+        return specialize(rw, kind, c, la, false);
+    }
+    // Rule 4: same-operand identities.
+    if la == lb {
+        let (Lit::Id(id),) = (la,) else { unreachable!() };
+        return match kind {
+            And | Or => Lit::Id(id),
+            Xor => Lit::Const(false),
+            Xnor | Orny | Oryn => Lit::Const(true),
+            Andny | Andyn => Lit::Const(false),
+            Nand | Nor => emit_not(rw, id),
+            Not | Buf | Const0 | Const1 => unreachable!("handled above"),
+        };
+    }
+    let (Lit::Id(ia), Lit::Id(ib)) = (la, lb) else { unreachable!() };
+    Lit::Id(rw.out.add_gate(kind, ia, ib).expect("operands exist in rewritten netlist"))
+}
+
+/// Emits (or folds) a NOT of an existing new-netlist node.
+fn emit_not(rw: &mut Rewriter, id: NodeId) -> Lit {
+    // Collapse double negation: NOT(NOT(x)) = x.
+    if let Node::Gate { kind: GateKind::Not, a, .. } = rw.out.node(id) {
+        return Lit::Id(a);
+    }
+    Lit::Id(rw.out.add_gate(GateKind::Not, id, id).expect("operand exists"))
+}
+
+/// Specializes a binary gate with one constant operand. `c` is the constant;
+/// `other` the remaining operand; `const_is_a` says which side it was on.
+fn specialize(rw: &mut Rewriter, kind: GateKind, c: bool, other: Lit, const_is_a: bool) -> Lit {
+    // Evaluate the gate's restriction to the free variable: f(c, x) (or
+    // f(x, c)) is one of {0, 1, x, !x}.
+    let f = |x: bool| if const_is_a { kind.eval(c, x) } else { kind.eval(x, c) };
+    let f0 = f(false);
+    let f1 = f(true);
+    match (f0, f1) {
+        (false, false) => Lit::Const(false),
+        (true, true) => Lit::Const(true),
+        (false, true) => other, // identity
+        (true, false) => match other {
+            Lit::Const(cc) => Lit::Const(!cc),
+            Lit::Id(id) => emit_not(rw, id),
+        },
+    }
+}
+
+/// Folds `NOT` gates into their consumers (`AND(!a, b) → ANDNY(a, b)` and
+/// friends). The freed `NOT` gates become dead and are removed by a
+/// subsequent [`dce`] pass.
+pub fn absorb_inverters(nl: &Netlist) -> (Netlist, PassStats) {
+    let before = nl.num_gates();
+    // Which old nodes are NOT gates, and what do they negate?
+    let negand: Vec<Option<NodeId>> = nl
+        .nodes()
+        .iter()
+        .map(|n| match n {
+            Node::Gate { kind: GateKind::Not, a, .. } => Some(*a),
+            _ => None,
+        })
+        .collect();
+    let mut rw = Rewriter::new(nl);
+    for node in nl.nodes() {
+        match *node {
+            Node::Input => rw.copy_input(),
+            Node::Gate { mut kind, mut a, mut b } => {
+                if kind.is_const() {
+                    let id = rw.out.add_gate(kind, NodeId(0), NodeId(0)).expect("const gate");
+                    rw.map.push(Lit::Id(id));
+                    continue;
+                }
+                if let (Some(na), Some(k)) = (negand[a.index()], kind.absorb_not_a()) {
+                    kind = k;
+                    a = na;
+                    if kind.is_unary() {
+                        b = a;
+                    }
+                }
+                if !kind.is_unary() && !kind.is_const() {
+                    if let (Some(nb), Some(k)) = (negand[b.index()], kind.absorb_not_b()) {
+                        kind = k;
+                        b = nb;
+                    }
+                }
+                let lit = match (rw.resolve(a), rw.resolve(b)) {
+                    (Lit::Id(ia), Lit::Id(ib)) => {
+                        Lit::Id(rw.out.add_gate(kind, ia, ib).expect("operands exist"))
+                    }
+                    _ => unreachable!("absorb pass never produces constants"),
+                };
+                rw.map.push(lit);
+            }
+        }
+    }
+    let out = rw.finish(nl);
+    let stats = PassStats { gates_before: before, gates_after: out.num_gates() };
+    (out, stats)
+}
+
+/// Structural common-subexpression elimination: two gates with the same
+/// function and operands (up to commutativity) are merged.
+pub fn cse(nl: &Netlist) -> (Netlist, PassStats) {
+    let before = nl.num_gates();
+    let mut rw = Rewriter::new(nl);
+    let mut table: HashMap<(GateKind, NodeId, NodeId), NodeId> =
+        HashMap::with_capacity(nl.num_gates());
+    for node in nl.nodes() {
+        match *node {
+            Node::Input => rw.copy_input(),
+            Node::Gate { kind, a, b } => {
+                if kind.is_const() {
+                    let key = (kind, NodeId(0), NodeId(0));
+                    let lit = match table.get(&key) {
+                        Some(&existing) => Lit::Id(existing),
+                        None => {
+                            let id = rw.out.add_gate(kind, NodeId(0), NodeId(0)).expect("const");
+                            table.insert(key, id);
+                            Lit::Id(id)
+                        }
+                    };
+                    rw.map.push(lit);
+                    continue;
+                }
+                let (Lit::Id(mut ia), Lit::Id(mut ib)) = (rw.resolve(a), rw.resolve(b)) else {
+                    unreachable!("cse operates on fold-free netlists")
+                };
+                let mut k = kind;
+                if k.is_unary() {
+                    ib = ia;
+                } else if k.is_commutative() {
+                    if ia > ib {
+                        std::mem::swap(&mut ia, &mut ib);
+                    }
+                } else if ia > ib {
+                    k = k.swapped();
+                    std::mem::swap(&mut ia, &mut ib);
+                }
+                let lit = match table.get(&(k, ia, ib)) {
+                    Some(&existing) => Lit::Id(existing),
+                    None => {
+                        let id = rw.out.add_gate(k, ia, ib).expect("operands exist");
+                        table.insert((k, ia, ib), id);
+                        Lit::Id(id)
+                    }
+                };
+                rw.map.push(lit);
+            }
+        }
+    }
+    let out = rw.finish(nl);
+    let stats = PassStats { gates_before: before, gates_after: out.num_gates() };
+    (out, stats)
+}
+
+/// Dead-gate elimination: removes gates that no output transitively depends
+/// on. Primary inputs are always preserved (the program interface is part of
+/// the contract).
+pub fn dce(nl: &Netlist) -> (Netlist, PassStats) {
+    let before = nl.num_gates();
+    let mut live = vec![false; nl.num_nodes()];
+    for &out in nl.outputs() {
+        live[out.index()] = true;
+    }
+    for i in (0..nl.num_nodes()).rev() {
+        if !live[i] {
+            continue;
+        }
+        if let Node::Gate { kind, a, b } = nl.nodes()[i] {
+            if !kind.is_const() {
+                live[a.index()] = true;
+                if !kind.is_unary() {
+                    live[b.index()] = true;
+                }
+            }
+        }
+    }
+    let mut rw = Rewriter::new(nl);
+    for (i, node) in nl.nodes().iter().enumerate() {
+        match *node {
+            Node::Input => rw.copy_input(),
+            Node::Gate { kind, a, b } => {
+                if live[i] {
+                    if kind.is_const() {
+                        let id = rw.out.add_gate(kind, NodeId(0), NodeId(0)).expect("const");
+                        rw.map.push(Lit::Id(id));
+                        continue;
+                    }
+                    let ia = rw.resolve(a);
+                    let ib = rw.resolve(b);
+                    let (Lit::Id(ia), Lit::Id(ib)) = (ia, ib) else {
+                        unreachable!("dce never produces constants")
+                    };
+                    rw.map.push(Lit::Id(rw.out.add_gate(kind, ia, ib).expect("operands exist")));
+                } else {
+                    // Dead; map to an arbitrary placeholder that nothing will
+                    // read. Use the gate's own (live-mapped or not) first
+                    // operand id 0 sentinel via a constant literal.
+                    rw.map.push(Lit::Const(false));
+                }
+            }
+        }
+    }
+    let out = rw.finish(nl);
+    let stats = PassStats { gates_before: before, gates_after: out.num_gates() };
+    (out, stats)
+}
+
+/// Configuration of the full optimization pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Run constant folding.
+    pub fold: bool,
+    /// Run inverter absorption.
+    pub absorb: bool,
+    /// Run common-subexpression elimination.
+    pub cse: bool,
+    /// Run dead-code elimination.
+    pub dce: bool,
+    /// Maximum number of pipeline iterations before giving up on reaching a
+    /// fixpoint.
+    pub max_iterations: usize,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig { fold: true, absorb: true, cse: true, dce: true, max_iterations: 8 }
+    }
+}
+
+impl OptConfig {
+    /// Everything disabled — the configuration the Cingulata/E3-style
+    /// baselines run with (Section III-B: "Both Cingulata and E3 do not
+    /// provide any gate-level or boolean optimizations").
+    pub fn none() -> Self {
+        OptConfig { fold: false, absorb: false, cse: false, dce: false, max_iterations: 0 }
+    }
+}
+
+/// Report of a full [`optimize`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Gates before optimization.
+    pub gates_before: usize,
+    /// Gates after optimization.
+    pub gates_after: usize,
+    /// Pipeline iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs the configured passes to a fixpoint (or `max_iterations`).
+///
+/// # Errors
+///
+/// Returns an error if the input netlist fails validation.
+pub fn optimize(nl: &Netlist, config: &OptConfig) -> Result<(Netlist, OptReport), NetlistError> {
+    nl.validate()?;
+    let mut report = OptReport {
+        gates_before: nl.num_gates(),
+        gates_after: nl.num_gates(),
+        iterations: 0,
+    };
+    let mut current = nl.clone();
+    for _ in 0..config.max_iterations {
+        let gates_at_start = current.num_gates();
+        if config.fold {
+            current = constant_fold(&current).0;
+        }
+        if config.absorb {
+            current = absorb_inverters(&current).0;
+        }
+        if config.cse {
+            current = cse(&current).0;
+        }
+        if config.dce {
+            current = dce(&current).0;
+        }
+        report.iterations += 1;
+        if current.num_gates() == gates_at_start {
+            break;
+        }
+    }
+    report.gates_after = current.num_gates();
+    Ok((current, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks that `opt` preserves semantics of `nl` for every
+    /// input combination (requires few inputs).
+    fn assert_equivalent(nl: &Netlist, opt: &Netlist) {
+        assert_eq!(nl.num_inputs(), opt.num_inputs());
+        assert_eq!(nl.outputs().len(), opt.outputs().len());
+        let n = nl.num_inputs();
+        assert!(n <= 16, "too many inputs for exhaustive check");
+        for bits in 0u32..(1 << n) {
+            let input: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(nl.eval_plain(&input), opt.eval_plain(&input), "inputs {input:?}");
+        }
+    }
+
+    #[test]
+    fn fold_removes_constants() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let one = nl.add_gate(GateKind::Const1, a, a).unwrap();
+        let g = nl.add_gate(GateKind::And, a, one).unwrap(); // = a
+        let h = nl.add_gate(GateKind::Xor, g, a).unwrap(); // = 0
+        let i = nl.add_gate(GateKind::Or, h, a).unwrap(); // = a
+        nl.mark_output(i).unwrap();
+        let (opt, stats) = constant_fold(&nl);
+        assert_equivalent(&nl, &opt);
+        assert_eq!(opt.num_gates(), 0, "everything folds to the input");
+        assert_eq!(stats.removed(), 4);
+    }
+
+    #[test]
+    fn fold_materializes_constant_outputs() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let x = nl.add_gate(GateKind::Xor, a, a).unwrap(); // = 0
+        nl.mark_output(x).unwrap();
+        let (opt, _) = constant_fold(&nl);
+        assert_equivalent(&nl, &opt);
+        assert_eq!(opt.num_gates(), 1); // one CONST0
+    }
+
+    #[test]
+    fn fold_collapses_double_negation() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let n1 = nl.add_gate(GateKind::Not, a, a).unwrap();
+        let n2 = nl.add_gate(GateKind::Not, n1, n1).unwrap();
+        nl.mark_output(n2).unwrap();
+        let (opt, _) = constant_fold(&nl);
+        assert_equivalent(&nl, &opt);
+        // n2 folds to `a`; n1 stays but is dead until DCE.
+        let (opt, _) = dce(&opt);
+        assert_eq!(opt.num_gates(), 0);
+    }
+
+    #[test]
+    fn absorb_then_dce_removes_inverters() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let na = nl.add_gate(GateKind::Not, a, a).unwrap();
+        let g = nl.add_gate(GateKind::And, na, b).unwrap(); // = ANDNY(a, b)
+        nl.mark_output(g).unwrap();
+        let (step, _) = absorb_inverters(&nl);
+        assert_equivalent(&nl, &step);
+        let (opt, _) = dce(&step);
+        assert_equivalent(&nl, &opt);
+        assert_eq!(opt.num_gates(), 1);
+        assert!(matches!(
+            opt.node(opt.outputs()[0]),
+            Node::Gate { kind: GateKind::Andny, .. }
+        ));
+    }
+
+    #[test]
+    fn cse_merges_duplicates_including_commuted() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let g1 = nl.add_gate(GateKind::Xor, a, b).unwrap();
+        let g2 = nl.add_gate(GateKind::Xor, b, a).unwrap();
+        let g3 = nl.add_gate(GateKind::Andyn, a, b).unwrap();
+        let g4 = nl.add_gate(GateKind::Andny, b, a).unwrap(); // same fn as g3
+        let h = nl.add_gate(GateKind::Or, g1, g2).unwrap();
+        let i = nl.add_gate(GateKind::Or, g3, g4).unwrap();
+        let j = nl.add_gate(GateKind::And, h, i).unwrap();
+        nl.mark_output(j).unwrap();
+        let (opt, _) = cse(&nl);
+        assert_equivalent(&nl, &opt);
+        let (opt, _) = dce(&opt);
+        // g2 and g4 merged away; OR(x, x) shapes remain until folding.
+        assert_eq!(opt.num_gates(), 5);
+    }
+
+    #[test]
+    fn dce_removes_unreachable() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let live = nl.add_gate(GateKind::And, a, b).unwrap();
+        let _dead = nl.add_gate(GateKind::Xor, a, b).unwrap();
+        let _deader = nl.add_gate(GateKind::Or, _dead, b).unwrap();
+        nl.mark_output(live).unwrap();
+        let (opt, stats) = dce(&nl);
+        assert_equivalent(&nl, &opt);
+        assert_eq!(opt.num_gates(), 1);
+        assert_eq!(stats.removed(), 2);
+    }
+
+    #[test]
+    fn pipeline_reaches_fixpoint() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let one = nl.add_gate(GateKind::Const1, a, a).unwrap();
+        let na = nl.add_gate(GateKind::Not, a, a).unwrap();
+        let g1 = nl.add_gate(GateKind::And, na, one).unwrap(); // = !a
+        let g2 = nl.add_gate(GateKind::Or, g1, b).unwrap(); // = ORNY(a, b)
+        let g3 = nl.add_gate(GateKind::Or, g1, b).unwrap(); // duplicate
+        let g4 = nl.add_gate(GateKind::And, g2, g3).unwrap(); // = g2
+        nl.mark_output(g4).unwrap();
+        let (opt, report) = optimize(&nl, &OptConfig::default()).unwrap();
+        assert_equivalent(&nl, &opt);
+        assert_eq!(opt.num_gates(), 1);
+        assert!(report.iterations >= 1);
+        assert_eq!(report.gates_before, 6);
+        assert_eq!(report.gates_after, 1);
+    }
+
+    #[test]
+    fn optimize_none_is_identity() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let g = nl.add_gate(GateKind::Buf, a, a).unwrap();
+        nl.mark_output(g).unwrap();
+        let (opt, report) = optimize(&nl, &OptConfig::none()).unwrap();
+        assert_eq!(opt.num_gates(), 1);
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn optimize_rejects_invalid() {
+        let nl = Netlist::new();
+        assert!(optimize(&nl, &OptConfig::default()).is_err());
+    }
+
+    #[test]
+    fn ports_survive_optimization() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        nl.declare_input_port("x", vec![a, b]).unwrap();
+        let one = nl.add_gate(GateKind::Const1, a, a).unwrap();
+        let g = nl.add_gate(GateKind::And, a, one).unwrap();
+        let h = nl.add_gate(GateKind::Xor, g, b).unwrap();
+        nl.declare_output_port("y", vec![h]).unwrap();
+        let (opt, _) = optimize(&nl, &OptConfig::default()).unwrap();
+        assert_eq!(opt.input_ports().len(), 1);
+        assert_eq!(opt.input_ports()[0].bits.len(), 2);
+        assert_eq!(opt.output_ports().len(), 1);
+        assert_eq!(opt.outputs().len(), 1);
+        assert_equivalent(&nl, &opt);
+    }
+}

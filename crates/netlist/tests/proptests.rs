@@ -1,0 +1,101 @@
+//! Property-based tests of the netlist IR and its optimization passes.
+
+use proptest::prelude::*;
+use pytfhe_netlist::opt::{absorb_inverters, cse, constant_fold, dce, optimize, OptConfig};
+use pytfhe_netlist::topo::{LevelSchedule, Levels};
+use pytfhe_netlist::{GateKind, Netlist, NodeId, ALL_GATE_KINDS};
+
+fn random_netlist(inputs: usize, max_gates: usize) -> impl Strategy<Value = Netlist> {
+    prop::collection::vec(
+        (0usize..ALL_GATE_KINDS.len(), any::<prop::sample::Index>(), any::<prop::sample::Index>()),
+        1..max_gates,
+    )
+    .prop_map(move |choices| {
+        let mut nl = Netlist::new();
+        let mut pool: Vec<NodeId> = (0..inputs).map(|_| nl.add_input()).collect();
+        for (k, ia, ib) in choices {
+            let kind = ALL_GATE_KINDS[k];
+            let a = pool[ia.index(pool.len())];
+            let b = pool[ib.index(pool.len())];
+            pool.push(nl.add_gate(kind, a, b).expect("valid refs"));
+        }
+        let n = pool.len();
+        nl.mark_output(pool[n - 1]).expect("exists");
+        nl.mark_output(pool[n / 2]).expect("exists");
+        nl
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Each individual pass preserves semantics (not just the pipeline).
+    #[test]
+    fn each_pass_preserves_semantics(
+        nl in random_netlist(5, 100),
+        bits in prop::collection::vec(any::<bool>(), 5),
+    ) {
+        let want = nl.eval_plain(&bits);
+        prop_assert_eq!(&constant_fold(&nl).0.eval_plain(&bits), &want, "fold");
+        prop_assert_eq!(&absorb_inverters(&nl).0.eval_plain(&bits), &want, "absorb");
+        prop_assert_eq!(&cse(&nl).0.eval_plain(&bits), &want, "cse");
+        prop_assert_eq!(&dce(&nl).0.eval_plain(&bits), &want, "dce");
+    }
+
+    /// The optimizer is idempotent at its fixpoint.
+    #[test]
+    fn optimizer_is_idempotent(nl in random_netlist(5, 80)) {
+        let (once, _) = optimize(&nl, &OptConfig::default()).expect("valid");
+        let (twice, report) = optimize(&once, &OptConfig::default()).expect("valid");
+        prop_assert_eq!(once.num_gates(), twice.num_gates());
+        prop_assert!(report.gates_after == report.gates_before);
+    }
+
+    /// Level assignments respect dependencies and schedules cover every
+    /// gate exactly once.
+    #[test]
+    fn levels_respect_dependencies(nl in random_netlist(4, 120)) {
+        let levels = Levels::compute(&nl);
+        for (i, node) in nl.nodes().iter().enumerate() {
+            if let pytfhe_netlist::Node::Gate { kind, a, b } = *node {
+                if kind.is_const() {
+                    continue;
+                }
+                prop_assert!(levels.level[i] > levels.level[a.index()]);
+                if !kind.is_unary() {
+                    prop_assert!(levels.level[i] > levels.level[b.index()]);
+                }
+            }
+        }
+        let sched = LevelSchedule::from_levels(&nl, &levels);
+        prop_assert_eq!(sched.num_gates(), nl.num_gates());
+    }
+
+    /// Optimized netlists never have more bootstrapped gates, and the
+    /// optimizer's validation accepts its own output.
+    #[test]
+    fn optimizer_monotone_and_valid(nl in random_netlist(5, 100)) {
+        let before = nl.num_bootstrapped_gates();
+        let (opt, _) = optimize(&nl, &OptConfig::default()).expect("valid input");
+        prop_assert!(opt.num_bootstrapped_gates() <= before);
+        prop_assert!(opt.validate().is_ok());
+        prop_assert_eq!(opt.num_inputs(), nl.num_inputs());
+        prop_assert_eq!(opt.outputs().len(), nl.outputs().len());
+    }
+
+    /// Gate histograms and stats are consistent with direct counts.
+    #[test]
+    fn stats_are_consistent(nl in random_netlist(4, 60)) {
+        let stats = pytfhe_netlist::NetlistStats::of(&nl);
+        prop_assert_eq!(stats.gates, nl.num_gates());
+        prop_assert_eq!(stats.histogram.total() as usize, nl.num_gates());
+        prop_assert_eq!(
+            stats.histogram.total_bootstrapped() as usize,
+            nl.num_bootstrapped_gates()
+        );
+        let buf_and_const: u64 = stats.histogram.count(GateKind::Buf)
+            + stats.histogram.count(GateKind::Const0)
+            + stats.histogram.count(GateKind::Const1);
+        prop_assert_eq!(stats.histogram.total() - buf_and_const, stats.histogram.total_bootstrapped());
+    }
+}

@@ -1,0 +1,30 @@
+use std::fmt;
+
+/// Errors produced by the TFHE scheme implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TfheError {
+    /// Two ciphertexts from incompatible parameter sets were combined.
+    ParamsMismatch,
+    /// A serialized key or ciphertext was malformed.
+    Corrupt {
+        /// What was being deserialized.
+        what: &'static str,
+    },
+    /// A serialized object declared a parameter set this build does not
+    /// know.
+    UnknownParams,
+}
+
+impl fmt::Display for TfheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TfheError::ParamsMismatch => {
+                write!(f, "ciphertexts use incompatible parameter sets")
+            }
+            TfheError::Corrupt { what } => write!(f, "malformed serialized {what}"),
+            TfheError::UnknownParams => write!(f, "unknown parameter set identifier"),
+        }
+    }
+}
+
+impl std::error::Error for TfheError {}

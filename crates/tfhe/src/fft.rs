@@ -1,0 +1,326 @@
+//! Fast negacyclic polynomial multiplication via the twisted FFT.
+//!
+//! TFHE's hot loop — the external products inside blind rotation —
+//! multiplies small-integer polynomials by torus polynomials in
+//! `T[X]/(X^N + 1)`. The classic trick: twisting coefficient `j` by
+//! `ζ^j` with `ζ = e^{iπ/N}` turns negacyclic convolution into cyclic
+//! convolution (since `ζ^N = -1`), which a size-`N` complex FFT computes in
+//! `O(N log N)`.
+//!
+//! Products of decomposed digits (`|d| ≤ Bg/2 = 64`) with torus values
+//! (`< 2^31`) accumulated over `N = 1024` taps stay below `2^47`,
+//! comfortably inside an `f64` mantissa; the sub-unit rounding error folds
+//! into the scheme's noise budget exactly as in the reference TFHE library.
+
+use crate::poly::{IntPoly, TorusPoly};
+use crate::torus::Torus32;
+
+/// A complex number; minimal on purpose (only what the FFT needs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    #[inline]
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    #[inline]
+    fn add(self, other: Complex) -> Complex {
+        Complex { re: self.re + other.re, im: self.im + other.im }
+    }
+
+    #[inline]
+    fn sub(self, other: Complex) -> Complex {
+        Complex { re: self.re - other.re, im: self.im - other.im }
+    }
+
+    #[inline]
+    fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+}
+
+/// A polynomial in the twisted frequency domain ("Lagrange representation"
+/// in TFHE-library terminology). Pointwise products here correspond to
+/// negacyclic products in the coefficient domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqPoly {
+    values: Vec<Complex>,
+}
+
+impl FreqPoly {
+    /// The zero polynomial for transform size `n`.
+    pub fn zero(n: usize) -> Self {
+        FreqPoly { values: vec![Complex::default(); n] }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw frequency values (crate-internal, for serialization).
+    pub(crate) fn values_raw(&self) -> &[Complex] {
+        &self.values
+    }
+
+    /// Rebuilds from raw values (crate-internal, for deserialization).
+    pub(crate) fn from_values(values: Vec<Complex>) -> Self {
+        FreqPoly { values }
+    }
+
+    /// Resets to zero without reallocating.
+    pub fn clear(&mut self) {
+        self.values.fill(Complex::default());
+    }
+
+    /// `self += a * b` pointwise — the multiply-accumulate at the heart of
+    /// the external product.
+    pub fn add_mul_assign(&mut self, a: &FreqPoly, b: &FreqPoly) {
+        debug_assert_eq!(self.len(), a.len());
+        debug_assert_eq!(self.len(), b.len());
+        for ((s, &x), &y) in self.values.iter_mut().zip(&a.values).zip(&b.values) {
+            *s = s.add(x.mul(y));
+        }
+    }
+}
+
+/// Precomputed tables for transforms of one size `N`.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// `roots[k] = e^{-2πik/N}` for `k < N/2` (forward twiddles).
+    roots: Vec<Complex>,
+    /// `twist[j] = e^{iπj/N}`.
+    twist: Vec<Complex>,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Builds a plan for polynomials of degree bound `n` (a power of two,
+    /// at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is smaller than 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two >= 2");
+        let roots = (0..n / 2)
+            .map(|k| {
+                let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Complex { re: theta.cos(), im: theta.sin() }
+            })
+            .collect();
+        let twist = (0..n)
+            .map(|j| {
+                let theta = std::f64::consts::PI * j as f64 / n as f64;
+                Complex { re: theta.cos(), im: theta.sin() }
+            })
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        FftPlan { n, roots, twist, rev }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is empty (never true; present for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place iterative radix-2 DIT FFT. `inverse` conjugates the
+    /// twiddles (scaling is applied by the caller).
+    fn fft_in_place(&self, buf: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        debug_assert_eq!(buf.len(), n);
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            let half = len / 2;
+            for start in (0..n).step_by(len) {
+                for j in 0..half {
+                    let mut w = self.roots[j * step];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let u = buf[start + j];
+                    let v = buf[start + j + half].mul(w);
+                    buf[start + j] = u.add(v);
+                    buf[start + j + half] = u.sub(v);
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Forward transform of a torus polynomial (coefficients lifted to
+    /// signed integers).
+    pub fn forward_torus(&self, p: &TorusPoly) -> FreqPoly {
+        debug_assert_eq!(p.len(), self.n);
+        let mut buf: Vec<Complex> = p
+            .coeffs()
+            .iter()
+            .zip(&self.twist)
+            .map(|(&c, &t)| {
+                let x = c.as_i32() as f64;
+                Complex { re: x * t.re, im: x * t.im }
+            })
+            .collect();
+        self.fft_in_place(&mut buf, false);
+        FreqPoly { values: buf }
+    }
+
+    /// Forward transform of an integer polynomial.
+    pub fn forward_int(&self, p: &IntPoly) -> FreqPoly {
+        debug_assert_eq!(p.len(), self.n);
+        let mut buf: Vec<Complex> = p
+            .coeffs()
+            .iter()
+            .zip(&self.twist)
+            .map(|(&c, &t)| {
+                let x = c as f64;
+                Complex { re: x * t.re, im: x * t.im }
+            })
+            .collect();
+        self.fft_in_place(&mut buf, false);
+        FreqPoly { values: buf }
+    }
+
+    /// Like [`FftPlan::forward_int`] but reuses `out`'s allocation.
+    pub fn forward_int_into(&self, p: &IntPoly, out: &mut FreqPoly) {
+        debug_assert_eq!(p.len(), self.n);
+        out.values.clear();
+        out.values.extend(p.coeffs().iter().zip(&self.twist).map(|(&c, &t)| {
+            let x = c as f64;
+            Complex { re: x * t.re, im: x * t.im }
+        }));
+        self.fft_in_place(&mut out.values, false);
+    }
+
+    /// Inverse transform, rounding back to torus coefficients.
+    pub fn inverse_torus(&self, f: &FreqPoly) -> TorusPoly {
+        let mut p = TorusPoly::zero(self.n);
+        self.inverse_torus_into(f, &mut p);
+        p
+    }
+
+    /// Like [`FftPlan::inverse_torus`] but writes into `out`.
+    pub fn inverse_torus_into(&self, f: &FreqPoly, out: &mut TorusPoly) {
+        debug_assert_eq!(f.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        let mut buf = f.values.clone();
+        self.fft_in_place(&mut buf, true);
+        let scale = 1.0 / self.n as f64;
+        for ((o, &c), &t) in out.coeffs_mut().iter_mut().zip(&buf).zip(&self.twist) {
+            // Untwist: multiply by conj(twist), keep the real part.
+            let re = (c.re * t.re + c.im * t.im) * scale;
+            // Round to the nearest torus element; arithmetic is exact mod
+            // 2^32 because |re| < 2^52.
+            *o = Torus32((re.round_ties_even() as i64) as u32);
+        }
+    }
+
+    /// Convenience: full negacyclic product `a * b` through the frequency
+    /// domain. The hot paths use the split transforms directly to batch
+    /// multiply-accumulates.
+    pub fn negacyclic_mul(&self, a: &IntPoly, b: &TorusPoly) -> TorusPoly {
+        let fa = self.forward_int(a);
+        let fb = self.forward_torus(b);
+        let mut acc = FreqPoly::zero(self.n);
+        acc.add_mul_assign(&fa, &fb);
+        self.inverse_torus(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::naive_negacyclic_mul;
+    use crate::rng::SecureRng;
+
+    #[test]
+    fn fft_matches_naive_small() {
+        let mut rng = SecureRng::seed_from_u64(10);
+        for n in [2usize, 4, 8, 32, 128] {
+            let plan = FftPlan::new(n);
+            for _ in 0..5 {
+                let a = IntPoly::from_coeffs(
+                    (0..n).map(|_| (rng.uniform_u32() % 128) as i32 - 64).collect(),
+                );
+                let b = TorusPoly::uniform(n, &mut rng);
+                assert_eq!(plan.negacyclic_mul(&a, &b), naive_negacyclic_mul(&a, &b), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_production_size() {
+        let mut rng = SecureRng::seed_from_u64(11);
+        let n = 1024;
+        let plan = FftPlan::new(n);
+        let a = IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 128) as i32 - 64).collect());
+        let b = TorusPoly::uniform(n, &mut rng);
+        assert_eq!(plan.negacyclic_mul(&a, &b), naive_negacyclic_mul(&a, &b));
+    }
+
+    #[test]
+    fn mac_distributes() {
+        // inverse(fa1*fb + fa2*fb) == naive(a1, b) + naive(a2, b)
+        let mut rng = SecureRng::seed_from_u64(12);
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let a1 = IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 16) as i32 - 8).collect());
+        let a2 = IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 16) as i32 - 8).collect());
+        let b = TorusPoly::uniform(n, &mut rng);
+        let fb = plan.forward_torus(&b);
+        let mut acc = FreqPoly::zero(n);
+        acc.add_mul_assign(&plan.forward_int(&a1), &fb);
+        acc.add_mul_assign(&plan.forward_int(&a2), &fb);
+        let got = plan.inverse_torus(&acc);
+        let mut want = naive_negacyclic_mul(&a1, &b);
+        want.add_assign(&naive_negacyclic_mul(&a2, &b));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn forward_int_into_reuses_buffer() {
+        let mut rng = SecureRng::seed_from_u64(13);
+        let n = 32;
+        let plan = FftPlan::new(n);
+        let a = IntPoly::binary(n, &mut rng);
+        let mut out = FreqPoly::zero(n);
+        plan.forward_int_into(&a, &mut out);
+        assert_eq!(out, plan.forward_int(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = FftPlan::new(48);
+    }
+}

@@ -1,0 +1,398 @@
+//! The bootstrapped binary gates of PyTFHE — the eleven gates of the
+//! binary format plus trivial constants.
+//!
+//! Every binary gate follows the TFHE-library recipe:
+//!
+//! 1. a linear combination of the input ciphertexts plus a plaintext
+//!    offset places the correct answer's phase in `(0, 1/2)` and the wrong
+//!    answer's in `(-1/2, 0)`;
+//! 2. a blind rotation against the constant test vector `mu = 1/8` maps
+//!    the sign of that phase to a fresh `±1/8` encryption (resetting the
+//!    noise);
+//! 3. a key switch returns the sample to the gate dimension `n`.
+//!
+//! Steps 2 and 3 are the "Blind Rotation" and "Key Switching" segments of
+//! the paper's Figure 7 profile.
+
+use crate::keys::{ServerKey, MU_LOG2_DENOM};
+use crate::lwe::LweCiphertext;
+use crate::tgsw::ExternalProductScratch;
+use crate::torus::Torus32;
+
+/// Timing breakdown of one gate evaluation, used to regenerate Figure 7.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GateProfile {
+    /// Seconds spent in blind rotation (incl. sample extraction).
+    pub blind_rotation_s: f64,
+    /// Seconds spent in key switching.
+    pub key_switching_s: f64,
+    /// Seconds spent in the linear phase (negligible).
+    pub linear_s: f64,
+}
+
+impl GateProfile {
+    /// Total gate time.
+    pub fn total_s(&self) -> f64 {
+        self.blind_rotation_s + self.key_switching_s + self.linear_s
+    }
+}
+
+impl ServerKey {
+    fn mu() -> Torus32 {
+        Torus32::from_fraction(1, MU_LOG2_DENOM)
+    }
+
+    /// Core bootstrapped-gate path: bootstrap `combo` to `±1/8`, then key
+    /// switch to dimension `n`.
+    fn finish(&self, combo: &LweCiphertext, scratch: &mut ExternalProductScratch) -> LweCiphertext {
+        let raw = self.bootstrap.bootstrap_raw(combo, Self::mu(), scratch);
+        self.keyswitch.switch(&raw)
+    }
+
+    /// Allocates reusable scratch for gate evaluation (one per worker
+    /// thread).
+    pub fn gate_scratch(&self) -> ExternalProductScratch {
+        self.bootstrap.scratch()
+    }
+
+    /// `NAND` with caller-provided scratch (the hot-path API the backends
+    /// use). All other `_with` gates follow the same pattern.
+    pub fn nand_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, 1/8) - a - b
+        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
+        c.sub_assign(a);
+        c.sub_assign(b);
+        self.finish(&c, scratch)
+    }
+
+    /// `AND`.
+    pub fn and_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, -1/8) + a + b
+        let mut c = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
+        c.add_assign(a);
+        c.add_assign(b);
+        self.finish(&c, scratch)
+    }
+
+    /// `OR`.
+    pub fn or_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, 1/8) + a + b
+        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
+        c.add_assign(a);
+        c.add_assign(b);
+        self.finish(&c, scratch)
+    }
+
+    /// `NOR`.
+    pub fn nor_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, -1/8) - a - b
+        let mut c = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
+        c.sub_assign(a);
+        c.sub_assign(b);
+        self.finish(&c, scratch)
+    }
+
+    /// `XOR`.
+    pub fn xor_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, 1/4) + 2*(a + b)
+        let mut c = a.clone();
+        c.add_assign(b);
+        c.scale(2);
+        let mut offset = LweCiphertext::trivial(Torus32::from_fraction(1, 2), self.params.lwe_dim);
+        offset.add_assign(&c);
+        self.finish(&offset, scratch)
+    }
+
+    /// `XNOR`.
+    pub fn xnor_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, -1/4) - 2*(a + b)
+        let mut c = a.clone();
+        c.add_assign(b);
+        c.scale(-2);
+        let mut offset = LweCiphertext::trivial(Torus32::from_fraction(-1, 2), self.params.lwe_dim);
+        offset.add_assign(&c);
+        self.finish(&offset, scratch)
+    }
+
+    /// `ANDNY` = `!a & b`.
+    pub fn andny_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, -1/8) - a + b
+        let mut c = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
+        c.sub_assign(a);
+        c.add_assign(b);
+        self.finish(&c, scratch)
+    }
+
+    /// `ANDYN` = `a & !b`.
+    pub fn andyn_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, -1/8) + a - b
+        let mut c = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
+        c.add_assign(a);
+        c.sub_assign(b);
+        self.finish(&c, scratch)
+    }
+
+    /// `ORNY` = `!a | b`.
+    pub fn orny_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, 1/8) - a + b
+        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
+        c.sub_assign(a);
+        c.add_assign(b);
+        self.finish(&c, scratch)
+    }
+
+    /// `ORYN` = `a | !b`.
+    pub fn oryn_with(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // (0, 1/8) + a - b
+        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
+        c.add_assign(a);
+        c.sub_assign(b);
+        self.finish(&c, scratch)
+    }
+
+    /// `NOT` — a free negation, no bootstrapping required.
+    pub fn not(&self, a: &LweCiphertext) -> LweCiphertext {
+        let mut c = a.clone();
+        c.negate();
+        c
+    }
+
+    /// A trivial encryption of a constant bit, decryptable under any key.
+    pub fn constant(&self, bit: bool) -> LweCiphertext {
+        let mu = if bit { Self::mu() } else { -Self::mu() };
+        LweCiphertext::trivial(mu, self.params.lwe_dim)
+    }
+
+    /// `MUX(s, a, b) = s ? a : b` — the TFHE-library bonus gate, built from
+    /// two bootstraps and one key switch.
+    pub fn mux_with(
+        &self,
+        s: &LweCiphertext,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) -> LweCiphertext {
+        // t1 = bootstrap(s AND a), t2 = bootstrap(!s AND b), out = KS(t1 + t2 + 1/8).
+        let mut c1 = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
+        c1.add_assign(s);
+        c1.add_assign(a);
+        let u1 = self.bootstrap.bootstrap_raw(&c1, Self::mu(), scratch);
+        let mut c2 = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
+        c2.sub_assign(s);
+        c2.add_assign(b);
+        let u2 = self.bootstrap.bootstrap_raw(&c2, Self::mu(), scratch);
+        let mut sum = LweCiphertext::trivial(Self::mu(), self.keyswitch.src_dim());
+        sum.add_assign(&u1);
+        sum.add_assign(&u2);
+        self.keyswitch.switch(&sum)
+    }
+
+    /// Convenience allocation-per-call variants of every gate.
+    pub fn nand(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.nand_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::and_with`].
+    pub fn and(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.and_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::or_with`].
+    pub fn or(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.or_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::nor_with`].
+    pub fn nor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.nor_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::xor_with`].
+    pub fn xor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.xor_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::xnor_with`].
+    pub fn xnor(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.xnor_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::andny_with`].
+    pub fn andny(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.andny_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::andyn_with`].
+    pub fn andyn(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.andyn_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::orny_with`].
+    pub fn orny(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.orny_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::oryn_with`].
+    pub fn oryn(&self, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.oryn_with(a, b, &mut self.gate_scratch())
+    }
+    /// See [`ServerKey::mux_with`].
+    pub fn mux(&self, s: &LweCiphertext, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        self.mux_with(s, a, b, &mut self.gate_scratch())
+    }
+
+    /// Evaluates one gate while timing its phases — the measurement behind
+    /// the Figure 7 reproduction.
+    pub fn profile_nand(&self, a: &LweCiphertext, b: &LweCiphertext) -> (LweCiphertext, GateProfile) {
+        use std::time::Instant;
+        let mut scratch = self.gate_scratch();
+        let t0 = Instant::now();
+        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
+        c.sub_assign(a);
+        c.sub_assign(b);
+        let t1 = Instant::now();
+        let raw = self.bootstrap.bootstrap_raw(&c, Self::mu(), &mut scratch);
+        let t2 = Instant::now();
+        let out = self.keyswitch.switch(&raw);
+        let t3 = Instant::now();
+        let profile = GateProfile {
+            linear_s: (t1 - t0).as_secs_f64(),
+            blind_rotation_s: (t2 - t1).as_secs_f64(),
+            key_switching_s: (t3 - t2).as_secs_f64(),
+        };
+        (out, profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ClientKey, Params, SecureRng, ServerKey};
+
+    fn setup() -> (ClientKey, ServerKey, SecureRng) {
+        let mut rng = SecureRng::seed_from_u64(80);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        (client, server, rng)
+    }
+
+    #[test]
+    fn all_binary_gates_truth_tables() {
+        let (client, server, mut rng) = setup();
+        type GateFn = fn(&ServerKey, &crate::LweCiphertext, &crate::LweCiphertext) -> crate::LweCiphertext;
+        let gates: [(&str, GateFn, fn(bool, bool) -> bool); 10] = [
+            ("nand", ServerKey::nand, |a, b| !(a && b)),
+            ("and", ServerKey::and, |a, b| a && b),
+            ("or", ServerKey::or, |a, b| a || b),
+            ("nor", ServerKey::nor, |a, b| !(a || b)),
+            ("xor", ServerKey::xor, |a, b| a ^ b),
+            ("xnor", ServerKey::xnor, |a, b| !(a ^ b)),
+            ("andny", ServerKey::andny, |a, b| !a && b),
+            ("andyn", ServerKey::andyn, |a, b| a && !b),
+            ("orny", ServerKey::orny, |a, b| !a || b),
+            ("oryn", ServerKey::oryn, |a, b| a || !b),
+        ];
+        for (name, gate, oracle) in gates {
+            for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+                let ca = client.encrypt_bit(a, &mut rng);
+                let cb = client.encrypt_bit(b, &mut rng);
+                let out = gate(&server, &ca, &cb);
+                assert_eq!(client.decrypt_bit(&out), oracle(a, b), "{name}({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn not_and_constants() {
+        let (client, server, mut rng) = setup();
+        for bit in [false, true] {
+            let ct = client.encrypt_bit(bit, &mut rng);
+            assert_eq!(client.decrypt_bit(&server.not(&ct)), !bit);
+            assert_eq!(client.decrypt_bit(&server.constant(bit)), bit);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let (client, server, mut rng) = setup();
+        for s in [false, true] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let cs = client.encrypt_bit(s, &mut rng);
+                    let ca = client.encrypt_bit(a, &mut rng);
+                    let cb = client.encrypt_bit(b, &mut rng);
+                    let out = server.mux(&cs, &ca, &cb);
+                    assert_eq!(client.decrypt_bit(&out), if s { a } else { b }, "mux({s},{a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gates_chain_arbitrarily_deep() {
+        // The whole point of bootstrapping: noise does not accumulate.
+        let (client, server, mut rng) = setup();
+        let mut ct = client.encrypt_bit(true, &mut rng);
+        let one = client.encrypt_bit(true, &mut rng);
+        let mut value = true;
+        for _ in 0..24 {
+            ct = server.nand(&ct, &one);
+            value = !(value && true);
+            assert_eq!(client.decrypt_bit(&ct), value);
+        }
+    }
+
+    #[test]
+    fn profile_reports_nonzero_phases() {
+        let (client, server, mut rng) = setup();
+        let a = client.encrypt_bit(true, &mut rng);
+        let b = client.encrypt_bit(true, &mut rng);
+        let (out, profile) = server.profile_nand(&a, &b);
+        assert!(!client.decrypt_bit(&out));
+        assert!(profile.blind_rotation_s > 0.0);
+        assert!(profile.key_switching_s > 0.0);
+        assert!(profile.blind_rotation_s > profile.key_switching_s,
+            "blind rotation dominates (Figure 7)");
+        assert!(profile.total_s() > 0.0);
+    }
+}

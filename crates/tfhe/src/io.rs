@@ -1,0 +1,298 @@
+//! Byte-level serialization of keys and ciphertexts.
+//!
+//! The wire formats are simple little-endian layouts with a magic tag and a
+//! parameter-set identifier, so that the cloud backend can reject
+//! mismatched material instead of computing garbage. This is the transfer
+//! path of Figure 1: ciphertexts and the public (server) key travel to the
+//! cloud; the client key never does.
+
+use crate::bootstrap::BootstrappingKey;
+use crate::error::TfheError;
+use crate::fft::{Complex, FreqPoly};
+use crate::keys::{ClientKey, ServerKey};
+use crate::keyswitch::KeySwitchKey;
+use crate::lwe::{LweCiphertext, LweKey};
+use crate::params::Params;
+use crate::poly::IntPoly;
+use crate::tgsw::{Gadget, TgswFft};
+use crate::tlwe::TlweKey;
+use crate::torus::Torus32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const CT_MAGIC: u32 = 0x5446_4301; // "TFC\x01"
+const CK_MAGIC: u32 = 0x5446_4B01; // "TFK\x01"
+const SK_MAGIC: u32 = 0x5446_5301; // "TFS\x01"
+
+/// Serializes one LWE ciphertext.
+pub fn ciphertext_to_bytes(ct: &LweCiphertext, params: &Params) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + ct.dim() * 4 + 4);
+    buf.put_u32_le(CT_MAGIC);
+    buf.put_u32_le(params.id());
+    buf.put_u32_le(ct.dim() as u32);
+    for t in ct.mask() {
+        buf.put_u32_le(t.0);
+    }
+    buf.put_u32_le(ct.body().0);
+    buf.freeze()
+}
+
+/// Deserializes one LWE ciphertext.
+///
+/// # Errors
+///
+/// Returns [`TfheError::Corrupt`] on truncated or mistagged input and
+/// [`TfheError::UnknownParams`] for unknown parameter identifiers.
+pub fn ciphertext_from_bytes(mut data: &[u8]) -> Result<(LweCiphertext, Params), TfheError> {
+    let corrupt = TfheError::Corrupt { what: "ciphertext" };
+    if data.remaining() < 12 {
+        return Err(corrupt.clone());
+    }
+    if data.get_u32_le() != CT_MAGIC {
+        return Err(corrupt.clone());
+    }
+    let params = Params::from_id(data.get_u32_le()).ok_or(TfheError::UnknownParams)?;
+    let dim = data.get_u32_le() as usize;
+    if data.remaining() != (dim + 1) * 4 {
+        return Err(corrupt);
+    }
+    let a = (0..dim).map(|_| Torus32(data.get_u32_le())).collect();
+    let b = Torus32(data.get_u32_le());
+    Ok((LweCiphertext::from_parts(a, b), params))
+}
+
+/// Serializes the client (secret) key. Handle with care.
+pub fn client_key_to_bytes(key: &ClientKey) -> Bytes {
+    let params = *key.params();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(CK_MAGIC);
+    buf.put_u32_le(params.id());
+    let lwe = key.lwe_key();
+    buf.put_u32_le(lwe.dim() as u32);
+    for &b in lwe.bits() {
+        buf.put_u8(b as u8);
+    }
+    let tlwe = key.tlwe_key();
+    buf.put_u32_le(tlwe.k() as u32);
+    buf.put_u32_le(tlwe.poly_size() as u32);
+    for poly in tlwe.polys() {
+        for &c in poly.coeffs() {
+            buf.put_u8(c as u8);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a client key.
+///
+/// # Errors
+///
+/// Returns [`TfheError::Corrupt`] / [`TfheError::UnknownParams`] like
+/// [`ciphertext_from_bytes`].
+pub fn client_key_from_bytes(mut data: &[u8]) -> Result<ClientKey, TfheError> {
+    let corrupt = TfheError::Corrupt { what: "client key" };
+    if data.remaining() < 12 || data.get_u32_le() != CK_MAGIC {
+        return Err(corrupt.clone());
+    }
+    let params = Params::from_id(data.get_u32_le()).ok_or(TfheError::UnknownParams)?;
+    let n = data.get_u32_le() as usize;
+    if data.remaining() < n {
+        return Err(corrupt.clone());
+    }
+    let bits: Vec<i32> = (0..n).map(|_| i32::from(data.get_u8())).collect();
+    if data.remaining() < 8 {
+        return Err(corrupt.clone());
+    }
+    let k = data.get_u32_le() as usize;
+    let poly_size = data.get_u32_le() as usize;
+    if data.remaining() != k * poly_size {
+        return Err(corrupt);
+    }
+    let polys = (0..k)
+        .map(|_| IntPoly::from_coeffs((0..poly_size).map(|_| i32::from(data.get_u8())).collect()))
+        .collect();
+    Ok(ClientKey::from_parts(params, LweKey::from_bits(bits), TlweKey::from_polys(polys)))
+}
+
+/// Serializes the public server key (bootstrapping key in FFT form plus
+/// key-switching key). For the default parameters this is on the order of
+/// 100 MB — dominated by the FFT-domain bootstrapping key, as in the
+/// reference TFHE library.
+pub fn server_key_to_bytes(key: &ServerKey) -> Bytes {
+    let params = *key.params();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(SK_MAGIC);
+    buf.put_u32_le(params.id());
+    // Bootstrapping key.
+    let tgsw = key.bootstrapping_key().tgsw_raw();
+    buf.put_u32_le(tgsw.len() as u32);
+    for t in tgsw {
+        let rows = t.rows_raw();
+        buf.put_u32_le(rows.len() as u32);
+        for row in rows {
+            buf.put_u32_le(row.len() as u32);
+            for poly in row {
+                buf.put_u32_le(poly.len() as u32);
+                for c in poly.values_raw() {
+                    buf.put_f64_le(c.re);
+                    buf.put_f64_le(c.im);
+                }
+            }
+        }
+    }
+    // Key-switching key.
+    let ks = key.keyswitch_key();
+    buf.put_u32_le(ks.src_dim() as u32);
+    buf.put_u32_le(ks.dst_dim() as u32);
+    buf.put_u32_le(ks.levels() as u32);
+    buf.put_u32_le(ks.base_log() as u32);
+    buf.put_u32_le(ks.num_samples() as u32);
+    for s in ks.samples_raw() {
+        for t in s.mask() {
+            buf.put_u32_le(t.0);
+        }
+        buf.put_u32_le(s.body().0);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a server key.
+///
+/// # Errors
+///
+/// Returns [`TfheError::Corrupt`] / [`TfheError::UnknownParams`] like
+/// [`ciphertext_from_bytes`].
+pub fn server_key_from_bytes(mut data: &[u8]) -> Result<ServerKey, TfheError> {
+    let corrupt = TfheError::Corrupt { what: "server key" };
+    if data.remaining() < 12 || data.get_u32_le() != SK_MAGIC {
+        return Err(corrupt.clone());
+    }
+    let params = Params::from_id(data.get_u32_le()).ok_or(TfheError::UnknownParams)?;
+    let gadget = Gadget { levels: params.decomp_levels, base_log: params.decomp_base_log };
+    let n_tgsw = data.get_u32_le() as usize;
+    let mut tgsw = Vec::with_capacity(n_tgsw);
+    for _ in 0..n_tgsw {
+        if data.remaining() < 4 {
+            return Err(corrupt.clone());
+        }
+        let n_rows = data.get_u32_le() as usize;
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            if data.remaining() < 4 {
+                return Err(corrupt.clone());
+            }
+            let n_polys = data.get_u32_le() as usize;
+            let mut row = Vec::with_capacity(n_polys);
+            for _ in 0..n_polys {
+                if data.remaining() < 4 {
+                    return Err(corrupt.clone());
+                }
+                let len = data.get_u32_le() as usize;
+                if data.remaining() < len * 16 {
+                    return Err(corrupt.clone());
+                }
+                let values = (0..len)
+                    .map(|_| Complex { re: data.get_f64_le(), im: data.get_f64_le() })
+                    .collect();
+                row.push(FreqPoly::from_values(values));
+            }
+            rows.push(row);
+        }
+        tgsw.push(TgswFft::from_rows(rows, gadget));
+    }
+    if data.remaining() < 20 {
+        return Err(corrupt.clone());
+    }
+    let src_dim = data.get_u32_le() as usize;
+    let dst_dim = data.get_u32_le() as usize;
+    let levels = data.get_u32_le() as usize;
+    let base_log = data.get_u32_le() as usize;
+    let n_samples = data.get_u32_le() as usize;
+    if data.remaining() != n_samples * (dst_dim + 1) * 4 {
+        return Err(corrupt);
+    }
+    let mut samples = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let a = (0..dst_dim).map(|_| Torus32(data.get_u32_le())).collect();
+        let b = Torus32(data.get_u32_le());
+        samples.push(LweCiphertext::from_parts(a, b));
+    }
+    let bootstrap = BootstrappingKey::from_parts(params, tgsw);
+    let keyswitch = KeySwitchKey::from_parts(samples, src_dim, dst_dim, levels, base_log);
+    Ok(ServerKey { params, bootstrap, keyswitch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SecureRng;
+
+    #[test]
+    fn ciphertext_round_trip() {
+        let mut rng = SecureRng::seed_from_u64(90);
+        let params = Params::testing();
+        let client = ClientKey::generate(params, &mut rng);
+        let ct = client.encrypt_bit(true, &mut rng);
+        let bytes = ciphertext_to_bytes(&ct, &params);
+        assert_eq!(bytes.len(), 12 + params.ciphertext_bytes());
+        let (back, p2) = ciphertext_from_bytes(&bytes).unwrap();
+        assert_eq!(back, ct);
+        assert_eq!(p2, params);
+    }
+
+    #[test]
+    fn ciphertext_rejects_corruption() {
+        let mut rng = SecureRng::seed_from_u64(91);
+        let params = Params::testing();
+        let client = ClientKey::generate(params, &mut rng);
+        let ct = client.encrypt_bit(false, &mut rng);
+        let bytes = ciphertext_to_bytes(&ct, &params);
+        // Truncated.
+        assert!(ciphertext_from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(ciphertext_from_bytes(&bad).is_err());
+        // Unknown params id.
+        let mut bad = bytes.to_vec();
+        bad[4] = 0xEE;
+        assert_eq!(ciphertext_from_bytes(&bad).unwrap_err(), TfheError::UnknownParams);
+    }
+
+    #[test]
+    fn client_key_round_trip() {
+        let mut rng = SecureRng::seed_from_u64(92);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let bytes = client_key_to_bytes(&client);
+        let back = client_key_from_bytes(&bytes).unwrap();
+        // The restored key must decrypt what the original encrypted.
+        let ct = client.encrypt_bit(true, &mut rng);
+        assert!(back.decrypt_bit(&ct));
+        let ct = client.encrypt_bit(false, &mut rng);
+        assert!(!back.decrypt_bit(&ct));
+    }
+
+    #[test]
+    fn server_key_round_trip_evaluates_gates() {
+        let mut rng = SecureRng::seed_from_u64(93);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let bytes = server_key_to_bytes(&server);
+        let back = server_key_from_bytes(&bytes).unwrap();
+        let a = client.encrypt_bit(true, &mut rng);
+        let b = client.encrypt_bit(true, &mut rng);
+        assert!(!client.decrypt_bit(&back.nand(&a, &b)));
+        assert!(client.decrypt_bit(&back.and(&a, &b)));
+    }
+
+    #[test]
+    fn server_key_rejects_corruption() {
+        let mut rng = SecureRng::seed_from_u64(94);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let bytes = server_key_to_bytes(&server);
+        assert!(server_key_from_bytes(&bytes[..100]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0x1;
+        assert!(server_key_from_bytes(&bad).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! LWE-to-LWE key switching: converts samples under the extracted
+//! dimension-`k·N` key back to the small dimension-`n` gate key.
+//!
+//! Figure 7 of the paper shows key switching as the second-largest cost of
+//! a bootstrapped gate evaluation (after blind rotation).
+
+use crate::lwe::{LweCiphertext, LweKey};
+use crate::rng::SecureRng;
+use crate::torus::Torus32;
+
+/// A key-switching key: `src_dim × t × (base - 1)` LWE samples under the
+/// destination key.
+///
+/// `ks[i][j][v-1]` encrypts `v * s_i / base^(j+1)` where `s_i` is bit `i`
+/// of the source key. For the default parameters (`N = 1024`, `t = 8`,
+/// `base = 4`, `n = 630`) this is ~62 MB — the dominant share of TFHE's
+/// "public key of a few megabytes to ~100 MB" footprint.
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    samples: Vec<LweCiphertext>,
+    src_dim: usize,
+    dst_dim: usize,
+    levels: usize,
+    base_log: usize,
+}
+
+impl KeySwitchKey {
+    /// Generates the key-switching key from `src` to `dst`.
+    pub fn generate(
+        src: &LweKey,
+        dst: &LweKey,
+        levels: usize,
+        base_log: usize,
+        noise_stdev: f64,
+        rng: &mut SecureRng,
+    ) -> Self {
+        let base = 1usize << base_log;
+        let mut samples = Vec::with_capacity(src.dim() * levels * (base - 1));
+        for i in 0..src.dim() {
+            let s_i = src.bits()[i];
+            for j in 0..levels {
+                // message(v) = v * s_i / base^(j+1)
+                let unit = Torus32(1u32 << (32 - (j + 1) * base_log));
+                for v in 1..base {
+                    let message = (v as i32 * s_i) * unit;
+                    samples.push(dst.encrypt(message, noise_stdev, rng));
+                }
+            }
+        }
+        KeySwitchKey {
+            samples,
+            src_dim: src.dim(),
+            dst_dim: dst.dim(),
+            levels,
+            base_log,
+        }
+    }
+
+    /// Raw samples (crate-internal, for serialization).
+    pub(crate) fn samples_raw(&self) -> &[LweCiphertext] {
+        &self.samples
+    }
+
+    /// Rebuilds from parts (crate-internal, for deserialization).
+    pub(crate) fn from_parts(
+        samples: Vec<LweCiphertext>,
+        src_dim: usize,
+        dst_dim: usize,
+        levels: usize,
+        base_log: usize,
+    ) -> Self {
+        KeySwitchKey { samples, src_dim, dst_dim, levels, base_log }
+    }
+
+    /// Decomposition levels `t` (for serialization headers).
+    pub(crate) fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Decomposition base log (for serialization headers).
+    pub(crate) fn base_log(&self) -> usize {
+        self.base_log
+    }
+
+    /// Source dimension (`k * N`).
+    pub fn src_dim(&self) -> usize {
+        self.src_dim
+    }
+
+    /// Destination dimension (`n`).
+    pub fn dst_dim(&self) -> usize {
+        self.dst_dim
+    }
+
+    /// Total stored samples (for size accounting).
+    pub fn num_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    #[inline]
+    fn sample(&self, i: usize, j: usize, v: usize) -> &LweCiphertext {
+        let base = 1usize << self.base_log;
+        &self.samples[(i * self.levels + j) * (base - 1) + (v - 1)]
+    }
+
+    /// Switches `ct` (under the source key) to a sample under the
+    /// destination key encrypting the same message (plus key-switch noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ct` does not have the source dimension.
+    pub fn switch(&self, ct: &LweCiphertext) -> LweCiphertext {
+        assert_eq!(ct.dim(), self.src_dim, "key switch input dimension mismatch");
+        let mut out = LweCiphertext::trivial(ct.body(), self.dst_dim);
+        let base_mask = (1u32 << self.base_log) - 1;
+        let total_bits = (self.levels * self.base_log) as u32;
+        // Rounding offset: half of the smallest represented step.
+        let round = 1u32 << (32 - total_bits - 1);
+        for (i, &a_i) in ct.mask().iter().enumerate() {
+            let tmp = a_i.0.wrapping_add(round);
+            for j in 0..self.levels {
+                let shift = 32 - ((j + 1) * self.base_log) as u32;
+                let digit = (tmp >> shift) & base_mask;
+                if digit != 0 {
+                    out.sub_assign(self.sample(i, j, digit as usize));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_switch_preserves_message() {
+        let mut rng = SecureRng::seed_from_u64(50);
+        let src = LweKey::generate(256, &mut rng);
+        let dst = LweKey::generate(64, &mut rng);
+        let ksk = KeySwitchKey::generate(&src, &dst, 8, 2, 1e-9, &mut rng);
+        for frac in [-1, 1] {
+            let m = Torus32::from_fraction(frac, 3);
+            let ct = src.encrypt(m, 1e-9, &mut rng);
+            let switched = ksk.switch(&ct);
+            assert_eq!(switched.dim(), 64);
+            let err = (dst.phase(&switched) - m).to_f64().abs();
+            assert!(err < 1e-3, "frac={frac} err={err}");
+        }
+    }
+
+    #[test]
+    fn key_switch_is_linear() {
+        let mut rng = SecureRng::seed_from_u64(51);
+        let src = LweKey::generate(128, &mut rng);
+        let dst = LweKey::generate(32, &mut rng);
+        let ksk = KeySwitchKey::generate(&src, &dst, 8, 2, 1e-9, &mut rng);
+        let m1 = Torus32::from_fraction(1, 3);
+        let m2 = Torus32::from_fraction(1, 3);
+        let c1 = src.encrypt(m1, 1e-9, &mut rng);
+        let c2 = src.encrypt(m2, 1e-9, &mut rng);
+        let mut sum = c1.clone();
+        sum.add_assign(&c2);
+        let switched = ksk.switch(&sum);
+        let err = (dst.phase(&switched) - (m1 + m2)).to_f64().abs();
+        assert!(err < 1e-3, "err={err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_panics() {
+        let mut rng = SecureRng::seed_from_u64(52);
+        let src = LweKey::generate(128, &mut rng);
+        let dst = LweKey::generate(32, &mut rng);
+        let ksk = KeySwitchKey::generate(&src, &dst, 8, 2, 1e-9, &mut rng);
+        let ct = LweCiphertext::trivial(Torus32::ZERO, 64);
+        let _ = ksk.switch(&ct);
+    }
+
+    #[test]
+    fn sample_count_accounting() {
+        let mut rng = SecureRng::seed_from_u64(53);
+        let src = LweKey::generate(16, &mut rng);
+        let dst = LweKey::generate(8, &mut rng);
+        let ksk = KeySwitchKey::generate(&src, &dst, 3, 2, 1e-9, &mut rng);
+        assert_eq!(ksk.num_samples(), 16 * 3 * 3);
+        assert_eq!(ksk.src_dim(), 16);
+        assert_eq!(ksk.dst_dim(), 8);
+    }
+}

@@ -1,0 +1,111 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The randomness source used for key generation and encryption.
+///
+/// Wraps a cryptographically strong PRNG ([`StdRng`], currently ChaCha12)
+/// and adds the torus-Gaussian sampling TFHE needs. A deterministic
+/// [`SecureRng::seed_from_u64`] constructor is provided for reproducible
+/// tests and benchmarks; production use should prefer
+/// [`SecureRng::from_entropy`].
+#[derive(Debug)]
+pub struct SecureRng {
+    inner: StdRng,
+    /// Spare Gaussian variate from the last Box–Muller draw.
+    spare: Option<f64>,
+}
+
+impl SecureRng {
+    /// Creates an RNG seeded from the thread-local entropy source.
+    pub fn from_entropy() -> Self {
+        SecureRng { inner: rand::make_rng(), spare: None }
+    }
+
+    /// Creates a deterministic RNG for tests and reproducible benchmarks.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SecureRng { inner: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// A uniformly random `u32` (i.e. a uniform torus element).
+    #[inline]
+    pub fn uniform_u32(&mut self) -> u32 {
+        self.inner.random()
+    }
+
+    /// A uniformly random bit.
+    #[inline]
+    pub fn bit(&mut self) -> bool {
+        self.inner.random()
+    }
+
+    /// A standard-normal variate via Box–Muller (caching the spare).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u1: f64 = self.inner.random();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2: f64 = self.inner.random();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = std::f64::consts::TAU * u2;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// A Gaussian variate with the given standard deviation.
+    #[inline]
+    pub fn gaussian(&mut self, stdev: f64) -> f64 {
+        self.standard_normal() * stdev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = SecureRng::seed_from_u64(42);
+        let mut b = SecureRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u32(), b.uniform_u32());
+        }
+    }
+
+    #[test]
+    fn entropy_rngs_differ() {
+        let mut a = SecureRng::from_entropy();
+        let mut b = SecureRng::from_entropy();
+        let sa: Vec<u32> = (0..4).map(|_| a.uniform_u32()).collect();
+        let sb: Vec<u32> = (0..4).map(|_| b.uniform_u32()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SecureRng::seed_from_u64(1);
+        let n = 100_000;
+        let stdev = 3.0;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(stdev)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - stdev).abs() < 0.05, "stdev {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_is_spread() {
+        let mut rng = SecureRng::seed_from_u64(2);
+        let mut buckets = [0u32; 16];
+        for _ in 0..16000 {
+            buckets[(rng.uniform_u32() >> 28) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket {b}");
+        }
+    }
+}

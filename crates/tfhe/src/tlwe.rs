@@ -1,0 +1,247 @@
+//! TLWE (ring-LWE over the torus) samples — the accumulator type of blind
+//! rotation.
+
+use crate::lwe::{LweCiphertext, LweKey};
+use crate::poly::{naive_negacyclic_mul, IntPoly, TorusPoly};
+use crate::rng::SecureRng;
+
+/// A TLWE secret key: `k` binary polynomials of degree bound `N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlweKey {
+    polys: Vec<IntPoly>,
+    n: usize,
+}
+
+impl TlweKey {
+    /// Samples a key with `k` binary polynomials of size `n`.
+    pub fn generate(k: usize, n: usize, rng: &mut SecureRng) -> Self {
+        TlweKey { polys: (0..k).map(|_| IntPoly::binary(n, rng)).collect(), n }
+    }
+
+    /// Builds a key from explicit polynomials (deserialization).
+    pub fn from_polys(polys: Vec<IntPoly>) -> Self {
+        let n = polys.first().map_or(0, IntPoly::len);
+        TlweKey { polys, n }
+    }
+
+    /// GLWE dimension `k`.
+    pub fn k(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Ring dimension `N`.
+    pub fn poly_size(&self) -> usize {
+        self.n
+    }
+
+    /// The key polynomials.
+    pub fn polys(&self) -> &[IntPoly] {
+        &self.polys
+    }
+
+    /// Encrypts a message polynomial with fresh noise.
+    pub fn encrypt_poly(&self, message: &TorusPoly, stdev: f64, rng: &mut SecureRng) -> TlweCiphertext {
+        debug_assert_eq!(message.len(), self.n);
+        let a: Vec<TorusPoly> = (0..self.k()).map(|_| TorusPoly::uniform(self.n, rng)).collect();
+        let mut b = message.clone();
+        b.add_gaussian(stdev, rng);
+        for (ai, si) in a.iter().zip(&self.polys) {
+            b.add_assign(&naive_negacyclic_mul(si, ai));
+        }
+        TlweCiphertext { a, b }
+    }
+
+    /// The phase polynomial `b - sum(a_i * s_i)`.
+    pub fn phase(&self, ct: &TlweCiphertext) -> TorusPoly {
+        let mut phase = ct.b.clone();
+        for (ai, si) in ct.a.iter().zip(&self.polys) {
+            phase.sub_assign(&naive_negacyclic_mul(si, ai));
+        }
+        phase
+    }
+
+    /// Reinterprets the TLWE key as an LWE key of dimension `k * N` — the
+    /// key under which extracted samples decrypt.
+    pub fn extracted_lwe_key(&self) -> LweKey {
+        let mut bits = Vec::with_capacity(self.k() * self.n);
+        for p in &self.polys {
+            bits.extend_from_slice(p.coeffs());
+        }
+        LweKey::from_bits(bits)
+    }
+}
+
+/// A TLWE ciphertext: `k` mask polynomials plus a body polynomial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlweCiphertext {
+    /// Mask polynomials `a_1 .. a_k`.
+    pub(crate) a: Vec<TorusPoly>,
+    /// Body polynomial `b`.
+    pub(crate) b: TorusPoly,
+}
+
+impl TlweCiphertext {
+    /// The trivial (noiseless) encryption of `message`.
+    pub fn trivial(message: TorusPoly, k: usize) -> Self {
+        let n = message.len();
+        TlweCiphertext { a: (0..k).map(|_| TorusPoly::zero(n)).collect(), b: message }
+    }
+
+    /// GLWE dimension `k`.
+    pub fn k(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Ring dimension `N`.
+    pub fn poly_size(&self) -> usize {
+        self.b.len()
+    }
+
+    /// All `k + 1` polynomials, mask first then body.
+    pub fn polys(&self) -> impl Iterator<Item = &TorusPoly> {
+        self.a.iter().chain(std::iter::once(&self.b))
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &TlweCiphertext) {
+        for (x, y) in self.a.iter_mut().zip(&other.a) {
+            x.add_assign(y);
+        }
+        self.b.add_assign(&other.b);
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &TlweCiphertext) {
+        for (x, y) in self.a.iter_mut().zip(&other.a) {
+            x.sub_assign(y);
+        }
+        self.b.sub_assign(&other.b);
+    }
+
+    /// Rotates every polynomial by `X^amount` (negacyclic).
+    pub fn rotate(&self, amount: usize) -> TlweCiphertext {
+        TlweCiphertext {
+            a: self.a.iter().map(|p| p.mul_by_xk(amount)).collect(),
+            b: self.b.mul_by_xk(amount),
+        }
+    }
+
+    /// Extracts the LWE encryption of the constant coefficient of the
+    /// phase, under [`TlweKey::extracted_lwe_key`]. This is the bridge from
+    /// the blind-rotated accumulator back to an ordinary LWE sample.
+    pub fn extract_lwe(&self) -> LweCiphertext {
+        let n = self.poly_size();
+        let mut a = Vec::with_capacity(self.k() * n);
+        for poly in &self.a {
+            let c = poly.coeffs();
+            a.push(c[0]);
+            for j in 1..n {
+                a.push(-c[n - j]);
+            }
+        }
+        LweCiphertext { a, b: self.b.coeffs()[0] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::Torus32;
+
+    const STDEV: f64 = 1e-8;
+
+    fn max_abs_phase_err(phase: &TorusPoly, want: &TorusPoly) -> f64 {
+        phase
+            .coeffs()
+            .iter()
+            .zip(want.coeffs())
+            .map(|(&p, &w)| (p - w).to_f64().abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut rng = SecureRng::seed_from_u64(30);
+        let key = TlweKey::generate(1, 64, &mut rng);
+        let msg = TorusPoly::fill(Torus32::from_fraction(1, 3), 64);
+        let ct = key.encrypt_poly(&msg, STDEV, &mut rng);
+        let phase = key.phase(&ct);
+        assert!(max_abs_phase_err(&phase, &msg) < 1e-5);
+    }
+
+    #[test]
+    fn trivial_phase_is_exact() {
+        let mut rng = SecureRng::seed_from_u64(31);
+        let key = TlweKey::generate(2, 32, &mut rng);
+        let msg = TorusPoly::fill(Torus32::from_fraction(-1, 3), 32);
+        let ct = TlweCiphertext::trivial(msg.clone(), 2);
+        assert_eq!(key.phase(&ct), msg);
+    }
+
+    #[test]
+    fn rotation_commutes_with_phase() {
+        let mut rng = SecureRng::seed_from_u64(32);
+        let n = 32;
+        let key = TlweKey::generate(1, n, &mut rng);
+        let msg = TorusPoly::uniform(n, &mut rng);
+        let ct = key.encrypt_poly(&msg, STDEV, &mut rng);
+        for amount in [1, n / 2, n, 2 * n - 1] {
+            let rotated = ct.rotate(amount);
+            let phase = key.phase(&rotated);
+            let want = key.phase(&ct).mul_by_xk(amount);
+            assert_eq!(phase, want, "rotation is exact on ciphertexts, amount={amount}");
+        }
+    }
+
+    #[test]
+    fn extract_yields_constant_coefficient() {
+        let mut rng = SecureRng::seed_from_u64(33);
+        let n = 64;
+        let key = TlweKey::generate(1, n, &mut rng);
+        let mut msg = TorusPoly::zero(n);
+        msg.coeffs_mut()[0] = Torus32::from_fraction(1, 3);
+        msg.coeffs_mut()[1] = Torus32::from_fraction(-1, 2);
+        let ct = key.encrypt_poly(&msg, STDEV, &mut rng);
+        let lwe = ct.extract_lwe();
+        let lwe_key = key.extracted_lwe_key();
+        assert_eq!(lwe.dim(), n);
+        let phase = lwe_key.phase(&lwe);
+        let err = (phase - Torus32::from_fraction(1, 3)).to_f64().abs();
+        assert!(err < 1e-5, "err={err}");
+    }
+
+    #[test]
+    fn extract_after_rotation_reads_other_coefficients() {
+        let mut rng = SecureRng::seed_from_u64(34);
+        let n = 32;
+        let key = TlweKey::generate(1, n, &mut rng);
+        let msg = TorusPoly::uniform(n, &mut rng);
+        let ct = key.encrypt_poly(&msg, STDEV, &mut rng);
+        let lwe_key = key.extracted_lwe_key();
+        // Rotating by 2N - j moves coefficient j to position 0.
+        for j in [0usize, 1, 7, n - 1] {
+            let rotated = ct.rotate((2 * n - j) % (2 * n));
+            let phase = lwe_key.phase(&rotated.extract_lwe());
+            let err = (phase - msg.coeffs()[j]).to_f64().abs();
+            assert!(err < 1e-5, "j={j} err={err}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_add_sub() {
+        let mut rng = SecureRng::seed_from_u64(35);
+        let n = 32;
+        let key = TlweKey::generate(1, n, &mut rng);
+        let m1 = TorusPoly::uniform(n, &mut rng);
+        let m2 = TorusPoly::uniform(n, &mut rng);
+        let c1 = key.encrypt_poly(&m1, STDEV, &mut rng);
+        let c2 = key.encrypt_poly(&m2, STDEV, &mut rng);
+        let mut sum = c1.clone();
+        sum.add_assign(&c2);
+        let mut want = m1.clone();
+        want.add_assign(&m2);
+        assert!(max_abs_phase_err(&key.phase(&sum), &want) < 1e-5);
+        sum.sub_assign(&c2);
+        assert!(max_abs_phase_err(&key.phase(&sum), &m1) < 1e-5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Arithmetic on the discretized torus `T = R/Z`, represented with 32 bits
+//! of precision.
+//!
+//! A [`Torus32`] holds the fraction `value / 2^32`; addition and negation
+//! are plain wrapping integer operations, and multiplication is only
+//! defined against integers (the torus is a `Z`-module, not a ring).
+
+use crate::rng::SecureRng;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// An element of the real torus `R/Z` with 32-bit precision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Torus32(pub u32);
+
+impl Torus32 {
+    /// The torus zero.
+    pub const ZERO: Torus32 = Torus32(0);
+
+    /// Encodes the fraction `numerator / 2^log2_denominator`, e.g.
+    /// `Torus32::from_fraction(1, 3)` is `1/8` — the canonical message
+    /// amplitude `mu` of gate bootstrapping.
+    #[inline]
+    pub fn from_fraction(numerator: i32, log2_denominator: u32) -> Self {
+        debug_assert!(log2_denominator <= 31);
+        Torus32((numerator as u32).wrapping_shl(32 - log2_denominator))
+    }
+
+    /// Converts a real number to the nearest torus element (mod 1).
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        let frac = x - x.floor();
+        // Round to the nearest multiple of 2^-32, wrapping 1.0 to 0.
+        Torus32(((frac * 4294967296.0).round() as u64 & 0xFFFF_FFFF) as u32)
+    }
+
+    /// The representative of this element in `[-0.5, 0.5)`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        (self.0 as i32) as f64 / 4294967296.0
+    }
+
+    /// Interprets the element as a signed 32-bit integer (its lift to
+    /// `[-2^31, 2^31)` in units of `2^-32`).
+    #[inline]
+    pub fn as_i32(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// Adds a centered Gaussian error with the given standard deviation —
+    /// the noise injection of every LWE/TLWE encryption.
+    #[inline]
+    pub fn add_gaussian(self, stdev: f64, rng: &mut SecureRng) -> Self {
+        self + Torus32::from_f64(rng.gaussian(stdev))
+    }
+
+    /// Uniformly random torus element (the mask of an LWE sample).
+    #[inline]
+    pub fn uniform(rng: &mut SecureRng) -> Self {
+        Torus32(rng.uniform_u32())
+    }
+
+    /// Rounds to the nearest multiple of `1/2^log2_denominator`, returning
+    /// the numerator in `[0, 2^log2_denominator)`; used when decoding
+    /// messages.
+    #[inline]
+    pub fn round_to(self, log2_denominator: u32) -> u32 {
+        let shift = 32 - log2_denominator;
+        let half = 1u32 << (shift - 1);
+        self.0.wrapping_add(half) >> shift
+    }
+
+    /// Switches the element from modulus `2^32` to modulus `2 * n`
+    /// (rounding), as done on every LWE coefficient before a blind
+    /// rotation. `n` must be a power of two.
+    #[inline]
+    pub fn mod_switch(self, n: usize) -> usize {
+        debug_assert!(n.is_power_of_two());
+        let log = (2 * n).trailing_zeros();
+        self.round_to(log) as usize % (2 * n)
+    }
+}
+
+impl Add for Torus32 {
+    type Output = Torus32;
+    #[inline]
+    fn add(self, rhs: Torus32) -> Torus32 {
+        Torus32(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl AddAssign for Torus32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Torus32) {
+        self.0 = self.0.wrapping_add(rhs.0);
+    }
+}
+
+impl Sub for Torus32 {
+    type Output = Torus32;
+    #[inline]
+    fn sub(self, rhs: Torus32) -> Torus32 {
+        Torus32(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Torus32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Torus32) {
+        self.0 = self.0.wrapping_sub(rhs.0);
+    }
+}
+
+impl Neg for Torus32 {
+    type Output = Torus32;
+    #[inline]
+    fn neg(self) -> Torus32 {
+        Torus32(self.0.wrapping_neg())
+    }
+}
+
+/// Integer scaling: the torus is a `Z`-module.
+impl Mul<Torus32> for i32 {
+    type Output = Torus32;
+    #[inline]
+    fn mul(self, rhs: Torus32) -> Torus32 {
+        Torus32((self as u32).wrapping_mul(rhs.0))
+    }
+}
+
+impl fmt::Display for Torus32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        assert_eq!(Torus32::from_fraction(1, 3).to_f64(), 0.125);
+        assert_eq!(Torus32::from_fraction(-1, 3).to_f64(), -0.125);
+        assert_eq!(Torus32::from_fraction(1, 2).to_f64(), 0.25);
+        assert_eq!(Torus32::from_fraction(2, 2).to_f64(), -0.5, "1/2 is its own negative");
+    }
+
+    #[test]
+    fn from_f64_wraps() {
+        assert_eq!(Torus32::from_f64(0.25), Torus32::from_fraction(1, 2));
+        assert_eq!(Torus32::from_f64(1.25), Torus32::from_fraction(1, 2));
+        assert_eq!(Torus32::from_f64(-0.75), Torus32::from_fraction(1, 2));
+        assert_eq!(Torus32::from_f64(0.0), Torus32::ZERO);
+        assert_eq!(Torus32::from_f64(1.0), Torus32::ZERO);
+    }
+
+    #[test]
+    fn group_laws() {
+        let a = Torus32::from_f64(0.3);
+        let b = Torus32::from_f64(0.9);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a + (-a), Torus32::ZERO);
+        assert_eq!(3 * a, a + a + a);
+    }
+
+    #[test]
+    fn round_to_decodes_messages() {
+        // mu = 1/8 must decode as numerator 1 out of 8; small noise must not
+        // change that.
+        let mu = Torus32::from_fraction(1, 3);
+        let noisy = mu + Torus32::from_f64(0.01);
+        assert_eq!(noisy.round_to(3), 1);
+        let noisy = mu - Torus32::from_f64(0.01);
+        assert_eq!(noisy.round_to(3), 1);
+    }
+
+    #[test]
+    fn mod_switch_rounds() {
+        let n = 512;
+        // 1/4 of the torus maps to 1/4 of 2n = 256.
+        assert_eq!(Torus32::from_f64(0.25).mod_switch(n), 256);
+        assert_eq!(Torus32::from_f64(0.0).mod_switch(n), 0);
+        // -1/4 maps to 3/4 of 2n.
+        assert_eq!(Torus32::from_f64(-0.25).mod_switch(n), 768);
+        // Just below the rounding boundary stays, just above advances.
+        let eps = 1.0 / (4.0 * n as f64) - 1e-6;
+        assert_eq!(Torus32::from_f64(eps).mod_switch(n), 0);
+        assert_eq!(Torus32::from_f64(eps + 3e-6).mod_switch(n), 1);
+    }
+
+    #[test]
+    fn gaussian_noise_is_small() {
+        let mut rng = SecureRng::seed_from_u64(3);
+        let stdev = 1e-5;
+        for _ in 0..100 {
+            let x = Torus32::ZERO.add_gaussian(stdev, &mut rng);
+            assert!(x.to_f64().abs() < 1e-4);
+        }
+    }
+}

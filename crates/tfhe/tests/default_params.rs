@@ -1,0 +1,49 @@
+//! End-to-end validation of the production 128-bit parameter set — the
+//! exact setting of the paper (Section II-D).
+//!
+//! These tests are slower than the rest of the suite (full-size key
+//! generation plus real bootstraps) but prove that the default parameters
+//! decrypt correctly through bootstrapped gate chains.
+
+use pytfhe_tfhe::{ClientKey, Params, SecureRng};
+
+#[test]
+fn default_128_gates_are_correct() {
+    let mut rng = SecureRng::seed_from_u64(2023);
+    let params = Params::default_128();
+    let client = ClientKey::generate(params, &mut rng);
+    let server = client.server_key(&mut rng);
+
+    let mut scratch = server.gate_scratch();
+    for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+        let ca = client.encrypt_bit(a, &mut rng);
+        let cb = client.encrypt_bit(b, &mut rng);
+        assert_eq!(client.decrypt_bit(&server.nand_with(&ca, &cb, &mut scratch)), !(a && b));
+        assert_eq!(client.decrypt_bit(&server.xor_with(&ca, &cb, &mut scratch)), a ^ b);
+        assert_eq!(client.decrypt_bit(&server.and_with(&ca, &cb, &mut scratch)), a && b);
+    }
+
+    // Chain gates to confirm noise stays bounded through bootstrapping.
+    let one = client.encrypt_bit(true, &mut rng);
+    let mut ct = client.encrypt_bit(false, &mut rng);
+    let mut value = false;
+    for _ in 0..8 {
+        ct = server.nand_with(&ct, &one, &mut scratch);
+        value = !value;
+        assert_eq!(client.decrypt_bit(&ct), value);
+    }
+}
+
+#[test]
+fn default_128_gate_profile_shape() {
+    // Figure 7 of the paper: blind rotation dominates, key switching second.
+    let mut rng = SecureRng::seed_from_u64(2024);
+    let params = Params::default_128();
+    let client = ClientKey::generate(params, &mut rng);
+    let server = client.server_key(&mut rng);
+    let a = client.encrypt_bit(true, &mut rng);
+    let b = client.encrypt_bit(false, &mut rng);
+    let (_, profile) = server.profile_nand(&a, &b);
+    assert!(profile.blind_rotation_s > profile.key_switching_s);
+    assert!(profile.key_switching_s > profile.linear_s);
+}

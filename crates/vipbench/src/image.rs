@@ -1,0 +1,94 @@
+//! Image-processing workloads: *Roberts-Cross Edge Detection* — one of
+//! VIP-Bench's "real-world applications" (Section V-A).
+
+use crate::spec::util::output_words;
+use crate::spec::{Benchmark, Lcg, Scale};
+use pytfhe_hdl::{Circuit, DType};
+
+/// *Roberts Cross*: the classic 2×2 gradient operator over an encrypted
+/// image, using the standard `|gx| + |gy|` magnitude approximation.
+pub fn roberts_cross(scale: Scale) -> Benchmark {
+    let (h, w) = match scale {
+        Scale::Test => (4usize, 4usize),
+        Scale::Paper => (16, 16),
+    };
+    let pw = 8; // pixel width
+    let ow = 10; // output magnitude width (<= 2 * 255)
+    let mut c = Circuit::new();
+    let word = c.input_word("input", h * w * pw);
+    let pixel = |i: usize, j: usize| word.slice((i * w + j) * pw, (i * w + j + 1) * pw);
+    let mut out = Vec::with_capacity((h - 1) * (w - 1));
+    for i in 0..h - 1 {
+        for j in 0..w - 1 {
+            // gx = p(i, j) - p(i+1, j+1); gy = p(i+1, j) - p(i, j+1).
+            let gx = {
+                let a = pixel(i, j).zext(pw + 1);
+                let b = pixel(i + 1, j + 1).zext(pw + 1);
+                let d = c.sub(&a, &b);
+                c.abs(&d)
+            };
+            let gy = {
+                let a = pixel(i + 1, j).zext(pw + 1);
+                let b = pixel(i, j + 1).zext(pw + 1);
+                let d = c.sub(&a, &b);
+                c.abs(&d)
+            };
+            out.push(c.add(&gx.zext(ow), &gy.zext(ow)));
+        }
+    }
+    output_words(&mut c, &out);
+    Benchmark::new(
+        "RobertsCross",
+        "Roberts-Cross edge detection over an encrypted image",
+        c.finish().expect("netlist"),
+        DType::UInt(pw),
+        DType::UInt(ow),
+        Box::new(move |input: &[f64]| {
+            let px = |i: usize, j: usize| input[i * w + j];
+            let mut out = Vec::with_capacity((h - 1) * (w - 1));
+            for i in 0..h - 1 {
+                for j in 0..w - 1 {
+                    let gx = (px(i, j) - px(i + 1, j + 1)).abs();
+                    let gy = (px(i + 1, j) - px(i, j + 1)).abs();
+                    out.push(gx + gy);
+                }
+            }
+            out
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..h * w).map(|_| rng.below(256) as f64).collect()
+        }),
+        0.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roberts_cross_matches_oracle() {
+        let b = roberts_cross(Scale::Test);
+        for seed in 0..8 {
+            let input = b.sample_input(seed);
+            b.check_detailed(&input).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn flat_image_has_zero_edges() {
+        let b = roberts_cross(Scale::Test);
+        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&vec![128.0; 16])));
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn step_edge_is_detected() {
+        let b = roberts_cross(Scale::Test);
+        // Left half dark, right half bright.
+        let img: Vec<f64> = (0..16).map(|i| if i % 4 < 2 { 0.0 } else { 200.0 }).collect();
+        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&img)));
+        assert!(out.iter().any(|&x| x >= 200.0), "edge response expected: {out:?}");
+    }
+}

@@ -1,0 +1,42 @@
+//! VIP-Bench workloads as PyTFHE circuits (Section V-A of the paper).
+//!
+//! VIP-Bench (Biernacki et al., SEED 2021) is the benchmark suite the
+//! paper evaluates on: 18 privacy-enhanced-computation workloads ranging
+//! from linear arithmetic (*Dot Product*) through iterative approximation
+//! (*Euler's number*, *Newton-Raphson solver*) to applications (*MNIST*,
+//! *Roberts-Cross edge detection*). This crate reimplements each workload
+//! as a data-oblivious circuit generator with a plaintext oracle, plus
+//! the paper's additional models: the larger `MNIST_M`/`MNIST_L` CNNs and
+//! the `Attention_S`/`Attention_L` self-attention layers.
+//!
+//! Every workload comes in two scales: [`Scale::Test`] (small instances
+//! exhaustively checked against oracles in the test suite) and
+//! [`Scale::Paper`] (instances sized for the performance experiments of
+//! Figures 10-11).
+//!
+//! ```
+//! use pytfhe_vipbench::{benchmarks, Scale};
+//!
+//! let bench = pytfhe_vipbench::hamming_distance(Scale::Test);
+//! let input = bench.sample_input(1);
+//! assert!(bench.check(&input), "circuit agrees with the oracle");
+//! assert!(benchmarks(Scale::Test).len() >= 18);
+//! ```
+
+mod image;
+mod nn;
+mod numeric;
+mod query;
+mod registry;
+mod seq;
+mod spec;
+
+pub use image::roberts_cross;
+pub use nn::{attention_l, attention_s, mnist_l, mnist_m, mnist_s};
+pub use numeric::{
+    dot_product, eulers_number, gradient_descent, hamming_distance, linear_regression, nr_solver,
+};
+pub use query::{distinctness, filtered_query, knn, primality, set_intersection};
+pub use registry::{benchmarks, find};
+pub use seq::{bubble_sort, edit_distance, kepler_calc, parrando, triangle_count};
+pub use spec::{Benchmark, Scale};

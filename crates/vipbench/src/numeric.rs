@@ -1,0 +1,322 @@
+//! Linear-arithmetic and iterative-approximation workloads: *Dot
+//! Product*, *Linear Regression*, *Hamming Distance*, *Euler's-number
+//! approximation*, *Newton–Raphson solver* and *Gradient Descent*.
+//!
+//! The first three are wide and parallel; the last three are the
+//! "mostly serial workflow" examples the paper singles out as poor
+//! scalers (Section V-A: "it is difficult for these mostly serial
+//! benchmarks to fully utilize the parallelism of the distributed
+//! system").
+
+use crate::spec::util::{inputs, outputs, output_words, sum_words};
+use crate::spec::{Benchmark, Lcg, Scale};
+use pytfhe_hdl::{Circuit, DType, Value, Word};
+
+/// *Dot-Product*: the inner product of two encrypted fixed-point vectors.
+pub fn dot_product(scale: Scale) -> Benchmark {
+    let n = scale.pick(8, 64);
+    let dtype = DType::Fixed { width: 16, frac: 8 };
+    let mut c = Circuit::new();
+    let vals = inputs(&mut c, 2 * n, dtype);
+    let (a, b) = vals.split_at(n);
+    let mut terms = Vec::with_capacity(n);
+    for (x, y) in a.iter().zip(b) {
+        terms.push(c.v_mul(x, y).expect("same dtype"));
+    }
+    let mut layer = terms;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 {
+                c.v_add(&pair[0], &pair[1]).expect("same dtype")
+            } else {
+                pair[0].clone()
+            });
+        }
+        layer = next;
+    }
+    outputs(&mut c, &layer);
+    Benchmark::new(
+        "DotProduct",
+        "inner product of two encrypted fixed-point vectors",
+        c.finish().expect("netlist"),
+        dtype,
+        dtype,
+        Box::new(move |input: &[f64]| {
+            let q = |x: f64| (x * 256.0).round() / 256.0;
+            let (a, b) = input.split_at(n);
+            vec![a.iter().zip(b).map(|(x, y)| q(*x) * q(*y)).sum()]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..2 * n).map(|_| rng.sym(1.5)).collect()
+        }),
+        (n as f64 + 1.0) / 128.0,
+    )
+}
+
+/// *Linear Regression*: inference `y = w · x + b` with plaintext model
+/// parameters folded into the circuit.
+pub fn linear_regression(scale: Scale) -> Benchmark {
+    let n = scale.pick(6, 32);
+    let dtype = DType::Fixed { width: 16, frac: 8 };
+    let weights: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 / 13.0 - 0.5).collect();
+    let bias = 0.375;
+    let mut c = Circuit::new();
+    let x = inputs(&mut c, n, dtype);
+    let mut terms = Vec::with_capacity(n + 1);
+    for (xi, &wi) in x.iter().zip(&weights) {
+        let wc = Value::constant(&mut c, wi, dtype);
+        terms.push(c.v_mul(xi, &wc).expect("same dtype"));
+    }
+    terms.push(Value::constant(&mut c, bias, dtype));
+    let mut acc = terms[0].clone();
+    for t in &terms[1..] {
+        acc = c.v_add(&acc, t).expect("same dtype");
+    }
+    outputs(&mut c, &[acc]);
+    let w_or = weights.clone();
+    Benchmark::new(
+        "LinReg",
+        "linear-regression inference with plaintext coefficients",
+        c.finish().expect("netlist"),
+        dtype,
+        dtype,
+        Box::new(move |input: &[f64]| {
+            let q = |x: f64| (x * 256.0).round() / 256.0;
+            let y: f64 =
+                input.iter().zip(&w_or).map(|(x, w)| q(*x) * q(*w)).sum::<f64>() + q(bias);
+            vec![y]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..n).map(|_| rng.sym(1.0)).collect()
+        }),
+        (n as f64 + 2.0) / 128.0,
+    )
+}
+
+/// *Hamming Distance*: popcount of the XOR of two encrypted bit vectors.
+pub fn hamming_distance(scale: Scale) -> Benchmark {
+    let n = scale.pick(16, 256);
+    let out_bits = (usize::BITS - n.leading_zeros()) as usize;
+    let mut c = Circuit::new();
+    let word = c.input_word("input", 2 * n);
+    let a = word.slice(0, n);
+    let b = word.slice(n, 2 * n);
+    let x = c.bitwise(pytfhe_netlist::GateKind::Xor, &a, &b).expect("same widths");
+    // Popcount: promote each bit and tree-add.
+    let ones: Vec<Word> =
+        x.bits().iter().map(|&bit| Word::from_bits(vec![bit]).zext(out_bits)).collect();
+    let count = sum_words(&mut c, &ones);
+    output_words(&mut c, &[count]);
+    Benchmark::new(
+        "Hamming",
+        "Hamming distance of two encrypted bit vectors",
+        c.finish().expect("netlist"),
+        DType::UInt(1),
+        DType::UInt(out_bits),
+        Box::new(move |input: &[f64]| {
+            let (a, b) = input.split_at(n);
+            vec![a.iter().zip(b).filter(|(x, y)| (**x != 0.0) != (**y != 0.0)).count() as f64]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..2 * n).map(|_| rng.below(2) as f64).collect()
+        }),
+        0.0,
+    )
+}
+
+/// *Euler's-number approximation*: `x * sum(1/k!)` via iterated division
+/// by constants — one of the paper's poorly-scaling iterative workloads.
+pub fn eulers_number(scale: Scale) -> Benchmark {
+    let terms = scale.pick(6, 10);
+    let dtype = DType::Fixed { width: 24, frac: 16 };
+    let mut c = Circuit::new();
+    let x = inputs(&mut c, 1, dtype).remove(0);
+    let mut term = x.clone(); // x / 0! = x
+    let mut acc = x.clone();
+    for k in 1..=terms {
+        let kc = Value::constant(&mut c, k as f64, dtype);
+        term = c.v_div(&term, &kc).expect("same dtype");
+        acc = c.v_add(&acc, &term).expect("same dtype");
+    }
+    outputs(&mut c, &[acc]);
+    Benchmark::new(
+        "Eulers",
+        "x * e via the factorial series (iterative division)",
+        c.finish().expect("netlist"),
+        dtype,
+        dtype,
+        Box::new(move |input: &[f64]| {
+            // Mirror the fixed-point truncation of each division step.
+            let scale_f = 65536.0;
+            let q = |v: f64| (v * scale_f).round() / scale_f;
+            let trunc = |v: f64| (v * scale_f).trunc() / scale_f;
+            let x = q(input[0]);
+            let mut term = x;
+            let mut acc = x;
+            for k in 1..=terms {
+                term = trunc(term / k as f64);
+                acc += term;
+            }
+            vec![acc]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            vec![0.5 + (rng.below(96) as f64) / 64.0]
+        }),
+        (terms as f64 + 2.0) / 65536.0 * 4.0,
+    )
+}
+
+/// *Newton–Raphson solver*: square-root finding via
+/// `x <- (x + b / x) / 2` with a restoring divider per iteration — the
+/// paper's canonical "mostly serial" benchmark (the divider's
+/// bit-by-bit trial subtraction forms a long dependency chain).
+pub fn nr_solver(scale: Scale) -> Benchmark {
+    let iters = scale.pick(4, 8);
+    let frac = 12;
+    let dtype = DType::Fixed { width: 20, frac };
+    let mut c = Circuit::new();
+    let b = inputs(&mut c, 1, dtype).remove(0);
+    let half = Value::constant(&mut c, 0.5, dtype);
+    let mut x = Value::constant(&mut c, 1.5, dtype);
+    for _ in 0..iters {
+        let q = c.v_div(&b, &x).expect("same dtype");
+        let s = c.v_add(&x, &q).expect("same dtype");
+        x = c.v_mul(&s, &half).expect("same dtype");
+    }
+    outputs(&mut c, &[x]);
+    Benchmark::new(
+        "NRSolver",
+        "Newton-Raphson square root with restoring division (serial chain)",
+        c.finish().expect("netlist"),
+        dtype,
+        dtype,
+        Box::new(move |input: &[f64]| {
+            // Mirror the circuit in exact raw fixed-point arithmetic.
+            let scale_i = 1i64 << frac;
+            let b_raw = (input[0] * scale_i as f64).round() as i64;
+            let mut x_raw = (1.5 * scale_i as f64) as i64;
+            for _ in 0..iters {
+                let q_raw = (b_raw << frac) / x_raw; // positive: trunc = floor
+                let s_raw = x_raw + q_raw;
+                x_raw = (s_raw * (scale_i / 2)) >> frac; // * 0.5, floor
+            }
+            vec![x_raw as f64 / scale_i as f64]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            vec![1.0 + rng.below(160) as f64 / 64.0]
+        }),
+        1e-9,
+    )
+}
+
+/// *Gradient Descent*: minimizing `(x - t)^2` for an encrypted target `t`
+/// with a fixed step count.
+pub fn gradient_descent(scale: Scale) -> Benchmark {
+    let steps = scale.pick(4, 10);
+    let dtype = DType::Fixed { width: 20, frac: 10 };
+    let lr = 0.25;
+    let mut c = Circuit::new();
+    let t = inputs(&mut c, 1, dtype).remove(0);
+    let mut x = Value::constant(&mut c, 0.0, dtype);
+    let factor = Value::constant(&mut c, 2.0 * lr, dtype);
+    for _ in 0..steps {
+        let diff = c.v_sub(&x, &t).expect("same dtype");
+        let step = c.v_mul(&diff, &factor).expect("same dtype");
+        x = c.v_sub(&x, &step).expect("same dtype");
+    }
+    outputs(&mut c, &[x]);
+    Benchmark::new(
+        "GradDescent",
+        "gradient descent on (x - t)^2 with encrypted target",
+        c.finish().expect("netlist"),
+        dtype,
+        dtype,
+        Box::new(move |input: &[f64]| {
+            let s = 1024.0;
+            let q = |v: f64| (v * s).round() / s;
+            let t = q(input[0]);
+            let mut x = 0.0;
+            for _ in 0..steps {
+                let step = (((x - t) * (2.0 * lr)) * s).floor() / s;
+                x -= step;
+            }
+            vec![x]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            vec![rng.sym(4.0)]
+        }),
+        (steps as f64) * 2.5 / 1024.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_seeds(b: &Benchmark, seeds: std::ops::Range<u64>) {
+        for seed in seeds {
+            let input = b.sample_input(seed);
+            b.check_detailed(&input).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn dot_product_matches_oracle() {
+        check_seeds(&dot_product(Scale::Test), 0..8);
+    }
+
+    #[test]
+    fn linear_regression_matches_oracle() {
+        check_seeds(&linear_regression(Scale::Test), 0..8);
+    }
+
+    #[test]
+    fn hamming_matches_oracle_exactly() {
+        check_seeds(&hamming_distance(Scale::Test), 0..10);
+    }
+
+    #[test]
+    fn eulers_converges_and_matches() {
+        let b = eulers_number(Scale::Test);
+        check_seeds(&b, 0..6);
+        // sanity: for x = 1 the result approximates e.
+        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&[1.0])));
+        assert!((out[0] - std::f64::consts::E).abs() < 0.01, "e approx {}", out[0]);
+    }
+
+    #[test]
+    fn nr_solver_converges_and_matches() {
+        let b = nr_solver(Scale::Test);
+        check_seeds(&b, 0..6);
+        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&[2.0])));
+        assert!((out[0] - std::f64::consts::SQRT_2).abs() < 0.01, "sqrt(2) approx {}", out[0]);
+    }
+
+    #[test]
+    fn gradient_descent_approaches_target() {
+        let b = gradient_descent(Scale::Test);
+        check_seeds(&b, 0..6);
+        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&[3.0])));
+        assert!((out[0] - 3.0).abs() < 0.25, "target approach {}", out[0]);
+    }
+
+    #[test]
+    fn serial_benchmarks_are_narrow() {
+        use pytfhe_netlist::topo::Levels;
+        let nr = nr_solver(Scale::Test);
+        let dot = dot_product(Scale::Test);
+        let nr_width = Levels::compute(nr.netlist()).avg_width();
+        let dot_width = Levels::compute(dot.netlist()).avg_width();
+        assert!(
+            dot_width > nr_width,
+            "dot product ({dot_width:.1}) should be wider than NR solver ({nr_width:.1})"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Query-and-search workloads: *Distinctness*, *Filtered Query*, *kNN*,
+//! *Primality Test* and *Set Intersection*.
+//!
+//! These exercise the comparison/selection side of the circuit library:
+//! wide equality trees, range predicates and data-oblivious argmin.
+
+use crate::spec::util::{output_words, sum_words};
+use crate::spec::{Benchmark, Lcg, Scale};
+use pytfhe_hdl::{Circuit, DType, Word};
+
+/// *Distinctness*: is every element of an encrypted vector unique?
+pub fn distinctness(scale: Scale) -> Benchmark {
+    let n = scale.pick(6, 24);
+    let w = 8;
+    let mut c = Circuit::new();
+    let word = c.input_word("input", n * w);
+    let elems: Vec<Word> = (0..n).map(|i| word.slice(i * w, (i + 1) * w)).collect();
+    let mut all_distinct = pytfhe_hdl::Bit::ONE;
+    for i in 0..n {
+        for j in i + 1..n {
+            let ne = c.ne(&elems[i], &elems[j]).expect("same widths");
+            all_distinct = c.and(all_distinct, ne);
+        }
+    }
+    output_words(&mut c, &[Word::from_bits(vec![all_distinct])]);
+    Benchmark::new(
+        "Distinctness",
+        "whether all encrypted elements are pairwise distinct",
+        c.finish().expect("netlist"),
+        DType::UInt(w),
+        DType::UInt(1),
+        Box::new(move |input: &[f64]| {
+            let mut seen = std::collections::HashSet::new();
+            let distinct = input.iter().all(|&x| seen.insert(x as u64));
+            vec![f64::from(u8::from(distinct))]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            // Half the seeds produce a deliberate duplicate.
+            let mut v: Vec<f64> = (0..n).map(|_| rng.below(256) as f64).collect();
+            if seed % 2 == 0 && n >= 2 {
+                v[n - 1] = v[0];
+            }
+            v
+        }),
+        0.0,
+    )
+}
+
+/// *Filtered Query*: sum of record values whose encrypted key falls in an
+/// encrypted `[lo, hi]` range.
+pub fn filtered_query(scale: Scale) -> Benchmark {
+    let n = scale.pick(6, 32);
+    let w = 8;
+    let out_w = 16;
+    let mut c = Circuit::new();
+    // Layout: n values, n keys, lo, hi.
+    let word = c.input_word("input", (2 * n + 2) * w);
+    let field = |i: usize| word.slice(i * w, (i + 1) * w);
+    let lo = field(2 * n);
+    let hi = field(2 * n + 1);
+    let mut terms = Vec::with_capacity(n);
+    for i in 0..n {
+        let value = field(i);
+        let key = field(n + i);
+        let ge_lo = c.le(&lo, &key, false).expect("w");
+        let le_hi = c.le(&key, &hi, false).expect("w");
+        let keep = c.and(ge_lo, le_hi);
+        let masked: Word = value.bits().iter().map(|&b| c.and(b, keep)).collect();
+        terms.push(masked.zext(out_w));
+    }
+    let total = sum_words(&mut c, &terms);
+    output_words(&mut c, &[total]);
+    Benchmark::new(
+        "FilteredQuery",
+        "range-filtered aggregation over encrypted records",
+        c.finish().expect("netlist"),
+        DType::UInt(w),
+        DType::UInt(out_w),
+        Box::new(move |input: &[f64]| {
+            let lo = input[2 * n];
+            let hi = input[2 * n + 1];
+            let sum: f64 = (0..n)
+                .filter(|&i| input[n + i] >= lo && input[n + i] <= hi)
+                .map(|i| input[i])
+                .sum();
+            vec![sum]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            let mut v: Vec<f64> = (0..2 * n).map(|_| rng.below(256) as f64).collect();
+            let a = rng.below(200);
+            v.push(a as f64);
+            v.push((a + rng.below(56)) as f64);
+            v
+        }),
+        0.0,
+    )
+}
+
+/// *kNN* (k = 1): index of the nearest stored point to an encrypted query
+/// under L1 distance.
+pub fn knn(scale: Scale) -> Benchmark {
+    let n = scale.pick(4, 16);
+    let w = 8;
+    let out_w = 8;
+    let mut c = Circuit::new();
+    // Layout: n * (x, y) points, then qx, qy — all signed.
+    let word = c.input_word("input", (2 * n + 2) * w);
+    let field = |i: usize| word.slice(i * w, (i + 1) * w);
+    let qx = field(2 * n);
+    let qy = field(2 * n + 1);
+    let mut dists = Vec::with_capacity(n);
+    for i in 0..n {
+        let px = field(2 * i);
+        let py = field(2 * i + 1);
+        // |px - qx| + |py - qy| in w+2 bits (no overflow).
+        let dx = {
+            let a = px.sext(w + 1);
+            let b = qx.sext(w + 1);
+            let d = c.sub(&a, &b);
+            c.abs(&d)
+        };
+        let dy = {
+            let a = py.sext(w + 1);
+            let b = qy.sext(w + 1);
+            let d = c.sub(&a, &b);
+            c.abs(&d)
+        };
+        dists.push(c.add(&dx.zext(w + 2), &dy.zext(w + 2)));
+    }
+    let (_, idx) = c.argmin_int(&dists, false).expect("nonempty");
+    output_words(&mut c, &[idx.zext(out_w)]);
+    Benchmark::new(
+        "kNN",
+        "nearest neighbour of an encrypted query point (L1)",
+        c.finish().expect("netlist"),
+        DType::SInt(w),
+        DType::UInt(out_w),
+        Box::new(move |input: &[f64]| {
+            let (qx, qy) = (input[2 * n], input[2 * n + 1]);
+            let mut best = (f64::INFINITY, 0usize);
+            for i in 0..n {
+                let d = (input[2 * i] - qx).abs() + (input[2 * i + 1] - qy).abs();
+                if d < best.0 {
+                    best = (d, i);
+                }
+            }
+            vec![best.1 as f64]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..2 * n + 2).map(|_| rng.sym(100.0).round()).collect()
+        }),
+        0.0,
+    )
+}
+
+/// *Primality Test*: branch-free trial division of an encrypted integer
+/// by the first primes.
+pub fn primality(scale: Scale) -> Benchmark {
+    let w = scale.pick(8, 10);
+    const PRIMES: [u64; 11] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31];
+    // Divisors up to sqrt(2^w) suffice: 16 for w=8, 32 for w=10.
+    let divisors: Vec<u64> =
+        PRIMES.iter().copied().take_while(|&p| p * p < (1 << w)).collect();
+    let mut c = Circuit::new();
+    let n_word = c.input_word("input", w);
+    let mut composite = pytfhe_hdl::Bit::ZERO;
+    for &d in &divisors {
+        let dw = Word::constant_u64(d, w);
+        let (_, rem) = c.div_unsigned(&n_word, &dw);
+        let zero = Word::zeros(w);
+        let divides = c.eq(&rem, &zero).expect("w");
+        let gt_d = c.lt_unsigned(&dw, &n_word).expect("w");
+        let witness = c.and(divides, gt_d);
+        composite = c.or(composite, witness);
+    }
+    // prime = (n >= 2) && !composite
+    let two = Word::constant_u64(2, w);
+    let ge2 = c.le(&two, &n_word, false).expect("w");
+    let not_comp = c.not(composite);
+    let prime = c.and(ge2, not_comp);
+    output_words(&mut c, &[Word::from_bits(vec![prime])]);
+    let max = (1u64 << w) - 1;
+    Benchmark::new(
+        "Primality",
+        "branch-free trial-division primality test",
+        c.finish().expect("netlist"),
+        DType::UInt(w),
+        DType::UInt(1),
+        Box::new(move |input: &[f64]| {
+            let n = input[0] as u64;
+            let prime = n >= 2 && (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0);
+            vec![f64::from(u8::from(prime))]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            vec![(rng.below(max) + 1) as f64]
+        }),
+        0.0,
+    )
+}
+
+/// *Set Intersection*: cardinality of the intersection of two encrypted
+/// sets.
+pub fn set_intersection(scale: Scale) -> Benchmark {
+    let n = scale.pick(4, 16);
+    let w = 8;
+    let out_w = 8;
+    let mut c = Circuit::new();
+    let word = c.input_word("input", 2 * n * w);
+    let field = |i: usize| word.slice(i * w, (i + 1) * w);
+    let mut hits = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = field(i);
+        let mut found = pytfhe_hdl::Bit::ZERO;
+        for j in 0..n {
+            let b = field(n + j);
+            let eq = c.eq(&a, &b).expect("w");
+            found = c.or(found, eq);
+        }
+        hits.push(Word::from_bits(vec![found]).zext(out_w));
+    }
+    let count = sum_words(&mut c, &hits);
+    output_words(&mut c, &[count]);
+    Benchmark::new(
+        "SetIntersect",
+        "cardinality of the intersection of two encrypted sets",
+        c.finish().expect("netlist"),
+        DType::UInt(w),
+        DType::UInt(out_w),
+        Box::new(move |input: &[f64]| {
+            let (a, b) = input.split_at(n);
+            let bs: std::collections::HashSet<u64> = b.iter().map(|&x| x as u64).collect();
+            vec![a.iter().filter(|&&x| bs.contains(&(x as u64))).count() as f64]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            // Distinct elements per set so that cardinality is unambiguous.
+            let mut a: Vec<u64> = Vec::new();
+            while a.len() < n {
+                let x = rng.below(64);
+                if !a.contains(&x) {
+                    a.push(x);
+                }
+            }
+            let mut b: Vec<u64> = Vec::new();
+            while b.len() < n {
+                let x = rng.below(64);
+                if !b.contains(&x) {
+                    b.push(x);
+                }
+            }
+            a.into_iter().chain(b).map(|x| x as f64).collect()
+        }),
+        0.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_seeds(b: &Benchmark, seeds: std::ops::Range<u64>) {
+        for seed in seeds {
+            let input = b.sample_input(seed);
+            b.check_detailed(&input).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn distinctness_matches_oracle() {
+        check_seeds(&distinctness(Scale::Test), 0..10);
+    }
+
+    #[test]
+    fn filtered_query_matches_oracle() {
+        check_seeds(&filtered_query(Scale::Test), 0..10);
+    }
+
+    #[test]
+    fn knn_matches_oracle() {
+        check_seeds(&knn(Scale::Test), 0..10);
+    }
+
+    #[test]
+    fn primality_matches_oracle() {
+        let b = primality(Scale::Test);
+        check_seeds(&b, 0..10);
+        // Spot-check interesting values, including primes, squares of
+        // primes, 1 and 2.
+        for n in [1.0, 2.0, 3.0, 4.0, 9.0, 25.0, 49.0, 97.0, 121.0, 169.0, 255.0] {
+            b.check_detailed(&[n]).unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn set_intersection_matches_oracle() {
+        check_seeds(&set_intersection(Scale::Test), 0..10);
+    }
+}

@@ -1,0 +1,80 @@
+//! The benchmark registry: every workload of the paper's evaluation,
+//! buildable at either scale.
+
+use crate::spec::{Benchmark, Scale};
+
+/// Builds the full suite: the 18 VIP-Bench workloads followed by the
+/// paper's additional neural-network models (`MNIST_M`, `MNIST_L`,
+/// `Attention_S`, `Attention_L`).
+///
+/// Note: at [`Scale::Paper`] the neural networks compile to
+/// multi-million-gate netlists and take a little while to build; use
+/// [`Scale::Test`] in test suites.
+pub fn benchmarks(scale: Scale) -> Vec<Benchmark> {
+    vec![
+        crate::hamming_distance(scale),
+        crate::eulers_number(scale),
+        crate::nr_solver(scale),
+        crate::gradient_descent(scale),
+        crate::parrando(scale),
+        crate::primality(scale),
+        crate::distinctness(scale),
+        crate::dot_product(scale),
+        crate::linear_regression(scale),
+        crate::kepler_calc(scale),
+        crate::knn(scale),
+        crate::set_intersection(scale),
+        crate::filtered_query(scale),
+        crate::edit_distance(scale),
+        crate::bubble_sort(scale),
+        crate::triangle_count(scale),
+        crate::roberts_cross(scale),
+        crate::mnist_s(scale),
+        crate::mnist_m(scale),
+        crate::mnist_l(scale),
+        crate::attention_s(scale),
+        crate::attention_l(scale),
+    ]
+}
+
+/// Looks up one benchmark by its paper name (case-insensitive).
+pub fn find(name: &str, scale: Scale) -> Option<Benchmark> {
+    benchmarks(scale).into_iter().find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_paper_workloads() {
+        let suite = benchmarks(Scale::Test);
+        assert!(suite.len() >= 22, "18 VIP-Bench + 4 extra models");
+        let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        for expect in ["Hamming", "NRSolver", "MNIST_S", "MNIST_L", "Attention_L", "Parrando"] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+        // Names are unique.
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn every_benchmark_has_gates_and_io() {
+        for b in benchmarks(Scale::Test) {
+            assert!(b.netlist().num_gates() > 0, "{}", b.name());
+            assert!(b.input_elems() > 0, "{}", b.name());
+            assert!(b.output_elems() > 0, "{}", b.name());
+            assert!(!b.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("mnist_s", Scale::Test).is_some());
+        assert!(find("HAMMING", Scale::Test).is_some());
+        assert!(find("nope", Scale::Test).is_none());
+    }
+}

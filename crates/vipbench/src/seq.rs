@@ -1,0 +1,313 @@
+//! Combinatorial and simulation workloads: *Bubble Sort*, *Edit
+//! Distance*, *Kepler Calculation*, *Parrondo's paradox* and *Triangle
+//! Count*.
+
+use crate::spec::util::{output_words, sum_words};
+use crate::spec::{Benchmark, Lcg, Scale};
+use pytfhe_hdl::{Circuit, DType, FloatFormat, Word};
+
+/// *Bubble Sort*: a full compare-exchange sorting network over encrypted
+/// integers (sorting must be data-oblivious, so every pass runs).
+pub fn bubble_sort(scale: Scale) -> Benchmark {
+    let n = scale.pick(5, 16);
+    let w = 8;
+    let mut c = Circuit::new();
+    let word = c.input_word("input", n * w);
+    let mut elems: Vec<Word> = (0..n).map(|i| word.slice(i * w, (i + 1) * w)).collect();
+    for pass in 0..n {
+        for j in 0..n - 1 - pass {
+            let lo = c.min_int(&elems[j], &elems[j + 1], false).expect("w");
+            let hi = c.max_int(&elems[j], &elems[j + 1], false).expect("w");
+            elems[j] = lo;
+            elems[j + 1] = hi;
+        }
+    }
+    output_words(&mut c, &elems);
+    Benchmark::new(
+        "BubbleSort",
+        "oblivious compare-exchange sort of an encrypted vector",
+        c.finish().expect("netlist"),
+        DType::UInt(w),
+        DType::UInt(w),
+        Box::new(move |input: &[f64]| {
+            let mut v = input.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..n).map(|_| rng.below(256) as f64).collect()
+        }),
+        0.0,
+    )
+}
+
+/// *Edit Distance*: Levenshtein distance between two encrypted strings,
+/// with the dynamic program fully unrolled into a circuit.
+pub fn edit_distance(scale: Scale) -> Benchmark {
+    let l = scale.pick(4, 8);
+    let cw = 4; // character width (16-symbol alphabet)
+    let dw = 6; // distance width
+    let mut c = Circuit::new();
+    let word = c.input_word("input", 2 * l * cw);
+    let chr = |c_: &Word, side: usize, i: usize| c_.slice((side * l + i) * cw, (side * l + i + 1) * cw);
+    // dp[i][j]: distance of prefixes a[..i], b[..j].
+    let mut dp: Vec<Vec<Word>> = vec![vec![Word::zeros(dw); l + 1]; l + 1];
+    for (i, row) in dp.iter_mut().enumerate() {
+        row[0] = Word::constant_u64(i as u64, dw);
+    }
+    for j in 0..=l {
+        dp[0][j] = Word::constant_u64(j as u64, dw);
+    }
+    let one = Word::constant_u64(1, dw);
+    for i in 1..=l {
+        for j in 1..=l {
+            let a_i = chr(&word, 0, i - 1);
+            let b_j = chr(&word, 1, j - 1);
+            let del = c.add(&dp[i - 1][j], &one);
+            let ins = c.add(&dp[i][j - 1], &one);
+            let ne = c.ne(&a_i, &b_j).expect("w");
+            let sub_cost = Word::from_bits(vec![ne]).zext(dw);
+            let sub = c.add(&dp[i - 1][j - 1], &sub_cost);
+            let m1 = c.min_int(&del, &ins, false).expect("w");
+            dp[i][j] = c.min_int(&m1, &sub, false).expect("w");
+        }
+    }
+    output_words(&mut c, &[dp[l][l].clone()]);
+    Benchmark::new(
+        "EditDistance",
+        "Levenshtein distance via a fully unrolled dynamic program",
+        c.finish().expect("netlist"),
+        DType::UInt(cw),
+        DType::UInt(dw),
+        Box::new(move |input: &[f64]| {
+            let (a, b) = input.split_at(l);
+            let mut dp = vec![vec![0u64; l + 1]; l + 1];
+            for (i, row) in dp.iter_mut().enumerate() {
+                row[0] = i as u64;
+            }
+            for j in 0..=l {
+                dp[0][j] = j as u64;
+            }
+            for i in 1..=l {
+                for j in 1..=l {
+                    let cost = u64::from(a[i - 1] != b[j - 1]);
+                    dp[i][j] =
+                        (dp[i - 1][j] + 1).min(dp[i][j - 1] + 1).min(dp[i - 1][j - 1] + cost);
+                }
+            }
+            vec![dp[l][l] as f64]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..2 * l).map(|_| rng.below(4) as f64).collect()
+        }),
+        0.0,
+    )
+}
+
+/// *Kepler Calculation*: Newtonian gravity `F = G m1 m2 / r^2` in the
+/// paper's `Float(8, 8)` bfloat16 format.
+pub fn kepler_calc(scale: Scale) -> Benchmark {
+    let fmt = match scale {
+        Scale::Test => FloatFormat::new(8, 8),
+        Scale::Paper => FloatFormat::half(),
+    };
+    let dtype = DType::Float { exp: fmt.exp_bits, man: fmt.man_bits };
+    let g = 0.0667; // scaled gravitational constant
+    let mut c = Circuit::new();
+    let word = c.input_word("input", 3 * fmt.width());
+    let m1 = word.slice(0, fmt.width());
+    let m2 = word.slice(fmt.width(), 2 * fmt.width());
+    let r = word.slice(2 * fmt.width(), 3 * fmt.width());
+    let gw = Word::from_bits(fmt.encode_f64(g).into_iter().map(pytfhe_hdl::Bit::Const).collect());
+    let mm = c.fmul(fmt, &m1, &m2);
+    let gmm = c.fmul(fmt, &mm, &gw);
+    let r2 = c.fmul(fmt, &r, &r);
+    let f = c.fdiv(fmt, &gmm, &r2);
+    output_words(&mut c, &[f]);
+    Benchmark::new(
+        "Kepler",
+        "Newtonian gravity in parameterizable floating point",
+        c.finish().expect("netlist"),
+        dtype,
+        dtype,
+        Box::new(move |input: &[f64]| {
+            let q = |x: f64| fmt.decode_f64(&fmt.encode_f64(x));
+            vec![q(input[0]) * q(input[1]) * q(g) / (q(input[2]) * q(input[2]))]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            vec![
+                1.0 + rng.below(192) as f64 / 64.0,
+                1.0 + rng.below(192) as f64 / 64.0,
+                1.0 + rng.below(128) as f64 / 64.0,
+            ]
+        }),
+        0.25,
+    )
+}
+
+/// *Parrondo's paradox*: a branch-free simulation of the alternating
+/// losing-games-that-win betting sequence — serial, like the paper's
+/// Nsight analysis of it notes (Section V-A).
+pub fn parrando(scale: Scale) -> Benchmark {
+    let rounds = scale.pick(6, 24);
+    let cw = 4; // coin width
+    let kw = 7; // capital width
+    let start = 32u64; // capital offset so it never underflows
+    let mut c = Circuit::new();
+    let word = c.input_word("input", rounds * cw);
+    let mut capital = Word::constant_u64(start, kw);
+    let one = Word::constant_u64(1, kw);
+    let three = Word::constant_u64(3, kw);
+    for t in 0..rounds {
+        let coin = word.slice(t * cw, (t + 1) * cw);
+        let win = if t % 2 == 0 {
+            // Game A: win with probability 7/16.
+            let th = Word::constant_u64(7, cw);
+            c.lt_unsigned(&coin, &th).expect("w")
+        } else {
+            // Game B: threshold depends on capital % 3.
+            let (_, m3) = c.div_unsigned(&capital, &three);
+            let zero = Word::zeros(kw);
+            let is_mult3 = c.eq(&m3, &zero).expect("w");
+            let th_lo = Word::constant_u64(2, cw);
+            let th_hi = Word::constant_u64(12, cw);
+            let th = c.mux_word(is_mult3, &th_lo, &th_hi).expect("w");
+            c.lt_unsigned(&coin, &th).expect("w")
+        };
+        let up = c.add(&capital, &one);
+        let down = c.sub(&capital, &one);
+        capital = c.mux_word(win, &up, &down).expect("w");
+    }
+    output_words(&mut c, &[capital]);
+    Benchmark::new(
+        "Parrando",
+        "Parrondo's alternating-games capital simulation",
+        c.finish().expect("netlist"),
+        DType::UInt(cw),
+        DType::UInt(kw),
+        Box::new(move |input: &[f64]| {
+            let mut capital = start as i64;
+            for (t, &coin) in input.iter().enumerate() {
+                let coin = coin as u64;
+                let win = if t % 2 == 0 {
+                    coin < 7
+                } else if capital % 3 == 0 {
+                    coin < 2
+                } else {
+                    coin < 12
+                };
+                capital += if win { 1 } else { -1 };
+            }
+            vec![capital as f64]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..rounds).map(|_| rng.below(16) as f64).collect()
+        }),
+        0.0,
+    )
+}
+
+/// *Triangle Count*: number of triangles in an encrypted graph given as
+/// an upper-triangular adjacency bit vector.
+pub fn triangle_count(scale: Scale) -> Benchmark {
+    let n = scale.pick(5, 12);
+    let edges = n * (n - 1) / 2;
+    let out_w = 9;
+    let mut c = Circuit::new();
+    let word = c.input_word("input", edges);
+    // edge(i, j) for i < j at offset i*n - i*(i+1)/2 + (j - i - 1).
+    let eidx = move |i: usize, j: usize| i * n - i * (i + 1) / 2 + (j - i - 1);
+    let mut tri_bits = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            for k in j + 1..n {
+                let ij = word.bit(eidx(i, j));
+                let jk = word.bit(eidx(j, k));
+                let ik = word.bit(eidx(i, k));
+                let t1 = c.and(ij, jk);
+                let t = c.and(t1, ik);
+                tri_bits.push(Word::from_bits(vec![t]).zext(out_w));
+            }
+        }
+    }
+    let count = sum_words(&mut c, &tri_bits);
+    output_words(&mut c, &[count]);
+    Benchmark::new(
+        "TriangleCount",
+        "triangle counting over an encrypted adjacency matrix",
+        c.finish().expect("netlist"),
+        DType::UInt(1),
+        DType::UInt(out_w),
+        Box::new(move |input: &[f64]| {
+            let edge = |i: usize, j: usize| input[eidx(i, j)] != 0.0;
+            let mut count = 0u64;
+            for i in 0..n {
+                for j in i + 1..n {
+                    for k in j + 1..n {
+                        if edge(i, j) && edge(j, k) && edge(i, k) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+            vec![count as f64]
+        }),
+        Box::new(move |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..edges).map(|_| f64::from(u8::from(rng.below(3) > 0))).collect()
+        }),
+        0.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_seeds(b: &Benchmark, seeds: std::ops::Range<u64>) {
+        for seed in seeds {
+            let input = b.sample_input(seed);
+            b.check_detailed(&input).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bubble_sort_matches_oracle() {
+        check_seeds(&bubble_sort(Scale::Test), 0..8);
+    }
+
+    #[test]
+    fn edit_distance_matches_oracle() {
+        let b = edit_distance(Scale::Test);
+        check_seeds(&b, 0..8);
+        // Identical strings: distance 0; fully different: distance L.
+        b.check_detailed(&[1.0, 2.0, 3.0, 0.0, 1.0, 2.0, 3.0, 0.0]).unwrap();
+        let out = b.decode_output(
+            &b.netlist().eval_plain(&b.encode_input(&[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0])),
+        );
+        assert_eq!(out[0], 4.0);
+    }
+
+    #[test]
+    fn kepler_matches_oracle() {
+        check_seeds(&kepler_calc(Scale::Test), 0..8);
+    }
+
+    #[test]
+    fn parrando_matches_oracle() {
+        check_seeds(&parrando(Scale::Test), 0..10);
+    }
+
+    #[test]
+    fn triangle_count_matches_oracle() {
+        let b = triangle_count(Scale::Test);
+        check_seeds(&b, 0..8);
+        // Complete graph on 5 nodes: C(5,3) = 10 triangles.
+        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&vec![1.0; 10])));
+        assert_eq!(out[0], 10.0);
+    }
+}

@@ -1,0 +1,225 @@
+use pytfhe_hdl::DType;
+use pytfhe_netlist::Netlist;
+
+/// Workload instance size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Miniature instances for oracle-checked tests.
+    Test,
+    /// Instances sized like the paper's evaluation (Figures 10–11).
+    Paper,
+}
+
+impl Scale {
+    /// Picks `t` for [`Scale::Test`] and `p` for [`Scale::Paper`].
+    pub(crate) fn pick(self, t: usize, p: usize) -> usize {
+        match self {
+            Scale::Test => t,
+            Scale::Paper => p,
+        }
+    }
+}
+
+type Oracle = Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>;
+type InputGen = Box<dyn Fn(u64) -> Vec<f64> + Send + Sync>;
+
+/// One benchmark: a compiled circuit, its plaintext oracle, and the input
+/// distribution it is meant to run on.
+pub struct Benchmark {
+    name: &'static str,
+    description: &'static str,
+    netlist: Netlist,
+    dtype_in: DType,
+    dtype_out: DType,
+    oracle: Oracle,
+    input_gen: InputGen,
+    tolerance: f64,
+}
+
+impl Benchmark {
+    /// Assembles a benchmark (crate-internal; users obtain benchmarks
+    /// from the workload constructors or [`crate::benchmarks`]).
+    pub(crate) fn new(
+        name: &'static str,
+        description: &'static str,
+        netlist: Netlist,
+        dtype_in: DType,
+        dtype_out: DType,
+        oracle: Oracle,
+        input_gen: InputGen,
+        tolerance: f64,
+    ) -> Self {
+        Benchmark { name, description, netlist, dtype_in, dtype_out, oracle, input_gen, tolerance }
+    }
+
+    /// Benchmark name as used on the paper's x-axes (e.g. `"Hamming"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The compiled circuit.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The element data type of inputs.
+    pub fn dtype_in(&self) -> DType {
+        self.dtype_in
+    }
+
+    /// The element data type of outputs.
+    pub fn dtype_out(&self) -> DType {
+        self.dtype_out
+    }
+
+    /// Number of scalar input elements.
+    pub fn input_elems(&self) -> usize {
+        self.netlist.num_inputs() / self.dtype_in.width()
+    }
+
+    /// Number of scalar output elements.
+    pub fn output_elems(&self) -> usize {
+        self.netlist.outputs().len() / self.dtype_out.width()
+    }
+
+    /// A representative input for the given seed.
+    pub fn sample_input(&self, seed: u64) -> Vec<f64> {
+        (self.input_gen)(seed)
+    }
+
+    /// The plaintext reference result.
+    pub fn oracle(&self, input: &[f64]) -> Vec<f64> {
+        (self.oracle)(input)
+    }
+
+    /// Encodes scalars into circuit input bits.
+    pub fn encode_input(&self, input: &[f64]) -> Vec<bool> {
+        input.iter().flat_map(|&v| self.dtype_in.encode_f64(v)).collect()
+    }
+
+    /// Decodes circuit output bits into scalars.
+    pub fn decode_output(&self, bits: &[bool]) -> Vec<f64> {
+        bits.chunks(self.dtype_out.width()).map(|ch| self.dtype_out.decode_f64(ch)).collect()
+    }
+
+    /// Runs the circuit functionally and compares against the oracle
+    /// within the workload's tolerance.
+    pub fn check(&self, input: &[f64]) -> bool {
+        self.check_detailed(input).is_ok()
+    }
+
+    /// Like [`Benchmark::check`] but returns the mismatch for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first element disagreeing with the
+    /// oracle beyond the tolerance.
+    pub fn check_detailed(&self, input: &[f64]) -> Result<(), String> {
+        let got = self.decode_output(&self.netlist.eval_plain(&self.encode_input(input)));
+        let want = self.oracle(input);
+        if got.len() != want.len() {
+            return Err(format!(
+                "{}: output arity {} vs oracle {}",
+                self.name,
+                got.len(),
+                want.len()
+            ));
+        }
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            if (g - w).abs() > self.tolerance {
+                return Err(format!(
+                    "{}[{}]: circuit {} vs oracle {} (tol {})",
+                    self.name, i, g, w, self.tolerance
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("dtype_in", &self.dtype_in)
+            .field("gates", &self.netlist.num_gates())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Deterministic pseudo-random stream used by input generators.
+pub(crate) struct Lcg(u64);
+
+impl Lcg {
+    pub(crate) fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// Uniform in `[0, n)`.
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[-bound, bound]`.
+    pub(crate) fn sym(&mut self, bound: f64) -> f64 {
+        (self.next_u64() % (1 << 24)) as f64 / (1 << 23) as f64 * bound - bound
+    }
+}
+
+/// Shared builder helpers for the workload modules.
+pub(crate) mod util {
+    use pytfhe_hdl::{Circuit, DType, Value, Word};
+
+    /// Declares `n` typed input elements under one `input` port.
+    pub(crate) fn inputs(c: &mut Circuit, n: usize, dtype: DType) -> Vec<Value> {
+        let w = dtype.width();
+        let word = c.input_word("input", n * w);
+        (0..n).map(|i| Value::new(word.slice(i * w, (i + 1) * w), dtype)).collect()
+    }
+
+    /// Declares the output port over typed values.
+    pub(crate) fn outputs(c: &mut Circuit, vals: &[Value]) {
+        let mut bits = Vec::new();
+        for v in vals {
+            bits.extend_from_slice(v.word.bits());
+        }
+        c.output_word("output", &Word::from_bits(bits));
+    }
+
+    /// Declares the output port over raw words.
+    pub(crate) fn output_words(c: &mut Circuit, words: &[Word]) {
+        let mut bits = Vec::new();
+        for w in words {
+            bits.extend_from_slice(w.bits());
+        }
+        c.output_word("output", &Word::from_bits(bits));
+    }
+
+    /// Balanced-tree sum of raw words (all the same width, wrapping).
+    pub(crate) fn sum_words(c: &mut Circuit, words: &[Word]) -> Word {
+        let mut layer: Vec<Word> = words.to_vec();
+        assert!(!layer.is_empty());
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(c.add(&pair[0], &pair[1]));
+                } else {
+                    next.push(pair[0].clone());
+                }
+            }
+            layer = next;
+        }
+        layer.pop().expect("nonempty")
+    }
+}

@@ -1,0 +1,63 @@
+//! Privacy-preserving MNIST-style inference — the paper's flagship use
+//! case (Figure 4): declare a CNN in the ChiselTorch API, compile it to
+//! a TFHE program, and run encrypted inference.
+//!
+//! ```text
+//! cargo run --release --example mnist_inference
+//! ```
+//!
+//! A miniature model and insecure test parameters keep the homomorphic
+//! run short; the printed netlist statistics show what the paper-scale
+//! models look like.
+
+use pytfhe::prelude::*;
+use pytfhe::pytfhe_netlist::NetlistStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Figure 4 model shape, miniaturized (6x6 "image", 4 classes).
+    let dtype = DType::Fixed { width: 10, frac: 5 };
+    let model = nn::Sequential::new(dtype)
+        .add(nn::Conv2d::new(1, 1, 3, 1))
+        .add(nn::ReLU::new())
+        .add(nn::MaxPool2d::new(2, 1))
+        .add(nn::Flatten::new())
+        .add(nn::Linear::new(9, 4));
+
+    let compiled = chiseltorch::compile(&model, &[1, 6, 6])?;
+    println!("compiled MNIST-style model: {}", NetlistStats::of(compiled.netlist()));
+
+    // A fake "handwritten digit".
+    let image: Vec<f64> = (0..36).map(|i| f64::from(u32::from(i % 5 == 0))).collect();
+
+    // Plaintext reference logits.
+    let plain_logits = compiled.eval_plain(&image);
+    let plain_argmax = argmax(&plain_logits);
+    println!("plaintext logits: {plain_logits:?} -> class {plain_argmax}");
+
+    // Encrypted inference (insecure test parameters for speed; use
+    // Params::default_128() for the real 128-bit setting).
+    let mut client = Client::new(Params::testing(), 7);
+    let server = Server::new(client.make_server_key());
+    let enc_image = client.encrypt_values(&image, dtype);
+    println!(
+        "running {} bootstrapped gates homomorphically...",
+        compiled.netlist().num_bootstrapped_gates()
+    );
+    let start = std::time::Instant::now();
+    let enc_logits = server.execute(compiled.netlist(), &enc_image, 4)?;
+    println!("done in {:.1} s", start.elapsed().as_secs_f64());
+    let logits = client.decrypt_values(&enc_logits, dtype);
+    let class = argmax(&logits);
+    println!("decrypted logits: {logits:?} -> class {class}");
+    assert_eq!(class, plain_argmax, "encrypted inference agrees with plaintext");
+    println!("encrypted classification matches the plaintext model");
+    Ok(())
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+//! Workspace-level umbrella for the PyTFHE reproduction: hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). All functionality lives in the `pytfhe*` crates;
+//! start at the [`pytfhe`] facade.
+
+pub use pytfhe;

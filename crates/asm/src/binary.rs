@@ -1,8 +1,17 @@
 use crate::error::AsmError;
 use crate::inst::{Instruction, FIELD_ONES, INSTRUCTION_BYTES};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use pytfhe_netlist::{Netlist, Node, NodeId};
 use std::fmt::Write as _;
+
+/// Iterates the 128-bit words of a binary after alignment has been
+/// checked. `chunks_exact` guarantees every chunk is 16 bytes, so this
+/// cannot panic on truncated input regardless of what callers checked.
+fn words(binary: &[u8]) -> impl Iterator<Item = u128> + '_ {
+    binary
+        .chunks_exact(INSTRUCTION_BYTES)
+        .map(|chunk| u128::from_le_bytes(chunk.try_into().expect("chunks_exact yields 16 bytes")))
+}
 
 /// Assembles a netlist into the PyTFHE binary format.
 ///
@@ -13,9 +22,8 @@ use std::fmt::Write as _;
 /// topologically ordered by construction), then one output instruction
 /// per declared output.
 pub fn assemble(nl: &Netlist) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        (1 + nl.num_nodes() + nl.outputs().len()) * INSTRUCTION_BYTES,
-    );
+    let mut buf =
+        BytesMut::with_capacity((1 + nl.num_nodes() + nl.outputs().len()) * INSTRUCTION_BYTES);
     let mut put = |inst: Instruction| buf.put_u128_le(inst.encode());
     put(Instruction::Header { total_gates: nl.num_gates() as u64 });
     for (i, node) in nl.nodes().iter().enumerate() {
@@ -48,23 +56,30 @@ pub fn assemble(nl: &Netlist) -> Bytes {
 ///
 /// Returns the specific [`AsmError`] for the first violation found.
 pub fn disassemble(binary: &[u8]) -> Result<Netlist, AsmError> {
-    if binary.len() % INSTRUCTION_BYTES != 0 {
+    if !binary.len().is_multiple_of(INSTRUCTION_BYTES) {
         return Err(AsmError::Misaligned { len: binary.len() });
     }
     let count = binary.len() / INSTRUCTION_BYTES;
     if count == 0 {
         return Err(AsmError::MissingHeader);
     }
-    let mut data = binary;
+    // Node ids are u32; a stream with more instructions than that cannot
+    // be reconstructed (and at 64 GiB could not be honest anyway).
+    if count - 1 > u32::MAX as usize {
+        return Err(AsmError::TooLarge);
+    }
     let mut nl = Netlist::with_capacity(count - 1);
     // index (1-based, instruction order) -> netlist node id
     let mut index_of: Vec<NodeId> = Vec::with_capacity(count);
     let mut declared_gates = 0u64;
     let mut actual_gates = 0u64;
-    for position in 0..count {
-        let inst = Instruction::decode(data.get_u128_le(), position)?;
+    for (position, word) in words(binary).enumerate() {
+        let inst = Instruction::decode(word, position)?;
         match inst {
             Instruction::Header { total_gates } => {
+                if total_gates > u64::from(u32::MAX) {
+                    return Err(AsmError::TooLarge);
+                }
                 declared_gates = total_gates;
             }
             Instruction::Input { index } => {
@@ -131,14 +146,16 @@ pub struct BinaryStats {
 ///
 /// Returns [`AsmError`] on misalignment or a missing/invalid header.
 pub fn binary_stats(binary: &[u8]) -> Result<BinaryStats, AsmError> {
-    if binary.len() % INSTRUCTION_BYTES != 0 {
+    if !binary.len().is_multiple_of(INSTRUCTION_BYTES) {
         return Err(AsmError::Misaligned { len: binary.len() });
     }
     if binary.is_empty() {
         return Err(AsmError::MissingHeader);
     }
-    let mut data = binary;
-    let Instruction::Header { total_gates } = Instruction::decode(data.get_u128_le(), 0)? else {
+    let Some(word) = words(binary).next() else {
+        return Err(AsmError::MissingHeader);
+    };
+    let Instruction::Header { total_gates } = Instruction::decode(word, 0)? else {
         return Err(AsmError::MissingHeader);
     };
     Ok(BinaryStats {
@@ -155,13 +172,11 @@ pub fn binary_stats(binary: &[u8]) -> Result<BinaryStats, AsmError> {
 ///
 /// Returns [`AsmError`] if the binary is malformed.
 pub fn dump(binary: &[u8]) -> Result<String, AsmError> {
-    if binary.len() % INSTRUCTION_BYTES != 0 {
+    if !binary.len().is_multiple_of(INSTRUCTION_BYTES) {
         return Err(AsmError::Misaligned { len: binary.len() });
     }
     let mut out = String::new();
-    let mut data = binary;
-    for position in 0..binary.len() / INSTRUCTION_BYTES {
-        let word = data.get_u128_le();
+    for (position, word) in words(binary).enumerate() {
         let inst = Instruction::decode(word, position)?;
         let desc = match inst {
             Instruction::Header { total_gates } => format!("header  gates={total_gates}"),
@@ -174,7 +189,7 @@ pub fn dump(binary: &[u8]) -> Result<String, AsmError> {
             }
             Instruction::Output { index } => format!("output  %{index}"),
         };
-        writeln!(out, "{position:6}: {word:032x}  {desc}").expect("string write");
+        writeln!(out, "{position:6}: {word:032x}  {desc}")?;
     }
     Ok(out)
 }
@@ -203,9 +218,8 @@ mod tests {
         assert_eq!(bin.len(), 7 * INSTRUCTION_BYTES);
         let stats = binary_stats(&bin).unwrap();
         assert_eq!(stats.declared_gates, 2);
-        let mut data = &bin[..];
         let insts: Vec<Instruction> =
-            (0..7).map(|p| Instruction::decode(data.get_u128_le(), p).unwrap()).collect();
+            words(&bin).enumerate().map(|(p, w)| Instruction::decode(w, p).unwrap()).collect();
         assert_eq!(insts[0], Instruction::Header { total_gates: 2 });
         assert_eq!(insts[1], Instruction::Input { index: 1 });
         assert_eq!(insts[2], Instruction::Input { index: 2 });
@@ -246,10 +260,7 @@ mod tests {
     fn corrupted_binaries_are_rejected() {
         let bin = assemble(&half_adder()).to_vec();
         // Truncated tail.
-        assert!(matches!(
-            disassemble(&bin[..bin.len() - 3]),
-            Err(AsmError::Misaligned { .. })
-        ));
+        assert!(matches!(disassemble(&bin[..bin.len() - 3]), Err(AsmError::Misaligned { .. })));
         // Empty.
         assert!(matches!(disassemble(&[]), Err(AsmError::MissingHeader)));
         // Flipped gate-count header.
@@ -262,6 +273,90 @@ mod tests {
         word = (word & !(u128::from(FIELD_ONES) << 66)) | (5u128 << 66);
         bad[3 * 16..4 * 16].copy_from_slice(&word.to_le_bytes());
         assert!(matches!(disassemble(&bad), Err(AsmError::DanglingReference { .. })));
+    }
+
+    /// Replaces instruction `position` of `bin` with `word`.
+    fn patch(bin: &[u8], position: usize, word: u128) -> Vec<u8> {
+        let mut out = bin.to_vec();
+        out[position * 16..(position + 1) * 16].copy_from_slice(&word.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn corrupting_each_field_of_a_gate_word_is_detected() {
+        let bin = assemble(&half_adder()).to_vec();
+        let gate = u128::from_le_bytes(bin[3 * 16..4 * 16].try_into().unwrap());
+
+        // Operand field 1 out of range (index 0 is never assigned).
+        let zero_op = gate & !(u128::from(FIELD_ONES) << 66);
+        assert!(matches!(
+            disassemble(&patch(&bin, 3, zero_op)),
+            Err(AsmError::DanglingReference { position: 3, index: 0 })
+        ));
+        // Operand field 2 far out of range.
+        let wild_op = (gate & !(u128::from(FIELD_ONES) << 4)) | (999u128 << 4);
+        assert!(matches!(
+            disassemble(&patch(&bin, 3, wild_op)),
+            Err(AsmError::DanglingReference { position: 3, index: 999 })
+        ));
+        // Type nibble flipped to the input marker without the all-ones
+        // reserved pattern in field 1.
+        let bad_input = (gate & !0xF) | 0xF;
+        assert!(matches!(
+            disassemble(&patch(&bin, 3, bad_input)),
+            Err(AsmError::BadInstruction { position: 3, .. })
+        ));
+        // A header-shaped word (nibble 0, field 1 zero) mid-stream decodes
+        // as a NAND whose zero operand is a dangling reference.
+        assert!(matches!(
+            disassemble(&patch(&bin, 3, 7u128 << 4)),
+            Err(AsmError::DanglingReference { position: 3, index: 0 })
+        ));
+    }
+
+    #[test]
+    fn corrupted_const_gate_operands_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let one = nl.add_gate(GateKind::Const1, a, a).unwrap();
+        nl.mark_output(one).unwrap();
+        let bin = assemble(&nl).to_vec();
+        // The const gate is instruction 2; scribble over its reserved
+        // operand fields.
+        let word = u128::from_le_bytes(bin[2 * 16..3 * 16].try_into().unwrap());
+        let bad = (word & !(u128::from(FIELD_ONES) << 66)) | (1u128 << 66);
+        assert!(matches!(
+            disassemble(&patch(&bin, 2, bad)),
+            Err(AsmError::BadInstruction { position: 2, .. })
+        ));
+        // Untouched, it still round-trips.
+        assert!(disassemble(&bin).is_ok());
+    }
+
+    #[test]
+    fn absurd_header_gate_count_is_too_large() {
+        let bin = assemble(&half_adder()).to_vec();
+        let huge_header = Instruction::Header { total_gates: u64::from(u32::MAX) + 1 }.encode();
+        assert!(matches!(disassemble(&patch(&bin, 0, huge_header)), Err(AsmError::TooLarge)));
+    }
+
+    #[test]
+    fn truncated_streams_yield_typed_errors_at_every_cut() {
+        let bin = assemble(&half_adder()).to_vec();
+        for cut in 0..bin.len() {
+            // Every truncation must decode to a typed result — never a
+            // panic. Unaligned cuts are Misaligned; aligned cuts that
+            // only lose output instructions may still form a (smaller)
+            // coherent netlist.
+            match disassemble(&bin[..cut]) {
+                Ok(nl) => assert!(nl.outputs().len() < 2, "cut {cut} lost nothing"),
+                Err(e) => {
+                    if !cut.is_multiple_of(INSTRUCTION_BYTES) {
+                        assert!(matches!(e, AsmError::Misaligned { .. }), "cut {cut}: {e}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub enum AsmError {
     /// The netlist rejected reconstruction (should not happen for valid
     /// binaries).
     Netlist(pytfhe_netlist::NetlistError),
+    /// Formatting a listing failed (propagated from [`std::fmt::Write`]).
+    Format,
 }
 
 impl fmt::Display for AsmError {
@@ -57,6 +59,7 @@ impl fmt::Display for AsmError {
             }
             AsmError::TooLarge => write!(f, "program too large for in-memory netlist"),
             AsmError::Netlist(e) => write!(f, "netlist reconstruction failed: {e}"),
+            AsmError::Format => write!(f, "formatting a listing failed"),
         }
     }
 }
@@ -73,5 +76,11 @@ impl std::error::Error for AsmError {
 impl From<pytfhe_netlist::NetlistError> for AsmError {
     fn from(e: pytfhe_netlist::NetlistError) -> Self {
         AsmError::Netlist(e)
+    }
+}
+
+impl From<fmt::Error> for AsmError {
+    fn from(_: fmt::Error) -> Self {
+        AsmError::Format
     }
 }

@@ -93,6 +93,15 @@ impl Instruction {
                     position,
                     reason: "unknown gate opcode",
                 })?;
+                // Constants take no operands; the encoder writes the
+                // all-ones reserved pattern, and anything else means the
+                // operand fields were corrupted.
+                if kind.is_const() && (f1 != FIELD_ONES || f2 != FIELD_ONES) {
+                    return Err(AsmError::BadInstruction {
+                        position,
+                        reason: "constant gate must carry all-ones operand fields",
+                    });
+                }
                 Ok(Instruction::Gate { kind, input0: f1, input1: f2 })
             }
         }

@@ -1,0 +1,419 @@
+//! Wave-granular checkpoint/resume for the resilient executor.
+//!
+//! After each completed wave barrier, [`crate::exec::execute_resilient`]
+//! can snapshot the *frontier* — the values still needed by later waves
+//! or by program outputs — into a [`Checkpoint`]. An interrupted run
+//! (worker crash, process kill) then resumes from the last barrier
+//! instead of gate zero, which is the difference between losing minutes
+//! and losing hours on the paper's MNIST_L-scale programs (Table IV).
+//!
+//! Snapshots are tied to their program by a fingerprint of the canonical
+//! PyTFHE binary encoding, so a checkpoint can never silently resume a
+//! different circuit, and carry a trailing FNV-1a checksum so on-disk
+//! bit rot is caught at load time rather than decrypting to garbage.
+//! Values serialize via [`Checkpointable`]: one byte per plaintext bit,
+//! raw torus words for LWE ciphertexts.
+
+use crate::error::ExecError;
+use pytfhe_netlist::Netlist;
+use pytfhe_tfhe::{LweCiphertext, Torus32};
+use std::fs;
+use std::path::PathBuf;
+
+const CKPT_MAGIC: u32 = 0x5054_434B; // "PTCK"
+const CKPT_VERSION: u32 = 1;
+
+/// Values the executor can snapshot at a wave barrier.
+///
+/// Implemented for `bool` (the plaintext engine) and
+/// [`LweCiphertext`] (the TFHE engine), covering both
+/// [`crate::GateEngine`] implementations.
+pub trait Checkpointable: Sized {
+    /// Appends this value's serialized form to `out`.
+    fn write_ckpt(&self, out: &mut Vec<u8>);
+
+    /// Parses a value back from exactly the bytes written by
+    /// [`Checkpointable::write_ckpt`]; `None` on any mismatch.
+    fn read_ckpt(data: &[u8]) -> Option<Self>;
+}
+
+impl Checkpointable for bool {
+    fn write_ckpt(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn read_ckpt(data: &[u8]) -> Option<Self> {
+        match data {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Checkpointable for LweCiphertext {
+    fn write_ckpt(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.dim() as u32).to_le_bytes());
+        for t in self.mask() {
+            out.extend_from_slice(&t.0.to_le_bytes());
+        }
+        out.extend_from_slice(&self.body().0.to_le_bytes());
+    }
+
+    fn read_ckpt(data: &[u8]) -> Option<Self> {
+        let dim = u32::from_le_bytes(data.get(..4)?.try_into().ok()?) as usize;
+        let rest = &data[4..];
+        if rest.len() != (dim + 1) * 4 {
+            return None;
+        }
+        let word =
+            |i: usize| Torus32(u32::from_le_bytes(rest[i * 4..(i + 1) * 4].try_into().unwrap()));
+        let a = (0..dim).map(word).collect();
+        Some(LweCiphertext::from_parts(a, word(dim)))
+    }
+}
+
+/// FNV-1a over a byte slice; used for both the program fingerprint and
+/// the snapshot payload checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fingerprints a netlist via FNV-1a over its canonical binary encoding,
+/// so checkpoints refuse to resume a different program.
+pub fn netlist_fingerprint(nl: &Netlist) -> u64 {
+    fnv1a(&pytfhe_asm::assemble(nl))
+}
+
+/// One wave-barrier snapshot: the program fingerprint, the index of the
+/// last completed wave, and the serialized frontier values keyed by
+/// netlist node id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    wave: usize,
+    fingerprint: u64,
+    entries: Vec<(u32, Vec<u8>)>,
+}
+
+impl Checkpoint {
+    /// Captures `nodes` (id, value) pairs as the frontier of `wave`.
+    pub fn capture<'a, V, I>(wave: usize, fingerprint: u64, nodes: I) -> Self
+    where
+        V: Checkpointable + 'a,
+        I: IntoIterator<Item = (u32, &'a V)>,
+    {
+        let entries = nodes
+            .into_iter()
+            .map(|(id, v)| {
+                let mut bytes = Vec::new();
+                v.write_ckpt(&mut bytes);
+                (id, bytes)
+            })
+            .collect();
+        Checkpoint { wave, fingerprint, entries }
+    }
+
+    /// The last completed wave this snapshot represents.
+    pub fn wave(&self) -> usize {
+        self.wave
+    }
+
+    /// The fingerprint of the program this snapshot belongs to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of frontier values captured.
+    pub fn num_values(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Restores the frontier into `values` (indexed by node id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadCheckpoint`] on out-of-range node ids or
+    /// undecodable values.
+    pub fn restore_into<V: Checkpointable>(&self, values: &mut [V]) -> Result<(), ExecError> {
+        for (id, bytes) in &self.entries {
+            let slot = values
+                .get_mut(*id as usize)
+                .ok_or(ExecError::BadCheckpoint { reason: "node id out of range" })?;
+            *slot = V::read_ckpt(bytes)
+                .ok_or(ExecError::BadCheckpoint { reason: "undecodable value" })?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the snapshot to its stable byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize = self.entries.iter().map(|(_, b)| 8 + b.len()).sum();
+        let mut out = Vec::with_capacity(36 + payload);
+        out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.wave as u64).to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (id, bytes) in &self.entries {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        // Trailing checksum over everything above: ciphertext payloads
+        // carry no integrity of their own, so a bit-flipped snapshot
+        // would otherwise resume cleanly and decrypt to garbage.
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parses a snapshot back from [`Checkpoint::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadCheckpoint`] on truncation, bad magic, an
+    /// unsupported version, or a payload checksum mismatch.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ExecError> {
+        let bad = |reason| ExecError::BadCheckpoint { reason };
+        let (data, sum) =
+            data.split_at_checked(data.len().wrapping_sub(8)).ok_or(bad("truncated header"))?;
+        if fnv1a(data) != u64::from_le_bytes(sum.try_into().unwrap()) {
+            return Err(bad("checksum mismatch"));
+        }
+        let u32_at = |i: usize| -> Result<u32, ExecError> {
+            Ok(u32::from_le_bytes(
+                data.get(i..i + 4).ok_or(bad("truncated header"))?.try_into().unwrap(),
+            ))
+        };
+        if u32_at(0)? != CKPT_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if u32_at(4)? != CKPT_VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let fingerprint =
+            u64::from_le_bytes(data.get(8..16).ok_or(bad("truncated header"))?.try_into().unwrap());
+        let wave = u64::from_le_bytes(
+            data.get(16..24).ok_or(bad("truncated header"))?.try_into().unwrap(),
+        ) as usize;
+        let count = u32_at(24)? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        let mut pos = 28;
+        for _ in 0..count {
+            let id = u32_at(pos)?;
+            let len = u32_at(pos + 4)? as usize;
+            let bytes = data.get(pos + 8..pos + 8 + len).ok_or(bad("truncated entry"))?.to_vec();
+            entries.push((id, bytes));
+            pos += 8 + len;
+        }
+        if pos != data.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(Checkpoint { wave, fingerprint, entries })
+    }
+}
+
+/// Where checkpoints are persisted between (possibly interrupted) runs.
+pub trait CheckpointStore {
+    /// Persists `ckpt`, replacing any previous snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::CheckpointIo`] when persistence fails.
+    fn save(&mut self, ckpt: &Checkpoint) -> Result<(), ExecError>;
+
+    /// Loads the latest snapshot, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadCheckpoint`] / [`ExecError::CheckpointIo`]
+    /// when a snapshot exists but cannot be read back.
+    fn load(&self) -> Result<Option<Checkpoint>, ExecError>;
+}
+
+/// In-memory store: survives within one process (e.g. across a failed
+/// and a resumed `execute_resilient` call).
+#[derive(Debug, Default)]
+pub struct MemoryCheckpointStore {
+    latest: Option<Checkpoint>,
+}
+
+impl MemoryCheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latest snapshot, if any.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.latest.as_ref()
+    }
+}
+
+impl CheckpointStore for MemoryCheckpointStore {
+    fn save(&mut self, ckpt: &Checkpoint) -> Result<(), ExecError> {
+        self.latest = Some(ckpt.clone());
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Option<Checkpoint>, ExecError> {
+        Ok(self.latest.clone())
+    }
+}
+
+/// File-backed store: survives process restarts. Writes go to a
+/// temporary sibling first and are renamed into place, so an interrupt
+/// mid-save never corrupts the previous good snapshot.
+#[derive(Debug, Clone)]
+pub struct FileCheckpointStore {
+    path: PathBuf,
+}
+
+impl FileCheckpointStore {
+    /// A store persisting to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileCheckpointStore { path: path.into() }
+    }
+
+    /// The snapshot path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl CheckpointStore for FileCheckpointStore {
+    fn save(&mut self, ckpt: &Checkpoint) -> Result<(), ExecError> {
+        let tmp = self.path.with_extension("tmp");
+        let io = |e: std::io::Error| ExecError::CheckpointIo(e.to_string());
+        fs::write(&tmp, ckpt.to_bytes()).map_err(io)?;
+        fs::rename(&tmp, &self.path).map_err(io)?;
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Option<Checkpoint>, ExecError> {
+        match fs::read(&self.path) {
+            Ok(bytes) => Checkpoint::from_bytes(&bytes).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(ExecError::CheckpointIo(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytfhe_netlist::GateKind;
+    use pytfhe_tfhe::{ClientKey, Params, SecureRng};
+
+    fn tiny_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let g = nl.add_gate(GateKind::Xor, a, b).unwrap();
+        nl.mark_output(g).unwrap();
+        nl
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        for v in [true, false] {
+            let mut bytes = Vec::new();
+            v.write_ckpt(&mut bytes);
+            assert_eq!(bool::read_ckpt(&bytes), Some(v));
+        }
+        assert_eq!(bool::read_ckpt(&[2]), None);
+        assert_eq!(bool::read_ckpt(&[]), None);
+    }
+
+    #[test]
+    fn ciphertext_round_trip() {
+        let mut rng = SecureRng::seed_from_u64(21);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let ct = client.encrypt_bit(true, &mut rng);
+        let mut bytes = Vec::new();
+        ct.write_ckpt(&mut bytes);
+        let back = LweCiphertext::read_ckpt(&bytes).unwrap();
+        assert_eq!(back, ct);
+        assert!(LweCiphertext::read_ckpt(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn checkpoint_bytes_round_trip() {
+        let ckpt = Checkpoint::capture(3, 0xFEED, [(2u32, &true), (7u32, &false)]);
+        let back = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.wave(), 3);
+        assert_eq!(back.fingerprint(), 0xFEED);
+        assert_eq!(back.num_values(), 2);
+        let mut values = vec![false; 8];
+        back.restore_into(&mut values).unwrap();
+        assert!(values[2]);
+        assert!(!values[7]);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        let ckpt = Checkpoint::capture(1, 9, [(0u32, &true)]);
+        let bytes = ckpt.to_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF; // magic
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[4] ^= 0x02; // version
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        let mut bad = bytes;
+        bad.push(0); // trailing garbage
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn payload_bit_flips_fail_the_checksum() {
+        let ckpt = Checkpoint::capture(1, 9, [(0u32, &true), (1u32, &false)]);
+        let bytes = ckpt.to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(Checkpoint::from_bytes(&bad).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_ids() {
+        let ckpt = Checkpoint::capture(0, 0, [(100u32, &true)]);
+        let mut values = vec![false; 4];
+        assert_eq!(
+            ckpt.restore_into(&mut values),
+            Err(ExecError::BadCheckpoint { reason: "node id out of range" })
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_programs() {
+        let a = tiny_netlist();
+        let mut b = Netlist::new();
+        let x = b.add_input();
+        let y = b.add_input();
+        let g = b.add_gate(GateKind::And, x, y).unwrap();
+        b.mark_output(g).unwrap();
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&b));
+        assert_eq!(netlist_fingerprint(&a), netlist_fingerprint(&tiny_netlist()));
+    }
+
+    #[test]
+    fn file_store_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pytfhe-ckpt-test-{}.bin", std::process::id()));
+        let mut store = FileCheckpointStore::new(&path);
+        assert_eq!(store.load().unwrap(), None);
+        let ckpt = Checkpoint::capture(5, 0xABCD, [(1u32, &true)]);
+        store.save(&ckpt).unwrap();
+        assert_eq!(store.load().unwrap(), Some(ckpt));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -25,8 +25,13 @@ pub trait GateEngine: Sync {
 
     /// Evaluates one gate. Unary gates read only `a`; constants read
     /// neither.
-    fn eval(&self, kind: GateKind, a: &Self::Value, b: &Self::Value, scratch: &mut Self::Scratch)
-        -> Self::Value;
+    fn eval(
+        &self,
+        kind: GateKind,
+        a: &Self::Value,
+        b: &Self::Value,
+        scratch: &mut Self::Scratch,
+    ) -> Self::Value;
 
     /// The engine's encoding of a constant bit.
     fn constant(&self, bit: bool) -> Self::Value;
@@ -130,6 +135,9 @@ mod tests {
     #[test]
     fn plain_engine_matches_gate_truth_tables() {
         let engine = PlainEngine::new();
+        // PlainEngine's scratch happens to be `()`; keep the generic
+        // engine idiom rather than special-casing the unit type.
+        #[allow(clippy::let_unit_value)]
         let mut s = engine.scratch();
         for &kind in &ALL_GATE_KINDS {
             for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {

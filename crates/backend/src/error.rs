@@ -15,6 +15,32 @@ pub enum ExecError {
     /// A worker thread panicked (encrypted evaluation bugs surface here
     /// rather than poisoning results).
     WorkerPanicked,
+    /// A gate task kept failing until its retry budget ran out.
+    Exhausted {
+        /// Wave the task belongs to.
+        wave: usize,
+        /// Netlist node id of the gate.
+        gate: u32,
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
+    /// Every worker has been evicted; no one is left to run the wave.
+    NoWorkers {
+        /// Wave that could not be staffed.
+        wave: usize,
+    },
+    /// A wave exceeded its wall-clock deadline across all retry rounds.
+    WaveDeadlineExceeded {
+        /// The offending wave.
+        wave: usize,
+    },
+    /// A checkpoint could not be decoded or does not match the program.
+    BadCheckpoint {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// Persisting or reading a checkpoint failed at the I/O layer.
+    CheckpointIo(String),
 }
 
 impl fmt::Display for ExecError {
@@ -25,6 +51,17 @@ impl fmt::Display for ExecError {
             }
             ExecError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
             ExecError::WorkerPanicked => write!(f, "a worker thread panicked"),
+            ExecError::Exhausted { wave, gate, attempts } => {
+                write!(f, "gate {gate} in wave {wave} failed all {attempts} attempts")
+            }
+            ExecError::NoWorkers { wave } => {
+                write!(f, "all workers evicted before wave {wave} completed")
+            }
+            ExecError::WaveDeadlineExceeded { wave } => {
+                write!(f, "wave {wave} exceeded its deadline")
+            }
+            ExecError::BadCheckpoint { reason } => write!(f, "bad checkpoint: {reason}"),
+            ExecError::CheckpointIo(e) => write!(f, "checkpoint i/o failed: {e}"),
         }
     }
 }

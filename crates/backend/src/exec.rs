@@ -5,13 +5,18 @@
 //! Both are generic over a [`GateEngine`], so the identical scheduling
 //! code serves plaintext validation and real homomorphic evaluation.
 
+use crate::checkpoint::{netlist_fingerprint, Checkpoint, CheckpointStore, Checkpointable};
 use crate::engine::GateEngine;
 use crate::error::ExecError;
-use pytfhe_netlist::topo::LevelSchedule;
+use crate::fault::{FaultInjector, RetryPolicy, TaskFate};
+use pytfhe_netlist::topo::{LevelSchedule, Levels};
 use pytfhe_netlist::{Netlist, Node};
 use std::time::Instant;
 
 /// Execution statistics.
+///
+/// All executors report the same type; the fault-tolerance counters stay
+/// zero for the reference and plain-parallel executors.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecStats {
     /// Gates evaluated.
@@ -20,6 +25,29 @@ pub struct ExecStats {
     pub waves: usize,
     /// Wall-clock seconds.
     pub wall_s: f64,
+    /// Failed task attempts that were retried.
+    pub retries: u64,
+    /// Workers permanently evicted after a crash.
+    pub evicted_workers: usize,
+    /// Wave-barrier checkpoints written.
+    pub checkpoints: usize,
+    /// The wave a resumed run restarted after, if it resumed at all.
+    pub resumed_from_wave: Option<usize>,
+}
+
+impl ExecStats {
+    /// Zeroed statistics for a program of `gates` gates.
+    fn for_gates(gates: usize) -> Self {
+        ExecStats {
+            gates,
+            waves: 0,
+            wall_s: 0.0,
+            retries: 0,
+            evicted_workers: 0,
+            checkpoints: 0,
+            resumed_from_wave: None,
+        }
+    }
 }
 
 /// Runs `nl` on `inputs` with a single thread, in node order (valid
@@ -34,10 +62,7 @@ pub fn execute<E: GateEngine>(
     inputs: &[E::Value],
 ) -> Result<(Vec<E::Value>, ExecStats), ExecError> {
     if inputs.len() != nl.num_inputs() {
-        return Err(ExecError::InputCountMismatch {
-            expected: nl.num_inputs(),
-            got: inputs.len(),
-        });
+        return Err(ExecError::InputCountMismatch { expected: nl.num_inputs(), got: inputs.len() });
     }
     nl.validate()?;
     let start = Instant::now();
@@ -58,7 +83,8 @@ pub fn execute<E: GateEngine>(
         }
     }
     let outputs = nl.outputs().iter().map(|o| values[o.index()].clone()).collect();
-    let stats = ExecStats { gates: nl.num_gates(), waves: 0, wall_s: start.elapsed().as_secs_f64() };
+    let mut stats = ExecStats::for_gates(nl.num_gates());
+    stats.wall_s = start.elapsed().as_secs_f64();
     Ok((outputs, stats))
 }
 
@@ -79,10 +105,7 @@ pub fn execute_parallel<E: GateEngine>(
 ) -> Result<(Vec<E::Value>, ExecStats), ExecError> {
     let workers = workers.max(1);
     if inputs.len() != nl.num_inputs() {
-        return Err(ExecError::InputCountMismatch {
-            expected: nl.num_inputs(),
-            got: inputs.len(),
-        });
+        return Err(ExecError::InputCountMismatch { expected: nl.num_inputs(), got: inputs.len() });
     }
     nl.validate()?;
     let start = Instant::now();
@@ -111,36 +134,34 @@ pub fn execute_parallel<E: GateEngine>(
         }
         let chunk = wave.len().div_ceil(workers);
         let values_ref = &values;
-        let results: Result<Vec<Vec<(u32, E::Value)>>, ExecError> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = wave
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move |_| {
-                            let mut scratch = engine.scratch();
-                            part.iter()
-                                .map(|&g| {
-                                    let Node::Gate { kind, a, b } = nodes[g as usize] else {
-                                        unreachable!("schedule contains only gates")
-                                    };
-                                    let out = engine.eval(
-                                        kind,
-                                        &values_ref[a.index()],
-                                        &values_ref[b.index()],
-                                        &mut scratch,
-                                    );
-                                    (g, out)
-                                })
-                                .collect::<Vec<_>>()
-                        })
+        let results: Result<Vec<ChunkResults<E::Value>>, ExecError> = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut scratch = engine.scratch();
+                        part.iter()
+                            .map(|&g| {
+                                let Node::Gate { kind, a, b } = nodes[g as usize] else {
+                                    unreachable!("schedule contains only gates")
+                                };
+                                let out = engine.eval(
+                                    kind,
+                                    &values_ref[a.index()],
+                                    &values_ref[b.index()],
+                                    &mut scratch,
+                                );
+                                (g, out)
+                            })
+                            .collect::<Vec<_>>()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().map_err(|_| ExecError::WorkerPanicked))
-                    .collect()
-            })
-            .map_err(|_| ExecError::WorkerPanicked)?;
+                })
+                .collect();
+            // Join every handle (no short-circuit) so a panicked worker
+            // surfaces as an error instead of re-panicking the scope.
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            joined.into_iter().map(|r| r.map_err(|_| ExecError::WorkerPanicked)).collect()
+        });
         for part in results? {
             for (g, v) in part {
                 values[g as usize] = v;
@@ -148,12 +169,271 @@ pub fn execute_parallel<E: GateEngine>(
         }
     }
     let outputs = nl.outputs().iter().map(|o| values[o.index()].clone()).collect();
-    let stats = ExecStats {
-        gates: nl.num_gates(),
-        waves: waves_run,
-        wall_s: start.elapsed().as_secs_f64(),
-    };
+    let mut stats = ExecStats::for_gates(nl.num_gates());
+    stats.waves = waves_run;
+    stats.wall_s = start.elapsed().as_secs_f64();
     Ok((outputs, stats))
+}
+
+/// Configuration of [`execute_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// Initial worker count (crashed workers are evicted, so the
+    /// effective pool can shrink down to 1 before the run fails).
+    pub workers: usize,
+    /// Retry/backoff/deadline policy for failed gate tasks.
+    pub retry: RetryPolicy,
+    /// Completed waves between checkpoints (1 = snapshot at every
+    /// barrier, 0 = never snapshot even when a store is supplied).
+    pub checkpoint_every: usize,
+}
+
+impl ResilientConfig {
+    /// `workers` workers, default retry policy, checkpoint every wave.
+    pub fn new(workers: usize) -> Self {
+        ResilientConfig { workers, retry: RetryPolicy::default(), checkpoint_every: 1 }
+    }
+}
+
+/// Per-gate results of one worker's chunk in a wave.
+type ChunkResults<V> = Vec<(u32, V)>;
+
+/// What one worker brought back from its chunk of a partition round.
+enum WorkerOutcome<V> {
+    /// The worker crashed: its chunk is lost, the worker is evicted.
+    Crashed,
+    /// All assigned gates completed (some possibly after retries).
+    Done { results: ChunkResults<V>, retries: u64 },
+    /// A gate ran out of retry attempts.
+    Exhausted { gate: u32, attempts: u32 },
+}
+
+/// Runs `nl` with the wavefront of Algorithm 1 under a fault model:
+/// failed gate tasks are retried with capped exponential backoff and
+/// jitter, stragglers past their deadline are abandoned and retried,
+/// crashed workers are permanently evicted (their in-flight chunk is
+/// re-partitioned across the survivors at the wave barrier), and — when a
+/// [`CheckpointStore`] is supplied — the live frontier is snapshotted
+/// after each completed wave so an interrupted run resumes from the last
+/// barrier instead of gate zero.
+///
+/// With [`crate::fault::NoFaults`] this behaves exactly like
+/// [`execute_parallel`] and produces bit-identical outputs; faults never
+/// change results, only the path taken to them.
+///
+/// # Errors
+///
+/// Returns the usual validation errors, plus [`ExecError::Exhausted`]
+/// when a task's retry budget runs out, [`ExecError::NoWorkers`] when
+/// every worker has been evicted, [`ExecError::WaveDeadlineExceeded`]
+/// when a wave blows its deadline, and checkpoint errors when a supplied
+/// store cannot round-trip a snapshot (including
+/// [`ExecError::BadCheckpoint`] if the store holds a snapshot of a
+/// *different* program).
+pub fn execute_resilient<E, F>(
+    engine: &E,
+    nl: &Netlist,
+    inputs: &[E::Value],
+    cfg: &ResilientConfig,
+    faults: &F,
+    mut store: Option<&mut dyn CheckpointStore>,
+) -> Result<(Vec<E::Value>, ExecStats), ExecError>
+where
+    E: GateEngine,
+    E::Value: Checkpointable,
+    F: FaultInjector + ?Sized,
+{
+    if inputs.len() != nl.num_inputs() {
+        return Err(ExecError::InputCountMismatch { expected: nl.num_inputs(), got: inputs.len() });
+    }
+    nl.validate()?;
+    let start = Instant::now();
+    let levels = Levels::compute(nl);
+    let schedule = LevelSchedule::from_levels(nl, &levels);
+    let mut stats = ExecStats::for_gates(nl.num_gates());
+    let filler = engine.constant(false);
+    let mut values: Vec<E::Value> = vec![filler; nl.num_nodes()];
+    for (slot, input) in nl.inputs().iter().zip(inputs) {
+        values[slot.index()] = input.clone();
+    }
+
+    // Liveness for frontier snapshots: a node is live past wave `k` if
+    // some gate of a later wave reads it, or it is a program output.
+    let nodes = nl.nodes();
+    let mut last_read = vec![0u32; nl.num_nodes()];
+    for (i, node) in nodes.iter().enumerate() {
+        if let Node::Gate { kind, a, b } = *node {
+            if kind.is_const() {
+                continue;
+            }
+            let l = levels.level[i];
+            last_read[a.index()] = last_read[a.index()].max(l);
+            if !kind.is_unary() {
+                last_read[b.index()] = last_read[b.index()].max(l);
+            }
+        }
+    }
+    let mut is_output = vec![false; nl.num_nodes()];
+    for o in nl.outputs() {
+        is_output[o.index()] = true;
+    }
+
+    let fingerprint = netlist_fingerprint(nl);
+    let mut start_wave = 0usize;
+    if let Some(store) = store.as_deref_mut() {
+        if let Some(ckpt) = store.load()? {
+            if ckpt.fingerprint() != fingerprint {
+                return Err(ExecError::BadCheckpoint {
+                    reason: "checkpoint belongs to a different program",
+                });
+            }
+            ckpt.restore_into(&mut values)?;
+            start_wave = ckpt.wave() + 1;
+            stats.resumed_from_wave = Some(ckpt.wave());
+        }
+    }
+
+    let mut alive: Vec<usize> = (0..cfg.workers.max(1)).collect();
+    for (wave_idx, wave) in schedule.waves.iter().enumerate() {
+        if wave_idx < start_wave || wave.is_empty() {
+            continue;
+        }
+        stats.waves += 1;
+        let wave_start = Instant::now();
+        let mut pending: Vec<u32> = wave.clone();
+        while !pending.is_empty() {
+            if let Some(deadline) = cfg.retry.wave_deadline {
+                if wave_start.elapsed() > deadline {
+                    return Err(ExecError::WaveDeadlineExceeded { wave: wave_idx });
+                }
+            }
+            if alive.is_empty() {
+                return Err(ExecError::NoWorkers { wave: wave_idx });
+            }
+            let chunk = pending.len().div_ceil(alive.len());
+            let values_ref = &values;
+            let policy = &cfg.retry;
+            type Outcomes<V> = Result<Vec<(usize, WorkerOutcome<V>)>, ExecError>;
+            let outcomes: Outcomes<E::Value> = std::thread::scope(|scope| {
+                let handles: Vec<_> = pending
+                    .chunks(chunk)
+                    .zip(&alive)
+                    .map(|(part, &worker)| {
+                        let handle = scope.spawn(move || {
+                            run_chunk(
+                                engine, nodes, values_ref, part, wave_idx, worker, faults, policy,
+                            )
+                        });
+                        (worker, handle)
+                    })
+                    .collect();
+                // Join every handle (no short-circuit) so a panicked
+                // worker surfaces as an error, not a scope panic.
+                let joined: Vec<_> = handles.into_iter().map(|(w, h)| (w, h.join())).collect();
+                joined
+                    .into_iter()
+                    .map(|(w, r)| r.map(|o| (w, o)).map_err(|_| ExecError::WorkerPanicked))
+                    .collect()
+            });
+            let mut completed = std::collections::HashSet::new();
+            for (worker, outcome) in outcomes? {
+                match outcome {
+                    WorkerOutcome::Crashed => {
+                        alive.retain(|&w| w != worker);
+                        stats.evicted_workers += 1;
+                    }
+                    WorkerOutcome::Done { results, retries } => {
+                        stats.retries += retries;
+                        for (g, v) in results {
+                            values[g as usize] = v;
+                            completed.insert(g);
+                        }
+                    }
+                    WorkerOutcome::Exhausted { gate, attempts } => {
+                        return Err(ExecError::Exhausted { wave: wave_idx, gate, attempts });
+                    }
+                }
+            }
+            pending.retain(|g| !completed.contains(g));
+        }
+        if cfg.checkpoint_every > 0 && stats.waves.is_multiple_of(cfg.checkpoint_every) {
+            if let Some(store) = store.as_deref_mut() {
+                let frontier = (0..nl.num_nodes()).filter_map(|i| {
+                    let computed_gate =
+                        matches!(nodes[i], Node::Gate { .. }) && levels.level[i] <= wave_idx as u32;
+                    let live = last_read[i] > wave_idx as u32 || is_output[i];
+                    (computed_gate && live).then(|| (i as u32, &values[i]))
+                });
+                store.save(&Checkpoint::capture(wave_idx, fingerprint, frontier))?;
+                stats.checkpoints += 1;
+            }
+        }
+    }
+    let outputs = nl.outputs().iter().map(|o| values[o.index()].clone()).collect();
+    stats.wall_s = start.elapsed().as_secs_f64();
+    Ok((outputs, stats))
+}
+
+/// One worker's pass over its chunk: evaluate each gate, retrying
+/// injected failures with the policy's backoff, or crash wholesale if the
+/// injector says this worker dies in this wave.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk<E, F>(
+    engine: &E,
+    nodes: &[Node],
+    values: &[E::Value],
+    part: &[u32],
+    wave: usize,
+    worker: usize,
+    faults: &F,
+    policy: &RetryPolicy,
+) -> WorkerOutcome<E::Value>
+where
+    E: GateEngine,
+    F: FaultInjector + ?Sized,
+{
+    if faults.worker_crashes(wave, worker) {
+        return WorkerOutcome::Crashed;
+    }
+    let mut scratch = engine.scratch();
+    let mut results = Vec::with_capacity(part.len());
+    let mut retries = 0u64;
+    for &g in part {
+        let Node::Gate { kind, a, b } = nodes[g as usize] else {
+            unreachable!("schedule contains only gates")
+        };
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let failed = match faults.task_fate(wave, g, attempt) {
+                TaskFate::Success => false,
+                TaskFate::Fail => true,
+                TaskFate::Slow(latency) => {
+                    // Past the task deadline the attempt is abandoned
+                    // immediately (in a real cluster the driver stops
+                    // waiting); within it, the straggler really stalls.
+                    if policy.task_deadline.is_some_and(|d| latency > d) {
+                        true
+                    } else {
+                        std::thread::sleep(latency);
+                        false
+                    }
+                }
+            };
+            if failed {
+                retries += 1;
+                if attempt >= policy.max_attempts.max(1) {
+                    return WorkerOutcome::Exhausted { gate: g, attempts: attempt };
+                }
+                std::thread::sleep(policy.backoff(g, attempt));
+                continue;
+            }
+            let out = engine.eval(kind, &values[a.index()], &values[b.index()], &mut scratch);
+            results.push((g, out));
+            break;
+        }
+    }
+    WorkerOutcome::Done { results, retries }
 }
 
 #[cfg(test)]
@@ -269,8 +549,7 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.add_input();
         let b = nl.add_input();
-        let gates: Vec<_> =
-            (0..64).map(|_| nl.add_gate(GateKind::Nand, a, b).unwrap()).collect();
+        let gates: Vec<_> = (0..64).map(|_| nl.add_gate(GateKind::Nand, a, b).unwrap()).collect();
         for g in gates {
             nl.mark_output(g).unwrap();
         }

@@ -10,9 +10,18 @@
 //!   [`engine::PlainEngine`] computes on plaintext bits (the functional
 //!   mode used to validate programs and drive the performance
 //!   simulators);
-//! * [`exec`] — a single-threaded reference executor and the
-//!   multi-threaded wavefront executor (Algorithm 1 on a worker pool, the
-//!   single-node form of the paper's distributed CPU backend);
+//! * [`exec`] — a single-threaded reference executor, the multi-threaded
+//!   wavefront executor (Algorithm 1 on a worker pool, the single-node
+//!   form of the paper's distributed CPU backend), and the resilient
+//!   wavefront executor ([`exec::execute_resilient`]) that retries failed
+//!   gate tasks, evicts crashed workers, and checkpoints at wave
+//!   barriers;
+//! * [`fault`] — deterministic seeded fault injection ([`SeededFaults`])
+//!   and the [`RetryPolicy`] (capped exponential backoff + jitter,
+//!   per-task and per-wave deadlines) driving the resilient executor;
+//! * [`checkpoint`] — wave-granular snapshot/resume: the frontier values
+//!   at a wave barrier serialize to a [`CheckpointStore`] (in-memory or
+//!   file-backed) so interrupted runs restart from the last barrier;
 //! * [`cost`] — the calibrated cost model (Figure 7: one bootstrapped
 //!   gate ≈ 13 ms on one CPU core; ciphertext = 2.46 KB; per-task
 //!   communication ≈ 0.094 % of runtime);
@@ -23,15 +32,21 @@
 //! See DESIGN.md for why the cluster and GPU are simulated rather than
 //! driven natively, and how the simulators were calibrated.
 
+pub mod checkpoint;
 pub mod cost;
 pub mod engine;
 mod error;
 pub mod exec;
+pub mod fault;
 pub mod runtime;
 pub mod sim;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointStore, Checkpointable, FileCheckpointStore, MemoryCheckpointStore,
+};
 pub use cost::{CpuCostModel, GpuCostModel};
 pub use engine::{GateEngine, PlainEngine, TfheEngine};
 pub use error::ExecError;
-pub use exec::{execute, execute_parallel, ExecStats};
+pub use exec::{execute, execute_parallel, execute_resilient, ExecStats, ResilientConfig};
+pub use fault::{FaultInjector, NoFaults, RetryPolicy, SeededFaults, TaskFate};
 pub use runtime::{Evaluator, RtWord};

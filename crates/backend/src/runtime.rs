@@ -95,12 +95,7 @@ impl<'e, E: GateEngine> Evaluator<'e, E> {
         )
     }
 
-    fn full_adder(
-        &mut self,
-        a: &E::Value,
-        b: &E::Value,
-        cin: &E::Value,
-    ) -> (E::Value, E::Value) {
+    fn full_adder(&mut self, a: &E::Value, b: &E::Value, cin: &E::Value) -> (E::Value, E::Value) {
         let axb = self.gate(GateKind::Xor, a, b);
         let sum = self.gate(GateKind::Xor, &axb, cin);
         let ab = self.gate(GateKind::And, a, b);
@@ -159,11 +154,7 @@ impl<'e, E: GateEngine> Evaluator<'e, E> {
     }
 
     /// Unsigned multiplication, `a.width() + b.width()` bits (schoolbook).
-    pub fn mul_unsigned(
-        &mut self,
-        a: &RtWord<E::Value>,
-        b: &RtWord<E::Value>,
-    ) -> RtWord<E::Value> {
+    pub fn mul_unsigned(&mut self, a: &RtWord<E::Value>, b: &RtWord<E::Value>) -> RtWord<E::Value> {
         let (wa, wb) = (a.width(), b.width());
         let mut acc = self.constant(0, wa + wb);
         for j in 0..wb {
@@ -250,11 +241,7 @@ impl<'e, E: GateEngine> Evaluator<'e, E> {
     /// # Panics
     ///
     /// Panics if widths differ.
-    pub fn max_signed(
-        &mut self,
-        a: &RtWord<E::Value>,
-        b: &RtWord<E::Value>,
-    ) -> RtWord<E::Value> {
+    pub fn max_signed(&mut self, a: &RtWord<E::Value>, b: &RtWord<E::Value>) -> RtWord<E::Value> {
         let lt = self.lt_signed(a, b);
         self.select(&lt, b, a)
     }
@@ -317,9 +304,7 @@ mod tests {
         let engine = TfheEngine::new(&server);
         let mut ev = Evaluator::new(&engine);
         let enc = |v: u64, w: usize, c: &ClientKey, rng: &mut SecureRng| {
-            RtWord::from_bits(
-                (0..w).map(|i| c.encrypt_bit((v >> i) & 1 == 1, rng)).collect(),
-            )
+            RtWord::from_bits((0..w).map(|i| c.encrypt_bit((v >> i) & 1 == 1, rng)).collect())
         };
         let dec = |word: &RtWord<pytfhe_tfhe::LweCiphertext>, c: &ClientKey| {
             word.bits()

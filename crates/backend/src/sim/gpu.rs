@@ -106,7 +106,13 @@ impl GpuSim {
                 }
             }
         }
-        GpuReport { total_s: total, kernel_busy_s: kernel_busy, transfer_s: transfer, overhead_s: overhead, gates }
+        GpuReport {
+            total_s: total,
+            kernel_busy_s: kernel_busy,
+            transfer_s: transfer,
+            overhead_s: overhead,
+            gates,
+        }
     }
 
     /// The cuFHE policy: per-gate blocking dispatch. Every gate pays two
@@ -117,8 +123,7 @@ impl GpuSim {
         let ct = self.cpu.ciphertext_bytes;
         let per_gate_transfer = self.gpu.transfer_s(3, ct);
         let per_gate_overhead = self.gpu.launch_s + self.gpu.sync_s;
-        let total_s =
-            gates as f64 * (per_gate_transfer + per_gate_overhead + self.gpu.kernel_s);
+        let total_s = gates as f64 * (per_gate_transfer + per_gate_overhead + self.gpu.kernel_s);
         GpuReport {
             total_s,
             kernel_busy_s: gates as f64 * self.gpu.kernel_s,
@@ -143,8 +148,8 @@ impl GpuSim {
             if n == 0 {
                 continue;
             }
-            cur_exec += n.div_ceil(sm) as f64 * self.gpu.kernel_s
-                + n as f64 * self.gpu.graph_exec_node_s;
+            cur_exec +=
+                n.div_ceil(sm) as f64 * self.gpu.kernel_s + n as f64 * self.gpu.graph_exec_node_s;
             cur_gates += n;
             if cur_gates >= self.gpu.graph_batch_nodes as u64 {
                 batches.push((cur_gates, cur_exec));
@@ -163,8 +168,7 @@ impl GpuSim {
         if let Some(first) = build.first() {
             total += first + self.gpu.launch_s;
         }
-        for i in 0..batches.len() {
-            let exec = batches[i].1;
+        for (i, &(_, exec)) in batches.iter().enumerate() {
             let next_build = build.get(i + 1).copied().unwrap_or(0.0);
             total += exec.max(next_build);
         }

@@ -13,7 +13,7 @@ mod gpu;
 mod profile;
 mod timeline;
 
-pub use cluster::{ClusterConfig, ClusterReport, ClusterSim};
+pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, FaultyClusterReport, SimFaultModel};
 pub use gpu::{GpuPolicy, GpuReport, GpuSim};
 pub use profile::{ProgramProfile, WaveProfile};
 pub use timeline::{Segment, Timeline};

@@ -1,5 +1,5 @@
-use pytfhe_netlist::ALL_GATE_KINDS;
 use pytfhe_netlist::topo::Levels;
+use pytfhe_netlist::ALL_GATE_KINDS;
 use pytfhe_netlist::{GateKind, Netlist, Node};
 
 /// The gate composition of one scheduling wave.

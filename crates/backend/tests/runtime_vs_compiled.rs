@@ -75,7 +75,11 @@ fn runtime_select_matches_compiled_mux() {
             input.extend(to_bits(x, w));
             input.extend(to_bits(y, w));
             let (out, _) = execute(&engine, &nl, &input).expect("runs");
-            let r = ev.select(&sel, &RtWord::from_bits(to_bits(x, w)), &RtWord::from_bits(to_bits(y, w)));
+            let r = ev.select(
+                &sel,
+                &RtWord::from_bits(to_bits(x, w)),
+                &RtWord::from_bits(to_bits(y, w)),
+            );
             assert_eq!(from_bits(&out), from_bits(r.bits()), "sel={sel} {x} {y}");
         }
     }

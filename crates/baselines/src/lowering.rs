@@ -50,11 +50,7 @@ fn weight_word(c: &mut Circuit, p: &LoweringProfile, w: f64) -> Word {
     } else {
         // Materialize every constant bit as a gate-backed signal, the way
         // a framework with hardcoded gate templates computes on them.
-        let bits = word
-            .bits()
-            .iter()
-            .map(|b| Bit::Node(c.materialize(*b)))
-            .collect();
+        let bits = word.bits().iter().map(|b| Bit::Node(c.materialize(*b))).collect();
         Word::from_bits(bits)
     }
 }
@@ -62,8 +58,7 @@ fn weight_word(c: &mut Circuit, p: &LoweringProfile, w: f64) -> Word {
 /// Fixed-point multiply under the profile: full signed product, then
 /// realign the binary point.
 fn fx_mul(c: &mut Circuit, p: &LoweringProfile, a: &Word, b: &Word) -> Word {
-    let wide =
-        if p.naive_multiplier { c.mul_signed_ext(a, b) } else { c.mul_signed(a, b) };
+    let wide = if p.naive_multiplier { c.mul_signed_ext(a, b) } else { c.mul_signed(a, b) };
     wide.asr_const(p.frac).slice(0, p.width)
 }
 
@@ -112,7 +107,8 @@ pub fn lower_mnist(profile: &LoweringProfile, scale: MnistScale) -> Netlist {
 
     let mut c = if p.fold_constants { Circuit::new() } else { Circuit::without_folding() };
     let input = c.input_word("input", side * side * p.width);
-    let px = |i: usize, j: usize| input.slice((i * side + j) * p.width, (i * side + j + 1) * p.width);
+    let px =
+        |i: usize, j: usize| input.slice((i * side + j) * p.width, (i * side + j + 1) * p.width);
 
     let mut weights = weight_stream(0x5eed);
     // Conv2d(1, 1, 3, 1) + bias.
@@ -225,11 +221,7 @@ mod tests {
                 None => reference = Some(out),
                 Some(want) => {
                     for (g, w) in out.iter().zip(want) {
-                        assert!(
-                            (g - w).abs() < 0.6,
-                            "{}: {g} vs reference {w}",
-                            p.name
-                        );
+                        assert!((g - w).abs() < 0.6, "{}: {g} vs reference {w}", p.name);
                     }
                 }
             }
@@ -246,8 +238,7 @@ mod tests {
             })
             .collect();
         let get = |n: &str| counts.iter().find(|(name, _)| name == n).unwrap().1;
-        let (py, cing, e3, gt) =
-            (get("PyTFHE"), get("Cingulata"), get("E3"), get("Transpiler"));
+        let (py, cing, e3, gt) = (get("PyTFHE"), get("Cingulata"), get("E3"), get("Transpiler"));
         assert!(py < cing, "PyTFHE {py} < Cingulata {cing}");
         assert!(cing < e3, "Cingulata {cing} < E3 {e3}");
         assert!(e3 < gt, "E3 {e3} < Transpiler {gt}");

@@ -1,8 +1,8 @@
 //! Compilation-side benchmarks: ChiselTorch model compilation, netlist
 //! optimization, and baseline lowering.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use chiseltorch::{compile, nn, DType};
+use criterion::{criterion_group, criterion_main, Criterion};
 use pytfhe_baselines::{lower_mnist, LoweringProfile, MnistScale};
 use pytfhe_netlist::opt::{optimize, OptConfig};
 use std::hint::black_box;

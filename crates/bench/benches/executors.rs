@@ -21,9 +21,7 @@ fn bench_executors(c: &mut Criterion) {
         b.iter(|| black_box(execute(&engine, &nl, black_box(&input_bits)).expect("ok")))
     });
     group.bench_function("wavefront4_mnist_s", |b| {
-        b.iter(|| {
-            black_box(execute_parallel(&engine, &nl, black_box(&input_bits), 4).expect("ok"))
-        })
+        b.iter(|| black_box(execute_parallel(&engine, &nl, black_box(&input_bits), 4).expect("ok")))
     });
     group.finish();
 

@@ -39,7 +39,10 @@ fn main() -> ExitCode {
             _ => return None,
         })
     };
-    let all = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table4", "ablation"];
+    let all = [
+        "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table4",
+        "ablation",
+    ];
     match target.as_str() {
         "all" => {
             for name in all {

@@ -26,7 +26,11 @@ pub fn fig6() -> String {
     let bin = assemble(&nl);
     let mut out = String::from("Figure 6 — PyTFHE binary encoding of a half adder\n\n");
     out.push_str(&dump(&bin).expect("valid binary"));
-    out.push_str(&format!("\n{} bytes, {} instructions of 128 bits each\n", bin.len(), bin.len() / 16));
+    out.push_str(&format!(
+        "\n{} bytes, {} instructions of 128 bits each\n",
+        bin.len(),
+        bin.len() / 16
+    ));
     out
 }
 
@@ -86,8 +90,9 @@ pub fn fig7(measure: bool) -> String {
 pub fn fig8() -> String {
     let sim = GpuSim::new(GpuCostModel::a5000(), CpuCostModel::paper());
     let t = sim.cufhe_timeline(4);
-    let mut out =
-        String::from("Figure 8 — cuFHE gate-level dispatch: H2D / kernel / D2H serialized, CPU blocked\n\n");
+    let mut out = String::from(
+        "Figure 8 — cuFHE gate-level dispatch: H2D / kernel / D2H serialized, CPU blocked\n\n",
+    );
     out.push_str(&t.render(72));
     out.push_str(&format!(
         "\nmakespan {:.2} ms for 4 gates; GPU busy only {:.0}% of the time\n",
@@ -131,13 +136,7 @@ pub fn fig10(scale: Scale) -> String {
     let cost = CpuCostModel::paper();
     let one = ClusterSim::new(cost, ClusterConfig::one_node());
     let four = ClusterSim::new(cost, ClusterConfig::four_nodes());
-    let mut table = Table::new(&[
-        "benchmark",
-        "gates",
-        "single-core",
-        "1 node (x)",
-        "4 nodes (x)",
-    ]);
+    let mut table = Table::new(&["benchmark", "gates", "single-core", "1 node (x)", "4 nodes (x)"]);
     for (name, profile) in suite_profiles(scale) {
         let r1 = one.simulate(&profile);
         let r4 = four.simulate(&profile);
@@ -187,8 +186,9 @@ pub fn fig11(scale: Scale) -> String {
             format!("{:.1}x", cufhe_rtx.total_s / py_r.total_s),
         ]);
     }
-    let mut out =
-        String::from("Figure 11 — PyTFHE GPU backend vs cuFHE (paper: up to 61.5x on parallel workloads)\n\n");
+    let mut out = String::from(
+        "Figure 11 — PyTFHE GPU backend vs cuFHE (paper: up to 61.5x on parallel workloads)\n\n",
+    );
     out.push_str(&table.render());
     out
 }
@@ -271,8 +271,7 @@ pub fn fig14(scale: MnistScale) -> String {
         let stats = NetlistStats::of(nl);
         let mut kinds: Vec<(GateKind, u64)> = stats.histogram.iter().collect();
         kinds.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
-        let dominant: Vec<String> =
-            kinds.iter().take(4).map(|(k, c)| format!("{k}:{c}")).collect();
+        let dominant: Vec<String> = kinds.iter().take(4).map(|(k, c)| format!("{k}:{c}")).collect();
         table.row(vec![
             p.name.to_string(),
             stats.bootstrapped_gates.to_string(),
@@ -292,9 +291,12 @@ pub fn table4(scale: MnistScale) -> String {
     let find = |n: &str| &nets.iter().find(|(p, _)| p.name == n).expect("present").1;
     let py = find("PyTFHE");
     let profile = ProgramProfile::of(py);
-    let est =
-        |nl: &Netlist| nl.num_bootstrapped_gates() as f64 * cpu.gate_s();
-    let baselines = [("E3", est(find("E3"))), ("Cingulata", est(find("Cingulata"))), ("Transpiler", est(find("Transpiler")))];
+    let est = |nl: &Netlist| nl.num_bootstrapped_gates() as f64 * cpu.gate_s();
+    let baselines = [
+        ("E3", est(find("E3"))),
+        ("Cingulata", est(find("Cingulata"))),
+        ("Transpiler", est(find("Transpiler"))),
+    ];
     let configs: Vec<(&str, f64)> = vec![
         ("PyTFHE Single Core", est(py)),
         (
@@ -359,7 +361,11 @@ pub fn ablation() -> String {
     let base = raw.num_bootstrapped_gates() as f64;
     let mut push = |name: &str, nl: &Netlist| {
         let g = nl.num_bootstrapped_gates();
-        table.row(vec![name.to_string(), g.to_string(), format!("{:.1}%", g as f64 / base * 100.0)]);
+        table.row(vec![
+            name.to_string(),
+            g.to_string(),
+            format!("{:.1}%", g as f64 / base * 100.0),
+        ]);
     };
     push("raw (builder folding only)", &raw);
     let folded = opt::constant_fold(&raw).0;

@@ -108,8 +108,8 @@ pub fn compile_with(
     let output_shape = output.shape().to_vec();
     output.output(&mut c, "output");
     let netlist = c.finish().map_err(TorchError::Hdl)?;
-    let (netlist, _) = optimize(&netlist, opt)
-        .map_err(|e| TorchError::Hdl(pytfhe_hdl::HdlError::Netlist(e)))?;
+    let (netlist, _) =
+        optimize(&netlist, opt).map_err(|e| TorchError::Hdl(pytfhe_hdl::HdlError::Netlist(e)))?;
     Ok(CompiledModel { netlist, dtype, input_shape: input_shape.to_vec(), output_shape })
 }
 
@@ -137,9 +137,7 @@ mod tests {
         let input = PlainTensor::random(&[1, 4, 4], 1.0, 71);
         let q: Vec<f64> =
             input.data().iter().map(|&v| dtype.decode_f64(&dtype.encode_f64(v))).collect();
-        let want = model
-            .forward_plain(&PlainTensor::from_vec(&[1, 4, 4], q).unwrap())
-            .unwrap();
+        let want = model.forward_plain(&PlainTensor::from_vec(&[1, 4, 4], q).unwrap()).unwrap();
         let got = compiled.eval_plain(input.data());
         for (g, w) in got.iter().zip(want.data()) {
             assert!((g - w).abs() < 0.6, "got {g}, want {w}");

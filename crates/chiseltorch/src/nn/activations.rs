@@ -73,11 +73,8 @@ impl Module for HardSigmoid {
 
 impl Module for HardTanh {
     fn forward(&self, c: &mut Circuit, input: &Tensor) -> Result<Tensor, TorchError> {
-        let data = input
-            .values()
-            .iter()
-            .map(|v| clamp(c, v, -1.0, 1.0))
-            .collect::<Result<Vec<_>, _>>()?;
+        let data =
+            input.values().iter().map(|v| clamp(c, v, -1.0, 1.0)).collect::<Result<Vec<_>, _>>()?;
         Tensor::from_values(input.shape(), data)
     }
 
@@ -119,14 +116,12 @@ mod tests {
     #[test]
     fn saturation_regions_are_exact() {
         let hs = HardSigmoid::new();
-        let out = hs
-            .forward_plain(&PlainTensor::from_vec(&[2], vec![-100.0, 100.0]).unwrap())
-            .unwrap();
+        let out =
+            hs.forward_plain(&PlainTensor::from_vec(&[2], vec![-100.0, 100.0]).unwrap()).unwrap();
         assert_eq!(out.data(), &[0.0, 1.0]);
         let ht = HardTanh::new();
-        let out = ht
-            .forward_plain(&PlainTensor::from_vec(&[2], vec![-100.0, 100.0]).unwrap())
-            .unwrap();
+        let out =
+            ht.forward_plain(&PlainTensor::from_vec(&[2], vec![-100.0, 100.0]).unwrap()).unwrap();
         assert_eq!(out.data(), &[-1.0, 1.0]);
     }
 

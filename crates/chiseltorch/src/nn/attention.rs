@@ -76,11 +76,8 @@ impl Module for SelfAttention {
         let kt = k.transpose()?;
         let scores = ops::matmul(c, &q, &kt)?;
         let scale = Value::constant(c, 1.0 / (self.hidden as f64).sqrt(), dtype);
-        let scaled: Vec<Value> = scores
-            .values()
-            .iter()
-            .map(|s| c.v_mul(s, &scale))
-            .collect::<Result<_, _>>()?;
+        let scaled: Vec<Value> =
+            scores.values().iter().map(|s| c.v_mul(s, &scale)).collect::<Result<_, _>>()?;
         // FHE-friendly softmax substitute: w = relu(s); a = w / (row_sum + 1).
         let relu: Vec<Value> = scaled.iter().map(|s| c.v_relu(s)).collect();
         let t = self.seq_len;

@@ -59,7 +59,10 @@ impl Conv2d {
     pub fn with_weight(mut self, weight: PlainTensor) -> Result<Self, TorchError> {
         let expect = [self.out_channels, self.in_channels, self.kernel, self.kernel];
         if weight.shape() != expect {
-            return Err(TorchError::BadWeights { layer: "Conv2d", expected: format!("{expect:?}") });
+            return Err(TorchError::BadWeights {
+                layer: "Conv2d",
+                expected: format!("{expect:?}"),
+            });
         }
         self.weight = weight;
         Ok(self)
@@ -123,7 +126,8 @@ impl Module for Conv2d {
         for o in 0..self.out_channels {
             for y in 0..oh {
                 for x in 0..ow {
-                    let mut terms = Vec::with_capacity(self.in_channels * self.kernel * self.kernel + 1);
+                    let mut terms =
+                        Vec::with_capacity(self.in_channels * self.kernel * self.kernel + 1);
                     for i in 0..self.in_channels {
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
@@ -238,7 +242,10 @@ impl Conv1d {
     pub fn with_weight(mut self, weight: PlainTensor) -> Result<Self, TorchError> {
         let expect = [self.out_channels, self.in_channels, self.kernel];
         if weight.shape() != expect {
-            return Err(TorchError::BadWeights { layer: "Conv1d", expected: format!("{expect:?}") });
+            return Err(TorchError::BadWeights {
+                layer: "Conv1d",
+                expected: format!("{expect:?}"),
+            });
         }
         self.weight = weight;
         Ok(self)
@@ -386,8 +393,7 @@ mod tests {
             .unwrap()
             .with_bias(PlainTensor::from_vec(&[1], vec![0.0]).unwrap())
             .unwrap();
-        let input =
-            PlainTensor::from_vec(&[1, 2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let input = PlainTensor::from_vec(&[1, 2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
         let out = layer.forward_plain(&input).unwrap();
         assert_eq!(out.data(), &[5.0]);
     }

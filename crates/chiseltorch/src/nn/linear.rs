@@ -160,9 +160,8 @@ mod tests {
             .unwrap()
             .with_bias(PlainTensor::from_vec(&[1], vec![0.5]).unwrap())
             .unwrap();
-        let out = layer
-            .forward_plain(&PlainTensor::from_vec(&[2], vec![3.0, 4.0]).unwrap())
-            .unwrap();
+        let out =
+            layer.forward_plain(&PlainTensor::from_vec(&[2], vec![3.0, 4.0]).unwrap()).unwrap();
         assert_eq!(out.data(), &[2.0 * 3.0 - 4.0 + 0.5]);
     }
 

@@ -78,6 +78,9 @@ impl Sequential {
 
     /// Appends a layer (builder style).
     #[must_use]
+    // `add` deliberately mirrors the paper's `nn.Sequential.add` API
+    // (Figure 4); it is a builder, not arithmetic.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, layer: impl Module + 'static) -> Self {
         self.layers.push(Box::new(layer));
         self
@@ -161,11 +164,7 @@ pub(crate) mod testutil {
         let got: Vec<f64> = out.chunks(w).map(|ch| dtype.decode_f64(ch)).collect();
         assert_eq!(got.len(), want.len(), "output element count");
         for (i, (g, wv)) in got.iter().zip(want.data()).enumerate() {
-            assert!(
-                (g - wv).abs() <= tol,
-                "{}[{i}]: got {g}, want {wv} (tol {tol})",
-                layer.name()
-            );
+            assert!((g - wv).abs() <= tol, "{}[{i}]: got {g}, want {wv} (tol {tol})", layer.name());
         }
     }
 }
@@ -200,10 +199,8 @@ mod tests {
     #[test]
     fn sequential_end_to_end_small() {
         let dtype = DType::Fixed { width: 14, frac: 6 };
-        let model = Sequential::new(dtype)
-            .add(ReLU::new())
-            .add(Flatten::new())
-            .add(Linear::new(4, 2));
+        let model =
+            Sequential::new(dtype).add(ReLU::new()).add(Flatten::new()).add(Linear::new(4, 2));
         let input = PlainTensor::random(&[4], 1.5, 11);
         testutil::check_layer_against_plain(&model, &[4], dtype, &input, 0.25);
     }

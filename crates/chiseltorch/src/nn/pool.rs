@@ -5,7 +5,12 @@ use crate::plain::PlainTensor;
 use crate::tensor::Tensor;
 use pytfhe_hdl::{Circuit, DType, Value};
 
-fn pooled_len(l: usize, kernel: usize, stride: usize, op: &'static str) -> Result<usize, TorchError> {
+fn pooled_len(
+    l: usize,
+    kernel: usize,
+    stride: usize,
+    op: &'static str,
+) -> Result<usize, TorchError> {
     if l < kernel || stride == 0 {
         return Err(TorchError::ShapeMismatch {
             expected: format!("length >= kernel {kernel}"),
@@ -163,7 +168,12 @@ fn plain2d(
     Ok(out)
 }
 
-fn shape2d(input: &[usize], kernel: usize, stride: usize, op: &'static str) -> Result<Vec<usize>, TorchError> {
+fn shape2d(
+    input: &[usize],
+    kernel: usize,
+    stride: usize,
+    op: &'static str,
+) -> Result<Vec<usize>, TorchError> {
     let [ch, h, w] = input[..] else {
         return Err(TorchError::ShapeMismatch {
             expected: "[C, H, W]".into(),
@@ -340,7 +350,13 @@ mod tests {
     fn pool1d_matches_plain() {
         let input = PlainTensor::random(&[2, 6], 4.0, 43);
         check_layer_against_plain(&MaxPool1d::new(2, 2), &[2, 6], DT, &input, DT.resolution());
-        check_layer_against_plain(&AvgPool1d::new(3, 1), &[2, 6], DT, &input, 4.0 * DT.resolution());
+        check_layer_against_plain(
+            &AvgPool1d::new(3, 1),
+            &[2, 6],
+            DT,
+            &input,
+            4.0 * DT.resolution(),
+        );
     }
 
     #[test]

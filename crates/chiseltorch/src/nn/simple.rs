@@ -76,11 +76,9 @@ mod tests {
     #[test]
     fn relu_all_dtypes() {
         let input = PlainTensor::from_vec(&[4], vec![-2.0, -0.25, 0.5, 3.0]).unwrap();
-        for dtype in [
-            DType::SInt(8),
-            DType::Fixed { width: 10, frac: 4 },
-            DType::Float { exp: 6, man: 6 },
-        ] {
+        for dtype in
+            [DType::SInt(8), DType::Fixed { width: 10, frac: 4 }, DType::Float { exp: 6, man: 6 }]
+        {
             check_layer_against_plain(&ReLU::new(), &[4], dtype, &input, dtype.resolution());
         }
     }

@@ -46,9 +46,8 @@ impl Tensor {
         let n: usize = shape.iter().product();
         let width = dtype.width();
         let word = c.input_word(name, n * width);
-        let data = (0..n)
-            .map(|i| Value::new(word.slice(i * width, (i + 1) * width), dtype))
-            .collect();
+        let data =
+            (0..n).map(|i| Value::new(word.slice(i * width, (i + 1) * width), dtype)).collect();
         Tensor { shape: shape.to_vec(), data, dtype }
     }
 

@@ -29,8 +29,8 @@ fn every_table1_layer_compiles() {
     for (layer, shape) in checks {
         let name = layer.name();
         let model = nn::Sequential::new(DT).add_boxed(layer);
-        let compiled = compile(&model, &shape)
-            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        let compiled =
+            compile(&model, &shape).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
         // Functional smoke: the compiled circuit approximates the plain
         // forward pass on a random input.
         let n: usize = shape.iter().product();
@@ -59,7 +59,14 @@ fn every_table1_tensor_primitive_exists() {
 
     let mm = ops::matmul(&mut c, &a, &b).expect("matmul");
     let _dot = ops::dot(&mut c, &v1, &v2).expect("dot");
-    for op in [ops::CmpOp::Eq, ops::CmpOp::Ne, ops::CmpOp::Lt, ops::CmpOp::Le, ops::CmpOp::Gt, ops::CmpOp::Ge] {
+    for op in [
+        ops::CmpOp::Eq,
+        ops::CmpOp::Ne,
+        ops::CmpOp::Lt,
+        ops::CmpOp::Le,
+        ops::CmpOp::Gt,
+        ops::CmpOp::Ge,
+    ] {
         let _ = ops::cmp(&mut c, op, &a, &b).expect("cmp");
     }
     let _view = a.reshape(&[4]).expect("view/reshape");

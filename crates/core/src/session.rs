@@ -1,7 +1,10 @@
 //! The client/server session of the paper's Figure 1.
 
 use chiseltorch::DType;
-use pytfhe_backend::{execute_parallel, ExecError, TfheEngine};
+use pytfhe_backend::{
+    execute_parallel, execute_resilient, CheckpointStore, ExecError, ExecStats, FaultInjector,
+    ResilientConfig, TfheEngine,
+};
 use pytfhe_netlist::Netlist;
 use pytfhe_tfhe::{ClientKey, LweCiphertext, Params, SecureRng, ServerKey};
 
@@ -99,6 +102,30 @@ impl Server {
         let (out, _) = execute_parallel(&engine, program, inputs, workers)?;
         Ok(out)
     }
+
+    /// Executes a program on encrypted inputs with the fault-tolerant
+    /// wavefront backend: failed gate tasks retry with backoff, crashed
+    /// workers are evicted, and — when `store` is supplied — the
+    /// ciphertext frontier checkpoints at every wave barrier so an
+    /// interrupted evaluation resumes instead of restarting. `faults` is
+    /// the injection hook; pass [`pytfhe_backend::NoFaults`] in
+    /// production.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on the usual validation failures, exhausted
+    /// retry budgets, full worker loss, or checkpoint mismatches.
+    pub fn execute_resilient(
+        &self,
+        program: &Netlist,
+        inputs: &[LweCiphertext],
+        cfg: &ResilientConfig,
+        faults: &dyn FaultInjector,
+        store: Option<&mut dyn CheckpointStore>,
+    ) -> Result<(Vec<LweCiphertext>, ExecStats), ExecError> {
+        let engine = TfheEngine::new(&self.key);
+        execute_resilient(&engine, program, inputs, cfg, faults, store)
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +155,29 @@ mod tests {
         assert_eq!(cts.len(), 12);
         let back = client.decrypt_values(&cts, dtype);
         assert_eq!(back, vec![-3.0, 7.0]);
+    }
+
+    #[test]
+    fn resilient_session_round_trip() {
+        use pytfhe_backend::{MemoryCheckpointStore, ResilientConfig, RetryPolicy, SeededFaults};
+        let mut client = Client::new(Params::testing(), 8);
+        let server = Server::new(client.make_server_key());
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(GateKind::Xor, a, b).unwrap();
+        let y = nl.add_gate(GateKind::And, a, b).unwrap();
+        let z = nl.add_gate(GateKind::Or, x, y).unwrap();
+        nl.mark_output(z).unwrap();
+        let cts = client.encrypt_bits(&[true, false]);
+        let cfg = ResilientConfig { workers: 2, retry: RetryPolicy::fast(), checkpoint_every: 1 };
+        let faults = SeededFaults::new(13).with_fail_prob(0.2);
+        let mut store = MemoryCheckpointStore::new();
+        let (out, stats) =
+            server.execute_resilient(&nl, &cts, &cfg, &faults, Some(&mut store)).unwrap();
+        assert_eq!(client.decrypt_bits(&out), vec![true]);
+        assert!(stats.checkpoints > 0);
+        assert!(store.latest().is_some());
     }
 
     #[test]

@@ -73,9 +73,7 @@ impl Circuit {
     /// Declares an output port carrying `word`.
     pub fn output_word(&mut self, name: impl Into<String>, word: &Word) {
         let ids: Vec<NodeId> = word.bits().iter().map(|&b| self.materialize(b)).collect();
-        self.nl
-            .declare_output_port(name, ids)
-            .expect("materialized bits always form a valid port");
+        self.nl.declare_output_port(name, ids).expect("materialized bits always form a valid port");
     }
 
     /// Materializes a bit as a netlist node (constants become CONST gates,
@@ -276,7 +274,11 @@ impl Circuit {
     /// Returns [`HdlError::WidthMismatch`] if widths differ.
     pub fn bitwise(&mut self, kind: GateKind, a: &Word, b: &Word) -> Result<Word, HdlError> {
         if a.width() != b.width() {
-            return Err(HdlError::WidthMismatch { left: a.width(), right: b.width(), op: "bitwise" });
+            return Err(HdlError::WidthMismatch {
+                left: a.width(),
+                right: b.width(),
+                op: "bitwise",
+            });
         }
         Ok(a.bits().iter().zip(b.bits()).map(|(&x, &y)| self.gate(kind, x, y)).collect())
     }

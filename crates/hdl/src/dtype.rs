@@ -98,19 +98,21 @@ impl DType {
     /// Panics if `bits.len()` differs from the type width.
     pub fn decode_f64(&self, bits: &[bool]) -> f64 {
         assert_eq!(bits.len(), self.width(), "dtype decode width mismatch");
-        let raw: u64 = bits.iter().enumerate().fold(0, |acc, (i, &b)| {
-            if i < 64 {
-                acc | (u64::from(b) << i)
-            } else {
-                acc
-            }
-        });
+        let raw: u64 =
+            bits.iter().enumerate().fold(
+                0,
+                |acc, (i, &b)| {
+                    if i < 64 {
+                        acc | (u64::from(b) << i)
+                    } else {
+                        acc
+                    }
+                },
+            );
         match *self {
             DType::UInt(_) => raw as f64,
             DType::SInt(w) => sign_extend(raw, w) as f64,
-            DType::Fixed { width, frac } => {
-                sign_extend(raw, width) as f64 / (frac as f64).exp2()
-            }
+            DType::Fixed { width, frac } => sign_extend(raw, width) as f64 / (frac as f64).exp2(),
             DType::Float { exp, man } => FloatFormat::new(exp, man).decode_f64(bits),
         }
     }
@@ -489,8 +491,7 @@ mod tests {
         let nl = binval(dtype, |c, a, b| {
             let s = c.v_add(a, b).unwrap();
             let d = c.v_sub(&s, b).unwrap(); // back to a
-            let p = c.v_mul(&d, b).unwrap();
-            p
+            c.v_mul(&d, b).unwrap()
         });
         for (x, y) in [(3.0, 4.0), (-5.0, 6.0), (10.0, -11.0)] {
             assert_eq!(run2(&nl, dtype, x, y), x * y, "{x} {y}");
@@ -513,11 +514,9 @@ mod tests {
 
     #[test]
     fn relu_all_types() {
-        for dtype in [
-            DType::SInt(6),
-            DType::Fixed { width: 8, frac: 3 },
-            DType::Float { exp: 5, man: 6 },
-        ] {
+        for dtype in
+            [DType::SInt(6), DType::Fixed { width: 8, frac: 3 }, DType::Float { exp: 5, man: 6 }]
+        {
             let mut c = Circuit::new();
             let a = Value::new(c.input_word("a", dtype.width()), dtype);
             let out = c.v_relu(&a);

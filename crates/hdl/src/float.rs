@@ -86,7 +86,7 @@ impl FloatFormat {
         if x == 0.0 || !x.is_finite() && x.is_nan() {
             return bits;
         }
-        let sign = x < 0.0 || (x.is_infinite() && x < 0.0);
+        let sign = x < 0.0;
         let mag = x.abs();
         let (mant_field, exp_field) = if mag.is_infinite() {
             ((1u64 << self.man_bits) - 1, (1u64 << self.exp_bits) - 1)
@@ -107,8 +107,8 @@ impl FloatFormat {
                 (mant.min((1 << self.man_bits) - 1), e_biased as u64)
             }
         };
-        for i in 0..self.man_bits {
-            bits[i] = (mant_field >> i) & 1 == 1;
+        for (i, bit) in bits.iter_mut().enumerate().take(self.man_bits) {
+            *bit = (mant_field >> i) & 1 == 1;
         }
         for i in 0..self.exp_bits {
             bits[self.man_bits + i] = (exp_field >> i) & 1 == 1;
@@ -239,7 +239,7 @@ impl Circuit {
         };
         let prod = self.mul_unsigned(&ma, &mb);
         let top = prod.bit(2 * m + 1); // product in [2, 4)
-        // Truncated mantissa for both normalization cases.
+                                       // Truncated mantissa for both normalization cases.
         let hi = prod.slice(m + 1, 2 * m + 1);
         let lo = prod.slice(m, 2 * m);
         let mant = self.mux_word(top, &hi, &lo).expect("same widths");
@@ -300,7 +300,7 @@ impl Circuit {
         // position l-1 means exp += 0, each step lower subtracts one more.
         let lz = self.leading_zeros(&v);
         let v_norm = self.shl_barrel(&v, &lz); // leading one now at bit l
-        // Mantissa = bits just below the leading one, truncated.
+                                               // Mantissa = bits just below the leading one, truncated.
         let mant = v_norm.slice(l - m, l);
         // exp_ext = ex + 1 - lz (signed).
         let we = fmt.exp_bits + 2;
@@ -512,7 +512,7 @@ mod tests {
             (2.0, 3.0),
             (-2.5, 4.0),
             (0.125, -0.5),
-            (3.14159, 2.71828),
+            (std::f64::consts::PI, std::f64::consts::E),
             (1000.0, 0.001),
             (0.0, 5.0),
             (7.0, 0.0),

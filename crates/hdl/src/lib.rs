@@ -52,10 +52,10 @@ pub mod arith;
 mod bit;
 mod circuit;
 pub mod div;
-pub mod ks_adder;
 pub mod dtype;
 mod error;
 pub mod float;
+pub mod ks_adder;
 pub mod mux;
 pub mod shift;
 mod word;

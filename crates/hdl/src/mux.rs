@@ -83,7 +83,11 @@ impl Circuit {
         for (i, item) in items.iter().enumerate().skip(1) {
             // Strict improvement keeps ties at the earlier index.
             let improves = if want_max {
-                if signed { self.lt_signed(&best, item)? } else { self.lt_unsigned(&best, item)? }
+                if signed {
+                    self.lt_signed(&best, item)?
+                } else {
+                    self.lt_unsigned(&best, item)?
+                }
             } else if signed {
                 self.lt_signed(item, &best)?
             } else {
@@ -114,7 +118,11 @@ impl Circuit {
         let mut acc = Word::zeros(w);
         for (opt, &s) in options.iter().zip(sel) {
             if opt.width() != w {
-                return Err(HdlError::WidthMismatch { left: w, right: opt.width(), op: "onehot_select" });
+                return Err(HdlError::WidthMismatch {
+                    left: w,
+                    right: opt.width(),
+                    op: "onehot_select",
+                });
             }
             let masked: Word = opt.bits().iter().map(|&b| self.and(b, s)).collect();
             acc = self.bitwise(pytfhe_netlist::GateKind::Or, &acc, &masked)?;
@@ -179,7 +187,7 @@ mod tests {
         c.output_word("out", &out);
         let nl = c.finish().unwrap();
         let cases: [([i64; 4], i64, u64); 4] = [
-            ([1, 5, -3, 5], 5, 1),   // tie resolves low
+            ([1, 5, -3, 5], 5, 1), // tie resolves low
             ([-8, -7, -6, -5], -5, 3),
             ([7, 0, 0, 0], 7, 0),
             ([0, 0, 0, 0], 0, 0),

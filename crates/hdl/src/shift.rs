@@ -61,8 +61,8 @@ impl Circuit {
     pub fn leading_zeros(&mut self, a: &Word) -> Word {
         let w = a.width();
         let out_bits = usize::BITS as usize - w.leading_zeros() as usize; // ceil(log2(w+1))
-        // Scan from the MSB: lz = index of first set bit.
-        // found: have we seen a 1 yet; count: running count.
+                                                                          // Scan from the MSB: lz = index of first set bit.
+                                                                          // found: have we seen a 1 yet; count: running count.
         let mut found = Bit::ZERO;
         let mut count = Word::zeros(out_bits);
         for i in (0..w).rev() {

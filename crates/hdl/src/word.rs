@@ -107,8 +107,8 @@ impl Word {
     pub fn shl_const(&self, amount: usize) -> Word {
         let w = self.width();
         let mut bits = vec![Bit::ZERO; w];
-        for i in amount..w {
-            bits[i] = self.bits[i - amount];
+        if amount < w {
+            bits[amount..].copy_from_slice(&self.bits[..w - amount]);
         }
         Word { bits }
     }
@@ -117,8 +117,9 @@ impl Word {
     pub fn shr_const(&self, amount: usize) -> Word {
         let w = self.width();
         let mut bits = vec![Bit::ZERO; w];
-        for i in 0..w.saturating_sub(amount) {
-            bits[i] = self.bits[i + amount];
+        let kept = w.saturating_sub(amount);
+        if kept > 0 {
+            bits[..kept].copy_from_slice(&self.bits[amount..amount + kept]);
         }
         Word { bits }
     }
@@ -131,8 +132,9 @@ impl Word {
         }
         let fill = self.msb();
         let mut bits = vec![fill; w];
-        for i in 0..w.saturating_sub(amount) {
-            bits[i] = self.bits[i + amount];
+        let kept = w.saturating_sub(amount);
+        if kept > 0 {
+            bits[..kept].copy_from_slice(&self.bits[amount..amount + kept]);
         }
         Word { bits }
     }

@@ -78,10 +78,7 @@ impl Netlist {
     /// nodes. Building multi-million-gate neural-network circuits reallocates
     /// heavily otherwise.
     pub fn with_capacity(nodes: usize) -> Self {
-        Netlist {
-            nodes: Vec::with_capacity(nodes),
-            ..Self::default()
-        }
+        Netlist { nodes: Vec::with_capacity(nodes), ..Self::default() }
     }
 
     /// Appends a primary input and returns its id.
@@ -99,7 +96,12 @@ impl Netlist {
     /// Returns [`NetlistError::DanglingInput`] if either operand does not
     /// refer to an existing node, and [`NetlistError::TooLarge`] once the
     /// 32-bit id space is exhausted.
-    pub fn add_gate(&mut self, kind: GateKind, a: NodeId, b: NodeId) -> Result<NodeId, NetlistError> {
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<NodeId, NetlistError> {
         let len = self.nodes.len() as u64;
         // Constants have no real operands; normalize them to node 0 so that
         // structurally equal constants compare equal. Unary gates normalize
@@ -147,7 +149,11 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::BadPort`] if any node does not exist or is
     /// not a primary input.
-    pub fn declare_input_port(&mut self, name: impl Into<String>, bits: Vec<NodeId>) -> Result<(), NetlistError> {
+    pub fn declare_input_port(
+        &mut self,
+        name: impl Into<String>,
+        bits: Vec<NodeId>,
+    ) -> Result<(), NetlistError> {
         let name = name.into();
         for &bit in &bits {
             match self.nodes.get(bit.index()) {
@@ -164,7 +170,11 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns [`NetlistError::BadPort`] if any node does not exist.
-    pub fn declare_output_port(&mut self, name: impl Into<String>, bits: Vec<NodeId>) -> Result<(), NetlistError> {
+    pub fn declare_output_port(
+        &mut self,
+        name: impl Into<String>,
+        bits: Vec<NodeId>,
+    ) -> Result<(), NetlistError> {
         let name = name.into();
         for &bit in &bits {
             if bit.index() >= self.nodes.len() {
@@ -300,10 +310,16 @@ impl Netlist {
                     continue;
                 }
                 if a.index() >= i {
-                    return Err(NetlistError::DanglingInput { node: u64::from(a.0), len: i as u64 });
+                    return Err(NetlistError::DanglingInput {
+                        node: u64::from(a.0),
+                        len: i as u64,
+                    });
                 }
                 if !kind.is_unary() && b.index() >= i {
-                    return Err(NetlistError::DanglingInput { node: u64::from(b.0), len: i as u64 });
+                    return Err(NetlistError::DanglingInput {
+                        node: u64::from(b.0),
+                        len: i as u64,
+                    });
                 }
             }
         }

@@ -97,9 +97,7 @@ impl Rewriter {
             })
             .collect();
         for p in in_ports {
-            self.out
-                .declare_input_port(p.name, p.bits)
-                .expect("rewritten input port stays valid");
+            self.out.declare_input_port(p.name, p.bits).expect("rewritten input port stays valid");
         }
         let out_ports: Vec<(String, Vec<Lit>)> = src
             .output_ports()
@@ -124,8 +122,7 @@ impl Netlist {
         // Reuse declare_output_port's validation but drop the extra marks it
         // added: it appends `bits.len()` entries at the tail.
         let before = self.outputs().len();
-        self.declare_output_port(name, bits)
-            .expect("rewritten output port stays valid");
+        self.declare_output_port(name, bits).expect("rewritten output port stays valid");
         self.truncate_outputs(before);
     }
 
@@ -461,11 +458,8 @@ pub struct OptReport {
 /// Returns an error if the input netlist fails validation.
 pub fn optimize(nl: &Netlist, config: &OptConfig) -> Result<(Netlist, OptReport), NetlistError> {
     nl.validate()?;
-    let mut report = OptReport {
-        gates_before: nl.num_gates(),
-        gates_after: nl.num_gates(),
-        iterations: 0,
-    };
+    let mut report =
+        OptReport { gates_before: nl.num_gates(), gates_after: nl.num_gates(), iterations: 0 };
     let mut current = nl.clone();
     for _ in 0..config.max_iterations {
         let gates_at_start = current.num_gates();
@@ -560,10 +554,7 @@ mod tests {
         let (opt, _) = dce(&step);
         assert_equivalent(&nl, &opt);
         assert_eq!(opt.num_gates(), 1);
-        assert!(matches!(
-            opt.node(opt.outputs()[0]),
-            Node::Gate { kind: GateKind::Andny, .. }
-        ));
+        assert!(matches!(opt.node(opt.outputs()[0]), Node::Gate { kind: GateKind::Andny, .. }));
     }
 
     #[test]

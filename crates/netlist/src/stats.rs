@@ -50,10 +50,7 @@ impl GateHistogram {
 
     /// Iterates over `(kind, count)` pairs with non-zero counts.
     pub fn iter(&self) -> impl Iterator<Item = (GateKind, u64)> + '_ {
-        ALL_GATE_KINDS
-            .iter()
-            .map(|&k| (k, self.count(k)))
-            .filter(|(_, c)| *c > 0)
+        ALL_GATE_KINDS.iter().map(|&k| (k, self.count(k))).filter(|(_, c)| *c > 0)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Property-based tests of the netlist IR and its optimization passes.
 
 use proptest::prelude::*;
-use pytfhe_netlist::opt::{absorb_inverters, cse, constant_fold, dce, optimize, OptConfig};
+use pytfhe_netlist::opt::{absorb_inverters, constant_fold, cse, dce, optimize, OptConfig};
 use pytfhe_netlist::topo::{LevelSchedule, Levels};
 use pytfhe_netlist::{GateKind, Netlist, NodeId, ALL_GATE_KINDS};
 

@@ -4,13 +4,13 @@
 
 use crate::fft::FftPlan;
 use crate::lwe::LweCiphertext;
+use crate::lwe::LweKey;
 use crate::params::Params;
 use crate::poly::TorusPoly;
 use crate::rng::SecureRng;
 use crate::tgsw::{ExternalProductScratch, Gadget, TgswCiphertext, TgswFft};
 use crate::tlwe::{TlweCiphertext, TlweKey};
 use crate::torus::Torus32;
-use crate::lwe::LweKey;
 
 /// The bootstrapping key: one FFT-domain TGSW encryption of each bit of the
 /// LWE gate key, under the TLWE key.
@@ -65,10 +65,8 @@ impl BootstrappingKey {
 
     /// Allocates scratch buffers sized for this key.
     pub fn scratch(&self) -> ExternalProductScratch {
-        let gadget = Gadget {
-            levels: self.params.decomp_levels,
-            base_log: self.params.decomp_base_log,
-        };
+        let gadget =
+            Gadget { levels: self.params.decomp_levels, base_log: self.params.decomp_base_log };
         ExternalProductScratch::new(self.params.poly_size, self.params.glwe_dim, gadget)
     }
 
@@ -89,10 +87,8 @@ impl BootstrappingKey {
         let n2 = 2 * self.params.poly_size;
         let barb = ct.body().mod_switch(self.params.poly_size);
         // acc = X^{-barb} * tv = X^{2N - barb} * tv
-        let mut acc = TlweCiphertext::trivial(
-            test_vector.mul_by_xk((n2 - barb) % n2),
-            self.params.glwe_dim,
-        );
+        let mut acc =
+            TlweCiphertext::trivial(test_vector.mul_by_xk((n2 - barb) % n2), self.params.glwe_dim);
         for (a_i, bk_i) in ct.mask().iter().zip(&self.tgsw) {
             let bara = a_i.mod_switch(self.params.poly_size);
             if bara == 0 {
@@ -232,10 +228,7 @@ mod tests {
             let ct = lwe_key.encrypt(message, params.lwe_noise_stdev, &mut rng);
             let out = bk.programmable_bootstrap(&ct, &lut, &mut scratch);
             let got = extracted.phase(&out);
-            assert!(
-                (got - want).to_f64().abs() < 0.02,
-                "step {k}: got {got}, want {want}"
-            );
+            assert!((got - want).to_f64().abs() < 0.02, "step {k}: got {got}, want {want}");
         }
     }
 
@@ -254,10 +247,7 @@ mod tests {
             // Constant coefficient should be tv[j] (no sign flip for j < N).
             let got = phase.coeffs()[0];
             let want = tv.coeffs()[j];
-            assert!(
-                (got - want).to_f64().abs() < 1e-3,
-                "j={j} got {got} want {want}"
-            );
+            assert!((got - want).to_f64().abs() < 1e-3, "j={j} got {got} want {want}");
         }
     }
 }

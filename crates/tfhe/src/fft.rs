@@ -283,7 +283,8 @@ mod tests {
         let mut rng = SecureRng::seed_from_u64(11);
         let n = 1024;
         let plan = FftPlan::new(n);
-        let a = IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 128) as i32 - 64).collect());
+        let a =
+            IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 128) as i32 - 64).collect());
         let b = TorusPoly::uniform(n, &mut rng);
         assert_eq!(plan.negacyclic_mul(&a, &b), naive_negacyclic_mul(&a, &b));
     }
@@ -294,8 +295,10 @@ mod tests {
         let mut rng = SecureRng::seed_from_u64(12);
         let n = 64;
         let plan = FftPlan::new(n);
-        let a1 = IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 16) as i32 - 8).collect());
-        let a2 = IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 16) as i32 - 8).collect());
+        let a1 =
+            IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 16) as i32 - 8).collect());
+        let a2 =
+            IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 16) as i32 - 8).collect());
         let b = TorusPoly::uniform(n, &mut rng);
         let fb = plan.forward_torus(&b);
         let mut acc = FreqPoly::zero(n);

@@ -284,7 +284,11 @@ impl ServerKey {
 
     /// Evaluates one gate while timing its phases — the measurement behind
     /// the Figure 7 reproduction.
-    pub fn profile_nand(&self, a: &LweCiphertext, b: &LweCiphertext) -> (LweCiphertext, GateProfile) {
+    pub fn profile_nand(
+        &self,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+    ) -> (LweCiphertext, GateProfile) {
         use std::time::Instant;
         let mut scratch = self.gate_scratch();
         let t0 = Instant::now();
@@ -319,8 +323,10 @@ mod tests {
     #[test]
     fn all_binary_gates_truth_tables() {
         let (client, server, mut rng) = setup();
-        type GateFn = fn(&ServerKey, &crate::LweCiphertext, &crate::LweCiphertext) -> crate::LweCiphertext;
-        let gates: [(&str, GateFn, fn(bool, bool) -> bool); 10] = [
+        type GateFn =
+            fn(&ServerKey, &crate::LweCiphertext, &crate::LweCiphertext) -> crate::LweCiphertext;
+        type GateCase = (&'static str, GateFn, fn(bool, bool) -> bool);
+        let gates: [GateCase; 10] = [
             ("nand", ServerKey::nand, |a, b| !(a && b)),
             ("and", ServerKey::and, |a, b| a && b),
             ("or", ServerKey::or, |a, b| a || b),
@@ -377,7 +383,7 @@ mod tests {
         let mut value = true;
         for _ in 0..24 {
             ct = server.nand(&ct, &one);
-            value = !(value && true);
+            value = !value; // nand(x, 1) == !x
             assert_eq!(client.decrypt_bit(&ct), value);
         }
     }
@@ -391,8 +397,10 @@ mod tests {
         assert!(!client.decrypt_bit(&out));
         assert!(profile.blind_rotation_s > 0.0);
         assert!(profile.key_switching_s > 0.0);
-        assert!(profile.blind_rotation_s > profile.key_switching_s,
-            "blind rotation dominates (Figure 7)");
+        assert!(
+            profile.blind_rotation_s > profile.key_switching_s,
+            "blind rotation dominates (Figure 7)"
+        );
         assert!(profile.total_s() > 0.0);
     }
 }

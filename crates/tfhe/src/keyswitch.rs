@@ -47,13 +47,7 @@ impl KeySwitchKey {
                 }
             }
         }
-        KeySwitchKey {
-            samples,
-            src_dim: src.dim(),
-            dst_dim: dst.dim(),
-            levels,
-            base_log,
-        }
+        KeySwitchKey { samples, src_dim: src.dim(), dst_dim: dst.dim(), levels, base_log }
     }
 
     /// Raw samples (crate-internal, for serialization).

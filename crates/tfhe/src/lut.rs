@@ -37,8 +37,13 @@ impl ClientKey {
     ///
     /// Panics if `m` is out of range or the precision exceeds 8 bits
     /// (beyond which the default parameters cannot decode reliably).
-    pub fn encrypt_message(&self, m: u32, precision_bits: u32, rng: &mut SecureRng) -> LweCiphertext {
-        assert!(precision_bits >= 1 && precision_bits <= 8, "1..=8 bits of precision");
+    pub fn encrypt_message(
+        &self,
+        m: u32,
+        precision_bits: u32,
+        rng: &mut SecureRng,
+    ) -> LweCiphertext {
+        assert!((1..=8).contains(&precision_bits), "1..=8 bits of precision");
         assert!(m < (1 << precision_bits), "message {m} out of range");
         self.lwe_key().encrypt(encode(m, precision_bits), self.params().lwe_noise_stdev, rng)
     }
@@ -58,7 +63,12 @@ impl ServerKey {
     ///
     /// Panics if the table length is not `2^precision_bits` or any entry
     /// is out of range.
-    pub fn apply_lut(&self, ct: &LweCiphertext, table: &[u32], precision_bits: u32) -> LweCiphertext {
+    pub fn apply_lut(
+        &self,
+        ct: &LweCiphertext,
+        table: &[u32],
+        precision_bits: u32,
+    ) -> LweCiphertext {
         let m_count = 1usize << precision_bits;
         assert_eq!(table.len(), m_count, "table must have 2^p entries");
         assert!(table.iter().all(|&v| v < m_count as u32), "table entry out of range");

@@ -29,7 +29,8 @@ impl Gadget {
         let half_base = 1u32 << (self.base_log - 1);
         let mut offset = 0u32;
         for level in 1..=self.levels {
-            offset = offset.wrapping_add(half_base.wrapping_shl((32 - level * self.base_log) as u32));
+            offset =
+                offset.wrapping_add(half_base.wrapping_shl((32 - level * self.base_log) as u32));
         }
         offset
     }

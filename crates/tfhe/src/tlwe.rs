@@ -40,7 +40,12 @@ impl TlweKey {
     }
 
     /// Encrypts a message polynomial with fresh noise.
-    pub fn encrypt_poly(&self, message: &TorusPoly, stdev: f64, rng: &mut SecureRng) -> TlweCiphertext {
+    pub fn encrypt_poly(
+        &self,
+        message: &TorusPoly,
+        stdev: f64,
+        rng: &mut SecureRng,
+    ) -> TlweCiphertext {
         debug_assert_eq!(message.len(), self.n);
         let a: Vec<TorusPoly> = (0..self.k()).map(|_| TorusPoly::uniform(self.n, rng)).collect();
         let mut b = message.clone();

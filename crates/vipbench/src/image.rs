@@ -79,7 +79,7 @@ mod tests {
     #[test]
     fn flat_image_has_zero_edges() {
         let b = roberts_cross(Scale::Test);
-        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&vec![128.0; 16])));
+        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&[128.0; 16])));
         assert!(out.iter().all(|&x| x == 0.0));
     }
 

@@ -8,8 +8,8 @@
 //! the models the paper compiles through the PyTFHE flow.
 
 use crate::spec::{Benchmark, Lcg, Scale};
-use chiseltorch::{compile, nn, DType, PlainTensor};
 use chiseltorch::nn::Module;
+use chiseltorch::{compile, nn, DType, PlainTensor};
 
 /// Quantizes a model's effect by quantizing inputs like the client and
 /// comparing to the plain forward pass; the tolerance covers per-term
@@ -70,14 +70,7 @@ pub fn mnist_s(scale: Scale) -> Benchmark {
             vec![1, 10, 10],
         ),
     };
-    nn_benchmark(
-        "MNIST_S",
-        "VIP-Bench MNIST CNN (1 convolutional kernel)",
-        model,
-        shape,
-        1.0,
-        1.0,
-    )
+    nn_benchmark("MNIST_S", "VIP-Bench MNIST CNN (1 convolutional kernel)", model, shape, 1.0, 1.0)
 }
 
 /// `MNIST_M` — the paper's medium CNN with two convolutional kernels.
@@ -103,14 +96,7 @@ pub fn mnist_m(scale: Scale) -> Benchmark {
             vec![1, 10, 10],
         ),
     };
-    nn_benchmark(
-        "MNIST_M",
-        "medium MNIST CNN (2 convolutional kernels)",
-        model,
-        shape,
-        1.0,
-        1.2,
-    )
+    nn_benchmark("MNIST_M", "medium MNIST CNN (2 convolutional kernels)", model, shape, 1.0, 1.2)
 }
 
 /// `MNIST_L` — the paper's large CNN with three convolutional kernels.
@@ -136,14 +122,7 @@ pub fn mnist_l(scale: Scale) -> Benchmark {
             vec![1, 12, 12],
         ),
     };
-    nn_benchmark(
-        "MNIST_L",
-        "large MNIST CNN (3 convolutional kernels)",
-        model,
-        shape,
-        1.0,
-        1.5,
-    )
+    nn_benchmark("MNIST_L", "large MNIST CNN (3 convolutional kernels)", model, shape, 1.0, 1.5)
 }
 
 fn attention(

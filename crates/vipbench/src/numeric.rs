@@ -8,7 +8,7 @@
 //! benchmarks to fully utilize the parallelism of the distributed
 //! system").
 
-use crate::spec::util::{inputs, outputs, output_words, sum_words};
+use crate::spec::util::{inputs, output_words, outputs, sum_words};
 use crate::spec::{Benchmark, Lcg, Scale};
 use pytfhe_hdl::{Circuit, DType, Value, Word};
 
@@ -84,8 +84,7 @@ pub fn linear_regression(scale: Scale) -> Benchmark {
         dtype,
         Box::new(move |input: &[f64]| {
             let q = |x: f64| (x * 256.0).round() / 256.0;
-            let y: f64 =
-                input.iter().zip(&w_or).map(|(x, w)| q(*x) * q(*w)).sum::<f64>() + q(bias);
+            let y: f64 = input.iter().zip(&w_or).map(|(x, w)| q(*x) * q(*w)).sum::<f64>() + q(bias);
             vec![y]
         }),
         Box::new(move |seed| {

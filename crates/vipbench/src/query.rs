@@ -162,8 +162,7 @@ pub fn primality(scale: Scale) -> Benchmark {
     let w = scale.pick(8, 10);
     const PRIMES: [u64; 11] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31];
     // Divisors up to sqrt(2^w) suffice: 16 for w=8, 32 for w=10.
-    let divisors: Vec<u64> =
-        PRIMES.iter().copied().take_while(|&p| p * p < (1 << w)).collect();
+    let divisors: Vec<u64> = PRIMES.iter().copied().take_while(|&p| p * p < (1 << w)).collect();
     let mut c = Circuit::new();
     let n_word = c.input_word("input", w);
     let mut composite = pytfhe_hdl::Bit::ZERO;
@@ -191,7 +190,7 @@ pub fn primality(scale: Scale) -> Benchmark {
         DType::UInt(1),
         Box::new(move |input: &[f64]| {
             let n = input[0] as u64;
-            let prime = n >= 2 && (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0);
+            let prime = n >= 2 && (2..n).take_while(|d| d * d <= n).all(|d| !n.is_multiple_of(d));
             vec![f64::from(u8::from(prime))]
         }),
         Box::new(move |seed| {

@@ -50,14 +50,15 @@ pub fn edit_distance(scale: Scale) -> Benchmark {
     let dw = 6; // distance width
     let mut c = Circuit::new();
     let word = c.input_word("input", 2 * l * cw);
-    let chr = |c_: &Word, side: usize, i: usize| c_.slice((side * l + i) * cw, (side * l + i + 1) * cw);
+    let chr =
+        |c_: &Word, side: usize, i: usize| c_.slice((side * l + i) * cw, (side * l + i + 1) * cw);
     // dp[i][j]: distance of prefixes a[..i], b[..j].
     let mut dp: Vec<Vec<Word>> = vec![vec![Word::zeros(dw); l + 1]; l + 1];
     for (i, row) in dp.iter_mut().enumerate() {
         row[0] = Word::constant_u64(i as u64, dw);
     }
-    for j in 0..=l {
-        dp[0][j] = Word::constant_u64(j as u64, dw);
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = Word::constant_u64(j as u64, dw);
     }
     let one = Word::constant_u64(1, dw);
     for i in 1..=l {
@@ -86,8 +87,8 @@ pub fn edit_distance(scale: Scale) -> Benchmark {
             for (i, row) in dp.iter_mut().enumerate() {
                 row[0] = i as u64;
             }
-            for j in 0..=l {
-                dp[0][j] = j as u64;
+            for (j, cell) in dp[0].iter_mut().enumerate() {
+                *cell = j as u64;
             }
             for i in 1..=l {
                 for j in 1..=l {
@@ -307,7 +308,7 @@ mod tests {
         let b = triangle_count(Scale::Test);
         check_seeds(&b, 0..8);
         // Complete graph on 5 nodes: C(5,3) = 10 triangles.
-        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&vec![1.0; 10])));
+        let out = b.decode_output(&b.netlist().eval_plain(&b.encode_input(&[1.0; 10])));
         assert_eq!(out[0], 10.0);
     }
 }

@@ -39,6 +39,7 @@ pub struct Benchmark {
 impl Benchmark {
     /// Assembles a benchmark (crate-internal; users obtain benchmarks
     /// from the workload constructors or [`crate::benchmarks`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         name: &'static str,
         description: &'static str,

@@ -10,8 +10,8 @@
 //! and reports gate count (∝ runtime: every gate is one bootstrap) next
 //! to the quantization error against the f64 reference.
 
-use pytfhe::prelude::*;
 use pytfhe::chiseltorch::nn::Module;
+use pytfhe::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Integer dtypes are omitted: this model's sub-unit weights would all
@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         DType::Fixed { width: 12, frac: 6 },
         DType::Fixed { width: 16, frac: 8 },
         DType::Float { exp: 5, man: 4 },
-        DType::Float { exp: 8, man: 8 },  // the paper's Float(8, 8) bfloat16
+        DType::Float { exp: 8, man: 8 }, // the paper's Float(8, 8) bfloat16
         DType::Float { exp: 5, man: 11 }, // the paper's Float(5, 11) half
     ];
     let input: Vec<f64> = (0..16).map(|i| (f64::from(i) - 8.0) / 5.0).collect();
@@ -30,19 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<16} {:>10} {:>10} {:>12}", "dtype", "gates", "depth", "rms error");
     println!("{}", "-".repeat(52));
     for dtype in dtypes {
-        let model = nn::Sequential::new(dtype)
-            .add(nn::ReLU::new())
-            .add(nn::Linear::new(16, 4));
+        let model = nn::Sequential::new(dtype).add(nn::ReLU::new()).add(nn::Linear::new(16, 4));
         let compiled = chiseltorch::compile(&model, &[16])?;
         // f64 reference on the same weights.
-        let reference = model
-            .forward_plain(&PlainTensor::from_vec(&[16], input.clone())?)?;
+        let reference = model.forward_plain(&PlainTensor::from_vec(&[16], input.clone())?)?;
         let got = compiled.eval_plain(&input);
-        let rms = (got
-            .iter()
-            .zip(reference.data())
-            .map(|(g, r)| (g - r) * (g - r))
-            .sum::<f64>()
+        let rms = (got.iter().zip(reference.data()).map(|(g, r)| (g - r) * (g - r)).sum::<f64>()
             / got.len() as f64)
             .sqrt();
         let stats = pytfhe::pytfhe_netlist::NetlistStats::of(compiled.netlist());

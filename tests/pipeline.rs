@@ -46,8 +46,7 @@ fn reference_and_parallel_executors_agree_on_ciphertexts() {
     let image = vec![0.25; 9];
     let enc = client.encrypt_values(&image, dtype);
     let (seq, _) = execute(&engine, compiled.netlist(), &enc).expect("reference");
-    let (par, stats) =
-        execute_parallel(&engine, compiled.netlist(), &enc, 3).expect("parallel");
+    let (par, stats) = execute_parallel(&engine, compiled.netlist(), &enc, 3).expect("parallel");
     assert_eq!(client.decrypt_values(&seq, dtype), client.decrypt_values(&par, dtype));
     assert!(stats.waves > 0);
 }
@@ -89,8 +88,7 @@ fn wrong_key_decrypts_garbage() {
 fn optimization_preserves_pipeline_semantics() {
     use pytfhe::pytfhe_netlist::opt::{optimize, OptConfig};
     let (compiled, _) = tiny_mnist();
-    let (opt, report) =
-        optimize(compiled.netlist(), &OptConfig::default()).expect("optimizes");
+    let (opt, report) = optimize(compiled.netlist(), &OptConfig::default()).expect("optimizes");
     assert!(report.gates_after <= report.gates_before);
     let engine = PlainEngine::new();
     for seed in 0..5u64 {

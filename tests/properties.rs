@@ -4,9 +4,9 @@
 use proptest::prelude::*;
 use pytfhe::prelude::*;
 use pytfhe::pytfhe_backend::execute;
+use pytfhe::pytfhe_hdl::Circuit;
 use pytfhe::pytfhe_netlist::opt::{optimize, OptConfig};
 use pytfhe::pytfhe_netlist::ALL_GATE_KINDS;
-use pytfhe::pytfhe_hdl::Circuit;
 
 /// Strategy: a random DAG with `inputs` inputs and up to `max_gates`
 /// gates (operands always reference earlier nodes).

@@ -10,8 +10,7 @@ use pytfhe_vipbench::{benchmarks, find, Scale};
 fn every_workload_survives_the_binary_round_trip() {
     for b in benchmarks(Scale::Test) {
         let binary = pytfhe_asm::assemble(b.netlist());
-        let back = pytfhe_asm::disassemble(&binary)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let back = pytfhe_asm::disassemble(&binary).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
         let input = b.sample_input(3);
         let bits = b.encode_input(&input);
         assert_eq!(
@@ -29,8 +28,8 @@ fn every_workload_matches_its_oracle_through_the_executor() {
     for b in benchmarks(Scale::Test) {
         let input = b.sample_input(9);
         let bits = b.encode_input(&input);
-        let (out, _) = execute(&engine, b.netlist(), &bits)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let (out, _) =
+            execute(&engine, b.netlist(), &bits).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
         let got = b.decode_output(&out);
         let want = b.oracle(&input);
         assert_eq!(got.len(), want.len(), "{}", b.name());

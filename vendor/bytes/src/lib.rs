@@ -1,0 +1,243 @@
+//! Offline drop-in subset of the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the *small* slice of the `bytes` API it actually uses
+//! (little-endian get/put accessors plus the `BytesMut` → `Bytes` freeze
+//! flow) as plain-`Vec<u8>` wrappers. Semantics match upstream for that
+//! subset; anything fancier (refcounted splitting, `Buf` chains) is
+//! deliberately absent. See `vendor/README.md`.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a contiguous byte cursor.
+///
+/// Implemented for `&[u8]`: every `get_*` consumes from the front of the
+/// slice, and `remaining` reports what is left. Like upstream, the `get_*`
+/// methods panic when fewer bytes remain than requested — callers are
+/// expected to check [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns the next byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes and returns the next 4 bytes as a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consumes and returns the next 16 bytes as a little-endian `u128`.
+    fn get_u128_le(&mut self) -> u128;
+    /// Consumes and returns the next 8 bytes as a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    #[inline]
+    fn get_u128_le(&mut self) -> u128 {
+        let (head, rest) = self.split_at(16);
+        *self = rest;
+        u128::from_le_bytes(head.try_into().expect("16 bytes"))
+    }
+
+    #[inline]
+    fn get_f64_le(&mut self) -> f64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        f64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a `u128` in little-endian order.
+    fn put_u128_le(&mut self, v: u128);
+    /// Appends an `f64` in little-endian order.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+/// An immutable byte buffer (here: an owned `Vec<u8>` behind `Deref`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.0
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u128_le(&mut self, v: u128) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u128_le(&mut self, v: u128) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = BytesMut::with_capacity(29);
+        buf.put_u8(0xAB);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u128_le(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+        buf.put_f64_le(-1.5);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 1 + 4 + 16 + 8);
+
+        let mut data = &frozen[..];
+        assert_eq!(data.get_u8(), 0xAB);
+        assert_eq!(data.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(data.get_u128_le(), 0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+        assert_eq!(data.get_f64_le(), -1.5);
+        assert_eq!(data.remaining(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout_matches_upstream() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0x0403_0201);
+        assert_eq!(&buf[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_past_end_panics() {
+        let mut data: &[u8] = &[1, 2];
+        let _ = data.get_u32_le();
+    }
+}

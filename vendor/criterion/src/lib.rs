@@ -1,0 +1,175 @@
+//! Offline drop-in subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the slice of the criterion API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`throughput`/`finish`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a plain
+//! median-of-samples wall-clock timer printed to stdout — no statistics,
+//! no HTML reports, no outlier analysis. Good enough to compare kernels on
+//! one machine; not a replacement for real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records the median sample time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed warm-up to populate caches and lazy statics.
+        std::hint::black_box(body());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(body());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.elapsed = times[times.len() / 2];
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+const DEFAULT_SAMPLES: usize = 30;
+
+impl Criterion {
+    /// Runs `body` as a standalone benchmark named `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        run_one(id, self.sample_size.unwrap_or(DEFAULT_SAMPLES), None, body);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size.unwrap_or(DEFAULT_SAMPLES),
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample size and
+/// throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs `body` as a benchmark named `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, self.throughput, body);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we print eagerly).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut body: F,
+) {
+    let mut bencher = Bencher { samples: samples.max(1), elapsed: Duration::ZERO };
+    body(&mut bencher);
+    let per_iter = bencher.elapsed;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            format!("  {:>10.1} MiB/s", n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64)
+        }
+        Throughput::Elements(n) => {
+            format!("  {:>10.0} elem/s", n as f64 / per_iter.as_secs_f64())
+        }
+    });
+    println!("{id:<40} {per_iter:>12.2?}/iter{}", rate.unwrap_or_default());
+}
+
+/// Declares a benchmark group runner: `criterion_group!(name, fn_a, fn_b)`
+/// expands to `fn name()` that calls each benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            $(
+                let mut criterion = $crate::Criterion::default();
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export of [`std::hint::black_box`] for upstream-compatible imports.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+}

@@ -1,0 +1,478 @@
+//! Offline drop-in subset of the [`proptest`](https://docs.rs/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the slice of the proptest API its tests use: the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, range / `any` /
+//! tuple / `prop::collection::vec` strategies, [`Strategy::prop_map`],
+//! `prop::sample::Index`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the case number and panics;
+//!   inputs are deterministic per test name, so failures still reproduce
+//!   exactly on re-run.
+//! * **No persistence / env config.** Case counts come only from
+//!   `ProptestConfig::with_cases`.
+//! * `prop_assert*` panics instead of returning `Err`, which is
+//!   equivalent under the default test harness.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Upstream strategies produce value *trees* that support shrinking;
+    /// this subset only generates, so a strategy is just a seeded sampler.
+    pub trait Strategy {
+        /// The type of value this strategy yields.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy that applies `map` to every generated value.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % width) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % width) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_int!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident => $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A => 0);
+    impl_tuple_strategy!(A => 0, B => 1);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+    /// Types with a canonical "any value" strategy ([`any`]).
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for crate::prop::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::prop::sample::Index::new(rng.next_u64())
+        }
+    }
+
+    /// See [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prop {
+    //! Strategy constructors, namespaced as upstream exposes them.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// A collection-size specification: a fixed length or a
+        /// half-open range of lengths.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            min: usize,
+            /// Exclusive.
+            max: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { min: r.start, max: r.end }
+            }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.max - self.size.min) as u64;
+                let len = self.size.min + (rng.next_u64() % span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// The strategy of `Vec`s whose elements come from `element` and
+        /// whose length lies in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling helper types.
+
+        /// An abstract index into any not-yet-known collection: draw one
+        /// `Index`, then project it onto a concrete length with
+        /// [`Index::index`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(u64);
+
+        impl Index {
+            pub(crate) fn new(raw: u64) -> Self {
+                Index(raw)
+            }
+
+            /// This index projected onto a collection of length `len`.
+            /// Panics if `len` is zero, as upstream does.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation for [`crate::proptest!`].
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The per-test random stream: SplitMix64 seeded from the test's
+    /// fully-qualified name, so every property sees the same inputs on
+    /// every run (there is no shrinking; determinism is the repro story).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The deterministic stream for the named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test file needs, as upstream lays it out.
+
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ..)` body
+/// runs once per generated case.
+///
+/// ```no_run
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in any::<u32>(), b in 0u32..100) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut proptest_rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _proptest_case in 0..config.cases {
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut proptest_rng,
+                        ),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, reporting the formatted message
+/// on failure. Panics (upstream returns `Err`; equivalent under the
+/// default harness).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property. See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property. See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -50i32..50, z in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-50..50).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&z), "z = {z}");
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            fixed in prop::collection::vec(any::<bool>(), 5),
+            ranged in prop::collection::vec(any::<u32>(), 1..9),
+        ) {
+            prop_assert_eq!(fixed.len(), 5);
+            prop_assert!((1..9).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn index_projects_into_collections(i in any::<prop::sample::Index>()) {
+            for len in [1usize, 2, 17, 1000] {
+                prop_assert!(i.index(len) < len);
+            }
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pairs in prop::collection::vec(
+                (0usize..10, any::<prop::sample::Index>(), any::<prop::sample::Index>()),
+                1..20,
+            ),
+            mut acc in any::<u64>(),
+        ) {
+            let mapped = pairs.len();
+            for (k, a, b) in pairs {
+                prop_assert!(k < 10);
+                acc = acc.wrapping_add((a.index(7) + b.index(7) + k) as u64);
+            }
+            prop_assert!(mapped >= 1);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        use crate::test_runner::TestRng;
+        let strat = (0usize..5).prop_map(|x| x * 2);
+        let mut rng = TestRng::for_test("prop_map_transforms_values");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    #[test]
+    fn same_test_name_replays_same_stream() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_test("replay");
+        let mut b = TestRng::for_test("replay");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

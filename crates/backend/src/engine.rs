@@ -7,8 +7,7 @@
 //! bootstrapped-gate primitives behind a uniform interface.
 
 use pytfhe_netlist::GateKind;
-use pytfhe_tfhe::tgsw::ExternalProductScratch;
-use pytfhe_tfhe::{LweCiphertext, ServerKey};
+use pytfhe_tfhe::{BootGate, GateScratch, LweCiphertext, ServerKey};
 
 /// Evaluates individual gates on some value domain.
 ///
@@ -35,6 +34,61 @@ pub trait GateEngine: Sync {
 
     /// The engine's encoding of a constant bit.
     fn constant(&self, bit: bool) -> Self::Value;
+
+    /// Evaluates one gate into an existing value slot, reusing its
+    /// buffers where the engine supports it. The default falls back to
+    /// [`GateEngine::eval`] plus a move.
+    fn eval_into(
+        &self,
+        kind: GateKind,
+        a: &Self::Value,
+        b: &Self::Value,
+        scratch: &mut Self::Scratch,
+        out: &mut Self::Value,
+    ) {
+        *out = self.eval(kind, a, b, scratch);
+    }
+
+    /// Evaluates a batch of independent same-kind gates — one "kernel
+    /// launch" of the kernel-graph backend. `pairs[i]` holds the operand
+    /// views for `outs[i]`. The default loops [`GateEngine::eval_into`];
+    /// engines with batched primitives (SoA staging, vectorized
+    /// bootstraps) override it.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `pairs.len() != outs.len()`.
+    fn eval_batch(
+        &self,
+        kind: GateKind,
+        pairs: &[(&Self::Value, &Self::Value)],
+        outs: &mut [Self::Value],
+        scratch: &mut Self::Scratch,
+    ) {
+        debug_assert_eq!(pairs.len(), outs.len());
+        for (&(a, b), out) in pairs.iter().zip(outs.iter_mut()) {
+            self.eval_into(kind, a, b, scratch, out);
+        }
+    }
+}
+
+/// Maps a netlist gate kind onto the TFHE crate's bootstrapped-gate
+/// enum. `None` for the kinds evaluated without a bootstrap (`Not`,
+/// `Buf`, constants).
+fn boot_gate(kind: GateKind) -> Option<BootGate> {
+    match kind {
+        GateKind::Nand => Some(BootGate::Nand),
+        GateKind::And => Some(BootGate::And),
+        GateKind::Or => Some(BootGate::Or),
+        GateKind::Nor => Some(BootGate::Nor),
+        GateKind::Xor => Some(BootGate::Xor),
+        GateKind::Xnor => Some(BootGate::Xnor),
+        GateKind::Andny => Some(BootGate::Andny),
+        GateKind::Andyn => Some(BootGate::Andyn),
+        GateKind::Orny => Some(BootGate::Orny),
+        GateKind::Oryn => Some(BootGate::Oryn),
+        GateKind::Not | GateKind::Buf | GateKind::Const0 | GateKind::Const1 => None,
+    }
 }
 
 /// Plaintext functional evaluation: gates on `bool`.
@@ -89,7 +143,7 @@ impl<'k> TfheEngine<'k> {
 
 impl GateEngine for TfheEngine<'_> {
     type Value = LweCiphertext;
-    type Scratch = ExternalProductScratch;
+    type Scratch = GateScratch;
 
     fn scratch(&self) -> Self::Scratch {
         self.key.gate_scratch()
@@ -123,6 +177,47 @@ impl GateEngine for TfheEngine<'_> {
 
     fn constant(&self, bit: bool) -> LweCiphertext {
         self.key.constant(bit)
+    }
+
+    fn eval_into(
+        &self,
+        kind: GateKind,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut Self::Scratch,
+        out: &mut LweCiphertext,
+    ) {
+        let k = self.key;
+        match boot_gate(kind) {
+            Some(gate) => k.gate_into(gate, a, b, scratch, out),
+            None => match kind {
+                GateKind::Not => k.not_into(a, out),
+                GateKind::Buf => out.copy_from(a),
+                GateKind::Const0 => k.constant_into(false, out),
+                GateKind::Const1 => k.constant_into(true, out),
+                _ => unreachable!("boot_gate covers every binary kind"),
+            },
+        }
+    }
+
+    fn eval_batch(
+        &self,
+        kind: GateKind,
+        pairs: &[(&LweCiphertext, &LweCiphertext)],
+        outs: &mut [LweCiphertext],
+        scratch: &mut Self::Scratch,
+    ) {
+        debug_assert_eq!(pairs.len(), outs.len());
+        match boot_gate(kind) {
+            // One batched kernel: SoA-staged linear combinations, then the
+            // bootstrap + key-switch loop streaming over dense slots.
+            Some(gate) => self.key.batch_bootstrap(gate, pairs, outs, scratch),
+            None => {
+                for (&(a, b), out) in pairs.iter().zip(outs.iter_mut()) {
+                    self.eval_into(kind, a, b, scratch, out);
+                }
+            }
+        }
     }
 }
 
@@ -166,5 +261,43 @@ mod tests {
         }
         assert!(client.decrypt_bit(&engine.constant(true)));
         assert!(!client.decrypt_bit(&engine.constant(false)));
+    }
+
+    #[test]
+    fn tfhe_eval_into_is_bit_exact_with_eval() {
+        let mut rng = SecureRng::seed_from_u64(19);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let engine = TfheEngine::new(&server);
+        let mut scratch = engine.scratch();
+        let ca = client.encrypt_bit(true, &mut rng);
+        let cb = client.encrypt_bit(false, &mut rng);
+        let mut out = engine.constant(false);
+        for &kind in &ALL_GATE_KINDS {
+            let want = engine.eval(kind, &ca, &cb, &mut scratch);
+            engine.eval_into(kind, &ca, &cb, &mut scratch, &mut out);
+            assert_eq!(out, want, "{kind}");
+        }
+    }
+
+    #[test]
+    fn tfhe_eval_batch_is_bit_exact_with_scalar_eval() {
+        let mut rng = SecureRng::seed_from_u64(23);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let engine = TfheEngine::new(&server);
+        let mut scratch = engine.scratch();
+        let cts: Vec<_> = [true, false, true, true, false]
+            .iter()
+            .map(|&bit| client.encrypt_bit(bit, &mut rng))
+            .collect();
+        for kind in [GateKind::Nand, GateKind::Xor, GateKind::Oryn, GateKind::Not, GateKind::Buf] {
+            let pairs: Vec<_> = (0..4).map(|i| (&cts[i], &cts[i + 1])).collect::<Vec<_>>();
+            let want: Vec<_> =
+                pairs.iter().map(|&(a, b)| engine.eval(kind, a, b, &mut scratch)).collect();
+            let mut outs = vec![engine.constant(false); pairs.len()];
+            engine.eval_batch(kind, &pairs, &mut outs, &mut scratch);
+            assert_eq!(outs, want, "{kind}");
+        }
     }
 }

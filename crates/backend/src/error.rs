@@ -41,6 +41,12 @@ pub enum ExecError {
     },
     /// Persisting or reading a checkpoint failed at the I/O layer.
     CheckpointIo(String),
+    /// A serialized kernel-graph plan could not be decoded, or a plan was
+    /// replayed against a program it was not captured from.
+    BadPlan {
+        /// What was wrong.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -62,6 +68,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::BadCheckpoint { reason } => write!(f, "bad checkpoint: {reason}"),
             ExecError::CheckpointIo(e) => write!(f, "checkpoint i/o failed: {e}"),
+            ExecError::BadPlan { reason } => write!(f, "bad kernel plan: {reason}"),
         }
     }
 }

@@ -33,11 +33,28 @@ pub struct ExecStats {
     pub checkpoints: usize,
     /// The wave a resumed run restarted after, if it resumed at all.
     pub resumed_from_wave: Option<usize>,
+    /// Seconds spent capturing the kernel plan (0 when the plan came from
+    /// the cache, and for the non-graph executors).
+    pub capture_s: f64,
+    /// Seconds spent replaying the captured plan (kernel-graph executor
+    /// only; `wall_s` additionally covers capture and cache lookup).
+    pub replay_s: f64,
+    /// Whether the kernel-graph executor reused a cached plan instead of
+    /// capturing one.
+    pub plan_cached: bool,
+    /// Sub-graph batches replayed (the CUDA-graph cuts of Figure 9).
+    pub batches: usize,
+    /// Batched kernel launches issued (one per same-kind gate group per
+    /// wave, per worker lane).
+    pub kernel_launches: u64,
+    /// Kernel launches per gate kind, indexed by
+    /// [`pytfhe_netlist::GateKind::opcode`].
+    pub kernels_by_kind: [u64; 16],
 }
 
 impl ExecStats {
     /// Zeroed statistics for a program of `gates` gates.
-    fn for_gates(gates: usize) -> Self {
+    pub(crate) fn for_gates(gates: usize) -> Self {
         ExecStats {
             gates,
             waves: 0,
@@ -46,6 +63,12 @@ impl ExecStats {
             evicted_workers: 0,
             checkpoints: 0,
             resumed_from_wave: None,
+            capture_s: 0.0,
+            replay_s: 0.0,
+            plan_cached: false,
+            batches: 0,
+            kernel_launches: 0,
+            kernels_by_kind: [0; 16],
         }
     }
 }

@@ -1,0 +1,57 @@
+//! Wave-to-kernel grouping: turns a topological wave of netlist nodes
+//! into same-kind [`GateGroup`]s, the unit a replay dispatches as one
+//! batched kernel.
+
+use crate::graph::plan::{GateGroup, GateTask, WavePlan};
+use pytfhe_netlist::{GateKind, Netlist, Node};
+
+/// Groups one wave's gate nodes by gate kind, preserving node order
+/// within each group. Group order follows the opcode table so captures
+/// are deterministic regardless of netlist construction order.
+pub(crate) fn group_wave(nl: &Netlist, wave: &[u32]) -> WavePlan {
+    // Bucket by opcode: 16 possible kinds, most waves use a handful.
+    let mut buckets: [Vec<GateTask>; 16] = Default::default();
+    for &id in wave {
+        let Node::Gate { kind, a, b } = nl.node(pytfhe_netlist::NodeId(id)) else {
+            continue; // inputs are fed by the caller, not evaluated
+        };
+        buckets[kind.opcode() as usize].push(GateTask { out: id, a: a.0, b: b.0 });
+    }
+    let groups = buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, tasks)| !tasks.is_empty())
+        .map(|(op, tasks)| GateGroup {
+            kind: GateKind::from_opcode(op as u8).expect("bucket index is a valid opcode"),
+            tasks,
+        })
+        .collect();
+    WavePlan { groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytfhe_netlist::LevelSchedule;
+
+    #[test]
+    fn groups_are_per_kind_and_ordered_by_opcode() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let g1 = nl.add_gate(GateKind::Xor, a, b).unwrap();
+        let g2 = nl.add_gate(GateKind::Nand, a, b).unwrap();
+        let g3 = nl.add_gate(GateKind::Xor, b, a).unwrap();
+        nl.mark_output(g1).unwrap();
+        nl.mark_output(g2).unwrap();
+        nl.mark_output(g3).unwrap();
+        let sched = LevelSchedule::compute(&nl);
+        // Wave 0 is constants-only (empty here); the gates sit in wave 1.
+        let plan = group_wave(&nl, &sched.waves[1]);
+        assert_eq!(plan.groups.len(), 2);
+        assert_eq!(plan.groups[0].kind, GateKind::Nand); // opcode 0x0
+        assert_eq!(plan.groups[0].tasks, vec![GateTask { out: g2.0, a: a.0, b: b.0 }]);
+        assert_eq!(plan.groups[1].kind, GateKind::Xor);
+        assert_eq!(plan.groups[1].tasks.len(), 2);
+    }
+}

@@ -1,0 +1,390 @@
+//! The captured execution plan: a netlist flattened into sub-graph
+//! batches of waves of same-kind gate groups, plus a byte-level codec so
+//! plans can be shipped to (or cached by) a remote evaluator exactly
+//! like the paper's serialized CUDA graphs.
+
+use crate::error::ExecError;
+use pytfhe_netlist::GateKind;
+
+/// One gate instance inside a batched kernel: evaluate the group's kind
+/// on value slots `a` and `b`, writing slot `out`. Unary gates read only
+/// `a`; constants read neither (both operands still carry valid slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateTask {
+    /// Destination value slot (the netlist node id).
+    pub out: u32,
+    /// First operand slot.
+    pub a: u32,
+    /// Second operand slot.
+    pub b: u32,
+}
+
+/// All gates of one kind within one wave — replayed as a single batched
+/// kernel launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateGroup {
+    /// The gate function shared by every task.
+    pub kind: GateKind,
+    /// The independent gate instances.
+    pub tasks: Vec<GateTask>,
+}
+
+/// One topological wave: groups are mutually independent (they only read
+/// slots written by earlier waves), so a replay may run them — and the
+/// tasks within them — in any order or in parallel.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WavePlan {
+    /// Same-kind kernel groups.
+    pub groups: Vec<GateGroup>,
+}
+
+impl WavePlan {
+    /// Gates across all groups.
+    pub fn num_gates(&self) -> usize {
+        self.groups.iter().map(|g| g.tasks.len()).sum()
+    }
+
+    /// Gates that cost a bootstrap under the simulator's accounting
+    /// (everything but constants and buffers), i.e. the count the
+    /// batch-cut rule accumulates.
+    pub fn bootstrapped(&self) -> u64 {
+        self.groups
+            .iter()
+            .filter(|g| counts_toward_batch(g.kind))
+            .map(|g| g.tasks.len() as u64)
+            .sum()
+    }
+}
+
+/// Whether `kind` counts toward the batch-cut budget. This mirrors
+/// [`crate::sim::WaveProfile::bootstrapped`] exactly — constants and
+/// buffers are free; everything else (including `Not`, which the device
+/// model schedules even though it is bootstrap-free) is counted — so the
+/// real backend's cuts land where [`crate::sim::GpuPolicy::CudaGraphs`]
+/// predicts them.
+pub fn counts_toward_batch(kind: GateKind) -> bool {
+    !kind.is_const() && kind != GateKind::Buf
+}
+
+/// A contiguous run of waves executed as one batch — the unit the
+/// CUDA-Graphs backend defines as a single device graph (paper
+/// Figure 9).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SubGraph {
+    /// The member waves in topological order.
+    pub waves: Vec<WavePlan>,
+}
+
+impl SubGraph {
+    /// Bootstrapped gates in the batch.
+    pub fn bootstrapped(&self) -> u64 {
+        self.waves.iter().map(WavePlan::bootstrapped).sum()
+    }
+}
+
+/// A complete captured plan for one netlist. Replaying it against fresh
+/// inputs reproduces `execute` bit for bit without touching the netlist
+/// again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelPlan {
+    /// Fingerprint of the source netlist
+    /// ([`crate::checkpoint::netlist_fingerprint`]); replays refuse a
+    /// mismatched program and the plan cache keys on it.
+    pub fingerprint: u64,
+    /// Value slots the replay arena must hold (netlist node count).
+    pub num_nodes: usize,
+    /// Slots fed by the primary inputs, in program order.
+    pub inputs: Vec<u32>,
+    /// Slots read out as primary outputs, in program order.
+    pub outputs: Vec<u32>,
+    /// The sub-graph batches in execution order.
+    pub batches: Vec<SubGraph>,
+}
+
+impl KernelPlan {
+    /// Total gates across all batches.
+    pub fn num_gates(&self) -> usize {
+        self.batches.iter().map(|b| b.waves.iter().map(WavePlan::num_gates).sum::<usize>()).sum()
+    }
+
+    /// Scheduling waves across all batches.
+    pub fn num_waves(&self) -> usize {
+        self.batches.iter().map(|b| b.waves.len()).sum()
+    }
+
+    /// The largest single gate group, i.e. the staging arena a replay
+    /// needs.
+    pub fn max_group_len(&self) -> usize {
+        self.batches
+            .iter()
+            .flat_map(|b| &b.waves)
+            .flat_map(|w| &w.groups)
+            .map(|g| g.tasks.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+const PLAN_MAGIC: &[u8; 4] = b"PTKG";
+const PLAN_VERSION: u8 = 1;
+
+impl KernelPlan {
+    /// Serializes the plan to a self-describing little-endian byte
+    /// stream (`PTKG` magic, format version 1).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(PLAN_MAGIC);
+        out.push(PLAN_VERSION);
+        put_u64(&mut out, self.fingerprint);
+        put_u64(&mut out, self.num_nodes as u64);
+        put_u32_list(&mut out, &self.inputs);
+        put_u32_list(&mut out, &self.outputs);
+        put_u32(&mut out, self.batches.len() as u32);
+        for batch in &self.batches {
+            put_u32(&mut out, batch.waves.len() as u32);
+            for wave in &batch.waves {
+                put_u32(&mut out, wave.groups.len() as u32);
+                for group in &wave.groups {
+                    out.push(group.kind.opcode());
+                    put_u32(&mut out, group.tasks.len() as u32);
+                    for t in &group.tasks {
+                        put_u32(&mut out, t.out);
+                        put_u32(&mut out, t.a);
+                        put_u32(&mut out, t.b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a plan produced by [`KernelPlan::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadPlan`] on any structural corruption:
+    /// wrong magic or version, truncation, unknown opcodes, or slot ids
+    /// outside the declared arena.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ExecError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != PLAN_MAGIC {
+            return Err(bad("wrong magic"));
+        }
+        if r.u8()? != PLAN_VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let fingerprint = r.u64()?;
+        let num_nodes = usize::try_from(r.u64()?).map_err(|_| bad("node count overflow"))?;
+        let inputs = r.u32_list()?;
+        let outputs = r.u32_list()?;
+        let num_batches = r.u32()? as usize;
+        let mut batches = Vec::with_capacity(num_batches.min(1024));
+        for _ in 0..num_batches {
+            let num_waves = r.u32()? as usize;
+            let mut waves = Vec::with_capacity(num_waves.min(1024));
+            for _ in 0..num_waves {
+                let num_groups = r.u32()? as usize;
+                let mut groups = Vec::with_capacity(num_groups.min(1024));
+                for _ in 0..num_groups {
+                    let kind = GateKind::from_opcode(r.u8()?).map_err(|_| bad("unknown opcode"))?;
+                    let num_tasks = r.u32()? as usize;
+                    let mut tasks = Vec::with_capacity(num_tasks.min(65_536));
+                    for _ in 0..num_tasks {
+                        tasks.push(GateTask { out: r.u32()?, a: r.u32()?, b: r.u32()? });
+                    }
+                    groups.push(GateGroup { kind, tasks });
+                }
+                waves.push(WavePlan { groups });
+            }
+            batches.push(SubGraph { waves });
+        }
+        if r.pos != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        let plan = KernelPlan { fingerprint, num_nodes, inputs, outputs, batches };
+        plan.check_slots()?;
+        Ok(plan)
+    }
+
+    /// Verifies every referenced slot fits the declared arena.
+    fn check_slots(&self) -> Result<(), ExecError> {
+        let n = self.num_nodes as u64;
+        let ok = |slot: u32| u64::from(slot) < n;
+        let wires = self.inputs.iter().chain(&self.outputs).all(|&s| ok(s));
+        let gates = self
+            .batches
+            .iter()
+            .flat_map(|b| &b.waves)
+            .flat_map(|w| &w.groups)
+            .flat_map(|g| &g.tasks)
+            .all(|t| ok(t.out) && ok(t.a) && ok(t.b));
+        if wires && gates {
+            Ok(())
+        } else {
+            Err(bad("slot out of range"))
+        }
+    }
+}
+
+fn bad(reason: &'static str) -> ExecError {
+    ExecError::BadPlan { reason }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32_list(out: &mut Vec<u8>, list: &[u32]) {
+    put_u32(out, list.len() as u32);
+    for &v in list {
+        put_u32(out, v);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ExecError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| bad("length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(bad("truncated"));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ExecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ExecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ExecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn u32_list(&mut self) -> Result<Vec<u32>, ExecError> {
+        let n = self.u32()? as usize;
+        let mut list = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            list.push(self.u32()?);
+        }
+        Ok(list)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> KernelPlan {
+        KernelPlan {
+            fingerprint: 0xDEAD_BEEF_0BAD_F00D,
+            num_nodes: 7,
+            inputs: vec![0, 1],
+            outputs: vec![6, 5],
+            batches: vec![
+                SubGraph {
+                    waves: vec![WavePlan {
+                        groups: vec![
+                            GateGroup {
+                                kind: GateKind::Nand,
+                                tasks: vec![
+                                    GateTask { out: 2, a: 0, b: 1 },
+                                    GateTask { out: 3, a: 1, b: 0 },
+                                ],
+                            },
+                            GateGroup {
+                                kind: GateKind::Not,
+                                tasks: vec![GateTask { out: 4, a: 0, b: 0 }],
+                            },
+                        ],
+                    }],
+                },
+                SubGraph {
+                    waves: vec![WavePlan {
+                        groups: vec![GateGroup {
+                            kind: GateKind::Xor,
+                            tasks: vec![
+                                GateTask { out: 5, a: 2, b: 3 },
+                                GateTask { out: 6, a: 3, b: 4 },
+                            ],
+                        }],
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let plan = sample_plan();
+        let bytes = plan.to_bytes();
+        assert_eq!(KernelPlan::from_bytes(&bytes).unwrap(), plan);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let plan = sample_plan();
+        let good = plan.to_bytes();
+
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            KernelPlan::from_bytes(&wrong_magic),
+            Err(ExecError::BadPlan { reason: "wrong magic" })
+        ));
+
+        let mut wrong_version = good.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(
+            KernelPlan::from_bytes(&wrong_version),
+            Err(ExecError::BadPlan { reason: "unsupported version" })
+        ));
+
+        assert!(matches!(
+            KernelPlan::from_bytes(&good[..good.len() - 1]),
+            Err(ExecError::BadPlan { reason: "truncated" })
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            KernelPlan::from_bytes(&trailing),
+            Err(ExecError::BadPlan { reason: "trailing bytes" })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_slots() {
+        let mut plan = sample_plan();
+        plan.batches[1].waves[0].groups[0].tasks[0].a = 99;
+        assert!(matches!(
+            KernelPlan::from_bytes(&plan.to_bytes()),
+            Err(ExecError::BadPlan { reason: "slot out of range" })
+        ));
+    }
+
+    #[test]
+    fn accounting_helpers_agree() {
+        let plan = sample_plan();
+        assert_eq!(plan.num_gates(), 5);
+        assert_eq!(plan.num_waves(), 2);
+        assert_eq!(plan.max_group_len(), 2);
+        // Not counts toward the cut budget; Buf and constants would not.
+        assert_eq!(plan.batches[0].bootstrapped(), 3);
+        assert!(counts_toward_batch(GateKind::Not));
+        assert!(!counts_toward_batch(GateKind::Buf));
+        assert!(!counts_toward_batch(GateKind::Const0));
+    }
+}

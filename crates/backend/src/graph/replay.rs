@@ -1,0 +1,231 @@
+//! Plan replay: executes a captured [`KernelPlan`] against fresh inputs
+//! with preallocated per-lane buffers — the execute-many half of the
+//! kernel-graph backend.
+//!
+//! All value and scratch storage lives in [`ReplayLanes`], which is
+//! created once and reused across replays. After the first (warming)
+//! replay, the hot path performs **zero per-gate buffer allocations**:
+//! gate results are staged into a reusable arena by the engine's
+//! `*_into` kernels and scattered back by pointer swaps. (Small
+//! per-kernel-launch bookkeeping, like the operand-pointer list handed
+//! to [`GateEngine::eval_batch`], still comes from the ordinary heap.)
+
+use crate::engine::GateEngine;
+use crate::error::ExecError;
+use crate::graph::plan::{GateGroup, KernelPlan};
+
+/// Reusable replay storage: the value arena (one slot per netlist
+/// node), the kernel staging arena, and one scratch per worker lane.
+#[derive(Debug)]
+pub struct ReplayLanes<E: GateEngine> {
+    values: Vec<E::Value>,
+    stage: Vec<E::Value>,
+    scratches: Vec<E::Scratch>,
+    workers: usize,
+}
+
+impl<E: GateEngine> ReplayLanes<E> {
+    /// Creates empty lanes for `workers` parallel lanes (clamped to at
+    /// least 1). Buffers grow on first use and persist across replays.
+    pub fn new(engine: &E, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let scratches = (0..workers).map(|_| engine.scratch()).collect();
+        ReplayLanes { values: Vec::new(), stage: Vec::new(), scratches, workers }
+    }
+
+    /// Worker lanes.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Grows the arenas to fit `plan` (no-op once warmed up).
+    fn warm(&mut self, engine: &E, plan: &KernelPlan) {
+        if self.values.len() < plan.num_nodes {
+            self.values.resize_with(plan.num_nodes, || engine.constant(false));
+        }
+        let stage_len = plan.max_group_len();
+        if self.stage.len() < stage_len {
+            self.stage.resize_with(stage_len, || engine.constant(false));
+        }
+    }
+}
+
+/// Per-replay accounting, merged into [`crate::ExecStats`] by
+/// [`crate::KernelGraph::execute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Gates evaluated.
+    pub gates: usize,
+    /// Waves executed.
+    pub waves: usize,
+    /// Sub-graph batches executed.
+    pub batches: usize,
+    /// Batched kernel launches (one per gate group per worker chunk).
+    pub kernel_launches: u64,
+    /// Kernel launches per gate kind, indexed by opcode.
+    pub kernels_by_kind: [u64; 16],
+}
+
+/// Replays `plan` on `inputs`, reusing `lanes` for all storage.
+///
+/// Bit-exact with [`crate::execute`] on the captured netlist: batching
+/// regroups independent gates but every gate still runs the identical
+/// kernel on identical operands.
+///
+/// # Errors
+///
+/// Returns [`ExecError::InputCountMismatch`] on arity mismatch and
+/// [`ExecError::WorkerPanicked`] when a parallel lane dies.
+pub fn replay<E: GateEngine>(
+    engine: &E,
+    plan: &KernelPlan,
+    inputs: &[E::Value],
+    lanes: &mut ReplayLanes<E>,
+) -> Result<(Vec<E::Value>, ReplayReport), ExecError> {
+    if inputs.len() != plan.inputs.len() {
+        return Err(ExecError::InputCountMismatch {
+            expected: plan.inputs.len(),
+            got: inputs.len(),
+        });
+    }
+    lanes.warm(engine, plan);
+    let mut report = ReplayReport { gates: plan.num_gates(), ..ReplayReport::default() };
+    for (&slot, input) in plan.inputs.iter().zip(inputs) {
+        lanes.values[slot as usize].clone_from(input);
+    }
+    for batch in &plan.batches {
+        report.batches += 1;
+        for wave in &batch.waves {
+            report.waves += 1;
+            for group in &wave.groups {
+                run_group(engine, group, lanes, &mut report)?;
+            }
+        }
+    }
+    let outputs = plan.outputs.iter().map(|&s| lanes.values[s as usize].clone()).collect();
+    Ok((outputs, report))
+}
+
+/// Dispatches one gate group as batched kernel launches: results are
+/// staged into the staging arena (the wave's other groups may still read
+/// any slot), then swapped into the value arena.
+fn run_group<E: GateEngine>(
+    engine: &E,
+    group: &GateGroup,
+    lanes: &mut ReplayLanes<E>,
+    report: &mut ReplayReport,
+) -> Result<(), ExecError> {
+    let tasks = &group.tasks;
+    let stage = &mut lanes.stage[..tasks.len()];
+    let launches = if lanes.workers == 1 || tasks.len() == 1 {
+        let values = &lanes.values;
+        let pairs: Vec<(&E::Value, &E::Value)> =
+            tasks.iter().map(|t| (&values[t.a as usize], &values[t.b as usize])).collect();
+        engine.eval_batch(group.kind, &pairs, stage, &mut lanes.scratches[0]);
+        1
+    } else {
+        let chunk = tasks.len().div_ceil(lanes.workers);
+        let values = &lanes.values;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .chunks(chunk)
+                .zip(stage.chunks_mut(chunk))
+                .zip(lanes.scratches.iter_mut())
+                .map(|((task_chunk, stage_chunk), scratch)| {
+                    scope.spawn(move || {
+                        let pairs: Vec<(&E::Value, &E::Value)> = task_chunk
+                            .iter()
+                            .map(|t| (&values[t.a as usize], &values[t.b as usize]))
+                            .collect();
+                        engine.eval_batch(group.kind, &pairs, stage_chunk, scratch);
+                    })
+                })
+                .collect();
+            let n = handles.len() as u64;
+            for handle in handles {
+                handle.join().map_err(|_| ExecError::WorkerPanicked)?;
+            }
+            Ok::<u64, ExecError>(n)
+        })?
+    };
+    report.kernel_launches += launches;
+    report.kernels_by_kind[group.kind.opcode() as usize] += launches;
+    for (t, staged) in tasks.iter().zip(stage.iter_mut()) {
+        std::mem::swap(&mut lanes.values[t.out as usize], staged);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PlainEngine;
+    use crate::exec::execute;
+    use crate::graph::capture::{capture, CaptureConfig};
+    use pytfhe_netlist::{GateKind, Netlist};
+
+    fn adder4() -> Netlist {
+        let mut nl = Netlist::new();
+        let a: Vec<_> = (0..4).map(|_| nl.add_input()).collect();
+        let b: Vec<_> = (0..4).map(|_| nl.add_input()).collect();
+        let mut carry = nl.add_gate(GateKind::Const0, a[0], a[0]).unwrap();
+        for i in 0..4 {
+            let axb = nl.add_gate(GateKind::Xor, a[i], b[i]).unwrap();
+            let sum = nl.add_gate(GateKind::Xor, axb, carry).unwrap();
+            let c1 = nl.add_gate(GateKind::And, a[i], b[i]).unwrap();
+            let c2 = nl.add_gate(GateKind::And, axb, carry).unwrap();
+            carry = nl.add_gate(GateKind::Or, c1, c2).unwrap();
+            nl.mark_output(sum).unwrap();
+        }
+        nl.mark_output(carry).unwrap();
+        nl
+    }
+
+    #[test]
+    fn plain_replay_matches_execute_for_all_adder_inputs() {
+        let nl = adder4();
+        let engine = PlainEngine::new();
+        let plan = capture(&nl, &CaptureConfig::default()).unwrap();
+        let mut lanes = ReplayLanes::new(&engine, 1);
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let bits: Vec<bool> = (0..4)
+                    .map(|i| x >> i & 1 == 1)
+                    .chain((0..4).map(|i| y >> i & 1 == 1))
+                    .collect();
+                let (want, _) = execute(&engine, &nl, &bits).unwrap();
+                let (got, report) = replay(&engine, &plan, &bits, &mut lanes).unwrap();
+                assert_eq!(got, want, "{x}+{y}");
+                assert_eq!(report.gates, nl.num_gates());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_replay() {
+        let nl = adder4();
+        let engine = PlainEngine::new();
+        let plan = capture(&nl, &CaptureConfig { batch_cut_nodes: 4 }).unwrap();
+        let mut serial = ReplayLanes::new(&engine, 1);
+        let mut parallel = ReplayLanes::new(&engine, 4);
+        let bits = vec![true, false, true, true, false, true, true, false];
+        let (a, ra) = replay(&engine, &plan, &bits, &mut serial).unwrap();
+        let (b, rb) = replay(&engine, &plan, &bits, &mut parallel).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ra.gates, rb.gates);
+        assert_eq!(ra.batches, rb.batches);
+        assert!(rb.kernel_launches >= ra.kernel_launches);
+    }
+
+    #[test]
+    fn replay_rejects_wrong_input_count() {
+        let nl = adder4();
+        let engine = PlainEngine::new();
+        let plan = capture(&nl, &CaptureConfig::default()).unwrap();
+        let mut lanes = ReplayLanes::new(&engine, 1);
+        assert!(matches!(
+            replay(&engine, &plan, &[true], &mut lanes),
+            Err(ExecError::InputCountMismatch { expected: 8, got: 1 })
+        ));
+    }
+}

@@ -22,6 +22,11 @@
 //! * [`checkpoint`] — wave-granular snapshot/resume: the frontier values
 //!   at a wave barrier serialize to a [`CheckpointStore`] (in-memory or
 //!   file-backed) so interrupted runs restart from the last barrier;
+//! * [`graph`] — the kernel-graph backend: a netlist is *captured* once
+//!   into a serializable [`KernelPlan`] (same-kind gates grouped into
+//!   batched kernels, waves cut into sub-graph batches exactly where the
+//!   CUDA-Graphs simulator cuts them), cached by fingerprint, and
+//!   *replayed* against fresh inputs with zero per-gate allocation;
 //! * [`cost`] — the calibrated cost model (Figure 7: one bootstrapped
 //!   gate ≈ 13 ms on one CPU core; ciphertext = 2.46 KB; per-task
 //!   communication ≈ 0.094 % of runtime);
@@ -38,6 +43,7 @@ pub mod engine;
 mod error;
 pub mod exec;
 pub mod fault;
+pub mod graph;
 pub mod runtime;
 pub mod sim;
 
@@ -49,4 +55,7 @@ pub use engine::{GateEngine, PlainEngine, TfheEngine};
 pub use error::ExecError;
 pub use exec::{execute, execute_parallel, execute_resilient, ExecStats, ResilientConfig};
 pub use fault::{FaultInjector, NoFaults, RetryPolicy, SeededFaults, TaskFate};
+pub use graph::{
+    capture, replay, CaptureConfig, KernelGraph, KernelPlan, ReplayLanes, ReplayReport,
+};
 pub use runtime::{Evaluator, RtWord};

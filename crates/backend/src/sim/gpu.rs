@@ -20,6 +20,34 @@ use crate::cost::{CpuCostModel, GpuCostModel};
 use crate::sim::profile::ProgramProfile;
 use crate::sim::timeline::Timeline;
 
+/// The CUDA-graph batch-cut rule shared by the simulator and the real
+/// kernel-graph backend ([`crate::graph`]): consecutive waves accumulate
+/// into a batch until it holds at least `batch_nodes` bootstrapped
+/// gates, then the batch closes; waves with no bootstrapped gates are
+/// skipped; a trailing partial batch survives. Returns, per batch, the
+/// bootstrapped gate count of each contributing wave in wave order.
+pub fn graph_batch_waves(profile: &ProgramProfile, batch_nodes: u64) -> Vec<Vec<u64>> {
+    let mut batches = Vec::new();
+    let mut cur: Vec<u64> = Vec::new();
+    let mut cur_gates = 0u64;
+    for wave in &profile.waves {
+        let n = wave.bootstrapped();
+        if n == 0 {
+            continue;
+        }
+        cur.push(n);
+        cur_gates += n;
+        if cur_gates >= batch_nodes {
+            batches.push(std::mem::take(&mut cur));
+            cur_gates = 0;
+        }
+    }
+    if !cur.is_empty() {
+        batches.push(cur);
+    }
+    batches
+}
+
 /// Scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GpuPolicy {
@@ -139,27 +167,22 @@ impl GpuSim {
         let ct = self.cpu.ciphertext_bytes;
         let sm = self.gpu.sm_count as u64;
         // Partition consecutive waves into batches of up to
-        // `graph_batch_nodes` gates.
-        let mut batches: Vec<(u64, f64)> = Vec::new(); // (gates, exec_s)
-        let mut cur_gates = 0u64;
-        let mut cur_exec = 0.0f64;
-        for wave in &profile.waves {
-            let n = wave.bootstrapped();
-            if n == 0 {
-                continue;
-            }
-            cur_exec +=
-                n.div_ceil(sm) as f64 * self.gpu.kernel_s + n as f64 * self.gpu.graph_exec_node_s;
-            cur_gates += n;
-            if cur_gates >= self.gpu.graph_batch_nodes as u64 {
-                batches.push((cur_gates, cur_exec));
-                cur_gates = 0;
-                cur_exec = 0.0;
-            }
-        }
-        if cur_gates > 0 {
-            batches.push((cur_gates, cur_exec));
-        }
+        // `graph_batch_nodes` gates: (gates, exec_s) per batch.
+        let batches: Vec<(u64, f64)> =
+            graph_batch_waves(profile, self.gpu.graph_batch_nodes as u64)
+                .into_iter()
+                .map(|waves| {
+                    let gates: u64 = waves.iter().sum();
+                    let exec: f64 = waves
+                        .iter()
+                        .map(|&n| {
+                            n.div_ceil(sm) as f64 * self.gpu.kernel_s
+                                + n as f64 * self.gpu.graph_exec_node_s
+                        })
+                        .sum();
+                    (gates, exec)
+                })
+                .collect();
         // Pipeline: build(0), then step i = max(exec(i), build(i+1)),
         // finally exec(last).
         let build: Vec<f64> =

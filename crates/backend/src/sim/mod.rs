@@ -14,6 +14,6 @@ mod profile;
 mod timeline;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, FaultyClusterReport, SimFaultModel};
-pub use gpu::{GpuPolicy, GpuReport, GpuSim};
+pub use gpu::{graph_batch_waves, GpuPolicy, GpuReport, GpuSim};
 pub use profile::{ProgramProfile, WaveProfile};
 pub use timeline::{Segment, Timeline};

@@ -1,10 +1,12 @@
 //! Executor throughput: the plaintext functional engine over real
-//! compiled workloads (reference vs wavefront), plus binary
-//! assembly/disassembly throughput.
+//! compiled workloads (reference vs wavefront vs kernel-graph replay),
+//! plus binary assembly/disassembly throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pytfhe_asm::{assemble, disassemble};
-use pytfhe_backend::{execute, execute_parallel, PlainEngine};
+use pytfhe_backend::{
+    capture, execute, execute_parallel, replay, CaptureConfig, PlainEngine, ReplayLanes,
+};
 use pytfhe_vipbench::{find, Scale};
 use std::hint::black_box;
 
@@ -22,6 +24,19 @@ fn bench_executors(c: &mut Criterion) {
     });
     group.bench_function("wavefront4_mnist_s", |b| {
         b.iter(|| black_box(execute_parallel(&engine, &nl, black_box(&input_bits), 4).expect("ok")))
+    });
+    // The kernel-graph backend: plan capture measured on its own, then
+    // replay of the already-captured plan with warm lanes — the
+    // compile-once / run-many split the backend exists for.
+    group.bench_function("kernel_graph_capture_mnist_s", |b| {
+        b.iter(|| black_box(capture(&nl, &CaptureConfig::default()).expect("ok")))
+    });
+    let plan = capture(&nl, &CaptureConfig::default()).expect("ok");
+    let mut lanes = ReplayLanes::new(&engine, 4);
+    group.bench_function("kernel_graph_replay4_mnist_s", |b| {
+        b.iter(|| {
+            black_box(replay(&engine, &plan, black_box(&input_bits), &mut lanes).expect("ok"))
+        })
     });
     group.finish();
 

@@ -3,7 +3,11 @@
 //! ```text
 //! repro <target> [--quick]
 //!
-//! targets: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table4 all
+//! targets: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table4
+//!          ablation kernel_graph all
+//!
+//! `kernel_graph` additionally writes machine-readable timings to
+//! `results/BENCH_kernel_graph.json`.
 //! --quick: use the miniature Test/Small workload scales (fast; same
 //!          qualitative shapes). Without it the Paper scales are built,
 //!          which compiles multi-million-gate netlists and takes a few
@@ -36,12 +40,30 @@ fn main() -> ExitCode {
             "fig14" => figures::fig14(mscale),
             "table4" => figures::table4(mscale),
             "ablation" => figures::ablation(),
+            "kernel_graph" => {
+                let (text, json) = figures::kernel_graph(scale);
+                let path = "results/BENCH_kernel_graph.json";
+                match std::fs::write(path, &json) {
+                    Ok(()) => format!("{text}\nwrote {path}"),
+                    Err(e) => format!("{text}\ncould not write {path}: {e}"),
+                }
+            }
             _ => return None,
         })
     };
     let all = [
-        "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table4",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "table4",
         "ablation",
+        "kernel_graph",
     ];
     match target.as_str() {
         "all" => {

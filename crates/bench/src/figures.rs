@@ -479,6 +479,96 @@ pub fn ablation() -> String {
     out
 }
 
+/// The kernel-graph backend measured on a real workload: capture cost,
+/// first vs cached replay, and the batch structure — the executable
+/// analogue of the Figure 9 pipeline. Returns the rendered report plus a
+/// machine-readable JSON document (written by `repro kernel_graph` to
+/// `results/BENCH_kernel_graph.json`).
+pub fn kernel_graph(scale: Scale) -> (String, String) {
+    use pytfhe_backend::{execute_parallel, KernelGraph, PlainEngine, ReplayLanes};
+    use pytfhe_vipbench::find;
+
+    let workers = 4;
+    let replays = 5;
+    let bench = find("MNIST_S", scale).expect("registered workload");
+    let nl = bench.netlist().clone();
+    let bits = bench.encode_input(&bench.sample_input(1));
+    let engine = PlainEngine::new();
+
+    let graph = KernelGraph::new();
+    let mut lanes = ReplayLanes::new(&engine, workers);
+    let (out_first, first) =
+        graph.execute_with_lanes(&engine, &nl, &bits, &mut lanes).expect("first run");
+    assert!(!first.plan_cached, "first run must capture");
+    let mut cached_replay_s = f64::INFINITY;
+    for _ in 0..replays {
+        let (out_rep, stats) =
+            graph.execute_with_lanes(&engine, &nl, &bits, &mut lanes).expect("replay");
+        assert!(stats.plan_cached, "repeat runs must hit the plan cache");
+        assert_eq!(out_rep, out_first, "replay must be bit-exact");
+        cached_replay_s = cached_replay_s.min(stats.replay_s);
+    }
+    let (_, wavefront) = execute_parallel(&engine, &nl, &bits, workers).expect("wavefront");
+
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(vec!["gates".into(), first.gates.to_string()]);
+    table.row(vec!["waves".into(), first.waves.to_string()]);
+    table.row(vec!["sub-graph batches".into(), first.batches.to_string()]);
+    table.row(vec!["kernel launches".into(), first.kernel_launches.to_string()]);
+    table.row(vec!["capture".into(), fmt_seconds(first.capture_s)]);
+    table.row(vec!["first replay".into(), fmt_seconds(first.replay_s)]);
+    table.row(vec![format!("cached replay (best of {replays})"), fmt_seconds(cached_replay_s)]);
+    table.row(vec![format!("wavefront x{workers} (no plan)"), fmt_seconds(wavefront.wall_s)]);
+
+    let mut out = String::from(
+        "Kernel-graph backend — capture once, replay batched plans (Figure 9, executed)\n",
+    );
+    out.push_str("MNIST_S, plaintext functional engine; same-kind gates share one batched kernel per wave.\n\n");
+    out.push_str(&table.render());
+
+    let mut kinds = String::new();
+    for (op, &n) in first.kernels_by_kind.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let kind = GateKind::from_opcode(op as u8).expect("counted opcode");
+        if !kinds.is_empty() {
+            kinds.push_str(", ");
+        }
+        kinds.push_str(&format!("\"{}\": {n}", kind.mnemonic()));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"MNIST_S\",\n",
+            "  \"scale\": \"{scale}\",\n",
+            "  \"workers\": {workers},\n",
+            "  \"gates\": {gates},\n",
+            "  \"waves\": {waves},\n",
+            "  \"batches\": {batches},\n",
+            "  \"kernel_launches\": {launches},\n",
+            "  \"capture_s\": {capture:.6},\n",
+            "  \"first_replay_s\": {first_replay:.6},\n",
+            "  \"cached_replay_s\": {cached_replay:.6},\n",
+            "  \"wavefront_s\": {wavefront:.6},\n",
+            "  \"kernel_launches_by_kind\": {{ {kinds} }}\n",
+            "}}\n"
+        ),
+        scale = if scale == Scale::Paper { "paper" } else { "test" },
+        workers = workers,
+        gates = first.gates,
+        waves = first.waves,
+        batches = first.batches,
+        launches = first.kernel_launches,
+        capture = first.capture_s,
+        first_replay = first.replay_s,
+        cached_replay = cached_replay_s,
+        wavefront = wavefront.wall_s,
+        kinds = kinds,
+    );
+    (out, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +608,16 @@ mod tests {
         let s = fig10(Scale::Test);
         assert!(s.contains("MNIST_S"));
         assert!(s.contains("NRSolver"));
+    }
+
+    #[test]
+    fn kernel_graph_report_renders_and_emits_json() {
+        let (text, json) = kernel_graph(Scale::Test);
+        assert!(text.contains("capture"));
+        assert!(text.contains("cached replay"));
+        assert!(json.contains("\"workload\": \"MNIST_S\""));
+        assert!(json.contains("\"cached_replay_s\""));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 
     #[test]

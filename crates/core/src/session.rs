@@ -3,7 +3,7 @@
 use chiseltorch::DType;
 use pytfhe_backend::{
     execute_parallel, execute_resilient, CheckpointStore, ExecError, ExecStats, FaultInjector,
-    ResilientConfig, TfheEngine,
+    KernelGraph, ResilientConfig, TfheEngine,
 };
 use pytfhe_netlist::Netlist;
 use pytfhe_tfhe::{ClientKey, LweCiphertext, Params, SecureRng, ServerKey};
@@ -72,12 +72,13 @@ impl Client {
 #[derive(Debug)]
 pub struct Server {
     key: ServerKey,
+    graph: KernelGraph,
 }
 
 impl Server {
     /// Creates a server around a received evaluation key.
     pub fn new(key: ServerKey) -> Self {
-        Server { key }
+        Server { key, graph: KernelGraph::new() }
     }
 
     /// The evaluation key (e.g. for engine construction).
@@ -101,6 +102,26 @@ impl Server {
         let engine = TfheEngine::new(&self.key);
         let (out, _) = execute_parallel(&engine, program, inputs, workers)?;
         Ok(out)
+    }
+
+    /// Executes a program on encrypted inputs with the kernel-graph
+    /// backend: the first call captures the program into a batched
+    /// execution plan (the CUDA-Graphs analogue of the paper's
+    /// Figure 9); repeat calls on the same program replay the cached
+    /// plan directly — check [`ExecStats::plan_cached`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on input-count mismatches or invalid
+    /// programs.
+    pub fn execute_graph(
+        &self,
+        program: &Netlist,
+        inputs: &[LweCiphertext],
+        workers: usize,
+    ) -> Result<(Vec<LweCiphertext>, ExecStats), ExecError> {
+        let engine = TfheEngine::new(&self.key);
+        self.graph.execute(&engine, program, inputs, workers)
     }
 
     /// Executes a program on encrypted inputs with the fault-tolerant
@@ -145,6 +166,26 @@ mod tests {
         let cts = client.encrypt_bits(&[true, false]);
         let out = server.execute(&nl, &cts, 2).unwrap();
         assert_eq!(client.decrypt_bits(&out), vec![true]);
+    }
+
+    #[test]
+    fn graph_session_matches_wavefront_and_caches_the_plan() {
+        let mut client = Client::new(Params::testing(), 9);
+        let server = Server::new(client.make_server_key());
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(GateKind::Xor, a, b).unwrap();
+        let y = nl.add_gate(GateKind::Nand, a, b).unwrap();
+        let z = nl.add_gate(GateKind::Or, x, y).unwrap();
+        nl.mark_output(z).unwrap();
+        for (bits, seed) in [([true, false], 0), ([true, true], 1), ([false, false], 2)] {
+            let cts = client.encrypt_bits(&bits);
+            let want = server.execute(&nl, &cts, 2).unwrap();
+            let (got, stats) = server.execute_graph(&nl, &cts, 2).unwrap();
+            assert_eq!(got, want, "graph replay must be bit-exact with execute");
+            assert_eq!(stats.plan_cached, seed > 0, "only the first call captures");
+        }
     }
 
     #[test]

@@ -70,6 +70,23 @@ impl BootstrappingKey {
         ExternalProductScratch::new(self.params.poly_size, self.params.glwe_dim, gadget)
     }
 
+    /// Allocates the full allocation-free bootstrap scratch (external
+    /// product buffers plus accumulator/rotation/test-vector buffers) sized
+    /// for this key. One per worker thread; after construction, every
+    /// [`BootstrappingKey::bootstrap_raw_into`] call runs without touching
+    /// the allocator.
+    pub fn boot_scratch(&self) -> BootstrapScratch {
+        let p = &self.params;
+        let zero_tlwe = || TlweCiphertext::trivial(TorusPoly::zero(p.poly_size), p.glwe_dim);
+        BootstrapScratch {
+            ep: self.scratch(),
+            acc: zero_tlwe(),
+            rot: zero_tlwe(),
+            ext: zero_tlwe(),
+            tv: TorusPoly::zero(p.poly_size),
+        }
+    }
+
     /// Blind rotation: homomorphically computes
     /// `X^{-phase(ct) * 2N} * test_vector` inside a TLWE accumulator.
     ///
@@ -146,6 +163,81 @@ impl BootstrappingKey {
         // (±1/8, ±3/8) bands. See `gates` for the offsets.
         rotated.extract_lwe()
     }
+
+    /// Allocation-free blind rotation over a raw `(mask, body)` sample,
+    /// reading the test vector from `scratch.tv` and leaving the rotated
+    /// accumulator in `scratch.acc`. Taking slices instead of an
+    /// [`LweCiphertext`] lets batched callers feed struct-of-arrays slots
+    /// directly.
+    fn blind_rotate_noalloc(&self, mask: &[Torus32], body: Torus32, s: &mut BootstrapScratch) {
+        let n2 = 2 * self.params.poly_size;
+        let barb = body.mod_switch(self.params.poly_size);
+        // acc = X^{-barb} * tv = X^{2N - barb} * tv (trivial sample).
+        for p in &mut s.acc.a {
+            p.fill_assign(Torus32::ZERO);
+        }
+        s.tv.mul_by_xk_into((n2 - barb) % n2, &mut s.acc.b);
+        for (a_i, bk_i) in mask.iter().zip(&self.tgsw) {
+            let bara = a_i.mod_switch(self.params.poly_size);
+            if bara == 0 {
+                continue;
+            }
+            // acc <- acc + bk_i ⊡ (X^{bara} * acc - acc), the CMUX.
+            self.acc_cmux_step(bk_i, bara, s);
+        }
+    }
+
+    /// One CMUX step of the blind-rotation loop, entirely on scratch
+    /// buffers (split out so the borrow of `self.tgsw` in the caller's loop
+    /// stays disjoint from `s`).
+    fn acc_cmux_step(&self, bk_i: &TgswFft, bara: usize, s: &mut BootstrapScratch) {
+        s.acc.rotate_into(bara, &mut s.rot);
+        s.rot.sub_assign(&s.acc);
+        bk_i.external_product_into(&s.rot, &self.plan, &mut s.ep, &mut s.ext);
+        s.acc.add_assign(&s.ext);
+    }
+
+    /// Like [`BootstrappingKey::bootstrap_raw`], writing the dimension-`k·N`
+    /// result into `out` with zero heap allocation (all intermediates live
+    /// in `scratch`).
+    pub fn bootstrap_raw_into(
+        &self,
+        ct: &LweCiphertext,
+        mu: Torus32,
+        scratch: &mut BootstrapScratch,
+        out: &mut LweCiphertext,
+    ) {
+        self.bootstrap_raw_slices_into(ct.mask(), ct.body(), mu, scratch, out);
+    }
+
+    /// Slice-level variant of [`BootstrappingKey::bootstrap_raw_into`] for
+    /// batched callers whose inputs live in struct-of-arrays slots.
+    pub fn bootstrap_raw_slices_into(
+        &self,
+        mask: &[Torus32],
+        body: Torus32,
+        mu: Torus32,
+        scratch: &mut BootstrapScratch,
+        out: &mut LweCiphertext,
+    ) {
+        debug_assert_eq!(mask.len(), self.params.lwe_dim);
+        scratch.tv.fill_assign(mu);
+        self.blind_rotate_noalloc(mask, body, scratch);
+        scratch.acc.extract_lwe_into(out);
+    }
+}
+
+/// Reusable buffers for the allocation-free bootstrap path: the external
+/// product scratch plus the accumulator, rotation, external-product output
+/// and test-vector buffers of the blind-rotation loop. Construct once per
+/// worker with [`BootstrappingKey::boot_scratch`].
+#[derive(Debug)]
+pub struct BootstrapScratch {
+    pub(crate) ep: ExternalProductScratch,
+    acc: TlweCiphertext,
+    rot: TlweCiphertext,
+    ext: TlweCiphertext,
+    tv: TorusPoly,
 }
 
 /// Numerically checks the sign-extraction property used by `bootstrap_raw`

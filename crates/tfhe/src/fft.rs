@@ -14,6 +14,7 @@
 
 use crate::poly::{IntPoly, TorusPoly};
 use crate::torus::Torus32;
+use crate::trace::note_buffer_alloc;
 
 /// A complex number; minimal on purpose (only what the FFT needs).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -60,6 +61,7 @@ pub struct FreqPoly {
 impl FreqPoly {
     /// The zero polynomial for transform size `n`.
     pub fn zero(n: usize) -> Self {
+        note_buffer_alloc();
         FreqPoly { values: vec![Complex::default(); n] }
     }
 
@@ -80,6 +82,7 @@ impl FreqPoly {
 
     /// Rebuilds from raw values (crate-internal, for deserialization).
     pub(crate) fn from_values(values: Vec<Complex>) -> Self {
+        note_buffer_alloc();
         FreqPoly { values }
     }
 
@@ -182,6 +185,7 @@ impl FftPlan {
     /// signed integers).
     pub fn forward_torus(&self, p: &TorusPoly) -> FreqPoly {
         debug_assert_eq!(p.len(), self.n);
+        note_buffer_alloc();
         let mut buf: Vec<Complex> = p
             .coeffs()
             .iter()
@@ -198,6 +202,7 @@ impl FftPlan {
     /// Forward transform of an integer polynomial.
     pub fn forward_int(&self, p: &IntPoly) -> FreqPoly {
         debug_assert_eq!(p.len(), self.n);
+        note_buffer_alloc();
         let mut buf: Vec<Complex> = p
             .coeffs()
             .iter()
@@ -232,11 +237,19 @@ impl FftPlan {
     /// Like [`FftPlan::inverse_torus`] but writes into `out`.
     pub fn inverse_torus_into(&self, f: &FreqPoly, out: &mut TorusPoly) {
         debug_assert_eq!(f.len(), self.n);
+        let mut buf = f.clone();
+        self.inverse_torus_destructive(&mut buf, out);
+    }
+
+    /// Like [`FftPlan::inverse_torus_into`] but consumes `f`'s contents
+    /// (the inverse transform runs in `f`'s own buffer), making the call
+    /// allocation-free. `f` holds garbage afterwards.
+    pub fn inverse_torus_destructive(&self, f: &mut FreqPoly, out: &mut TorusPoly) {
+        debug_assert_eq!(f.len(), self.n);
         debug_assert_eq!(out.len(), self.n);
-        let mut buf = f.values.clone();
-        self.fft_in_place(&mut buf, true);
+        self.fft_in_place(&mut f.values, true);
         let scale = 1.0 / self.n as f64;
-        for ((o, &c), &t) in out.coeffs_mut().iter_mut().zip(&buf).zip(&self.twist) {
+        for ((o, &c), &t) in out.coeffs_mut().iter_mut().zip(&f.values).zip(&self.twist) {
             // Untwist: multiply by conj(twist), keep the real part.
             let re = (c.re * t.re + c.im * t.im) * scale;
             // Round to the nearest torus element; arithmetic is exact mod

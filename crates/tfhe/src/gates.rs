@@ -14,10 +14,104 @@
 //! Steps 2 and 3 are the "Blind Rotation" and "Key Switching" segments of
 //! the paper's Figure 7 profile.
 
+use crate::bootstrap::BootstrapScratch;
 use crate::keys::{ServerKey, MU_LOG2_DENOM};
-use crate::lwe::LweCiphertext;
-use crate::tgsw::ExternalProductScratch;
+use crate::lwe::{LweCiphertext, LweSoa};
 use crate::torus::Torus32;
+
+/// The ten bootstrapped binary gates, as data: each is a linear
+/// combination `offset + ca·a + cb·b` followed by the same
+/// bootstrap-and-key-switch tail. Naming this set lets batched executors
+/// group gates of one kind into a single kernel over struct-of-arrays
+/// slots (the paper's CUDA-graph batching, Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BootGate {
+    /// `!(a & b)`
+    Nand,
+    /// `a & b`
+    And,
+    /// `a | b`
+    Or,
+    /// `!(a | b)`
+    Nor,
+    /// `a ^ b`
+    Xor,
+    /// `!(a ^ b)`
+    Xnor,
+    /// `!a & b`
+    Andny,
+    /// `a & !b`
+    Andyn,
+    /// `!a | b`
+    Orny,
+    /// `a | !b`
+    Oryn,
+}
+
+impl BootGate {
+    /// All ten gates, for exhaustive tests.
+    pub const ALL: [BootGate; 10] = [
+        BootGate::Nand,
+        BootGate::And,
+        BootGate::Or,
+        BootGate::Nor,
+        BootGate::Xor,
+        BootGate::Xnor,
+        BootGate::Andny,
+        BootGate::Andyn,
+        BootGate::Orny,
+        BootGate::Oryn,
+    ];
+
+    /// The plaintext truth table (for test oracles).
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            BootGate::Nand => !(a && b),
+            BootGate::And => a && b,
+            BootGate::Or => a || b,
+            BootGate::Nor => !(a || b),
+            BootGate::Xor => a ^ b,
+            BootGate::Xnor => !(a ^ b),
+            BootGate::Andny => !a && b,
+            BootGate::Andyn => a && !b,
+            BootGate::Orny => !a || b,
+            BootGate::Oryn => a || !b,
+        }
+    }
+
+    /// The linear-combination recipe `(offset, ca, cb)` placing the
+    /// correct answer's phase in `(0, 1/2)`.
+    fn spec(self) -> (Torus32, i32, i32) {
+        let mu = Torus32::from_fraction(1, MU_LOG2_DENOM);
+        let quarter = Torus32::from_fraction(1, 2);
+        match self {
+            BootGate::Nand => (mu, -1, -1),
+            BootGate::And => (-mu, 1, 1),
+            BootGate::Or => (mu, 1, 1),
+            BootGate::Nor => (-mu, -1, -1),
+            BootGate::Xor => (quarter, 2, 2),
+            BootGate::Xnor => (-quarter, -2, -2),
+            BootGate::Andny => (-mu, -1, 1),
+            BootGate::Andyn => (-mu, 1, -1),
+            BootGate::Orny => (mu, -1, 1),
+            BootGate::Oryn => (mu, 1, -1),
+        }
+    }
+}
+
+/// All scratch a worker needs to evaluate gates without allocating: the
+/// bootstrap buffers plus LWE staging for the linear combination, the raw
+/// (pre-key-switch) samples, and the struct-of-arrays slots used by
+/// [`ServerKey::batch_bootstrap`]. One per worker thread.
+#[derive(Debug)]
+pub struct GateScratch {
+    pub(crate) boot: BootstrapScratch,
+    combo: LweCiphertext,
+    raw: LweCiphertext,
+    raw2: LweCiphertext,
+    sum: LweCiphertext,
+    soa: LweSoa,
+}
 
 /// Timing breakdown of one gate evaluation, used to regenerate Figure 7.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -42,17 +136,107 @@ impl ServerKey {
         Torus32::from_fraction(1, MU_LOG2_DENOM)
     }
 
-    /// Core bootstrapped-gate path: bootstrap `combo` to `±1/8`, then key
-    /// switch to dimension `n`.
-    fn finish(&self, combo: &LweCiphertext, scratch: &mut ExternalProductScratch) -> LweCiphertext {
-        let raw = self.bootstrap.bootstrap_raw(combo, Self::mu(), scratch);
-        self.keyswitch.switch(&raw)
+    /// Accumulates `coeff * ct` into `out` without allocating (coefficients
+    /// are the small integers of the gate recipes).
+    fn axpy(out: &mut LweCiphertext, coeff: i32, ct: &LweCiphertext) {
+        for _ in 0..coeff.unsigned_abs() {
+            if coeff > 0 {
+                out.add_assign(ct);
+            } else {
+                out.sub_assign(ct);
+            }
+        }
+    }
+
+    /// Stages the linear combination of `gate` into `out`.
+    fn combo_into(
+        &self,
+        gate: BootGate,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        out: &mut LweCiphertext,
+    ) {
+        let (offset, ca, cb) = gate.spec();
+        out.assign_trivial(offset, self.params.lwe_dim);
+        Self::axpy(out, ca, a);
+        Self::axpy(out, cb, b);
     }
 
     /// Allocates reusable scratch for gate evaluation (one per worker
-    /// thread).
-    pub fn gate_scratch(&self) -> ExternalProductScratch {
-        self.bootstrap.scratch()
+    /// thread). Once constructed, [`ServerKey::gate_into`] and
+    /// [`ServerKey::batch_bootstrap`] run with zero heap allocation.
+    pub fn gate_scratch(&self) -> GateScratch {
+        let n = self.params.lwe_dim;
+        let ext_dim = self.keyswitch.src_dim();
+        GateScratch {
+            boot: self.bootstrap.boot_scratch(),
+            combo: LweCiphertext::trivial(Torus32::ZERO, n),
+            raw: LweCiphertext::trivial(Torus32::ZERO, ext_dim),
+            raw2: LweCiphertext::trivial(Torus32::ZERO, ext_dim),
+            sum: LweCiphertext::trivial(Torus32::ZERO, ext_dim),
+            soa: LweSoa::new(n),
+        }
+    }
+
+    /// Evaluates one bootstrapped binary gate into `out` — the hot-path
+    /// API: linear combination, blind rotation against `mu = 1/8`, and key
+    /// switch all run on `scratch`'s preallocated buffers.
+    pub fn gate_into(
+        &self,
+        gate: BootGate,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut GateScratch,
+        out: &mut LweCiphertext,
+    ) {
+        self.combo_into(gate, a, b, &mut scratch.combo);
+        self.bootstrap.bootstrap_raw_into(
+            &scratch.combo,
+            Self::mu(),
+            &mut scratch.boot,
+            &mut scratch.raw,
+        );
+        self.keyswitch.switch_into(&scratch.raw, out);
+    }
+
+    /// Evaluates one batched kernel: the same gate over many input pairs.
+    ///
+    /// Pass 1 stages every pair's linear combination into struct-of-arrays
+    /// ciphertext slots; pass 2 bootstraps and key switches each slot into
+    /// the matching `outs` entry. This is the CPU analogue of the paper's
+    /// batched CUDA-graph kernels (Figure 9): one launch per (gate kind,
+    /// wave) instead of one per gate. After a warm-up call at the same
+    /// batch size, the whole call is allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` and `outs` have different lengths.
+    pub fn batch_bootstrap(
+        &self,
+        gate: BootGate,
+        pairs: &[(&LweCiphertext, &LweCiphertext)],
+        outs: &mut [LweCiphertext],
+        scratch: &mut GateScratch,
+    ) {
+        assert_eq!(pairs.len(), outs.len(), "batch_bootstrap: pairs/outs length mismatch");
+        let (offset, ca, cb) = gate.spec();
+        scratch.soa.reset(pairs.len());
+        for (slot, &(a, b)) in pairs.iter().enumerate() {
+            scratch.soa.set_body(slot, offset);
+            scratch.soa.axpy(slot, ca, a);
+            scratch.soa.axpy(slot, cb, b);
+        }
+        for (slot, out) in outs.iter_mut().enumerate() {
+            let (mask, body) = scratch.soa.slot(slot);
+            self.bootstrap.bootstrap_raw_slices_into(
+                mask,
+                body,
+                Self::mu(),
+                &mut scratch.boot,
+                &mut scratch.raw,
+            );
+            self.keyswitch.switch_into(&scratch.raw, out);
+        }
     }
 
     /// `NAND` with caller-provided scratch (the hot-path API the backends
@@ -61,13 +245,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, 1/8) - a - b
-        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
-        c.sub_assign(a);
-        c.sub_assign(b);
-        self.finish(&c, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::Nand, a, b, scratch, &mut out);
+        out
     }
 
     /// `AND`.
@@ -75,13 +257,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, -1/8) + a + b
-        let mut c = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
-        c.add_assign(a);
-        c.add_assign(b);
-        self.finish(&c, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::And, a, b, scratch, &mut out);
+        out
     }
 
     /// `OR`.
@@ -89,13 +269,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, 1/8) + a + b
-        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
-        c.add_assign(a);
-        c.add_assign(b);
-        self.finish(&c, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::Or, a, b, scratch, &mut out);
+        out
     }
 
     /// `NOR`.
@@ -103,13 +281,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, -1/8) - a - b
-        let mut c = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
-        c.sub_assign(a);
-        c.sub_assign(b);
-        self.finish(&c, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::Nor, a, b, scratch, &mut out);
+        out
     }
 
     /// `XOR`.
@@ -117,15 +293,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, 1/4) + 2*(a + b)
-        let mut c = a.clone();
-        c.add_assign(b);
-        c.scale(2);
-        let mut offset = LweCiphertext::trivial(Torus32::from_fraction(1, 2), self.params.lwe_dim);
-        offset.add_assign(&c);
-        self.finish(&offset, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::Xor, a, b, scratch, &mut out);
+        out
     }
 
     /// `XNOR`.
@@ -133,15 +305,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, -1/4) - 2*(a + b)
-        let mut c = a.clone();
-        c.add_assign(b);
-        c.scale(-2);
-        let mut offset = LweCiphertext::trivial(Torus32::from_fraction(-1, 2), self.params.lwe_dim);
-        offset.add_assign(&c);
-        self.finish(&offset, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::Xnor, a, b, scratch, &mut out);
+        out
     }
 
     /// `ANDNY` = `!a & b`.
@@ -149,13 +317,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, -1/8) - a + b
-        let mut c = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
-        c.sub_assign(a);
-        c.add_assign(b);
-        self.finish(&c, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::Andny, a, b, scratch, &mut out);
+        out
     }
 
     /// `ANDYN` = `a & !b`.
@@ -163,13 +329,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, -1/8) + a - b
-        let mut c = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
-        c.add_assign(a);
-        c.sub_assign(b);
-        self.finish(&c, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::Andyn, a, b, scratch, &mut out);
+        out
     }
 
     /// `ORNY` = `!a | b`.
@@ -177,13 +341,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, 1/8) - a + b
-        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
-        c.sub_assign(a);
-        c.add_assign(b);
-        self.finish(&c, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::Orny, a, b, scratch, &mut out);
+        out
     }
 
     /// `ORYN` = `a | !b`.
@@ -191,13 +353,11 @@ impl ServerKey {
         &self,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
-        // (0, 1/8) + a - b
-        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
-        c.add_assign(a);
-        c.sub_assign(b);
-        self.finish(&c, scratch)
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.params.lwe_dim);
+        self.gate_into(BootGate::Oryn, a, b, scratch, &mut out);
+        out
     }
 
     /// `NOT` — a free negation, no bootstrapping required.
@@ -207,10 +367,23 @@ impl ServerKey {
         c
     }
 
+    /// Allocation-free `NOT`: `out = -a`.
+    pub fn not_into(&self, a: &LweCiphertext, out: &mut LweCiphertext) {
+        out.copy_from(a);
+        out.negate();
+    }
+
     /// A trivial encryption of a constant bit, decryptable under any key.
     pub fn constant(&self, bit: bool) -> LweCiphertext {
         let mu = if bit { Self::mu() } else { -Self::mu() };
         LweCiphertext::trivial(mu, self.params.lwe_dim)
+    }
+
+    /// Allocation-free constant: overwrites `out` with the trivial
+    /// encryption of `bit`.
+    pub fn constant_into(&self, bit: bool, out: &mut LweCiphertext) {
+        let mu = if bit { Self::mu() } else { -Self::mu() };
+        out.assign_trivial(mu, self.params.lwe_dim);
     }
 
     /// `MUX(s, a, b) = s ? a : b` — the TFHE-library bonus gate, built from
@@ -220,21 +393,31 @@ impl ServerKey {
         s: &LweCiphertext,
         a: &LweCiphertext,
         b: &LweCiphertext,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut GateScratch,
     ) -> LweCiphertext {
         // t1 = bootstrap(s AND a), t2 = bootstrap(!s AND b), out = KS(t1 + t2 + 1/8).
-        let mut c1 = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
-        c1.add_assign(s);
-        c1.add_assign(a);
-        let u1 = self.bootstrap.bootstrap_raw(&c1, Self::mu(), scratch);
-        let mut c2 = LweCiphertext::trivial(-Self::mu(), self.params.lwe_dim);
-        c2.sub_assign(s);
-        c2.add_assign(b);
-        let u2 = self.bootstrap.bootstrap_raw(&c2, Self::mu(), scratch);
-        let mut sum = LweCiphertext::trivial(Self::mu(), self.keyswitch.src_dim());
-        sum.add_assign(&u1);
-        sum.add_assign(&u2);
-        self.keyswitch.switch(&sum)
+        scratch.combo.assign_trivial(-Self::mu(), self.params.lwe_dim);
+        scratch.combo.add_assign(s);
+        scratch.combo.add_assign(a);
+        self.bootstrap.bootstrap_raw_into(
+            &scratch.combo,
+            Self::mu(),
+            &mut scratch.boot,
+            &mut scratch.raw,
+        );
+        scratch.combo.assign_trivial(-Self::mu(), self.params.lwe_dim);
+        scratch.combo.sub_assign(s);
+        scratch.combo.add_assign(b);
+        self.bootstrap.bootstrap_raw_into(
+            &scratch.combo,
+            Self::mu(),
+            &mut scratch.boot,
+            &mut scratch.raw2,
+        );
+        scratch.sum.assign_trivial(Self::mu(), self.keyswitch.src_dim());
+        scratch.sum.add_assign(&scratch.raw);
+        scratch.sum.add_assign(&scratch.raw2);
+        self.keyswitch.switch(&scratch.sum)
     }
 
     /// Convenience allocation-per-call variants of every gate.
@@ -292,13 +475,16 @@ impl ServerKey {
         use std::time::Instant;
         let mut scratch = self.gate_scratch();
         let t0 = Instant::now();
-        let mut c = LweCiphertext::trivial(Self::mu(), self.params.lwe_dim);
-        c.sub_assign(a);
-        c.sub_assign(b);
+        self.combo_into(BootGate::Nand, a, b, &mut scratch.combo);
         let t1 = Instant::now();
-        let raw = self.bootstrap.bootstrap_raw(&c, Self::mu(), &mut scratch);
+        self.bootstrap.bootstrap_raw_into(
+            &scratch.combo,
+            Self::mu(),
+            &mut scratch.boot,
+            &mut scratch.raw,
+        );
         let t2 = Instant::now();
-        let out = self.keyswitch.switch(&raw);
+        let out = self.keyswitch.switch(&scratch.raw);
         let t3 = Instant::now();
         let profile = GateProfile {
             linear_s: (t1 - t0).as_secs_f64(),

@@ -104,8 +104,17 @@ impl KeySwitchKey {
     ///
     /// Panics if `ct` does not have the source dimension.
     pub fn switch(&self, ct: &LweCiphertext) -> LweCiphertext {
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.dst_dim);
+        self.switch_into(ct, &mut out);
+        out
+    }
+
+    /// Like [`KeySwitchKey::switch`], writing into `out` without allocating
+    /// (reusing `out`'s mask buffer when it already has the destination
+    /// dimension).
+    pub fn switch_into(&self, ct: &LweCiphertext, out: &mut LweCiphertext) {
         assert_eq!(ct.dim(), self.src_dim, "key switch input dimension mismatch");
-        let mut out = LweCiphertext::trivial(ct.body(), self.dst_dim);
+        out.assign_trivial(ct.body(), self.dst_dim);
         let base_mask = (1u32 << self.base_log) - 1;
         let total_bits = (self.levels * self.base_log) as u32;
         // Rounding offset: half of the smallest represented step.
@@ -120,7 +129,6 @@ impl KeySwitchKey {
                 }
             }
         }
-        out
     }
 }
 

@@ -59,11 +59,15 @@ mod rng;
 pub mod tgsw;
 pub mod tlwe;
 pub mod torus;
+pub mod trace;
 
+pub use bootstrap::BootstrapScratch;
 pub use error::TfheError;
+pub use gates::{BootGate, GateScratch};
 pub use keys::{ClientKey, ServerKey};
-pub use lwe::{LweCiphertext, LweKey};
+pub use lwe::{LweCiphertext, LweKey, LweSoa};
 pub use noise::NoiseModel;
 pub use params::{Params, SecurityLevel};
 pub use rng::SecureRng;
 pub use torus::Torus32;
+pub use trace::thread_buffer_allocs;

@@ -3,6 +3,7 @@
 
 use crate::rng::SecureRng;
 use crate::torus::Torus32;
+use crate::trace::note_buffer_alloc;
 
 /// An LWE secret key: a binary vector of length `n`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +70,7 @@ pub struct LweCiphertext {
 impl LweCiphertext {
     /// Builds a ciphertext from its mask and body (deserialization).
     pub fn from_parts(a: Vec<Torus32>, b: Torus32) -> Self {
+        note_buffer_alloc();
         LweCiphertext { a, b }
     }
 
@@ -76,7 +78,24 @@ impl LweCiphertext {
     /// `a = 0, b = message`. Decryptable under any key; used for the
     /// plaintext offsets of gate evaluation and for constants.
     pub fn trivial(message: Torus32, dim: usize) -> Self {
+        note_buffer_alloc();
         LweCiphertext { a: vec![Torus32::ZERO; dim], b: message }
+    }
+
+    /// Overwrites `self` with the trivial encryption of `message` at
+    /// dimension `dim`, reusing the mask allocation when it already has
+    /// the right capacity.
+    pub fn assign_trivial(&mut self, message: Torus32, dim: usize) {
+        self.a.resize(dim, Torus32::ZERO);
+        self.a.fill(Torus32::ZERO);
+        self.b = message;
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing the mask
+    /// allocation (unlike `clone`, which always allocates).
+    pub fn copy_from(&mut self, other: &LweCiphertext) {
+        self.a.clone_from(&other.a);
+        self.b = other.b;
     }
 
     /// Ciphertext dimension `n`.
@@ -87,6 +106,11 @@ impl LweCiphertext {
     /// The mask coefficients.
     pub fn mask(&self) -> &[Torus32] {
         &self.a
+    }
+
+    /// Mutable mask coefficients.
+    pub fn mask_mut(&mut self) -> &mut [Torus32] {
+        &mut self.a
     }
 
     /// The body coefficient.
@@ -126,6 +150,69 @@ impl LweCiphertext {
             *x = factor * *x;
         }
         self.b = factor * self.b;
+    }
+}
+
+/// Struct-of-arrays storage for a batch of same-dimension LWE samples:
+/// all masks in one contiguous buffer, all bodies in another. Batched
+/// kernels ([`crate::ServerKey::batch_bootstrap`]) stage their linear
+/// combinations here so the bootstrap loop streams over dense slots
+/// instead of pointer-chasing individual ciphertexts.
+#[derive(Debug)]
+pub struct LweSoa {
+    dim: usize,
+    masks: Vec<Torus32>,
+    bodies: Vec<Torus32>,
+}
+
+impl LweSoa {
+    /// An empty batch of dimension-`dim` slots.
+    pub fn new(dim: usize) -> Self {
+        LweSoa { dim, masks: Vec::new(), bodies: Vec::new() }
+    }
+
+    /// Slot dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Whether the batch holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.bodies.is_empty()
+    }
+
+    /// Resizes to `slots` zeroed slots, reusing capacity from previous
+    /// batches (allocation-free once warmed up to the largest batch size).
+    pub fn reset(&mut self, slots: usize) {
+        self.masks.clear();
+        self.masks.resize(slots * self.dim, Torus32::ZERO);
+        self.bodies.clear();
+        self.bodies.resize(slots, Torus32::ZERO);
+    }
+
+    /// Sets slot `slot`'s body (the plaintext gate offset).
+    pub fn set_body(&mut self, slot: usize, body: Torus32) {
+        self.bodies[slot] = body;
+    }
+
+    /// Accumulates `coeff * ct` into slot `slot`.
+    pub fn axpy(&mut self, slot: usize, coeff: i32, ct: &LweCiphertext) {
+        debug_assert_eq!(ct.dim(), self.dim);
+        let mask = &mut self.masks[slot * self.dim..(slot + 1) * self.dim];
+        for (x, y) in mask.iter_mut().zip(ct.mask()) {
+            *x += coeff * *y;
+        }
+        self.bodies[slot] += coeff * ct.body();
+    }
+
+    /// Slot `slot` as a `(mask, body)` view.
+    pub fn slot(&self, slot: usize) -> (&[Torus32], Torus32) {
+        (&self.masks[slot * self.dim..(slot + 1) * self.dim], self.bodies[slot])
     }
 }
 

@@ -7,6 +7,7 @@
 
 use crate::rng::SecureRng;
 use crate::torus::Torus32;
+use crate::trace::note_buffer_alloc;
 
 /// A polynomial with torus coefficients, reduced modulo `X^N + 1`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,11 +18,13 @@ pub struct TorusPoly {
 impl TorusPoly {
     /// The zero polynomial of degree bound `n`.
     pub fn zero(n: usize) -> Self {
+        note_buffer_alloc();
         TorusPoly { coeffs: vec![Torus32::ZERO; n] }
     }
 
     /// Builds a polynomial from coefficients.
     pub fn from_coeffs(coeffs: Vec<Torus32>) -> Self {
+        note_buffer_alloc();
         TorusPoly { coeffs }
     }
 
@@ -35,11 +38,25 @@ impl TorusPoly {
     /// A polynomial with every coefficient equal to `c` — the test vector
     /// of gate bootstrapping.
     pub fn fill(c: Torus32, n: usize) -> Self {
+        note_buffer_alloc();
         TorusPoly { coeffs: vec![c; n] }
+    }
+
+    /// Overwrites every coefficient with `c`, reusing the allocation.
+    pub fn fill_assign(&mut self, c: Torus32) {
+        self.coeffs.fill(c);
+    }
+
+    /// Overwrites `self` with a copy of `other` (same length) without
+    /// allocating. The derived `clone_from` would reallocate.
+    pub fn copy_from(&mut self, other: &TorusPoly) {
+        debug_assert_eq!(self.len(), other.len());
+        self.coeffs.copy_from_slice(&other.coeffs);
     }
 
     /// Uniformly random polynomial (the mask of a TLWE sample).
     pub fn uniform(n: usize, rng: &mut SecureRng) -> Self {
+        note_buffer_alloc();
         TorusPoly { coeffs: (0..n).map(|_| Torus32::uniform(rng)).collect() }
     }
 
@@ -95,16 +112,23 @@ impl TorusPoly {
     /// Multiplying by `X^N` negates the polynomial, so rotations by `k ≥ N`
     /// wrap with a sign flip — the mechanism blind rotation exploits.
     pub fn mul_by_xk(&self, k: usize) -> TorusPoly {
+        let mut out = TorusPoly::zero(self.len());
+        self.mul_by_xk_into(k, &mut out);
+        out
+    }
+
+    /// Like [`TorusPoly::mul_by_xk`], writing into `out` (same length)
+    /// without allocating.
+    pub fn mul_by_xk_into(&self, k: usize, out: &mut TorusPoly) {
         let n = self.len();
         debug_assert!(k < 2 * n, "rotation amount {k} out of range for N={n}");
-        let mut out = TorusPoly::zero(n);
+        debug_assert_eq!(out.len(), n);
         let (shift, negate) = if k < n { (k, false) } else { (k - n, true) };
         for (i, &c) in self.coeffs.iter().enumerate() {
             let j = i + shift;
             let (j, flip) = if j < n { (j, negate) } else { (j - n, !negate) };
             out.coeffs[j] = if flip { -c } else { c };
         }
-        out
     }
 }
 
@@ -118,16 +142,19 @@ pub struct IntPoly {
 impl IntPoly {
     /// The zero polynomial of degree bound `n`.
     pub fn zero(n: usize) -> Self {
+        note_buffer_alloc();
         IntPoly { coeffs: vec![0; n] }
     }
 
     /// Builds a polynomial from coefficients.
     pub fn from_coeffs(coeffs: Vec<i32>) -> Self {
+        note_buffer_alloc();
         IntPoly { coeffs }
     }
 
     /// A uniformly random *binary* polynomial — a TLWE secret key share.
     pub fn binary(n: usize, rng: &mut SecureRng) -> Self {
+        note_buffer_alloc();
         IntPoly { coeffs: (0..n).map(|_| i32::from(rng.bit())).collect() }
     }
 

@@ -182,9 +182,25 @@ impl TgswFft {
         plan: &FftPlan,
         scratch: &mut ExternalProductScratch,
     ) -> TlweCiphertext {
+        let n = tlwe.poly_size();
+        let mut out = TlweCiphertext::trivial(TorusPoly::zero(n), tlwe.k());
+        self.external_product_into(tlwe, plan, scratch, &mut out);
+        out
+    }
+
+    /// Like [`TgswFft::external_product`], writing into `out` (same shape
+    /// as `tlwe`) without allocating. `out` may not alias `tlwe`.
+    pub fn external_product_into(
+        &self,
+        tlwe: &TlweCiphertext,
+        plan: &FftPlan,
+        scratch: &mut ExternalProductScratch,
+        out: &mut TlweCiphertext,
+    ) {
         let k = tlwe.k();
         let l = self.gadget.levels;
         debug_assert_eq!(self.rows.len(), (k + 1) * l);
+        debug_assert_eq!(out.k(), k);
         for f in &mut scratch.acc_freq {
             f.clear();
         }
@@ -198,12 +214,11 @@ impl TgswFft {
                 }
             }
         }
-        let mut a: Vec<TorusPoly> = Vec::with_capacity(k);
-        for acc in scratch.acc_freq.iter().take(k) {
-            a.push(plan.inverse_torus(acc));
+        let (mask_accs, body_acc) = scratch.acc_freq.split_at_mut(k);
+        for (acc, dst) in mask_accs.iter_mut().zip(&mut out.a) {
+            plan.inverse_torus_destructive(acc, dst);
         }
-        let b = plan.inverse_torus(&scratch.acc_freq[k]);
-        TlweCiphertext { a, b }
+        plan.inverse_torus_destructive(&mut body_acc[0], &mut out.b);
     }
 
     /// The CMUX gate: returns `c0 + self ⊡ (c1 - c0)`, i.e. selects `c1`

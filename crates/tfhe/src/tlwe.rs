@@ -4,6 +4,7 @@
 use crate::lwe::{LweCiphertext, LweKey};
 use crate::poly::{naive_negacyclic_mul, IntPoly, TorusPoly};
 use crate::rng::SecureRng;
+use crate::torus::Torus32;
 
 /// A TLWE secret key: `k` binary polynomials of degree bound `N`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,20 +132,49 @@ impl TlweCiphertext {
         }
     }
 
+    /// Like [`TlweCiphertext::rotate`], writing into `out` (same shape)
+    /// without allocating.
+    pub fn rotate_into(&self, amount: usize, out: &mut TlweCiphertext) {
+        debug_assert_eq!(out.k(), self.k());
+        for (src, dst) in self.a.iter().zip(&mut out.a) {
+            src.mul_by_xk_into(amount, dst);
+        }
+        self.b.mul_by_xk_into(amount, &mut out.b);
+    }
+
+    /// Overwrites `self` with a copy of `other` (same shape), reusing all
+    /// polynomial buffers.
+    pub fn copy_from(&mut self, other: &TlweCiphertext) {
+        debug_assert_eq!(self.k(), other.k());
+        for (dst, src) in self.a.iter_mut().zip(&other.a) {
+            dst.copy_from(src);
+        }
+        self.b.copy_from(&other.b);
+    }
+
     /// Extracts the LWE encryption of the constant coefficient of the
     /// phase, under [`TlweKey::extracted_lwe_key`]. This is the bridge from
     /// the blind-rotated accumulator back to an ordinary LWE sample.
     pub fn extract_lwe(&self) -> LweCiphertext {
         let n = self.poly_size();
-        let mut a = Vec::with_capacity(self.k() * n);
-        for poly in &self.a {
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, self.k() * n);
+        self.extract_lwe_into(&mut out);
+        out
+    }
+
+    /// Like [`TlweCiphertext::extract_lwe`], writing into `out` (dimension
+    /// `k * N`) without allocating.
+    pub fn extract_lwe_into(&self, out: &mut LweCiphertext) {
+        let n = self.poly_size();
+        out.assign_trivial(self.b.coeffs()[0], self.k() * n);
+        let mask = out.mask_mut();
+        for (poly, chunk) in self.a.iter().zip(mask.chunks_exact_mut(n)) {
             let c = poly.coeffs();
-            a.push(c[0]);
+            chunk[0] = c[0];
             for j in 1..n {
-                a.push(-c[n - j]);
+                chunk[j] = -c[n - j];
             }
         }
-        LweCiphertext { a, b: self.b.coeffs()[0] }
     }
 }
 

@@ -1,0 +1,47 @@
+//! Hot-path allocation accounting.
+//!
+//! Every constructor in this crate that takes a fresh heap buffer for a
+//! polynomial or ciphertext calls [`note_buffer_alloc`]. The counter is
+//! thread-local, so a test can bracket a single-threaded hot section —
+//! e.g. one kernel-graph replay after warm-up — and assert the delta is
+//! exactly zero without interference from other tests in the same
+//! process. Reusing a buffer through the `*_into`/`*_assign` APIs does
+//! not count; only constructions that allocate do.
+
+use std::cell::Cell;
+
+thread_local! {
+    static BUFFER_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one fresh polynomial/ciphertext buffer allocation on this
+/// thread (crate-internal; called by constructors).
+#[inline]
+pub(crate) fn note_buffer_alloc() {
+    BUFFER_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+/// Number of polynomial/ciphertext buffer allocations made by this crate
+/// on the calling thread since it started.
+///
+/// Take the value before and after a hot section and subtract: a
+/// difference of zero proves the section ran entirely on preallocated
+/// scratch. `Clone` is intentionally not instrumented — the hot paths
+/// use `clone_from`, which reuses the destination's buffers.
+pub fn thread_buffer_allocs() -> u64 {
+    BUFFER_ALLOCS.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::TorusPoly;
+
+    #[test]
+    fn constructors_bump_the_counter() {
+        let before = thread_buffer_allocs();
+        let _p = TorusPoly::zero(16);
+        let _q = TorusPoly::zero(16);
+        assert_eq!(thread_buffer_allocs() - before, 2);
+    }
+}

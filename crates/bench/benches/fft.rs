@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pytfhe_tfhe::fft::{FftPlan, FreqPoly};
 use pytfhe_tfhe::poly::{IntPoly, TorusPoly};
+use pytfhe_tfhe::reference::{RefFftPlan, RefFreqPoly};
 use pytfhe_tfhe::SecureRng;
 use std::hint::black_box;
 
@@ -30,6 +31,27 @@ fn bench_fft(c: &mut Criterion) {
         c.bench_function(&format!("freq_mac_{n}"), |bench| {
             let mut acc = FreqPoly::zero(n);
             bench.iter(|| acc.add_mul_assign(black_box(&fa), black_box(&fb)))
+        });
+
+        // The retired full-size path, kept as a same-machine baseline for
+        // the folded transform above.
+        let ref_plan = RefFftPlan::new(n);
+        let ra = ref_plan.forward_int(&ip);
+        let rb = ref_plan.forward_torus(&tp);
+        c.bench_function(&format!("forward_int_ref_{n}"), |bench| {
+            bench.iter(|| black_box(ref_plan.forward_int(black_box(&ip))))
+        });
+        c.bench_function(&format!("inverse_torus_ref_{n}"), |bench| {
+            let mut acc = RefFreqPoly::zero(n);
+            acc.add_mul_assign(&ra, &rb);
+            bench.iter(|| black_box(ref_plan.inverse_torus(black_box(&acc))))
+        });
+        c.bench_function(&format!("negacyclic_mul_ref_{n}"), |bench| {
+            bench.iter(|| black_box(ref_plan.negacyclic_mul(black_box(&ip), black_box(&tp))))
+        });
+        c.bench_function(&format!("freq_mac_ref_{n}"), |bench| {
+            let mut acc = RefFreqPoly::zero(n);
+            bench.iter(|| acc.add_mul_assign(black_box(&ra), black_box(&rb)))
         });
     }
 }

@@ -3,7 +3,8 @@
 //! performance number in the paper (Figure 7).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pytfhe_tfhe::{ClientKey, Params, SecureRng};
+use pytfhe_tfhe::reference::RefBootstrappingKey;
+use pytfhe_tfhe::{ClientKey, Params, SecureRng, Torus32};
 use std::hint::black_box;
 
 fn bench_gates(c: &mut Criterion) {
@@ -20,6 +21,20 @@ fn bench_gates(c: &mut Criterion) {
     });
     c.bench_function("mux_gate_testing_params", |bench| {
         bench.iter(|| black_box(server.mux_with(&a, &a, &b, &mut scratch)))
+    });
+
+    // Folded vs full-size bootstrap on the raw path: same key material,
+    // transform halved. The reference key re-encrypts the same gate key
+    // with the retired full-size FFT.
+    let bk = server.bootstrapping_key();
+    let mut boot_scratch = bk.boot_scratch();
+    let mu = Torus32::from_fraction(1, 3);
+    c.bench_function("bootstrap_raw_folded_testing_params", |bench| {
+        bench.iter(|| black_box(bk.bootstrap_raw(black_box(&a), mu, &mut boot_scratch)))
+    });
+    let ref_bk = RefBootstrappingKey::from_client(&client, &mut rng);
+    c.bench_function("bootstrap_raw_reference_testing_params", |bench| {
+        bench.iter(|| black_box(ref_bk.bootstrap_raw(black_box(&a), mu)))
     });
 
     // The paper's 128-bit setting. Key generation is expensive, so keep

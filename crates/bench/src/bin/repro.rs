@@ -4,10 +4,11 @@
 //! repro <target> [--quick]
 //!
 //! targets: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table4
-//!          ablation kernel_graph all
+//!          ablation kernel_graph fft all
 //!
 //! `kernel_graph` additionally writes machine-readable timings to
-//! `results/BENCH_kernel_graph.json`.
+//! `results/BENCH_kernel_graph.json`; `fft` writes the folded-vs-
+//! reference transform and gate timings to `results/BENCH_fft.json`.
 //! --quick: use the miniature Test/Small workload scales (fast; same
 //!          qualitative shapes). Without it the Paper scales are built,
 //!          which compiles multi-million-gate netlists and takes a few
@@ -48,6 +49,16 @@ fn main() -> ExitCode {
                     Err(e) => format!("{text}\ncould not write {path}: {e}"),
                 }
             }
+            // Real measurement of the half-complex FFT rework; full mode
+            // key-generates 128-bit material for the gate comparison.
+            "fft" => {
+                let (text, json) = figures::fft(!quick);
+                let path = "results/BENCH_fft.json";
+                match std::fs::write(path, &json) {
+                    Ok(()) => format!("{text}\nwrote {path}"),
+                    Err(e) => format!("{text}\ncould not write {path}: {e}"),
+                }
+            }
             _ => return None,
         })
     };
@@ -64,6 +75,7 @@ fn main() -> ExitCode {
         "table4",
         "ablation",
         "kernel_graph",
+        "fft",
     ];
     match target.as_str() {
         "all" => {

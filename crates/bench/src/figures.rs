@@ -569,6 +569,129 @@ pub fn kernel_graph(scale: Scale) -> (String, String) {
     (out, json)
 }
 
+/// The half-complex FFT rework measured on this machine: transform
+/// throughput (folded N/2 vs retired full-size N path) and single-gate
+/// bootstrap latency before/after. Returns the rendered report plus a
+/// machine-readable JSON document (written by `repro fft` to
+/// `results/BENCH_fft.json`).
+///
+/// With `full = true` the gate comparison runs at the 128-bit production
+/// parameters (key generation for both key flavours takes tens of
+/// seconds); otherwise everything uses the miniature testing set.
+pub fn fft(full: bool) -> (String, String) {
+    use pytfhe_tfhe::fft::FftPlan;
+    use pytfhe_tfhe::poly::{IntPoly, TorusPoly};
+    use pytfhe_tfhe::reference::{RefBootstrappingKey, RefFftPlan};
+    use pytfhe_tfhe::Torus32;
+    use std::time::Instant;
+
+    /// Best-of-`reps` wall time of `iters` runs of `f`, per run.
+    fn time_per_iter(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        best
+    }
+
+    let mut rng = SecureRng::seed_from_u64(11);
+    let n = 1024;
+    let plan = FftPlan::new(n);
+    let ref_plan = RefFftPlan::new(n);
+    let ip = IntPoly::binary(n, &mut rng);
+    let tp = TorusPoly::uniform(n, &mut rng);
+    let iters = 2000;
+    let fwd = time_per_iter(5, iters, || {
+        std::hint::black_box(plan.forward_int(std::hint::black_box(&ip)));
+    });
+    let fwd_ref = time_per_iter(5, iters, || {
+        std::hint::black_box(ref_plan.forward_int(std::hint::black_box(&ip)));
+    });
+    let mul = time_per_iter(5, iters, || {
+        std::hint::black_box(plan.negacyclic_mul(std::hint::black_box(&ip), &tp));
+    });
+    let mul_ref = time_per_iter(5, iters, || {
+        std::hint::black_box(ref_plan.negacyclic_mul(std::hint::black_box(&ip), &tp));
+    });
+
+    // Gate latency: bootstrap_raw with the folded key vs the retired
+    // full-size key, same secret material and algebra.
+    let params = if full { Params::default_128() } else { Params::testing() };
+    let client = ClientKey::generate(params, &mut rng);
+    let server = client.server_key(&mut rng);
+    let bk = server.bootstrapping_key();
+    let mut scratch = bk.boot_scratch();
+    let ref_bk = RefBootstrappingKey::from_client(&client, &mut rng);
+    let ct = client.encrypt_bit(true, &mut rng);
+    let mu = Torus32::from_fraction(1, 3);
+    let gate_iters = if full { 3 } else { 50 };
+    let gate = time_per_iter(3, gate_iters, || {
+        std::hint::black_box(bk.bootstrap_raw(std::hint::black_box(&ct), mu, &mut scratch));
+    });
+    let gate_ref = time_per_iter(3, gate_iters, || {
+        std::hint::black_box(ref_bk.bootstrap_raw(std::hint::black_box(&ct), mu));
+    });
+
+    let mut table = Table::new(&["operation", "folded (N/2)", "full-size", "speedup"]);
+    let mut row = |label: &str, after: f64, before: f64| {
+        table.row(vec![
+            label.to_string(),
+            fmt_seconds(after),
+            fmt_seconds(before),
+            format!("{:.2}x", before / after),
+        ]);
+    };
+    row(&format!("forward_int n={n}"), fwd, fwd_ref);
+    row(&format!("negacyclic_mul n={n}"), mul, mul_ref);
+    row(
+        &format!("bootstrap_raw ({})", if full { "128-bit params" } else { "testing params" }),
+        gate,
+        gate_ref,
+    );
+
+    let mut out = String::from(
+        "Half-complex negacyclic FFT — folded N/2 transform vs retired full-size path\n\n",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\ntransform speedup {:.2}x, single-gate bootstrap speedup {:.2}x on this machine\n",
+        mul_ref / mul,
+        gate_ref / gate,
+    ));
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"poly_size\": {n},\n",
+            "  \"gate_params\": \"{gp}\",\n",
+            "  \"forward_int_s\": {fwd:.9},\n",
+            "  \"forward_int_ref_s\": {fwd_ref:.9},\n",
+            "  \"negacyclic_mul_s\": {mul:.9},\n",
+            "  \"negacyclic_mul_ref_s\": {mul_ref:.9},\n",
+            "  \"bootstrap_raw_s\": {gate:.9},\n",
+            "  \"bootstrap_raw_ref_s\": {gate_ref:.9},\n",
+            "  \"transform_speedup\": {ts:.4},\n",
+            "  \"gate_speedup\": {gs:.4}\n",
+            "}}\n"
+        ),
+        n = n,
+        gp = if full { "default_128" } else { "testing" },
+        fwd = fwd,
+        fwd_ref = fwd_ref,
+        mul = mul,
+        mul_ref = mul_ref,
+        gate = gate,
+        gate_ref = gate_ref,
+        ts = mul_ref / mul,
+        gs = gate_ref / gate,
+    );
+    (out, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

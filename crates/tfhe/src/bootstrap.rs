@@ -8,12 +8,14 @@ use crate::lwe::LweKey;
 use crate::params::Params;
 use crate::poly::TorusPoly;
 use crate::rng::SecureRng;
-use crate::tgsw::{ExternalProductScratch, Gadget, TgswCiphertext, TgswFft};
+use crate::tgsw::{CmuxScratch, ExternalProductScratch, Gadget, TgswCiphertext, TgswFft};
 use crate::tlwe::{TlweCiphertext, TlweKey};
 use crate::torus::Torus32;
 
 /// The bootstrapping key: one FFT-domain TGSW encryption of each bit of the
-/// LWE gate key, under the TLWE key.
+/// LWE gate key, under the TLWE key. Every polynomial is stored folded
+/// (`N/2` half-complex points), halving the key bytes relative to the
+/// full-size layout.
 #[derive(Debug, Clone)]
 pub struct BootstrappingKey {
     tgsw: Vec<TgswFft>,
@@ -63,26 +65,27 @@ impl BootstrappingKey {
         &self.plan
     }
 
-    /// Allocates scratch buffers sized for this key.
-    pub fn scratch(&self) -> ExternalProductScratch {
-        let gadget =
-            Gadget { levels: self.params.decomp_levels, base_log: self.params.decomp_base_log };
-        ExternalProductScratch::new(self.params.poly_size, self.params.glwe_dim, gadget)
+    /// The gadget parameters of this key's decomposition.
+    fn gadget(&self) -> Gadget {
+        Gadget { levels: self.params.decomp_levels, base_log: self.params.decomp_base_log }
     }
 
-    /// Allocates the full allocation-free bootstrap scratch (external
-    /// product buffers plus accumulator/rotation/test-vector buffers) sized
-    /// for this key. One per worker thread; after construction, every
-    /// [`BootstrappingKey::bootstrap_raw_into`] call runs without touching
-    /// the allocator.
+    /// Allocates external-product scratch sized for this key (for callers
+    /// driving [`TgswFft::external_product`] directly).
+    pub fn scratch(&self) -> ExternalProductScratch {
+        ExternalProductScratch::new(self.params.poly_size, self.params.glwe_dim, self.gadget())
+    }
+
+    /// Allocates the full allocation-free bootstrap scratch (CMUX buffers
+    /// plus accumulator/test-vector buffers) sized for this key. One per
+    /// worker thread; after construction, every bootstrap and blind-rotate
+    /// call on it runs without touching the allocator (the convenience
+    /// variants allocate only their return value).
     pub fn boot_scratch(&self) -> BootstrapScratch {
         let p = &self.params;
-        let zero_tlwe = || TlweCiphertext::trivial(TorusPoly::zero(p.poly_size), p.glwe_dim);
         BootstrapScratch {
-            ep: self.scratch(),
-            acc: zero_tlwe(),
-            rot: zero_tlwe(),
-            ext: zero_tlwe(),
+            cs: CmuxScratch::new(p.poly_size, p.glwe_dim, self.gadget()),
+            acc: TlweCiphertext::trivial(TorusPoly::zero(p.poly_size), p.glwe_dim),
             tv: TorusPoly::zero(p.poly_size),
         }
     }
@@ -95,28 +98,19 @@ impl BootstrappingKey {
     /// caller extracts as an LWE sample. With the constant test vector
     /// `mu` this implements the sign function; with an arbitrary test
     /// vector it is TFHE's *programmable* bootstrapping.
+    ///
+    /// Runs entirely on `scratch` (the `n`-step CMUX loop is
+    /// allocation-free); only the returned accumulator is freshly
+    /// allocated.
     pub fn blind_rotate(
         &self,
         ct: &LweCiphertext,
         test_vector: &TorusPoly,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut BootstrapScratch,
     ) -> TlweCiphertext {
-        let n2 = 2 * self.params.poly_size;
-        let barb = ct.body().mod_switch(self.params.poly_size);
-        // acc = X^{-barb} * tv = X^{2N - barb} * tv
-        let mut acc =
-            TlweCiphertext::trivial(test_vector.mul_by_xk((n2 - barb) % n2), self.params.glwe_dim);
-        for (a_i, bk_i) in ct.mask().iter().zip(&self.tgsw) {
-            let bara = a_i.mod_switch(self.params.poly_size);
-            if bara == 0 {
-                continue;
-            }
-            // acc <- CMUX(bk_i, X^{bara} * acc, acc):
-            // if key bit = 1 rotate by bara, else keep.
-            let rotated = acc.rotate(bara);
-            acc = bk_i.cmux(&acc, &rotated, &self.plan, scratch);
-        }
-        acc
+        scratch.tv.copy_from(test_vector);
+        self.blind_rotate_noalloc(ct.mask(), ct.body(), scratch);
+        scratch.acc.clone()
     }
 
     /// Programmable bootstrapping (the paper's Section II-B: "fast
@@ -137,31 +131,28 @@ impl BootstrappingKey {
         &self,
         ct: &LweCiphertext,
         lut: &TorusPoly,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut BootstrapScratch,
     ) -> LweCiphertext {
         assert_eq!(lut.len(), self.params.poly_size, "LUT must have N entries");
-        self.blind_rotate(ct, lut, scratch).extract_lwe()
+        scratch.tv.copy_from(lut);
+        self.blind_rotate_noalloc(ct.mask(), ct.body(), scratch);
+        scratch.acc.extract_lwe()
     }
 
     /// Gate bootstrapping without the final key switch: maps any input
     /// with phase in `(0, 1/2)` to a fresh encryption of `+mu` and phase in
-    /// `(-1/2, 0)` to `-mu`, as a dimension-`k·N` LWE sample.
+    /// `(-1/2, 0)` to `-mu`, as a dimension-`k·N` LWE sample. Allocates
+    /// only the returned sample.
     pub fn bootstrap_raw(
         &self,
         ct: &LweCiphertext,
         mu: Torus32,
-        scratch: &mut ExternalProductScratch,
+        scratch: &mut BootstrapScratch,
     ) -> LweCiphertext {
-        let n = self.params.poly_size;
-        let tv = TorusPoly::fill(mu, n);
-        let rotated = self.blind_rotate(ct, &tv, scratch);
-        // The rotated constant coefficient is +mu when the phase is in the
-        // "positive" half torus and -mu otherwise... almost: the constant
-        // test vector yields +mu on [0, 1/2) of rotations; adding mu and
-        // halving amplitude is not needed in the gate-bootstrap convention
-        // used here because gate offsets place phases strictly inside
-        // (±1/8, ±3/8) bands. See `gates` for the offsets.
-        rotated.extract_lwe()
+        let ext_dim = self.params.glwe_dim * self.params.poly_size;
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, ext_dim);
+        self.bootstrap_raw_into(ct, mu, scratch, &mut out);
+        out
     }
 
     /// Allocation-free blind rotation over a raw `(mask, body)` sample,
@@ -183,18 +174,8 @@ impl BootstrappingKey {
                 continue;
             }
             // acc <- acc + bk_i ⊡ (X^{bara} * acc - acc), the CMUX.
-            self.acc_cmux_step(bk_i, bara, s);
+            bk_i.rotate_cmux_assign(&mut s.acc, bara, &self.plan, &mut s.cs);
         }
-    }
-
-    /// One CMUX step of the blind-rotation loop, entirely on scratch
-    /// buffers (split out so the borrow of `self.tgsw` in the caller's loop
-    /// stays disjoint from `s`).
-    fn acc_cmux_step(&self, bk_i: &TgswFft, bara: usize, s: &mut BootstrapScratch) {
-        s.acc.rotate_into(bara, &mut s.rot);
-        s.rot.sub_assign(&s.acc);
-        bk_i.external_product_into(&s.rot, &self.plan, &mut s.ep, &mut s.ext);
-        s.acc.add_assign(&s.ext);
     }
 
     /// Like [`BootstrappingKey::bootstrap_raw`], writing the dimension-`k·N`
@@ -227,16 +208,15 @@ impl BootstrappingKey {
     }
 }
 
-/// Reusable buffers for the allocation-free bootstrap path: the external
-/// product scratch plus the accumulator, rotation, external-product output
-/// and test-vector buffers of the blind-rotation loop. Construct once per
-/// worker with [`BootstrappingKey::boot_scratch`].
+/// Reusable buffers for the allocation-free bootstrap path: the CMUX
+/// scratch (external-product buffers plus the difference/product
+/// ciphertexts of one CMUX step) and the accumulator and test-vector
+/// buffers of the blind-rotation loop. Construct once per worker with
+/// [`BootstrappingKey::boot_scratch`].
 #[derive(Debug)]
 pub struct BootstrapScratch {
-    pub(crate) ep: ExternalProductScratch,
+    pub(crate) cs: CmuxScratch,
     acc: TlweCiphertext,
-    rot: TlweCiphertext,
-    ext: TlweCiphertext,
     tv: TorusPoly,
 }
 
@@ -247,6 +227,7 @@ pub struct BootstrapScratch {
 mod tests {
     use super::*;
     use crate::params::Params;
+    use crate::trace::thread_buffer_allocs;
 
     fn setup() -> (Params, LweKey, TlweKey, BootstrappingKey, SecureRng) {
         let params = Params::testing();
@@ -262,7 +243,7 @@ mod tests {
         let (params, lwe_key, tlwe_key, bk, mut rng) = setup();
         let extracted = tlwe_key.extracted_lwe_key();
         let mu = Torus32::from_fraction(1, 3);
-        let mut scratch = bk.scratch();
+        let mut scratch = bk.boot_scratch();
         for (message, want_sign) in [
             (Torus32::from_fraction(1, 3), 1.0),   // +1/8
             (Torus32::from_fraction(3, 3), 1.0),   // +3/8
@@ -286,7 +267,7 @@ mod tests {
         let (_params, lwe_key, tlwe_key, bk, mut rng) = setup();
         let extracted = tlwe_key.extracted_lwe_key();
         let mu = Torus32::from_fraction(1, 3);
-        let mut scratch = bk.scratch();
+        let mut scratch = bk.boot_scratch();
         // Noise of deviation 1e-2 is enormous compared to fresh noise but
         // keeps the phase inside the correct half-torus band.
         let ct = lwe_key.encrypt(Torus32::from_fraction(1, 3), 5e-3, &mut rng);
@@ -313,7 +294,7 @@ mod tests {
         for j in 0..n {
             lut.coeffs_mut()[j] = outputs[j / (n / 4)];
         }
-        let mut scratch = bk.scratch();
+        let mut scratch = bk.boot_scratch();
         for (k, &want) in outputs.iter().enumerate() {
             // Message at the centre of step k: (k + 0.5) / 8 of the torus.
             let message = Torus32::from_f64((k as f64 + 0.5) / 8.0);
@@ -329,7 +310,7 @@ mod tests {
         let (params, _lwe_key, tlwe_key, bk, mut rng) = setup();
         let n = params.poly_size;
         let tv = TorusPoly::uniform(n, &mut rng);
-        let mut scratch = bk.scratch();
+        let mut scratch = bk.boot_scratch();
         // A trivial LWE of message j/2N rotates the test vector by -j.
         for j in [0usize, 1, 5, n / 2] {
             let message = Torus32::from_f64(j as f64 / (2 * n) as f64);
@@ -341,5 +322,19 @@ mod tests {
             let want = tv.coeffs()[j];
             assert!((got - want).to_f64().abs() < 1e-3, "j={j} got {got} want {want}");
         }
+    }
+
+    #[test]
+    fn bootstrap_raw_into_is_allocation_free() {
+        let (params, lwe_key, _tlwe_key, bk, mut rng) = setup();
+        let mu = Torus32::from_fraction(1, 3);
+        let mut scratch = bk.boot_scratch();
+        let ct = lwe_key.encrypt(mu, params.lwe_noise_stdev, &mut rng);
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, params.glwe_dim * params.poly_size);
+        // Warm-up, then assert the steady state never touches the allocator.
+        bk.bootstrap_raw_into(&ct, mu, &mut scratch, &mut out);
+        let before = thread_buffer_allocs();
+        bk.bootstrap_raw_into(&ct, mu, &mut scratch, &mut out);
+        assert_eq!(thread_buffer_allocs() - before, 0);
     }
 }

@@ -1,116 +1,168 @@
-//! Fast negacyclic polynomial multiplication via the twisted FFT.
+//! Fast negacyclic polynomial multiplication via the folded ("Lagrange
+//! half-complex") twisted FFT.
 //!
 //! TFHE's hot loop — the external products inside blind rotation —
 //! multiplies small-integer polynomials by torus polynomials in
-//! `T[X]/(X^N + 1)`. The classic trick: twisting coefficient `j` by
-//! `ζ^j` with `ζ = e^{iπ/N}` turns negacyclic convolution into cyclic
-//! convolution (since `ζ^N = -1`), which a size-`N` complex FFT computes in
-//! `O(N log N)`.
+//! `T[X]/(X^N + 1)`. The negacyclic DFT evaluates a polynomial at the `N`
+//! odd roots of unity `e^{iπ(2t+1)/N}`; because the inputs are *real*,
+//! the values at conjugate root pairs are conjugates of each other, so
+//! only `N/2` of them carry information. Folding coefficient pairs
+//! `(p[j], p[j + N/2])` into one complex input
 //!
-//! Products of decomposed digits (`|d| ≤ Bg/2 = 64`) with torus values
-//! (`< 2^31`) accumulated over `N = 1024` taps stay below `2^47`,
-//! comfortably inside an `f64` mantissa; the sub-unit rounding error folds
-//! into the scheme's noise budget exactly as in the reference TFHE library.
+//! ```text
+//! c[j] = (p[j] + i·p[j + N/2]) · e^{iπj/N},      j < N/2
+//! ```
+//!
+//! and running an `N/2`-point FFT with `e^{+2πi/M}` twiddles yields
+//! exactly the evaluations `p(ζ_k)` at `ζ_k = e^{iπ(1 + 4k)/N}` — one
+//! representative from each conjugate pair (the angles `1 + 4k` are the
+//! odd residues `≡ 1 (mod 4)`, whose negations are `≡ 3 (mod 4)`).
+//! Pointwise products of these `N/2` values therefore realise negacyclic
+//! convolution with *half* the transform work and half the storage of
+//! the classic full-size complex FFT, which is why the TFHE library (and
+//! every accelerator since — MATCHA batches exactly these transforms)
+//! stores its bootstrapping key in this form.
+//!
+//! [`FreqPoly`] keeps the `N/2` points as split `re`/`im` arrays
+//! (structure-of-arrays), so the external-product multiply-accumulate
+//! compiles to straight-line FMA-friendly loops over four flat `f64`
+//! slices instead of an array-of-structs gather.
+//!
+//! Precision: products of decomposed digits (`|d| ≤ Bg/2 = 64`) with
+//! torus values (`< 2^31`) accumulated over `N = 1024` taps stay below
+//! `2^47`, comfortably inside an `f64` mantissa even after the
+//! `(k+1)·l`-row accumulation of the external product; the sub-unit
+//! rounding error folds into the scheme's noise budget exactly as in the
+//! reference TFHE library. Folding does not change the magnitudes — the
+//! `N/2` stored values are the *same* evaluations the full-size
+//! transform produced — and removes one butterfly stage, so the folded
+//! path is never less accurate than the full-size one it replaced (kept
+//! as an oracle in [`crate::reference`]).
 
 use crate::poly::{IntPoly, TorusPoly};
 use crate::torus::Torus32;
 use crate::trace::note_buffer_alloc;
 
-/// A complex number; minimal on purpose (only what the FFT needs).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct Complex {
-    /// Real part.
-    pub re: f64,
-    /// Imaginary part.
-    pub im: f64,
-}
-
-impl Complex {
-    #[inline]
-    fn mul(self, other: Complex) -> Complex {
-        Complex {
-            re: self.re * other.re - self.im * other.im,
-            im: self.re * other.im + self.im * other.re,
-        }
-    }
-
-    #[inline]
-    fn add(self, other: Complex) -> Complex {
-        Complex { re: self.re + other.re, im: self.im + other.im }
-    }
-
-    #[inline]
-    fn sub(self, other: Complex) -> Complex {
-        Complex { re: self.re - other.re, im: self.im - other.im }
-    }
-
-    #[inline]
-    fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
-    }
-}
-
-/// A polynomial in the twisted frequency domain ("Lagrange representation"
-/// in TFHE-library terminology). Pointwise products here correspond to
-/// negacyclic products in the coefficient domain.
-#[derive(Debug, Clone, PartialEq)]
+/// A real negacyclic polynomial in the folded twisted frequency domain
+/// ("Lagrange half-complex" in TFHE-library terminology): `N/2` complex
+/// points stored as split `re`/`im` arrays. Pointwise products here
+/// correspond to negacyclic products in the coefficient domain.
+#[derive(Debug, PartialEq)]
 pub struct FreqPoly {
-    values: Vec<Complex>,
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+/// `Clone` is implemented manually so every fresh pair of buffers is
+/// visible to the allocation accounting in [`crate::trace`] — the derived
+/// impl would allocate behind the counter's back. `clone_from` reuses the
+/// destination's buffers and stays alloc-free for same-size sources.
+impl Clone for FreqPoly {
+    fn clone(&self) -> Self {
+        note_buffer_alloc();
+        FreqPoly { re: self.re.clone(), im: self.im.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.re.clone_from(&source.re);
+        self.im.clone_from(&source.im);
+    }
 }
 
 impl FreqPoly {
-    /// The zero polynomial for transform size `n`.
+    /// The zero frequency-domain polynomial for *polynomial* degree bound
+    /// `n` (a power of two, at least 2): holds exactly `n/2` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is odd or smaller than 2.
     pub fn zero(n: usize) -> Self {
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "FreqPoly is sized for even polynomial lengths >= 2"
+        );
         note_buffer_alloc();
-        FreqPoly { values: vec![Complex::default(); n] }
+        FreqPoly { re: vec![0.0; n / 2], im: vec![0.0; n / 2] }
     }
 
-    /// Transform size.
-    pub fn len(&self) -> usize {
-        self.values.len()
+    /// Number of stored frequency points (`N/2`).
+    #[inline]
+    pub fn points(&self) -> usize {
+        self.re.len()
+    }
+
+    /// Degree bound `N` of the coefficient-domain polynomial
+    /// (`2 * points`).
+    #[inline]
+    pub fn poly_len(&self) -> usize {
+        2 * self.re.len()
     }
 
     /// Whether the container is empty.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.re.is_empty()
     }
 
-    /// Raw frequency values (crate-internal, for serialization).
-    pub(crate) fn values_raw(&self) -> &[Complex] {
-        &self.values
+    /// Raw real parts (crate-internal, for serialization).
+    pub(crate) fn re_raw(&self) -> &[f64] {
+        &self.re
     }
 
-    /// Rebuilds from raw values (crate-internal, for deserialization).
-    pub(crate) fn from_values(values: Vec<Complex>) -> Self {
+    /// Raw imaginary parts (crate-internal, for serialization).
+    pub(crate) fn im_raw(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// Rebuilds from split raw arrays (crate-internal, for
+    /// deserialization). The arrays must have equal length.
+    pub(crate) fn from_split(re: Vec<f64>, im: Vec<f64>) -> Self {
+        debug_assert_eq!(re.len(), im.len());
         note_buffer_alloc();
-        FreqPoly { values }
+        FreqPoly { re, im }
     }
 
     /// Resets to zero without reallocating.
     pub fn clear(&mut self) {
-        self.values.fill(Complex::default());
+        self.re.fill(0.0);
+        self.im.fill(0.0);
     }
 
     /// `self += a * b` pointwise — the multiply-accumulate at the heart of
-    /// the external product.
+    /// the external product. Written over four flat slices so the
+    /// autovectorizer can unroll it into FMA lanes.
     pub fn add_mul_assign(&mut self, a: &FreqPoly, b: &FreqPoly) {
-        debug_assert_eq!(self.len(), a.len());
-        debug_assert_eq!(self.len(), b.len());
-        for ((s, &x), &y) in self.values.iter_mut().zip(&a.values).zip(&b.values) {
-            *s = s.add(x.mul(y));
+        let m = self.re.len();
+        debug_assert_eq!(m, a.re.len());
+        debug_assert_eq!(m, b.re.len());
+        let (sr, si) = (&mut self.re[..m], &mut self.im[..m]);
+        let (ar, ai) = (&a.re[..m], &a.im[..m]);
+        let (br, bi) = (&b.re[..m], &b.im[..m]);
+        for j in 0..m {
+            sr[j] += ar[j] * br[j] - ai[j] * bi[j];
+            si[j] += ar[j] * bi[j] + ai[j] * br[j];
         }
     }
 }
 
-/// Precomputed tables for transforms of one size `N`.
+/// Precomputed tables for folded transforms of one polynomial size `N`
+/// (transform size `M = N/2`).
 #[derive(Debug, Clone)]
 pub struct FftPlan {
+    /// Polynomial degree bound `N`.
     n: usize,
-    /// `roots[k] = e^{-2πik/N}` for `k < N/2` (forward twiddles).
-    roots: Vec<Complex>,
-    /// `twist[j] = e^{iπj/N}`.
-    twist: Vec<Complex>,
-    /// Bit-reversal permutation.
+    /// Transform size `M = N/2`.
+    m: usize,
+    /// Forward twiddles `e^{+2πik/M}` for `k < M/2` (split re/im).
+    fwd_re: Vec<f64>,
+    fwd_im: Vec<f64>,
+    /// Inverse twiddles `e^{-2πik/M}` for `k < M/2`, precomputed so the
+    /// butterfly loop never branches on direction.
+    inv_re: Vec<f64>,
+    inv_im: Vec<f64>,
+    /// Twist `e^{iπj/N}` for `j < M` (split re/im).
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+    /// Bit-reversal permutation of size `M`.
     rev: Vec<u32>,
 }
 
@@ -123,26 +175,40 @@ impl FftPlan {
     /// Panics if `n` is not a power of two or is smaller than 2.
     pub fn new(n: usize) -> Self {
         assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two >= 2");
-        let roots = (0..n / 2)
-            .map(|k| {
-                let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
-                Complex { re: theta.cos(), im: theta.sin() }
-            })
+        let m = n / 2;
+        let mut fwd_re = Vec::with_capacity(m / 2);
+        let mut fwd_im = Vec::with_capacity(m / 2);
+        let mut inv_re = Vec::with_capacity(m / 2);
+        let mut inv_im = Vec::with_capacity(m / 2);
+        for k in 0..m / 2 {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / m as f64;
+            fwd_re.push(theta.cos());
+            fwd_im.push(theta.sin());
+            inv_re.push(theta.cos());
+            inv_im.push(-theta.sin());
+        }
+        let mut tw_re = Vec::with_capacity(m);
+        let mut tw_im = Vec::with_capacity(m);
+        for j in 0..m {
+            let theta = std::f64::consts::PI * j as f64 / n as f64;
+            tw_re.push(theta.cos());
+            tw_im.push(theta.sin());
+        }
+        let bits = m.trailing_zeros();
+        let rev = (0..m as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
             .collect();
-        let twist = (0..n)
-            .map(|j| {
-                let theta = std::f64::consts::PI * j as f64 / n as f64;
-                Complex { re: theta.cos(), im: theta.sin() }
-            })
-            .collect();
-        let bits = n.trailing_zeros();
-        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
-        FftPlan { n, roots, twist, rev }
+        FftPlan { n, m, fwd_re, fwd_im, inv_re, inv_im, tw_re, tw_im, rev }
     }
 
-    /// Transform size.
+    /// Polynomial degree bound `N`.
     pub fn len(&self) -> usize {
         self.n
+    }
+
+    /// Folded transform size `M = N/2`.
+    pub fn points(&self) -> usize {
+        self.m
     }
 
     /// Whether the plan is empty (never true; present for API symmetry).
@@ -150,31 +216,38 @@ impl FftPlan {
         false
     }
 
-    /// In-place iterative radix-2 DIT FFT. `inverse` conjugates the
-    /// twiddles (scaling is applied by the caller).
-    fn fft_in_place(&self, buf: &mut [Complex], inverse: bool) {
-        let n = self.n;
-        debug_assert_eq!(buf.len(), n);
-        for i in 0..n {
+    /// In-place iterative radix-2 DIT FFT over split re/im buffers with
+    /// the given twiddle table (forward or inverse — both precomputed, so
+    /// there is no per-butterfly direction branch).
+    fn fft_split(&self, re: &mut [f64], im: &mut [f64], w_re: &[f64], w_im: &[f64]) {
+        let m = self.m;
+        debug_assert_eq!(re.len(), m);
+        debug_assert_eq!(im.len(), m);
+        for i in 0..m {
             let j = self.rev[i] as usize;
             if i < j {
-                buf.swap(i, j);
+                re.swap(i, j);
+                im.swap(i, j);
             }
         }
         let mut len = 2;
-        while len <= n {
-            let step = n / len;
+        while len <= m {
+            let step = m / len;
             let half = len / 2;
-            for start in (0..n).step_by(len) {
+            for start in (0..m).step_by(len) {
                 for j in 0..half {
-                    let mut w = self.roots[j * step];
-                    if inverse {
-                        w = w.conj();
-                    }
-                    let u = buf[start + j];
-                    let v = buf[start + j + half].mul(w);
-                    buf[start + j] = u.add(v);
-                    buf[start + j + half] = u.sub(v);
+                    let wr = w_re[j * step];
+                    let wi = w_im[j * step];
+                    let ur = re[start + j];
+                    let ui = im[start + j];
+                    let xr = re[start + j + half];
+                    let xi = im[start + j + half];
+                    let vr = xr * wr - xi * wi;
+                    let vi = xr * wi + xi * wr;
+                    re[start + j] = ur + vr;
+                    im[start + j] = ui + vi;
+                    re[start + j + half] = ur - vr;
+                    im[start + j + half] = ui - vi;
                 }
             }
             len <<= 1;
@@ -182,79 +255,82 @@ impl FftPlan {
     }
 
     /// Forward transform of a torus polynomial (coefficients lifted to
-    /// signed integers).
+    /// signed integers), allocating the output.
     pub fn forward_torus(&self, p: &TorusPoly) -> FreqPoly {
-        debug_assert_eq!(p.len(), self.n);
-        note_buffer_alloc();
-        let mut buf: Vec<Complex> = p
-            .coeffs()
-            .iter()
-            .zip(&self.twist)
-            .map(|(&c, &t)| {
-                let x = c.as_i32() as f64;
-                Complex { re: x * t.re, im: x * t.im }
-            })
-            .collect();
-        self.fft_in_place(&mut buf, false);
-        FreqPoly { values: buf }
+        let mut out = FreqPoly::zero(self.n);
+        self.forward_torus_into(p, &mut out);
+        out
     }
 
-    /// Forward transform of an integer polynomial.
+    /// Like [`FftPlan::forward_torus`] but reuses `out`'s buffers.
+    pub fn forward_torus_into(&self, p: &TorusPoly, out: &mut FreqPoly) {
+        debug_assert_eq!(p.len(), self.n);
+        debug_assert_eq!(out.points(), self.m);
+        let c = p.coeffs();
+        let FreqPoly { re, im } = out;
+        for j in 0..self.m {
+            let lo = c[j].as_i32() as f64;
+            let hi = c[j + self.m].as_i32() as f64;
+            // (lo + i·hi) · twist[j]
+            re[j] = lo * self.tw_re[j] - hi * self.tw_im[j];
+            im[j] = lo * self.tw_im[j] + hi * self.tw_re[j];
+        }
+        self.fft_split(re, im, &self.fwd_re, &self.fwd_im);
+    }
+
+    /// Forward transform of an integer polynomial, allocating the output.
     pub fn forward_int(&self, p: &IntPoly) -> FreqPoly {
-        debug_assert_eq!(p.len(), self.n);
-        note_buffer_alloc();
-        let mut buf: Vec<Complex> = p
-            .coeffs()
-            .iter()
-            .zip(&self.twist)
-            .map(|(&c, &t)| {
-                let x = c as f64;
-                Complex { re: x * t.re, im: x * t.im }
-            })
-            .collect();
-        self.fft_in_place(&mut buf, false);
-        FreqPoly { values: buf }
+        let mut out = FreqPoly::zero(self.n);
+        self.forward_int_into(p, &mut out);
+        out
     }
 
-    /// Like [`FftPlan::forward_int`] but reuses `out`'s allocation.
+    /// Like [`FftPlan::forward_int`] but reuses `out`'s buffers — the
+    /// per-digit transform of the external product's hot loop.
     pub fn forward_int_into(&self, p: &IntPoly, out: &mut FreqPoly) {
         debug_assert_eq!(p.len(), self.n);
-        out.values.clear();
-        out.values.extend(p.coeffs().iter().zip(&self.twist).map(|(&c, &t)| {
-            let x = c as f64;
-            Complex { re: x * t.re, im: x * t.im }
-        }));
-        self.fft_in_place(&mut out.values, false);
+        debug_assert_eq!(out.points(), self.m);
+        let c = p.coeffs();
+        let FreqPoly { re, im } = out;
+        for j in 0..self.m {
+            let lo = c[j] as f64;
+            let hi = c[j + self.m] as f64;
+            re[j] = lo * self.tw_re[j] - hi * self.tw_im[j];
+            im[j] = lo * self.tw_im[j] + hi * self.tw_re[j];
+        }
+        self.fft_split(re, im, &self.fwd_re, &self.fwd_im);
     }
 
-    /// Inverse transform, rounding back to torus coefficients.
+    /// Inverse transform, rounding back to torus coefficients. Allocates
+    /// a working copy (counted); the hot path uses
+    /// [`FftPlan::inverse_torus_destructive`] on scratch instead.
     pub fn inverse_torus(&self, f: &FreqPoly) -> TorusPoly {
-        let mut p = TorusPoly::zero(self.n);
-        self.inverse_torus_into(f, &mut p);
-        p
+        let mut tmp = f.clone();
+        let mut out = TorusPoly::zero(self.n);
+        self.inverse_torus_destructive(&mut tmp, &mut out);
+        out
     }
 
-    /// Like [`FftPlan::inverse_torus`] but writes into `out`.
-    pub fn inverse_torus_into(&self, f: &FreqPoly, out: &mut TorusPoly) {
-        debug_assert_eq!(f.len(), self.n);
-        let mut buf = f.clone();
-        self.inverse_torus_destructive(&mut buf, out);
-    }
-
-    /// Like [`FftPlan::inverse_torus_into`] but consumes `f`'s contents
-    /// (the inverse transform runs in `f`'s own buffer), making the call
-    /// allocation-free. `f` holds garbage afterwards.
+    /// Inverse transform consuming `f`'s contents (the inverse FFT runs in
+    /// `f`'s own buffers), writing rounded torus coefficients into `out`.
+    /// Allocation-free; `f` holds garbage afterwards.
     pub fn inverse_torus_destructive(&self, f: &mut FreqPoly, out: &mut TorusPoly) {
-        debug_assert_eq!(f.len(), self.n);
+        debug_assert_eq!(f.points(), self.m);
         debug_assert_eq!(out.len(), self.n);
-        self.fft_in_place(&mut f.values, true);
-        let scale = 1.0 / self.n as f64;
-        for ((o, &c), &t) in out.coeffs_mut().iter_mut().zip(&f.values).zip(&self.twist) {
-            // Untwist: multiply by conj(twist), keep the real part.
-            let re = (c.re * t.re + c.im * t.im) * scale;
+        self.fft_split(&mut f.re, &mut f.im, &self.inv_re, &self.inv_im);
+        let scale = 1.0 / self.m as f64;
+        let oc = out.coeffs_mut();
+        for j in 0..self.m {
+            // Unscale, untwist (multiply by conj(twist)), and unfold: the
+            // real part is coefficient j, the imaginary part j + N/2.
+            let cr = f.re[j] * scale;
+            let ci = f.im[j] * scale;
+            let dr = cr * self.tw_re[j] + ci * self.tw_im[j];
+            let di = ci * self.tw_re[j] - cr * self.tw_im[j];
             // Round to the nearest torus element; arithmetic is exact mod
-            // 2^32 because |re| < 2^52.
-            *o = Torus32((re.round_ties_even() as i64) as u32);
+            // 2^32 because |d| < 2^52.
+            oc[j] = Torus32((dr.round_ties_even() as i64) as u32);
+            oc[j + self.m] = Torus32((di.round_ties_even() as i64) as u32);
         }
     }
 
@@ -274,7 +350,9 @@ impl FftPlan {
 mod tests {
     use super::*;
     use crate::poly::naive_negacyclic_mul;
+    use crate::reference::RefFftPlan;
     use crate::rng::SecureRng;
+    use crate::trace::thread_buffer_allocs;
 
     #[test]
     fn fft_matches_naive_small() {
@@ -300,6 +378,99 @@ mod tests {
             IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 128) as i32 - 64).collect());
         let b = TorusPoly::uniform(n, &mut rng);
         assert_eq!(plan.negacyclic_mul(&a, &b), naive_negacyclic_mul(&a, &b));
+    }
+
+    #[test]
+    fn folded_matches_full_size_reference() {
+        // The retired full-size complex FFT is kept in `reference` purely
+        // as this cross-check oracle: both paths must agree coefficient
+        // for coefficient on every supported size.
+        let mut rng = SecureRng::seed_from_u64(14);
+        for n in [2usize, 4, 16, 64, 256, 1024] {
+            let folded = FftPlan::new(n);
+            let full = RefFftPlan::new(n);
+            for _ in 0..3 {
+                let a = IntPoly::from_coeffs(
+                    (0..n).map(|_| (rng.uniform_u32() % 128) as i32 - 64).collect(),
+                );
+                let b = TorusPoly::uniform(n, &mut rng);
+                assert_eq!(folded.negacyclic_mul(&a, &b), full.negacyclic_mul(&a, &b), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn folded_points_match_reference_spectrum() {
+        // Folded slot k holds p(e^{iπ(1+4k)/N}); the full-size transform's
+        // slot k' holds p(e^{iπ(1-2k')/N}). Angles match at k' = -2k mod N,
+        // pinning down the exact evaluation points of the representation.
+        let mut rng = SecureRng::seed_from_u64(15);
+        let n = 64;
+        let folded = FftPlan::new(n);
+        let full = RefFftPlan::new(n);
+        let p =
+            IntPoly::from_coeffs((0..n).map(|_| (rng.uniform_u32() % 64) as i32 - 32).collect());
+        let hc = folded.forward_int(&p);
+        let fc = full.forward_int_values(&p);
+        for k in 0..n / 2 {
+            let kp = (n - 2 * k) % n;
+            assert!(
+                (hc.re_raw()[k] - fc[kp].re).abs() < 1e-6
+                    && (hc.im_raw()[k] - fc[kp].im).abs() < 1e-6,
+                "k={k}: folded ({}, {}) vs reference ({}, {})",
+                hc.re_raw()[k],
+                hc.im_raw()[k],
+                fc[kp].re,
+                fc[kp].im,
+            );
+        }
+    }
+
+    #[test]
+    fn forward_inverse_round_trip_is_exact() {
+        // Transform values are bounded by N·2^31 < 2^41, so the relative
+        // f64 error leaves every coefficient within far less than half a
+        // torus quantum of its original value: the round trip is exact.
+        let mut rng = SecureRng::seed_from_u64(16);
+        for n in [2usize, 8, 128, 1024] {
+            let plan = FftPlan::new(n);
+            let p = TorusPoly::uniform(n, &mut rng);
+            assert_eq!(plan.inverse_torus(&plan.forward_torus(&p)), p, "n={n}");
+        }
+    }
+
+    #[test]
+    fn freq_poly_holds_half_the_points() {
+        let plan = FftPlan::new(1024);
+        assert_eq!(plan.points(), 512);
+        let f = FreqPoly::zero(1024);
+        assert_eq!(f.points(), 512);
+        assert_eq!(f.poly_len(), 1024);
+    }
+
+    #[test]
+    fn clone_is_counted_and_clone_from_is_free() {
+        let f = FreqPoly::zero(64);
+        let before = thread_buffer_allocs();
+        let mut g = f.clone();
+        assert_eq!(thread_buffer_allocs() - before, 1, "clone must be visible to accounting");
+        let before = thread_buffer_allocs();
+        g.clone_from(&f);
+        assert_eq!(thread_buffer_allocs() - before, 0, "clone_from must reuse buffers");
+    }
+
+    #[test]
+    fn inverse_torus_destructive_does_not_allocate() {
+        let mut rng = SecureRng::seed_from_u64(17);
+        let n = 128;
+        let plan = FftPlan::new(n);
+        let p = TorusPoly::uniform(n, &mut rng);
+        let mut f = plan.forward_torus(&p);
+        let mut out = TorusPoly::zero(n);
+        let before = thread_buffer_allocs();
+        plan.inverse_torus_destructive(&mut f, &mut out);
+        assert_eq!(thread_buffer_allocs() - before, 0);
+        assert_eq!(out, p);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::bootstrap::BootstrappingKey;
 use crate::error::TfheError;
-use crate::fft::{Complex, FreqPoly};
+use crate::fft::FreqPoly;
 use crate::keys::{ClientKey, ServerKey};
 use crate::keyswitch::KeySwitchKey;
 use crate::lwe::{LweCiphertext, LweKey};
@@ -21,7 +21,12 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const CT_MAGIC: u32 = 0x5446_4301; // "TFC\x01"
 const CK_MAGIC: u32 = 0x5446_4B01; // "TFK\x01"
-const SK_MAGIC: u32 = 0x5446_5301; // "TFS\x01"
+/// Server-key format v2: half-complex bootstrapping key, stored as split
+/// re/im arrays of N/2 points per polynomial (half the bytes of v1).
+const SK_MAGIC: u32 = 0x5446_5302; // "TFS\x02"
+/// The retired v1 tag (full-size interleaved complex spectra). Recognised
+/// only to produce a precise rejection.
+const SK_MAGIC_V1: u32 = 0x5446_5301; // "TFS\x01"
 
 /// Serializes one LWE ciphertext.
 pub fn ciphertext_to_bytes(ct: &LweCiphertext, params: &Params) -> Bytes {
@@ -131,10 +136,14 @@ pub fn server_key_to_bytes(key: &ServerKey) -> Bytes {
         for row in rows {
             buf.put_u32_le(row.len() as u32);
             for poly in row {
-                buf.put_u32_le(poly.len() as u32);
-                for c in poly.values_raw() {
-                    buf.put_f64_le(c.re);
-                    buf.put_f64_le(c.im);
+                // Split layout: point count, then all N/2 real parts, then
+                // all N/2 imaginary parts (matching the in-memory SoA form).
+                buf.put_u32_le(poly.points() as u32);
+                for &re in poly.re_raw() {
+                    buf.put_f64_le(re);
+                }
+                for &im in poly.im_raw() {
+                    buf.put_f64_le(im);
                 }
             }
         }
@@ -163,8 +172,14 @@ pub fn server_key_to_bytes(key: &ServerKey) -> Bytes {
 /// [`ciphertext_from_bytes`].
 pub fn server_key_from_bytes(mut data: &[u8]) -> Result<ServerKey, TfheError> {
     let corrupt = TfheError::Corrupt { what: "server key" };
-    if data.remaining() < 12 || data.get_u32_le() != SK_MAGIC {
+    if data.remaining() < 12 {
         return Err(corrupt.clone());
+    }
+    match data.get_u32_le() {
+        SK_MAGIC => {}
+        // The v1 full-size layout is gone; keys must be re-exported.
+        SK_MAGIC_V1 => return Err(TfheError::Corrupt { what: "server key (obsolete v1 format)" }),
+        _ => return Err(corrupt.clone()),
     }
     let params = Params::from_id(data.get_u32_le()).ok_or(TfheError::UnknownParams)?;
     let gadget = Gadget { levels: params.decomp_levels, base_log: params.decomp_base_log };
@@ -186,14 +201,13 @@ pub fn server_key_from_bytes(mut data: &[u8]) -> Result<ServerKey, TfheError> {
                 if data.remaining() < 4 {
                     return Err(corrupt.clone());
                 }
-                let len = data.get_u32_le() as usize;
-                if data.remaining() < len * 16 {
+                let points = data.get_u32_le() as usize;
+                if data.remaining() < points * 16 {
                     return Err(corrupt.clone());
                 }
-                let values = (0..len)
-                    .map(|_| Complex { re: data.get_f64_le(), im: data.get_f64_le() })
-                    .collect();
-                row.push(FreqPoly::from_values(values));
+                let re: Vec<f64> = (0..points).map(|_| data.get_f64_le()).collect();
+                let im: Vec<f64> = (0..points).map(|_| data.get_f64_le()).collect();
+                row.push(FreqPoly::from_split(re, im));
             }
             rows.push(row);
         }
@@ -292,7 +306,47 @@ mod tests {
         let bytes = server_key_to_bytes(&server);
         assert!(server_key_from_bytes(&bytes[..100]).is_err());
         let mut bad = bytes.to_vec();
-        bad[0] ^= 0x1;
+        bad[0] ^= 0x10;
         assert!(server_key_from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn server_key_rejects_obsolete_v1_version_byte() {
+        let mut rng = SecureRng::seed_from_u64(95);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let mut bytes = server_key_to_bytes(&server).to_vec();
+        // Rewrite the little-endian magic to the retired v1 tag; the body
+        // that follows is a valid v2 payload, which v1 readers would have
+        // misparsed — so the version byte alone must cause rejection.
+        bytes[..4].copy_from_slice(&super::SK_MAGIC_V1.to_le_bytes());
+        let err = server_key_from_bytes(&bytes).unwrap_err();
+        assert_eq!(err, TfheError::Corrupt { what: "server key (obsolete v1 format)" });
+    }
+
+    #[test]
+    fn server_key_stores_half_size_spectra() {
+        let mut rng = SecureRng::seed_from_u64(96);
+        let params = Params::testing();
+        let client = ClientKey::generate(params, &mut rng);
+        let server = client.server_key(&mut rng);
+        // Every stored spectrum is folded: exactly N/2 points.
+        let mut expected = 12usize; // SK magic + params id + tgsw count
+        for t in server.bootstrapping_key().tgsw_raw() {
+            expected += 4;
+            for row in t.rows_raw() {
+                expected += 4;
+                for poly in row {
+                    assert_eq!(poly.points(), params.poly_size / 2);
+                    expected += 4 + poly.points() * 16;
+                }
+            }
+        }
+        let ks = server.keyswitch_key();
+        expected += 20 + ks.num_samples() * (ks.dst_dim() + 1) * 4;
+        let bytes = server_key_to_bytes(&server);
+        // Exact wire size: half the v1 spectra footprint (v1 stored N
+        // interleaved complex points per polynomial).
+        assert_eq!(bytes.len(), expected);
     }
 }

@@ -55,6 +55,7 @@ pub mod lwe;
 pub mod noise;
 pub mod params;
 pub mod poly;
+pub mod reference;
 mod rng;
 pub mod tgsw;
 pub mod tlwe;

@@ -73,7 +73,7 @@ impl ServerKey {
         assert_eq!(table.len(), m_count, "table must have 2^p entries");
         assert!(table.iter().all(|&v| v < m_count as u32), "table entry out of range");
         let lut = build_test_vector(self.bootstrapping_key(), table, precision_bits);
-        let mut scratch = self.bootstrapping_key().scratch();
+        let mut scratch = self.bootstrapping_key().boot_scratch();
         let raw = self.bootstrapping_key().programmable_bootstrap(ct, &lut, &mut scratch);
         self.keyswitch_key().switch(&raw)
     }

@@ -26,8 +26,10 @@ pub(crate) fn note_buffer_alloc() {
 ///
 /// Take the value before and after a hot section and subtract: a
 /// difference of zero proves the section ran entirely on preallocated
-/// scratch. `Clone` is intentionally not instrumented — the hot paths
-/// use `clone_from`, which reuses the destination's buffers.
+/// scratch. The hot frequency-domain type `FreqPoly` implements `Clone`
+/// by hand so that cloning counts like any other constructor — a stray
+/// clone on a hot path shows up as a non-zero delta — while `clone_from`
+/// reuses the destination's buffers and stays free.
 pub fn thread_buffer_allocs() -> u64 {
     BUFFER_ALLOCS.with(Cell::get)
 }

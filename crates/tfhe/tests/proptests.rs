@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use pytfhe_tfhe::fft::FftPlan;
 use pytfhe_tfhe::poly::{naive_negacyclic_mul, IntPoly, TorusPoly};
+use pytfhe_tfhe::reference::RefFftPlan;
 use pytfhe_tfhe::tgsw::Gadget;
 use pytfhe_tfhe::torus::Torus32;
 use pytfhe_tfhe::{ClientKey, Params, SecureRng};
@@ -84,6 +85,50 @@ proptest! {
         let lhs = p.mul_by_xk(i).mul_by_xk(j);
         let rhs = p.mul_by_xk((i + j) % 64);
         prop_assert_eq!(lhs, rhs);
+    }
+
+    /// The folded half-complex FFT equals schoolbook negacyclic
+    /// convolution at every supported size, including the production
+    /// N=1024 ring.
+    #[test]
+    fn folded_fft_equals_schoolbook_all_sizes(
+        seed in any::<u64>(),
+        size_idx in 0usize..5,
+    ) {
+        let n = [2usize, 16, 128, 512, 1024][size_idx];
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let plan = FftPlan::new(n);
+        let ip = IntPoly::from_coeffs(
+            (0..n).map(|_| (rng.uniform_u32() % 129) as i32 - 64).collect(),
+        );
+        let tp = TorusPoly::uniform(n, &mut rng);
+        prop_assert_eq!(plan.negacyclic_mul(&ip, &tp), naive_negacyclic_mul(&ip, &tp));
+    }
+
+    /// The folded plan agrees with the retired full-size oracle.
+    #[test]
+    fn folded_fft_matches_full_size_reference(
+        a in prop::collection::vec(-512i32..512, 256),
+        b in prop::collection::vec(any::<u32>(), 256),
+    ) {
+        let plan = FftPlan::new(256);
+        let oracle = RefFftPlan::new(256);
+        let ip = IntPoly::from_coeffs(a);
+        let tp = TorusPoly::from_coeffs(b.into_iter().map(Torus32).collect());
+        prop_assert_eq!(plan.negacyclic_mul(&ip, &tp), oracle.negacyclic_mul(&ip, &tp));
+    }
+
+    /// forward_torus ∘ inverse_torus is exact: torus coefficients are
+    /// ≤ 2^31 in magnitude, so the N/2-point accumulation stays far below
+    /// the 2^53 mantissa limit and rounding recovers every coefficient.
+    #[test]
+    fn fft_forward_inverse_round_trip(
+        coeffs in prop::collection::vec(any::<u32>(), 1024),
+    ) {
+        let plan = FftPlan::new(1024);
+        let p = TorusPoly::from_coeffs(coeffs.into_iter().map(Torus32).collect());
+        let f = plan.forward_torus(&p);
+        prop_assert_eq!(plan.inverse_torus(&f), p);
     }
 
     /// Random gate chains evaluate correctly under encryption.

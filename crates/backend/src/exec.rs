@@ -50,6 +50,9 @@ pub struct ExecStats {
     /// Kernel launches per gate kind, indexed by
     /// [`pytfhe_netlist::GateKind::opcode`].
     pub kernels_by_kind: [u64; 16],
+    /// Name of the SIMD kernel path the TFHE layer dispatched to
+    /// (`"scalar"`, `"avx2"`, or `"neon"`; see `pytfhe_tfhe::simd`).
+    pub simd_path: &'static str,
 }
 
 impl ExecStats {
@@ -69,9 +72,16 @@ impl ExecStats {
             batches: 0,
             kernel_launches: 0,
             kernels_by_kind: [0; 16],
+            simd_path: pytfhe_tfhe::simd::active_path().name(),
         }
     }
 }
+
+/// Smallest wave size worth a thread-scope spawn: below this, the
+/// per-wave spawn/join overhead dominates the gate work itself (most
+/// circuits have long tails of 2–3-gate waves), so those waves run
+/// inline on the caller's thread.
+pub const PARALLEL_WAVE_MIN: usize = 4;
 
 /// Runs `nl` on `inputs` with a single thread, in node order (valid
 /// because netlists are topologically ordered by construction).
@@ -145,8 +155,8 @@ pub fn execute_parallel<E: GateEngine>(
             continue;
         }
         waves_run += 1;
-        if wave.len() == 1 || workers == 1 {
-            // Serial fast path: no thread spawn for degenerate waves.
+        if wave.len() < PARALLEL_WAVE_MIN || workers == 1 {
+            // Serial fast path: no thread spawn for narrow waves.
             let mut scratch = engine.scratch();
             for &g in wave {
                 let Node::Gate { kind, a, b } = nodes[g as usize] else { unreachable!() };
@@ -530,6 +540,73 @@ mod tests {
                 assert!(stats.waves > 0);
             }
         }
+    }
+
+    #[test]
+    fn narrow_waves_skip_the_thread_scope() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Counts scratch() allocations: the serial fast path takes exactly
+        // one scratch per wave, while the spawning path takes one per
+        // worker chunk — so the count exposes which path ran.
+        struct CountingEngine {
+            scratches: AtomicUsize,
+        }
+        impl GateEngine for CountingEngine {
+            type Value = bool;
+            type Scratch = ();
+            fn scratch(&self) {
+                self.scratches.fetch_add(1, Ordering::Relaxed);
+            }
+            fn eval(&self, kind: GateKind, a: &bool, b: &bool, _s: &mut ()) -> bool {
+                kind.eval(*a, *b)
+            }
+            fn constant(&self, bit: bool) -> bool {
+                bit
+            }
+        }
+
+        // One wave of `width` independent gates.
+        let wave_of = |width: usize| {
+            let mut nl = Netlist::new();
+            let a = nl.add_input();
+            let b = nl.add_input();
+            for _ in 0..width {
+                let g = nl.add_gate(GateKind::Nand, a, b).unwrap();
+                nl.mark_output(g).unwrap();
+            }
+            nl
+        };
+        let workers = 2;
+
+        // Just below the threshold: serial (one scratch for the wave).
+        let engine = CountingEngine { scratches: AtomicUsize::new(0) };
+        let nl = wave_of(PARALLEL_WAVE_MIN - 1);
+        let (out, _) = execute_parallel(&engine, &nl, &[true, true], workers).unwrap();
+        assert!(out.iter().all(|&v| !v));
+        assert_eq!(engine.scratches.load(Ordering::Relaxed), 1, "narrow wave must stay serial");
+
+        // At the threshold: the scope spawns one chunk per worker.
+        let engine = CountingEngine { scratches: AtomicUsize::new(0) };
+        let nl = wave_of(PARALLEL_WAVE_MIN);
+        let (out, _) = execute_parallel(&engine, &nl, &[true, true], workers).unwrap();
+        assert!(out.iter().all(|&v| !v));
+        assert_eq!(
+            engine.scratches.load(Ordering::Relaxed),
+            workers,
+            "wide wave must fan out across workers"
+        );
+    }
+
+    #[test]
+    fn stats_report_the_dispatched_simd_path() {
+        let nl = adder4();
+        let engine = PlainEngine::new();
+        let mut input = to_bits(3, 4);
+        input.extend(to_bits(5, 4));
+        let (_, stats) = execute(&engine, &nl, &input).unwrap();
+        assert_eq!(stats.simd_path, pytfhe_tfhe::simd::active_path().name());
+        assert!(["scalar", "avx2", "neon"].contains(&stats.simd_path));
     }
 
     #[test]

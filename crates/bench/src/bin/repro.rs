@@ -4,11 +4,13 @@
 //! repro <target> [--quick]
 //!
 //! targets: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table4
-//!          ablation kernel_graph fft all
+//!          ablation kernel_graph fft simd all
 //!
 //! `kernel_graph` additionally writes machine-readable timings to
 //! `results/BENCH_kernel_graph.json`; `fft` writes the folded-vs-
-//! reference transform and gate timings to `results/BENCH_fft.json`.
+//! reference transform and gate timings to `results/BENCH_fft.json`;
+//! `simd` writes the scalar-vs-dispatched kernel timings to
+//! `results/BENCH_simd.json`.
 //! --quick: use the miniature Test/Small workload scales (fast; same
 //!          qualitative shapes). Without it the Paper scales are built,
 //!          which compiles multi-million-gate netlists and takes a few
@@ -59,6 +61,16 @@ fn main() -> ExitCode {
                     Err(e) => format!("{text}\ncould not write {path}: {e}"),
                 }
             }
+            // Scalar vs dispatched SIMD kernels; full mode key-generates
+            // 128-bit material for the bootstrap comparison.
+            "simd" => {
+                let (text, json) = figures::simd(!quick);
+                let path = "results/BENCH_simd.json";
+                match std::fs::write(path, &json) {
+                    Ok(()) => format!("{text}\nwrote {path}"),
+                    Err(e) => format!("{text}\ncould not write {path}: {e}"),
+                }
+            }
             _ => return None,
         })
     };
@@ -76,6 +88,7 @@ fn main() -> ExitCode {
         "ablation",
         "kernel_graph",
         "fft",
+        "simd",
     ];
     match target.as_str() {
         "all" => {

@@ -692,6 +692,170 @@ pub fn fft(full: bool) -> (String, String) {
     (out, json)
 }
 
+/// `repro simd`: scalar vs runtime-dispatched SIMD kernels on the four
+/// hot paths they cover — the folded transform, the external product,
+/// key switching, and a single-gate bootstrap. Both backends run in one
+/// process by re-pointing the dispatch (`simd::set_active_path`), so the
+/// comparison shares every byte of key material.
+pub fn simd(full: bool) -> (String, String) {
+    use pytfhe_tfhe::fft::FftPlan;
+    use pytfhe_tfhe::keyswitch::KeySwitchKey;
+    use pytfhe_tfhe::lwe::{LweCiphertext, LweKey};
+    use pytfhe_tfhe::poly::{IntPoly, TorusPoly};
+    use pytfhe_tfhe::simd::{self, SimdPath};
+    use pytfhe_tfhe::tgsw::{ExternalProductScratch, Gadget, TgswCiphertext};
+    use pytfhe_tfhe::tlwe::{TlweCiphertext, TlweKey};
+    use pytfhe_tfhe::Torus32;
+    use std::time::Instant;
+
+    /// Best-of-`reps` wall time of `iters` runs of `f`, per run.
+    fn time_per_iter(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        best
+    }
+
+    let mut rng = SecureRng::seed_from_u64(19);
+
+    // Micro-kernel fixtures at the production transform size.
+    let n = 1024;
+    let plan = FftPlan::new(n);
+    let ip = IntPoly::binary(n, &mut rng);
+    let tp = TorusPoly::uniform(n, &mut rng);
+
+    // External product: a real TGSW(1) acting on a real TLWE sample.
+    let gadget = Gadget { levels: 3, base_log: 7 };
+    let tlwe_key = TlweKey::generate(1, n, &mut rng);
+    let tgsw = TgswCiphertext::encrypt(&tlwe_key, 1, gadget, 1e-9, &mut rng).to_fft(&plan);
+    let msg = TorusPoly::uniform(n, &mut rng);
+    let tlwe = tlwe_key.encrypt_poly(&msg, 1e-9, &mut rng);
+    let mut ep_scratch = ExternalProductScratch::new(n, 1, gadget);
+    let mut ep_out = TlweCiphertext::trivial(TorusPoly::zero(n), 1);
+
+    // Key switch: paper-shaped extracted→gate dimensions and levels.
+    let src = LweKey::generate(n, &mut rng);
+    let dst = LweKey::generate(630, &mut rng);
+    let ksk = KeySwitchKey::generate(&src, &dst, 8, 2, 1e-9, &mut rng);
+    let ks_ct = src.encrypt(Torus32::from_fraction(1, 3), 1e-9, &mut rng);
+    let mut ks_out = LweCiphertext::trivial(Torus32::ZERO, 630);
+
+    // Single-gate bootstrap at the paper's 128-bit parameters (testing
+    // scale under --quick). Key material is shared by both backends.
+    let params = if full { Params::default_128() } else { Params::testing() };
+    let client = ClientKey::generate(params, &mut rng);
+    let server = client.server_key(&mut rng);
+    let bk = server.bootstrapping_key();
+    let mut boot_scratch = bk.boot_scratch();
+    let ct = client.encrypt_bit(true, &mut rng);
+    let mu = Torus32::from_fraction(1, 3);
+    let gate_iters = if full { 3 } else { 50 };
+
+    let restore = simd::active_path();
+    let dispatched = simd::best_available();
+    // [negacyclic_mul, external_product, keyswitch, bootstrap_raw]
+    let mut measure = |path: SimdPath| -> [f64; 4] {
+        assert!(simd::set_active_path(path), "{path} unsupported on this host");
+        [
+            time_per_iter(5, 2000, || {
+                std::hint::black_box(plan.negacyclic_mul(std::hint::black_box(&ip), &tp));
+            }),
+            time_per_iter(5, 500, || {
+                tgsw.external_product_into(
+                    std::hint::black_box(&tlwe),
+                    &plan,
+                    &mut ep_scratch,
+                    &mut ep_out,
+                );
+            }),
+            time_per_iter(5, 500, || {
+                ksk.switch_into(std::hint::black_box(&ks_ct), &mut ks_out);
+            }),
+            time_per_iter(3, gate_iters, || {
+                std::hint::black_box(bk.bootstrap_raw(
+                    std::hint::black_box(&ct),
+                    mu,
+                    &mut boot_scratch,
+                ));
+            }),
+        ]
+    };
+    let s = measure(SimdPath::Scalar);
+    let v = measure(dispatched);
+    simd::set_active_path(restore);
+
+    let labels = [
+        format!("negacyclic_mul n={n}"),
+        format!("external_product n={n} l={}", gadget.levels),
+        format!("keyswitch {n}→630 t=8"),
+        format!("bootstrap_raw ({})", if full { "128-bit params" } else { "testing params" }),
+    ];
+    let mut table = Table::new(&["operation", "scalar", dispatched.name(), "speedup"]);
+    for (label, (&sv, &vv)) in labels.iter().zip(s.iter().zip(&v)) {
+        table.row(vec![
+            label.clone(),
+            fmt_seconds(sv),
+            fmt_seconds(vv),
+            format!("{:.2}x", sv / vv),
+        ]);
+    }
+
+    let mut out = format!(
+        "Runtime-dispatched SIMD kernels — scalar vs {} (PYTFHE_SIMD override available)\n\n",
+        dispatched.name(),
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nsingle-gate bootstrap speedup {:.2}x with the {} backend on this machine\n",
+        s[3] / v[3],
+        dispatched.name(),
+    ));
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scalar_path\": \"scalar\",\n",
+            "  \"dispatched_path\": \"{dp}\",\n",
+            "  \"poly_size\": {n},\n",
+            "  \"gate_params\": \"{gp}\",\n",
+            "  \"negacyclic_mul_scalar_s\": {s0:.9},\n",
+            "  \"negacyclic_mul_s\": {v0:.9},\n",
+            "  \"external_product_scalar_s\": {s1:.9},\n",
+            "  \"external_product_s\": {v1:.9},\n",
+            "  \"keyswitch_scalar_s\": {s2:.9},\n",
+            "  \"keyswitch_s\": {v2:.9},\n",
+            "  \"bootstrap_raw_scalar_s\": {s3:.9},\n",
+            "  \"bootstrap_raw_s\": {v3:.9},\n",
+            "  \"transform_speedup\": {t0:.4},\n",
+            "  \"external_product_speedup\": {t1:.4},\n",
+            "  \"keyswitch_speedup\": {t2:.4},\n",
+            "  \"bootstrap_speedup\": {t3:.4}\n",
+            "}}\n"
+        ),
+        dp = dispatched.name(),
+        n = n,
+        gp = if full { "default_128" } else { "testing" },
+        s0 = s[0],
+        v0 = v[0],
+        s1 = s[1],
+        v1 = v[1],
+        s2 = s[2],
+        v2 = v[2],
+        s3 = s[3],
+        v3 = v[3],
+        t0 = s[0] / v[0],
+        t1 = s[1] / v[1],
+        t2 = s[2] / v[2],
+        t3 = s[3] / v[3],
+    );
+    (out, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

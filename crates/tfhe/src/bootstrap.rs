@@ -1,6 +1,12 @@
 //! Blind rotation and gate bootstrapping — the operation that dominates
 //! TFHE execution time (the "Blind Rotation" segment of the paper's
 //! Figure 7).
+//!
+//! The loops a bootstrap spends its cycles in — the folded transforms,
+//! the external-product MAC, gadget decomposition, and the trailing key
+//! switch — all route through the runtime-dispatched kernels of
+//! [`crate::simd`] (AVX2+FMA / NEON / portable scalar, overridable with
+//! `PYTFHE_SIMD`), so nothing in this module is architecture-specific.
 
 use crate::fft::FftPlan;
 use crate::lwe::LweCiphertext;

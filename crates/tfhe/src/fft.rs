@@ -40,6 +40,7 @@
 //! as an oracle in [`crate::reference`]).
 
 use crate::poly::{IntPoly, TorusPoly};
+use crate::simd;
 use crate::torus::Torus32;
 use crate::trace::note_buffer_alloc;
 
@@ -128,35 +129,38 @@ impl FreqPoly {
     }
 
     /// `self += a * b` pointwise — the multiply-accumulate at the heart of
-    /// the external product. Written over four flat slices so the
-    /// autovectorizer can unroll it into FMA lanes.
+    /// the external product. Dispatched through the [`crate::simd`]
+    /// kernel layer (explicit FMA lanes on AVX2/NEON hosts, the
+    /// autovectorized flat-slice loop on the scalar path).
     pub fn add_mul_assign(&mut self, a: &FreqPoly, b: &FreqPoly) {
         let m = self.re.len();
         debug_assert_eq!(m, a.re.len());
         debug_assert_eq!(m, b.re.len());
-        let (sr, si) = (&mut self.re[..m], &mut self.im[..m]);
-        let (ar, ai) = (&a.re[..m], &a.im[..m]);
-        let (br, bi) = (&b.re[..m], &b.im[..m]);
-        for j in 0..m {
-            sr[j] += ar[j] * br[j] - ai[j] * bi[j];
-            si[j] += ar[j] * bi[j] + ai[j] * br[j];
-        }
+        simd::kernels().mac(&mut self.re, &mut self.im, &a.re, &a.im, &b.re, &b.im);
     }
 }
 
 /// Precomputed tables for folded transforms of one polynomial size `N`
 /// (transform size `M = N/2`).
+///
+/// The butterfly twiddles are stored as *per-stage contiguous tables*
+/// (`M - 1` entries: the stage-`len = 2` table, then stage-`4`, …, then
+/// stage-`M`, each holding `len/2` twiddles in `j` order). The classic
+/// strided indexing `w[j · M/len]` defeats vector loads; laying each
+/// stage out contiguously lets the [`crate::simd`] butterfly kernels
+/// stream twiddles with plain unaligned loads, and costs the same
+/// `O(M)` total storage as the strided table it replaces.
 #[derive(Debug, Clone)]
 pub struct FftPlan {
     /// Polynomial degree bound `N`.
     n: usize,
     /// Transform size `M = N/2`.
     m: usize,
-    /// Forward twiddles `e^{+2πik/M}` for `k < M/2` (split re/im).
+    /// Forward per-stage twiddles `e^{+2πik/M}` (split re/im).
     fwd_re: Vec<f64>,
     fwd_im: Vec<f64>,
-    /// Inverse twiddles `e^{-2πik/M}` for `k < M/2`, precomputed so the
-    /// butterfly loop never branches on direction.
+    /// Inverse per-stage twiddles `e^{-2πik/M}`, precomputed so the
+    /// butterfly kernel never branches on direction.
     inv_re: Vec<f64>,
     inv_im: Vec<f64>,
     /// Twist `e^{iπj/N}` for `j < M` (split re/im).
@@ -176,16 +180,23 @@ impl FftPlan {
     pub fn new(n: usize) -> Self {
         assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two >= 2");
         let m = n / 2;
-        let mut fwd_re = Vec::with_capacity(m / 2);
-        let mut fwd_im = Vec::with_capacity(m / 2);
-        let mut inv_re = Vec::with_capacity(m / 2);
-        let mut inv_im = Vec::with_capacity(m / 2);
-        for k in 0..m / 2 {
-            let theta = 2.0 * std::f64::consts::PI * k as f64 / m as f64;
-            fwd_re.push(theta.cos());
-            fwd_im.push(theta.sin());
-            inv_re.push(theta.cos());
-            inv_im.push(-theta.sin());
+        // Stage-concatenated twiddles: for each stage `len`, entry `j`
+        // is the old strided `w[j · M/len]`, i.e. angle `2π·j·(M/len)/M`.
+        let mut fwd_re = Vec::with_capacity(m.saturating_sub(1));
+        let mut fwd_im = Vec::with_capacity(m.saturating_sub(1));
+        let mut inv_re = Vec::with_capacity(m.saturating_sub(1));
+        let mut inv_im = Vec::with_capacity(m.saturating_sub(1));
+        let mut len = 2;
+        while len <= m {
+            let step = m / len;
+            for j in 0..len / 2 {
+                let theta = 2.0 * std::f64::consts::PI * (j * step) as f64 / m as f64;
+                fwd_re.push(theta.cos());
+                fwd_im.push(theta.sin());
+                inv_re.push(theta.cos());
+                inv_im.push(-theta.sin());
+            }
+            len <<= 1;
         }
         let mut tw_re = Vec::with_capacity(m);
         let mut tw_im = Vec::with_capacity(m);
@@ -217,9 +228,11 @@ impl FftPlan {
     }
 
     /// In-place iterative radix-2 DIT FFT over split re/im buffers with
-    /// the given twiddle table (forward or inverse — both precomputed, so
-    /// there is no per-butterfly direction branch).
-    fn fft_split(&self, re: &mut [f64], im: &mut [f64], w_re: &[f64], w_im: &[f64]) {
+    /// the given per-stage twiddle table (forward or inverse — both
+    /// precomputed, so there is no per-butterfly direction branch). The
+    /// bit-reversal permutation stays here; the butterfly passes run in
+    /// the dispatched [`crate::simd`] kernel.
+    fn fft_split(&self, re: &mut [f64], im: &mut [f64], st_re: &[f64], st_im: &[f64]) {
         let m = self.m;
         debug_assert_eq!(re.len(), m);
         debug_assert_eq!(im.len(), m);
@@ -230,28 +243,7 @@ impl FftPlan {
                 im.swap(i, j);
             }
         }
-        let mut len = 2;
-        while len <= m {
-            let step = m / len;
-            let half = len / 2;
-            for start in (0..m).step_by(len) {
-                for j in 0..half {
-                    let wr = w_re[j * step];
-                    let wi = w_im[j * step];
-                    let ur = re[start + j];
-                    let ui = im[start + j];
-                    let xr = re[start + j + half];
-                    let xi = im[start + j + half];
-                    let vr = xr * wr - xi * wi;
-                    let vi = xr * wi + xi * wr;
-                    re[start + j] = ur + vr;
-                    im[start + j] = ui + vi;
-                    re[start + j + half] = ur - vr;
-                    im[start + j + half] = ui - vi;
-                }
-            }
-            len <<= 1;
-        }
+        simd::kernels().fft_passes(re, im, st_re, st_im);
     }
 
     /// Forward transform of a torus polynomial (coefficients lifted to
@@ -266,15 +258,9 @@ impl FftPlan {
     pub fn forward_torus_into(&self, p: &TorusPoly, out: &mut FreqPoly) {
         debug_assert_eq!(p.len(), self.n);
         debug_assert_eq!(out.points(), self.m);
-        let c = p.coeffs();
+        let c = Torus32::slice_as_i32(p.coeffs());
         let FreqPoly { re, im } = out;
-        for j in 0..self.m {
-            let lo = c[j].as_i32() as f64;
-            let hi = c[j + self.m].as_i32() as f64;
-            // (lo + i·hi) · twist[j]
-            re[j] = lo * self.tw_re[j] - hi * self.tw_im[j];
-            im[j] = lo * self.tw_im[j] + hi * self.tw_re[j];
-        }
+        simd::kernels().fwd_twist(c, &self.tw_re, &self.tw_im, re, im);
         self.fft_split(re, im, &self.fwd_re, &self.fwd_im);
     }
 
@@ -290,14 +276,8 @@ impl FftPlan {
     pub fn forward_int_into(&self, p: &IntPoly, out: &mut FreqPoly) {
         debug_assert_eq!(p.len(), self.n);
         debug_assert_eq!(out.points(), self.m);
-        let c = p.coeffs();
         let FreqPoly { re, im } = out;
-        for j in 0..self.m {
-            let lo = c[j] as f64;
-            let hi = c[j + self.m] as f64;
-            re[j] = lo * self.tw_re[j] - hi * self.tw_im[j];
-            im[j] = lo * self.tw_im[j] + hi * self.tw_re[j];
-        }
+        simd::kernels().fwd_twist(p.coeffs(), &self.tw_re, &self.tw_im, re, im);
         self.fft_split(re, im, &self.fwd_re, &self.fwd_im);
     }
 
@@ -318,20 +298,16 @@ impl FftPlan {
         debug_assert_eq!(f.points(), self.m);
         debug_assert_eq!(out.len(), self.n);
         self.fft_split(&mut f.re, &mut f.im, &self.inv_re, &self.inv_im);
-        let scale = 1.0 / self.m as f64;
-        let oc = out.coeffs_mut();
-        for j in 0..self.m {
-            // Unscale, untwist (multiply by conj(twist)), and unfold: the
-            // real part is coefficient j, the imaginary part j + N/2.
-            let cr = f.re[j] * scale;
-            let ci = f.im[j] * scale;
-            let dr = cr * self.tw_re[j] + ci * self.tw_im[j];
-            let di = ci * self.tw_re[j] - cr * self.tw_im[j];
-            // Round to the nearest torus element; arithmetic is exact mod
-            // 2^32 because |d| < 2^52.
-            oc[j] = Torus32((dr.round_ties_even() as i64) as u32);
-            oc[j + self.m] = Torus32((di.round_ties_even() as i64) as u32);
-        }
+        // Unscale, untwist (multiply by conj(twist)), unfold, and round to
+        // the nearest torus element in one dispatched pass: the real part
+        // is coefficient j, the imaginary part j + N/2.
+        simd::kernels().inv_untwist_round(
+            &mut f.re,
+            &mut f.im,
+            &self.tw_re,
+            &self.tw_im,
+            out.coeffs_mut(),
+        );
     }
 
     /// Convenience: full negacyclic product `a * b` through the frequency

@@ -8,6 +8,11 @@ use crate::lwe::{LweCiphertext, LweKey};
 use crate::rng::SecureRng;
 use crate::torus::Torus32;
 
+/// Upper bound on decomposition levels, so [`KeySwitchKey::switch_into`]
+/// can keep its per-element digit vector on the stack (default params use
+/// `t = 8`).
+const MAX_KS_LEVELS: usize = 32;
+
 /// A key-switching key: `src_dim × t × (base - 1)` LWE samples under the
 /// destination key.
 ///
@@ -91,12 +96,6 @@ impl KeySwitchKey {
         self.samples.len()
     }
 
-    #[inline]
-    fn sample(&self, i: usize, j: usize, v: usize) -> &LweCiphertext {
-        let base = 1usize << self.base_log;
-        &self.samples[(i * self.levels + j) * (base - 1) + (v - 1)]
-    }
-
     /// Switches `ct` (under the source key) to a sample under the
     /// destination key encrypting the same message (plus key-switch noise).
     ///
@@ -114,18 +113,32 @@ impl KeySwitchKey {
     /// dimension).
     pub fn switch_into(&self, ct: &LweCiphertext, out: &mut LweCiphertext) {
         assert_eq!(ct.dim(), self.src_dim, "key switch input dimension mismatch");
+        assert!(self.levels <= MAX_KS_LEVELS, "key switch supports at most {MAX_KS_LEVELS} levels");
         out.assign_trivial(ct.body(), self.dst_dim);
+        let base = 1usize << self.base_log;
         let base_mask = (1u32 << self.base_log) - 1;
         let total_bits = (self.levels * self.base_log) as u32;
         // Rounding offset: half of the smallest represented step.
         let round = 1u32 << (32 - total_bits - 1);
+        // Hoisted out of the per-mask-element loop: the per-level shift
+        // amounts and the sample-row stride are invariant across `i`.
+        let mut shifts = [0u32; MAX_KS_LEVELS];
+        for (j, s) in shifts[..self.levels].iter_mut().enumerate() {
+            *s = 32 - ((j + 1) * self.base_log) as u32;
+        }
+        let row_stride = self.levels * (base - 1);
+        let mut digits = [0u32; MAX_KS_LEVELS];
         for (i, &a_i) in ct.mask().iter().enumerate() {
+            // Extract the whole digit vector of this mask element in one
+            // flat pass, then do the (branchy, memory-bound) accumulation.
             let tmp = a_i.0.wrapping_add(round);
-            for j in 0..self.levels {
-                let shift = 32 - ((j + 1) * self.base_log) as u32;
-                let digit = (tmp >> shift) & base_mask;
+            for (d, &s) in digits[..self.levels].iter_mut().zip(&shifts[..self.levels]) {
+                *d = (tmp >> s) & base_mask;
+            }
+            let row = i * row_stride;
+            for (j, &digit) in digits[..self.levels].iter().enumerate() {
                 if digit != 0 {
-                    out.sub_assign(self.sample(i, j, digit as usize));
+                    out.sub_assign(&self.samples[row + j * (base - 1) + (digit as usize - 1)]);
                 }
             }
         }

@@ -17,7 +17,11 @@
 //! * the eleven bootstrapped binary gates used by PyTFHE programs
 //!   ([`gates`]),
 //! * key generation and the client/cloud key split ([`keys`]),
-//! * byte-level serialization of keys and ciphertexts ([`io`]).
+//! * byte-level serialization of keys and ciphertexts ([`io`]),
+//! * runtime-dispatched SIMD kernels (AVX2+FMA / NEON / portable scalar)
+//!   for the transform, external-product, decomposition, and key-switch
+//!   hot loops ([`simd`]), selectable with the `PYTFHE_SIMD` environment
+//!   variable.
 //!
 //! # Security
 //!
@@ -57,6 +61,7 @@ pub mod params;
 pub mod poly;
 pub mod reference;
 mod rng;
+pub mod simd;
 pub mod tgsw;
 pub mod tlwe;
 pub mod torus;
@@ -70,5 +75,6 @@ pub use lwe::{LweCiphertext, LweKey, LweSoa};
 pub use noise::NoiseModel;
 pub use params::{Params, SecurityLevel};
 pub use rng::SecureRng;
+pub use simd::SimdPath;
 pub use torus::Torus32;
 pub use trace::thread_buffer_allocs;

@@ -127,12 +127,12 @@ impl LweCiphertext {
         self.b += other.b;
     }
 
-    /// Homomorphic subtraction: `self -= other`.
+    /// Homomorphic subtraction: `self -= other`. The mask loop is the
+    /// inner loop of key switching (`n` subtractions per digit), so it
+    /// runs through the dispatched [`crate::simd`] kernel.
     pub fn sub_assign(&mut self, other: &LweCiphertext) {
         debug_assert_eq!(self.dim(), other.dim());
-        for (x, y) in self.a.iter_mut().zip(&other.a) {
-            *x -= *y;
-        }
+        crate::simd::kernels().sub_assign(&mut self.a, &other.a);
         self.b -= other.b;
     }
 

@@ -1,0 +1,273 @@
+//! AVX2 + FMA kernels: 4×`f64` / 8×`u32` lanes (`std::arch::x86_64`).
+//!
+//! Safety model: every public function here is a safe wrapper around a
+//! `#[target_feature(enable = "avx2", enable = "fma")]` implementation.
+//! The module is private to [`crate::simd`], and the dispatcher only
+//! installs this backend after `is_x86_feature_detected!` confirmed
+//! both features, so the wrappers' unsafe calls are always sound by the
+//! time they are reachable.
+//!
+//! Tails: slices are processed in full vector chunks, then a scalar
+//! remainder loop computes the same formula as [`super::scalar`] — so
+//! for lengths below the lane width the output is exactly the scalar
+//! one, and the proptest suite exercises every tail length.
+//!
+//! The `f64` kernels use fused multiply-add (`_mm256_fmadd_pd` /
+//! `_mm256_fmsub_pd`); see the module docs of [`crate::simd`] for why
+//! torus-domain equality, not `f64` bit-equality, is the contract.
+//! Integer kernels are bit-identical to scalar.
+
+use crate::torus::Torus32;
+use std::arch::x86_64::*;
+
+/// `round_ties_even(x)` via the mantissa-alignment trick: for
+/// `|x| < 2^51`, `x + 1.5·2^52` rounds `x` to an integer (ties to even,
+/// courtesy of the FP add itself) and leaves that integer's two's-
+/// complement low 32 bits in the low 32 bits of the sum's mantissa —
+/// exactly `(round_ties_even(x) as i64) as u32`, with no AVX-512
+/// `f64 → i64` conversion needed. Transform values are below `2^47`.
+const ROUND_MAGIC: f64 = 6_755_399_441_055_744.0;
+
+pub fn mac(sr: &mut [f64], si: &mut [f64], ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64]) {
+    // SAFETY: only reachable through the dispatcher, which installs this
+    // backend solely when AVX2 and FMA were detected at runtime.
+    unsafe { mac_impl(sr, si, ar, ai, br, bi) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mac_impl(sr: &mut [f64], si: &mut [f64], ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64]) {
+    let m = sr.len();
+    let mut j = 0;
+    while j + 4 <= m {
+        let var = _mm256_loadu_pd(ar.as_ptr().add(j));
+        let vai = _mm256_loadu_pd(ai.as_ptr().add(j));
+        let vbr = _mm256_loadu_pd(br.as_ptr().add(j));
+        let vbi = _mm256_loadu_pd(bi.as_ptr().add(j));
+        // s += (ar + i·ai)(br + i·bi):
+        //   re += ar·br - ai·bi,  im += ar·bi + ai·br
+        let pr = _mm256_fmsub_pd(var, vbr, _mm256_mul_pd(vai, vbi));
+        let pi = _mm256_fmadd_pd(var, vbi, _mm256_mul_pd(vai, vbr));
+        let vsr = _mm256_loadu_pd(sr.as_ptr().add(j));
+        let vsi = _mm256_loadu_pd(si.as_ptr().add(j));
+        _mm256_storeu_pd(sr.as_mut_ptr().add(j), _mm256_add_pd(vsr, pr));
+        _mm256_storeu_pd(si.as_mut_ptr().add(j), _mm256_add_pd(vsi, pi));
+        j += 4;
+    }
+    while j < m {
+        sr[j] += ar[j] * br[j] - ai[j] * bi[j];
+        si[j] += ar[j] * bi[j] + ai[j] * br[j];
+        j += 1;
+    }
+}
+
+pub fn fft_passes(re: &mut [f64], im: &mut [f64], st_re: &[f64], st_im: &[f64]) {
+    // SAFETY: see `mac`.
+    unsafe { fft_passes_impl(re, im, st_re, st_im) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fft_passes_impl(re: &mut [f64], im: &mut [f64], st_re: &[f64], st_im: &[f64]) {
+    let m = re.len();
+    let mut len = 2;
+    let mut pos = 0;
+    while len <= m {
+        let half = len / 2;
+        let w_re = &st_re[pos..pos + half];
+        let w_im = &st_im[pos..pos + half];
+        if half < 4 {
+            // First stages (half = 1, 2): below the lane width; the
+            // scalar butterfly is already optimal here.
+            for start in (0..m).step_by(len) {
+                for j in 0..half {
+                    let wr = w_re[j];
+                    let wi = w_im[j];
+                    let ur = re[start + j];
+                    let ui = im[start + j];
+                    let xr = re[start + j + half];
+                    let xi = im[start + j + half];
+                    let vr = xr * wr - xi * wi;
+                    let vi = xr * wi + xi * wr;
+                    re[start + j] = ur + vr;
+                    im[start + j] = ui + vi;
+                    re[start + j + half] = ur - vr;
+                    im[start + j + half] = ui - vi;
+                }
+            }
+        } else {
+            // half is a power of two >= 4: the j-loop splits into exact
+            // 4-lane chunks with contiguous twiddle loads (the per-stage
+            // tables exist precisely to avoid strided gathers here).
+            for start in (0..m).step_by(len) {
+                let mut j = 0;
+                while j < half {
+                    let vwr = _mm256_loadu_pd(w_re.as_ptr().add(j));
+                    let vwi = _mm256_loadu_pd(w_im.as_ptr().add(j));
+                    let xr = _mm256_loadu_pd(re.as_ptr().add(start + j + half));
+                    let xi = _mm256_loadu_pd(im.as_ptr().add(start + j + half));
+                    let vr = _mm256_fmsub_pd(xr, vwr, _mm256_mul_pd(xi, vwi));
+                    let vi = _mm256_fmadd_pd(xr, vwi, _mm256_mul_pd(xi, vwr));
+                    let ur = _mm256_loadu_pd(re.as_ptr().add(start + j));
+                    let ui = _mm256_loadu_pd(im.as_ptr().add(start + j));
+                    _mm256_storeu_pd(re.as_mut_ptr().add(start + j), _mm256_add_pd(ur, vr));
+                    _mm256_storeu_pd(im.as_mut_ptr().add(start + j), _mm256_add_pd(ui, vi));
+                    _mm256_storeu_pd(re.as_mut_ptr().add(start + j + half), _mm256_sub_pd(ur, vr));
+                    _mm256_storeu_pd(im.as_mut_ptr().add(start + j + half), _mm256_sub_pd(ui, vi));
+                    j += 4;
+                }
+            }
+        }
+        pos += half;
+        len <<= 1;
+    }
+}
+
+pub fn fwd_twist(c: &[i32], tw_re: &[f64], tw_im: &[f64], re: &mut [f64], im: &mut [f64]) {
+    // SAFETY: see `mac`.
+    unsafe { fwd_twist_impl(c, tw_re, tw_im, re, im) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fwd_twist_impl(c: &[i32], tw_re: &[f64], tw_im: &[f64], re: &mut [f64], im: &mut [f64]) {
+    let m = re.len();
+    let (lo, hi) = c.split_at(m);
+    let mut j = 0;
+    while j + 4 <= m {
+        let vlo = _mm256_cvtepi32_pd(_mm_loadu_si128(lo.as_ptr().add(j) as *const __m128i));
+        let vhi = _mm256_cvtepi32_pd(_mm_loadu_si128(hi.as_ptr().add(j) as *const __m128i));
+        let vtr = _mm256_loadu_pd(tw_re.as_ptr().add(j));
+        let vti = _mm256_loadu_pd(tw_im.as_ptr().add(j));
+        let vre = _mm256_fmsub_pd(vlo, vtr, _mm256_mul_pd(vhi, vti));
+        let vim = _mm256_fmadd_pd(vlo, vti, _mm256_mul_pd(vhi, vtr));
+        _mm256_storeu_pd(re.as_mut_ptr().add(j), vre);
+        _mm256_storeu_pd(im.as_mut_ptr().add(j), vim);
+        j += 4;
+    }
+    while j < m {
+        let l = lo[j] as f64;
+        let h = hi[j] as f64;
+        re[j] = l * tw_re[j] - h * tw_im[j];
+        im[j] = l * tw_im[j] + h * tw_re[j];
+        j += 1;
+    }
+}
+
+pub fn inv_untwist_round(
+    re: &mut [f64],
+    im: &mut [f64],
+    tw_re: &[f64],
+    tw_im: &[f64],
+    out: &mut [Torus32],
+) {
+    // SAFETY: see `mac`.
+    unsafe { inv_untwist_round_impl(re, im, tw_re, tw_im, out) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn inv_untwist_round_impl(
+    re: &mut [f64],
+    im: &mut [f64],
+    tw_re: &[f64],
+    tw_im: &[f64],
+    out: &mut [Torus32],
+) {
+    let m = re.len();
+    let scale = 1.0 / m as f64;
+    let (out_lo, out_hi) = out.split_at_mut(m);
+    let vscale = _mm256_set1_pd(scale);
+    let vmagic = _mm256_set1_pd(ROUND_MAGIC);
+    // Compacts the low 32 bits of each 64-bit lane into the vector's
+    // low 128 bits (lane dwords 0, 2, 4, 6).
+    let pack_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    let mut j = 0;
+    while j + 4 <= m {
+        let vcr = _mm256_mul_pd(_mm256_loadu_pd(re.as_ptr().add(j)), vscale);
+        let vci = _mm256_mul_pd(_mm256_loadu_pd(im.as_ptr().add(j)), vscale);
+        let vtr = _mm256_loadu_pd(tw_re.as_ptr().add(j));
+        let vti = _mm256_loadu_pd(tw_im.as_ptr().add(j));
+        // d = c · conj(twist):  dr = cr·twr + ci·twi,  di = ci·twr - cr·twi
+        let vdr = _mm256_fmadd_pd(vcr, vtr, _mm256_mul_pd(vci, vti));
+        let vdi = _mm256_fmsub_pd(vci, vtr, _mm256_mul_pd(vcr, vti));
+        let rbits = _mm256_castpd_si256(_mm256_add_pd(vdr, vmagic));
+        let rpack = _mm256_permutevar8x32_epi32(rbits, pack_idx);
+        _mm_storeu_si128(out_lo.as_mut_ptr().add(j) as *mut __m128i, _mm256_castsi256_si128(rpack));
+        let ibits = _mm256_castpd_si256(_mm256_add_pd(vdi, vmagic));
+        let ipack = _mm256_permutevar8x32_epi32(ibits, pack_idx);
+        _mm_storeu_si128(out_hi.as_mut_ptr().add(j) as *mut __m128i, _mm256_castsi256_si128(ipack));
+        j += 4;
+    }
+    while j < m {
+        let cr = re[j] * scale;
+        let ci = im[j] * scale;
+        let dr = cr * tw_re[j] + ci * tw_im[j];
+        let di = ci * tw_re[j] - cr * tw_im[j];
+        out_lo[j] = Torus32((dr.round_ties_even() as i64) as u32);
+        out_hi[j] = Torus32((di.round_ties_even() as i64) as u32);
+        j += 1;
+    }
+}
+
+pub fn extract_digits(
+    c: &[Torus32],
+    offset: u32,
+    shift: u32,
+    mask: u32,
+    half_base: i32,
+    out: &mut [i32],
+) {
+    // SAFETY: see `mac`.
+    unsafe { extract_digits_impl(c, offset, shift, mask, half_base, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn extract_digits_impl(
+    c: &[Torus32],
+    offset: u32,
+    shift: u32,
+    mask: u32,
+    half_base: i32,
+    out: &mut [i32],
+) {
+    let n = c.len();
+    // Torus32 is #[repr(transparent)] over u32 (see `crate::torus`).
+    let cp = c.as_ptr() as *const u32;
+    let voff = _mm256_set1_epi32(offset as i32);
+    let vmask = _mm256_set1_epi32(mask as i32);
+    let vhalf = _mm256_set1_epi32(half_base);
+    let vshift = _mm_cvtsi32_si128(shift as i32);
+    let mut j = 0;
+    while j + 8 <= n {
+        let v = _mm256_loadu_si256(cp.add(j) as *const __m256i);
+        let t = _mm256_add_epi32(v, voff);
+        let s = _mm256_srl_epi32(t, vshift);
+        let d = _mm256_sub_epi32(_mm256_and_si256(s, vmask), vhalf);
+        _mm256_storeu_si256(out.as_mut_ptr().add(j) as *mut __m256i, d);
+        j += 8;
+    }
+    while j < n {
+        out[j] = ((c[j].0.wrapping_add(offset) >> shift) & mask) as i32 - half_base;
+        j += 1;
+    }
+}
+
+pub fn sub_assign(dst: &mut [Torus32], src: &[Torus32]) {
+    // SAFETY: see `mac`.
+    unsafe { sub_assign_impl(dst, src) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn sub_assign_impl(dst: &mut [Torus32], src: &[Torus32]) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr() as *mut u32;
+    let sp = src.as_ptr() as *const u32;
+    let mut j = 0;
+    while j + 8 <= n {
+        let a = _mm256_loadu_si256(dp.add(j) as *const __m256i);
+        let b = _mm256_loadu_si256(sp.add(j) as *const __m256i);
+        _mm256_storeu_si256(dp.add(j) as *mut __m256i, _mm256_sub_epi32(a, b));
+        j += 8;
+    }
+    while j < n {
+        dst[j] -= src[j];
+        j += 1;
+    }
+}

@@ -1,0 +1,422 @@
+//! Runtime-dispatched SIMD kernels for the TFHE hot path — the
+//! reproduction's analogue of the TFHE library's hand-vectorized
+//! `spqlios-fma` transform backend.
+//!
+//! The paper's CPU numbers inherit their speed from `spqlios-fma`, the
+//! AVX/FMA assembly the TFHE library swaps in for its negacyclic
+//! transforms. This module plays that role for the four loops that
+//! dominate gate bootstrapping:
+//!
+//! 1. the branch-free FFT butterfly passes shared by the forward and
+//!    inverse folded transforms ([`Kernels::fft_passes`]),
+//! 2. the twist/untwist + torus↔`f64` conversion loops bracketing them
+//!    ([`Kernels::fwd_twist`], [`Kernels::inv_untwist_round`]),
+//! 3. the external-product multiply-accumulate of the CMUX inner loop
+//!    ([`Kernels::mac`]), and
+//! 4. the integer loops of gadget decomposition and key-switch
+//!    accumulation ([`Kernels::extract_digits`], [`Kernels::sub_assign`]).
+//!
+//! Three backends implement the same kernel set:
+//!
+//! * [`scalar`] — portable Rust, **bit-identical to the pre-SIMD code**
+//!   (the loops were moved here verbatim). Always available; the
+//!   correctness oracle for the vector paths.
+//! * `avx2` — AVX2 + FMA over 4×`f64` / 8×`u32` lanes
+//!   (`std::arch::x86_64`), selected when `is_x86_feature_detected!`
+//!   reports both features.
+//! * `neon` — NEON over 2×`f64` / 4×`u32` lanes (`std::arch::aarch64`;
+//!   NEON is baseline on AArch64).
+//!
+//! # Correctness contract
+//!
+//! Integer kernels (`extract_digits`, `sub_assign`) are bit-identical
+//! across backends. The `f64` kernels use fused multiply-add, whose
+//! single-rounding products differ from scalar mul-then-add in the low
+//! mantissa bits, so *intermediate spectra are not bit-comparable*. The
+//! contract is **torus-domain equality**: after the inverse transform's
+//! final `round_ties_even` back to `Torus32`, SIMD and scalar agree
+//! bit-for-bit, because transform values sit within `~2^-20` of integers
+//! (see `DESIGN.md` §10) while FMA reassociation perturbs them by at
+//! most a few ulps — never enough to cross a rounding boundary. The
+//! proptest suite `tests/simd_equivalence.rs` pins this for every
+//! backend the host can run, across lane counts and tail lengths.
+//!
+//! # Dispatch
+//!
+//! [`kernels`] resolves the backend once per process: the `PYTFHE_SIMD`
+//! environment variable (`auto` | `scalar` | `avx2` | `neon`) is
+//! consulted first, a requested-but-unsupported backend falls back to
+//! scalar, and `auto` (or an unset/unknown value) picks the best path
+//! the CPU supports. [`set_active_path`] re-points the process-global
+//! dispatch explicitly — used by the `repro simd` harness to measure
+//! scalar and vector paths in one process; it is not meant for
+//! concurrent use while other threads are mid-kernel (each kernel call
+//! reads the table once, so results stay correct either way — only
+//! timings would blur).
+
+use crate::torus::Torus32;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+/// Identifies one SIMD backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdPath {
+    /// Portable scalar Rust, bit-identical to the pre-SIMD hot loops.
+    Scalar,
+    /// AVX2 + FMA (x86-64), 4×`f64` / 8×`u32` lanes.
+    Avx2,
+    /// NEON (AArch64), 2×`f64` / 4×`u32` lanes.
+    Neon,
+}
+
+impl SimdPath {
+    /// Every path this build knows about (not necessarily runnable on
+    /// this CPU — see [`SimdPath::is_supported`]).
+    pub const ALL: [SimdPath; 3] = [SimdPath::Scalar, SimdPath::Avx2, SimdPath::Neon];
+
+    /// Stable lowercase name, matching the `PYTFHE_SIMD` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPath::Scalar => "scalar",
+            SimdPath::Avx2 => "avx2",
+            SimdPath::Neon => "neon",
+        }
+    }
+
+    /// Whether the running CPU can execute this path.
+    pub fn is_supported(self) -> bool {
+        match self {
+            SimdPath::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdPath::Avx2 => false,
+            // NEON is part of the baseline AArch64 ISA.
+            SimdPath::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    fn id(self) -> u8 {
+        match self {
+            SimdPath::Scalar => 0,
+            SimdPath::Avx2 => 1,
+            SimdPath::Neon => 2,
+        }
+    }
+}
+
+impl fmt::Display for SimdPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `(sr, si, ar, ai, br, bi)`: pointwise `s += a * b` over split slices.
+type MacFn = fn(&mut [f64], &mut [f64], &[f64], &[f64], &[f64], &[f64]);
+/// `(re, im, st_re, st_im)`: butterfly passes over per-stage twiddles.
+type FftPassesFn = fn(&mut [f64], &mut [f64], &[f64], &[f64]);
+/// `(c, tw_re, tw_im, re, im)`: forward fold + twist.
+type FwdTwistFn = fn(&[i32], &[f64], &[f64], &mut [f64], &mut [f64]);
+/// `(re, im, tw_re, tw_im, out)`: inverse untwist + unfold + round.
+type InvUntwistRoundFn = fn(&mut [f64], &mut [f64], &[f64], &[f64], &mut [Torus32]);
+/// `(c, offset, shift, mask, half_base, out)`: one decomposition level.
+type ExtractDigitsFn = fn(&[Torus32], u32, u32, u32, i32, &mut [i32]);
+/// `(dst, src)`: wrapping element-wise subtraction.
+type SubAssignFn = fn(&mut [Torus32], &[Torus32]);
+
+/// One backend's kernel set. The fields are plain function pointers so a
+/// resolved `&'static Kernels` dispatches with no per-call branching;
+/// the methods wrap them with the shared shape checks.
+pub struct Kernels {
+    path: SimdPath,
+    mac: MacFn,
+    fft_passes: FftPassesFn,
+    fwd_twist: FwdTwistFn,
+    inv_untwist_round: InvUntwistRoundFn,
+    extract_digits: ExtractDigitsFn,
+    sub_assign: SubAssignFn,
+}
+
+impl fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernels").field("path", &self.path).finish_non_exhaustive()
+    }
+}
+
+impl Kernels {
+    /// Which backend these kernels belong to.
+    pub fn path(&self) -> SimdPath {
+        self.path
+    }
+
+    /// Pointwise complex multiply-accumulate over split re/im slices:
+    /// `s += a * b` — the external-product MAC of the CMUX inner loop.
+    #[inline]
+    pub fn mac(
+        &self,
+        sr: &mut [f64],
+        si: &mut [f64],
+        ar: &[f64],
+        ai: &[f64],
+        br: &[f64],
+        bi: &[f64],
+    ) {
+        let m = sr.len();
+        debug_assert!(
+            si.len() == m && ar.len() == m && ai.len() == m && br.len() == m && bi.len() == m
+        );
+        (self.mac)(sr, si, ar, ai, br, bi)
+    }
+
+    /// All radix-2 DIT butterfly passes of one transform, over
+    /// bit-reversed split re/im buffers, reading the per-stage
+    /// contiguous twiddle tables (`st_re`/`st_im` hold `len(re) - 1`
+    /// entries: the stage-`2` table, then stage-`4`, … — see
+    /// [`crate::fft::FftPlan`]).
+    #[inline]
+    pub fn fft_passes(&self, re: &mut [f64], im: &mut [f64], st_re: &[f64], st_im: &[f64]) {
+        let m = re.len();
+        debug_assert_eq!(im.len(), m);
+        debug_assert!(st_re.len() + 1 >= m && st_im.len() == st_re.len());
+        (self.fft_passes)(re, im, st_re, st_im)
+    }
+
+    /// Forward fold + twist: maps `2m` signed integer coefficients to
+    /// `m` complex points `(c[j] + i·c[j+m]) · twist[j]`.
+    #[inline]
+    pub fn fwd_twist(
+        &self,
+        c: &[i32],
+        tw_re: &[f64],
+        tw_im: &[f64],
+        re: &mut [f64],
+        im: &mut [f64],
+    ) {
+        let m = re.len();
+        debug_assert!(c.len() == 2 * m && im.len() == m && tw_re.len() == m && tw_im.len() == m);
+        (self.fwd_twist)(c, tw_re, tw_im, re, im)
+    }
+
+    /// Inverse unscale + untwist + unfold + round: consumes `m` complex
+    /// points and writes `2m` rounded torus coefficients.
+    #[inline]
+    pub fn inv_untwist_round(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        tw_re: &[f64],
+        tw_im: &[f64],
+        out: &mut [Torus32],
+    ) {
+        let m = re.len();
+        debug_assert!(im.len() == m && tw_re.len() == m && tw_im.len() == m && out.len() == 2 * m);
+        (self.inv_untwist_round)(re, im, tw_re, tw_im, out)
+    }
+
+    /// One level of signed gadget decomposition:
+    /// `out[j] = ((c[j] + offset) >> shift) & mask - half_base`.
+    #[inline]
+    pub fn extract_digits(
+        &self,
+        c: &[Torus32],
+        offset: u32,
+        shift: u32,
+        mask: u32,
+        half_base: i32,
+        out: &mut [i32],
+    ) {
+        debug_assert_eq!(c.len(), out.len());
+        (self.extract_digits)(c, offset, shift, mask, half_base, out)
+    }
+
+    /// Wrapping element-wise `dst -= src` over torus slices — the
+    /// key-switch accumulation (and every LWE mask subtraction).
+    #[inline]
+    pub fn sub_assign(&self, dst: &mut [Torus32], src: &[Torus32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        (self.sub_assign)(dst, src)
+    }
+}
+
+/// The scalar kernel set (always available).
+static SCALAR: Kernels = Kernels {
+    path: SimdPath::Scalar,
+    mac: scalar::mac,
+    fft_passes: scalar::fft_passes,
+    fwd_twist: scalar::fwd_twist,
+    inv_untwist_round: scalar::inv_untwist_round,
+    extract_digits: scalar::extract_digits,
+    sub_assign: scalar::sub_assign,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Kernels = Kernels {
+    path: SimdPath::Avx2,
+    mac: avx2::mac,
+    fft_passes: avx2::fft_passes,
+    fwd_twist: avx2::fwd_twist,
+    inv_untwist_round: avx2::inv_untwist_round,
+    extract_digits: avx2::extract_digits,
+    sub_assign: avx2::sub_assign,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON: Kernels = Kernels {
+    path: SimdPath::Neon,
+    mac: neon::mac,
+    fft_passes: neon::fft_passes,
+    fwd_twist: neon::fwd_twist,
+    inv_untwist_round: neon::inv_untwist_round,
+    extract_digits: neon::extract_digits,
+    sub_assign: neon::sub_assign,
+};
+
+/// The kernel set for an explicit path, or `None` when the running CPU
+/// cannot execute it. Equivalence tests use this to compare backends
+/// directly without touching the process-global dispatch.
+pub fn kernels_for(path: SimdPath) -> Option<&'static Kernels> {
+    if !path.is_supported() {
+        return None;
+    }
+    Some(match path {
+        SimdPath::Scalar => &SCALAR,
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => &AVX2,
+        #[cfg(target_arch = "aarch64")]
+        SimdPath::Neon => &NEON,
+        // `is_supported` already ruled these out on this architecture.
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("unsupported path slipped past is_supported"),
+    })
+}
+
+/// Best path the running CPU supports.
+pub fn best_available() -> SimdPath {
+    if SimdPath::Avx2.is_supported() {
+        SimdPath::Avx2
+    } else if SimdPath::Neon.is_supported() {
+        SimdPath::Neon
+    } else {
+        SimdPath::Scalar
+    }
+}
+
+const PATH_UNRESOLVED: u8 = u8::MAX;
+
+/// Process-global active path id, resolved lazily from `PYTFHE_SIMD`.
+static ACTIVE: AtomicU8 = AtomicU8::new(PATH_UNRESOLVED);
+
+fn path_from_env() -> SimdPath {
+    let requested = match std::env::var("PYTFHE_SIMD") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdPath::Scalar),
+            "avx2" => Some(SimdPath::Avx2),
+            "neon" => Some(SimdPath::Neon),
+            // "auto", empty, and unknown values all mean "pick for me".
+            _ => None,
+        },
+        Err(_) => None,
+    };
+    match requested {
+        Some(p) if p.is_supported() => p,
+        // An explicitly requested but unrunnable backend degrades to
+        // scalar (never crash on someone else's machine).
+        Some(_) => SimdPath::Scalar,
+        None => best_available(),
+    }
+}
+
+fn resolve() -> u8 {
+    let id = path_from_env().id();
+    // A concurrent set_active_path may have raced us; either value is a
+    // valid resolved state, so last store wins harmlessly.
+    ACTIVE.store(id, Ordering::Relaxed);
+    id
+}
+
+fn by_id(id: u8) -> &'static Kernels {
+    match id {
+        #[cfg(target_arch = "x86_64")]
+        1 => &AVX2,
+        #[cfg(target_arch = "aarch64")]
+        2 => &NEON,
+        _ => &SCALAR,
+    }
+}
+
+/// The process-global active kernel set, resolving `PYTFHE_SIMD` on
+/// first use. Every hot-loop call site goes through this (one relaxed
+/// atomic load once resolved).
+#[inline]
+pub fn kernels() -> &'static Kernels {
+    let id = ACTIVE.load(Ordering::Relaxed);
+    if id == PATH_UNRESOLVED {
+        return by_id(resolve());
+    }
+    by_id(id)
+}
+
+/// The backend the process is currently dispatching to.
+pub fn active_path() -> SimdPath {
+    kernels().path
+}
+
+/// Re-points the process-global dispatch at `path`. Returns `false`
+/// (leaving the dispatch unchanged) when the CPU cannot run `path`.
+/// Intended for benchmark harnesses that measure several backends in
+/// one process; library code should rely on `PYTFHE_SIMD` instead.
+pub fn set_active_path(path: SimdPath) -> bool {
+    if !path.is_supported() {
+        return false;
+    }
+    ACTIVE.store(path.id(), Ordering::Relaxed);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_supported_and_resolvable() {
+        assert!(SimdPath::Scalar.is_supported());
+        assert!(kernels_for(SimdPath::Scalar).is_some());
+        assert_eq!(kernels_for(SimdPath::Scalar).unwrap().path(), SimdPath::Scalar);
+    }
+
+    #[test]
+    fn active_path_is_supported_and_named() {
+        let p = active_path();
+        assert!(p.is_supported());
+        assert!(["scalar", "avx2", "neon"].contains(&p.name()));
+        assert_eq!(format!("{p}"), p.name());
+    }
+
+    #[test]
+    fn best_available_matches_declared_support() {
+        let best = best_available();
+        assert!(best.is_supported());
+        // Nothing strictly better than `best` may claim support.
+        if best == SimdPath::Scalar {
+            assert!(!SimdPath::Avx2.is_supported() && !SimdPath::Neon.is_supported());
+        }
+    }
+
+    #[test]
+    fn unsupported_paths_yield_no_kernels() {
+        for p in SimdPath::ALL {
+            assert_eq!(kernels_for(p).is_some(), p.is_supported(), "{p}");
+        }
+    }
+}

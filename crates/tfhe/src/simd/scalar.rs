@@ -1,0 +1,110 @@
+//! Portable scalar kernels — the pre-SIMD hot loops, moved here
+//! verbatim so the fallback path is bit-identical to the code it
+//! replaced. Every vector backend is tested against these.
+//!
+//! The loops stay written over flat slices in the same shapes the
+//! autovectorizer liked before, so `PYTFHE_SIMD=scalar` costs nothing
+//! relative to the pre-dispatch code.
+
+use crate::torus::Torus32;
+
+/// `s += a * b` pointwise over split re/im slices.
+pub fn mac(sr: &mut [f64], si: &mut [f64], ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64]) {
+    let m = sr.len();
+    let (sr, si) = (&mut sr[..m], &mut si[..m]);
+    let (ar, ai) = (&ar[..m], &ai[..m]);
+    let (br, bi) = (&br[..m], &bi[..m]);
+    for j in 0..m {
+        sr[j] += ar[j] * br[j] - ai[j] * bi[j];
+        si[j] += ar[j] * bi[j] + ai[j] * br[j];
+    }
+}
+
+/// All butterfly passes of one in-place radix-2 DIT FFT over
+/// bit-reversed split buffers. `st_re`/`st_im` are the per-stage
+/// contiguous twiddle tables (stage `len = 2` first).
+pub fn fft_passes(re: &mut [f64], im: &mut [f64], st_re: &[f64], st_im: &[f64]) {
+    let m = re.len();
+    let mut len = 2;
+    let mut pos = 0;
+    while len <= m {
+        let half = len / 2;
+        let w_re = &st_re[pos..pos + half];
+        let w_im = &st_im[pos..pos + half];
+        for start in (0..m).step_by(len) {
+            for j in 0..half {
+                let wr = w_re[j];
+                let wi = w_im[j];
+                let ur = re[start + j];
+                let ui = im[start + j];
+                let xr = re[start + j + half];
+                let xi = im[start + j + half];
+                let vr = xr * wr - xi * wi;
+                let vi = xr * wi + xi * wr;
+                re[start + j] = ur + vr;
+                im[start + j] = ui + vi;
+                re[start + j + half] = ur - vr;
+                im[start + j + half] = ui - vi;
+            }
+        }
+        pos += half;
+        len <<= 1;
+    }
+}
+
+/// Forward fold + twist: `(c[j] + i·c[j+m]) · twist[j]` for `j < m`.
+pub fn fwd_twist(c: &[i32], tw_re: &[f64], tw_im: &[f64], re: &mut [f64], im: &mut [f64]) {
+    let m = re.len();
+    let (lo, hi) = c.split_at(m);
+    for j in 0..m {
+        let l = lo[j] as f64;
+        let h = hi[j] as f64;
+        re[j] = l * tw_re[j] - h * tw_im[j];
+        im[j] = l * tw_im[j] + h * tw_re[j];
+    }
+}
+
+/// Inverse unscale + untwist + unfold + round to torus coefficients:
+/// the real part lands in `out[j]`, the imaginary part in `out[j+m]`.
+pub fn inv_untwist_round(
+    re: &mut [f64],
+    im: &mut [f64],
+    tw_re: &[f64],
+    tw_im: &[f64],
+    out: &mut [Torus32],
+) {
+    let m = re.len();
+    let scale = 1.0 / m as f64;
+    let (out_lo, out_hi) = out.split_at_mut(m);
+    for j in 0..m {
+        let cr = re[j] * scale;
+        let ci = im[j] * scale;
+        let dr = cr * tw_re[j] + ci * tw_im[j];
+        let di = ci * tw_re[j] - cr * tw_im[j];
+        // Round to the nearest torus element; arithmetic is exact mod
+        // 2^32 because |d| < 2^52.
+        out_lo[j] = Torus32((dr.round_ties_even() as i64) as u32);
+        out_hi[j] = Torus32((di.round_ties_even() as i64) as u32);
+    }
+}
+
+/// One level of signed gadget decomposition.
+pub fn extract_digits(
+    c: &[Torus32],
+    offset: u32,
+    shift: u32,
+    mask: u32,
+    half_base: i32,
+    out: &mut [i32],
+) {
+    for (o, &cj) in out.iter_mut().zip(c) {
+        *o = ((cj.0.wrapping_add(offset) >> shift) & mask) as i32 - half_base;
+    }
+}
+
+/// Wrapping element-wise `dst -= src`.
+pub fn sub_assign(dst: &mut [Torus32], src: &[Torus32]) {
+    for (x, y) in dst.iter_mut().zip(src) {
+        *x -= *y;
+    }
+}

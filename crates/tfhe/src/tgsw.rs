@@ -45,18 +45,27 @@ impl Gadget {
     }
 
     /// Like [`Gadget::decompose_poly`] but reuses allocations.
+    ///
+    /// Runs level-major so each level is one flat pass over the
+    /// coefficients through the dispatched [`crate::simd`] digit-extract
+    /// kernel; every digit is a pure function of its own coefficient, so
+    /// the loop order does not change any result.
     pub fn decompose_poly_into(&self, p: &TorusPoly, out: &mut [IntPoly]) {
         debug_assert_eq!(out.len(), self.levels);
         let base_mask = (1u32 << self.base_log) - 1;
         let half_base = 1i32 << (self.base_log - 1);
         let offset = self.offset();
-        for (j, &c) in p.coeffs().iter().enumerate() {
-            let tmp = c.0.wrapping_add(offset);
-            for (level, digits) in out.iter_mut().enumerate() {
-                let shift = 32 - (level + 1) * self.base_log;
-                let digit = ((tmp >> shift) & base_mask) as i32 - half_base;
-                digits.coeffs_mut()[j] = digit;
-            }
+        let kernels = crate::simd::kernels();
+        for (level, digits) in out.iter_mut().enumerate() {
+            let shift = (32 - (level + 1) * self.base_log) as u32;
+            kernels.extract_digits(
+                p.coeffs(),
+                offset,
+                shift,
+                base_mask,
+                half_base,
+                digits.coeffs_mut(),
+            );
         }
     }
 }

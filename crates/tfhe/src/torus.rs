@@ -10,12 +10,27 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
 /// An element of the real torus `R/Z` with 32-bit precision.
+///
+/// `#[repr(transparent)]` is load-bearing: the SIMD kernels in
+/// [`crate::simd`] reinterpret `&[Torus32]` as `&[u32]`/`&[i32]` for
+/// vector loads, which is only sound with a guaranteed layout.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Torus32(pub u32);
 
 impl Torus32 {
     /// The torus zero.
     pub const ZERO: Torus32 = Torus32(0);
+
+    /// Reinterprets a torus slice as its signed-integer lifts (the
+    /// elementwise [`Torus32::as_i32`]), without copying.
+    #[inline]
+    pub fn slice_as_i32(s: &[Torus32]) -> &[i32] {
+        // SAFETY: Torus32 is #[repr(transparent)] over u32, which has
+        // the same size and alignment as i32; every bit pattern is a
+        // valid i32.
+        unsafe { std::slice::from_raw_parts(s.as_ptr() as *const i32, s.len()) }
+    }
 
     /// Encodes the fraction `numerator / 2^log2_denominator`, e.g.
     /// `Torus32::from_fraction(1, 3)` is `1/8` — the canonical message

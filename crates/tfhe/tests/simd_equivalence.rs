@@ -1,0 +1,263 @@
+//! SIMD-vs-scalar equivalence suite for the dispatched kernel layer.
+//!
+//! Every vector backend the host CPU can run is compared against the
+//! portable scalar kernels (which are the pre-SIMD hot loops, moved
+//! verbatim):
+//!
+//! * integer kernels (`extract_digits`, `sub_assign`) must be
+//!   **bit-identical** at every length, including tails shorter than one
+//!   vector width;
+//! * `f64` kernels (`fwd_twist`, `fft_passes`, `mac`,
+//!   `inv_untwist_round`) use fused multiply-add on the vector paths, so
+//!   their intermediate spectra legitimately differ in low mantissa
+//!   bits — the contract is **torus-domain bit-equality** after the
+//!   inverse transform's final rounding (DESIGN.md §10), checked here
+//!   over the full forward → MAC → inverse pipeline;
+//! * encrypted gate round trips must decrypt correctly under whatever
+//!   path `PYTFHE_SIMD` selected (CI runs this suite once per setting).
+
+use proptest::prelude::*;
+use pytfhe_tfhe::simd::{self, Kernels, SimdPath};
+use pytfhe_tfhe::torus::Torus32;
+use pytfhe_tfhe::{ClientKey, Params, SecureRng};
+
+/// Every backend the running CPU supports, scalar first.
+fn supported_kernels() -> Vec<&'static Kernels> {
+    SimdPath::ALL.iter().filter_map(|&p| simd::kernels_for(p)).collect()
+}
+
+/// Test-local rebuild of the `FftPlan` tables (same formulas), so the
+/// suite can drive each backend's kernels directly without touching the
+/// process-global dispatch.
+struct Tables {
+    m: usize,
+    fwd_re: Vec<f64>,
+    fwd_im: Vec<f64>,
+    inv_re: Vec<f64>,
+    inv_im: Vec<f64>,
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+    rev: Vec<u32>,
+}
+
+impl Tables {
+    fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2);
+        let m = n / 2;
+        let (mut fwd_re, mut fwd_im) = (Vec::new(), Vec::new());
+        let (mut inv_re, mut inv_im) = (Vec::new(), Vec::new());
+        let mut len = 2;
+        while len <= m {
+            let step = m / len;
+            for j in 0..len / 2 {
+                let theta = 2.0 * std::f64::consts::PI * (j * step) as f64 / m as f64;
+                fwd_re.push(theta.cos());
+                fwd_im.push(theta.sin());
+                inv_re.push(theta.cos());
+                inv_im.push(-theta.sin());
+            }
+            len <<= 1;
+        }
+        let (mut tw_re, mut tw_im) = (Vec::new(), Vec::new());
+        for j in 0..m {
+            let theta = std::f64::consts::PI * j as f64 / n as f64;
+            tw_re.push(theta.cos());
+            tw_im.push(theta.sin());
+        }
+        let bits = m.trailing_zeros();
+        let rev = (0..m as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        Tables { m, fwd_re, fwd_im, inv_re, inv_im, tw_re, tw_im, rev }
+    }
+
+    fn bit_reverse(&self, re: &mut [f64], im: &mut [f64]) {
+        for i in 0..self.m {
+            let j = self.rev[i] as usize;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+    }
+
+    /// Forward transform of signed coefficients through `k`'s kernels.
+    fn forward(&self, k: &Kernels, c: &[i32]) -> (Vec<f64>, Vec<f64>) {
+        let mut re = vec![0.0; self.m];
+        let mut im = vec![0.0; self.m];
+        k.fwd_twist(c, &self.tw_re, &self.tw_im, &mut re, &mut im);
+        self.bit_reverse(&mut re, &mut im);
+        k.fft_passes(&mut re, &mut im, &self.fwd_re, &self.fwd_im);
+        (re, im)
+    }
+
+    /// Inverse transform + rounding through `k`'s kernels.
+    fn inverse_round(&self, k: &Kernels, re: &mut [f64], im: &mut [f64]) -> Vec<Torus32> {
+        self.bit_reverse(re, im);
+        k.fft_passes(re, im, &self.inv_re, &self.inv_im);
+        let mut out = vec![Torus32::ZERO; 2 * self.m];
+        k.inv_untwist_round(re, im, &self.tw_re, &self.tw_im, &mut out);
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Gadget digit extraction is bit-identical across every backend, at
+    /// every length (tails included) and every decomposition geometry.
+    #[test]
+    fn extract_digits_bit_identical(
+        coeffs in prop::collection::vec(any::<u32>(), 0..67),
+        base_log in 1usize..16,
+        level in 0usize..4,
+        offset in any::<u32>(),
+    ) {
+        let c: Vec<Torus32> = coeffs.into_iter().map(Torus32).collect();
+        let shift = (32 - (level + 1) * base_log.min(8)) as u32;
+        let mask = (1u32 << base_log) - 1;
+        let half_base = 1i32 << (base_log - 1);
+        let scalar = simd::kernels_for(SimdPath::Scalar).unwrap();
+        let mut want = vec![0i32; c.len()];
+        scalar.extract_digits(&c, offset, shift, mask, half_base, &mut want);
+        for k in supported_kernels() {
+            let mut got = vec![0i32; c.len()];
+            k.extract_digits(&c, offset, shift, mask, half_base, &mut got);
+            prop_assert_eq!(&got, &want, "path={}", k.path());
+        }
+    }
+
+    /// Wrapping subtraction is bit-identical across every backend, at
+    /// every length.
+    #[test]
+    fn sub_assign_bit_identical(
+        a in prop::collection::vec(any::<u32>(), 0..67),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let src: Vec<Torus32> = (0..a.len()).map(|_| Torus32::uniform(&mut rng)).collect();
+        let base: Vec<Torus32> = a.into_iter().map(Torus32).collect();
+        let scalar = simd::kernels_for(SimdPath::Scalar).unwrap();
+        let mut want = base.clone();
+        scalar.sub_assign(&mut want, &src);
+        for k in supported_kernels() {
+            let mut got = base.clone();
+            k.sub_assign(&mut got, &src);
+            prop_assert_eq!(&got, &want, "path={}", k.path());
+        }
+    }
+
+    /// The MAC kernel agrees with scalar to FMA-rounding precision at
+    /// every length (tails included): identical on the scalar-formula
+    /// tail, within a few ulps on the vector body.
+    #[test]
+    fn mac_matches_scalar_to_ulp(
+        len in 0usize..67,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let mut f = || (0..len).map(|_| Torus32::uniform(&mut rng).to_f64()).collect::<Vec<f64>>();
+        let (ar, ai, br, bi, sr0, si0) = (f(), f(), f(), f(), f(), f());
+        let scalar = simd::kernels_for(SimdPath::Scalar).unwrap();
+        let (mut wr, mut wi) = (sr0.clone(), si0.clone());
+        scalar.mac(&mut wr, &mut wi, &ar, &ai, &br, &bi);
+        for k in supported_kernels() {
+            let (mut gr, mut gi) = (sr0.clone(), si0.clone());
+            k.mac(&mut gr, &mut gi, &ar, &ai, &br, &bi);
+            for j in 0..len {
+                prop_assert!((gr[j] - wr[j]).abs() < 1e-12, "path={} re[{j}]", k.path());
+                prop_assert!((gi[j] - wi[j]).abs() < 1e-12, "path={} im[{j}]", k.path());
+            }
+        }
+    }
+
+    /// Torus-domain contract over the full pipeline: forward transform of
+    /// realistic inputs (gadget-digit × torus polynomials), pointwise
+    /// MAC, inverse transform, rounding — the torus coefficients must be
+    /// bit-equal on every backend for every size (every lane-count/tail
+    /// combination the FFT stages produce).
+    #[test]
+    fn transform_pipeline_torus_bit_equal(
+        log_n in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let n = 1 << log_n;
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let t = Tables::new(n);
+        // Gadget-digit-ranged integers and uniform torus lifts — the
+        // operand distribution of a real external product.
+        let a: Vec<i32> = (0..n).map(|_| (rng.uniform_u32() % 128) as i32 - 64).collect();
+        let b: Vec<i32> = (0..n).map(|_| Torus32::uniform(&mut rng).as_i32()).collect();
+        let scalar = simd::kernels_for(SimdPath::Scalar).unwrap();
+        let want = {
+            let fa = t.forward(scalar, &a);
+            let fb = t.forward(scalar, &b);
+            let (mut re, mut im) = (vec![0.0; t.m], vec![0.0; t.m]);
+            scalar.mac(&mut re, &mut im, &fa.0, &fa.1, &fb.0, &fb.1);
+            t.inverse_round(scalar, &mut re, &mut im)
+        };
+        for k in supported_kernels() {
+            let fa = t.forward(k, &a);
+            let fb = t.forward(k, &b);
+            let (mut re, mut im) = (vec![0.0; t.m], vec![0.0; t.m]);
+            k.mac(&mut re, &mut im, &fa.0, &fa.1, &fb.0, &fb.1);
+            let got = t.inverse_round(k, &mut re, &mut im);
+            prop_assert_eq!(&got, &want, "path={} n={}", k.path(), n);
+        }
+    }
+
+    /// Forward/inverse round trip is exact on every backend: transform a
+    /// torus polynomial and round back, coefficients must be unchanged.
+    #[test]
+    fn round_trip_exact_on_every_backend(
+        log_n in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let n = 1 << log_n;
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let t = Tables::new(n);
+        let p: Vec<Torus32> = (0..n).map(|_| Torus32::uniform(&mut rng)).collect();
+        let lifts: Vec<i32> = p.iter().map(|c| c.as_i32()).collect();
+        for k in supported_kernels() {
+            let (mut re, mut im) = t.forward(k, &lifts);
+            let got = t.inverse_round(k, &mut re, &mut im);
+            prop_assert_eq!(&got, &p, "path={} n={}", k.path(), n);
+        }
+    }
+}
+
+proptest! {
+    // Encrypted round trips bootstrap thousands of gates; keep the case
+    // count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Encrypted gate-level round trip under the dispatch the process
+    /// actually selected (`PYTFHE_SIMD` / auto): every binary gate's
+    /// truth table must survive encrypt → bootstrap → decrypt.
+    #[test]
+    fn encrypted_gates_round_trip_on_active_path(seed in any::<u64>()) {
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let mut scratch = server.gate_scratch();
+        for a in [false, true] {
+            for b in [false, true] {
+                let ca = client.encrypt_bit(a, &mut rng);
+                let cb = client.encrypt_bit(b, &mut rng);
+                let path = simd::active_path();
+                prop_assert_eq!(
+                    client.decrypt_bit(&server.nand_with(&ca, &cb, &mut scratch)),
+                    !(a && b), "nand({a},{b}) on {}", path
+                );
+                prop_assert_eq!(
+                    client.decrypt_bit(&server.xor_with(&ca, &cb, &mut scratch)),
+                    a ^ b, "xor({a},{b}) on {}", path
+                );
+                prop_assert_eq!(
+                    client.decrypt_bit(&server.mux_with(&ca, &ca, &cb, &mut scratch)),
+                    if a { a } else { b }, "mux({a},{a},{b}) on {}", path
+                );
+            }
+        }
+    }
+}

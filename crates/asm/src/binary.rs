@@ -22,6 +22,9 @@ fn words(binary: &[u8]) -> impl Iterator<Item = u128> + '_ {
 /// topologically ordered by construction), then one output instruction
 /// per declared output.
 pub fn assemble(nl: &Netlist) -> Bytes {
+    let _span = pytfhe_telemetry::span_with("asm", || {
+        format!("assemble: {} nodes, {} outputs", nl.num_nodes(), nl.outputs().len())
+    });
     let mut buf =
         BytesMut::with_capacity((1 + nl.num_nodes() + nl.outputs().len()) * INSTRUCTION_BYTES);
     let mut put = |inst: Instruction| buf.put_u128_le(inst.encode());
@@ -56,6 +59,8 @@ pub fn assemble(nl: &Netlist) -> Bytes {
 ///
 /// Returns the specific [`AsmError`] for the first violation found.
 pub fn disassemble(binary: &[u8]) -> Result<Netlist, AsmError> {
+    let _span =
+        pytfhe_telemetry::span_with("asm", || format!("disassemble: {} bytes", binary.len()));
     if !binary.len().is_multiple_of(INSTRUCTION_BYTES) {
         return Err(AsmError::Misaligned { len: binary.len() });
     }

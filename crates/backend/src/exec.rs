@@ -11,6 +11,7 @@ use crate::error::ExecError;
 use crate::fault::{FaultInjector, RetryPolicy, TaskFate};
 use pytfhe_netlist::topo::{LevelSchedule, Levels};
 use pytfhe_netlist::{Netlist, Node};
+use pytfhe_telemetry as telemetry;
 use std::time::Instant;
 
 /// Execution statistics.
@@ -75,6 +76,104 @@ impl ExecStats {
             simd_path: pytfhe_tfhe::simd::active_path().name(),
         }
     }
+
+    /// Serializes every counter as one JSON object — the single
+    /// machine-readable form used by `repro`, examples, and tests
+    /// (schema is stable: all fields always present, `null` for a run
+    /// that did not resume).
+    pub fn to_json(&self) -> String {
+        let kinds =
+            self.kernels_by_kind.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(", ");
+        format!(
+            concat!(
+                "{{\n",
+                "  \"gates\": {gates},\n",
+                "  \"waves\": {waves},\n",
+                "  \"wall_s\": {wall_s},\n",
+                "  \"retries\": {retries},\n",
+                "  \"evicted_workers\": {evicted_workers},\n",
+                "  \"checkpoints\": {checkpoints},\n",
+                "  \"resumed_from_wave\": {resumed},\n",
+                "  \"capture_s\": {capture_s},\n",
+                "  \"replay_s\": {replay_s},\n",
+                "  \"plan_cached\": {plan_cached},\n",
+                "  \"batches\": {batches},\n",
+                "  \"kernel_launches\": {kernel_launches},\n",
+                "  \"kernels_by_kind\": [{kinds}],\n",
+                "  \"simd_path\": \"{simd_path}\"\n",
+                "}}"
+            ),
+            gates = self.gates,
+            waves = self.waves,
+            wall_s = self.wall_s,
+            retries = self.retries,
+            evicted_workers = self.evicted_workers,
+            checkpoints = self.checkpoints,
+            resumed = match self.resumed_from_wave {
+                Some(w) => w.to_string(),
+                None => "null".to_string(),
+            },
+            capture_s = self.capture_s,
+            replay_s = self.replay_s,
+            plan_cached = self.plan_cached,
+            batches = self.batches,
+            kernel_launches = self.kernel_launches,
+            kinds = kinds,
+            simd_path = self.simd_path,
+        )
+    }
+
+    /// Publishes the run's counters into the global telemetry metrics
+    /// registry (the Prometheus and summary exporters read from there).
+    /// No-op when telemetry is disabled.
+    pub fn record_metrics(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let m = telemetry::metrics();
+        m.counter_add("exec_gates_total", self.gates as u64);
+        m.counter_add("exec_waves_total", self.waves as u64);
+        m.counter_add("exec_retries_total", self.retries);
+        m.counter_add("exec_evicted_workers_total", self.evicted_workers as u64);
+        m.counter_add("exec_checkpoints_total", self.checkpoints as u64);
+        m.counter_add("exec_batches_total", self.batches as u64);
+        m.counter_add("exec_kernel_launches_total", self.kernel_launches);
+        m.observe_seconds("exec_wall_seconds", self.wall_s);
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    /// Human-readable counter block. Fault-tolerance and kernel-graph
+    /// lines only appear on runs where those paths were exercised.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gates             {}\nwaves             {}\nwall time         {:.3} s\nsimd path         {}",
+            self.gates, self.waves, self.wall_s, self.simd_path
+        )?;
+        if let Some(w) = self.resumed_from_wave {
+            write!(f, "\nresumed from wave {w}")?;
+        }
+        if self.retries > 0 || self.evicted_workers > 0 || self.checkpoints > 0 {
+            write!(
+                f,
+                "\nretries           {}\nevicted workers   {}\ncheckpoints       {}",
+                self.retries, self.evicted_workers, self.checkpoints
+            )?;
+        }
+        if self.batches > 0 || self.plan_cached || self.capture_s > 0.0 || self.replay_s > 0.0 {
+            write!(
+                f,
+                "\nplan              {}\ncapture           {:.3} s\nreplay            {:.3} s\nbatches           {}\nkernel launches   {}",
+                if self.plan_cached { "cached" } else { "captured" },
+                self.capture_s,
+                self.replay_s,
+                self.batches,
+                self.kernel_launches
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Smallest wave size worth a thread-scope spawn: below this, the
@@ -98,6 +197,8 @@ pub fn execute<E: GateEngine>(
         return Err(ExecError::InputCountMismatch { expected: nl.num_inputs(), got: inputs.len() });
     }
     nl.validate()?;
+    let _span =
+        telemetry::span_with("exec", || format!("reference execute: {} gates", nl.num_gates()));
     let start = Instant::now();
     let filler = engine.constant(false);
     let mut values: Vec<E::Value> = vec![filler; nl.num_nodes()];
@@ -118,6 +219,7 @@ pub fn execute<E: GateEngine>(
     let outputs = nl.outputs().iter().map(|o| values[o.index()].clone()).collect();
     let mut stats = ExecStats::for_gates(nl.num_gates());
     stats.wall_s = start.elapsed().as_secs_f64();
+    stats.record_metrics();
     Ok((outputs, stats))
 }
 
@@ -141,6 +243,9 @@ pub fn execute_parallel<E: GateEngine>(
         return Err(ExecError::InputCountMismatch { expected: nl.num_inputs(), got: inputs.len() });
     }
     nl.validate()?;
+    let _span = telemetry::span_with("exec", || {
+        format!("wavefront execute: {} gates, {workers} workers", nl.num_gates())
+    });
     let start = Instant::now();
     let schedule = LevelSchedule::compute(nl);
     let filler = engine.constant(false);
@@ -150,11 +255,14 @@ pub fn execute_parallel<E: GateEngine>(
     }
     let nodes = nl.nodes();
     let mut waves_run = 0;
-    for wave in &schedule.waves {
+    for (wave_idx, wave) in schedule.waves.iter().enumerate() {
         if wave.is_empty() {
             continue;
         }
         waves_run += 1;
+        let _wave_span =
+            telemetry::span_with("exec", || format!("wave {wave_idx}: {} gates", wave.len()));
+        telemetry::counter_sample("exec", "wave_width", wave.len() as f64);
         if wave.len() < PARALLEL_WAVE_MIN || workers == 1 {
             // Serial fast path: no thread spawn for narrow waves.
             let mut scratch = engine.scratch();
@@ -170,8 +278,14 @@ pub fn execute_parallel<E: GateEngine>(
         let results: Result<Vec<ChunkResults<E::Value>>, ExecError> = std::thread::scope(|scope| {
             let handles: Vec<_> = wave
                 .chunks(chunk)
-                .map(|part| {
+                .enumerate()
+                .map(|(worker, part)| {
                     scope.spawn(move || {
+                        let _chunk_span = telemetry::worker_span_with(
+                            "exec",
+                            || format!("wave {wave_idx} chunk: {} gates", part.len()),
+                            worker as u32,
+                        );
                         let mut scratch = engine.scratch();
                         part.iter()
                             .map(|&g| {
@@ -205,6 +319,7 @@ pub fn execute_parallel<E: GateEngine>(
     let mut stats = ExecStats::for_gates(nl.num_gates());
     stats.waves = waves_run;
     stats.wall_s = start.elapsed().as_secs_f64();
+    stats.record_metrics();
     Ok((outputs, stats))
 }
 
@@ -280,6 +395,9 @@ where
         return Err(ExecError::InputCountMismatch { expected: nl.num_inputs(), got: inputs.len() });
     }
     nl.validate()?;
+    let _span = telemetry::span_with("exec", || {
+        format!("resilient execute: {} gates, {} workers", nl.num_gates(), cfg.workers)
+    });
     let start = Instant::now();
     let levels = Levels::compute(nl);
     let schedule = LevelSchedule::from_levels(nl, &levels);
@@ -332,9 +450,13 @@ where
             continue;
         }
         stats.waves += 1;
+        let _wave_span =
+            telemetry::span_with("exec", || format!("wave {wave_idx}: {} gates", wave.len()));
+        telemetry::counter_sample("exec", "wave_width", wave.len() as f64);
         let wave_start = Instant::now();
         let mut pending: Vec<u32> = wave.clone();
         while !pending.is_empty() {
+            telemetry::counter_sample("exec", "queue_depth", pending.len() as f64);
             if let Some(deadline) = cfg.retry.wave_deadline {
                 if wave_start.elapsed() > deadline {
                     return Err(ExecError::WaveDeadlineExceeded { wave: wave_idx });
@@ -374,6 +496,13 @@ where
                     WorkerOutcome::Crashed => {
                         alive.retain(|&w| w != worker);
                         stats.evicted_workers += 1;
+                        if telemetry::enabled() {
+                            telemetry::instant_on_worker(
+                                "exec",
+                                format!("worker {worker} evicted (wave {wave_idx})"),
+                                worker as u32,
+                            );
+                        }
                     }
                     WorkerOutcome::Done { results, retries } => {
                         stats.retries += retries;
@@ -397,13 +526,17 @@ where
                     let live = last_read[i] > wave_idx as u32 || is_output[i];
                     (computed_gate && live).then(|| (i as u32, &values[i]))
                 });
+                let ckpt_span =
+                    telemetry::span_with("exec", || format!("checkpoint after wave {wave_idx}"));
                 store.save(&Checkpoint::capture(wave_idx, fingerprint, frontier))?;
+                ckpt_span.end();
                 stats.checkpoints += 1;
             }
         }
     }
     let outputs = nl.outputs().iter().map(|o| values[o.index()].clone()).collect();
     stats.wall_s = start.elapsed().as_secs_f64();
+    stats.record_metrics();
     Ok((outputs, stats))
 }
 
@@ -428,6 +561,11 @@ where
     if faults.worker_crashes(wave, worker) {
         return WorkerOutcome::Crashed;
     }
+    let _chunk_span = telemetry::worker_span_with(
+        "exec",
+        || format!("wave {wave} chunk: {} gates", part.len()),
+        worker as u32,
+    );
     let mut scratch = engine.scratch();
     let mut results = Vec::with_capacity(part.len());
     let mut retries = 0u64;
@@ -455,6 +593,13 @@ where
             };
             if failed {
                 retries += 1;
+                if telemetry::enabled() {
+                    telemetry::instant_on_worker(
+                        "exec",
+                        format!("retry gate {g} (attempt {attempt})"),
+                        worker as u32,
+                    );
+                }
                 if attempt >= policy.max_attempts.max(1) {
                     return WorkerOutcome::Exhausted { gate: g, attempts: attempt };
                 }
@@ -607,6 +752,55 @@ mod tests {
         let (_, stats) = execute(&engine, &nl, &input).unwrap();
         assert_eq!(stats.simd_path, pytfhe_tfhe::simd::active_path().name());
         assert!(["scalar", "avx2", "neon"].contains(&stats.simd_path));
+    }
+
+    #[test]
+    fn exec_stats_json_is_well_formed_and_complete() {
+        let nl = adder4();
+        let engine = PlainEngine::new();
+        let mut input = to_bits(3, 4);
+        input.extend(to_bits(5, 4));
+        let (_, stats) = execute_parallel(&engine, &nl, &input, 2).unwrap();
+        let json = stats.to_json();
+        pytfhe_telemetry::json::validate(&json).unwrap_or_else(|e| panic!("{e}: {json}"));
+        for key in [
+            "\"gates\"",
+            "\"waves\"",
+            "\"wall_s\"",
+            "\"retries\"",
+            "\"evicted_workers\"",
+            "\"checkpoints\"",
+            "\"resumed_from_wave\": null",
+            "\"capture_s\"",
+            "\"replay_s\"",
+            "\"plan_cached\"",
+            "\"batches\"",
+            "\"kernel_launches\"",
+            "\"kernels_by_kind\"",
+            "\"simd_path\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn exec_stats_display_sections_are_conditional() {
+        let mut stats = ExecStats::for_gates(7);
+        stats.waves = 3;
+        stats.wall_s = 0.25;
+        let plain = stats.to_string();
+        assert!(plain.contains("gates"));
+        assert!(plain.contains("simd path"));
+        assert!(!plain.contains("retries"), "fault lines hidden on clean runs:\n{plain}");
+        assert!(!plain.contains("batches"), "graph lines hidden off the graph path:\n{plain}");
+
+        stats.retries = 2;
+        stats.plan_cached = true;
+        stats.resumed_from_wave = Some(4);
+        let full = stats.to_string();
+        assert!(full.contains("retries           2"));
+        assert!(full.contains("resumed from wave 4"));
+        assert!(full.contains("plan              cached"));
     }
 
     #[test]

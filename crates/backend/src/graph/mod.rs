@@ -35,6 +35,7 @@ use crate::engine::GateEngine;
 use crate::error::ExecError;
 use crate::exec::ExecStats;
 use pytfhe_netlist::Netlist;
+use pytfhe_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -80,9 +81,12 @@ impl KernelGraph {
         if let Some(plan) = self.cache.lock().expect("plan cache poisoned").get(&fp) {
             return Ok((Arc::clone(plan), true, 0.0));
         }
+        let capture_span =
+            telemetry::span_with("graph", || format!("capture plan: {} gates", nl.num_gates()));
         let start = Instant::now();
         let plan = Arc::new(capture(nl, &self.cfg)?);
         let capture_s = start.elapsed().as_secs_f64();
+        capture_span.end();
         self.cache.lock().expect("plan cache poisoned").insert(fp, Arc::clone(&plan));
         Ok((plan, false, capture_s))
     }
@@ -129,8 +133,17 @@ impl KernelGraph {
     ) -> Result<(Vec<E::Value>, ExecStats), ExecError> {
         let start = Instant::now();
         let (plan, cached, capture_s) = self.plan_for(nl)?;
+        let replay_span = telemetry::span_with("graph", || {
+            format!(
+                "replay: {} gates, {} batches{}",
+                plan.num_gates(),
+                plan.batches.len(),
+                if cached { " (cached plan)" } else { "" }
+            )
+        });
         let replay_start = Instant::now();
         let (out, report) = replay(engine, &plan, inputs, lanes)?;
+        replay_span.end();
         let mut stats = ExecStats::for_gates(report.gates);
         stats.waves = report.waves;
         stats.batches = report.batches;
@@ -140,6 +153,7 @@ impl KernelGraph {
         stats.capture_s = capture_s;
         stats.replay_s = replay_start.elapsed().as_secs_f64();
         stats.wall_s = start.elapsed().as_secs_f64();
+        stats.record_metrics();
         Ok((out, stats))
     }
 }

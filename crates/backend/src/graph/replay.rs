@@ -13,6 +13,7 @@
 use crate::engine::GateEngine;
 use crate::error::ExecError;
 use crate::graph::plan::{GateGroup, KernelPlan};
+use pytfhe_telemetry as telemetry;
 
 /// Reusable replay storage: the value arena (one slot per netlist
 /// node), the kernel staging arena, and one scratch per worker lane.
@@ -93,8 +94,11 @@ pub fn replay<E: GateEngine>(
     for (&slot, input) in plan.inputs.iter().zip(inputs) {
         lanes.values[slot as usize].clone_from(input);
     }
-    for batch in &plan.batches {
+    for (batch_idx, batch) in plan.batches.iter().enumerate() {
         report.batches += 1;
+        let _batch_span = telemetry::span_with("graph", || {
+            format!("batch {batch_idx}: {} waves", batch.waves.len())
+        });
         for wave in &batch.waves {
             report.waves += 1;
             for group in &wave.groups {
@@ -150,6 +154,12 @@ fn run_group<E: GateEngine>(
     };
     report.kernel_launches += launches;
     report.kernels_by_kind[group.kind.opcode() as usize] += launches;
+    if telemetry::enabled() {
+        telemetry::metrics().counter_add(
+            &format!("graph_kernel_launches_total{{kind=\"{}\"}}", group.kind),
+            launches,
+        );
+    }
     for (t, staged) in tasks.iter().zip(stage.iter_mut()) {
         std::mem::swap(&mut lanes.values[t.out as usize], staged);
     }

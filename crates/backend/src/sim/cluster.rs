@@ -200,6 +200,7 @@ impl ClusterSim {
     /// Simulates the wavefront execution of `profile`.
     pub fn simulate(&self, profile: &ProgramProfile) -> ClusterReport {
         let workers = self.config.workers().max(1) as u64;
+        let telemetry_on = pytfhe_telemetry::enabled();
         let mut cluster_s = 0.0;
         let mut waves = 0;
         let mut gates = 0u64;
@@ -210,7 +211,19 @@ impl ClusterSim {
             }
             waves += 1;
             gates += n;
-            cluster_s += self.wave_s(n, workers);
+            let dur = self.wave_s(n, workers);
+            if telemetry_on {
+                // Virtual-time span: simulated seconds, one lane per
+                // cluster shape, rendered next to real execution.
+                pytfhe_telemetry::sim_span(
+                    "cluster-sim",
+                    format!("{}x{} workers", self.config.nodes, self.config.cores_per_node),
+                    format!("wave {}: {n} gates", waves - 1),
+                    cluster_s,
+                    cluster_s + dur,
+                );
+            }
+            cluster_s += dur;
         }
         let single_core_s = gates as f64 * self.cost.gate_s();
         ClusterReport { cluster_s, single_core_s, waves, gates }

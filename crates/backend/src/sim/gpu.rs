@@ -225,6 +225,7 @@ impl GpuSim {
             t.push("PCIe", format!("D2H #{i}"), now, now + d2h);
             now += d2h + self.gpu.sync_s;
         }
+        t.record_telemetry("gpu-sim cuFHE");
         t
     }
 
@@ -249,6 +250,7 @@ impl GpuSim {
                 build_done += build_s;
             }
         }
+        t.record_telemetry("gpu-sim CUDA-graphs");
         t
     }
 }

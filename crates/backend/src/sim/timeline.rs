@@ -50,6 +50,20 @@ impl Timeline {
         self.segments.iter().filter(|s| s.lane == lane).map(|s| s.end_s - s.start_s).sum()
     }
 
+    /// Mirrors every segment into the telemetry recorder as
+    /// virtual-time spans under `process`, so simulated Gantt charts
+    /// (the Figure 8/9 schedules) render in the same Chrome trace
+    /// viewer as the real execution that ran alongside them. No-op when
+    /// telemetry is disabled.
+    pub fn record_telemetry(&self, process: &'static str) {
+        if !pytfhe_telemetry::enabled() {
+            return;
+        }
+        for s in &self.segments {
+            pytfhe_telemetry::sim_span(process, s.lane, s.label.clone(), s.start_s, s.end_s);
+        }
+    }
+
     /// Renders an ASCII Gantt chart, `width` characters wide.
     pub fn render(&self, width: usize) -> String {
         let span = self.makespan_s().max(1e-12);

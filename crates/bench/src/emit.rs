@@ -1,0 +1,247 @@
+//! The single writer behind every `results/BENCH_*.json` document.
+//!
+//! All machine-readable bench output shares one schema so downstream
+//! tooling parses every file the same way:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "fft",
+//!   "machine": { "os": "linux", "arch": "x86_64", "simd_path": "avx2" },
+//!   "config": { "poly_size": 1024, "gate_params": "testing" },
+//!   "metrics": [
+//!     { "name": "forward_int_s", "value": 1.2e-5, "unit": "s" }
+//!   ]
+//! }
+//! ```
+//!
+//! `machine` is filled in automatically (OS, architecture, and the SIMD
+//! path the `tfhe` kernels dispatched to); `config` holds the
+//! bench-specific knobs; `metrics` is an ordered list so readers never
+//! need to know field names up front. Serialization is hand-rolled on
+//! top of the telemetry crate's JSON helpers — the workspace carries no
+//! serde.
+
+use pytfhe_telemetry::export::{escape_json, json_f64};
+use std::path::Path;
+
+/// Version of the shared `BENCH_*.json` schema. Bump on breaking shape
+/// changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A JSON scalar in a bench report: configuration values and metric
+/// values are all one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An exact count.
+    U64(u64),
+    /// A measurement.
+    F64(f64),
+    /// A tag (parameter-set name, workload name, ...).
+    Text(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl Value {
+    fn render(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) => json_f64(*v),
+            Value::Text(s) => format!("\"{}\"", escape_json(s)),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Metric {
+    name: String,
+    value: Value,
+    unit: Option<&'static str>,
+}
+
+/// Builder for one `BENCH_*.json` document.
+///
+/// Configuration entries and metrics render in insertion order, so the
+/// emitted file is deterministic for a given run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    bench: String,
+    config: Vec<(String, Value)>,
+    metrics: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// Starts a report for the bench called `bench` (e.g. `"fft"`).
+    pub fn new(bench: impl Into<String>) -> Self {
+        BenchReport { bench: bench.into(), config: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Records a configuration knob (workload, scale, worker count, ...).
+    pub fn config(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.config.push((key.into(), value.into()));
+        self
+    }
+
+    /// Records a wall-time measurement in seconds.
+    pub fn metric_seconds(&mut self, name: impl Into<String>, seconds: f64) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            value: Value::F64(seconds),
+            unit: Some("s"),
+        });
+    }
+
+    /// Records a dimensionless ratio (speedups and the like).
+    pub fn metric_ratio(&mut self, name: impl Into<String>, ratio: f64) {
+        self.metrics.push(Metric { name: name.into(), value: Value::F64(ratio), unit: Some("x") });
+    }
+
+    /// Records an exact count.
+    pub fn metric_count(&mut self, name: impl Into<String>, count: u64) {
+        self.metrics.push(Metric { name: name.into(), value: Value::U64(count), unit: None });
+    }
+
+    /// Renders the document. Always a single JSON object terminated by a
+    /// newline; guaranteed to parse (no `NaN`/`inf` leaks, everything
+    /// string-escaped).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape_json(&self.bench)));
+        out.push_str("  \"machine\": {\n");
+        out.push_str(&format!("    \"os\": \"{}\",\n", escape_json(std::env::consts::OS)));
+        out.push_str(&format!("    \"arch\": \"{}\",\n", escape_json(std::env::consts::ARCH)));
+        out.push_str(&format!(
+            "    \"simd_path\": \"{}\"\n",
+            escape_json(pytfhe_tfhe::simd::active_path().name())
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"config\": {");
+        for (i, (key, value)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", escape_json(key), value.render()));
+        }
+        out.push_str(if self.config.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let unit = match m.unit {
+                Some(u) => format!(", \"unit\": \"{u}\""),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "\n    {{ \"name\": \"{}\", \"value\": {}{unit} }}",
+                escape_json(&m.name),
+                m.value.render(),
+            ));
+        }
+        out.push_str(if self.metrics.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the document to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_json_with_shared_schema() {
+        let mut r = BenchReport::new("demo")
+            .config("workload", "MNIST_S")
+            .config("workers", 4usize)
+            .config("quick", true);
+        r.metric_seconds("capture_s", 0.25);
+        r.metric_count("gates", 1234);
+        r.metric_ratio("speedup", 3.5);
+        let json = r.to_json();
+        pytfhe_telemetry::json::validate(&json).expect("well-formed JSON");
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains("\"simd_path\""));
+        assert!(json.contains("\"workload\": \"MNIST_S\""));
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("{ \"name\": \"capture_s\", \"value\": 0.25, \"unit\": \"s\" }"));
+        assert!(json.contains("{ \"name\": \"gates\", \"value\": 1234 }"));
+        assert!(json.contains("{ \"name\": \"speedup\", \"value\": 3.5, \"unit\": \"x\" }"));
+    }
+
+    #[test]
+    fn empty_sections_stay_valid() {
+        let json = BenchReport::new("empty").to_json();
+        pytfhe_telemetry::json::validate(&json).expect("well-formed JSON");
+        assert!(json.contains("\"config\": {}"));
+        assert!(json.contains("\"metrics\": []"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let json = BenchReport::new("quo\"te").config("k", "v\\1\n2").to_json();
+        pytfhe_telemetry::json::validate(&json).expect("well-formed JSON");
+        assert!(json.contains("\"bench\": \"quo\\\"te\""));
+        assert!(json.contains("\"k\": \"v\\\\1\\n2\""));
+    }
+
+    #[test]
+    fn non_finite_measurements_never_break_the_document() {
+        let mut r = BenchReport::new("inf");
+        r.metric_seconds("bad", f64::INFINITY);
+        r.metric_ratio("nan", f64::NAN);
+        let json = r.to_json();
+        pytfhe_telemetry::json::validate(&json).expect("well-formed JSON");
+        assert!(json.contains("1e308"));
+    }
+}

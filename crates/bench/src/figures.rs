@@ -5,6 +5,7 @@
 //! returns the rendered report. EXPERIMENTS.md records the paper-vs-
 //! reproduced comparison for every entry.
 
+use crate::emit::BenchReport;
 use crate::report::{bar, fmt_seconds, Table};
 use pytfhe_asm::{assemble, dump};
 use pytfhe_backend::cost::{CpuCostModel, GpuCostModel};
@@ -525,48 +526,28 @@ pub fn kernel_graph(scale: Scale) -> (String, String) {
     );
     out.push_str("MNIST_S, plaintext functional engine; same-kind gates share one batched kernel per wave.\n\n");
     out.push_str(&table.render());
+    out.push_str(&format!("\nfirst-run ExecStats:\n{first}\n"));
 
-    let mut kinds = String::new();
+    let mut report = BenchReport::new("kernel_graph")
+        .config("workload", "MNIST_S")
+        .config("scale", if scale == Scale::Paper { "paper" } else { "test" })
+        .config("workers", workers);
+    report.metric_count("gates", first.gates as u64);
+    report.metric_count("waves", first.waves as u64);
+    report.metric_count("batches", first.batches as u64);
+    report.metric_count("kernel_launches", first.kernel_launches);
+    report.metric_seconds("capture_s", first.capture_s);
+    report.metric_seconds("first_replay_s", first.replay_s);
+    report.metric_seconds("cached_replay_s", cached_replay_s);
+    report.metric_seconds("wavefront_s", wavefront.wall_s);
     for (op, &n) in first.kernels_by_kind.iter().enumerate() {
         if n == 0 {
             continue;
         }
         let kind = GateKind::from_opcode(op as u8).expect("counted opcode");
-        if !kinds.is_empty() {
-            kinds.push_str(", ");
-        }
-        kinds.push_str(&format!("\"{}\": {n}", kind.mnemonic()));
+        report.metric_count(format!("kernel_launches{{kind=\"{}\"}}", kind.mnemonic()), n);
     }
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"workload\": \"MNIST_S\",\n",
-            "  \"scale\": \"{scale}\",\n",
-            "  \"workers\": {workers},\n",
-            "  \"gates\": {gates},\n",
-            "  \"waves\": {waves},\n",
-            "  \"batches\": {batches},\n",
-            "  \"kernel_launches\": {launches},\n",
-            "  \"capture_s\": {capture:.6},\n",
-            "  \"first_replay_s\": {first_replay:.6},\n",
-            "  \"cached_replay_s\": {cached_replay:.6},\n",
-            "  \"wavefront_s\": {wavefront:.6},\n",
-            "  \"kernel_launches_by_kind\": {{ {kinds} }}\n",
-            "}}\n"
-        ),
-        scale = if scale == Scale::Paper { "paper" } else { "test" },
-        workers = workers,
-        gates = first.gates,
-        waves = first.waves,
-        batches = first.batches,
-        launches = first.kernel_launches,
-        capture = first.capture_s,
-        first_replay = first.replay_s,
-        cached_replay = cached_replay_s,
-        wavefront = wavefront.wall_s,
-        kinds = kinds,
-    );
-    (out, json)
+    (out, report.to_json())
 }
 
 /// The half-complex FFT rework measured on this machine: transform
@@ -663,33 +644,18 @@ pub fn fft(full: bool) -> (String, String) {
         gate_ref / gate,
     ));
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"poly_size\": {n},\n",
-            "  \"gate_params\": \"{gp}\",\n",
-            "  \"forward_int_s\": {fwd:.9},\n",
-            "  \"forward_int_ref_s\": {fwd_ref:.9},\n",
-            "  \"negacyclic_mul_s\": {mul:.9},\n",
-            "  \"negacyclic_mul_ref_s\": {mul_ref:.9},\n",
-            "  \"bootstrap_raw_s\": {gate:.9},\n",
-            "  \"bootstrap_raw_ref_s\": {gate_ref:.9},\n",
-            "  \"transform_speedup\": {ts:.4},\n",
-            "  \"gate_speedup\": {gs:.4}\n",
-            "}}\n"
-        ),
-        n = n,
-        gp = if full { "default_128" } else { "testing" },
-        fwd = fwd,
-        fwd_ref = fwd_ref,
-        mul = mul,
-        mul_ref = mul_ref,
-        gate = gate,
-        gate_ref = gate_ref,
-        ts = mul_ref / mul,
-        gs = gate_ref / gate,
-    );
-    (out, json)
+    let mut report = BenchReport::new("fft")
+        .config("poly_size", n)
+        .config("gate_params", if full { "default_128" } else { "testing" });
+    report.metric_seconds("forward_int_s", fwd);
+    report.metric_seconds("forward_int_ref_s", fwd_ref);
+    report.metric_seconds("negacyclic_mul_s", mul);
+    report.metric_seconds("negacyclic_mul_ref_s", mul_ref);
+    report.metric_seconds("bootstrap_raw_s", gate);
+    report.metric_seconds("bootstrap_raw_ref_s", gate_ref);
+    report.metric_ratio("transform_speedup", mul_ref / mul);
+    report.metric_ratio("gate_speedup", gate_ref / gate);
+    (out, report.to_json())
 }
 
 /// `repro simd`: scalar vs runtime-dispatched SIMD kernels on the four
@@ -816,44 +782,18 @@ pub fn simd(full: bool) -> (String, String) {
         dispatched.name(),
     ));
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"scalar_path\": \"scalar\",\n",
-            "  \"dispatched_path\": \"{dp}\",\n",
-            "  \"poly_size\": {n},\n",
-            "  \"gate_params\": \"{gp}\",\n",
-            "  \"negacyclic_mul_scalar_s\": {s0:.9},\n",
-            "  \"negacyclic_mul_s\": {v0:.9},\n",
-            "  \"external_product_scalar_s\": {s1:.9},\n",
-            "  \"external_product_s\": {v1:.9},\n",
-            "  \"keyswitch_scalar_s\": {s2:.9},\n",
-            "  \"keyswitch_s\": {v2:.9},\n",
-            "  \"bootstrap_raw_scalar_s\": {s3:.9},\n",
-            "  \"bootstrap_raw_s\": {v3:.9},\n",
-            "  \"transform_speedup\": {t0:.4},\n",
-            "  \"external_product_speedup\": {t1:.4},\n",
-            "  \"keyswitch_speedup\": {t2:.4},\n",
-            "  \"bootstrap_speedup\": {t3:.4}\n",
-            "}}\n"
-        ),
-        dp = dispatched.name(),
-        n = n,
-        gp = if full { "default_128" } else { "testing" },
-        s0 = s[0],
-        v0 = v[0],
-        s1 = s[1],
-        v1 = v[1],
-        s2 = s[2],
-        v2 = v[2],
-        s3 = s[3],
-        v3 = v[3],
-        t0 = s[0] / v[0],
-        t1 = s[1] / v[1],
-        t2 = s[2] / v[2],
-        t3 = s[3] / v[3],
-    );
-    (out, json)
+    let mut report = BenchReport::new("simd")
+        .config("scalar_path", "scalar")
+        .config("dispatched_path", dispatched.name())
+        .config("poly_size", n)
+        .config("gate_params", if full { "default_128" } else { "testing" });
+    let names = ["negacyclic_mul", "external_product", "keyswitch", "bootstrap_raw"];
+    for (name, (&sv, &vv)) in names.iter().zip(s.iter().zip(&v)) {
+        report.metric_seconds(format!("{name}_scalar_s"), sv);
+        report.metric_seconds(format!("{name}_s"), vv);
+        report.metric_ratio(format!("{name}_speedup"), sv / vv);
+    }
+    (out, report.to_json())
 }
 
 #[cfg(test)]
@@ -902,9 +842,12 @@ mod tests {
         let (text, json) = kernel_graph(Scale::Test);
         assert!(text.contains("capture"));
         assert!(text.contains("cached replay"));
+        pytfhe_telemetry::json::validate(&json).expect("BENCH document must parse");
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"bench\": \"kernel_graph\""));
+        assert!(json.contains("\"simd_path\""));
         assert!(json.contains("\"workload\": \"MNIST_S\""));
         assert!(json.contains("\"cached_replay_s\""));
-        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 
     #[test]

@@ -102,14 +102,27 @@ pub fn compile_with(
     dtype: DType,
     opt: &OptConfig,
 ) -> Result<CompiledModel, TorchError> {
+    let _span =
+        pytfhe_telemetry::span_with("compile", || format!("compile: shape {input_shape:?}"));
     let mut c = Circuit::new();
     let input = Tensor::input(&mut c, "input", input_shape, dtype);
     let output = model.forward(&mut c, &input)?;
     let output_shape = output.shape().to_vec();
     output.output(&mut c, "output");
+    let elaborate_span = pytfhe_telemetry::span("compile", "elaborate circuit");
     let netlist = c.finish().map_err(TorchError::Hdl)?;
+    elaborate_span.end();
+    let opt_span = pytfhe_telemetry::span_with("compile", || {
+        format!("optimize netlist: {} gates", netlist.num_gates())
+    });
     let (netlist, _) =
         optimize(&netlist, opt).map_err(|e| TorchError::Hdl(pytfhe_hdl::HdlError::Netlist(e)))?;
+    opt_span.end();
+    if pytfhe_telemetry::enabled() {
+        let m = pytfhe_telemetry::metrics();
+        m.gauge_set("compile_netlist_gates", netlist.num_gates() as f64);
+        m.gauge_set("compile_netlist_bootstrapped_gates", netlist.num_bootstrapped_gates() as f64);
+    }
     Ok(CompiledModel { netlist, dtype, input_shape: input_shape.to_vec(), output_shape })
 }
 

@@ -6,6 +6,7 @@ use pytfhe_backend::{
     KernelGraph, ResilientConfig, TfheEngine,
 };
 use pytfhe_netlist::Netlist;
+use pytfhe_telemetry as telemetry;
 use pytfhe_tfhe::{ClientKey, LweCiphertext, Params, SecureRng, ServerKey};
 
 /// The data owner: holds the secret key, encrypts inputs, decrypts
@@ -34,16 +35,19 @@ impl Client {
 
     /// Derives the public evaluation key to ship to the server.
     pub fn make_server_key(&mut self) -> ServerKey {
+        let _span = telemetry::span("session", "derive server key");
         self.key.server_key(&mut self.rng)
     }
 
     /// Encrypts raw bits (little-endian program order).
     pub fn encrypt_bits(&mut self, bits: &[bool]) -> Vec<LweCiphertext> {
+        let _span = telemetry::span_with("session", || format!("encrypt {} bits", bits.len()));
         self.key.encrypt_bits(bits, &mut self.rng)
     }
 
     /// Decrypts ciphertexts to bits.
     pub fn decrypt_bits(&self, cts: &[LweCiphertext]) -> Vec<bool> {
+        let _span = telemetry::span_with("session", || format!("decrypt {} bits", cts.len()));
         self.key.decrypt_bits(cts)
     }
 
@@ -77,7 +81,13 @@ pub struct Server {
 
 impl Server {
     /// Creates a server around a received evaluation key.
+    ///
+    /// When telemetry is enabled, publishes the parameter set's
+    /// analytical noise budget (fresh/blind-rotation/key-switch/gate
+    /// output variances and the gate failure probability) as gauges, so
+    /// every trace carries the noise model it ran under.
     pub fn new(key: ServerKey) -> Self {
+        pytfhe_tfhe::NoiseModel::new(*key.params()).record_gauges();
         Server { key, graph: KernelGraph::new() }
     }
 
@@ -99,6 +109,9 @@ impl Server {
         inputs: &[LweCiphertext],
         workers: usize,
     ) -> Result<Vec<LweCiphertext>, ExecError> {
+        let _span = telemetry::span_with("session", || {
+            format!("execute: {} gates, {workers} workers", program.num_gates())
+        });
         let engine = TfheEngine::new(&self.key);
         let (out, _) = execute_parallel(&engine, program, inputs, workers)?;
         Ok(out)
@@ -120,6 +133,9 @@ impl Server {
         inputs: &[LweCiphertext],
         workers: usize,
     ) -> Result<(Vec<LweCiphertext>, ExecStats), ExecError> {
+        let _span = telemetry::span_with("session", || {
+            format!("execute_graph: {} gates, {workers} workers", program.num_gates())
+        });
         let engine = TfheEngine::new(&self.key);
         self.graph.execute(&engine, program, inputs, workers)
     }
@@ -144,6 +160,9 @@ impl Server {
         faults: &dyn FaultInjector,
         store: Option<&mut dyn CheckpointStore>,
     ) -> Result<(Vec<LweCiphertext>, ExecStats), ExecError> {
+        let _span = telemetry::span_with("session", || {
+            format!("execute_resilient: {} gates, {} workers", program.num_gates(), cfg.workers)
+        });
         let engine = TfheEngine::new(&self.key);
         execute_resilient(&engine, program, inputs, cfg, faults, store)
     }

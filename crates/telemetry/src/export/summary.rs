@@ -1,0 +1,177 @@
+//! Compact plain-text summary: spans aggregated by name plus the
+//! metrics registry, for terminal output at the end of a run.
+
+use std::collections::BTreeMap;
+
+use crate::{Event, EventKind, MetricsSnapshot};
+
+/// Renders a human-readable summary table: recorded spans aggregated
+/// by `(category, name)` with call counts and total/mean durations,
+/// followed by counters, gauges, and histogram means.
+pub fn summary_table(events: &[Event], snapshot: &MetricsSnapshot) -> String {
+    #[derive(Default)]
+    struct Agg {
+        count: u64,
+        total_ns: u64,
+    }
+    let mut spans: BTreeMap<(String, String), Agg> = BTreeMap::new();
+    for e in events {
+        if let EventKind::Span { dur_ns } = e.kind {
+            let agg = spans.entry((e.cat.to_string(), e.name.clone())).or_default();
+            agg.count += 1;
+            agg.total_ns += dur_ns;
+        }
+    }
+
+    let mut rows: Vec<[String; 4]> = Vec::new();
+    // Sort hottest-first so the expensive phases top the table.
+    let mut by_cost: Vec<_> = spans.into_iter().collect();
+    by_cost.sort_by_key(|(_, agg)| std::cmp::Reverse(agg.total_ns));
+    for ((cat, name), agg) in by_cost {
+        rows.push([
+            format!("{cat}/{name}"),
+            format!("{}", agg.count),
+            fmt_ns(agg.total_ns),
+            fmt_ns(agg.total_ns / agg.count.max(1)),
+        ]);
+    }
+
+    let mut out = String::new();
+    if !rows.is_empty() {
+        out.push_str(&render(["span", "count", "total", "mean"], &rows));
+    }
+
+    let mut metric_rows: Vec<[String; 2]> = Vec::new();
+    for (name, value) in &snapshot.counters {
+        metric_rows.push([name.clone(), format!("{value}")]);
+    }
+    for (name, value) in &snapshot.gauges {
+        metric_rows.push([name.clone(), format!("{value:.4}")]);
+    }
+    for (name, hist) in &snapshot.histograms {
+        metric_rows.push([
+            name.clone(),
+            format!(
+                "n={} mean={} total={}",
+                hist.count(),
+                fmt_ns((hist.mean() * 1e9) as u64),
+                fmt_ns((hist.sum() * 1e9) as u64)
+            ),
+        ]);
+    }
+    if !metric_rows.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&render(["metric", "value"], &metric_rows));
+    }
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded; set PYTFHE_TRACE=1)\n");
+    }
+    out
+}
+
+fn render<const N: usize>(header: [&str; N], rows: &[[String; N]]) -> String {
+    let mut widths: [usize; N] = [0; N];
+    for (i, h) in header.iter().enumerate() {
+        widths[i] = h.len();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[&str], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..widths[i] {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(&header, &mut out);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let rule_refs: Vec<&str> = rule.iter().map(String::as_str).collect();
+    line(&rule_refs, &mut out);
+    for row in rows {
+        let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+        line(&refs, &mut out);
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lane, Metrics};
+
+    #[test]
+    fn aggregates_spans_hottest_first() {
+        let events = vec![
+            Event {
+                kind: EventKind::Span { dur_ns: 1_000_000 },
+                cat: "exec",
+                name: "wave".into(),
+                lane: Lane::Thread(0),
+                ts_ns: 0,
+            },
+            Event {
+                kind: EventKind::Span { dur_ns: 3_000_000 },
+                cat: "exec",
+                name: "wave".into(),
+                lane: Lane::Thread(0),
+                ts_ns: 0,
+            },
+            Event {
+                kind: EventKind::Span { dur_ns: 9_000_000 },
+                cat: "tfhe",
+                name: "bootstrap".into(),
+                lane: Lane::Thread(0),
+                ts_ns: 0,
+            },
+        ];
+        let table = summary_table(&events, &MetricsSnapshot::default());
+        let boot = table.find("tfhe/bootstrap").unwrap();
+        let wave = table.find("exec/wave").unwrap();
+        assert!(boot < wave, "hottest span must come first:\n{table}");
+        assert!(table.contains("2"), "wave count aggregated:\n{table}");
+    }
+
+    #[test]
+    fn includes_metrics_sections() {
+        let m = Metrics::default();
+        m.counter_add("exec_retries_total", 3);
+        m.gauge_set("noise_sigma", 0.015);
+        m.observe_seconds("boot_seconds", 0.02);
+        let table = summary_table(&[], &m.snapshot());
+        assert!(table.contains("exec_retries_total"));
+        assert!(table.contains("noise_sigma"));
+        assert!(table.contains("boot_seconds"));
+        assert!(table.contains("n=1"));
+    }
+
+    #[test]
+    fn empty_summary_points_at_the_env_var() {
+        let table = summary_table(&[], &MetricsSnapshot::default());
+        assert!(table.contains("PYTFHE_TRACE"));
+    }
+}

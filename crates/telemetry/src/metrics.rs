@@ -1,0 +1,241 @@
+//! The global metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Names follow Prometheus conventions (`snake_case`, unit suffix,
+//! `_total` for counters). Labels are carried *in the name* in
+//! exposition syntax — e.g. `tfhe_blind_rotate_seconds{gate="nand"}` —
+//! which keeps the registry a flat map and lets the Prometheus exporter
+//! splice `le` buckets into the existing label set.
+//!
+//! Unlike the span recorder, the registry is **not** gated on
+//! [`crate::enabled`]: updates are explicit calls on [`metrics`], and
+//! call sites on hot paths gate themselves (the executors only time and
+//! observe when tracing is on). This lets tests and benches use the
+//! registry directly without flipping the global trace switch.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Default latency buckets (seconds), log-spaced from 1µs to 10s —
+/// wide enough to cover both a single SIMD butterfly pass and a full
+/// multi-second encrypted inference.
+pub const SECONDS_BUCKETS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// A fixed-bucket histogram: cumulative-style observation counts plus
+/// sum, in the shape Prometheus exposition wants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, strictly increasing.
+    uppers: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; one extra slot
+    /// at the end for the +Inf overflow bucket.
+    counts: Vec<u64>,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(uppers: &[f64]) -> Self {
+        debug_assert!(uppers.windows(2).all(|w| w[0] < w[1]));
+        Histogram { uppers: uppers.to_vec(), counts: vec![0; uppers.len() + 1], sum: 0.0 }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self.uppers.iter().position(|&u| value <= u).unwrap_or(self.uppers.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observed value, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs for the finite buckets;
+    /// the +Inf bucket is implied by [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        self.uppers
+            .iter()
+            .zip(&self.counts)
+            .map(|(&u, &c)| {
+                acc += c;
+                (u, acc)
+            })
+            .collect()
+    }
+}
+
+/// Registry of named counters, gauges, and histograms. Obtain the
+/// process-wide instance with [`metrics`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("metrics registry poisoned")
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Observes a latency into the named histogram with the default
+    /// [`SECONDS_BUCKETS`].
+    pub fn observe_seconds(&self, name: &str, seconds: f64) {
+        self.observe(name, seconds, SECONDS_BUCKETS);
+    }
+
+    /// Observes `value` into the named histogram, creating it with
+    /// `buckets` (strictly increasing upper bounds) on first use.
+    /// Later observations reuse the histogram's original buckets.
+    pub fn observe(&self, name: &str, value: f64, buckets: &[f64]) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(buckets))
+            .observe(value);
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Clears every metric (test isolation).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+    }
+}
+
+/// A point-in-time copy of the registry, as sorted maps so exporters
+/// emit deterministic output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// The process-wide metrics registry.
+pub fn metrics() -> &'static Metrics {
+    static REGISTRY: OnceLock<Metrics> = OnceLock::new();
+    REGISTRY.get_or_init(Metrics::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::default();
+        m.counter_add("gates_total", 2);
+        m.counter_add("gates_total", 3);
+        assert_eq!(m.snapshot().counters["gates_total"], 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = Metrics::default();
+        m.gauge_set("queue_depth", 4.0);
+        m.gauge_set("queue_depth", 1.0);
+        assert_eq!(m.snapshot().gauges["queue_depth"], 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let m = Metrics::default();
+        m.observe("lat", 0.5, &[1.0, 2.0, 4.0]);
+        m.observe("lat", 1.5, &[1.0, 2.0, 4.0]);
+        m.observe("lat", 100.0, &[1.0, 2.0, 4.0]); // overflow bucket
+        let h = &m.snapshot().histograms["lat"];
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 102.0).abs() < 1e-12);
+        assert_eq!(h.cumulative_buckets(), vec![(1.0, 1), (2.0, 2), (4.0, 2)]);
+        assert!((h.mean() - 34.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_value_lands_in_its_bucket() {
+        // Prometheus buckets are `le` (less-or-equal) bounds.
+        let m = Metrics::default();
+        m.observe("b", 1.0, &[1.0, 2.0]);
+        assert_eq!(m.snapshot().histograms["b"].cumulative_buckets()[0], (1.0, 1));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = Metrics::default();
+        m.counter_add("c", 1);
+        m.gauge_set("g", 1.0);
+        m.observe_seconds("h", 0.1);
+        m.reset();
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn registry_is_thread_safe() {
+        let m = Metrics::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        m.counter_add("hits_total", 1);
+                        m.observe_seconds("lat_seconds", 1e-4);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["hits_total"], 400);
+        assert_eq!(snap.histograms["lat_seconds"].count(), 400);
+    }
+}

@@ -63,6 +63,23 @@ impl BootGate {
         BootGate::Oryn,
     ];
 
+    /// Lower-case gate name, used as the `gate` label on telemetry
+    /// metrics (`tfhe_blind_rotate_seconds{gate="nand"}`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BootGate::Nand => "nand",
+            BootGate::And => "and",
+            BootGate::Or => "or",
+            BootGate::Nor => "nor",
+            BootGate::Xor => "xor",
+            BootGate::Xnor => "xnor",
+            BootGate::Andny => "andny",
+            BootGate::Andyn => "andyn",
+            BootGate::Orny => "orny",
+            BootGate::Oryn => "oryn",
+        }
+    }
+
     /// The plaintext truth table (for test oracles).
     pub fn eval(self, a: bool, b: bool) -> bool {
         match self {
@@ -131,6 +148,18 @@ impl GateProfile {
     }
 }
 
+/// Records one gate's blind-rotate/key-switch timing split into the
+/// per-gate-kind histograms — the live data behind the Figure 7
+/// reproduction. Only called when telemetry is enabled.
+#[cold]
+fn record_gate_split(gate: BootGate, blind_rotate_s: f64, key_switch_s: f64) {
+    let m = pytfhe_telemetry::metrics();
+    let name = gate.name();
+    m.observe_seconds(&format!("tfhe_blind_rotate_seconds{{gate=\"{name}\"}}"), blind_rotate_s);
+    m.observe_seconds(&format!("tfhe_key_switch_seconds{{gate=\"{name}\"}}"), key_switch_s);
+    m.counter_add("tfhe_bootstraps_total", 1);
+}
+
 impl ServerKey {
     fn mu() -> Torus32 {
         Torus32::from_fraction(1, MU_LOG2_DENOM)
@@ -189,6 +218,11 @@ impl ServerKey {
         scratch: &mut GateScratch,
         out: &mut LweCiphertext,
     ) {
+        // The disabled-telemetry check is a single atomic load; the timed
+        // variant is kept out of line so this hot path stays lean.
+        if pytfhe_telemetry::enabled() {
+            return self.gate_into_timed(gate, a, b, scratch, out);
+        }
         self.combo_into(gate, a, b, &mut scratch.combo);
         self.bootstrap.bootstrap_raw_into(
             &scratch.combo,
@@ -197,6 +231,31 @@ impl ServerKey {
             &mut scratch.raw,
         );
         self.keyswitch.switch_into(&scratch.raw, out);
+    }
+
+    /// [`ServerKey::gate_into`] with per-phase timing feeding the
+    /// per-gate-kind blind-rotate/key-switch histograms.
+    #[cold]
+    fn gate_into_timed(
+        &self,
+        gate: BootGate,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        scratch: &mut GateScratch,
+        out: &mut LweCiphertext,
+    ) {
+        use std::time::Instant;
+        self.combo_into(gate, a, b, &mut scratch.combo);
+        let t0 = Instant::now();
+        self.bootstrap.bootstrap_raw_into(
+            &scratch.combo,
+            Self::mu(),
+            &mut scratch.boot,
+            &mut scratch.raw,
+        );
+        let t1 = Instant::now();
+        self.keyswitch.switch_into(&scratch.raw, out);
+        record_gate_split(gate, (t1 - t0).as_secs_f64(), t1.elapsed().as_secs_f64());
     }
 
     /// Evaluates one batched kernel: the same gate over many input pairs.
@@ -226,7 +285,9 @@ impl ServerKey {
             scratch.soa.axpy(slot, ca, a);
             scratch.soa.axpy(slot, cb, b);
         }
+        let timed = pytfhe_telemetry::enabled();
         for (slot, out) in outs.iter_mut().enumerate() {
+            let t0 = timed.then(std::time::Instant::now);
             let (mask, body) = scratch.soa.slot(slot);
             self.bootstrap.bootstrap_raw_slices_into(
                 mask,
@@ -235,7 +296,11 @@ impl ServerKey {
                 &mut scratch.boot,
                 &mut scratch.raw,
             );
+            let t1 = timed.then(std::time::Instant::now);
             self.keyswitch.switch_into(&scratch.raw, out);
+            if let (Some(t0), Some(t1)) = (t0, t1) {
+                record_gate_split(gate, (t1 - t0).as_secs_f64(), t1.elapsed().as_secs_f64());
+            }
         }
     }
 

@@ -89,6 +89,21 @@ impl NoiseModel {
         ((p.lwe_dim as f64 + 1.0) / 12.0).sqrt() / (2.0 * p.poly_size as f64)
     }
 
+    /// Publishes the model's predictions as telemetry gauges, so every
+    /// exported trace/metrics dump carries the noise budget the run was
+    /// operating under. No-op when telemetry is disabled.
+    pub fn record_gauges(&self) {
+        if !pytfhe_telemetry::enabled() {
+            return;
+        }
+        let m = pytfhe_telemetry::metrics();
+        m.gauge_set("tfhe_noise_fresh_lwe_variance", self.fresh_lwe());
+        m.gauge_set("tfhe_noise_blind_rotation_variance", self.blind_rotation());
+        m.gauge_set("tfhe_noise_key_switch_variance", self.key_switch());
+        m.gauge_set("tfhe_noise_gate_output_variance", self.gate_output());
+        m.gauge_set("tfhe_gate_failure_probability", self.gate_failure_probability());
+    }
+
     /// A (crude, union-bound-free) estimate of the per-gate failure
     /// probability: the chance a Gaussian with the combined pre-rotation
     /// deviation leaves the margin.

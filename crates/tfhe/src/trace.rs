@@ -1,7 +1,8 @@
 //! Hot-path allocation accounting.
 //!
 //! Every constructor in this crate that takes a fresh heap buffer for a
-//! polynomial or ciphertext calls [`note_buffer_alloc`]. The counter is
+//! polynomial or ciphertext calls the crate-internal `note_buffer_alloc`
+//! hook. The counter is
 //! thread-local, so a test can bracket a single-threaded hot section —
 //! e.g. one kernel-graph replay after warm-up — and assert the delta is
 //! exactly zero without interference from other tests in the same

@@ -10,6 +10,7 @@
 //! "server", evaluate homomorphically, decrypt on the client.
 
 use pytfhe::prelude::*;
+use pytfhe_telemetry as telemetry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Compile: a half adder (the paper's Figure 6 example). --------
@@ -50,5 +51,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(bits[1], x && y);
     }
     println!("homomorphic half adder verified on all four input combinations");
+
+    // --- Observability: with PYTFHE_TRACE=1 the whole pipeline above
+    // recorded spans; export them for chrome://tracing / ui.perfetto.dev
+    // along with the per-gate-kind bootstrap metrics.
+    if telemetry::enabled() {
+        let events = telemetry::drain();
+        let snapshot = telemetry::metrics().snapshot();
+        println!("\n{}", telemetry::export::summary_table(&events, &snapshot));
+        let path = "results/trace_quickstart.json";
+        telemetry::export::write_chrome_trace(path, &events)?;
+        println!("wrote Chrome trace to {path}");
+    }
     Ok(())
 }

@@ -62,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.waves,
         stats.retries,
     );
+    println!("run 2 stats:\n{stats}");
 
     // --- Decrypt and check. ---------------------------------------------
     let out_bits = client.decrypt_bits(&outputs);

@@ -1,0 +1,129 @@
+//! Cross-crate telemetry integration: the overhead gate (a disabled run
+//! records nothing), Chrome-trace well-formedness for an end-to-end
+//! session, and the live Figure 7 reproduction — the per-gate-kind
+//! bootstrap histograms must show blind rotation dominating key
+//! switching, straight from real gate executions.
+//!
+//! The recorder, the metrics registry, and the enable switch are
+//! process-global, so every test here serializes on one mutex.
+
+use pytfhe::prelude::*;
+use pytfhe_telemetry as telemetry;
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+/// A half adder plus an extra OR so three bootstrapped gate kinds show
+/// up in the per-gate-kind histograms.
+fn program() -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.add_input();
+    let b = nl.add_input();
+    let sum = nl.add_gate(GateKind::Xor, a, b).expect("gate");
+    let carry = nl.add_gate(GateKind::And, a, b).expect("gate");
+    let any = nl.add_gate(GateKind::Or, sum, carry).expect("gate");
+    nl.mark_output(sum).expect("output");
+    nl.mark_output(carry).expect("output");
+    nl.mark_output(any).expect("output");
+    nl
+}
+
+fn run_session(seed: u64) -> (Vec<bool>, Vec<bool>) {
+    let nl = program();
+    let mut client = Client::new(Params::testing(), seed);
+    let server = Server::new(client.make_server_key());
+    let inputs = client.encrypt_bits(&[true, false]);
+    let outputs = server.execute(&nl, &inputs, 2).expect("executes");
+    (vec![true, false], client.decrypt_bits(&outputs))
+}
+
+#[test]
+fn disabled_telemetry_records_zero_spans() {
+    let _gate = GATE.lock().expect("serial telemetry tests");
+    telemetry::set_enabled(false);
+    telemetry::drain();
+    let (_, out) = run_session(11);
+    assert_eq!(out, vec![true, false, true]);
+    assert_eq!(
+        telemetry::span_count(),
+        0,
+        "with telemetry off the whole pipeline must record no spans"
+    );
+    assert!(telemetry::drain().is_empty(), "no events of any kind when disabled");
+}
+
+#[test]
+fn enabled_session_emits_a_wellformed_chrome_trace() {
+    let _gate = GATE.lock().expect("serial telemetry tests");
+    telemetry::set_enabled(true);
+    telemetry::drain();
+    let (_, out) = run_session(12);
+    telemetry::set_enabled(false);
+    let events = telemetry::drain();
+    assert_eq!(out, vec![true, false, true]);
+    assert!(!events.is_empty(), "an enabled run must record events");
+
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    for needle in ["derive server key", "encrypt 2 bits", "execute: 3 gates", "decrypt"] {
+        assert!(
+            names.iter().any(|n| n.contains(needle)),
+            "missing a span matching {needle:?} in {names:?}"
+        );
+    }
+    assert!(
+        names.iter().any(|n| n.contains("wavefront execute") || n.contains("wave ")),
+        "backend wave spans must nest under the session span"
+    );
+
+    let trace = telemetry::export::chrome_trace(&events);
+    telemetry::json::validate(&trace).expect("Chrome trace must be valid JSON");
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("\"ph\":\"X\""), "complete spans must be present");
+}
+
+#[test]
+fn live_bootstrap_histograms_reproduce_the_fig7_split() {
+    let _gate = GATE.lock().expect("serial telemetry tests");
+    telemetry::set_enabled(true);
+    telemetry::metrics().reset();
+    telemetry::drain();
+    let (_, out) = run_session(13);
+    telemetry::set_enabled(false);
+    telemetry::drain();
+    assert_eq!(out, vec![true, false, true]);
+
+    let snapshot = telemetry::metrics().snapshot();
+    let total = |prefix: &str| -> (u64, f64) {
+        snapshot
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .fold((0, 0.0), |(n, s), (_, h)| (n + h.count(), s + h.sum()))
+    };
+    let (br_count, br_s) = total("tfhe_blind_rotate_seconds");
+    let (ks_count, ks_s) = total("tfhe_key_switch_seconds");
+    assert_eq!(br_count, 3, "every bootstrapped gate observes one blind rotation");
+    assert_eq!(ks_count, 3, "every bootstrapped gate observes one key switch");
+    assert!(
+        br_s > ks_s,
+        "Figure 7: blind rotation ({br_s:.6}s) must dominate key switching ({ks_s:.6}s)"
+    );
+    for kind in ["xor", "and", "or"] {
+        assert!(
+            snapshot
+                .histograms
+                .contains_key(&format!("tfhe_blind_rotate_seconds{{gate=\"{kind}\"}}")),
+            "per-gate-kind histogram for {kind} missing"
+        );
+    }
+    assert_eq!(snapshot.counters.get("tfhe_bootstraps_total"), Some(&3));
+    assert!(
+        snapshot.gauges.contains_key("tfhe_noise_gate_output_variance"),
+        "Server::new must publish the noise budget"
+    );
+
+    // The same data renders through the Prometheus exporter.
+    let text = telemetry::export::prometheus_text(&snapshot);
+    assert!(text.contains("tfhe_blind_rotate_seconds"));
+    assert!(text.contains("le=\"+Inf\""));
+}

@@ -9,19 +9,32 @@
 //!
 //! Snapshots are tied to their program by a fingerprint of the canonical
 //! PyTFHE binary encoding, so a checkpoint can never silently resume a
-//! different circuit, and carry a trailing FNV-1a checksum so on-disk
-//! bit rot is caught at load time rather than decrypting to garbage.
-//! Values serialize via [`Checkpointable`]: one byte per plaintext bit,
-//! raw torus words for LWE ciphertexts.
+//! different circuit. Current snapshots ride inside the [`pytfhe_wire`]
+//! envelope (CRC32C over header and payload), so on-disk bit rot is
+//! caught at load time rather than decrypting to garbage; the older
+//! bare `PTCK` layout with its trailing FNV-1a checksum still loads
+//! through a compat shim. Values serialize via [`Checkpointable`]: one
+//! byte per plaintext bit, raw torus words for LWE ciphertexts.
 
 use crate::error::ExecError;
 use pytfhe_netlist::Netlist;
+use pytfhe_telemetry as telemetry;
 use pytfhe_tfhe::{LweCiphertext, Torus32};
+use pytfhe_wire as wire;
+use pytfhe_wire::Vintage;
 use std::fs;
 use std::path::PathBuf;
 
+/// Magic of the legacy bare `PTCK` layout (pre-envelope).
 const CKPT_MAGIC: u32 = 0x5054_434B; // "PTCK"
+/// The only bare-layout version ever shipped.
 const CKPT_VERSION: u32 = 1;
+/// Wire-envelope payload version. v1 was the bare `PTCK` layout;
+/// v2 moved the artifact into the envelope and dropped the in-band
+/// magic/version/FNV fields (the envelope carries all three).
+const CKPT_WIRE_VERSION: u16 = 2;
+/// Speculative allocation clamp for attacker-controlled counts.
+const MAX_PREALLOC: usize = 1 << 16;
 
 /// Values the executor can snapshot at a wave barrier.
 ///
@@ -73,9 +86,9 @@ impl Checkpointable for LweCiphertext {
     }
 }
 
-/// FNV-1a over a byte slice; used for both the program fingerprint and
-/// the snapshot payload checksum.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte slice; used for the program fingerprint, the
+/// legacy snapshot checksum, and durable-store content addressing.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);
@@ -150,12 +163,16 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Serializes the snapshot to its stable byte format.
+    /// Serializes the snapshot into the versioned wire envelope.
     pub fn to_bytes(&self) -> Vec<u8> {
+        wire::encode(wire::Format::Checkpoint, CKPT_WIRE_VERSION, &self.body_bytes())
+    }
+
+    /// The envelope payload: fingerprint, wave, then length-prefixed
+    /// frontier entries. Also the tail of the legacy bare layout.
+    fn body_bytes(&self) -> Vec<u8> {
         let payload: usize = self.entries.iter().map(|(_, b)| 8 + b.len()).sum();
-        let mut out = Vec::with_capacity(36 + payload);
-        out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
-        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        let mut out = Vec::with_capacity(20 + payload);
         out.extend_from_slice(&self.fingerprint.to_le_bytes());
         out.extend_from_slice(&(self.wave as u64).to_le_bytes());
         out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
@@ -164,21 +181,37 @@ impl Checkpoint {
             out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
             out.extend_from_slice(bytes);
         }
-        // Trailing checksum over everything above: ciphertext payloads
-        // carry no integrity of their own, so a bit-flipped snapshot
-        // would otherwise resume cleanly and decrypt to garbage.
-        let sum = fnv1a(&out);
-        out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
-    /// Parses a snapshot back from [`Checkpoint::to_bytes`] output.
+    /// Parses a snapshot back from [`Checkpoint::to_bytes`] output, or
+    /// from the legacy bare `PTCK` layout written by older builds.
     ///
     /// # Errors
     ///
-    /// Returns [`ExecError::BadCheckpoint`] on truncation, bad magic, an
-    /// unsupported version, or a payload checksum mismatch.
+    /// Returns [`ExecError::Wire`] when the envelope fails validation
+    /// and [`ExecError::BadCheckpoint`] on payload-level corruption.
     pub fn from_bytes(data: &[u8]) -> Result<Self, ExecError> {
+        Self::from_bytes_tagged(data).map(|(ckpt, _)| ckpt)
+    }
+
+    /// Like [`Checkpoint::from_bytes`], but also reports whether the
+    /// bytes used the current envelope or the legacy bare layout, so
+    /// durable stores can count pending migrations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Checkpoint::from_bytes`].
+    pub fn from_bytes_tagged(data: &[u8]) -> Result<(Self, Vintage), ExecError> {
+        if wire::is_enveloped(data) {
+            let env = wire::decode_expecting(
+                data,
+                wire::Format::Checkpoint,
+                CKPT_WIRE_VERSION..=CKPT_WIRE_VERSION,
+            )?;
+            return Ok((Self::parse_body(env.payload)?, Vintage::Current));
+        }
+        // Legacy bare layout: magic | version | body | trailing FNV-1a.
         let bad = |reason| ExecError::BadCheckpoint { reason };
         let (data, sum) =
             data.split_at_checked(data.len().wrapping_sub(8)).ok_or(bad("truncated header"))?;
@@ -196,18 +229,31 @@ impl Checkpoint {
         if u32_at(4)? != CKPT_VERSION {
             return Err(bad("unsupported version"));
         }
+        Ok((Self::parse_body(&data[8..])?, Vintage::Legacy))
+    }
+
+    /// Parses the post-header body shared by both layouts.
+    fn parse_body(data: &[u8]) -> Result<Self, ExecError> {
+        let bad = |reason| ExecError::BadCheckpoint { reason };
+        let u32_at = |i: usize| -> Result<u32, ExecError> {
+            Ok(u32::from_le_bytes(
+                data.get(i..i + 4).ok_or(bad("truncated header"))?.try_into().unwrap(),
+            ))
+        };
         let fingerprint =
-            u64::from_le_bytes(data.get(8..16).ok_or(bad("truncated header"))?.try_into().unwrap());
-        let wave = u64::from_le_bytes(
-            data.get(16..24).ok_or(bad("truncated header"))?.try_into().unwrap(),
-        ) as usize;
-        let count = u32_at(24)? as usize;
-        let mut entries = Vec::with_capacity(count.min(1 << 20));
-        let mut pos = 28;
+            u64::from_le_bytes(data.get(..8).ok_or(bad("truncated header"))?.try_into().unwrap());
+        let wave =
+            u64::from_le_bytes(data.get(8..16).ok_or(bad("truncated header"))?.try_into().unwrap())
+                as usize;
+        let count = u32_at(16)? as usize;
+        let mut entries = Vec::with_capacity(count.min(MAX_PREALLOC));
+        let mut pos = 20;
         for _ in 0..count {
             let id = u32_at(pos)?;
             let len = u32_at(pos + 4)? as usize;
-            let bytes = data.get(pos + 8..pos + 8 + len).ok_or(bad("truncated entry"))?.to_vec();
+            let end = pos.checked_add(8).and_then(|p| p.checked_add(len));
+            let bytes =
+                end.and_then(|end| data.get(pos + 8..end)).ok_or(bad("truncated entry"))?.to_vec();
             entries.push((id, bytes));
             pos += 8 + len;
         }
@@ -266,9 +312,15 @@ impl CheckpointStore for MemoryCheckpointStore {
     }
 }
 
-/// File-backed store: survives process restarts. Writes go to a
-/// temporary sibling first and are renamed into place, so an interrupt
-/// mid-save never corrupts the previous good snapshot.
+/// File-backed store: survives process restarts.
+///
+/// Saves are crash-safe: bytes go to a temporary sibling, are fsynced,
+/// and are atomically renamed into place, so a torn write can never
+/// replace the previous good snapshot. The displaced snapshot is kept
+/// as a `.prev` generation; if the current file fails validation at
+/// load time (bit rot, a corrupted rename target), it is quarantined
+/// aside as `.quarantined` and the store falls back to the previous
+/// generation instead of aborting the run.
 #[derive(Debug, Clone)]
 pub struct FileCheckpointStore {
     path: PathBuf,
@@ -284,22 +336,98 @@ impl FileCheckpointStore {
     pub fn path(&self) -> &std::path::Path {
         &self.path
     }
+
+    /// Path of the previous-generation snapshot kept for fallback.
+    pub fn prev_path(&self) -> PathBuf {
+        self.path.with_extension("prev")
+    }
+
+    /// Path a corrupt snapshot is moved to when quarantined.
+    pub fn quarantine_path(&self) -> PathBuf {
+        self.path.with_extension("quarantined")
+    }
+
+    /// Decodes one generation file; `Ok(None)` when it does not exist.
+    fn read_generation(path: &std::path::Path) -> Result<Option<Checkpoint>, ExecError> {
+        match fs::read(path) {
+            Ok(bytes) => Checkpoint::from_bytes(&bytes).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(ExecError::CheckpointIo(e.to_string())),
+        }
+    }
+
+    /// Moves a failed-validation snapshot aside (best effort) and bumps
+    /// the quarantine counter so operators can see rot happening.
+    fn quarantine(&self, path: &std::path::Path, err: &ExecError) {
+        let _ = fs::rename(path, self.quarantine_path());
+        telemetry::metrics().counter_add("checkpoint_quarantined_total", 1);
+        telemetry::metrics().counter_add(
+            &format!("checkpoint_quarantined_total{{error=\"{}\"}}", variant_label(err)),
+            1,
+        );
+    }
+}
+
+/// Coarse label for quarantine counters, stable across error payloads.
+fn variant_label(err: &ExecError) -> &'static str {
+    match err {
+        ExecError::Wire(_) => "wire",
+        ExecError::BadCheckpoint { .. } => "bad_checkpoint",
+        ExecError::CheckpointIo(_) => "io",
+        _ => "other",
+    }
+}
+
+/// Writes `bytes` to `path` crash-safely: temp sibling, fsync, atomic
+/// rename, then (on Unix) an fsync of the containing directory so the
+/// rename itself survives power loss.
+pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = path.with_extension("tmp");
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
 }
 
 impl CheckpointStore for FileCheckpointStore {
     fn save(&mut self, ckpt: &Checkpoint) -> Result<(), ExecError> {
-        let tmp = self.path.with_extension("tmp");
         let io = |e: std::io::Error| ExecError::CheckpointIo(e.to_string());
-        fs::write(&tmp, ckpt.to_bytes()).map_err(io)?;
-        fs::rename(&tmp, &self.path).map_err(io)?;
-        Ok(())
+        // Keep the displaced snapshot as a fallback generation before
+        // the new one lands.
+        if self.path.exists() {
+            fs::rename(&self.path, self.prev_path()).map_err(io)?;
+        }
+        write_atomic(&self.path, &ckpt.to_bytes()).map_err(io)
     }
 
     fn load(&self) -> Result<Option<Checkpoint>, ExecError> {
-        match fs::read(&self.path) {
-            Ok(bytes) => Checkpoint::from_bytes(&bytes).map(Some),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(ExecError::CheckpointIo(e.to_string())),
+        match Self::read_generation(&self.path) {
+            Ok(found) => Ok(found),
+            Err(err @ (ExecError::Wire(_) | ExecError::BadCheckpoint { .. })) => {
+                // The current generation is rotten: quarantine it and
+                // continue from the previous one (or from scratch) —
+                // losing one wave beats aborting the whole run.
+                self.quarantine(&self.path, &err);
+                match Self::read_generation(&self.prev_path()) {
+                    Ok(found) => {
+                        telemetry::metrics().counter_add("checkpoint_fallback_loads_total", 1);
+                        Ok(found)
+                    }
+                    Err(prev_err @ (ExecError::Wire(_) | ExecError::BadCheckpoint { .. })) => {
+                        self.quarantine(&self.prev_path(), &prev_err);
+                        Ok(None)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Err(e) => Err(e),
         }
     }
 }
@@ -415,5 +543,108 @@ mod tests {
         store.save(&ckpt).unwrap();
         assert_eq!(store.load().unwrap(), Some(ckpt));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Re-encodes a snapshot in the legacy bare `PTCK` v1 layout, as
+    /// old deployments wrote it: magic, version, body, trailing FNV-1a.
+    fn legacy_checkpoint_bytes(ckpt: &Checkpoint) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        out.extend_from_slice(&ckpt.body_bytes());
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn legacy_layout_loads_through_the_compat_shim() {
+        let ckpt = Checkpoint::capture(3, 0xFEED, [(2u32, &true), (7u32, &false)]);
+        let legacy = legacy_checkpoint_bytes(&ckpt);
+        let (back, vintage) = Checkpoint::from_bytes_tagged(&legacy).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(vintage, Vintage::Legacy);
+        let (_, vintage) = Checkpoint::from_bytes_tagged(&ckpt.to_bytes()).unwrap();
+        assert_eq!(vintage, Vintage::Current);
+
+        // Legacy-path failures keep their precise reasons.
+        let mut flipped = legacy.clone();
+        flipped[10] ^= 0x01;
+        assert_eq!(
+            Checkpoint::from_bytes(&flipped),
+            Err(ExecError::BadCheckpoint { reason: "checksum mismatch" })
+        );
+        assert!(Checkpoint::from_bytes(&legacy[..7]).is_err());
+    }
+
+    #[test]
+    fn file_store_quarantines_rot_and_falls_back_to_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("pytfhe-ckpt-fallback-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        let mut store = FileCheckpointStore::new(&path);
+
+        let first = Checkpoint::capture(1, 0xABCD, [(1u32, &true)]);
+        let second = Checkpoint::capture(2, 0xABCD, [(1u32, &false)]);
+        store.save(&first).unwrap();
+        store.save(&second).unwrap();
+        assert!(store.prev_path().exists(), "rotation should keep the displaced snapshot");
+
+        // Rot the current generation in place: the store must not
+        // surface garbage or abort — it quarantines and falls back.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.load().unwrap(), Some(first));
+        assert!(store.quarantine_path().exists());
+        assert!(!path.exists(), "rotten snapshot should have been moved aside");
+
+        let counters = telemetry::metrics().snapshot().counters;
+        assert!(*counters.get("checkpoint_quarantined_total").unwrap_or(&0) >= 1);
+        assert!(*counters.get("checkpoint_fallback_loads_total").unwrap_or(&0) >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_never_corrupts_the_previous_snapshot() {
+        let dir = std::env::temp_dir().join(format!("pytfhe-ckpt-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        let mut store = FileCheckpointStore::new(&path);
+
+        let first = Checkpoint::capture(1, 7, [(0u32, &true)]);
+        let second = Checkpoint::capture(2, 7, [(0u32, &false)]);
+        store.save(&first).unwrap();
+
+        // Crash before the rename: a torn temp sibling is simply
+        // ignored; the committed snapshot stays intact.
+        let torn = &second.to_bytes()[..second.to_bytes().len() / 2];
+        std::fs::write(path.with_extension("tmp"), torn).unwrap();
+        assert_eq!(store.load().unwrap(), Some(first.clone()));
+
+        // Torn bytes that somehow land on the committed path (a torn
+        // medium rather than a torn rename) are caught by the envelope
+        // checksum and the store recovers via the `.prev` generation.
+        store.save(&second).unwrap();
+        std::fs::write(&path, torn).unwrap();
+        assert_eq!(store.load().unwrap(), Some(first));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn both_generations_rotten_quarantines_and_starts_fresh() {
+        let dir = std::env::temp_dir().join(format!("pytfhe-ckpt-rotten-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        let mut store = FileCheckpointStore::new(&path);
+        let ckpt = Checkpoint::capture(1, 7, [(0u32, &true)]);
+        store.save(&ckpt).unwrap();
+        store.save(&ckpt).unwrap();
+        std::fs::write(&path, b"garbage").unwrap();
+        std::fs::write(store.prev_path(), b"more garbage").unwrap();
+        // Never an error, never garbage: the run restarts from scratch.
+        assert_eq!(store.load().unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -47,6 +47,11 @@ pub enum ExecError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// The wire envelope around a persisted artifact failed validation
+    /// (bad magic, checksum mismatch, version skew, torn framing).
+    Wire(pytfhe_wire::WireError),
+    /// A durable-store operation failed at the filesystem layer.
+    StoreIo(String),
 }
 
 impl fmt::Display for ExecError {
@@ -69,6 +74,8 @@ impl fmt::Display for ExecError {
             ExecError::BadCheckpoint { reason } => write!(f, "bad checkpoint: {reason}"),
             ExecError::CheckpointIo(e) => write!(f, "checkpoint i/o failed: {e}"),
             ExecError::BadPlan { reason } => write!(f, "bad kernel plan: {reason}"),
+            ExecError::Wire(e) => write!(f, "wire envelope rejected: {e}"),
+            ExecError::StoreIo(e) => write!(f, "durable store i/o failed: {e}"),
         }
     }
 }
@@ -77,6 +84,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::InvalidProgram(e) => Some(e),
+            ExecError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -85,5 +93,11 @@ impl std::error::Error for ExecError {
 impl From<pytfhe_netlist::NetlistError> for ExecError {
     fn from(e: pytfhe_netlist::NetlistError) -> Self {
         ExecError::InvalidProgram(e)
+    }
+}
+
+impl From<pytfhe_wire::WireError> for ExecError {
+    fn from(e: pytfhe_wire::WireError) -> Self {
+        ExecError::Wire(e)
     }
 }

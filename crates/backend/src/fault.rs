@@ -201,6 +201,95 @@ impl RetryPolicy {
     }
 }
 
+/// A storage-level fault applied to the bytes of a persisted artifact
+/// (server key, kernel plan, or checkpoint) before they are decoded.
+///
+/// These model what real filesystems and disks do to data at rest and
+/// across crashes; the persistence layer must turn every one of them
+/// into a typed error — never a panic, never silently-accepted garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The write was torn mid-flight: only the first `keep` bytes
+    /// landed (crash between `write` and `fsync`).
+    TornWrite {
+        /// Bytes that made it to disk.
+        keep: usize,
+    },
+    /// Media rot flipped bit `bit` of byte `byte`.
+    BitFlip {
+        /// Offset of the corrupted byte.
+        byte: usize,
+        /// Which bit flipped (0–7).
+        bit: u8,
+    },
+    /// A stale artifact was substituted for the current one — a
+    /// reordered rename, a restored-from-backup directory, or an
+    /// operator copying the wrong generation into place.
+    StaleVersion,
+    /// A rename landed twice (or a journal replayed), leaving the
+    /// artifact duplicated back-to-back in one file.
+    DuplicateRename,
+}
+
+/// Deterministic generator of [`StorageFault`]s, analogous to
+/// [`SeededFaults`] for task-level failures: case `i` of a given seed
+/// always produces the same fault at the same location, so a corpus of
+/// thousands of corruption cases replays bit-for-bit from `(seed, i)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededStorageFaults {
+    seed: u64,
+}
+
+impl SeededStorageFaults {
+    /// An injector deriving every fault from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeededStorageFaults { seed }
+    }
+
+    /// The fault chosen for case `case` against an artifact of `len`
+    /// bytes. Deterministic in `(seed, case, len)`.
+    pub fn fault(&self, case: u64, len: usize) -> StorageFault {
+        let pick = unit(self.seed, case, 0, 0);
+        match (pick * 4.0) as u32 {
+            0 => {
+                // Keep strictly fewer bytes than were written so the
+                // tear is always observable.
+                let keep = (unit(self.seed, case, 1, 0) * len as f64) as usize;
+                StorageFault::TornWrite { keep: keep.min(len.saturating_sub(1)) }
+            }
+            1 => {
+                let byte = (unit(self.seed, case, 2, 0) * len as f64) as usize;
+                let bit = (unit(self.seed, case, 3, 0) * 8.0) as u8;
+                StorageFault::BitFlip { byte: byte.min(len.saturating_sub(1)), bit: bit.min(7) }
+            }
+            2 => StorageFault::StaleVersion,
+            _ => StorageFault::DuplicateRename,
+        }
+    }
+
+    /// Applies case `case` to `bytes`, returning the post-fault file
+    /// contents. `stale` stands in for an earlier generation of the
+    /// artifact when the fault is [`StorageFault::StaleVersion`].
+    pub fn corrupt(&self, case: u64, bytes: &[u8], stale: &[u8]) -> Vec<u8> {
+        match self.fault(case, bytes.len()) {
+            StorageFault::TornWrite { keep } => bytes[..keep.min(bytes.len())].to_vec(),
+            StorageFault::BitFlip { byte, bit } => {
+                let mut out = bytes.to_vec();
+                if let Some(b) = out.get_mut(byte) {
+                    *b ^= 1 << bit;
+                }
+                out
+            }
+            StorageFault::StaleVersion => stale.to_vec(),
+            StorageFault::DuplicateRename => {
+                let mut out = bytes.to_vec();
+                out.extend_from_slice(bytes);
+                out
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +350,40 @@ mod tests {
     fn jitter_differs_across_gates() {
         let p = RetryPolicy::default();
         assert_ne!(p.backoff(1, 4), p.backoff(2, 4));
+    }
+
+    #[test]
+    fn storage_faults_are_deterministic_and_cover_every_variant() {
+        let inj = SeededStorageFaults::new(0xD15C);
+        let mut torn = 0;
+        let mut flip = 0;
+        let mut stale = 0;
+        let mut dup = 0;
+        for case in 0..256u64 {
+            assert_eq!(inj.fault(case, 100), inj.fault(case, 100));
+            match inj.fault(case, 100) {
+                StorageFault::TornWrite { keep } => {
+                    assert!(keep < 100);
+                    torn += 1;
+                }
+                StorageFault::BitFlip { byte, bit } => {
+                    assert!(byte < 100 && bit < 8);
+                    flip += 1;
+                }
+                StorageFault::StaleVersion => stale += 1,
+                StorageFault::DuplicateRename => dup += 1,
+            }
+        }
+        assert!(torn > 0 && flip > 0 && stale > 0 && dup > 0, "{torn}/{flip}/{stale}/{dup}");
+    }
+
+    #[test]
+    fn corrupt_always_changes_the_bytes() {
+        let inj = SeededStorageFaults::new(1);
+        let good = vec![0xAAu8; 64];
+        let stale = vec![0x55u8; 32];
+        for case in 0..256u64 {
+            assert_ne!(inj.corrupt(case, &good, &stale), good, "case {case} was a no-op");
+        }
     }
 }

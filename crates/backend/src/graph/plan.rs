@@ -5,6 +5,8 @@
 
 use crate::error::ExecError;
 use pytfhe_netlist::GateKind;
+use pytfhe_wire as wire;
+use pytfhe_wire::Vintage;
 
 /// One gate instance inside a batched kernel: evaluate the group's kind
 /// on value slots `a` and `b`, writing slot `out`. Unary gates read only
@@ -125,16 +127,26 @@ impl KernelPlan {
     }
 }
 
+/// Legacy pre-envelope magic; read-only through the compat shim.
 const PLAN_MAGIC: &[u8; 4] = b"PTKG";
+/// Legacy pre-envelope version byte.
 const PLAN_VERSION: u8 = 1;
+/// Current plan body version inside the wire envelope. The body layout
+/// is byte-identical to legacy v1 after its magic+version prefix; the
+/// envelope adds the integrity and versioning the raw layout lacked.
+const PLAN_WIRE_VERSION: u16 = 2;
 
 impl KernelPlan {
-    /// Serializes the plan to a self-describing little-endian byte
-    /// stream (`PTKG` magic, format version 1).
+    /// Serializes the plan into a checksummed
+    /// [`wire envelope`](pytfhe_wire): magic, format id, version,
+    /// payload length, CRC32C over header and payload.
     pub fn to_bytes(&self) -> Vec<u8> {
+        wire::encode(wire::Format::KernelPlan, PLAN_WIRE_VERSION, &self.body_bytes())
+    }
+
+    /// The plan body shared by the enveloped and legacy layouts.
+    fn body_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(PLAN_MAGIC);
-        out.push(PLAN_VERSION);
         put_u64(&mut out, self.fingerprint);
         put_u64(&mut out, self.num_nodes as u64);
         put_u32_list(&mut out, &self.inputs);
@@ -158,14 +170,37 @@ impl KernelPlan {
         out
     }
 
-    /// Decodes a plan produced by [`KernelPlan::to_bytes`].
+    /// Decodes a plan produced by [`KernelPlan::to_bytes`] — either the
+    /// current wire envelope or, through the compat shim, the legacy
+    /// pre-envelope `PTKG` v1 layout.
     ///
     /// # Errors
     ///
-    /// Returns [`ExecError::BadPlan`] on any structural corruption:
-    /// wrong magic or version, truncation, unknown opcodes, or slot ids
+    /// Returns [`ExecError::Wire`] when the envelope fails validation
+    /// (checksum mismatch, truncation, version skew) and
+    /// [`ExecError::BadPlan`] on body-level corruption: wrong legacy
+    /// magic or version, truncation, unknown opcodes, or slot ids
     /// outside the declared arena.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ExecError> {
+        Self::from_bytes_tagged(bytes).map(|(plan, _)| plan)
+    }
+
+    /// [`KernelPlan::from_bytes`] plus the [`Vintage`] of the accepted
+    /// layout, so stores can count and transparently re-persist legacy
+    /// artifacts in the current envelope.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelPlan::from_bytes`].
+    pub fn from_bytes_tagged(bytes: &[u8]) -> Result<(Self, Vintage), ExecError> {
+        if wire::is_enveloped(bytes) {
+            let env = wire::decode_expecting(
+                bytes,
+                wire::Format::KernelPlan,
+                PLAN_WIRE_VERSION..=PLAN_WIRE_VERSION,
+            )?;
+            return Ok((Self::parse_body(env.payload)?, Vintage::Current));
+        }
         let mut r = Reader { bytes, pos: 0 };
         if r.take(4)? != PLAN_MAGIC {
             return Err(bad("wrong magic"));
@@ -173,6 +208,12 @@ impl KernelPlan {
         if r.u8()? != PLAN_VERSION {
             return Err(bad("unsupported version"));
         }
+        Ok((Self::parse_body(&bytes[5..])?, Vintage::Legacy))
+    }
+
+    /// Parses the shared body layout.
+    fn parse_body(bytes: &[u8]) -> Result<Self, ExecError> {
+        let mut r = Reader { bytes, pos: 0 };
         let fingerprint = r.u64()?;
         let num_nodes = usize::try_from(r.u64()?).map_err(|_| bad("node count overflow"))?;
         let inputs = r.u32_list()?;
@@ -326,11 +367,32 @@ mod tests {
         }
     }
 
+    /// Re-encodes a plan in the legacy pre-envelope `PTKG` v1 layout,
+    /// as old deployments wrote it.
+    fn legacy_plan_bytes(plan: &KernelPlan) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(PLAN_MAGIC);
+        out.push(PLAN_VERSION);
+        out.extend_from_slice(&plan.body_bytes());
+        out
+    }
+
     #[test]
     fn round_trips_through_bytes() {
         let plan = sample_plan();
         let bytes = plan.to_bytes();
-        assert_eq!(KernelPlan::from_bytes(&bytes).unwrap(), plan);
+        let (back, vintage) = KernelPlan::from_bytes_tagged(&bytes).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(vintage, Vintage::Current);
+    }
+
+    #[test]
+    fn legacy_layout_loads_through_the_compat_shim() {
+        let plan = sample_plan();
+        let legacy = legacy_plan_bytes(&plan);
+        let (back, vintage) = KernelPlan::from_bytes_tagged(&legacy).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(vintage, Vintage::Legacy);
     }
 
     #[test]
@@ -338,29 +400,46 @@ mod tests {
         let plan = sample_plan();
         let good = plan.to_bytes();
 
+        // Envelope-level failures: magic, truncation, trailing bytes,
+        // and any payload bit flip (caught by the CRC32C).
         let mut wrong_magic = good.clone();
         wrong_magic[0] = b'X';
-        assert!(matches!(
-            KernelPlan::from_bytes(&wrong_magic),
-            Err(ExecError::BadPlan { reason: "wrong magic" })
-        ));
-
-        let mut wrong_version = good.clone();
-        wrong_version[4] = 99;
-        assert!(matches!(
-            KernelPlan::from_bytes(&wrong_version),
-            Err(ExecError::BadPlan { reason: "unsupported version" })
-        ));
+        assert!(matches!(KernelPlan::from_bytes(&wrong_magic), Err(ExecError::BadPlan { .. })));
 
         assert!(matches!(
             KernelPlan::from_bytes(&good[..good.len() - 1]),
-            Err(ExecError::BadPlan { reason: "truncated" })
+            Err(ExecError::Wire(pytfhe_wire::WireError::LengthMismatch { .. }))
         ));
 
         let mut trailing = good.clone();
         trailing.push(0);
         assert!(matches!(
             KernelPlan::from_bytes(&trailing),
+            Err(ExecError::Wire(pytfhe_wire::WireError::LengthMismatch { .. }))
+        ));
+
+        for i in (0..good.len()).step_by(3) {
+            let mut flipped = good.clone();
+            flipped[i] ^= 0x20;
+            assert!(KernelPlan::from_bytes(&flipped).is_err(), "flip at byte {i} accepted");
+        }
+
+        // Legacy-shim failures keep their precise reasons.
+        let legacy = legacy_plan_bytes(&plan);
+        let mut wrong_version = legacy.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(
+            KernelPlan::from_bytes(&wrong_version),
+            Err(ExecError::BadPlan { reason: "unsupported version" })
+        ));
+        assert!(matches!(
+            KernelPlan::from_bytes(&legacy[..legacy.len() - 1]),
+            Err(ExecError::BadPlan { reason: "truncated" })
+        ));
+        let mut legacy_trailing = legacy;
+        legacy_trailing.push(0);
+        assert!(matches!(
+            KernelPlan::from_bytes(&legacy_trailing),
             Err(ExecError::BadPlan { reason: "trailing bytes" })
         ));
     }

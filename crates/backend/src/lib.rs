@@ -46,6 +46,7 @@ pub mod fault;
 pub mod graph;
 pub mod runtime;
 pub mod sim;
+pub mod store;
 
 pub use checkpoint::{
     Checkpoint, CheckpointStore, Checkpointable, FileCheckpointStore, MemoryCheckpointStore,
@@ -54,8 +55,11 @@ pub use cost::{CpuCostModel, GpuCostModel};
 pub use engine::{GateEngine, PlainEngine, TfheEngine};
 pub use error::ExecError;
 pub use exec::{execute, execute_parallel, execute_resilient, ExecStats, ResilientConfig};
-pub use fault::{FaultInjector, NoFaults, RetryPolicy, SeededFaults, TaskFate};
+pub use fault::{
+    FaultInjector, NoFaults, RetryPolicy, SeededFaults, SeededStorageFaults, StorageFault, TaskFate,
+};
 pub use graph::{
     capture, replay, CaptureConfig, KernelGraph, KernelPlan, ReplayLanes, ReplayReport,
 };
 pub use runtime::{Evaluator, RtWord};
+pub use store::DiskStore;

@@ -1,0 +1,290 @@
+//! Durable artifact store: warm-starting a server from disk.
+//!
+//! The paper's deployment model ships the evaluation key once and then
+//! runs many programs against it; in practice the server process gets
+//! restarted (redeploys, crashes, autoscaling) and would otherwise pay
+//! the key transfer and every plan capture again. [`DiskStore`] persists
+//! the two expensive session artifacts — installed server keys and
+//! captured [`KernelPlan`]s — under one root directory so a restarted
+//! server picks up exactly where the previous process left off.
+//!
+//! Layout under the root:
+//!
+//! ```text
+//! root/
+//!   keys/<fnv1a-of-bytes>.key     # wire-enveloped server keys
+//!   plans/<plan-fingerprint>.plan # wire-enveloped kernel plans
+//! ```
+//!
+//! Every write is crash-safe (temp sibling, fsync, atomic rename) and
+//! every read validates the wire envelope. A corrupt artifact is
+//! *quarantined* — renamed aside with a `.quarantined` suffix and
+//! counted in telemetry — and the load continues with the remaining
+//! artifacts; rot costs one re-capture or one key re-install, never the
+//! whole warm start. Legacy (pre-envelope) plan files still load and
+//! are transparently rewritten in the current envelope.
+
+use crate::checkpoint::{fnv1a, write_atomic};
+use crate::error::ExecError;
+use crate::graph::KernelPlan;
+use pytfhe_telemetry as telemetry;
+use pytfhe_wire::Vintage;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A file-backed store for server keys and captured kernel plans.
+///
+/// Keys are content-addressed (FNV-1a over the serialized bytes); plans
+/// are addressed by their netlist fingerprint. The store never decodes
+/// key bytes itself — key validation belongs to the TFHE layer — but it
+/// does validate plan envelopes and quarantines what fails.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StoreIo`] when the directories cannot be
+    /// created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, ExecError> {
+        let root = root.into();
+        let io = |e: std::io::Error| ExecError::StoreIo(e.to_string());
+        fs::create_dir_all(root.join("keys")).map_err(io)?;
+        fs::create_dir_all(root.join("plans")).map_err(io)?;
+        Ok(DiskStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn key_path(&self, id: u64) -> PathBuf {
+        self.root.join("keys").join(format!("{id:016x}.key"))
+    }
+
+    fn plan_path(&self, fingerprint: u64) -> PathBuf {
+        self.root.join("plans").join(format!("{fingerprint:016x}.plan"))
+    }
+
+    /// Persists serialized server-key bytes, content-addressed by their
+    /// FNV-1a hash. Returns `(id, newly_written)`; an already-present
+    /// key is not rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StoreIo`] on filesystem failure.
+    pub fn put_key_blob(&self, bytes: &[u8]) -> Result<(u64, bool), ExecError> {
+        let id = fnv1a(bytes);
+        let path = self.key_path(id);
+        if path.exists() {
+            return Ok((id, false));
+        }
+        write_atomic(&path, bytes).map_err(|e| ExecError::StoreIo(e.to_string()))?;
+        telemetry::metrics().counter_add("disk_store_keys_persisted_total", 1);
+        Ok((id, true))
+    }
+
+    /// All persisted key blobs as `(id, bytes)` pairs, sorted by id for
+    /// deterministic iteration. The bytes are returned as stored; the
+    /// caller decodes them (and should call [`DiskStore::quarantine_key`]
+    /// on anything that fails).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StoreIo`] when the directory cannot be read.
+    pub fn key_blobs(&self) -> Result<Vec<(u64, Vec<u8>)>, ExecError> {
+        let io = |e: std::io::Error| ExecError::StoreIo(e.to_string());
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.root.join("keys")).map_err(io)? {
+            let path = entry.map_err(io)?.path();
+            let Some(id) = artifact_id(&path, "key") else { continue };
+            out.push((id, fs::read(&path).map_err(io)?));
+        }
+        out.sort_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+
+    /// Moves a key blob that failed decoding aside so later warm starts
+    /// stop tripping over it. Best effort; bumps the quarantine counter.
+    pub fn quarantine_key(&self, id: u64) {
+        let path = self.key_path(id);
+        let _ = fs::rename(&path, path.with_extension("quarantined"));
+        telemetry::metrics().counter_add("disk_store_quarantined_total", 1);
+        telemetry::metrics().counter_add("disk_store_quarantined_total{kind=\"key\"}", 1);
+    }
+
+    /// Persists a captured plan, addressed by its fingerprint. Returns
+    /// whether the file was newly written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StoreIo`] on filesystem failure.
+    pub fn put_plan(&self, plan: &KernelPlan) -> Result<bool, ExecError> {
+        let path = self.plan_path(plan.fingerprint);
+        if path.exists() {
+            return Ok(false);
+        }
+        write_atomic(&path, &plan.to_bytes()).map_err(|e| ExecError::StoreIo(e.to_string()))?;
+        telemetry::metrics().counter_add("disk_store_plans_persisted_total", 1);
+        Ok(true)
+    }
+
+    /// Loads every persisted plan, validating each envelope.
+    ///
+    /// Corrupt files are quarantined (renamed aside, counted) and
+    /// skipped; legacy pre-envelope files are decoded through the compat
+    /// shim and rewritten in the current envelope so the store converges
+    /// to one format. Results are sorted by fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StoreIo`] when the directory itself cannot
+    /// be read — individual bad files never fail the load.
+    pub fn load_plans(&self) -> Result<Vec<KernelPlan>, ExecError> {
+        let io = |e: std::io::Error| ExecError::StoreIo(e.to_string());
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.root.join("plans")).map_err(io)? {
+            let path = entry.map_err(io)?.path();
+            if artifact_id(&path, "plan").is_none() {
+                continue;
+            }
+            let bytes = fs::read(&path).map_err(io)?;
+            match KernelPlan::from_bytes_tagged(&bytes) {
+                Ok((plan, Vintage::Current)) => out.push(plan),
+                Ok((plan, Vintage::Legacy)) => {
+                    // Converge the store: rewrite in the enveloped format.
+                    let _ = write_atomic(&path, &plan.to_bytes());
+                    telemetry::metrics().counter_add("disk_store_migrated_total", 1);
+                    out.push(plan);
+                }
+                Err(_) => {
+                    let _ = fs::rename(&path, path.with_extension("quarantined"));
+                    telemetry::metrics().counter_add("disk_store_quarantined_total", 1);
+                    telemetry::metrics()
+                        .counter_add("disk_store_quarantined_total{kind=\"plan\"}", 1);
+                }
+            }
+        }
+        out.sort_by_key(|p| p.fingerprint);
+        Ok(out)
+    }
+}
+
+/// Parses `<16-hex-digits>.<ext>` artifact names; anything else (temp
+/// siblings, quarantined files, stray droppings) is skipped.
+fn artifact_id(path: &Path, ext: &str) -> Option<u64> {
+    if path.extension()? != ext {
+        return None;
+    }
+    let stem = path.file_stem()?.to_str()?;
+    if stem.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(stem, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::capture;
+    use crate::CaptureConfig;
+    use pytfhe_netlist::{GateKind, Netlist};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pytfhe-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_plan() -> KernelPlan {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(GateKind::Xor, a, b).unwrap();
+        let y = nl.add_gate(GateKind::And, a, b).unwrap();
+        nl.mark_output(x).unwrap();
+        nl.mark_output(y).unwrap();
+        capture(&nl, &CaptureConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn keys_are_content_addressed_and_deduplicated() {
+        let dir = tempdir("keys");
+        let store = DiskStore::open(&dir).unwrap();
+        let (id1, fresh1) = store.put_key_blob(b"key material").unwrap();
+        let (id2, fresh2) = store.put_key_blob(b"key material").unwrap();
+        assert_eq!(id1, id2);
+        assert!(fresh1);
+        assert!(!fresh2, "identical bytes must not be rewritten");
+        let blobs = store.key_blobs().unwrap();
+        assert_eq!(blobs, vec![(id1, b"key material".to_vec())]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantined_keys_disappear_from_listing() {
+        let dir = tempdir("keyquar");
+        let store = DiskStore::open(&dir).unwrap();
+        let (id, _) = store.put_key_blob(b"rotten").unwrap();
+        store.quarantine_key(id);
+        assert!(store.key_blobs().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plans_round_trip_and_survive_corrupt_siblings() {
+        let dir = tempdir("plans");
+        let store = DiskStore::open(&dir).unwrap();
+        let plan = sample_plan();
+        assert!(store.put_plan(&plan).unwrap());
+        assert!(!store.put_plan(&plan).unwrap());
+
+        // A corrupt sibling must be quarantined, not sink the load.
+        fs::write(dir.join("plans").join("00000000deadbeef.plan"), b"garbage").unwrap();
+        let loaded = store.load_plans().unwrap();
+        assert_eq!(loaded, vec![plan]);
+        assert!(dir.join("plans").join("00000000deadbeef.quarantined").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_plan_files_are_migrated_on_load() {
+        let dir = tempdir("migrate");
+        let store = DiskStore::open(&dir).unwrap();
+        let plan = sample_plan();
+        // Write the plan in the legacy bare layout, as an old build would.
+        let legacy = {
+            let enveloped = plan.to_bytes();
+            let payload = pytfhe_wire::decode(&enveloped).unwrap().payload.to_vec();
+            let mut out = Vec::new();
+            out.extend_from_slice(b"PTKG");
+            out.push(1);
+            out.extend_from_slice(&payload);
+            out
+        };
+        let path = dir.join("plans").join(format!("{:016x}.plan", plan.fingerprint));
+        fs::write(&path, &legacy).unwrap();
+
+        assert_eq!(store.load_plans().unwrap(), vec![plan.clone()]);
+        // The on-disk file has converged to the enveloped format.
+        assert!(pytfhe_wire::is_enveloped(&fs::read(&path).unwrap()));
+        assert_eq!(store.load_plans().unwrap(), vec![plan]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_files_are_ignored() {
+        let dir = tempdir("stray");
+        let store = DiskStore::open(&dir).unwrap();
+        fs::write(dir.join("keys").join("notes.txt"), b"hi").unwrap();
+        fs::write(dir.join("plans").join("short.plan"), b"hi").unwrap();
+        assert!(store.key_blobs().unwrap().is_empty());
+        assert!(store.load_plans().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

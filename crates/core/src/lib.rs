@@ -47,7 +47,7 @@
 
 mod session;
 
-pub use session::{Client, Server};
+pub use session::{Client, NoiseGuard, Server};
 
 pub use chiseltorch;
 pub use pytfhe_asm;
@@ -58,10 +58,10 @@ pub use pytfhe_tfhe;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::{Client, Server};
+    pub use crate::{Client, NoiseGuard, Server};
     pub use chiseltorch::{self, nn, DType, PlainTensor, Tensor};
     pub use pytfhe_asm;
-    pub use pytfhe_backend::{execute, execute_parallel, PlainEngine, TfheEngine};
+    pub use pytfhe_backend::{execute, execute_parallel, DiskStore, PlainEngine, TfheEngine};
     pub use pytfhe_netlist::{GateKind, Netlist};
     pub use pytfhe_tfhe::{Params, SecureRng};
 }

@@ -2,12 +2,12 @@
 
 use chiseltorch::DType;
 use pytfhe_backend::{
-    execute_parallel, execute_resilient, CheckpointStore, ExecError, ExecStats, FaultInjector,
-    KernelGraph, ResilientConfig, TfheEngine,
+    execute_parallel, execute_resilient, CheckpointStore, DiskStore, ExecError, ExecStats,
+    FaultInjector, KernelGraph, ResilientConfig, TfheEngine,
 };
 use pytfhe_netlist::Netlist;
 use pytfhe_telemetry as telemetry;
-use pytfhe_tfhe::{ClientKey, LweCiphertext, Params, SecureRng, ServerKey};
+use pytfhe_tfhe::{ClientKey, LweCiphertext, NoiseModel, Params, SecureRng, ServerKey, TfheError};
 
 /// The data owner: holds the secret key, encrypts inputs, decrypts
 /// results. Never ships secret material.
@@ -71,12 +71,76 @@ impl Client {
     }
 }
 
+/// Admission guardrail on an evaluation key's analytical noise budget.
+///
+/// A key whose parameter set predicts too high a per-gate failure
+/// probability ([`NoiseModel::gate_failure_probability`]) will corrupt
+/// results silently — a bootstrapped gate that fails does not error, it
+/// returns the wrong bit. The guard turns that into an explicit
+/// admission decision at key-install time: [`Server::with_noise_guard`]
+/// refuses such keys with [`TfheError::NoiseBudgetExceeded`], while
+/// [`Server::new`] admits them but publishes a telemetry warning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseGuard {
+    /// Maximum acceptable analytical per-gate failure probability.
+    pub max_gate_failure_probability: f64,
+}
+
+impl Default for NoiseGuard {
+    fn default() -> Self {
+        // 2^-40 (~9e-13): real parameter sets sit tens of orders of
+        // magnitude below this (`default_128` predicts ~2e-48), while
+        // the deliberately weak `Params::testing` (~6e-12) trips it.
+        NoiseGuard { max_gate_failure_probability: 2f64.powi(-40) }
+    }
+}
+
+impl NoiseGuard {
+    /// A guard admitting keys whose predicted per-gate failure
+    /// probability is at most `p`.
+    pub fn max_probability(p: f64) -> Self {
+        NoiseGuard { max_gate_failure_probability: p }
+    }
+
+    /// Checks `params` against the guard, returning the predicted
+    /// probability on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::NoiseBudgetExceeded`] when the prediction
+    /// exceeds the threshold.
+    pub fn admit(&self, params: &Params) -> Result<f64, TfheError> {
+        let p = NoiseModel::new(*params).gate_failure_probability();
+        if p > self.max_gate_failure_probability {
+            return Err(TfheError::NoiseBudgetExceeded {
+                probability_atto: to_atto(p),
+                threshold_atto: to_atto(self.max_gate_failure_probability),
+            });
+        }
+        Ok(p)
+    }
+}
+
+/// Probability → integral atto-units (the representation
+/// [`TfheError::NoiseBudgetExceeded`] carries to stay `Eq`).
+fn to_atto(p: f64) -> u64 {
+    (p.clamp(0.0, 1.0) * 1e18).round() as u64
+}
+
 /// The untrusted evaluator: holds only the public evaluation key and the
 /// program; sees only ciphertexts.
+///
+/// A server constructed with [`Server::with_store`] additionally
+/// persists its expensive session artifacts — the installed evaluation
+/// key and every captured kernel plan — to a [`DiskStore`], and a
+/// restarted process can rebuild the whole session from that directory
+/// with [`Server::warm_start`] instead of paying key transfer and plan
+/// capture again.
 #[derive(Debug)]
 pub struct Server {
     key: ServerKey,
     graph: KernelGraph,
+    store: Option<DiskStore>,
 }
 
 impl Server {
@@ -85,15 +149,108 @@ impl Server {
     /// When telemetry is enabled, publishes the parameter set's
     /// analytical noise budget (fresh/blind-rotation/key-switch/gate
     /// output variances and the gate failure probability) as gauges, so
-    /// every trace carries the noise model it ran under.
+    /// every trace carries the noise model it ran under. Keys failing
+    /// the default [`NoiseGuard`] are still admitted here (tests run on
+    /// deliberately weak parameters), but the breach is counted on the
+    /// `session_noise_guard_warnings_total` telemetry counter; use
+    /// [`Server::with_noise_guard`] to make admission strict.
     pub fn new(key: ServerKey) -> Self {
-        pytfhe_tfhe::NoiseModel::new(*key.params()).record_gauges();
-        Server { key, graph: KernelGraph::new() }
+        let model = NoiseModel::new(*key.params());
+        model.record_gauges();
+        if model.gate_failure_probability() > NoiseGuard::default().max_gate_failure_probability {
+            telemetry::metrics().counter_add("session_noise_guard_warnings_total", 1);
+        }
+        Server { key, graph: KernelGraph::new(), store: None }
+    }
+
+    /// Creates a server only if the key's parameter set passes `guard`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::NoiseBudgetExceeded`] when the analytical
+    /// per-gate failure probability exceeds the guard's threshold.
+    pub fn with_noise_guard(key: ServerKey, guard: NoiseGuard) -> Result<Self, TfheError> {
+        guard.admit(key.params())?;
+        Ok(Self::new(key))
+    }
+
+    /// Creates a server around `key` and attaches a durable store: the
+    /// key is persisted immediately (counted on
+    /// `session_keys_installed_total` when newly written) and any plans
+    /// already on disk are adopted into the plan cache (counted on
+    /// `session_plans_warm_loaded_total`), so programs seen by an
+    /// earlier process replay without re-capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StoreIo`] when the store cannot be written
+    /// or listed.
+    pub fn with_store(key: ServerKey, store: DiskStore) -> Result<Self, ExecError> {
+        let mut server = Self::new(key);
+        let bytes = pytfhe_tfhe::io::server_key_to_bytes(&server.key);
+        let (_, fresh) = store.put_key_blob(&bytes)?;
+        if fresh {
+            telemetry::metrics().counter_add("session_keys_installed_total", 1);
+        }
+        server.adopt_stored_plans(&store)?;
+        server.store = Some(store);
+        Ok(server)
+    }
+
+    /// Rebuilds a server from a [`DiskStore`] populated by an earlier
+    /// process, without the client re-shipping the evaluation key:
+    /// stored keys are decoded (corrupt ones are quarantined and
+    /// skipped), the first intact one becomes the session key, and all
+    /// stored plans are adopted. Returns `Ok(None)` when the store holds
+    /// no usable key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StoreIo`] when the store itself cannot be
+    /// read — corrupt individual artifacts never fail the warm start.
+    pub fn warm_start(store: DiskStore) -> Result<Option<Self>, ExecError> {
+        let _span = telemetry::span("session", "warm start from disk store");
+        let mut key = None;
+        for (id, bytes) in store.key_blobs()? {
+            match pytfhe_tfhe::io::server_key_from_bytes_tagged(&bytes) {
+                Ok((k, vintage)) => {
+                    if vintage == pytfhe_tfhe::io::Vintage::Legacy {
+                        telemetry::metrics().counter_add("session_legacy_keys_loaded_total", 1);
+                    }
+                    key = Some(k);
+                    break;
+                }
+                Err(_) => store.quarantine_key(id),
+            }
+        }
+        let Some(key) = key else { return Ok(None) };
+        telemetry::metrics().counter_add("session_keys_warm_started_total", 1);
+        let mut server = Self::new(key);
+        server.adopt_stored_plans(&store)?;
+        server.store = Some(store);
+        Ok(Some(server))
+    }
+
+    /// Loads every intact plan from `store` into the plan cache.
+    fn adopt_stored_plans(&mut self, store: &DiskStore) -> Result<(), ExecError> {
+        let plans = store.load_plans()?;
+        if !plans.is_empty() {
+            telemetry::metrics().counter_add("session_plans_warm_loaded_total", plans.len() as u64);
+        }
+        for plan in plans {
+            self.graph.adopt(plan);
+        }
+        Ok(())
     }
 
     /// The evaluation key (e.g. for engine construction).
     pub fn key(&self) -> &ServerKey {
         &self.key
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&DiskStore> {
+        self.store.as_ref()
     }
 
     /// Executes a program on encrypted inputs with the multi-threaded
@@ -137,7 +294,22 @@ impl Server {
             format!("execute_graph: {} gates, {workers} workers", program.num_gates())
         });
         let engine = TfheEngine::new(&self.key);
-        self.graph.execute(&engine, program, inputs, workers)
+        let result = self.graph.execute(&engine, program, inputs, workers)?;
+        if !result.1.plan_cached {
+            telemetry::metrics().counter_add("session_plans_captured_total", 1);
+            if let Some(store) = &self.store {
+                // The plan was captured this call, so this lookup is a
+                // cache hit; persist it for the next process. A failed
+                // persist costs a future re-capture, not this run.
+                match self.graph.plan_for(program).map(|(plan, _, _)| store.put_plan(&plan)) {
+                    Ok(Ok(_)) => {}
+                    Ok(Err(_)) | Err(_) => {
+                        telemetry::metrics().counter_add("session_plan_persist_failures_total", 1);
+                    }
+                }
+            }
+        }
+        Ok(result)
     }
 
     /// Executes a program on encrypted inputs with the fault-tolerant
@@ -238,6 +410,90 @@ mod tests {
         assert_eq!(client.decrypt_bits(&out), vec![true]);
         assert!(stats.checkpoints > 0);
         assert!(store.latest().is_some());
+    }
+
+    #[test]
+    fn noise_guard_rejects_weak_parameters_and_admits_loose_thresholds() {
+        let mut client = Client::new(Params::testing(), 11);
+        // The insecure test parameters predict an appreciable per-gate
+        // failure probability; a strict guard must refuse the key.
+        let err = Server::with_noise_guard(client.make_server_key(), NoiseGuard::default())
+            .expect_err("testing params should fail the default guard");
+        assert!(matches!(err, TfheError::NoiseBudgetExceeded { .. }), "{err:?}");
+        // The same key is admitted once the threshold is loosened.
+        let server =
+            Server::with_noise_guard(client.make_server_key(), NoiseGuard::max_probability(1.0))
+                .unwrap();
+        let cts = client.encrypt_bits(&[true]);
+        assert_eq!(client.decrypt_bits(&cts), vec![true]);
+        drop(server);
+    }
+
+    #[test]
+    fn warm_start_rebuilds_the_session_from_disk() {
+        let dir = std::env::temp_dir().join(format!("pytfhe-warmstart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let g = nl.add_gate(GateKind::Nand, a, b).unwrap();
+        nl.mark_output(g).unwrap();
+
+        let mut client = Client::new(Params::testing(), 12);
+        // First process: install the key, capture and persist the plan.
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            let server = Server::with_store(client.make_server_key(), store).unwrap();
+            let cts = client.encrypt_bits(&[true, true]);
+            let (out, stats) = server.execute_graph(&nl, &cts, 1).unwrap();
+            assert!(!stats.plan_cached, "first sight of the program must capture");
+            assert_eq!(client.decrypt_bits(&out), vec![false]);
+        }
+        // Second process: no key shipped, no capture — everything
+        // restores from the store directory.
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            let server = Server::warm_start(store).unwrap().expect("a key is on disk");
+            let cts = client.encrypt_bits(&[true, false]);
+            let (out, stats) = server.execute_graph(&nl, &cts, 1).unwrap();
+            assert!(stats.plan_cached, "warm-started plan must skip capture");
+            assert_eq!(client.decrypt_bits(&out), vec![true]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_start_on_an_empty_store_is_none() {
+        let dir =
+            std::env::temp_dir().join(format!("pytfhe-warmstart-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(Server::warm_start(store).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_start_quarantines_corrupt_keys_and_uses_the_intact_one() {
+        let dir =
+            std::env::temp_dir().join(format!("pytfhe-warmstart-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        // A garbage blob sorts first (content-addressed name) often
+        // enough either way: warm start must skip it, quarantine it, and
+        // land on the real key.
+        store.put_key_blob(b"definitely not a server key").unwrap();
+        let mut client = Client::new(Params::testing(), 13);
+        drop(Server::with_store(client.make_server_key(), DiskStore::open(&dir).unwrap()).unwrap());
+        let server = Server::warm_start(store).unwrap().expect("the intact key should load");
+        let cts = client.encrypt_bits(&[false, true]);
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let g = nl.add_gate(GateKind::Or, a, b).unwrap();
+        nl.mark_output(g).unwrap();
+        let out = server.execute(&nl, &cts, 1).unwrap();
+        assert_eq!(client.decrypt_bits(&out), vec![true]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

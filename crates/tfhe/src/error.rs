@@ -1,3 +1,4 @@
+use pytfhe_wire::WireError;
 use std::fmt;
 
 /// Errors produced by the TFHE scheme implementation.
@@ -13,6 +14,19 @@ pub enum TfheError {
     /// A serialized object declared a parameter set this build does not
     /// know.
     UnknownParams,
+    /// The wire envelope around a persisted artifact failed validation
+    /// (bad magic, checksum mismatch, version skew, torn framing).
+    Wire(WireError),
+    /// A parameter set's analytical per-gate failure probability exceeds
+    /// the caller's noise-budget guardrail.
+    NoiseBudgetExceeded {
+        /// Failure probability expressed in atto-units (1e-18), kept
+        /// integral so the error stays `Eq`/hashable; realistic gate
+        /// failure probabilities (1e-12 and up) stay nonzero here.
+        probability_atto: u64,
+        /// The guardrail it exceeded, same units.
+        threshold_atto: u64,
+    },
 }
 
 impl fmt::Display for TfheError {
@@ -23,8 +37,28 @@ impl fmt::Display for TfheError {
             }
             TfheError::Corrupt { what } => write!(f, "malformed serialized {what}"),
             TfheError::UnknownParams => write!(f, "unknown parameter set identifier"),
+            TfheError::Wire(e) => write!(f, "wire envelope rejected: {e}"),
+            TfheError::NoiseBudgetExceeded { probability_atto, threshold_atto } => write!(
+                f,
+                "per-gate failure probability {:.3e} exceeds the noise-budget guardrail {:.3e}",
+                *probability_atto as f64 * 1e-18,
+                *threshold_atto as f64 * 1e-18,
+            ),
         }
     }
 }
 
-impl std::error::Error for TfheError {}
+impl std::error::Error for TfheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TfheError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for TfheError {
+    fn from(e: WireError) -> Self {
+        TfheError::Wire(e)
+    }
+}

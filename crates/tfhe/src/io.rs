@@ -1,10 +1,26 @@
 //! Byte-level serialization of keys and ciphertexts.
 //!
-//! The wire formats are simple little-endian layouts with a magic tag and a
-//! parameter-set identifier, so that the cloud backend can reject
-//! mismatched material instead of computing garbage. This is the transfer
-//! path of Figure 1: ciphertexts and the public (server) key travel to the
-//! cloud; the client key never does.
+//! Ciphertexts and client keys use simple little-endian layouts with a
+//! magic tag and a parameter-set identifier, so that the cloud backend
+//! can reject mismatched material instead of computing garbage. This is
+//! the transfer path of Figure 1: ciphertexts and the public (server)
+//! key travel to the cloud; the client key never does.
+//!
+//! The server key — the one artifact large enough and long-lived enough
+//! to persist — is wrapped in the [`pytfhe_wire`] envelope: magic,
+//! format id, version, payload length, and a CRC32C over header and
+//! payload, with the bootstrapping and key-switching keys framed as
+//! separate payload sections. Torn writes, bit rot, and version skew
+//! all surface as typed errors before a single payload byte is
+//! interpreted. [`server_key_from_bytes`] still reads the legacy
+//! pre-envelope `TFS\x02` layout through a compat shim (pinned by a
+//! golden file in `tests/golden/`); the retired full-spectrum `TFS\x01`
+//! tag is recognised only to produce a precise rejection.
+//!
+//! Every decoder in this module is hardened against adversarial input:
+//! declared counts are checked against the bytes actually present
+//! (with overflow-safe arithmetic) before anything is allocated or
+//! sliced, so hostile buffers yield [`TfheError`]s, never panics.
 
 use crate::bootstrap::BootstrappingKey;
 use crate::error::TfheError;
@@ -18,15 +34,36 @@ use crate::tgsw::{Gadget, TgswFft};
 use crate::tlwe::TlweKey;
 use crate::torus::Torus32;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pytfhe_wire as wire;
+pub use pytfhe_wire::Vintage;
 
 const CT_MAGIC: u32 = 0x5446_4301; // "TFC\x01"
 const CK_MAGIC: u32 = 0x5446_4B01; // "TFK\x01"
-/// Server-key format v2: half-complex bootstrapping key, stored as split
-/// re/im arrays of N/2 points per polynomial (half the bytes of v1).
+/// Legacy server-key format v2: half-complex bootstrapping key, stored
+/// as split re/im arrays of N/2 points per polynomial (half the bytes
+/// of v1). Read-only since the move to the wire envelope.
 const SK_MAGIC: u32 = 0x5446_5302; // "TFS\x02"
 /// The retired v1 tag (full-size interleaved complex spectra). Recognised
 /// only to produce a precise rejection.
 const SK_MAGIC_V1: u32 = 0x5446_5301; // "TFS\x01"
+
+/// Current server-key payload version inside the wire envelope: the
+/// `TFS\x02` body split into parameter/bootstrapping/key-switch
+/// sections.
+const SK_WIRE_VERSION: u16 = 3;
+/// Payload section holding the parameter-set id.
+const SK_SECTION_PARAMS: u16 = 1;
+/// Payload section holding the FFT-domain bootstrapping key.
+const SK_SECTION_BSK: u16 = 2;
+/// Payload section holding the key-switching key.
+const SK_SECTION_KSK: u16 = 3;
+
+/// Clamp for speculative `Vec::with_capacity` calls driven by
+/// length fields read from untrusted bytes: never pre-reserve more than
+/// this many elements before the data proving them present has been
+/// seen. Growth past the clamp happens organically as real bytes are
+/// consumed.
+const MAX_PREALLOC: usize = 1 << 16;
 
 /// Serializes one LWE ciphertext.
 pub fn ciphertext_to_bytes(ct: &LweCiphertext, params: &Params) -> Bytes {
@@ -48,17 +85,20 @@ pub fn ciphertext_to_bytes(ct: &LweCiphertext, params: &Params) -> Bytes {
 /// Returns [`TfheError::Corrupt`] on truncated or mistagged input and
 /// [`TfheError::UnknownParams`] for unknown parameter identifiers.
 pub fn ciphertext_from_bytes(mut data: &[u8]) -> Result<(LweCiphertext, Params), TfheError> {
-    let corrupt = TfheError::Corrupt { what: "ciphertext" };
     if data.remaining() < 12 {
-        return Err(corrupt.clone());
+        return Err(TfheError::Corrupt { what: "ciphertext (truncated header)" });
     }
     if data.get_u32_le() != CT_MAGIC {
-        return Err(corrupt.clone());
+        return Err(TfheError::Corrupt { what: "ciphertext (bad magic)" });
     }
     let params = Params::from_id(data.get_u32_le()).ok_or(TfheError::UnknownParams)?;
-    let dim = data.get_u32_le() as usize;
-    if data.remaining() != (dim + 1) * 4 {
-        return Err(corrupt);
+    let dim = data.get_u32_le();
+    // Overflow-safe: the declared mask length is validated against the
+    // bytes actually present before anything is allocated, so an
+    // adversarial `dim` of u32::MAX cannot reserve 16 GB or slice past
+    // the buffer.
+    if data.remaining() as u64 != (u64::from(dim) + 1) * 4 {
+        return Err(TfheError::Corrupt { what: "ciphertext (length mismatch)" });
     }
     let a = (0..dim).map(|_| Torus32(data.get_u32_le())).collect();
     let b = Torus32(data.get_u32_le());
@@ -94,23 +134,29 @@ pub fn client_key_to_bytes(key: &ClientKey) -> Bytes {
 /// Returns [`TfheError::Corrupt`] / [`TfheError::UnknownParams`] like
 /// [`ciphertext_from_bytes`].
 pub fn client_key_from_bytes(mut data: &[u8]) -> Result<ClientKey, TfheError> {
-    let corrupt = TfheError::Corrupt { what: "client key" };
-    if data.remaining() < 12 || data.get_u32_le() != CK_MAGIC {
-        return Err(corrupt.clone());
+    if data.remaining() < 12 {
+        return Err(TfheError::Corrupt { what: "client key (truncated header)" });
+    }
+    if data.get_u32_le() != CK_MAGIC {
+        return Err(TfheError::Corrupt { what: "client key (bad magic)" });
     }
     let params = Params::from_id(data.get_u32_le()).ok_or(TfheError::UnknownParams)?;
     let n = data.get_u32_le() as usize;
     if data.remaining() < n {
-        return Err(corrupt.clone());
+        return Err(TfheError::Corrupt { what: "client key (LWE bits truncated)" });
     }
     let bits: Vec<i32> = (0..n).map(|_| i32::from(data.get_u8())).collect();
     if data.remaining() < 8 {
-        return Err(corrupt.clone());
+        return Err(TfheError::Corrupt { what: "client key (TLWE header truncated)" });
     }
-    let k = data.get_u32_le() as usize;
-    let poly_size = data.get_u32_le() as usize;
-    if data.remaining() != k * poly_size {
-        return Err(corrupt);
+    let k = data.get_u32_le();
+    let poly_size = data.get_u32_le();
+    // `k * poly_size` can reach 2^64 for adversarial headers; compare in
+    // u64 against the bytes actually present instead of multiplying in
+    // usize (which would wrap on 32-bit targets and mis-slice).
+    let declared = u64::from(k).checked_mul(u64::from(poly_size));
+    if declared != Some(data.remaining() as u64) {
+        return Err(TfheError::Corrupt { what: "client key (TLWE length mismatch)" });
     }
     let polys = (0..k)
         .map(|_| IntPoly::from_coeffs((0..poly_size).map(|_| i32::from(data.get_u8())).collect()))
@@ -119,15 +165,87 @@ pub fn client_key_from_bytes(mut data: &[u8]) -> Result<ClientKey, TfheError> {
 }
 
 /// Serializes the public server key (bootstrapping key in FFT form plus
-/// key-switching key). For the default parameters this is on the order of
-/// 100 MB — dominated by the FFT-domain bootstrapping key, as in the
-/// reference TFHE library.
+/// key-switching key) into a checksummed wire envelope. For the default
+/// parameters this is on the order of 100 MB — dominated by the
+/// FFT-domain bootstrapping key, as in the reference TFHE library —
+/// which is exactly why the envelope frames the bootstrapping and
+/// key-switching keys as separate sections and covers everything with
+/// a CRC32C.
 pub fn server_key_to_bytes(key: &ServerKey) -> Bytes {
     let params = *key.params();
-    let mut buf = BytesMut::new();
-    buf.put_u32_le(SK_MAGIC);
-    buf.put_u32_le(params.id());
-    // Bootstrapping key.
+    let mut bsk = BytesMut::new();
+    write_bsk(&mut bsk, key);
+    let mut ksk = BytesMut::new();
+    write_ksk(&mut ksk, key);
+    let mut payload = Vec::with_capacity(14 + 20 + bsk.len() + ksk.len());
+    wire::put_section(&mut payload, SK_SECTION_PARAMS, &params.id().to_le_bytes());
+    wire::put_section(&mut payload, SK_SECTION_BSK, &bsk);
+    wire::put_section(&mut payload, SK_SECTION_KSK, &ksk);
+    Bytes::from(wire::encode(wire::Format::ServerKey, SK_WIRE_VERSION, &payload))
+}
+
+/// Deserializes a server key — either the current wire envelope or,
+/// through the compat shim, the legacy pre-envelope `TFS\x02` layout.
+///
+/// # Errors
+///
+/// Returns [`TfheError::Wire`] when the envelope fails validation
+/// (checksum mismatch, truncation, version skew), and
+/// [`TfheError::Corrupt`] / [`TfheError::UnknownParams`] like
+/// [`ciphertext_from_bytes`] for body-level corruption.
+pub fn server_key_from_bytes(data: &[u8]) -> Result<ServerKey, TfheError> {
+    server_key_from_bytes_tagged(data).map(|(key, _)| key)
+}
+
+/// [`server_key_from_bytes`] plus the [`Vintage`] of the accepted
+/// layout, so stores can count and transparently re-persist legacy
+/// artifacts in the current envelope.
+///
+/// # Errors
+///
+/// Same as [`server_key_from_bytes`].
+pub fn server_key_from_bytes_tagged(mut data: &[u8]) -> Result<(ServerKey, Vintage), TfheError> {
+    if wire::is_enveloped(data) {
+        let env = wire::decode_expecting(
+            data,
+            wire::Format::ServerKey,
+            SK_WIRE_VERSION..=SK_WIRE_VERSION,
+        )
+        .map_err(TfheError::Wire)?;
+        let mut params_bytes = wire::find_section(env.payload, SK_SECTION_PARAMS)?;
+        if params_bytes.remaining() != 4 {
+            return Err(TfheError::Corrupt { what: "server key (params section)" });
+        }
+        let params = Params::from_id(params_bytes.get_u32_le()).ok_or(TfheError::UnknownParams)?;
+        let mut bsk = wire::find_section(env.payload, SK_SECTION_BSK)?;
+        let bootstrap = parse_bsk(&mut bsk, params)?;
+        if bsk.remaining() > 0 {
+            return Err(TfheError::Corrupt { what: "server key (trailing bootstrap bytes)" });
+        }
+        let mut ksk = wire::find_section(env.payload, SK_SECTION_KSK)?;
+        let keyswitch = parse_ksk(&mut ksk)?;
+        return Ok((ServerKey { params, bootstrap, keyswitch }, Vintage::Current));
+    }
+    // Legacy compat shim: the pre-envelope TFS\x02 layout (magic,
+    // params id, bootstrap body, key-switch body back to back).
+    if data.remaining() < 12 {
+        return Err(TfheError::Corrupt { what: "server key (truncated header)" });
+    }
+    match data.get_u32_le() {
+        SK_MAGIC => {}
+        // The v1 full-size layout is gone; keys must be re-exported.
+        SK_MAGIC_V1 => return Err(TfheError::Corrupt { what: "server key (obsolete v1 format)" }),
+        _ => return Err(TfheError::Corrupt { what: "server key (bad magic)" }),
+    }
+    let params = Params::from_id(data.get_u32_le()).ok_or(TfheError::UnknownParams)?;
+    let bootstrap = parse_bsk(&mut data, params)?;
+    let keyswitch = parse_ksk(&mut data)?;
+    Ok((ServerKey { params, bootstrap, keyswitch }, Vintage::Legacy))
+}
+
+/// Writes the bootstrapping-key body (shared by the legacy layout and
+/// the envelope's BSK section).
+fn write_bsk(buf: &mut BytesMut, key: &ServerKey) {
     let tgsw = key.bootstrapping_key().tgsw_raw();
     buf.put_u32_le(tgsw.len() as u32);
     for t in tgsw {
@@ -148,7 +266,10 @@ pub fn server_key_to_bytes(key: &ServerKey) -> Bytes {
             }
         }
     }
-    // Key-switching key.
+}
+
+/// Writes the key-switching-key body (shared like [`write_bsk`]).
+fn write_ksk(buf: &mut BytesMut, key: &ServerKey) {
     let ks = key.keyswitch_key();
     buf.put_u32_le(ks.src_dim() as u32);
     buf.put_u32_le(ks.dst_dim() as u32);
@@ -161,49 +282,39 @@ pub fn server_key_to_bytes(key: &ServerKey) -> Bytes {
         }
         buf.put_u32_le(s.body().0);
     }
-    buf.freeze()
 }
 
-/// Deserializes a server key.
-///
-/// # Errors
-///
-/// Returns [`TfheError::Corrupt`] / [`TfheError::UnknownParams`] like
-/// [`ciphertext_from_bytes`].
-pub fn server_key_from_bytes(mut data: &[u8]) -> Result<ServerKey, TfheError> {
-    let corrupt = TfheError::Corrupt { what: "server key" };
-    if data.remaining() < 12 {
-        return Err(corrupt.clone());
-    }
-    match data.get_u32_le() {
-        SK_MAGIC => {}
-        // The v1 full-size layout is gone; keys must be re-exported.
-        SK_MAGIC_V1 => return Err(TfheError::Corrupt { what: "server key (obsolete v1 format)" }),
-        _ => return Err(corrupt.clone()),
-    }
-    let params = Params::from_id(data.get_u32_le()).ok_or(TfheError::UnknownParams)?;
+/// Parses a bootstrapping-key body. Every declared count is validated
+/// against the remaining bytes before allocation, so hostile lengths
+/// cannot trigger huge reservations or slicing panics.
+fn parse_bsk(data: &mut &[u8], params: Params) -> Result<BootstrappingKey, TfheError> {
     let gadget = Gadget { levels: params.decomp_levels, base_log: params.decomp_base_log };
+    if data.remaining() < 4 {
+        return Err(TfheError::Corrupt { what: "server key (bootstrap count truncated)" });
+    }
     let n_tgsw = data.get_u32_le() as usize;
-    let mut tgsw = Vec::with_capacity(n_tgsw);
+    let mut tgsw = Vec::with_capacity(n_tgsw.min(MAX_PREALLOC));
     for _ in 0..n_tgsw {
         if data.remaining() < 4 {
-            return Err(corrupt.clone());
+            return Err(TfheError::Corrupt { what: "server key (bootstrap rows truncated)" });
         }
         let n_rows = data.get_u32_le() as usize;
-        let mut rows = Vec::with_capacity(n_rows);
+        let mut rows = Vec::with_capacity(n_rows.min(MAX_PREALLOC));
         for _ in 0..n_rows {
             if data.remaining() < 4 {
-                return Err(corrupt.clone());
+                return Err(TfheError::Corrupt { what: "server key (bootstrap row truncated)" });
             }
             let n_polys = data.get_u32_le() as usize;
-            let mut row = Vec::with_capacity(n_polys);
+            let mut row = Vec::with_capacity(n_polys.min(MAX_PREALLOC));
             for _ in 0..n_polys {
                 if data.remaining() < 4 {
-                    return Err(corrupt.clone());
+                    return Err(TfheError::Corrupt { what: "server key (spectrum truncated)" });
                 }
                 let points = data.get_u32_le() as usize;
-                if data.remaining() < points * 16 {
-                    return Err(corrupt.clone());
+                // `points * 16` in u64: a declared count of u32::MAX
+                // must fail the length check, not wrap it.
+                if (data.remaining() as u64) < points as u64 * 16 {
+                    return Err(TfheError::Corrupt { what: "server key (spectrum truncated)" });
                 }
                 let re: Vec<f64> = (0..points).map(|_| data.get_f64_le()).collect();
                 let im: Vec<f64> = (0..points).map(|_| data.get_f64_le()).collect();
@@ -213,26 +324,32 @@ pub fn server_key_from_bytes(mut data: &[u8]) -> Result<ServerKey, TfheError> {
         }
         tgsw.push(TgswFft::from_rows(rows, gadget));
     }
+    Ok(BootstrappingKey::from_parts(params, tgsw))
+}
+
+/// Parses a key-switching-key body, consuming the slice exactly.
+fn parse_ksk(data: &mut &[u8]) -> Result<KeySwitchKey, TfheError> {
     if data.remaining() < 20 {
-        return Err(corrupt.clone());
+        return Err(TfheError::Corrupt { what: "server key (key-switch header truncated)" });
     }
     let src_dim = data.get_u32_le() as usize;
     let dst_dim = data.get_u32_le() as usize;
     let levels = data.get_u32_le() as usize;
     let base_log = data.get_u32_le() as usize;
     let n_samples = data.get_u32_le() as usize;
-    if data.remaining() != n_samples * (dst_dim + 1) * 4 {
-        return Err(corrupt);
+    // The sample block length can reach 2^66 for adversarial headers;
+    // validate in u128 so the comparison itself cannot overflow.
+    let declared = n_samples as u128 * (dst_dim as u128 + 1) * 4;
+    if data.remaining() as u128 != declared {
+        return Err(TfheError::Corrupt { what: "server key (key-switch length mismatch)" });
     }
-    let mut samples = Vec::with_capacity(n_samples);
+    let mut samples = Vec::with_capacity(n_samples.min(MAX_PREALLOC));
     for _ in 0..n_samples {
         let a = (0..dst_dim).map(|_| Torus32(data.get_u32_le())).collect();
         let b = Torus32(data.get_u32_le());
         samples.push(LweCiphertext::from_parts(a, b));
     }
-    let bootstrap = BootstrappingKey::from_parts(params, tgsw);
-    let keyswitch = KeySwitchKey::from_parts(samples, src_dim, dst_dim, levels, base_log);
-    Ok(ServerKey { params, bootstrap, keyswitch })
+    Ok(KeySwitchKey::from_parts(samples, src_dim, dst_dim, levels, base_log))
 }
 
 #[cfg(test)]
@@ -285,17 +402,43 @@ mod tests {
         assert!(!back.decrypt_bit(&ct));
     }
 
+    /// Re-encodes a key in the legacy pre-envelope `TFS\x02` layout, as
+    /// old deployments wrote it (the golden file freezes real old
+    /// bytes; this keeps the shim covered at every parameter set).
+    fn legacy_server_key_bytes(key: &ServerKey) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(super::SK_MAGIC);
+        buf.put_u32_le(key.params().id());
+        super::write_bsk(&mut buf, key);
+        super::write_ksk(&mut buf, key);
+        buf.to_vec()
+    }
+
     #[test]
     fn server_key_round_trip_evaluates_gates() {
         let mut rng = SecureRng::seed_from_u64(93);
         let client = ClientKey::generate(Params::testing(), &mut rng);
         let server = client.server_key(&mut rng);
         let bytes = server_key_to_bytes(&server);
-        let back = server_key_from_bytes(&bytes).unwrap();
+        let (back, vintage) = server_key_from_bytes_tagged(&bytes).unwrap();
+        assert_eq!(vintage, Vintage::Current);
         let a = client.encrypt_bit(true, &mut rng);
         let b = client.encrypt_bit(true, &mut rng);
         assert!(!client.decrypt_bit(&back.nand(&a, &b)));
         assert!(client.decrypt_bit(&back.and(&a, &b)));
+    }
+
+    #[test]
+    fn legacy_server_key_loads_through_the_compat_shim() {
+        let mut rng = SecureRng::seed_from_u64(97);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let legacy = legacy_server_key_bytes(&server);
+        let (back, vintage) = server_key_from_bytes_tagged(&legacy).unwrap();
+        assert_eq!(vintage, Vintage::Legacy);
+        let a = client.encrypt_bit(true, &mut rng);
+        let b = client.encrypt_bit(false, &mut rng);
+        assert!(client.decrypt_bit(&back.nand(&a, &b)));
     }
 
     #[test]
@@ -304,10 +447,31 @@ mod tests {
         let client = ClientKey::generate(Params::testing(), &mut rng);
         let server = client.server_key(&mut rng);
         let bytes = server_key_to_bytes(&server);
+        // Truncation breaks the declared envelope length.
         assert!(server_key_from_bytes(&bytes[..100]).is_err());
+        // A corrupted envelope magic is not routed to the legacy shim.
         let mut bad = bytes.to_vec();
         bad[0] ^= 0x10;
         assert!(server_key_from_bytes(&bad).is_err());
+        // A payload bit flip fails the CRC32C.
+        let mut bad = bytes.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(
+            matches!(server_key_from_bytes(&bad), Err(TfheError::Wire(_))),
+            "payload bit flip must fail the envelope checksum"
+        );
+    }
+
+    #[test]
+    fn legacy_server_key_rejects_truncation() {
+        let mut rng = SecureRng::seed_from_u64(98);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let legacy = legacy_server_key_bytes(&server);
+        for keep in [0, 7, 11, 12, 40, legacy.len() - 1] {
+            assert!(server_key_from_bytes(&legacy[..keep]).is_err(), "truncation to {keep}");
+        }
     }
 
     #[test]
@@ -315,7 +479,7 @@ mod tests {
         let mut rng = SecureRng::seed_from_u64(95);
         let client = ClientKey::generate(Params::testing(), &mut rng);
         let server = client.server_key(&mut rng);
-        let mut bytes = server_key_to_bytes(&server).to_vec();
+        let mut bytes = legacy_server_key_bytes(&server);
         // Rewrite the little-endian magic to the retired v1 tag; the body
         // that follows is a valid v2 payload, which v1 readers would have
         // misparsed — so the version byte alone must cause rejection.
@@ -325,28 +489,67 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_lengths_error_instead_of_panicking() {
+        // Ciphertext declaring a u32::MAX-element mask over a tiny
+        // buffer: the length check must fail without allocating.
+        let mut ct = Vec::new();
+        ct.extend_from_slice(&super::CT_MAGIC.to_le_bytes());
+        ct.extend_from_slice(&Params::testing().id().to_le_bytes());
+        ct.extend_from_slice(&u32::MAX.to_le_bytes());
+        ct.extend_from_slice(&[0u8; 8]);
+        assert!(ciphertext_from_bytes(&ct).is_err());
+
+        // Client key whose k × poly_size product overflows.
+        let mut ck = Vec::new();
+        ck.extend_from_slice(&super::CK_MAGIC.to_le_bytes());
+        ck.extend_from_slice(&Params::testing().id().to_le_bytes());
+        ck.extend_from_slice(&0u32.to_le_bytes()); // zero LWE bits
+        ck.extend_from_slice(&u32::MAX.to_le_bytes()); // k
+        ck.extend_from_slice(&u32::MAX.to_le_bytes()); // poly_size
+        ck.extend_from_slice(&[0u8; 16]);
+        assert!(client_key_from_bytes(&ck).is_err());
+
+        // Legacy server key declaring 2^32-1 TGSW entries / samples:
+        // must fail a length check, not reserve gigabytes or slice.
+        let mut sk = Vec::new();
+        sk.extend_from_slice(&super::SK_MAGIC.to_le_bytes());
+        sk.extend_from_slice(&Params::testing().id().to_le_bytes());
+        sk.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(server_key_from_bytes(&sk).is_err());
+        let mut sk = Vec::new();
+        sk.extend_from_slice(&super::SK_MAGIC.to_le_bytes());
+        sk.extend_from_slice(&Params::testing().id().to_le_bytes());
+        sk.extend_from_slice(&0u32.to_le_bytes()); // zero TGSW entries
+        for v in [7u32, 3, 8, 2, u32::MAX] {
+            sk.extend_from_slice(&v.to_le_bytes()); // ksk header, huge count
+        }
+        assert!(server_key_from_bytes(&sk).is_err());
+    }
+
+    #[test]
     fn server_key_stores_half_size_spectra() {
         let mut rng = SecureRng::seed_from_u64(96);
         let params = Params::testing();
         let client = ClientKey::generate(params, &mut rng);
         let server = client.server_key(&mut rng);
         // Every stored spectrum is folded: exactly N/2 points.
-        let mut expected = 12usize; // SK magic + params id + tgsw count
+        let mut bsk_len = 4usize; // tgsw count
         for t in server.bootstrapping_key().tgsw_raw() {
-            expected += 4;
+            bsk_len += 4;
             for row in t.rows_raw() {
-                expected += 4;
+                bsk_len += 4;
                 for poly in row {
                     assert_eq!(poly.points(), params.poly_size / 2);
-                    expected += 4 + poly.points() * 16;
+                    bsk_len += 4 + poly.points() * 16;
                 }
             }
         }
         let ks = server.keyswitch_key();
-        expected += 20 + ks.num_samples() * (ks.dst_dim() + 1) * 4;
+        let ksk_len = 20 + ks.num_samples() * (ks.dst_dim() + 1) * 4;
+        // Envelope header + three sections (10-byte section headers):
+        // params id, bootstrap body, key-switch body.
+        let expected = pytfhe_wire::HEADER_LEN + (10 + 4) + (10 + bsk_len) + (10 + ksk_len);
         let bytes = server_key_to_bytes(&server);
-        // Exact wire size: half the v1 spectra footprint (v1 stored N
-        // interleaved complex points per polynomial).
         assert_eq!(bytes.len(), expected);
     }
 }

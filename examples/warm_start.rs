@@ -1,0 +1,78 @@
+//! Warm start: rebuild a server session from its durable store.
+//!
+//! ```text
+//! cargo run --release --example warm_start -- /tmp/pytfhe-store
+//! cargo run --release --example warm_start -- /tmp/pytfhe-store   # warm
+//! ```
+//!
+//! The first run is a *cold start*: the client ships the evaluation
+//! key, the server persists it (and the captured kernel plan) to the
+//! store directory. The second run never sees the key on the wire — the
+//! server warm-starts from disk, the plan cache is pre-populated, and
+//! the telemetry counters printed at the end prove it: zero keys
+//! installed, zero plans captured.
+
+use pytfhe::prelude::*;
+use pytfhe_telemetry as telemetry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("pytfhe-warm-start"));
+    println!("durable store: {}", dir.display());
+
+    // A half adder, as in the quickstart.
+    let mut nl = Netlist::new();
+    let a = nl.add_input();
+    let b = nl.add_input();
+    let sum = nl.add_gate(GateKind::Xor, a, b)?;
+    let carry = nl.add_gate(GateKind::And, a, b)?;
+    nl.mark_output(sum)?;
+    nl.mark_output(carry)?;
+
+    // The client is deterministic here so a later process can decrypt
+    // under the key an earlier process installed. (A real deployment
+    // would keep the client key somewhere safe instead.)
+    let mut client = Client::new(Params::testing(), 0xC0FFEE);
+
+    // Warm-start if the store already holds a key; otherwise install.
+    let store = DiskStore::open(&dir)?;
+    let (server, mode) = match Server::warm_start(store)? {
+        Some(server) => (server, "warm"),
+        None => {
+            let store = DiskStore::open(&dir)?;
+            (Server::with_store(client.make_server_key(), store)?, "cold")
+        }
+    };
+    println!("{mode} start");
+
+    for (x, y) in [(false, true), (true, true)] {
+        let inputs = client.encrypt_bits(&[x, y]);
+        let (outputs, stats) = server.execute_graph(&nl, &inputs, 2)?;
+        let bits = client.decrypt_bits(&outputs);
+        assert_eq!(bits[0], x ^ y);
+        assert_eq!(bits[1], x && y);
+        println!(
+            "{} + {} = sum {}, carry {} (plan {})",
+            u8::from(x),
+            u8::from(y),
+            u8::from(bits[0]),
+            u8::from(bits[1]),
+            if stats.plan_cached { "cached" } else { "captured" },
+        );
+    }
+
+    // The counters CI asserts on: a warm run installs no key and
+    // captures no plan.
+    let counters = telemetry::metrics().snapshot().counters;
+    for name in [
+        "session_keys_installed_total",
+        "session_keys_warm_started_total",
+        "session_plans_captured_total",
+        "session_plans_warm_loaded_total",
+    ] {
+        println!("{name}={}", counters.get(name).copied().unwrap_or(0));
+    }
+    Ok(())
+}

@@ -1,0 +1,255 @@
+//! Persistence robustness: golden backward-compatibility fixtures and
+//! randomized corruption across every serialized format.
+//!
+//! The golden files in `tests/golden/` freeze the byte layouts this
+//! repo has shipped (see the README there). These tests prove three
+//! things about the wire-envelope migration:
+//!
+//! 1. **Backward compatibility** — every legacy fixture still decodes
+//!    through its compat shim, is tagged [`Vintage::Legacy`], and the
+//!    decoded artifacts still *work* (the golden server key evaluates a
+//!    NAND truth table against the golden ciphertexts).
+//! 2. **Format stability** — the `*_wire.bin` fixtures decode as
+//!    [`Vintage::Current`] and re-encode byte-for-byte, pinning the
+//!    envelope layout itself.
+//! 3. **Corruption safety** — randomized truncations and bit flips of
+//!    any fixture produce a typed error; no panics, no garbage.
+
+use proptest::prelude::*;
+use pytfhe::pytfhe_backend::{execute, Checkpoint, DiskStore, KernelPlan, TfheEngine};
+use pytfhe::pytfhe_netlist::{GateKind, Netlist};
+use pytfhe::{Client, NoiseGuard, Server};
+use pytfhe_telemetry as telemetry;
+use pytfhe_tfhe::io::{
+    ciphertext_from_bytes, client_key_from_bytes, server_key_from_bytes_tagged, Vintage,
+};
+use pytfhe_tfhe::Params;
+
+fn golden(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing golden fixture {path:?}: {e}"))
+}
+
+fn nand_netlist() -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.add_input();
+    let b = nl.add_input();
+    let g = nl.add_gate(GateKind::Nand, a, b).unwrap();
+    nl.mark_output(g).unwrap();
+    nl
+}
+
+/// The legacy fixtures decode through their shims — and the decoded key
+/// material still computes: a NAND truth table evaluated homomorphically
+/// under the golden server key, on the golden ciphertexts, decrypted
+/// with the golden client key.
+#[test]
+fn legacy_goldens_decode_and_still_compute() {
+    let client_key = client_key_from_bytes(&golden("client_key_testing_v1.bin")).unwrap();
+    let (server_key, vintage) =
+        server_key_from_bytes_tagged(&golden("server_key_testing_tfs2.bin")).unwrap();
+    assert_eq!(vintage, Vintage::Legacy);
+
+    let (ct_true, ct_params) = ciphertext_from_bytes(&golden("ciphertext_true_v1.bin")).unwrap();
+    let (ct_false, _) = ciphertext_from_bytes(&golden("ciphertext_false_v1.bin")).unwrap();
+    assert_eq!(ct_params, *client_key.params());
+    assert!(client_key.decrypt_bit(&ct_true));
+    assert!(!client_key.decrypt_bit(&ct_false));
+
+    let nl = nand_netlist();
+    let engine = TfheEngine::new(&server_key);
+    for (a, b, want) in [(true, true, false), (true, false, true), (false, false, true)] {
+        let pick = |v| if v { ct_true.clone() } else { ct_false.clone() };
+        let (out, _) = execute(&engine, &nl, &[pick(a), pick(b)]).unwrap();
+        assert_eq!(client_key.decrypt_bit(&out[0]), want, "NAND({a},{b})");
+    }
+}
+
+/// Legacy plan and checkpoint fixtures load through their shims and
+/// agree with their wire-envelope re-exports.
+#[test]
+fn legacy_plan_and_checkpoint_goldens_match_their_wire_reexports() {
+    let (plan, vintage) = KernelPlan::from_bytes_tagged(&golden("kernel_plan_ptkg1.bin")).unwrap();
+    assert_eq!(vintage, Vintage::Legacy);
+    assert_eq!(plan.fingerprint, 0x4a08b6ad5de5ec72);
+    let (wire_plan, wire_vintage) =
+        KernelPlan::from_bytes_tagged(&golden("kernel_plan_wire.bin")).unwrap();
+    assert_eq!(wire_vintage, Vintage::Current);
+    assert_eq!(plan, wire_plan);
+
+    let (ckpt, vintage) = Checkpoint::from_bytes_tagged(&golden("checkpoint_ptck1.bin")).unwrap();
+    assert_eq!(vintage, Vintage::Legacy);
+    assert_eq!(ckpt.wave(), 1);
+    assert_eq!(ckpt.fingerprint(), 0x4a08b6ad5de5ec72);
+    let (wire_ckpt, wire_vintage) =
+        Checkpoint::from_bytes_tagged(&golden("checkpoint_wire.bin")).unwrap();
+    assert_eq!(wire_vintage, Vintage::Current);
+    assert_eq!(ckpt, wire_ckpt);
+}
+
+/// The current envelope layout is pinned: decoding a `*_wire.bin`
+/// fixture and re-encoding it must reproduce the file byte-for-byte.
+#[test]
+fn wire_goldens_reencode_byte_identically() {
+    let key_bytes = golden("server_key_testing_wire.bin");
+    let (key, vintage) = server_key_from_bytes_tagged(&key_bytes).unwrap();
+    assert_eq!(vintage, Vintage::Current);
+    assert_eq!(pytfhe_tfhe::io::server_key_to_bytes(&key).to_vec(), key_bytes);
+
+    let plan_bytes = golden("kernel_plan_wire.bin");
+    assert_eq!(KernelPlan::from_bytes(&plan_bytes).unwrap().to_bytes(), plan_bytes);
+
+    let ckpt_bytes = golden("checkpoint_wire.bin");
+    assert_eq!(Checkpoint::from_bytes(&ckpt_bytes).unwrap().to_bytes(), ckpt_bytes);
+
+    // And the envelope headers say what they should.
+    for (bytes, format) in [
+        (&key_bytes, pytfhe_wire::Format::ServerKey),
+        (&plan_bytes, pytfhe_wire::Format::KernelPlan),
+        (&ckpt_bytes, pytfhe_wire::Format::Checkpoint),
+    ] {
+        let env = pytfhe_wire::decode(bytes).unwrap();
+        assert_eq!(env.format, format);
+    }
+}
+
+/// Every way of mangling a fixture must produce `Err`, never a panic
+/// and never an `Ok`. (A bit flip in a *legacy* server key body can in
+/// principle go unseen — the legacy layout has no checksum — so flips
+/// are asserted only on checksummed formats; truncations are asserted
+/// everywhere.)
+fn assert_truncations_fail(name: &str, decode: &dyn Fn(&[u8]) -> bool) {
+    let bytes = golden(name);
+    // Exhaustive for small fixtures, strided for the megabyte key.
+    let step = (bytes.len() / 256).max(1);
+    for cut in (0..bytes.len()).step_by(step) {
+        assert!(!decode(&bytes[..cut]), "{name}: truncation to {cut} bytes was accepted");
+    }
+}
+
+type DecodeProbe = Box<dyn Fn(&[u8]) -> bool>;
+
+#[test]
+fn truncations_of_every_golden_are_rejected() {
+    let cases: Vec<(&str, DecodeProbe)> = vec![
+        ("server_key_testing_tfs2.bin", Box::new(|b| server_key_from_bytes_tagged(b).is_ok())),
+        ("server_key_testing_wire.bin", Box::new(|b| server_key_from_bytes_tagged(b).is_ok())),
+        ("kernel_plan_ptkg1.bin", Box::new(|b| KernelPlan::from_bytes(b).is_ok())),
+        ("kernel_plan_wire.bin", Box::new(|b| KernelPlan::from_bytes(b).is_ok())),
+        ("checkpoint_ptck1.bin", Box::new(|b| Checkpoint::from_bytes(b).is_ok())),
+        ("checkpoint_wire.bin", Box::new(|b| Checkpoint::from_bytes(b).is_ok())),
+        ("client_key_testing_v1.bin", Box::new(|b| client_key_from_bytes(b).is_ok())),
+        ("ciphertext_true_v1.bin", Box::new(|b| ciphertext_from_bytes(b).is_ok())),
+    ];
+    for (name, decode) in &cases {
+        assert_truncations_fail(name, decode);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random bit flips in checksummed (enveloped or FNV-guarded)
+    /// fixtures are always caught.
+    #[test]
+    fn random_bit_flips_are_rejected(
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+        which in 0usize..4,
+    ) {
+        let name = ["server_key_testing_wire.bin", "kernel_plan_wire.bin",
+                    "checkpoint_wire.bin", "checkpoint_ptck1.bin"][which];
+        let mut bytes = golden(name);
+        let i = pos.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        let rejected = match which {
+            0 => server_key_from_bytes_tagged(&bytes).is_err(),
+            1 => KernelPlan::from_bytes(&bytes).is_err(),
+            _ => Checkpoint::from_bytes(&bytes).is_err(),
+        };
+        prop_assert!(rejected, "{name}: flip of bit {bit} at byte {i} went undetected");
+    }
+
+    /// Random truncations of the enveloped fixtures are always caught
+    /// (complements the strided exhaustive pass above).
+    #[test]
+    fn random_truncations_are_rejected(
+        cut in any::<prop::sample::Index>(),
+        which in 0usize..3,
+    ) {
+        let name = ["server_key_testing_wire.bin", "kernel_plan_wire.bin",
+                    "checkpoint_wire.bin"][which];
+        let bytes = golden(name);
+        let cut = cut.index(bytes.len());
+        let rejected = match which {
+            0 => server_key_from_bytes_tagged(&bytes[..cut]).is_err(),
+            1 => KernelPlan::from_bytes(&bytes[..cut]).is_err(),
+            _ => Checkpoint::from_bytes(&bytes[..cut]).is_err(),
+        };
+        prop_assert!(rejected, "{name}: truncation to {cut} bytes went undetected");
+    }
+}
+
+/// Warm start, observed through telemetry counters: the first session
+/// installs the key and captures the plan; a second session against the
+/// same store installs zero keys and captures zero plans.
+#[test]
+fn warm_start_counters_prove_zero_reinstall_and_zero_recapture() {
+    let dir = std::env::temp_dir().join(format!("pytfhe-warm-counters-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let nl = nand_netlist();
+    let mut client = Client::new(Params::testing(), 0x5EED);
+    let counters = || telemetry::metrics().snapshot().counters;
+    let delta = |after: &std::collections::BTreeMap<String, u64>,
+                 before: &std::collections::BTreeMap<String, u64>,
+                 name: &str| {
+        after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)
+    };
+
+    let before_cold = counters();
+    {
+        let store = DiskStore::open(&dir).unwrap();
+        let server = Server::with_store(client.make_server_key(), store).unwrap();
+        let cts = client.encrypt_bits(&[true, false]);
+        let (out, _) = server.execute_graph(&nl, &cts, 1).unwrap();
+        assert_eq!(client.decrypt_bits(&out), vec![true]);
+    }
+    let after_cold = counters();
+    assert_eq!(delta(&after_cold, &before_cold, "session_keys_installed_total"), 1);
+    assert_eq!(delta(&after_cold, &before_cold, "session_plans_captured_total"), 1);
+
+    {
+        let store = DiskStore::open(&dir).unwrap();
+        let server = Server::warm_start(store).unwrap().expect("key persisted by the first run");
+        let cts = client.encrypt_bits(&[true, true]);
+        let (out, stats) = server.execute_graph(&nl, &cts, 1).unwrap();
+        assert_eq!(client.decrypt_bits(&out), vec![false]);
+        assert!(stats.plan_cached, "the stored plan must be reused");
+    }
+    let after_warm = counters();
+    assert_eq!(
+        delta(&after_warm, &after_cold, "session_keys_installed_total"),
+        0,
+        "a warm start must not re-install the key"
+    );
+    assert_eq!(
+        delta(&after_warm, &after_cold, "session_plans_captured_total"),
+        0,
+        "a warm start must not re-capture the plan"
+    );
+    assert_eq!(delta(&after_warm, &after_cold, "session_keys_warm_started_total"), 1);
+    assert_eq!(delta(&after_warm, &after_cold, "session_plans_warm_loaded_total"), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The noise-budget guardrail is live end-to-end: the deliberately weak
+/// test parameters are refused by the default guard and the breach is
+/// visible in the typed error.
+#[test]
+fn noise_guard_refuses_test_parameters_end_to_end() {
+    let mut client = Client::new(Params::testing(), 0xBAD);
+    let err = Server::with_noise_guard(client.make_server_key(), NoiseGuard::default())
+        .expect_err("testing parameters must fail the default noise guard");
+    let msg = err.to_string();
+    assert!(msg.contains("noise-budget guardrail"), "unexpected message: {msg}");
+}

@@ -4,13 +4,14 @@
 //! repro <target> [--quick]
 //!
 //! targets: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table4
-//!          ablation kernel_graph fft simd all
+//!          ablation kernel_graph fft simd serve all
 //!
 //! `kernel_graph` additionally writes machine-readable timings to
 //! `results/BENCH_kernel_graph.json`; `fft` writes the folded-vs-
 //! reference transform and gate timings to `results/BENCH_fft.json`;
 //! `simd` writes the scalar-vs-dispatched kernel timings to
-//! `results/BENCH_simd.json`.
+//! `results/BENCH_simd.json`; `serve` writes the multi-tenant serving
+//! throughput comparison to `results/BENCH_serve.json`.
 //! --quick: use the miniature Test/Small workload scales (fast; same
 //!          qualitative shapes). Without it the Paper scales are built,
 //!          which compiles multi-million-gate netlists and takes a few
@@ -71,6 +72,16 @@ fn main() -> ExitCode {
                     Err(e) => format!("{text}\ncould not write {path}: {e}"),
                 }
             }
+            // Real measurement of the multi-tenant serving front vs a
+            // stateless serial baseline on the same workload.
+            "serve" => {
+                let (text, json) = figures::serve(quick);
+                let path = "results/BENCH_serve.json";
+                match std::fs::write(path, &json) {
+                    Ok(()) => format!("{text}\nwrote {path}"),
+                    Err(e) => format!("{text}\ncould not write {path}: {e}"),
+                }
+            }
             _ => return None,
         })
     };
@@ -89,6 +100,7 @@ fn main() -> ExitCode {
         "kernel_graph",
         "fft",
         "simd",
+        "serve",
     ];
     match target.as_str() {
         "all" => {

@@ -224,10 +224,13 @@ impl Server {
             }
         }
         let Some(key) = key else { return Ok(None) };
-        telemetry::metrics().counter_add("session_keys_warm_started_total", 1);
         let mut server = Self::new(key);
         server.adopt_stored_plans(&store)?;
         server.store = Some(store);
+        // Count only after the whole session rebuilt — a key decode
+        // followed by a failed plan load is a failed warm start, and the
+        // counter must never overcount those.
+        telemetry::metrics().counter_add("session_keys_warm_started_total", 1);
         Ok(Some(server))
     }
 
@@ -459,6 +462,33 @@ mod tests {
             assert!(stats.plan_cached, "warm-started plan must skip capture");
             assert_eq!(client.decrypt_bits(&out), vec![true]);
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_warm_start_does_not_bump_the_warm_start_counter() {
+        let dir = std::env::temp_dir().join(format!("pytfhe-warmstart-ctr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut client = Client::new(Params::testing(), 14);
+        drop(Server::with_store(client.make_server_key(), DiskStore::open(&dir).unwrap()).unwrap());
+        // Open the store first, then sabotage the plan directory: the key
+        // decodes fine, but the plan rebuild that follows must fail the
+        // warm start — and a failed warm start must not count as one.
+        let store = DiskStore::open(&dir).unwrap();
+        std::fs::remove_dir_all(dir.join("plans")).unwrap();
+        std::fs::write(dir.join("plans"), b"not a directory").unwrap();
+        let counter = || {
+            telemetry::metrics()
+                .snapshot()
+                .counters
+                .get("session_keys_warm_started_total")
+                .copied()
+                .unwrap_or(0)
+        };
+        let before = counter();
+        let err = Server::warm_start(store);
+        assert!(matches!(err, Err(ExecError::StoreIo(_))), "{err:?}");
+        assert_eq!(counter(), before, "a failed warm start must not bump the counter");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,96 @@
+//! Typed serving-layer errors.
+//!
+//! Admission failures ([`ServeError::Overloaded`],
+//! [`ServeError::QuotaExceeded`]) are part of the protocol: the server
+//! reports them in a reply frame with enough detail for the client to
+//! implement backpressure, rather than dropping the connection.
+
+use std::fmt;
+
+use pytfhe_backend::ExecError;
+use pytfhe_tfhe::TfheError;
+use pytfhe_wire::WireError;
+
+/// Everything that can go wrong between a serving client and the front.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The server is at its live-session limit; retry later.
+    Overloaded {
+        /// Sessions currently attached.
+        live: usize,
+        /// Configured admission ceiling.
+        max: usize,
+    },
+    /// The tenant already has its full quota of jobs in flight.
+    QuotaExceeded {
+        /// Jobs the tenant currently has queued or running.
+        in_flight: usize,
+        /// Configured per-tenant ceiling.
+        quota: usize,
+    },
+    /// A fetch referenced a job id the server has no record of.
+    UnknownJob(u64),
+    /// A submit referenced a key fingerprint that was never installed
+    /// and could not be rehydrated from the backing store.
+    UnknownKey(u64),
+    /// A frame violated the serving protocol (wrong format id, missing
+    /// section, malformed body).
+    Protocol(String),
+    /// Envelope or section decoding failed.
+    Wire(WireError),
+    /// Key or ciphertext material failed to decode or evaluate.
+    Tfhe(TfheError),
+    /// The execution backend or its durable store failed.
+    Exec(ExecError),
+    /// The transport failed mid-conversation.
+    Io(std::io::Error),
+    /// The server is shutting down and no longer accepts work.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { live, max } => {
+                write!(f, "server overloaded: {live} live sessions (max {max})")
+            }
+            ServeError::QuotaExceeded { in_flight, quota } => {
+                write!(f, "tenant quota exceeded: {in_flight} jobs in flight (quota {quota})")
+            }
+            ServeError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            ServeError::UnknownKey(fp) => write!(f, "unknown key fingerprint {fp:#018x}"),
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::Tfhe(e) => write!(f, "tfhe error: {e}"),
+            ServeError::Exec(e) => write!(f, "exec error: {e}"),
+            ServeError::Io(e) => write!(f, "transport error: {e}"),
+            ServeError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<TfheError> for ServeError {
+    fn from(e: TfheError) -> Self {
+        ServeError::Tfhe(e)
+    }
+}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -304,6 +304,56 @@ impl ServerKey {
         }
     }
 
+    /// Evaluates one batched kernel of *mixed* gate kinds: `gates[i]`
+    /// applied to `pairs[i]` into `outs[i]`.
+    ///
+    /// This is the cross-session batching entry point: a serving
+    /// scheduler draining ready gates from many tenants' programs gets
+    /// one dense wave of heterogeneous gates per key, and staging them
+    /// through one SoA pass (each slot with its own gate recipe) keeps
+    /// the launch count at one per key per wave instead of one per gate
+    /// kind. Slot layout and per-slot arithmetic are identical to
+    /// [`ServerKey::batch_bootstrap`], so results are bit-exact with the
+    /// per-kind batches and with scalar [`ServerKey::gate_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gates`, `pairs`, and `outs` have different lengths.
+    pub fn batch_bootstrap_mixed(
+        &self,
+        gates: &[BootGate],
+        pairs: &[(&LweCiphertext, &LweCiphertext)],
+        outs: &mut [LweCiphertext],
+        scratch: &mut GateScratch,
+    ) {
+        assert_eq!(gates.len(), pairs.len(), "batch_bootstrap_mixed: gates/pairs mismatch");
+        assert_eq!(pairs.len(), outs.len(), "batch_bootstrap_mixed: pairs/outs mismatch");
+        scratch.soa.reset(pairs.len());
+        for (slot, (&gate, &(a, b))) in gates.iter().zip(pairs).enumerate() {
+            let (offset, ca, cb) = gate.spec();
+            scratch.soa.set_body(slot, offset);
+            scratch.soa.axpy(slot, ca, a);
+            scratch.soa.axpy(slot, cb, b);
+        }
+        let timed = pytfhe_telemetry::enabled();
+        for (slot, out) in outs.iter_mut().enumerate() {
+            let t0 = timed.then(std::time::Instant::now);
+            let (mask, body) = scratch.soa.slot(slot);
+            self.bootstrap.bootstrap_raw_slices_into(
+                mask,
+                body,
+                Self::mu(),
+                &mut scratch.boot,
+                &mut scratch.raw,
+            );
+            let t1 = timed.then(std::time::Instant::now);
+            self.keyswitch.switch_into(&scratch.raw, out);
+            if let (Some(t0), Some(t1)) = (t0, t1) {
+                record_gate_split(gates[slot], (t1 - t0).as_secs_f64(), t1.elapsed().as_secs_f64());
+            }
+        }
+    }
+
     /// `NAND` with caller-provided scratch (the hot-path API the backends
     /// use). All other `_with` gates follow the same pattern.
     pub fn nand_with(
@@ -597,6 +647,47 @@ mod tests {
                 assert_eq!(client.decrypt_bit(&out), oracle(a, b), "{name}({a}, {b})");
             }
         }
+    }
+
+    #[test]
+    fn mixed_batch_is_bit_exact_with_scalar_gates() {
+        use super::BootGate;
+        let (client, server, mut rng) = setup();
+        let mut scratch = server.gate_scratch();
+        let gates = [
+            BootGate::Nand,
+            BootGate::Xor,
+            BootGate::And,
+            BootGate::Oryn,
+            BootGate::Nor,
+            BootGate::Xnor,
+        ];
+        let bits = [
+            (true, false),
+            (true, true),
+            (false, false),
+            (false, true),
+            (true, false),
+            (true, true),
+        ];
+        let cts: Vec<_> = bits
+            .iter()
+            .map(|&(a, b)| (client.encrypt_bit(a, &mut rng), client.encrypt_bit(b, &mut rng)))
+            .collect();
+        let pairs: Vec<_> = cts.iter().map(|(a, b)| (a, b)).collect();
+        // Scalar oracle, one gate_into per slot.
+        let mut want = Vec::new();
+        for (&gate, &(a, b)) in gates.iter().zip(&pairs) {
+            let mut out = server.constant(false);
+            server.gate_into(gate, a, b, &mut scratch, &mut out);
+            want.push(out);
+        }
+        // One mixed launch over the whole wave.
+        let mut outs = vec![server.constant(false); pairs.len()];
+        server.batch_bootstrap_mixed(&gates, &pairs, &mut outs, &mut scratch);
+        assert_eq!(outs, want, "mixed batch must be bit-exact with scalar gate_into");
+        let dec: Vec<_> = outs.iter().map(|c| client.decrypt_bit(c)).collect();
+        assert_eq!(dec, vec![true, false, false, false, false, true]);
     }
 
     #[test]

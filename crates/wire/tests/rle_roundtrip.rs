@@ -1,0 +1,63 @@
+//! Property tests of the RLE-over-zero-runs transfer compression: every
+//! byte string round-trips exactly, packed sections are transparent to
+//! readers, and corrupt compressed streams surface typed errors.
+
+use proptest::prelude::*;
+use pytfhe_wire::{
+    find_section_packed, put_section_packed, rle_compress, rle_decompress, sections,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes survive a compress/decompress round trip.
+    #[test]
+    fn rle_round_trips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let packed = rle_compress(&data);
+        prop_assert_eq!(rle_decompress(&packed).unwrap(), data);
+    }
+
+    /// Zero-heavy payloads (the program-binary shape RLE exists for)
+    /// round-trip and never expand by more than the varint framing.
+    #[test]
+    fn rle_round_trips_sparse_bytes(
+        runs in prop::collection::vec((0u8..4, 0usize..64), 0..64),
+    ) {
+        let mut data = Vec::new();
+        for (byte, len) in runs {
+            data.resize(data.len() + len, byte);
+        }
+        let packed = rle_compress(&data);
+        prop_assert_eq!(rle_decompress(&packed).unwrap(), data);
+    }
+
+    /// A packed section round-trips through section framing regardless of
+    /// whether compression engaged, and the chosen tag stays recoverable.
+    #[test]
+    fn packed_sections_round_trip(
+        tag in 1u16..0x8000,
+        data in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut payload = Vec::new();
+        put_section_packed(&mut payload, tag, &data);
+        prop_assert_eq!(find_section_packed(&payload, tag).unwrap(), data);
+        // The frame stays a well-formed section list.
+        for s in sections(&payload) {
+            prop_assert!(s.is_ok());
+        }
+    }
+
+    /// Truncating a compressed stream anywhere yields an error, never a
+    /// panic and never silently-wrong bytes.
+    #[test]
+    fn truncated_rle_streams_error(
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let packed = rle_compress(&data);
+        let keep = ((packed.len() as f64) * cut_frac) as usize;
+        if keep < packed.len() {
+            prop_assert!(rle_decompress(&packed[..keep]).is_err());
+        }
+    }
+}

@@ -70,6 +70,16 @@ pub trait GateEngine: Sync {
             self.eval_into(kind, a, b, scratch, out);
         }
     }
+
+    /// Smallest wave (in gates) worth dispatching across the worker
+    /// pool; narrower waves run inline on the calling thread. The
+    /// default matches [`crate::exec::PARALLEL_WAVE_MIN`]; engines whose
+    /// per-gate cost is tiny compared to a pool dispatch (plaintext
+    /// evaluation) override it upward, engines whose gates dwarf the
+    /// dispatch (bootstrapped TFHE) keep it minimal.
+    fn parallel_grain(&self) -> usize {
+        crate::exec::PARALLEL_WAVE_MIN
+    }
 }
 
 /// Maps a netlist gate kind onto the TFHE crate's bootstrapped-gate
@@ -96,13 +106,35 @@ fn boot_gate(kind: GateKind) -> Option<BootGate> {
 /// This is the engine behind program validation and behind the
 /// performance simulators (running MNIST_L homomorphically on one core
 /// would take days — exactly the paper's point about baselines).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PlainEngine;
+#[derive(Debug, Clone, Copy)]
+pub struct PlainEngine {
+    /// Smallest wave worth a pool dispatch (see
+    /// [`GateEngine::parallel_grain`]).
+    grain: usize,
+}
+
+/// Default parallel grain for plaintext gates: a `bool` gate costs a few
+/// nanoseconds while a pool dispatch costs on the order of a microsecond,
+/// so only very wide waves repay fan-out.
+const PLAIN_PARALLEL_GRAIN: usize = 4096;
 
 impl PlainEngine {
     /// Creates the engine.
     pub fn new() -> Self {
-        PlainEngine
+        PlainEngine { grain: PLAIN_PARALLEL_GRAIN }
+    }
+
+    /// An engine with an explicit parallel grain (clamped ≥ 1) — test
+    /// and benchmark hook for forcing plaintext waves through the pooled
+    /// dispatch path regardless of width.
+    pub fn with_parallel_grain(grain: usize) -> Self {
+        PlainEngine { grain: grain.max(1) }
+    }
+}
+
+impl Default for PlainEngine {
+    fn default() -> Self {
+        PlainEngine::new()
     }
 }
 
@@ -119,6 +151,10 @@ impl GateEngine for PlainEngine {
 
     fn constant(&self, bit: bool) -> bool {
         bit
+    }
+
+    fn parallel_grain(&self) -> usize {
+        self.grain
     }
 }
 
@@ -179,6 +215,13 @@ impl GateEngine for TfheEngine<'_> {
         self.key.constant(bit)
     }
 
+    /// A bootstrapped gate costs hundreds of microseconds — three orders
+    /// of magnitude over a pool dispatch — so even two-gate waves repay
+    /// fan-out.
+    fn parallel_grain(&self) -> usize {
+        2
+    }
+
     fn eval_into(
         &self,
         kind: GateKind,
@@ -209,9 +252,10 @@ impl GateEngine for TfheEngine<'_> {
     ) {
         debug_assert_eq!(pairs.len(), outs.len());
         match boot_gate(kind) {
-            // One batched kernel: SoA-staged linear combinations, then the
-            // bootstrap + key-switch loop streaming over dense slots.
-            Some(gate) => self.key.batch_bootstrap(gate, pairs, outs, scratch),
+            // One fused batched kernel: linear combinations staged into
+            // SoA slots and bootstrapped + key-switched chunk by chunk
+            // while the staged masks are still cache-resident.
+            Some(gate) => self.key.batch_bootstrap_fused(gate, pairs, outs, scratch),
             None => {
                 for (&(a, b), out) in pairs.iter().zip(outs.iter_mut()) {
                     self.eval_into(kind, a, b, scratch, out);

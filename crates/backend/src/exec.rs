@@ -9,6 +9,7 @@ use crate::checkpoint::{netlist_fingerprint, Checkpoint, CheckpointStore, Checkp
 use crate::engine::GateEngine;
 use crate::error::ExecError;
 use crate::fault::{FaultInjector, RetryPolicy, TaskFate};
+use crate::pool::{Job, SlotCells, WorkerPool};
 use pytfhe_netlist::topo::{LevelSchedule, Levels};
 use pytfhe_netlist::{Netlist, Node};
 use pytfhe_telemetry as telemetry;
@@ -51,6 +52,9 @@ pub struct ExecStats {
     /// Kernel launches per gate kind, indexed by
     /// [`pytfhe_netlist::GateKind::opcode`].
     pub kernels_by_kind: [u64; 16],
+    /// Worker-pool tasks executed by a lane other than the one they
+    /// were queued on (work-stealing activity; 0 on serial runs).
+    pub steals: u64,
     /// Name of the SIMD kernel path the TFHE layer dispatched to
     /// (`"scalar"`, `"avx2"`, or `"neon"`; see `pytfhe_tfhe::simd`).
     pub simd_path: &'static str,
@@ -73,6 +77,7 @@ impl ExecStats {
             batches: 0,
             kernel_launches: 0,
             kernels_by_kind: [0; 16],
+            steals: 0,
             simd_path: pytfhe_tfhe::simd::active_path().name(),
         }
     }
@@ -100,6 +105,7 @@ impl ExecStats {
                 "  \"batches\": {batches},\n",
                 "  \"kernel_launches\": {kernel_launches},\n",
                 "  \"kernels_by_kind\": [{kinds}],\n",
+                "  \"steals\": {steals},\n",
                 "  \"simd_path\": \"{simd_path}\"\n",
                 "}}"
             ),
@@ -119,6 +125,7 @@ impl ExecStats {
             batches = self.batches,
             kernel_launches = self.kernel_launches,
             kinds = kinds,
+            steals = self.steals,
             simd_path = self.simd_path,
         )
     }
@@ -138,6 +145,7 @@ impl ExecStats {
         m.counter_add("exec_checkpoints_total", self.checkpoints as u64);
         m.counter_add("exec_batches_total", self.batches as u64);
         m.counter_add("exec_kernel_launches_total", self.kernel_launches);
+        m.counter_add("exec_steals_total", self.steals);
         m.observe_seconds("exec_wall_seconds", self.wall_s);
     }
 }
@@ -176,11 +184,17 @@ impl std::fmt::Display for ExecStats {
     }
 }
 
-/// Smallest wave size worth a thread-scope spawn: below this, the
-/// per-wave spawn/join overhead dominates the gate work itself (most
-/// circuits have long tails of 2–3-gate waves), so those waves run
-/// inline on the caller's thread.
-pub const PARALLEL_WAVE_MIN: usize = 4;
+/// Smallest wave size worth a pool dispatch: below this, even the
+/// cheap hand-off to the persistent [`WorkerPool`] outweighs the gate
+/// work itself (most circuits have long tails of 1–2-gate waves), so
+/// those waves run inline on the caller's thread. Engines override
+/// this per-gate-cost-aware via [`GateEngine::parallel_grain`]: the
+/// plaintext engine raises it to thousands of gates (a plain gate is a
+/// couple of table lookups), while the TFHE engine keeps it at 2 (a
+/// bootstrap costs milliseconds, so any splittable wave is worth
+/// dispatching). Retuned down from 4 when the wavefront moved from
+/// per-wave `thread::scope` spawns onto the shared pool.
+pub const PARALLEL_WAVE_MIN: usize = 2;
 
 /// Runs `nl` on `inputs` with a single thread, in node order (valid
 /// because netlists are topologically ordered by construction).
@@ -224,9 +238,14 @@ pub fn execute<E: GateEngine>(
 }
 
 /// Runs `nl` with the BFS wavefront of Algorithm 1 across `workers`
-/// threads: each wave's ready gates are split across the pool, with a
-/// barrier between waves (matching the algorithm's `Compute(C -
-/// finished)` step).
+/// lanes of the shared [`WorkerPool`]: each wave's ready gates are
+/// split into per-lane chunks dispatched onto the pool (idle lanes
+/// steal from loaded ones), with a barrier between waves (matching the
+/// algorithm's `Compute(C - finished)` step). Waves narrower than the
+/// engine's [`GateEngine::parallel_grain`] run inline on the caller's
+/// thread. Wave results are staged into a side buffer and swapped into
+/// the value table only after the whole wave completes, so workers
+/// never write slots another chunk might read.
 ///
 /// # Errors
 ///
@@ -254,7 +273,19 @@ pub fn execute_parallel<E: GateEngine>(
         values[slot.index()] = input.clone();
     }
     let nodes = nl.nodes();
+    let grain = engine.parallel_grain().max(PARALLEL_WAVE_MIN);
     let mut waves_run = 0;
+    let mut steals = 0u64;
+    // Serial scratch is created lazily once and reused across every
+    // narrow wave; pool scratches are grown to the widest fan-out seen
+    // so far and reused across waves (keyed by chunk index so the
+    // per-chunk scratch assignment is deterministic even when lanes
+    // steal).
+    let mut serial_scratch: Option<E::Scratch> = None;
+    let mut pool_scratches: Vec<E::Scratch> = Vec::new();
+    // Stage buffer for pooled waves: workers write results here and
+    // the main thread swaps them into `values` after the barrier.
+    let mut stage: Vec<E::Value> = Vec::new();
     for (wave_idx, wave) in schedule.waves.iter().enumerate() {
         if wave.is_empty() {
             continue;
@@ -263,61 +294,67 @@ pub fn execute_parallel<E: GateEngine>(
         let _wave_span =
             telemetry::span_with("exec", || format!("wave {wave_idx}: {} gates", wave.len()));
         telemetry::counter_sample("exec", "wave_width", wave.len() as f64);
-        if wave.len() < PARALLEL_WAVE_MIN || workers == 1 {
-            // Serial fast path: no thread spawn for narrow waves.
-            let mut scratch = engine.scratch();
+        if wave.len() < grain || workers == 1 {
+            // Serial fast path: no pool dispatch for narrow waves.
+            let scratch = serial_scratch.get_or_insert_with(|| engine.scratch());
             for &g in wave {
                 let Node::Gate { kind, a, b } = nodes[g as usize] else { unreachable!() };
                 values[g as usize] =
-                    engine.eval(kind, &values[a.index()], &values[b.index()], &mut scratch);
+                    engine.eval(kind, &values[a.index()], &values[b.index()], scratch);
             }
             continue;
         }
         let chunk = wave.len().div_ceil(workers);
+        let n_chunks = wave.len().div_ceil(chunk);
+        while pool_scratches.len() < n_chunks {
+            pool_scratches.push(engine.scratch());
+        }
+        if stage.len() < wave.len() {
+            stage.resize_with(wave.len(), || engine.constant(false));
+        }
+        let cells = SlotCells::new(std::mem::take(&mut pool_scratches));
         let values_ref = &values;
-        let results: Result<Vec<ChunkResults<E::Value>>, ExecError> = std::thread::scope(|scope| {
-            let handles: Vec<_> = wave
-                .chunks(chunk)
-                .enumerate()
-                .map(|(worker, part)| {
-                    scope.spawn(move || {
-                        let _chunk_span = telemetry::worker_span_with(
-                            "exec",
-                            || format!("wave {wave_idx} chunk: {} gates", part.len()),
-                            worker as u32,
-                        );
-                        let mut scratch = engine.scratch();
-                        part.iter()
-                            .map(|&g| {
-                                let Node::Gate { kind, a, b } = nodes[g as usize] else {
-                                    unreachable!("schedule contains only gates")
-                                };
-                                let out = engine.eval(
-                                    kind,
-                                    &values_ref[a.index()],
-                                    &values_ref[b.index()],
-                                    &mut scratch,
-                                );
-                                (g, out)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            // Join every handle (no short-circuit) so a panicked worker
-            // surfaces as an error instead of re-panicking the scope.
-            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-            joined.into_iter().map(|r| r.map_err(|_| ExecError::WorkerPanicked)).collect()
-        });
-        for part in results? {
-            for (g, v) in part {
-                values[g as usize] = v;
-            }
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(n_chunks);
+        for ((slot, part), stage_part) in
+            wave.chunks(chunk).enumerate().zip(stage[..wave.len()].chunks_mut(chunk))
+        {
+            let cells_ref = &cells;
+            jobs.push(Box::new(move |lane| {
+                let _chunk_span = telemetry::worker_span_with(
+                    "exec",
+                    || format!("wave {wave_idx} chunk: {} gates", part.len()),
+                    lane as u32,
+                );
+                // SAFETY: `slot` is unique per job (one chunk, one
+                // slot), so no two jobs touch the same scratch.
+                let scratch = unsafe { cells_ref.slot(slot) };
+                for (&g, out) in part.iter().zip(stage_part.iter_mut()) {
+                    let Node::Gate { kind, a, b } = nodes[g as usize] else {
+                        unreachable!("schedule contains only gates")
+                    };
+                    engine.eval_into(
+                        kind,
+                        &values_ref[a.index()],
+                        &values_ref[b.index()],
+                        scratch,
+                        out,
+                    );
+                }
+            }));
+        }
+        let run = WorkerPool::global().run(workers, jobs);
+        pool_scratches = cells.into_inner();
+        steals += run?.steals;
+        // Barrier passed: publish the staged wave results. Swap (not
+        // clone) so ciphertext buffers move without reallocation.
+        for (i, &g) in wave.iter().enumerate() {
+            std::mem::swap(&mut values[g as usize], &mut stage[i]);
         }
     }
     let outputs = nl.outputs().iter().map(|o| values[o.index()].clone()).collect();
     let mut stats = ExecStats::for_gates(nl.num_gates());
     stats.waves = waves_run;
+    stats.steals = steals;
     stats.wall_s = start.elapsed().as_secs_f64();
     stats.record_metrics();
     Ok((outputs, stats))
@@ -688,12 +725,12 @@ mod tests {
     }
 
     #[test]
-    fn narrow_waves_skip_the_thread_scope() {
+    fn narrow_waves_skip_the_pool() {
         use std::sync::atomic::{AtomicUsize, Ordering};
 
         // Counts scratch() allocations: the serial fast path takes exactly
-        // one scratch per wave, while the spawning path takes one per
-        // worker chunk — so the count exposes which path ran.
+        // one scratch for the whole run, while the pooled path takes one
+        // per worker chunk — so the count exposes which path ran.
         struct CountingEngine {
             scratches: AtomicUsize,
         }
@@ -731,7 +768,7 @@ mod tests {
         assert!(out.iter().all(|&v| !v));
         assert_eq!(engine.scratches.load(Ordering::Relaxed), 1, "narrow wave must stay serial");
 
-        // At the threshold: the scope spawns one chunk per worker.
+        // At the threshold: the pool runs one chunk per worker.
         let engine = CountingEngine { scratches: AtomicUsize::new(0) };
         let nl = wave_of(PARALLEL_WAVE_MIN);
         let (out, _) = execute_parallel(&engine, &nl, &[true, true], workers).unwrap();
@@ -777,6 +814,7 @@ mod tests {
             "\"batches\"",
             "\"kernel_launches\"",
             "\"kernels_by_kind\"",
+            "\"steals\"",
             "\"simd_path\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -149,6 +149,7 @@ impl KernelGraph {
         stats.batches = report.batches;
         stats.kernel_launches = report.kernel_launches;
         stats.kernels_by_kind = report.kernels_by_kind;
+        stats.steals = report.steals;
         stats.plan_cached = cached;
         stats.capture_s = capture_s;
         stats.replay_s = replay_start.elapsed().as_secs_f64();

@@ -125,6 +125,13 @@ impl KernelPlan {
             .max()
             .unwrap_or(0)
     }
+
+    /// The widest wave (gates across all of its groups) — the staging
+    /// arena a whole-wave parallel replay needs, since every group of a
+    /// wave is staged before any result is scattered back.
+    pub fn max_wave_len(&self) -> usize {
+        self.batches.iter().flat_map(|b| &b.waves).map(WavePlan::num_gates).max().unwrap_or(0)
+    }
 }
 
 /// Legacy pre-envelope magic; read-only through the compat shim.

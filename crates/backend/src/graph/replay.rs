@@ -9,14 +9,26 @@
 //! `*_into` kernels and scattered back by pointer swaps. (Small
 //! per-kernel-launch bookkeeping, like the operand-pointer list handed
 //! to [`GateEngine::eval_batch`], still comes from the ordinary heap.)
+//!
+//! Wide waves dispatch onto the shared [`WorkerPool`]: every group of
+//! the wave is split into per-lane chunks and all chunks are submitted
+//! as one run, so lanes steal across group boundaries — one fat AND
+//! group no longer idles the workers that finished their XORs. Narrow
+//! waves (below [`GateEngine::parallel_grain`]) run inline with a single
+//! scratch, and scratch buffers are only allocated for the lanes a
+//! replay actually engages.
 
 use crate::engine::GateEngine;
 use crate::error::ExecError;
-use crate::graph::plan::{GateGroup, KernelPlan};
+use crate::graph::plan::{KernelPlan, WavePlan};
+use crate::pool::{Job, SlotCells, WorkerPool};
 use pytfhe_telemetry as telemetry;
 
 /// Reusable replay storage: the value arena (one slot per netlist
-/// node), the kernel staging arena, and one scratch per worker lane.
+/// node), the wave staging arena, and scratch buffers for the worker
+/// lanes a replay engages (grown lazily: serial replays hold one
+/// scratch; a parallel dispatch grows to the lane count, never past
+/// it — large-key scratch memory is never allocated unused).
 #[derive(Debug)]
 pub struct ReplayLanes<E: GateEngine> {
     values: Vec<E::Value>,
@@ -29,9 +41,19 @@ impl<E: GateEngine> ReplayLanes<E> {
     /// Creates empty lanes for `workers` parallel lanes (clamped to at
     /// least 1). Buffers grow on first use and persist across replays.
     pub fn new(engine: &E, workers: usize) -> Self {
-        let workers = workers.max(1);
-        let scratches = (0..workers).map(|_| engine.scratch()).collect();
-        ReplayLanes { values: Vec::new(), stage: Vec::new(), scratches, workers }
+        let _ = engine;
+        ReplayLanes {
+            values: Vec::new(),
+            stage: Vec::new(),
+            scratches: Vec::new(),
+            workers: workers.max(1),
+        }
+    }
+
+    /// Lanes sized to the global pool's width — the right default when
+    /// the caller has no explicit worker count.
+    pub fn auto(engine: &E) -> Self {
+        ReplayLanes::new(engine, WorkerPool::global().width())
     }
 
     /// Worker lanes.
@@ -39,14 +61,30 @@ impl<E: GateEngine> ReplayLanes<E> {
         self.workers
     }
 
+    /// Scratch buffers allocated so far (grows with the widest dispatch
+    /// actually executed, bounded by [`ReplayLanes::workers`]).
+    pub fn allocated_scratches(&self) -> usize {
+        self.scratches.len()
+    }
+
     /// Grows the arenas to fit `plan` (no-op once warmed up).
     fn warm(&mut self, engine: &E, plan: &KernelPlan) {
         if self.values.len() < plan.num_nodes {
             self.values.resize_with(plan.num_nodes, || engine.constant(false));
         }
-        let stage_len = plan.max_group_len();
+        // The whole wave is staged before any result scatters back, so
+        // the stage arena spans the widest wave, not just the widest
+        // group.
+        let stage_len = plan.max_wave_len();
         if self.stage.len() < stage_len {
             self.stage.resize_with(stage_len, || engine.constant(false));
+        }
+    }
+
+    /// Ensures at least `n` scratch buffers exist.
+    fn ensure_scratches(&mut self, engine: &E, n: usize) {
+        while self.scratches.len() < n {
+            self.scratches.push(engine.scratch());
         }
     }
 }
@@ -65,13 +103,17 @@ pub struct ReplayReport {
     pub kernel_launches: u64,
     /// Kernel launches per gate kind, indexed by opcode.
     pub kernels_by_kind: [u64; 16],
+    /// Pool tasks executed by a lane other than the one they were
+    /// queued on (work-stealing activity across the replay's waves).
+    pub steals: u64,
 }
 
 /// Replays `plan` on `inputs`, reusing `lanes` for all storage.
 ///
 /// Bit-exact with [`crate::execute`] on the captured netlist: batching
 /// regroups independent gates but every gate still runs the identical
-/// kernel on identical operands.
+/// kernel on identical operands, and chunk boundaries never change
+/// per-gate arithmetic — outputs are identical at every worker count.
 ///
 /// # Errors
 ///
@@ -101,69 +143,99 @@ pub fn replay<E: GateEngine>(
         });
         for wave in &batch.waves {
             report.waves += 1;
-            for group in &wave.groups {
-                run_group(engine, group, lanes, &mut report)?;
-            }
+            run_wave(engine, wave, lanes, &mut report)?;
         }
     }
     let outputs = plan.outputs.iter().map(|&s| lanes.values[s as usize].clone()).collect();
     Ok((outputs, report))
 }
 
-/// Dispatches one gate group as batched kernel launches: results are
-/// staged into the staging arena (the wave's other groups may still read
-/// any slot), then swapped into the value arena.
-fn run_group<E: GateEngine>(
+/// Executes one wave: every group's results are staged (the wave's other
+/// groups may still read any slot), then swapped into the value arena.
+/// Wide waves split each group into per-lane chunks and run all chunks
+/// of all groups as a single pool dispatch with intra-wave stealing;
+/// narrow waves run inline on one scratch.
+fn run_wave<E: GateEngine>(
     engine: &E,
-    group: &GateGroup,
+    wave: &WavePlan,
     lanes: &mut ReplayLanes<E>,
     report: &mut ReplayReport,
 ) -> Result<(), ExecError> {
-    let tasks = &group.tasks;
-    let stage = &mut lanes.stage[..tasks.len()];
-    let launches = if lanes.workers == 1 || tasks.len() == 1 {
-        let values = &lanes.values;
-        let pairs: Vec<(&E::Value, &E::Value)> =
-            tasks.iter().map(|t| (&values[t.a as usize], &values[t.b as usize])).collect();
-        engine.eval_batch(group.kind, &pairs, stage, &mut lanes.scratches[0]);
-        1
-    } else {
-        let chunk = tasks.len().div_ceil(lanes.workers);
-        let values = &lanes.values;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = tasks
-                .chunks(chunk)
-                .zip(stage.chunks_mut(chunk))
-                .zip(lanes.scratches.iter_mut())
-                .map(|((task_chunk, stage_chunk), scratch)| {
-                    scope.spawn(move || {
-                        let pairs: Vec<(&E::Value, &E::Value)> = task_chunk
-                            .iter()
-                            .map(|t| (&values[t.a as usize], &values[t.b as usize]))
-                            .collect();
-                        engine.eval_batch(group.kind, &pairs, stage_chunk, scratch);
-                    })
-                })
-                .collect();
-            let n = handles.len() as u64;
-            for handle in handles {
-                handle.join().map_err(|_| ExecError::WorkerPanicked)?;
-            }
-            Ok::<u64, ExecError>(n)
-        })?
-    };
-    report.kernel_launches += launches;
-    report.kernels_by_kind[group.kind.opcode() as usize] += launches;
-    if telemetry::enabled() {
-        telemetry::metrics().counter_add(
-            &format!("graph_kernel_launches_total{{kind=\"{}\"}}", group.kind),
-            launches,
-        );
+    let total = wave.num_gates();
+    if total == 0 {
+        return Ok(());
     }
-    for (t, staged) in tasks.iter().zip(stage.iter_mut()) {
-        std::mem::swap(&mut lanes.values[t.out as usize], staged);
+    let workers = lanes.workers;
+    let grain = engine.parallel_grain().max(2);
+    if workers == 1 || total < grain {
+        lanes.ensure_scratches(engine, 1);
+        let values = &lanes.values;
+        let mut staged = 0;
+        for group in &wave.groups {
+            let stage = &mut lanes.stage[staged..staged + group.tasks.len()];
+            staged += group.tasks.len();
+            let pairs: Vec<(&E::Value, &E::Value)> = group
+                .tasks
+                .iter()
+                .map(|t| (&values[t.a as usize], &values[t.b as usize]))
+                .collect();
+            engine.eval_batch(group.kind, &pairs, stage, &mut lanes.scratches[0]);
+            record_launches(report, group.kind, 1);
+        }
+    } else {
+        lanes.ensure_scratches(engine, workers);
+        let ReplayLanes { values, stage, scratches, .. } = lanes;
+        let values = &*values;
+        // Chunks target one per lane across the whole wave; group
+        // boundaries may add a few more, and stealing evens them out.
+        let chunk = total.div_ceil(workers).max(1);
+        let scratch_cells = SlotCells::new(std::mem::take(scratches));
+        let cells = &scratch_cells;
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut stage_rest: &mut [E::Value] = &mut stage[..total];
+        for group in &wave.groups {
+            let (group_stage, rest) = stage_rest.split_at_mut(group.tasks.len());
+            stage_rest = rest;
+            let kind = group.kind;
+            let n_chunks = group.tasks.len().div_ceil(chunk) as u64;
+            record_launches(report, kind, n_chunks);
+            for (task_chunk, stage_chunk) in
+                group.tasks.chunks(chunk).zip(group_stage.chunks_mut(chunk))
+            {
+                jobs.push(Box::new(move |lane: usize| {
+                    // SAFETY: the pool runs at most one task per lane at
+                    // a time, and `lane < workers == cells.len()`.
+                    let scratch = unsafe { cells.slot(lane) };
+                    let pairs: Vec<(&E::Value, &E::Value)> = task_chunk
+                        .iter()
+                        .map(|t| (&values[t.a as usize], &values[t.b as usize]))
+                        .collect();
+                    engine.eval_batch(kind, &pairs, stage_chunk, scratch);
+                }));
+            }
+        }
+        let run = WorkerPool::global().run(workers, jobs);
+        *scratches = scratch_cells.into_inner();
+        report.steals += run?.steals;
+    }
+    let mut staged = 0;
+    for group in &wave.groups {
+        for t in &group.tasks {
+            std::mem::swap(&mut lanes.values[t.out as usize], &mut lanes.stage[staged]);
+            staged += 1;
+        }
     }
     Ok(())
+}
+
+/// Bumps the per-kind and total launch counters.
+fn record_launches(report: &mut ReplayReport, kind: pytfhe_netlist::GateKind, launches: u64) {
+    report.kernel_launches += launches;
+    report.kernels_by_kind[kind.opcode() as usize] += launches;
+    if telemetry::enabled() {
+        telemetry::metrics()
+            .counter_add(&format!("graph_kernel_launches_total{{kind=\"{kind}\"}}"), launches);
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +286,9 @@ mod tests {
     #[test]
     fn parallel_replay_matches_serial_replay() {
         let nl = adder4();
-        let engine = PlainEngine::new();
+        // Grain 1 forces even these tiny plaintext waves through the
+        // pooled dispatch so the parallel path is actually exercised.
+        let engine = PlainEngine::with_parallel_grain(1);
         let plan = capture(&nl, &CaptureConfig { batch_cut_nodes: 4 }).unwrap();
         let mut serial = ReplayLanes::new(&engine, 1);
         let mut parallel = ReplayLanes::new(&engine, 4);
@@ -225,6 +299,31 @@ mod tests {
         assert_eq!(ra.gates, rb.gates);
         assert_eq!(ra.batches, rb.batches);
         assert!(rb.kernel_launches >= ra.kernel_launches);
+    }
+
+    #[test]
+    fn scratches_grow_lazily_to_the_engaged_lanes() {
+        let nl = adder4();
+        let plan = capture(&nl, &CaptureConfig::default()).unwrap();
+        let bits = vec![true; 8];
+
+        // Serial replay allocates exactly one scratch even when the
+        // lanes were sized for more workers.
+        let engine = PlainEngine::new(); // default grain: waves stay serial
+        let mut lanes = ReplayLanes::new(&engine, 8);
+        assert_eq!(lanes.allocated_scratches(), 0, "construction allocates nothing");
+        replay(&engine, &plan, &bits, &mut lanes).unwrap();
+        assert_eq!(lanes.allocated_scratches(), 1, "serial replay needs one scratch");
+
+        // A parallel dispatch grows to the lane width, never past it.
+        let engine = PlainEngine::with_parallel_grain(1);
+        let mut lanes = ReplayLanes::new(&engine, 3);
+        replay(&engine, &plan, &bits, &mut lanes).unwrap();
+        assert!(
+            lanes.allocated_scratches() <= 3,
+            "scratches bounded by workers, got {}",
+            lanes.allocated_scratches()
+        );
     }
 
     #[test]

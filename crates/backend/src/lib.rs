@@ -27,6 +27,11 @@
 //!   batched kernels, waves cut into sub-graph batches exactly where the
 //!   CUDA-Graphs simulator cuts them), cached by fingerprint, and
 //!   *replayed* against fresh inputs with zero per-gate allocation;
+//! * [`pool`] — the shared work-stealing worker pool (per-lane deques,
+//!   LIFO-local/FIFO-steal, caller participation) that the wavefront
+//!   executor, the kernel-graph replay, and the serving scheduler all
+//!   dispatch their batched chunks onto, replacing per-dispatch thread
+//!   spawning;
 //! * [`cost`] — the calibrated cost model (Figure 7: one bootstrapped
 //!   gate ≈ 13 ms on one CPU core; ciphertext = 2.46 KB; per-task
 //!   communication ≈ 0.094 % of runtime);
@@ -44,6 +49,7 @@ mod error;
 pub mod exec;
 pub mod fault;
 pub mod graph;
+pub mod pool;
 pub mod runtime;
 pub mod sim;
 pub mod store;
@@ -61,5 +67,6 @@ pub use fault::{
 pub use graph::{
     capture, replay, CaptureConfig, KernelGraph, KernelPlan, ReplayLanes, ReplayReport,
 };
+pub use pool::{RunStats, WorkerPool};
 pub use runtime::{Evaluator, RtWord};
 pub use store::DiskStore;

@@ -59,6 +59,28 @@ proptest! {
         prop_assert_eq!(report.gates, nl.num_gates());
     }
 
+    /// Replay is bit-exact and deterministic across every worker count
+    /// on the plaintext engine: pooled per-chunk dispatch (forced by
+    /// grain 1) must never change results, whatever the lane count.
+    #[test]
+    fn replay_is_deterministic_across_worker_counts(
+        seed in any::<u64>(),
+        bits in prop::collection::vec(any::<bool>(), 6),
+    ) {
+        let nl = random_netlist(seed, 6, 48);
+        let engine = PlainEngine::with_parallel_grain(1);
+        let (want, _) = execute(&engine, &nl, &bits).expect("execute");
+        let plan = capture(&nl, &CaptureConfig::default()).expect("capture");
+        for workers in [1usize, 2, 4, 8] {
+            let mut lanes = ReplayLanes::new(&engine, workers);
+            let (got, _) = replay(&engine, &plan, &bits, &mut lanes).expect("replay");
+            prop_assert_eq!(&got, &want, "workers={}", workers);
+            // Replaying again on the same lanes stays deterministic.
+            let (again, _) = replay(&engine, &plan, &bits, &mut lanes).expect("re-replay");
+            prop_assert_eq!(&again, &want, "workers={} second replay", workers);
+        }
+    }
+
     /// The real capture cuts sub-graph batches exactly where the
     /// CUDA-Graphs simulator's cut rule predicts.
     #[test]
@@ -111,6 +133,27 @@ fn encrypted_replay_is_bit_exact_with_execute() {
     let plain: Vec<bool> = nl.eval_plain(&bits);
     let decrypted: Vec<bool> = got.iter().map(|ct| client.decrypt_bit(ct)).collect();
     assert_eq!(decrypted, plain, "and decrypt to the functional result");
+}
+
+#[test]
+fn encrypted_replay_is_bit_exact_at_every_worker_count() {
+    let mut rng = SecureRng::seed_from_u64(53);
+    let client = ClientKey::generate(Params::testing(), &mut rng);
+    let server = client.server_key(&mut rng);
+    let engine = TfheEngine::new(&server);
+    let nl = random_netlist(0xBEEF_CAFE, 4, 20);
+    let bits = [true, true, false, true];
+    let cts: Vec<_> = bits.iter().map(|&b| client.encrypt_bit(b, &mut rng)).collect();
+    let (want, _) = execute(&engine, &nl, &cts).expect("execute");
+    let plain = nl.eval_plain(&bits);
+    let plan = capture(&nl, &CaptureConfig { batch_cut_nodes: 8 }).expect("capture");
+    for workers in [1usize, 2, 4, 8] {
+        let mut lanes = ReplayLanes::new(&engine, workers);
+        let (got, _) = replay(&engine, &plan, &cts, &mut lanes).expect("replay");
+        assert_eq!(got, want, "workers={workers}: ciphertext-for-ciphertext");
+        let decrypted: Vec<bool> = got.iter().map(|ct| client.decrypt_bit(ct)).collect();
+        assert_eq!(decrypted, plain, "workers={workers}: functional result");
+    }
 }
 
 #[test]

@@ -480,73 +480,115 @@ pub fn ablation() -> String {
     out
 }
 
-/// The kernel-graph backend measured on a real workload: capture cost,
-/// first vs cached replay, and the batch structure — the executable
-/// analogue of the Figure 9 pipeline. Returns the rendered report plus a
+/// The kernel-graph backend swept across real workloads: capture cost,
+/// first vs cached replay, the batch structure, and the cached-replay
+/// speedup over the wavefront executor at the same worker count — the
+/// executable analogue of the Figure 9 pipeline, run on the shared
+/// work-stealing pool. Returns the rendered report plus a
 /// machine-readable JSON document (written by `repro kernel_graph` to
-/// `results/BENCH_kernel_graph.json`).
+/// `results/BENCH_kernel_graph.json`) with per-workload labeled
+/// metrics: `cached_replay_s{workload=...}`, `wavefront_s{workload=...}`,
+/// `speedup{workload=...}`, and `steals{workload=...}`.
 pub fn kernel_graph(scale: Scale) -> (String, String) {
-    use pytfhe_backend::{execute_parallel, KernelGraph, PlainEngine, ReplayLanes};
+    use pytfhe_backend::{execute_parallel, KernelGraph, PlainEngine, ReplayLanes, WorkerPool};
     use pytfhe_vipbench::find;
 
-    let workers = 4;
+    let workers = WorkerPool::global().width();
     let replays = 5;
-    let bench = find("MNIST_S", scale).expect("registered workload");
-    let nl = bench.netlist().clone();
-    let bits = bench.encode_input(&bench.sample_input(1));
-    let engine = PlainEngine::new();
-
-    let graph = KernelGraph::new();
-    let mut lanes = ReplayLanes::new(&engine, workers);
-    let (out_first, first) =
-        graph.execute_with_lanes(&engine, &nl, &bits, &mut lanes).expect("first run");
-    assert!(!first.plan_cached, "first run must capture");
-    let mut cached_replay_s = f64::INFINITY;
-    for _ in 0..replays {
-        let (out_rep, stats) =
-            graph.execute_with_lanes(&engine, &nl, &bits, &mut lanes).expect("replay");
-        assert!(stats.plan_cached, "repeat runs must hit the plan cache");
-        assert_eq!(out_rep, out_first, "replay must be bit-exact");
-        cached_replay_s = cached_replay_s.min(stats.replay_s);
-    }
-    let (_, wavefront) = execute_parallel(&engine, &nl, &bits, workers).expect("wavefront");
-
-    let mut table = Table::new(&["metric", "value"]);
-    table.row(vec!["gates".into(), first.gates.to_string()]);
-    table.row(vec!["waves".into(), first.waves.to_string()]);
-    table.row(vec!["sub-graph batches".into(), first.batches.to_string()]);
-    table.row(vec!["kernel launches".into(), first.kernel_launches.to_string()]);
-    table.row(vec!["capture".into(), fmt_seconds(first.capture_s)]);
-    table.row(vec!["first replay".into(), fmt_seconds(first.replay_s)]);
-    table.row(vec![format!("cached replay (best of {replays})"), fmt_seconds(cached_replay_s)]);
-    table.row(vec![format!("wavefront x{workers} (no plan)"), fmt_seconds(wavefront.wall_s)]);
+    let workloads = ["MNIST_S", "MNIST_M", "MNIST_L", "Attention_S"];
 
     let mut out = String::from(
         "Kernel-graph backend — capture once, replay batched plans (Figure 9, executed)\n",
     );
-    out.push_str("MNIST_S, plaintext functional engine; same-kind gates share one batched kernel per wave.\n\n");
-    out.push_str(&table.render());
-    out.push_str(&format!("\nfirst-run ExecStats:\n{first}\n"));
-
+    out.push_str(&format!(
+        "plaintext functional engine, {workers} pool lane(s); same-kind gates share one batched kernel per wave.\n\n"
+    ));
     let mut report = BenchReport::new("kernel_graph")
-        .config("workload", "MNIST_S")
         .config("scale", if scale == Scale::Paper { "paper" } else { "test" })
-        .config("workers", workers);
-    report.metric_count("gates", first.gates as u64);
-    report.metric_count("waves", first.waves as u64);
-    report.metric_count("batches", first.batches as u64);
-    report.metric_count("kernel_launches", first.kernel_launches);
-    report.metric_seconds("capture_s", first.capture_s);
-    report.metric_seconds("first_replay_s", first.replay_s);
-    report.metric_seconds("cached_replay_s", cached_replay_s);
-    report.metric_seconds("wavefront_s", wavefront.wall_s);
-    for (op, &n) in first.kernels_by_kind.iter().enumerate() {
-        if n == 0 {
-            continue;
+        .config("workers", workers)
+        .config("workloads", workloads.join(","));
+    let mut table = Table::new(&[
+        "workload",
+        "gates",
+        "waves",
+        "launches",
+        "capture",
+        "cached replay",
+        "wavefront (no plan)",
+        "speedup",
+    ]);
+
+    for name in workloads {
+        let bench = find(name, scale).expect("registered workload");
+        let nl = bench.netlist().clone();
+        let bits = bench.encode_input(&bench.sample_input(1));
+        let engine = PlainEngine::new();
+
+        let graph = KernelGraph::new();
+        let mut lanes = ReplayLanes::new(&engine, workers);
+        let (out_first, first) =
+            graph.execute_with_lanes(&engine, &nl, &bits, &mut lanes).expect("first run");
+        assert!(!first.plan_cached, "first run must capture");
+        let mut cached_replay_s = f64::INFINITY;
+        let mut steals = 0u64;
+        for _ in 0..replays {
+            let (out_rep, stats) =
+                graph.execute_with_lanes(&engine, &nl, &bits, &mut lanes).expect("replay");
+            assert!(stats.plan_cached, "repeat runs must hit the plan cache");
+            assert_eq!(out_rep, out_first, "replay must be bit-exact");
+            cached_replay_s = cached_replay_s.min(stats.replay_s);
+            steals += stats.steals;
         }
-        let kind = GateKind::from_opcode(op as u8).expect("counted opcode");
-        report.metric_count(format!("kernel_launches{{kind=\"{}\"}}", kind.mnemonic()), n);
+        // Best-of-`replays` for the wavefront too, so the comparison is
+        // minimum-vs-minimum.
+        let mut wavefront_s = f64::INFINITY;
+        for _ in 0..replays {
+            let (_, wavefront) = execute_parallel(&engine, &nl, &bits, workers).expect("wavefront");
+            wavefront_s = wavefront_s.min(wavefront.wall_s);
+        }
+        let speedup = wavefront_s / cached_replay_s;
+
+        table.row(vec![
+            name.to_string(),
+            first.gates.to_string(),
+            first.waves.to_string(),
+            first.kernel_launches.to_string(),
+            fmt_seconds(first.capture_s),
+            fmt_seconds(cached_replay_s),
+            fmt_seconds(wavefront_s),
+            format!("{speedup:.2}x"),
+        ]);
+        let label = |metric: &str| format!("{metric}{{workload=\"{name}\"}}");
+        report.metric_count(label("gates"), first.gates as u64);
+        report.metric_count(label("waves"), first.waves as u64);
+        report.metric_count(label("batches"), first.batches as u64);
+        report.metric_count(label("kernel_launches"), first.kernel_launches);
+        report.metric_seconds(label("capture_s"), first.capture_s);
+        report.metric_seconds(label("first_replay_s"), first.replay_s);
+        report.metric_seconds(label("cached_replay_s"), cached_replay_s);
+        report.metric_seconds(label("wavefront_s"), wavefront_s);
+        report.metric_ratio(label("speedup"), speedup);
+        report.metric_count(label("steals"), steals);
+        if name == "MNIST_S" {
+            // Per-kind launch counts for the headline workload only —
+            // the full cross-product would drown the document.
+            for (op, &n) in first.kernels_by_kind.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let kind = GateKind::from_opcode(op as u8).expect("counted opcode");
+                report.metric_count(
+                    format!("kernel_launches{{workload=\"{name}\",kind=\"{}\"}}", kind.mnemonic()),
+                    n,
+                );
+            }
+        }
     }
+
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\ncached replay and wavefront are each best-of-{replays}; speedup = wavefront / cached replay.\n"
+    ));
     (out, report.to_json())
 }
 
@@ -1043,8 +1085,19 @@ mod tests {
         assert!(json.contains("\"schema_version\": 1"));
         assert!(json.contains("\"bench\": \"kernel_graph\""));
         assert!(json.contains("\"simd_path\""));
-        assert!(json.contains("\"workload\": \"MNIST_S\""));
-        assert!(json.contains("\"cached_replay_s\""));
+        assert!(json.contains("\"workers\""));
+        for workload in ["MNIST_S", "MNIST_M", "MNIST_L", "Attention_S"] {
+            assert!(
+                json.contains(&format!("cached_replay_s{{workload=\\\"{workload}\\\"}}"))
+                    || json.contains(&format!("cached_replay_s{{workload=\"{workload}\"}}")),
+                "missing cached_replay_s for {workload}"
+            );
+            assert!(
+                json.contains(&format!("speedup{{workload=\\\"{workload}\\\"}}"))
+                    || json.contains(&format!("speedup{{workload=\"{workload}\"}}")),
+                "missing speedup for {workload}"
+            );
+        }
     }
 
     #[test]

@@ -3,11 +3,15 @@
 //! Every live session's submitted jobs land in per-tenant queues; a
 //! single scheduler thread repeatedly drains *ready* bootstrapped gates
 //! from all queues into one shared wave, groups the wave by server key,
-//! and executes each group through one
-//! [`ServerKey::batch_bootstrap_mixed`] launch — the SoA staging pass
-//! that amortizes per-launch overhead across every tenant's gates at
-//! once. Cheap non-bootstrapped gates (`Not`, `Buf`, constants) are
-//! folded inline while scanning, so waves contain only bootstrap work.
+//! and executes each group through [`ServerKey::batch_bootstrap_mixed`]
+//! launches — the SoA staging pass that amortizes per-launch overhead
+//! across every tenant's gates at once. Each tenant's launch is split
+//! into per-lane chunks dispatched on the shared
+//! [`pytfhe_backend::pool::WorkerPool`], so the wave's bootstraps run
+//! concurrently across lanes (with work stealing between tenants)
+//! rather than serially on the scheduler thread. Cheap
+//! non-bootstrapped gates (`Not`, `Buf`, constants) are folded inline
+//! while scanning, so waves contain only bootstrap work.
 //!
 //! Fairness: each wave visits tenants round-robin starting one past the
 //! tenant that led the previous wave, and no tenant may occupy more
@@ -20,6 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use pytfhe_backend::pool::{Job, SlotCells, WorkerPool};
 use pytfhe_netlist::{GateKind, Netlist, Node};
 use pytfhe_telemetry as telemetry;
 use pytfhe_tfhe::{BootGate, GateScratch, LweCiphertext, Params, ServerKey};
@@ -358,29 +363,102 @@ fn collect_wave(state: &mut SchedState, max_wave: usize) -> Vec<WaveSlot> {
     wave
 }
 
-/// Executes one wave outside the lock: one `batch_bootstrap_mixed`
-/// launch per distinct tenant key. Bootstrap scratch (FFT buffers, SoA
-/// staging) is pooled per tenant across waves — allocating it fresh
+/// Executes one wave outside the lock on the shared [`WorkerPool`]:
+/// each tenant's slots are grouped by key, split into per-lane chunks,
+/// and every chunk across every tenant is dispatched as one pool run —
+/// so tenants bootstrap concurrently *and* a single tenant's wide wave
+/// splits across lanes (idle lanes steal loaded tenants' chunks),
+/// instead of one serial `batch_bootstrap_mixed` per tenant on the
+/// scheduler thread. Bootstrap scratch (FFT buffers, SoA staging) is
+/// pooled per tenant per chunk slot across waves — allocating it fresh
 /// every wave measurably dominates small-job workloads.
 fn execute_wave(
     keys: &HashMap<u64, Arc<ServerKey>>,
     wave: &[WaveSlot],
-    scratch_pool: &mut HashMap<u64, GateScratch>,
+    scratch_pool: &mut HashMap<u64, Vec<GateScratch>>,
 ) -> Vec<(u64, u64, usize, LweCiphertext)> {
     let mut by_tenant: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
     for (i, slot) in wave.iter().enumerate() {
         by_tenant.entry(slot.tenant).or_default().push(i);
     }
-    let mut results = Vec::with_capacity(wave.len());
+    let pool = WorkerPool::global();
+    let width = pool.width();
+
+    /// One tenant's staged share of the wave: wave indices, gate kinds,
+    /// output buffers, and the chunk geometry splitting it across lanes.
+    struct TenantWork {
+        slots: Vec<usize>,
+        gates: Vec<BootGate>,
+        outs: Vec<LweCiphertext>,
+        chunk: usize,
+        scratch_base: usize,
+    }
+    let mut flat_scratches: Vec<GateScratch> = Vec::new();
+    let mut scratch_owners: Vec<(u64, usize)> = Vec::new();
+    let mut works: Vec<(u64, TenantWork)> = Vec::new();
     for (tenant, slots) in by_tenant {
         let key = &keys[&tenant];
-        let gates: Vec<BootGate> = slots.iter().map(|&i| wave[i].gate).collect();
-        let pairs: Vec<(&LweCiphertext, &LweCiphertext)> =
-            slots.iter().map(|&i| (&wave[i].a, &wave[i].b)).collect();
-        let mut outs: Vec<LweCiphertext> = (0..slots.len()).map(|_| key.constant(false)).collect();
-        let scratch = scratch_pool.entry(tenant).or_insert_with(|| key.gate_scratch());
-        key.batch_bootstrap_mixed(&gates, &pairs, &mut outs, scratch);
-        for (&i, out) in slots.iter().zip(outs) {
+        let chunk = slots.len().div_ceil(width).max(1);
+        let n_chunks = slots.len().div_ceil(chunk);
+        let mut scratches = scratch_pool.remove(&tenant).unwrap_or_default();
+        while scratches.len() < n_chunks {
+            scratches.push(key.gate_scratch());
+        }
+        let scratch_base = flat_scratches.len();
+        scratch_owners.push((tenant, scratches.len()));
+        flat_scratches.append(&mut scratches);
+        let gates = slots.iter().map(|&i| wave[i].gate).collect();
+        let outs = (0..slots.len()).map(|_| key.constant(false)).collect();
+        works.push((tenant, TenantWork { slots, gates, outs, chunk, scratch_base }));
+    }
+
+    // Scratch hand-out is keyed by flat chunk index — unique per job —
+    // so lanes can steal chunks without sharing buffers.
+    let cells = SlotCells::new(std::mem::take(&mut flat_scratches));
+    let run = {
+        let cells_ref = &cells;
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        for (tenant, work) in works.iter_mut() {
+            let key = &keys[tenant];
+            let chunk = work.chunk;
+            let scratch_base = work.scratch_base;
+            for (c, ((slot_chunk, gate_chunk), out_chunk)) in work
+                .slots
+                .chunks(chunk)
+                .zip(work.gates.chunks(chunk))
+                .zip(work.outs.chunks_mut(chunk))
+                .enumerate()
+            {
+                let scratch_idx = scratch_base + c;
+                jobs.push(Box::new(move |lane| {
+                    let _span = telemetry::worker_span_with(
+                        "serve",
+                        || format!("wave chunk: {} gates", slot_chunk.len()),
+                        lane as u32,
+                    );
+                    // SAFETY: `scratch_idx` is unique per job (one
+                    // chunk, one slot), so no two jobs share a scratch.
+                    let scratch = unsafe { cells_ref.slot(scratch_idx) };
+                    let pairs: Vec<(&LweCiphertext, &LweCiphertext)> =
+                        slot_chunk.iter().map(|&i| (&wave[i].a, &wave[i].b)).collect();
+                    key.batch_bootstrap_mixed(gate_chunk, &pairs, out_chunk, scratch);
+                }));
+            }
+        }
+        // A panicked bootstrap crashed the scheduler thread before the
+        // pool existed too; keep that contract.
+        pool.run(width, jobs).expect("serve wave worker panicked")
+    };
+    let mut flat = cells.into_inner();
+    for &(tenant, count) in scratch_owners.iter().rev() {
+        let rest = flat.split_off(flat.len() - count);
+        scratch_pool.insert(tenant, rest);
+    }
+    telemetry::metrics().counter_add("serve_wave_steals_total", run.steals);
+
+    let mut results = Vec::with_capacity(wave.len());
+    for (_, work) in works {
+        for (&i, out) in work.slots.iter().zip(work.outs) {
             results.push((wave[i].tenant, wave[i].job, wave[i].node, out));
         }
     }
@@ -388,7 +466,7 @@ fn execute_wave(
 }
 
 fn run_scheduler(shared: &Shared) {
-    let mut scratch_pool: HashMap<u64, GateScratch> = HashMap::new();
+    let mut scratch_pool: HashMap<u64, Vec<GateScratch>> = HashMap::new();
     loop {
         // Collect a wave (or exit) under the lock.
         let (wave, keys) = {

@@ -116,6 +116,13 @@ impl BootGate {
     }
 }
 
+/// Slots per fused stage-and-bootstrap chunk of
+/// [`ServerKey::batch_bootstrap_fused`]: small enough that a chunk's
+/// staged struct-of-arrays masks (`FUSE_CHUNK · n` torus words) stay in
+/// L1/L2 between the staging pass and the bootstrap that consumes them,
+/// large enough to amortize the per-chunk SoA reset.
+pub const FUSE_CHUNK: usize = 8;
+
 /// All scratch a worker needs to evaluate gates without allocating: the
 /// bootstrap buffers plus LWE staging for the linear combination, the raw
 /// (pre-key-switch) samples, and the struct-of-arrays slots used by
@@ -165,16 +172,14 @@ impl ServerKey {
         Torus32::from_fraction(1, MU_LOG2_DENOM)
     }
 
-    /// Accumulates `coeff * ct` into `out` without allocating (coefficients
-    /// are the small integers of the gate recipes).
+    /// Accumulates `coeff * ct` into `out` without allocating
+    /// (coefficients are the small integers of the gate recipes). Runs
+    /// through the dispatched [`crate::simd`] `axpy` kernel; wrapping
+    /// multiply-accumulate is bit-identical to `|coeff|` repeated
+    /// additions/subtractions mod 2^32.
     fn axpy(out: &mut LweCiphertext, coeff: i32, ct: &LweCiphertext) {
-        for _ in 0..coeff.unsigned_abs() {
-            if coeff > 0 {
-                out.add_assign(ct);
-            } else {
-                out.sub_assign(ct);
-            }
-        }
+        crate::simd::kernels().axpy(out.mask_mut(), coeff, ct.mask());
+        out.b += coeff * ct.body();
     }
 
     /// Stages the linear combination of `gate` into `out`.
@@ -300,6 +305,57 @@ impl ServerKey {
             self.keyswitch.switch_into(&scratch.raw, out);
             if let (Some(t0), Some(t1)) = (t0, t1) {
                 record_gate_split(gate, (t1 - t0).as_secs_f64(), t1.elapsed().as_secs_f64());
+            }
+        }
+    }
+
+    /// Evaluates one batched kernel with the staging and bootstrap
+    /// passes *fused* over cache-sized chunks of [`FUSE_CHUNK`] slots:
+    /// each chunk's linear combinations are staged into the
+    /// struct-of-arrays slots and immediately carried through blind
+    /// rotation, sample extraction, and key switching before the next
+    /// chunk is touched, so the staged masks are still cache-resident
+    /// when the bootstrap reads them (the two-pass
+    /// [`ServerKey::batch_bootstrap`] streams the whole batch through
+    /// the SoA buffer twice). Slot arithmetic is identical, so results
+    /// are bit-exact with the unfused batch and with scalar
+    /// [`ServerKey::gate_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` and `outs` have different lengths.
+    pub fn batch_bootstrap_fused(
+        &self,
+        gate: BootGate,
+        pairs: &[(&LweCiphertext, &LweCiphertext)],
+        outs: &mut [LweCiphertext],
+        scratch: &mut GateScratch,
+    ) {
+        assert_eq!(pairs.len(), outs.len(), "batch_bootstrap_fused: pairs/outs length mismatch");
+        let (offset, ca, cb) = gate.spec();
+        let timed = pytfhe_telemetry::enabled();
+        for (pair_chunk, out_chunk) in pairs.chunks(FUSE_CHUNK).zip(outs.chunks_mut(FUSE_CHUNK)) {
+            scratch.soa.reset(pair_chunk.len());
+            for (slot, &(a, b)) in pair_chunk.iter().enumerate() {
+                scratch.soa.set_body(slot, offset);
+                scratch.soa.axpy(slot, ca, a);
+                scratch.soa.axpy(slot, cb, b);
+            }
+            for (slot, out) in out_chunk.iter_mut().enumerate() {
+                let t0 = timed.then(std::time::Instant::now);
+                let (mask, body) = scratch.soa.slot(slot);
+                self.bootstrap.bootstrap_raw_slices_into(
+                    mask,
+                    body,
+                    Self::mu(),
+                    &mut scratch.boot,
+                    &mut scratch.raw,
+                );
+                let t1 = timed.then(std::time::Instant::now);
+                self.keyswitch.switch_into(&scratch.raw, out);
+                if let (Some(t0), Some(t1)) = (t0, t1) {
+                    record_gate_split(gate, (t1 - t0).as_secs_f64(), t1.elapsed().as_secs_f64());
+                }
             }
         }
     }
@@ -688,6 +744,42 @@ mod tests {
         assert_eq!(outs, want, "mixed batch must be bit-exact with scalar gate_into");
         let dec: Vec<_> = outs.iter().map(|c| client.decrypt_bit(c)).collect();
         assert_eq!(dec, vec![true, false, false, false, false, true]);
+    }
+
+    #[test]
+    fn fused_batch_is_bit_exact_with_unfused_under_every_simd_path() {
+        use super::{BootGate, FUSE_CHUNK};
+        use crate::simd::{self, SimdPath};
+        let (client, server, mut rng) = setup();
+        let mut scratch = server.gate_scratch();
+        // More than two fuse chunks plus a ragged tail, so the fused
+        // path actually re-stages mid-batch.
+        let n = FUSE_CHUNK * 2 + 3;
+        let bits: Vec<(bool, bool)> = (0..n).map(|i| (i % 2 == 0, i % 3 == 0)).collect();
+        let cts: Vec<_> = bits
+            .iter()
+            .map(|&(a, b)| (client.encrypt_bit(a, &mut rng), client.encrypt_bit(b, &mut rng)))
+            .collect();
+        let pairs: Vec<_> = cts.iter().map(|(a, b)| (a, b)).collect();
+        // Bootstrapping is deterministic given the key and inputs, so
+        // the comparison is exact per path; the restore keeps the
+        // process-global dispatch as other tests expect it.
+        let restore = simd::active_path();
+        for path in SimdPath::ALL {
+            if !path.is_supported() {
+                continue;
+            }
+            assert!(simd::set_active_path(path));
+            let mut unfused = vec![server.constant(false); n];
+            server.batch_bootstrap(BootGate::Xor, &pairs, &mut unfused, &mut scratch);
+            let mut fused = vec![server.constant(false); n];
+            server.batch_bootstrap_fused(BootGate::Xor, &pairs, &mut fused, &mut scratch);
+            assert_eq!(fused, unfused, "fused batch must be bit-exact on path={path}");
+            for (ct, &(a, b)) in fused.iter().zip(&bits) {
+                assert_eq!(client.decrypt_bit(ct), a ^ b, "xor({a},{b}) on path={path}");
+            }
+        }
+        simd::set_active_path(restore);
     }
 
     #[test]

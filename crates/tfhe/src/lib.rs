@@ -69,7 +69,7 @@ pub mod trace;
 
 pub use bootstrap::BootstrapScratch;
 pub use error::TfheError;
-pub use gates::{BootGate, GateScratch};
+pub use gates::{BootGate, GateScratch, FUSE_CHUNK};
 pub use keys::{ClientKey, ServerKey};
 pub use lwe::{LweCiphertext, LweKey, LweSoa};
 pub use noise::NoiseModel;

@@ -200,13 +200,13 @@ impl LweSoa {
         self.bodies[slot] = body;
     }
 
-    /// Accumulates `coeff * ct` into slot `slot`.
+    /// Accumulates `coeff * ct` into slot `slot`. The mask loop runs
+    /// through the dispatched [`crate::simd`] `axpy` kernel (it is the
+    /// staging pass of every batched bootstrap).
     pub fn axpy(&mut self, slot: usize, coeff: i32, ct: &LweCiphertext) {
         debug_assert_eq!(ct.dim(), self.dim);
         let mask = &mut self.masks[slot * self.dim..(slot + 1) * self.dim];
-        for (x, y) in mask.iter_mut().zip(ct.mask()) {
-            *x += coeff * *y;
-        }
+        crate::simd::kernels().axpy(mask, coeff, ct.mask());
         self.bodies[slot] += coeff * ct.body();
     }
 

@@ -271,3 +271,30 @@ unsafe fn sub_assign_impl(dst: &mut [Torus32], src: &[Torus32]) {
         j += 1;
     }
 }
+
+pub fn axpy(dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
+    // SAFETY: see `mac`.
+    unsafe { axpy_impl(dst, coeff, src) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_impl(dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
+    let n = dst.len();
+    // `_mm256_mullo_epi32` keeps the low 32 product bits — exactly the
+    // scalar path's `u32::wrapping_mul`, so the kernel is bit-identical.
+    let dp = dst.as_mut_ptr() as *mut i32;
+    let sp = src.as_ptr() as *const i32;
+    let vc = _mm256_set1_epi32(coeff);
+    let mut j = 0;
+    while j + 8 <= n {
+        let a = _mm256_loadu_si256(dp.add(j) as *const __m256i);
+        let b = _mm256_loadu_si256(sp.add(j) as *const __m256i);
+        let prod = _mm256_mullo_epi32(b, vc);
+        _mm256_storeu_si256(dp.add(j) as *mut __m256i, _mm256_add_epi32(a, prod));
+        j += 8;
+    }
+    while j < n {
+        dst[j] += coeff * src[j];
+        j += 1;
+    }
+}

@@ -13,8 +13,10 @@
 //!    ([`Kernels::fwd_twist`], [`Kernels::inv_untwist_round`]),
 //! 3. the external-product multiply-accumulate of the CMUX inner loop
 //!    ([`Kernels::mac`]), and
-//! 4. the integer loops of gadget decomposition and key-switch
-//!    accumulation ([`Kernels::extract_digits`], [`Kernels::sub_assign`]).
+//! 4. the integer loops of gadget decomposition, key-switch
+//!    accumulation, and the gate linear combinations
+//!    ([`Kernels::extract_digits`], [`Kernels::sub_assign`],
+//!    [`Kernels::axpy`]).
 //!
 //! Three backends implement the same kernel set:
 //!
@@ -134,6 +136,8 @@ type InvUntwistRoundFn = fn(&mut [f64], &mut [f64], &[f64], &[f64], &mut [Torus3
 type ExtractDigitsFn = fn(&[Torus32], u32, u32, u32, i32, &mut [i32]);
 /// `(dst, src)`: wrapping element-wise subtraction.
 type SubAssignFn = fn(&mut [Torus32], &[Torus32]);
+/// `(dst, coeff, src)`: wrapping element-wise `dst += coeff * src`.
+type AxpyFn = fn(&mut [Torus32], i32, &[Torus32]);
 
 /// One backend's kernel set. The fields are plain function pointers so a
 /// resolved `&'static Kernels` dispatches with no per-call branching;
@@ -146,6 +150,7 @@ pub struct Kernels {
     inv_untwist_round: InvUntwistRoundFn,
     extract_digits: ExtractDigitsFn,
     sub_assign: SubAssignFn,
+    axpy: AxpyFn,
 }
 
 impl fmt::Debug for Kernels {
@@ -247,6 +252,16 @@ impl Kernels {
         debug_assert_eq!(dst.len(), src.len());
         (self.sub_assign)(dst, src)
     }
+
+    /// Wrapping element-wise `dst += coeff * src` over torus slices —
+    /// the mask accumulation of the gate linear combinations (staging
+    /// pass of the batched bootstrap kernels). Bit-identical across
+    /// backends (low-32-bit products on every path).
+    #[inline]
+    pub fn axpy(&self, dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        (self.axpy)(dst, coeff, src)
+    }
 }
 
 /// The scalar kernel set (always available).
@@ -258,6 +273,7 @@ static SCALAR: Kernels = Kernels {
     inv_untwist_round: scalar::inv_untwist_round,
     extract_digits: scalar::extract_digits,
     sub_assign: scalar::sub_assign,
+    axpy: scalar::axpy,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -269,6 +285,7 @@ static AVX2: Kernels = Kernels {
     inv_untwist_round: avx2::inv_untwist_round,
     extract_digits: avx2::extract_digits,
     sub_assign: avx2::sub_assign,
+    axpy: avx2::axpy,
 };
 
 #[cfg(target_arch = "aarch64")]
@@ -280,6 +297,7 @@ static NEON: Kernels = Kernels {
     inv_untwist_round: neon::inv_untwist_round,
     extract_digits: neon::extract_digits,
     sub_assign: neon::sub_assign,
+    axpy: neon::axpy,
 };
 
 /// The kernel set for an explicit path, or `None` when the running CPU

@@ -244,3 +244,29 @@ unsafe fn sub_assign_impl(dst: &mut [Torus32], src: &[Torus32]) {
         j += 1;
     }
 }
+
+pub fn axpy(dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
+    // SAFETY: see `mac`.
+    unsafe { axpy_impl(dst, coeff, src) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn axpy_impl(dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
+    let n = dst.len();
+    // `vmlaq_s32` keeps the low 32 product bits — exactly the scalar
+    // path's `u32::wrapping_mul`, so the kernel is bit-identical.
+    let dp = dst.as_mut_ptr() as *mut i32;
+    let sp = src.as_ptr() as *const i32;
+    let vc = vdupq_n_s32(coeff);
+    let mut j = 0;
+    while j + 4 <= n {
+        let a = vld1q_s32(dp.add(j));
+        let b = vld1q_s32(sp.add(j));
+        vst1q_s32(dp.add(j), vmlaq_s32(a, b, vc));
+        j += 4;
+    }
+    while j < n {
+        dst[j] += coeff * src[j];
+        j += 1;
+    }
+}

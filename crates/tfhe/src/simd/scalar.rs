@@ -108,3 +108,12 @@ pub fn sub_assign(dst: &mut [Torus32], src: &[Torus32]) {
         *x -= *y;
     }
 }
+
+/// Wrapping element-wise `dst += coeff * src` — the mask accumulation
+/// of the gate linear combinations (`coeff` is one of the small signed
+/// integers of the gate recipes).
+pub fn axpy(dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
+    for (x, y) in dst.iter_mut().zip(src) {
+        *x += coeff * *y;
+    }
+}

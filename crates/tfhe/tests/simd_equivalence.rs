@@ -4,7 +4,7 @@
 //! portable scalar kernels (which are the pre-SIMD hot loops, moved
 //! verbatim):
 //!
-//! * integer kernels (`extract_digits`, `sub_assign`) must be
+//! * integer kernels (`extract_digits`, `sub_assign`, `axpy`) must be
 //!   **bit-identical** at every length, including tails shorter than one
 //!   vector width;
 //! * `f64` kernels (`fwd_twist`, `fft_passes`, `mac`,
@@ -143,6 +143,28 @@ proptest! {
         for k in supported_kernels() {
             let mut got = base.clone();
             k.sub_assign(&mut got, &src);
+            prop_assert_eq!(&got, &want, "path={}", k.path());
+        }
+    }
+
+    /// Wrapping multiply-accumulate (the gate linear combination) is
+    /// bit-identical across every backend, at every length and for
+    /// every coefficient the gate recipes use (and beyond).
+    #[test]
+    fn axpy_bit_identical(
+        a in prop::collection::vec(any::<u32>(), 0..67),
+        coeff in any::<i32>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let src: Vec<Torus32> = (0..a.len()).map(|_| Torus32::uniform(&mut rng)).collect();
+        let base: Vec<Torus32> = a.into_iter().map(Torus32).collect();
+        let scalar = simd::kernels_for(SimdPath::Scalar).unwrap();
+        let mut want = base.clone();
+        scalar.axpy(&mut want, coeff, &src);
+        for k in supported_kernels() {
+            let mut got = base.clone();
+            k.axpy(&mut got, coeff, &src);
             prop_assert_eq!(&got, &want, "path={}", k.path());
         }
     }

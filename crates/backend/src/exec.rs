@@ -788,7 +788,7 @@ mod tests {
         input.extend(to_bits(5, 4));
         let (_, stats) = execute(&engine, &nl, &input).unwrap();
         assert_eq!(stats.simd_path, pytfhe_tfhe::simd::active_path().name());
-        assert!(["scalar", "avx2", "neon"].contains(&stats.simd_path));
+        assert!(["scalar", "avx2", "avx512", "neon"].contains(&stats.simd_path));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pytfhe_tfhe::keyswitch::KeySwitchKey;
 use pytfhe_tfhe::lwe::{LweCiphertext, LweKey};
+use pytfhe_tfhe::simd::{self, SimdPath};
 use pytfhe_tfhe::{ClientKey, Params, SecureRng, Torus32};
 use std::hint::black_box;
 
@@ -14,15 +15,24 @@ fn bench_keyswitch(c: &mut Criterion) {
 
     // Standalone keys at the paper-default decomposition (t = 8,
     // base = 4), switching the extracted dimension down to the gate key.
+    // Run once per supported SIMD path: the paired `sub_assign2`
+    // accumulation in `switch_into` leans on the dispatched kernels, so
+    // the scalar row here is the baseline the fused-pair + vector path
+    // is measured against.
     for (src_dim, dst_dim) in [(1024usize, 630usize), (256, 64)] {
         let src = LweKey::generate(src_dim, &mut rng);
         let dst = LweKey::generate(dst_dim, &mut rng);
         let ksk = KeySwitchKey::generate(&src, &dst, 8, 2, 1e-9, &mut rng);
         let ct = src.encrypt(Torus32::from_fraction(1, 3), 1e-9, &mut rng);
         let mut out = LweCiphertext::trivial(Torus32::ZERO, dst_dim);
-        c.bench_function(&format!("keyswitch_{src_dim}_to_{dst_dim}"), |bench| {
-            bench.iter(|| ksk.switch_into(black_box(&ct), &mut out))
-        });
+        let restore = simd::active_path();
+        for path in SimdPath::ALL.into_iter().filter(|p| p.is_supported()) {
+            assert!(simd::set_active_path(path));
+            c.bench_function(&format!("keyswitch_{src_dim}_to_{dst_dim}_{}", path.name()), |b| {
+                b.iter(|| ksk.switch_into(black_box(&ct), &mut out))
+            });
+        }
+        simd::set_active_path(restore);
     }
 
     // Through a real server key (the exact key material of a gate's

@@ -764,12 +764,30 @@ pub fn simd(full: bool) -> (String, String) {
     let mu = Torus32::from_fraction(1, 3);
     let gate_iters = if full { 3 } else { 50 };
 
+    // Lockstep batched bootstrap fixtures: distinct encryptions so every
+    // lane does real work, raw outputs at the extracted dimension.
+    let widths: [usize; 4] = [1, 2, 4, 8];
+    let max_width = 8;
+    let mut batch_scratch = bk.batch_scratch(max_width);
+    let batch_cts: Vec<LweCiphertext> =
+        (0..max_width).map(|_| client.encrypt_bit(true, &mut rng)).collect();
+    let batch_inputs: Vec<(&[Torus32], Torus32)> =
+        batch_cts.iter().map(|c| (c.mask(), c.body())).collect();
+    let out_dim = params.glwe_dim * params.poly_size;
+    let mut batch_outs = vec![LweCiphertext::trivial(Torus32::ZERO, out_dim); max_width];
+    let batch_iters = if full { 2 } else { 25 };
+
     let restore = simd::active_path();
     let dispatched = simd::best_available();
-    // [negacyclic_mul, external_product, keyswitch, bootstrap_raw]
-    let mut measure = |path: SimdPath| -> [f64; 4] {
+    let paths: Vec<SimdPath> = SimdPath::ALL.iter().copied().filter(|p| p.is_supported()).collect();
+    // Per path: [negacyclic_mul, external_product, keyswitch,
+    // bootstrap_raw] plus the per-gate batched bootstrap cost at each
+    // width. Every path shares every byte of key material.
+    let mut op_results: Vec<[f64; 4]> = Vec::new();
+    let mut batch_results: Vec<Vec<f64>> = Vec::new();
+    for &path in &paths {
         assert!(simd::set_active_path(path), "{path} unsupported on this host");
-        [
+        op_results.push([
             time_per_iter(5, 2000, || {
                 std::hint::black_box(plan.negacyclic_mul(std::hint::black_box(&ip), &tp));
             }),
@@ -791,11 +809,29 @@ pub fn simd(full: bool) -> (String, String) {
                     &mut boot_scratch,
                 ));
             }),
-        ]
-    };
-    let s = measure(SimdPath::Scalar);
-    let v = measure(dispatched);
+        ]);
+        batch_results.push(
+            widths
+                .iter()
+                .map(|&w| {
+                    time_per_iter(3, batch_iters, || {
+                        bk.bootstrap_raw_batch_into(
+                            std::hint::black_box(&batch_inputs[..w]),
+                            mu,
+                            &mut batch_scratch,
+                            &mut batch_outs[..w],
+                        );
+                    }) / w as f64
+                })
+                .collect(),
+        );
+    }
     simd::set_active_path(restore);
+    let scalar_at = paths.iter().position(|&p| p == SimdPath::Scalar).expect("scalar always runs");
+    let dispatched_at =
+        paths.iter().position(|&p| p == dispatched).expect("best_available is supported");
+    let s = op_results[scalar_at];
+    let v = op_results[dispatched_at];
 
     let labels = [
         format!("negacyclic_mul n={n}"),
@@ -803,30 +839,51 @@ pub fn simd(full: bool) -> (String, String) {
         format!("keyswitch {n}→630 t=8"),
         format!("bootstrap_raw ({})", if full { "128-bit params" } else { "testing params" }),
     ];
-    let mut table = Table::new(&["operation", "scalar", dispatched.name(), "speedup"]);
-    for (label, (&sv, &vv)) in labels.iter().zip(s.iter().zip(&v)) {
-        table.row(vec![
-            label.clone(),
-            fmt_seconds(sv),
-            fmt_seconds(vv),
-            format!("{:.2}x", sv / vv),
-        ]);
+    let mut header: Vec<String> = vec!["operation".into()];
+    header.extend(paths.iter().map(|p| p.name().to_string()));
+    header.push("best speedup".into());
+    let header_refs: Vec<&str> = header.iter().map(|h| h.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+    for (op, label) in labels.iter().enumerate() {
+        let mut row = vec![label.clone()];
+        row.extend(op_results.iter().map(|r| fmt_seconds(r[op])));
+        let best = op_results.iter().map(|r| r[op]).fold(f64::INFINITY, f64::min);
+        row.push(format!("{:.2}x", s[op] / best));
+        table.row(row);
+    }
+
+    // Batched blind rotation: per-gate cost by (path, batch width).
+    let mut bheader: Vec<String> = vec!["batched bootstrap".into()];
+    bheader.extend(widths.iter().map(|w| format!("width {w}")));
+    let bheader_refs: Vec<&str> = bheader.iter().map(|h| h.as_str()).collect();
+    let mut btable = Table::new(&bheader_refs);
+    for (pi, path) in paths.iter().enumerate() {
+        let mut row = vec![format!("{} per-gate", path.name())];
+        row.extend(batch_results[pi].iter().map(|&t| fmt_seconds(t)));
+        btable.row(row);
     }
 
     let mut out = format!(
-        "Runtime-dispatched SIMD kernels — scalar vs {} (PYTFHE_SIMD override available)\n\n",
+        "Runtime-dispatched SIMD kernels — every supported path (dispatch picks {}; \
+         PYTFHE_SIMD overrides)\n\n",
         dispatched.name(),
     );
     out.push_str(&table.render());
+    out.push('\n');
+    out.push_str(&btable.render());
     out.push_str(&format!(
-        "\nsingle-gate bootstrap speedup {:.2}x with the {} backend on this machine\n",
+        "\nsingle-gate bootstrap speedup {:.2}x with the {} backend; batched width-8 \
+         blind rotation {:.2}x over width-1 on this machine\n",
         s[3] / v[3],
         dispatched.name(),
+        batch_results[dispatched_at][0] / batch_results[dispatched_at][widths.len() - 1],
     ));
 
     let mut report = BenchReport::new("simd")
         .config("scalar_path", "scalar")
         .config("dispatched_path", dispatched.name())
+        .config("paths", paths.iter().map(|p| p.name()).collect::<Vec<_>>().join(","))
+        .config("batch_widths", widths.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(","))
         .config("poly_size", n)
         .config("gate_params", if full { "default_128" } else { "testing" });
     let names = ["negacyclic_mul", "external_product", "keyswitch", "bootstrap_raw"];
@@ -834,6 +891,19 @@ pub fn simd(full: bool) -> (String, String) {
         report.metric_seconds(format!("{name}_scalar_s"), sv);
         report.metric_seconds(format!("{name}_s"), vv);
         report.metric_ratio(format!("{name}_speedup"), sv / vv);
+    }
+    for (pi, path) in paths.iter().enumerate() {
+        for (name, &t) in names.iter().zip(&op_results[pi]) {
+            report.metric_seconds(format!("{name}_{}_s", path.name()), t);
+        }
+        for (wi, &w) in widths.iter().enumerate() {
+            let t = batch_results[pi][wi];
+            report.metric_seconds(format!("bootstrap_batch{w}_{}_per_gate_s", path.name()), t);
+            report.metric_ratio(
+                format!("bootstrap_batch{w}_{}_vs_single", path.name()),
+                batch_results[pi][0] / t,
+            );
+        }
     }
     (out, report.to_json())
 }

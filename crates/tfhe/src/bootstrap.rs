@@ -5,16 +5,24 @@
 //! The loops a bootstrap spends its cycles in — the folded transforms,
 //! the external-product MAC, gadget decomposition, and the trailing key
 //! switch — all route through the runtime-dispatched kernels of
-//! [`crate::simd`] (AVX2+FMA / NEON / portable scalar, overridable with
-//! `PYTFHE_SIMD`), so nothing in this module is architecture-specific.
+//! [`crate::simd`] (AVX-512 / AVX2+FMA / NEON / portable scalar,
+//! overridable with `PYTFHE_SIMD`), so nothing in this module is
+//! architecture-specific. The negacyclic transform itself is also
+//! selectable: `PYTFHE_TRANSFORM=ntt` swaps the f64 FFT for the exact
+//! prime-field NTT of [`crate::ntt`].
+
+use std::sync::OnceLock;
 
 use crate::fft::FftPlan;
 use crate::lwe::LweCiphertext;
 use crate::lwe::LweKey;
+use crate::ntt::{NttCmuxScratch, NttKey};
 use crate::params::Params;
 use crate::poly::TorusPoly;
 use crate::rng::SecureRng;
-use crate::tgsw::{CmuxScratch, ExternalProductScratch, Gadget, TgswCiphertext, TgswFft};
+use crate::tgsw::{
+    BatchExternalScratch, CmuxScratch, ExternalProductScratch, Gadget, TgswCiphertext, TgswFft,
+};
 use crate::tlwe::{TlweCiphertext, TlweKey};
 use crate::torus::Torus32;
 
@@ -27,6 +35,9 @@ pub struct BootstrappingKey {
     tgsw: Vec<TgswFft>,
     plan: FftPlan,
     params: Params,
+    /// NTT mirror of `tgsw`, derived lazily on first use when
+    /// `PYTFHE_TRANSFORM=ntt` (the wire format stays FFT-only).
+    ntt: OnceLock<NttKey>,
 }
 
 impl BootstrappingKey {
@@ -47,7 +58,7 @@ impl BootstrappingKey {
                     .to_fft(&plan)
             })
             .collect();
-        BootstrappingKey { tgsw, plan, params }
+        BootstrappingKey { tgsw, plan, params, ntt: OnceLock::new() }
     }
 
     /// Raw TGSW rows (crate-internal, for serialization).
@@ -58,7 +69,7 @@ impl BootstrappingKey {
     /// Rebuilds from parts (crate-internal, for deserialization).
     pub(crate) fn from_parts(params: Params, tgsw: Vec<TgswFft>) -> Self {
         let plan = FftPlan::new(params.poly_size);
-        BootstrappingKey { tgsw, plan, params }
+        BootstrappingKey { tgsw, plan, params, ntt: OnceLock::new() }
     }
 
     /// The parameter set this key was generated for.
@@ -71,9 +82,31 @@ impl BootstrappingKey {
         &self.plan
     }
 
+    /// Whether the lockstep batched blind rotation
+    /// ([`BootstrappingKey::bootstrap_raw_batch_into`]) is available.
+    /// Only the FFT transform has batched struct-of-arrays kernels; the
+    /// prototype NTT backend makes batched callers fall back to per-slot
+    /// rotations.
+    pub fn batch_rotation_supported(&self) -> bool {
+        !crate::ntt::ntt_selected()
+    }
+
     /// The gadget parameters of this key's decomposition.
     fn gadget(&self) -> Gadget {
         Gadget { levels: self.params.decomp_levels, base_log: self.params.decomp_base_log }
+    }
+
+    /// The NTT mirror of this key when the NTT transform is selected,
+    /// deriving it from the FFT rows on first use (thread-safe; every
+    /// worker shares the one derived key).
+    fn ntt_key(&self) -> Option<&NttKey> {
+        if !crate::ntt::ntt_selected() {
+            return None;
+        }
+        Some(
+            self.ntt
+                .get_or_init(|| NttKey::from_fft(&self.tgsw, &self.plan, self.params.poly_size)),
+        )
     }
 
     /// Allocates external-product scratch sized for this key (for callers
@@ -93,6 +126,7 @@ impl BootstrappingKey {
             cs: CmuxScratch::new(p.poly_size, p.glwe_dim, self.gadget()),
             acc: TlweCiphertext::trivial(TorusPoly::zero(p.poly_size), p.glwe_dim),
             tv: TorusPoly::zero(p.poly_size),
+            ntt: None,
         }
     }
 
@@ -174,6 +208,20 @@ impl BootstrappingKey {
             p.fill_assign(Torus32::ZERO);
         }
         s.tv.mul_by_xk_into((n2 - barb) % n2, &mut s.acc.b);
+        if let Some(nk) = self.ntt_key() {
+            // Exact-integer CMUX chain through the prototype NTT backend
+            // (its scratch is carved out lazily: the default FFT path
+            // never pays for it).
+            let ns = s.ntt.get_or_insert_with(|| nk.cmux_scratch(self.params.glwe_dim));
+            for (i, a_i) in mask.iter().enumerate() {
+                let bara = a_i.mod_switch(self.params.poly_size);
+                if bara == 0 {
+                    continue;
+                }
+                nk.rotate_cmux_assign(i, &mut s.acc, bara, ns);
+            }
+            return;
+        }
         for (a_i, bk_i) in mask.iter().zip(&self.tgsw) {
             let bara = a_i.mod_switch(self.params.poly_size);
             if bara == 0 {
@@ -212,6 +260,84 @@ impl BootstrappingKey {
         self.blind_rotate_noalloc(mask, body, scratch);
         scratch.acc.extract_lwe_into(out);
     }
+
+    /// Allocates the lockstep batched bootstrap scratch for batches of
+    /// up to `max_lanes` ciphertexts (one per worker thread, like
+    /// [`BootstrappingKey::boot_scratch`]).
+    pub fn batch_scratch(&self, max_lanes: usize) -> BatchBootstrapScratch {
+        let p = &self.params;
+        let blank = || TlweCiphertext::trivial(TorusPoly::zero(p.poly_size), p.glwe_dim);
+        BatchBootstrapScratch {
+            acc: (0..max_lanes).map(|_| blank()).collect(),
+            diff: (0..max_lanes).map(|_| blank()).collect(),
+            ext: (0..max_lanes).map(|_| blank()).collect(),
+            active: Vec::with_capacity(max_lanes),
+            ep: BatchExternalScratch::new(p.poly_size, p.glwe_dim, self.gadget(), max_lanes),
+            tv: TorusPoly::zero(p.poly_size),
+        }
+    }
+
+    /// Lockstep batched gate bootstrapping: runs up to `max_lanes` blind
+    /// rotations *in step*, so every CMUX iteration applies the shared
+    /// bootstrapping-key row to all lanes through the batched transform
+    /// kernels (one row stream and one twiddle stream per batch instead
+    /// of per ciphertext — see [`TgswFft::external_product_batch_into`]).
+    ///
+    /// Lanes whose mod-switched mask element is zero skip their CMUX
+    /// exactly as the single path does: the live lanes of each step are
+    /// compacted before the batched external product, so per-lane
+    /// results stay bit-identical to [`BootstrappingKey::bootstrap_raw`]
+    /// regardless of which other ciphertexts share the batch.
+    ///
+    /// `inputs` holds `(mask, body)` views (struct-of-arrays friendly);
+    /// `outs` receives the dimension-`k·N` raw samples. Allocation-free.
+    pub fn bootstrap_raw_batch_into(
+        &self,
+        inputs: &[(&[Torus32], Torus32)],
+        mu: Torus32,
+        scratch: &mut BatchBootstrapScratch,
+        outs: &mut [LweCiphertext],
+    ) {
+        let b = inputs.len();
+        assert!(b > 0 && b <= scratch.ep.max_lanes(), "batch width {b} exceeds scratch");
+        debug_assert_eq!(outs.len(), b);
+        let n = self.params.poly_size;
+        let n2 = 2 * n;
+        let BatchBootstrapScratch { acc, diff, ext, active, ep, tv } = scratch;
+        tv.fill_assign(mu);
+        for (lane, (mask, body)) in inputs.iter().enumerate() {
+            debug_assert_eq!(mask.len(), self.params.lwe_dim);
+            let barb = body.mod_switch(n);
+            for p in &mut acc[lane].a {
+                p.fill_assign(Torus32::ZERO);
+            }
+            tv.mul_by_xk_into((n2 - barb) % n2, &mut acc[lane].b);
+        }
+        for (i, bk_i) in self.tgsw.iter().enumerate() {
+            active.clear();
+            for (lane, (mask, _)) in inputs.iter().enumerate() {
+                if mask[i].mod_switch(n) != 0 {
+                    active.push(lane);
+                }
+            }
+            if active.is_empty() {
+                continue;
+            }
+            for (slot, &lane) in active.iter().enumerate() {
+                let bara = inputs[lane].0[i].mod_switch(n);
+                acc[lane].rotate_into(bara, &mut diff[slot]);
+                diff[slot].sub_assign(&acc[lane]);
+            }
+            let live = active.len();
+            bk_i.external_product_batch_into(&diff[..live], &self.plan, ep, &mut ext[..live]);
+            for (slot, &lane) in active.iter().enumerate() {
+                acc[lane].add_assign(&ext[slot]);
+            }
+        }
+        for (lane, out) in outs.iter_mut().enumerate() {
+            acc[lane].extract_lwe_into(out);
+        }
+    }
 }
 
 /// Reusable buffers for the allocation-free bootstrap path: the CMUX
@@ -224,6 +350,35 @@ pub struct BootstrapScratch {
     pub(crate) cs: CmuxScratch,
     acc: TlweCiphertext,
     tv: TorusPoly,
+    /// NTT CMUX scratch, allocated on first use under
+    /// `PYTFHE_TRANSFORM=ntt` only.
+    ntt: Option<NttCmuxScratch>,
+}
+
+/// Reusable buffers for the lockstep batched bootstrap path
+/// ([`BootstrappingKey::bootstrap_raw_batch_into`]): per-lane
+/// accumulators plus compacted difference/product slots feeding the
+/// batched external product. Construct once per worker with
+/// [`BootstrappingKey::batch_scratch`].
+#[derive(Debug)]
+pub struct BatchBootstrapScratch {
+    /// One blind-rotation accumulator per lane (indexed by lane).
+    acc: Vec<TlweCiphertext>,
+    /// Rotated-minus-identity differences (indexed by *compact slot*).
+    diff: Vec<TlweCiphertext>,
+    /// Batched external-product outputs (indexed by compact slot).
+    ext: Vec<TlweCiphertext>,
+    /// Lanes participating in the current CMUX step.
+    active: Vec<usize>,
+    ep: BatchExternalScratch,
+    tv: TorusPoly,
+}
+
+impl BatchBootstrapScratch {
+    /// Widest batch this scratch can serve.
+    pub fn max_lanes(&self) -> usize {
+        self.ep.max_lanes()
+    }
 }
 
 /// Numerically checks the sign-extraction property used by `bootstrap_raw`
@@ -332,6 +487,7 @@ mod tests {
 
     #[test]
     fn bootstrap_raw_into_is_allocation_free() {
+        let _g = crate::ntt::transform_guard().read().unwrap();
         let (params, lwe_key, _tlwe_key, bk, mut rng) = setup();
         let mu = Torus32::from_fraction(1, 3);
         let mut scratch = bk.boot_scratch();
@@ -341,6 +497,52 @@ mod tests {
         bk.bootstrap_raw_into(&ct, mu, &mut scratch, &mut out);
         let before = thread_buffer_allocs();
         bk.bootstrap_raw_into(&ct, mu, &mut scratch, &mut out);
+        assert_eq!(thread_buffer_allocs() - before, 0);
+    }
+
+    #[test]
+    fn batched_bootstrap_matches_single_path_bit_exactly() {
+        let _g = crate::ntt::transform_guard().read().unwrap();
+        let (params, lwe_key, _tlwe_key, bk, mut rng) = setup();
+        let mu = Torus32::from_fraction(1, 3);
+        let mut single = bk.boot_scratch();
+        let mut batch = bk.batch_scratch(crate::gates::FUSE_CHUNK);
+        let out_dim = params.glwe_dim * params.poly_size;
+        for width in 1..=4usize {
+            let cts: Vec<LweCiphertext> = (0..width)
+                .map(|i| {
+                    let msg = Torus32::from_fraction(if i % 2 == 0 { 1 } else { -1 }, 3);
+                    lwe_key.encrypt(msg, params.lwe_noise_stdev, &mut rng)
+                })
+                .collect();
+            let inputs: Vec<(&[Torus32], Torus32)> =
+                cts.iter().map(|ct| (ct.a.as_slice(), ct.b)).collect();
+            let mut outs = vec![LweCiphertext::trivial(Torus32::ZERO, out_dim); width];
+            bk.bootstrap_raw_batch_into(&inputs, mu, &mut batch, &mut outs);
+            for (ct, got) in cts.iter().zip(&outs) {
+                let mut want = LweCiphertext::trivial(Torus32::ZERO, out_dim);
+                bk.bootstrap_raw_into(ct, mu, &mut single, &mut want);
+                assert_eq!(got.a, want.a, "width {width}: mask diverged");
+                assert_eq!(got.b, want.b, "width {width}: body diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_bootstrap_is_allocation_free_after_warmup() {
+        let _g = crate::ntt::transform_guard().read().unwrap();
+        let (params, lwe_key, _tlwe_key, bk, mut rng) = setup();
+        let mu = Torus32::from_fraction(1, 3);
+        let mut batch = bk.batch_scratch(3);
+        let out_dim = params.glwe_dim * params.poly_size;
+        let cts: Vec<LweCiphertext> =
+            (0..3).map(|_| lwe_key.encrypt(mu, params.lwe_noise_stdev, &mut rng)).collect();
+        let inputs: Vec<(&[Torus32], Torus32)> =
+            cts.iter().map(|ct| (ct.a.as_slice(), ct.b)).collect();
+        let mut outs = vec![LweCiphertext::trivial(Torus32::ZERO, out_dim); 3];
+        bk.bootstrap_raw_batch_into(&inputs, mu, &mut batch, &mut outs);
+        let before = thread_buffer_allocs();
+        bk.bootstrap_raw_batch_into(&inputs, mu, &mut batch, &mut outs);
         assert_eq!(thread_buffer_allocs() - before, 0);
     }
 }

@@ -39,6 +39,7 @@
 //! path is never less accurate than the full-size one it replaced (kept
 //! as an oracle in [`crate::reference`]).
 
+use crate::align::AlignedBuf;
 use crate::poly::{IntPoly, TorusPoly};
 use crate::simd;
 use crate::torus::Torus32;
@@ -140,6 +141,105 @@ impl FreqPoly {
     }
 }
 
+/// A *batch* of frequency-domain polynomials in point-major interleaved
+/// layout: value `re[point * lanes + lane]` is frequency point `point`
+/// of batch member `lane`. The layout is what makes lockstep blind
+/// rotation pay off — a butterfly's twiddle is loaded once per point
+/// and applied to `lanes` contiguous values, the early FFT stages run
+/// full vectors instead of scalars, and the external product's
+/// bootstrapping-key row is streamed once per batch instead of once per
+/// ciphertext (see [`crate::simd::Kernels::fft_passes_batch`] and
+/// [`crate::simd::Kernels::mac_bcast`]).
+///
+/// Storage is 64-byte aligned ([`AlignedBuf`]) and sized for a maximum
+/// lane count at construction; [`FreqPolyBatch::reset`] re-arms it for
+/// the (possibly smaller) live width of each batch step without
+/// reallocating.
+#[derive(Debug, Clone)]
+pub struct FreqPolyBatch {
+    re: AlignedBuf<f64>,
+    im: AlignedBuf<f64>,
+    /// Frequency points per lane (`M = N/2`).
+    points: usize,
+    /// Current live batch width.
+    lanes: usize,
+}
+
+impl FreqPolyBatch {
+    /// A zeroed batch for polynomials of degree bound `n`, able to hold
+    /// up to `max_lanes` members.
+    pub fn new(n: usize, max_lanes: usize) -> Self {
+        assert!(n >= 2 && n.is_multiple_of(2) && max_lanes > 0);
+        note_buffer_alloc();
+        let points = n / 2;
+        FreqPolyBatch {
+            re: AlignedBuf::zeroed(points * max_lanes),
+            im: AlignedBuf::zeroed(points * max_lanes),
+            points,
+            lanes: max_lanes,
+        }
+    }
+
+    /// Frequency points per lane (`N/2`).
+    #[inline]
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// Current live batch width.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether the batch holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes == 0
+    }
+
+    /// Re-arms the batch for `lanes` members and zeroes the live region
+    /// (growing the allocation only if `lanes` exceeds the constructed
+    /// maximum).
+    pub fn reset(&mut self, lanes: usize) {
+        assert!(lanes > 0);
+        let need = self.points * lanes;
+        if need > self.re.len() {
+            self.re.resize_zeroed(need);
+            self.im.resize_zeroed(need);
+        }
+        self.lanes = lanes;
+        debug_assert!(self.re.is_aligned() && self.im.is_aligned());
+        self.re[..need].fill(0.0);
+        self.im[..need].fill(0.0);
+    }
+
+    /// Live split slices (`points * lanes` values each).
+    #[inline]
+    fn live_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        let need = self.points * self.lanes;
+        (&mut self.re[..need], &mut self.im[..need])
+    }
+
+    /// `self += a * b` pointwise per lane, with `b` one spectrum shared
+    /// by every lane — the batched external-product MAC.
+    pub fn add_mul_bcast(&mut self, a: &FreqPolyBatch, b: &FreqPoly) {
+        let lanes = self.lanes;
+        debug_assert_eq!(a.lanes, lanes);
+        debug_assert_eq!(a.points, self.points);
+        debug_assert_eq!(b.points(), self.points);
+        let need = self.points * lanes;
+        simd::kernels().mac_bcast(
+            &mut self.re[..need],
+            &mut self.im[..need],
+            &a.re[..need],
+            &a.im[..need],
+            &b.re,
+            &b.im,
+            lanes,
+        );
+    }
+}
+
 /// Precomputed tables for folded transforms of one polynomial size `N`
 /// (transform size `M = N/2`).
 ///
@@ -156,16 +256,17 @@ pub struct FftPlan {
     n: usize,
     /// Transform size `M = N/2`.
     m: usize,
-    /// Forward per-stage twiddles `e^{+2πik/M}` (split re/im).
-    fwd_re: Vec<f64>,
-    fwd_im: Vec<f64>,
+    /// Forward per-stage twiddles `e^{+2πik/M}` (split re/im), 64-byte
+    /// aligned so the wide butterfly kernels never split a cache line.
+    fwd_re: AlignedBuf<f64>,
+    fwd_im: AlignedBuf<f64>,
     /// Inverse per-stage twiddles `e^{-2πik/M}`, precomputed so the
     /// butterfly kernel never branches on direction.
-    inv_re: Vec<f64>,
-    inv_im: Vec<f64>,
+    inv_re: AlignedBuf<f64>,
+    inv_im: AlignedBuf<f64>,
     /// Twist `e^{iπj/N}` for `j < M` (split re/im).
-    tw_re: Vec<f64>,
-    tw_im: Vec<f64>,
+    tw_re: AlignedBuf<f64>,
+    tw_im: AlignedBuf<f64>,
     /// Bit-reversal permutation of size `M`.
     rev: Vec<u32>,
 }
@@ -209,7 +310,19 @@ impl FftPlan {
         let rev = (0..m as u32)
             .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
             .collect();
-        FftPlan { n, m, fwd_re, fwd_im, inv_re, inv_im, tw_re, tw_im, rev }
+        let plan = FftPlan {
+            n,
+            m,
+            fwd_re: AlignedBuf::from_slice(&fwd_re),
+            fwd_im: AlignedBuf::from_slice(&fwd_im),
+            inv_re: AlignedBuf::from_slice(&inv_re),
+            inv_im: AlignedBuf::from_slice(&inv_im),
+            tw_re: AlignedBuf::from_slice(&tw_re),
+            tw_im: AlignedBuf::from_slice(&tw_im),
+            rev,
+        };
+        debug_assert!(plan.fwd_re.is_aligned() && plan.tw_re.is_aligned());
+        plan
     }
 
     /// Polynomial degree bound `N`.
@@ -319,6 +432,158 @@ impl FftPlan {
         let mut acc = FreqPoly::zero(self.n);
         acc.add_mul_assign(&fa, &fb);
         self.inverse_torus(&acc)
+    }
+
+    // ------------------------------------------------------------------
+    // Batched transforms (point-major SoA lockstep path)
+    // ------------------------------------------------------------------
+
+    /// Stages one integer polynomial into lane `lane` of `batch`: twist
+    /// into `tmp` with the per-lane kernel, then scatter into the
+    /// point-major layout with the bit-reversal permutation fused in
+    /// (so [`FftPlan::forward_batch_passes`] runs straight DIT stages).
+    pub fn forward_int_stage_lane(
+        &self,
+        p: &IntPoly,
+        lane: usize,
+        batch: &mut FreqPolyBatch,
+        tmp: &mut FreqPoly,
+    ) {
+        debug_assert_eq!(p.len(), self.n);
+        self.stage_lane(p.coeffs(), lane, batch, tmp)
+    }
+
+    /// [`FftPlan::forward_int_stage_lane`] for a torus polynomial
+    /// (coefficients reinterpreted as signed integers).
+    pub fn forward_torus_stage_lane(
+        &self,
+        p: &TorusPoly,
+        lane: usize,
+        batch: &mut FreqPolyBatch,
+        tmp: &mut FreqPoly,
+    ) {
+        debug_assert_eq!(p.len(), self.n);
+        self.stage_lane(Torus32::slice_as_i32(p.coeffs()), lane, batch, tmp)
+    }
+
+    fn stage_lane(&self, c: &[i32], lane: usize, batch: &mut FreqPolyBatch, tmp: &mut FreqPoly) {
+        let m = self.m;
+        let lanes = batch.lanes();
+        debug_assert!(lane < lanes);
+        debug_assert_eq!(batch.points(), m);
+        debug_assert_eq!(tmp.points(), m);
+        simd::kernels().fwd_twist(c, &self.tw_re, &self.tw_im, &mut tmp.re, &mut tmp.im);
+        for j in 0..m {
+            let d = self.rev[j] as usize * lanes + lane;
+            batch.re[d] = tmp.re[j];
+            batch.im[d] = tmp.im[j];
+        }
+    }
+
+    /// Runs the forward butterfly stages over every staged lane at once
+    /// through the dispatched batch kernel.
+    pub fn forward_batch_passes(&self, batch: &mut FreqPolyBatch) {
+        debug_assert_eq!(batch.points(), self.m);
+        let lanes = batch.lanes();
+        let (re, im) = batch.live_mut();
+        simd::kernels().fft_passes_batch(re, im, &self.fwd_re, &self.fwd_im, lanes);
+    }
+
+    /// Forward-transforms `polys` in lockstep: stages every polynomial
+    /// and runs the shared butterfly passes. `batch` is reset to
+    /// `polys.len()` lanes.
+    pub fn forward_torus_batch(
+        &self,
+        polys: &[&TorusPoly],
+        batch: &mut FreqPolyBatch,
+        tmp: &mut FreqPoly,
+    ) {
+        batch.reset(polys.len());
+        for (lane, p) in polys.iter().enumerate() {
+            self.forward_torus_stage_lane(p, lane, batch, tmp);
+        }
+        self.forward_batch_passes(batch);
+    }
+
+    /// [`FftPlan::forward_torus_batch`] for integer polynomials — the
+    /// decomposed-digit transforms of the batched external product.
+    pub fn forward_int_batch(
+        &self,
+        polys: &[&IntPoly],
+        batch: &mut FreqPolyBatch,
+        tmp: &mut FreqPoly,
+    ) {
+        batch.reset(polys.len());
+        for (lane, p) in polys.iter().enumerate() {
+            self.forward_int_stage_lane(p, lane, batch, tmp);
+        }
+        self.forward_batch_passes(batch);
+    }
+
+    /// First half of the batched inverse transform: block bit-reversal
+    /// (swapping whole lane groups) followed by the inverse butterfly
+    /// stages over every lane. Lanes are then extracted one at a time
+    /// with [`FftPlan::inverse_torus_lane_into`].
+    pub fn inverse_batch_passes(&self, batch: &mut FreqPolyBatch) {
+        debug_assert_eq!(batch.points(), self.m);
+        let lanes = batch.lanes();
+        let (re, im) = batch.live_mut();
+        for i in 0..self.m {
+            let j = self.rev[i] as usize;
+            if i < j {
+                for l in 0..lanes {
+                    re.swap(i * lanes + l, j * lanes + l);
+                    im.swap(i * lanes + l, j * lanes + l);
+                }
+            }
+        }
+        simd::kernels().fft_passes_batch(re, im, &self.inv_re, &self.inv_im, lanes);
+    }
+
+    /// Second half of the batched inverse transform: gathers lane
+    /// `lane` out of the point-major layout into `tmp` and runs the
+    /// untwist/unfold/round kernel into `out`. Call after
+    /// [`FftPlan::inverse_batch_passes`].
+    pub fn inverse_torus_lane_into(
+        &self,
+        batch: &FreqPolyBatch,
+        lane: usize,
+        tmp: &mut FreqPoly,
+        out: &mut TorusPoly,
+    ) {
+        let m = self.m;
+        let lanes = batch.lanes();
+        debug_assert!(lane < lanes);
+        debug_assert_eq!(tmp.points(), m);
+        debug_assert_eq!(out.len(), self.n);
+        for j in 0..m {
+            let s = j * lanes + lane;
+            tmp.re[j] = batch.re[s];
+            tmp.im[j] = batch.im[s];
+        }
+        simd::kernels().inv_untwist_round(
+            &mut tmp.re,
+            &mut tmp.im,
+            &self.tw_re,
+            &self.tw_im,
+            out.coeffs_mut(),
+        );
+    }
+
+    /// Convenience inverse for contiguous outputs: the batched inverse
+    /// passes plus one [`FftPlan::inverse_torus_lane_into`] per lane.
+    /// `batch` holds garbage afterwards (the passes run in place).
+    pub fn inverse_torus_batch(
+        &self,
+        batch: &mut FreqPolyBatch,
+        tmp: &mut FreqPoly,
+        outs: &mut [TorusPoly],
+    ) {
+        debug_assert_eq!(outs.len(), batch.lanes());
+        self.inverse_batch_passes(batch);
+        for (lane, out) in outs.iter_mut().enumerate() {
+            self.inverse_torus_lane_into(batch, lane, tmp, out);
+        }
     }
 }
 
@@ -485,5 +750,66 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = FftPlan::new(48);
+    }
+
+    #[test]
+    fn batch_round_trip_is_exact_for_every_width() {
+        let mut rng = SecureRng::seed_from_u64(18);
+        for n in [8usize, 64, 1024] {
+            let plan = FftPlan::new(n);
+            let mut batch = FreqPolyBatch::new(n, 8);
+            let mut tmp = FreqPoly::zero(n);
+            for lanes in 1..=8usize {
+                let polys: Vec<TorusPoly> =
+                    (0..lanes).map(|_| TorusPoly::uniform(n, &mut rng)).collect();
+                let refs: Vec<&TorusPoly> = polys.iter().collect();
+                plan.forward_torus_batch(&refs, &mut batch, &mut tmp);
+                let mut outs = vec![TorusPoly::zero(n); lanes];
+                plan.inverse_torus_batch(&mut batch, &mut tmp, &mut outs);
+                assert_eq!(outs, polys, "n={n} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_broadcast_mac_matches_naive_products() {
+        // Lockstep external-product shape: per-lane digit polynomials
+        // multiplied against one shared spectrum. Every lane must land
+        // on the exact schoolbook product after rounding.
+        let mut rng = SecureRng::seed_from_u64(19);
+        let n = 64;
+        let lanes = 5;
+        let plan = FftPlan::new(n);
+        let b = TorusPoly::uniform(n, &mut rng);
+        let fb = plan.forward_torus(&b);
+        let digits: Vec<IntPoly> = (0..lanes)
+            .map(|_| {
+                IntPoly::from_coeffs(
+                    (0..n).map(|_| (rng.uniform_u32() % 128) as i32 - 64).collect(),
+                )
+            })
+            .collect();
+        let refs: Vec<&IntPoly> = digits.iter().collect();
+        let mut dig = FreqPolyBatch::new(n, lanes);
+        let mut acc = FreqPolyBatch::new(n, lanes);
+        let mut tmp = FreqPoly::zero(n);
+        plan.forward_int_batch(&refs, &mut dig, &mut tmp);
+        acc.reset(lanes);
+        acc.add_mul_bcast(&dig, &fb);
+        let mut outs = vec![TorusPoly::zero(n); lanes];
+        plan.inverse_torus_batch(&mut acc, &mut tmp, &mut outs);
+        for (l, out) in outs.iter().enumerate() {
+            assert_eq!(*out, naive_negacyclic_mul(&digits[l], &b), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn batch_reset_grows_and_zeroes() {
+        let n = 16;
+        let mut batch = FreqPolyBatch::new(n, 2);
+        assert_eq!(batch.points(), 8);
+        batch.reset(6);
+        assert_eq!(batch.lanes(), 6);
+        assert!(batch.re.iter().all(|&x| x == 0.0));
     }
 }

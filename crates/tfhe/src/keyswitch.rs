@@ -128,6 +128,16 @@ impl KeySwitchKey {
         }
         let row_stride = self.levels * (base - 1);
         let mut digits = [0u32; MAX_KS_LEVELS];
+        // Nonzero-digit rows are applied in *fused pairs* through the
+        // dispatched `sub_assign2` kernel (`out -= a + b` in one
+        // contiguous full-width pass over the mask), halving the number
+        // of times the destination streams through the vector units
+        // relative to one `sub_assign` per digit. Pairing carries across
+        // mask elements, so odd digit counts don't strand a partner.
+        // Wrapping arithmetic mod 2^32 is associative, so the fused form
+        // is bit-identical to sequential subtractions.
+        let kern = crate::simd::kernels();
+        let mut pending: Option<&LweCiphertext> = None;
         for (i, &a_i) in ct.mask().iter().enumerate() {
             // Extract the whole digit vector of this mask element in one
             // flat pass, then do the (branchy, memory-bound) accumulation.
@@ -138,9 +148,19 @@ impl KeySwitchKey {
             let row = i * row_stride;
             for (j, &digit) in digits[..self.levels].iter().enumerate() {
                 if digit != 0 {
-                    out.sub_assign(&self.samples[row + j * (base - 1) + (digit as usize - 1)]);
+                    let sample = &self.samples[row + j * (base - 1) + (digit as usize - 1)];
+                    match pending.take() {
+                        None => pending = Some(sample),
+                        Some(first) => {
+                            kern.sub_assign2(out.mask_mut(), first.mask(), sample.mask());
+                            out.b -= first.body() + sample.body();
+                        }
+                    }
                 }
             }
+        }
+        if let Some(first) = pending {
+            out.sub_assign(first);
         }
     }
 }
@@ -191,6 +211,35 @@ mod tests {
         let ksk = KeySwitchKey::generate(&src, &dst, 8, 2, 1e-9, &mut rng);
         let ct = LweCiphertext::trivial(Torus32::ZERO, 64);
         let _ = ksk.switch(&ct);
+    }
+
+    #[test]
+    fn paired_accumulation_is_bit_exact_with_sequential() {
+        let mut rng = SecureRng::seed_from_u64(54);
+        let src = LweKey::generate(128, &mut rng);
+        let dst = LweKey::generate(32, &mut rng);
+        let ksk = KeySwitchKey::generate(&src, &dst, 8, 2, 1e-9, &mut rng);
+        for seed in 0..4u64 {
+            let mut rng = SecureRng::seed_from_u64(100 + seed);
+            let ct = src.encrypt(Torus32::from_fraction(1, 3), 1e-9, &mut rng);
+            let got = ksk.switch(&ct);
+            // Reference: one sub_assign per nonzero digit, no pairing.
+            let mut want = LweCiphertext::trivial(ct.body(), ksk.dst_dim);
+            let base = 1usize << ksk.base_log;
+            let base_mask = (1u32 << ksk.base_log) - 1;
+            let round = 1u32 << (32 - (ksk.levels * ksk.base_log) as u32 - 1);
+            for (i, &a_i) in ct.mask().iter().enumerate() {
+                let tmp = a_i.0.wrapping_add(round);
+                for j in 0..ksk.levels {
+                    let digit = (tmp >> (32 - ((j + 1) * ksk.base_log) as u32)) & base_mask;
+                    if digit != 0 {
+                        let row = i * ksk.levels * (base - 1);
+                        want.sub_assign(&ksk.samples[row + j * (base - 1) + (digit as usize - 1)]);
+                    }
+                }
+            }
+            assert_eq!(got, want, "seed={seed}");
+        }
     }
 
     #[test]

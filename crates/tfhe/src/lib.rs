@@ -18,10 +18,12 @@
 //!   ([`gates`]),
 //! * key generation and the client/cloud key split ([`keys`]),
 //! * byte-level serialization of keys and ciphertexts ([`io`]),
-//! * runtime-dispatched SIMD kernels (AVX2+FMA / NEON / portable scalar)
-//!   for the transform, external-product, decomposition, and key-switch
-//!   hot loops ([`simd`]), selectable with the `PYTFHE_SIMD` environment
-//!   variable.
+//! * runtime-dispatched SIMD kernels (AVX-512 / AVX2+FMA / NEON /
+//!   portable scalar) for the transform, external-product,
+//!   decomposition, and key-switch hot loops ([`simd`]), selectable with
+//!   the `PYTFHE_SIMD` environment variable,
+//! * an exact prime-field NTT prototype behind `PYTFHE_TRANSFORM=ntt`
+//!   ([`ntt`]), property-tested against the FFT path.
 //!
 //! # Security
 //!
@@ -47,6 +49,7 @@
 //! assert!(client.decrypt_bit(&out));
 //! ```
 
+pub mod align;
 pub mod bootstrap;
 mod error;
 pub mod fft;
@@ -57,6 +60,7 @@ pub mod keyswitch;
 pub mod lut;
 pub mod lwe;
 pub mod noise;
+pub mod ntt;
 pub mod params;
 pub mod poly;
 pub mod reference;
@@ -73,6 +77,7 @@ pub use gates::{BootGate, GateScratch, FUSE_CHUNK};
 pub use keys::{ClientKey, ServerKey};
 pub use lwe::{LweCiphertext, LweKey, LweSoa};
 pub use noise::NoiseModel;
+pub use ntt::Transform;
 pub use params::{Params, SecurityLevel};
 pub use rng::SecureRng;
 pub use simd::SimdPath;

@@ -1,6 +1,7 @@
 //! LWE (Learning With Errors) samples over the torus — the ciphertext type
 //! every PyTFHE gate consumes and produces.
 
+use crate::align::AlignedBuf;
 use crate::rng::SecureRng;
 use crate::torus::Torus32;
 use crate::trace::note_buffer_alloc;
@@ -161,14 +162,16 @@ impl LweCiphertext {
 #[derive(Debug)]
 pub struct LweSoa {
     dim: usize,
-    masks: Vec<Torus32>,
+    /// 64-byte-aligned so full-width vector loads over slot masks never
+    /// split a cache line (see [`crate::align::SIMD_ALIGN`]).
+    masks: AlignedBuf<Torus32>,
     bodies: Vec<Torus32>,
 }
 
 impl LweSoa {
     /// An empty batch of dimension-`dim` slots.
     pub fn new(dim: usize) -> Self {
-        LweSoa { dim, masks: Vec::new(), bodies: Vec::new() }
+        LweSoa { dim, masks: AlignedBuf::new(), bodies: Vec::new() }
     }
 
     /// Slot dimension `n`.
@@ -189,8 +192,9 @@ impl LweSoa {
     /// Resizes to `slots` zeroed slots, reusing capacity from previous
     /// batches (allocation-free once warmed up to the largest batch size).
     pub fn reset(&mut self, slots: usize) {
-        self.masks.clear();
-        self.masks.resize(slots * self.dim, Torus32::ZERO);
+        self.masks.resize_zeroed(slots * self.dim);
+        self.masks.fill_zero();
+        debug_assert!(self.masks.is_aligned());
         self.bodies.clear();
         self.bodies.resize(slots, Torus32::ZERO);
     }

@@ -272,6 +272,32 @@ unsafe fn sub_assign_impl(dst: &mut [Torus32], src: &[Torus32]) {
     }
 }
 
+pub fn sub_assign2(dst: &mut [Torus32], a: &[Torus32], b: &[Torus32]) {
+    // SAFETY: see `mac`.
+    unsafe { sub_assign2_impl(dst, a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn sub_assign2_impl(dst: &mut [Torus32], a: &[Torus32], b: &[Torus32]) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr() as *mut u32;
+    let ap = a.as_ptr() as *const u32;
+    let bp = b.as_ptr() as *const u32;
+    let mut j = 0;
+    while j + 8 <= n {
+        let d = _mm256_loadu_si256(dp.add(j) as *const __m256i);
+        let va = _mm256_loadu_si256(ap.add(j) as *const __m256i);
+        let vb = _mm256_loadu_si256(bp.add(j) as *const __m256i);
+        let s = _mm256_add_epi32(va, vb);
+        _mm256_storeu_si256(dp.add(j) as *mut __m256i, _mm256_sub_epi32(d, s));
+        j += 8;
+    }
+    while j < n {
+        dst[j] -= a[j] + b[j];
+        j += 1;
+    }
+}
+
 pub fn axpy(dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
     // SAFETY: see `mac`.
     unsafe { axpy_impl(dst, coeff, src) }
@@ -296,5 +322,128 @@ unsafe fn axpy_impl(dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
     while j < n {
         dst[j] += coeff * src[j];
         j += 1;
+    }
+}
+
+pub fn fft_passes_batch(
+    re: &mut [f64],
+    im: &mut [f64],
+    st_re: &[f64],
+    st_im: &[f64],
+    lanes: usize,
+) {
+    // SAFETY: see `mac`.
+    unsafe { fft_passes_batch_impl(re, im, st_re, st_im, lanes) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fft_passes_batch_impl(
+    re: &mut [f64],
+    im: &mut [f64],
+    st_re: &[f64],
+    st_im: &[f64],
+    lanes: usize,
+) {
+    let m = re.len() / lanes;
+    let mut len = 2;
+    let mut pos = 0;
+    while len <= m {
+        let half = len / 2;
+        let w_re = &st_re[pos..pos + half];
+        let w_im = &st_im[pos..pos + half];
+        for start in (0..m).step_by(len) {
+            for j in 0..half {
+                let wr = w_re[j];
+                let wi = w_im[j];
+                let u = (start + j) * lanes;
+                let v = (start + j + half) * lanes;
+                // Twiddle broadcast: the batch layout keeps every stage
+                // (including half = 1, 2) running over full vectors of
+                // lanes, with one twiddle load per point pair.
+                let vwr = _mm256_set1_pd(wr);
+                let vwi = _mm256_set1_pd(wi);
+                let mut l = 0;
+                while l + 4 <= lanes {
+                    let xr = _mm256_loadu_pd(re.as_ptr().add(v + l));
+                    let xi = _mm256_loadu_pd(im.as_ptr().add(v + l));
+                    let vr = _mm256_fmsub_pd(xr, vwr, _mm256_mul_pd(xi, vwi));
+                    let vi = _mm256_fmadd_pd(xr, vwi, _mm256_mul_pd(xi, vwr));
+                    let ur = _mm256_loadu_pd(re.as_ptr().add(u + l));
+                    let ui = _mm256_loadu_pd(im.as_ptr().add(u + l));
+                    _mm256_storeu_pd(re.as_mut_ptr().add(u + l), _mm256_add_pd(ur, vr));
+                    _mm256_storeu_pd(im.as_mut_ptr().add(u + l), _mm256_add_pd(ui, vi));
+                    _mm256_storeu_pd(re.as_mut_ptr().add(v + l), _mm256_sub_pd(ur, vr));
+                    _mm256_storeu_pd(im.as_mut_ptr().add(v + l), _mm256_sub_pd(ui, vi));
+                    l += 4;
+                }
+                while l < lanes {
+                    let xr = re[v + l];
+                    let xi = im[v + l];
+                    let vr = xr * wr - xi * wi;
+                    let vi = xr * wi + xi * wr;
+                    let ur = re[u + l];
+                    let ui = im[u + l];
+                    re[u + l] = ur + vr;
+                    im[u + l] = ui + vi;
+                    re[v + l] = ur - vr;
+                    im[v + l] = ui - vi;
+                    l += 1;
+                }
+            }
+        }
+        pos += half;
+        len <<= 1;
+    }
+}
+
+pub fn mac_bcast(
+    sr: &mut [f64],
+    si: &mut [f64],
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    lanes: usize,
+) {
+    // SAFETY: see `mac`.
+    unsafe { mac_bcast_impl(sr, si, ar, ai, br, bi, lanes) }
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mac_bcast_impl(
+    sr: &mut [f64],
+    si: &mut [f64],
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    lanes: usize,
+) {
+    let m = br.len();
+    for j in 0..m {
+        let wr = br[j];
+        let wi = bi[j];
+        let base = j * lanes;
+        let vwr = _mm256_set1_pd(wr);
+        let vwi = _mm256_set1_pd(wi);
+        let mut l = 0;
+        while l + 4 <= lanes {
+            let xr = _mm256_loadu_pd(ar.as_ptr().add(base + l));
+            let xi = _mm256_loadu_pd(ai.as_ptr().add(base + l));
+            let pr = _mm256_fmsub_pd(xr, vwr, _mm256_mul_pd(xi, vwi));
+            let pi = _mm256_fmadd_pd(xr, vwi, _mm256_mul_pd(xi, vwr));
+            let vsr = _mm256_loadu_pd(sr.as_ptr().add(base + l));
+            let vsi = _mm256_loadu_pd(si.as_ptr().add(base + l));
+            _mm256_storeu_pd(sr.as_mut_ptr().add(base + l), _mm256_add_pd(vsr, pr));
+            _mm256_storeu_pd(si.as_mut_ptr().add(base + l), _mm256_add_pd(vsi, pi));
+            l += 4;
+        }
+        while l < lanes {
+            let xr = ar[base + l];
+            let xi = ai[base + l];
+            sr[base + l] += xr * wr - xi * wi;
+            si[base + l] += xr * wi + xi * wr;
+            l += 1;
+        }
     }
 }

@@ -18,7 +18,7 @@
 //!    ([`Kernels::extract_digits`], [`Kernels::sub_assign`],
 //!    [`Kernels::axpy`]).
 //!
-//! Three backends implement the same kernel set:
+//! Four backends implement the same kernel set:
 //!
 //! * [`scalar`] — portable Rust, **bit-identical to the pre-SIMD code**
 //!   (the loops were moved here verbatim). Always available; the
@@ -26,8 +26,17 @@
 //! * `avx2` — AVX2 + FMA over 4×`f64` / 8×`u32` lanes
 //!   (`std::arch::x86_64`), selected when `is_x86_feature_detected!`
 //!   reports both features.
+//! * `avx512` — AVX-512 over 8×`f64` / 16×`u32` lanes with masked
+//!   tails (`avx512f` + `avx512dq`), the widest x86 path.
 //! * `neon` — NEON over 2×`f64` / 4×`u32` lanes (`std::arch::aarch64`;
 //!   NEON is baseline on AArch64).
+//!
+//! Beyond the original per-polynomial kernels, the table carries the
+//! *batched* transform kernels ([`Kernels::fft_passes_batch`],
+//! [`Kernels::mac_bcast`]) that run butterfly stages and external-product
+//! MACs across a point-major batch of up to [`crate::gates::FUSE_CHUNK`]
+//! ciphertexts in lockstep, and the fused two-row key-switch subtraction
+//! ([`Kernels::sub_assign2`]).
 //!
 //! # Correctness contract
 //!
@@ -46,8 +55,8 @@
 //! # Dispatch
 //!
 //! [`kernels`] resolves the backend once per process: the `PYTFHE_SIMD`
-//! environment variable (`auto` | `scalar` | `avx2` | `neon`) is
-//! consulted first, a requested-but-unsupported backend falls back to
+//! environment variable (`auto` | `scalar` | `avx2` | `avx512` | `neon`)
+//! is consulted first, a requested-but-unsupported backend falls back to
 //! scalar, and `auto` (or an unset/unknown value) picks the best path
 //! the CPU supports. [`set_active_path`] re-points the process-global
 //! dispatch explicitly — used by the `repro simd` harness to measure
@@ -65,6 +74,9 @@ pub mod scalar;
 #[cfg(target_arch = "x86_64")]
 mod avx2;
 
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+
 #[cfg(target_arch = "aarch64")]
 mod neon;
 
@@ -75,6 +87,8 @@ pub enum SimdPath {
     Scalar,
     /// AVX2 + FMA (x86-64), 4×`f64` / 8×`u32` lanes.
     Avx2,
+    /// AVX-512 (x86-64), 8×`f64` / 16×`u32` lanes with masked tails.
+    Avx512,
     /// NEON (AArch64), 2×`f64` / 4×`u32` lanes.
     Neon,
 }
@@ -82,13 +96,15 @@ pub enum SimdPath {
 impl SimdPath {
     /// Every path this build knows about (not necessarily runnable on
     /// this CPU — see [`SimdPath::is_supported`]).
-    pub const ALL: [SimdPath; 3] = [SimdPath::Scalar, SimdPath::Avx2, SimdPath::Neon];
+    pub const ALL: [SimdPath; 4] =
+        [SimdPath::Scalar, SimdPath::Avx2, SimdPath::Avx512, SimdPath::Neon];
 
     /// Stable lowercase name, matching the `PYTFHE_SIMD` values.
     pub fn name(self) -> &'static str {
         match self {
             SimdPath::Scalar => "scalar",
             SimdPath::Avx2 => "avx2",
+            SimdPath::Avx512 => "avx512",
             SimdPath::Neon => "neon",
         }
     }
@@ -102,8 +118,16 @@ impl SimdPath {
                 std::arch::is_x86_feature_detected!("avx2")
                     && std::arch::is_x86_feature_detected!("fma")
             }
+            // `avx512dq` covers the f64↔i64 conversions and 64-bit
+            // logic ops the rounding pack uses; every AVX-512 server
+            // part since Skylake-SP ships both.
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512dq")
+            }
             #[cfg(not(target_arch = "x86_64"))]
-            SimdPath::Avx2 => false,
+            SimdPath::Avx2 | SimdPath::Avx512 => false,
             // NEON is part of the baseline AArch64 ISA.
             SimdPath::Neon => cfg!(target_arch = "aarch64"),
         }
@@ -114,6 +138,7 @@ impl SimdPath {
             SimdPath::Scalar => 0,
             SimdPath::Avx2 => 1,
             SimdPath::Neon => 2,
+            SimdPath::Avx512 => 3,
         }
     }
 }
@@ -136,8 +161,16 @@ type InvUntwistRoundFn = fn(&mut [f64], &mut [f64], &[f64], &[f64], &mut [Torus3
 type ExtractDigitsFn = fn(&[Torus32], u32, u32, u32, i32, &mut [i32]);
 /// `(dst, src)`: wrapping element-wise subtraction.
 type SubAssignFn = fn(&mut [Torus32], &[Torus32]);
+/// `(dst, a, b)`: wrapping element-wise `dst -= a + b` (fused pair).
+type SubAssign2Fn = fn(&mut [Torus32], &[Torus32], &[Torus32]);
 /// `(dst, coeff, src)`: wrapping element-wise `dst += coeff * src`.
 type AxpyFn = fn(&mut [Torus32], i32, &[Torus32]);
+/// `(re, im, st_re, st_im, lanes)`: butterfly passes over a point-major
+/// batch (`lanes` consecutive values per frequency point).
+type FftPassesBatchFn = fn(&mut [f64], &mut [f64], &[f64], &[f64], usize);
+/// `(sr, si, ar, ai, br, bi, lanes)`: `s += a * b` where `s`/`a` are
+/// point-major batches and `b` is one spectrum broadcast across lanes.
+type MacBcastFn = fn(&mut [f64], &mut [f64], &[f64], &[f64], &[f64], &[f64], usize);
 
 /// One backend's kernel set. The fields are plain function pointers so a
 /// resolved `&'static Kernels` dispatches with no per-call branching;
@@ -150,7 +183,10 @@ pub struct Kernels {
     inv_untwist_round: InvUntwistRoundFn,
     extract_digits: ExtractDigitsFn,
     sub_assign: SubAssignFn,
+    sub_assign2: SubAssign2Fn,
     axpy: AxpyFn,
+    fft_passes_batch: FftPassesBatchFn,
+    mac_bcast: MacBcastFn,
 }
 
 impl fmt::Debug for Kernels {
@@ -253,6 +289,17 @@ impl Kernels {
         (self.sub_assign)(dst, src)
     }
 
+    /// Fused wrapping `dst -= a + b` over torus slices — the paired
+    /// key-switch row subtraction. One pass over `dst` replaces two,
+    /// halving the store traffic of the dominant key-switch loop;
+    /// bit-identical to two sequential [`Kernels::sub_assign`] calls
+    /// because `Z/2^32` addition is associative.
+    #[inline]
+    pub fn sub_assign2(&self, dst: &mut [Torus32], a: &[Torus32], b: &[Torus32]) {
+        debug_assert!(a.len() == dst.len() && b.len() == dst.len());
+        (self.sub_assign2)(dst, a, b)
+    }
+
     /// Wrapping element-wise `dst += coeff * src` over torus slices —
     /// the mask accumulation of the gate linear combinations (staging
     /// pass of the batched bootstrap kernels). Bit-identical across
@@ -261,6 +308,51 @@ impl Kernels {
     pub fn axpy(&self, dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
         debug_assert_eq!(dst.len(), src.len());
         (self.axpy)(dst, coeff, src)
+    }
+
+    /// Butterfly passes over a *point-major batch*: `re`/`im` hold
+    /// `m · lanes` values laid out as `lanes` consecutive entries per
+    /// frequency point (`re[point * lanes + lane]`), already in
+    /// bit-reversed point order. Each twiddle is loaded once per point
+    /// and applied to every lane, so twiddle traffic is amortized
+    /// `lanes`× and the vector units stay full even on the short early
+    /// stages that the single-polynomial kernel has to run scalar.
+    #[inline]
+    pub fn fft_passes_batch(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        st_re: &[f64],
+        st_im: &[f64],
+        lanes: usize,
+    ) {
+        debug_assert!(lanes > 0 && re.len() == im.len() && re.len().is_multiple_of(lanes));
+        debug_assert!(st_re.len() + 1 >= re.len() / lanes && st_im.len() == st_re.len());
+        (self.fft_passes_batch)(re, im, st_re, st_im, lanes)
+    }
+
+    /// Broadcast multiply-accumulate for the batched external product:
+    /// `s[point][lane] += a[point][lane] * b[point]`, with `s`/`a` in
+    /// point-major batch layout and `b` a single bootstrapping-key
+    /// spectrum shared by every lane. One row load serves all lanes —
+    /// the main memory-traffic win of lockstep blind rotation.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn mac_bcast(
+        &self,
+        sr: &mut [f64],
+        si: &mut [f64],
+        ar: &[f64],
+        ai: &[f64],
+        br: &[f64],
+        bi: &[f64],
+        lanes: usize,
+    ) {
+        let mb = sr.len();
+        debug_assert!(lanes > 0 && mb.is_multiple_of(lanes));
+        debug_assert!(si.len() == mb && ar.len() == mb && ai.len() == mb);
+        debug_assert!(br.len() == mb / lanes && bi.len() == mb / lanes);
+        (self.mac_bcast)(sr, si, ar, ai, br, bi, lanes)
     }
 }
 
@@ -273,7 +365,10 @@ static SCALAR: Kernels = Kernels {
     inv_untwist_round: scalar::inv_untwist_round,
     extract_digits: scalar::extract_digits,
     sub_assign: scalar::sub_assign,
+    sub_assign2: scalar::sub_assign2,
     axpy: scalar::axpy,
+    fft_passes_batch: scalar::fft_passes_batch,
+    mac_bcast: scalar::mac_bcast,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -285,7 +380,25 @@ static AVX2: Kernels = Kernels {
     inv_untwist_round: avx2::inv_untwist_round,
     extract_digits: avx2::extract_digits,
     sub_assign: avx2::sub_assign,
+    sub_assign2: avx2::sub_assign2,
     axpy: avx2::axpy,
+    fft_passes_batch: avx2::fft_passes_batch,
+    mac_bcast: avx2::mac_bcast,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX512: Kernels = Kernels {
+    path: SimdPath::Avx512,
+    mac: avx512::mac,
+    fft_passes: avx512::fft_passes,
+    fwd_twist: avx512::fwd_twist,
+    inv_untwist_round: avx512::inv_untwist_round,
+    extract_digits: avx512::extract_digits,
+    sub_assign: avx512::sub_assign,
+    sub_assign2: avx512::sub_assign2,
+    axpy: avx512::axpy,
+    fft_passes_batch: avx512::fft_passes_batch,
+    mac_bcast: avx512::mac_bcast,
 };
 
 #[cfg(target_arch = "aarch64")]
@@ -297,7 +410,10 @@ static NEON: Kernels = Kernels {
     inv_untwist_round: neon::inv_untwist_round,
     extract_digits: neon::extract_digits,
     sub_assign: neon::sub_assign,
+    sub_assign2: neon::sub_assign2,
     axpy: neon::axpy,
+    fft_passes_batch: neon::fft_passes_batch,
+    mac_bcast: neon::mac_bcast,
 };
 
 /// The kernel set for an explicit path, or `None` when the running CPU
@@ -311,6 +427,8 @@ pub fn kernels_for(path: SimdPath) -> Option<&'static Kernels> {
         SimdPath::Scalar => &SCALAR,
         #[cfg(target_arch = "x86_64")]
         SimdPath::Avx2 => &AVX2,
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx512 => &AVX512,
         #[cfg(target_arch = "aarch64")]
         SimdPath::Neon => &NEON,
         // `is_supported` already ruled these out on this architecture.
@@ -319,9 +437,11 @@ pub fn kernels_for(path: SimdPath) -> Option<&'static Kernels> {
     })
 }
 
-/// Best path the running CPU supports.
+/// Best path the running CPU supports (widest lanes first).
 pub fn best_available() -> SimdPath {
-    if SimdPath::Avx2.is_supported() {
+    if SimdPath::Avx512.is_supported() {
+        SimdPath::Avx512
+    } else if SimdPath::Avx2.is_supported() {
         SimdPath::Avx2
     } else if SimdPath::Neon.is_supported() {
         SimdPath::Neon
@@ -340,6 +460,7 @@ fn path_from_env() -> SimdPath {
         Ok(v) => match v.to_ascii_lowercase().as_str() {
             "scalar" => Some(SimdPath::Scalar),
             "avx2" => Some(SimdPath::Avx2),
+            "avx512" => Some(SimdPath::Avx512),
             "neon" => Some(SimdPath::Neon),
             // "auto", empty, and unknown values all mean "pick for me".
             _ => None,
@@ -369,6 +490,8 @@ fn by_id(id: u8) -> &'static Kernels {
         1 => &AVX2,
         #[cfg(target_arch = "aarch64")]
         2 => &NEON,
+        #[cfg(target_arch = "x86_64")]
+        3 => &AVX512,
         _ => &SCALAR,
     }
 }
@@ -417,7 +540,7 @@ mod tests {
     fn active_path_is_supported_and_named() {
         let p = active_path();
         assert!(p.is_supported());
-        assert!(["scalar", "avx2", "neon"].contains(&p.name()));
+        assert!(["scalar", "avx2", "avx512", "neon"].contains(&p.name()));
         assert_eq!(format!("{p}"), p.name());
     }
 
@@ -427,7 +550,14 @@ mod tests {
         assert!(best.is_supported());
         // Nothing strictly better than `best` may claim support.
         if best == SimdPath::Scalar {
-            assert!(!SimdPath::Avx2.is_supported() && !SimdPath::Neon.is_supported());
+            assert!(
+                !SimdPath::Avx2.is_supported()
+                    && !SimdPath::Avx512.is_supported()
+                    && !SimdPath::Neon.is_supported()
+            );
+        }
+        if best == SimdPath::Avx2 {
+            assert!(!SimdPath::Avx512.is_supported());
         }
     }
 

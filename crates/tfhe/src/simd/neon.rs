@@ -270,3 +270,150 @@ unsafe fn axpy_impl(dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
         j += 1;
     }
 }
+
+pub fn sub_assign2(dst: &mut [Torus32], a: &[Torus32], b: &[Torus32]) {
+    // SAFETY: see `mac`.
+    unsafe { sub_assign2_impl(dst, a, b) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn sub_assign2_impl(dst: &mut [Torus32], a: &[Torus32], b: &[Torus32]) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr() as *mut u32;
+    let ap = a.as_ptr() as *const u32;
+    let bp = b.as_ptr() as *const u32;
+    let mut j = 0;
+    while j + 4 <= n {
+        let d = vld1q_u32(dp.add(j));
+        let va = vld1q_u32(ap.add(j));
+        let vb = vld1q_u32(bp.add(j));
+        vst1q_u32(dp.add(j), vsubq_u32(d, vaddq_u32(va, vb)));
+        j += 4;
+    }
+    while j < n {
+        dst[j] -= a[j] + b[j];
+        j += 1;
+    }
+}
+
+pub fn fft_passes_batch(
+    re: &mut [f64],
+    im: &mut [f64],
+    st_re: &[f64],
+    st_im: &[f64],
+    lanes: usize,
+) {
+    // SAFETY: see `mac`.
+    unsafe { fft_passes_batch_impl(re, im, st_re, st_im, lanes) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn fft_passes_batch_impl(
+    re: &mut [f64],
+    im: &mut [f64],
+    st_re: &[f64],
+    st_im: &[f64],
+    lanes: usize,
+) {
+    let m = re.len() / lanes;
+    let mut len = 2;
+    let mut pos = 0;
+    while len <= m {
+        let half = len / 2;
+        let w_re = &st_re[pos..pos + half];
+        let w_im = &st_im[pos..pos + half];
+        for start in (0..m).step_by(len) {
+            for j in 0..half {
+                let wr = w_re[j];
+                let wi = w_im[j];
+                // Twiddle broadcast across the lane dimension keeps
+                // every stage vectorized, including half = 1.
+                let vwr = vdupq_n_f64(wr);
+                let vwi = vdupq_n_f64(wi);
+                let u = (start + j) * lanes;
+                let v = (start + j + half) * lanes;
+                let mut l = 0;
+                while l + 2 <= lanes {
+                    let xr = vld1q_f64(re.as_ptr().add(v + l));
+                    let xi = vld1q_f64(im.as_ptr().add(v + l));
+                    let vr = vfmsq_f64(vmulq_f64(xr, vwr), xi, vwi);
+                    let vi = vfmaq_f64(vmulq_f64(xr, vwi), xi, vwr);
+                    let ur = vld1q_f64(re.as_ptr().add(u + l));
+                    let ui = vld1q_f64(im.as_ptr().add(u + l));
+                    vst1q_f64(re.as_mut_ptr().add(u + l), vaddq_f64(ur, vr));
+                    vst1q_f64(im.as_mut_ptr().add(u + l), vaddq_f64(ui, vi));
+                    vst1q_f64(re.as_mut_ptr().add(v + l), vsubq_f64(ur, vr));
+                    vst1q_f64(im.as_mut_ptr().add(v + l), vsubq_f64(ui, vi));
+                    l += 2;
+                }
+                while l < lanes {
+                    let xr = re[v + l];
+                    let xi = im[v + l];
+                    let vr = xr * wr - xi * wi;
+                    let vi = xr * wi + xi * wr;
+                    let ur = re[u + l];
+                    let ui = im[u + l];
+                    re[u + l] = ur + vr;
+                    im[u + l] = ui + vi;
+                    re[v + l] = ur - vr;
+                    im[v + l] = ui - vi;
+                    l += 1;
+                }
+            }
+        }
+        pos += half;
+        len <<= 1;
+    }
+}
+
+pub fn mac_bcast(
+    sr: &mut [f64],
+    si: &mut [f64],
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    lanes: usize,
+) {
+    // SAFETY: see `mac`.
+    unsafe { mac_bcast_impl(sr, si, ar, ai, br, bi, lanes) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn mac_bcast_impl(
+    sr: &mut [f64],
+    si: &mut [f64],
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    lanes: usize,
+) {
+    let m = br.len();
+    for j in 0..m {
+        let wr = br[j];
+        let wi = bi[j];
+        let vwr = vdupq_n_f64(wr);
+        let vwi = vdupq_n_f64(wi);
+        let base = j * lanes;
+        let mut l = 0;
+        while l + 2 <= lanes {
+            let xr = vld1q_f64(ar.as_ptr().add(base + l));
+            let xi = vld1q_f64(ai.as_ptr().add(base + l));
+            let pr = vfmsq_f64(vmulq_f64(xr, vwr), xi, vwi);
+            let pi = vfmaq_f64(vmulq_f64(xr, vwi), xi, vwr);
+            let vsr = vld1q_f64(sr.as_ptr().add(base + l));
+            let vsi = vld1q_f64(si.as_ptr().add(base + l));
+            vst1q_f64(sr.as_mut_ptr().add(base + l), vaddq_f64(vsr, pr));
+            vst1q_f64(si.as_mut_ptr().add(base + l), vaddq_f64(vsi, pi));
+            l += 2;
+        }
+        while l < lanes {
+            let xr = ar[base + l];
+            let xi = ai[base + l];
+            sr[base + l] += xr * wr - xi * wi;
+            si[base + l] += xr * wi + xi * wr;
+            l += 1;
+        }
+    }
+}

@@ -109,11 +109,92 @@ pub fn sub_assign(dst: &mut [Torus32], src: &[Torus32]) {
     }
 }
 
+/// Fused wrapping `dst -= a + b` — the paired key-switch row
+/// subtraction. Equals two sequential [`sub_assign`] calls bit-for-bit
+/// (addition in `Z/2^32` is associative) while touching `dst` once.
+pub fn sub_assign2(dst: &mut [Torus32], a: &[Torus32], b: &[Torus32]) {
+    let n = dst.len();
+    let (dst, a, b) = (&mut dst[..n], &a[..n], &b[..n]);
+    for j in 0..n {
+        dst[j] -= a[j] + b[j];
+    }
+}
+
 /// Wrapping element-wise `dst += coeff * src` — the mask accumulation
 /// of the gate linear combinations (`coeff` is one of the small signed
 /// integers of the gate recipes).
 pub fn axpy(dst: &mut [Torus32], coeff: i32, src: &[Torus32]) {
     for (x, y) in dst.iter_mut().zip(src) {
         *x += coeff * *y;
+    }
+}
+
+/// Butterfly passes over a point-major batch: `lanes` consecutive
+/// values per frequency point, `m = len / lanes` points per buffer.
+/// Same stage/twiddle walk as [`fft_passes`], with each twiddle applied
+/// to every lane of its point pair.
+pub fn fft_passes_batch(
+    re: &mut [f64],
+    im: &mut [f64],
+    st_re: &[f64],
+    st_im: &[f64],
+    lanes: usize,
+) {
+    let m = re.len() / lanes;
+    let mut len = 2;
+    let mut pos = 0;
+    while len <= m {
+        let half = len / 2;
+        let w_re = &st_re[pos..pos + half];
+        let w_im = &st_im[pos..pos + half];
+        for start in (0..m).step_by(len) {
+            for j in 0..half {
+                let wr = w_re[j];
+                let wi = w_im[j];
+                let u = (start + j) * lanes;
+                let v = (start + j + half) * lanes;
+                for l in 0..lanes {
+                    let ur = re[u + l];
+                    let ui = im[u + l];
+                    let xr = re[v + l];
+                    let xi = im[v + l];
+                    let vr = xr * wr - xi * wi;
+                    let vi = xr * wi + xi * wr;
+                    re[u + l] = ur + vr;
+                    im[u + l] = ui + vi;
+                    re[v + l] = ur - vr;
+                    im[v + l] = ui - vi;
+                }
+            }
+        }
+        pos += half;
+        len <<= 1;
+    }
+}
+
+/// Broadcast multiply-accumulate over split complex slices:
+/// `s[point·lanes + l] += a[point·lanes + l] * b[point]` — the batched
+/// external product's MAC, loading each bootstrapping-key point once
+/// per batch.
+pub fn mac_bcast(
+    sr: &mut [f64],
+    si: &mut [f64],
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    lanes: usize,
+) {
+    let m = br.len();
+    for j in 0..m {
+        let wr = br[j];
+        let wi = bi[j];
+        let base = j * lanes;
+        for l in 0..lanes {
+            let xr = ar[base + l];
+            let xi = ai[base + l];
+            sr[base + l] += xr * wr - xi * wi;
+            si[base + l] += xr * wi + xi * wr;
+        }
     }
 }

@@ -17,6 +17,9 @@
 //!   path `PYTFHE_SIMD` selected (CI runs this suite once per setting).
 
 use proptest::prelude::*;
+use pytfhe_tfhe::fft::{FftPlan, FreqPoly, FreqPolyBatch};
+use pytfhe_tfhe::ntt::{self, Transform};
+use pytfhe_tfhe::poly::{IntPoly, TorusPoly};
 use pytfhe_tfhe::simd::{self, Kernels, SimdPath};
 use pytfhe_tfhe::torus::Torus32;
 use pytfhe_tfhe::{ClientKey, Params, SecureRng};
@@ -246,6 +249,57 @@ proptest! {
             prop_assert_eq!(&got, &p, "path={} n={}", k.path(), n);
         }
     }
+
+    /// Batched struct-of-arrays transforms are bit-equal to the
+    /// single-poly path on every backend: the full external-product
+    /// pipeline (forward digits, broadcast-MAC against one row, inverse,
+    /// round) must produce identical torus words lane by lane, at every
+    /// batch width 1..=8 — including ragged widths that leave masked
+    /// tails in the lane dimension.
+    #[test]
+    fn batched_transform_pipeline_bit_equal_with_single(
+        log_n in 3usize..9,
+        width in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let n = 1 << log_n;
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let plan = FftPlan::new(n);
+        let digits: Vec<IntPoly> = (0..width)
+            .map(|_| IntPoly::from_coeffs(
+                (0..n).map(|_| (rng.uniform_u32() % 128) as i32 - 64).collect(),
+            ))
+            .collect();
+        let row = plan.forward_torus(&TorusPoly::uniform(n, &mut rng));
+        let restore = simd::active_path();
+        for &path in SimdPath::ALL.iter() {
+            if !path.is_supported() {
+                continue;
+            }
+            prop_assert!(simd::set_active_path(path));
+            // Single-poly pipeline, one lane at a time.
+            let want: Vec<TorusPoly> = digits
+                .iter()
+                .map(|d| {
+                    let mut acc = FreqPoly::zero(n);
+                    acc.add_mul_assign(&plan.forward_int(d), &row);
+                    plan.inverse_torus(&acc)
+                })
+                .collect();
+            // Batched pipeline: all lanes in lockstep.
+            let mut batch = FreqPolyBatch::new(n, width);
+            let mut acc = FreqPolyBatch::new(n, width);
+            let mut tmp = FreqPoly::zero(n);
+            let refs: Vec<&IntPoly> = digits.iter().collect();
+            plan.forward_int_batch(&refs, &mut batch, &mut tmp);
+            acc.reset(width);
+            acc.add_mul_bcast(&batch, &row);
+            let mut got = vec![TorusPoly::zero(n); width];
+            plan.inverse_torus_batch(&mut acc, &mut tmp, &mut got);
+            prop_assert_eq!(&got, &want, "path={} n={} width={}", path, n, width);
+        }
+        simd::set_active_path(restore);
+    }
 }
 
 proptest! {
@@ -281,5 +335,41 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// NTT-vs-FFT transform agreement, exercised under every SIMD path
+    /// the host supports: an encrypted NAND round trip must decrypt to
+    /// the same (correct) bit whichever transform computed the blind
+    /// rotation. The NTT is exact integer arithmetic and the FFT rounds,
+    /// so the comparison is at the decrypted-bit level (the torus words
+    /// differ within the crypto noise budget).
+    #[test]
+    fn ntt_and_fft_nand_round_trips_agree_on_every_path(seed in any::<u64>()) {
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let client = ClientKey::generate(Params::testing(), &mut rng);
+        let server = client.server_key(&mut rng);
+        let mut scratch = server.gate_scratch();
+        let restore_path = simd::active_path();
+        let restore_transform = ntt::active_transform();
+        for &path in SimdPath::ALL.iter() {
+            if !path.is_supported() {
+                continue;
+            }
+            prop_assert!(simd::set_active_path(path));
+            for a in [false, true] {
+                for b in [false, true] {
+                    let ca = client.encrypt_bit(a, &mut rng);
+                    let cb = client.encrypt_bit(b, &mut rng);
+                    ntt::set_active_transform(Transform::Fft);
+                    let fft_bit = client.decrypt_bit(&server.nand_with(&ca, &cb, &mut scratch));
+                    ntt::set_active_transform(Transform::Ntt);
+                    let ntt_bit = client.decrypt_bit(&server.nand_with(&ca, &cb, &mut scratch));
+                    ntt::set_active_transform(restore_transform);
+                    prop_assert_eq!(fft_bit, !(a && b), "fft nand({a},{b}) on {}", path);
+                    prop_assert_eq!(ntt_bit, fft_bit, "ntt vs fft nand({a},{b}) on {}", path);
+                }
+            }
+        }
+        simd::set_active_path(restore_path);
     }
 }

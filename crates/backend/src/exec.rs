@@ -11,7 +11,7 @@ use crate::error::ExecError;
 use crate::fault::{FaultInjector, RetryPolicy, TaskFate};
 use crate::pool::{Job, SlotCells, WorkerPool};
 use pytfhe_netlist::topo::{LevelSchedule, Levels};
-use pytfhe_netlist::{Netlist, Node};
+use pytfhe_netlist::{GateKind, Netlist, Node};
 use pytfhe_telemetry as telemetry;
 use std::time::Instant;
 
@@ -55,6 +55,17 @@ pub struct ExecStats {
     /// Worker-pool tasks executed by a lane other than the one they
     /// were queued on (work-stealing activity; 0 on serial runs).
     pub steals: u64,
+    /// Fused LUT nodes evaluated (0 on boolean-decomposed programs).
+    pub luts: usize,
+    /// Batched LUT kernel launches (one per same-width group per worker
+    /// chunk; affine LUTs never launch a kernel).
+    pub lut_launches: u64,
+    /// Bootstraps the TFHE engine executes for this program: one per
+    /// binary gate plus one per non-affine LUT cone. `Not`, `Buf`,
+    /// constants, and affine LUTs are linear and cost none. This is the
+    /// honest denominator for LUT-lowering speedups — identical for the
+    /// plaintext engine, which runs the same schedule.
+    pub bootstraps: u64,
     /// Name of the SIMD kernel path the TFHE layer dispatched to
     /// (`"scalar"`, `"avx2"`, or `"neon"`; see `pytfhe_tfhe::simd`).
     pub simd_path: &'static str,
@@ -78,6 +89,9 @@ impl ExecStats {
             kernel_launches: 0,
             kernels_by_kind: [0; 16],
             steals: 0,
+            luts: 0,
+            lut_launches: 0,
+            bootstraps: 0,
             simd_path: pytfhe_tfhe::simd::active_path().name(),
         }
     }
@@ -106,6 +120,9 @@ impl ExecStats {
                 "  \"kernel_launches\": {kernel_launches},\n",
                 "  \"kernels_by_kind\": [{kinds}],\n",
                 "  \"steals\": {steals},\n",
+                "  \"luts\": {luts},\n",
+                "  \"lut_launches\": {lut_launches},\n",
+                "  \"bootstraps\": {bootstraps},\n",
                 "  \"simd_path\": \"{simd_path}\"\n",
                 "}}"
             ),
@@ -126,6 +143,9 @@ impl ExecStats {
             kernel_launches = self.kernel_launches,
             kinds = kinds,
             steals = self.steals,
+            luts = self.luts,
+            lut_launches = self.lut_launches,
+            bootstraps = self.bootstraps,
             simd_path = self.simd_path,
         )
     }
@@ -146,6 +166,9 @@ impl ExecStats {
         m.counter_add("exec_batches_total", self.batches as u64);
         m.counter_add("exec_kernel_launches_total", self.kernel_launches);
         m.counter_add("exec_steals_total", self.steals);
+        m.counter_add("exec_luts_total", self.luts as u64);
+        m.counter_add("exec_lut_launches_total", self.lut_launches);
+        m.counter_add("exec_bootstraps_total", self.bootstraps);
         m.observe_seconds("exec_wall_seconds", self.wall_s);
     }
 }
@@ -161,6 +184,13 @@ impl std::fmt::Display for ExecStats {
         )?;
         if let Some(w) = self.resumed_from_wave {
             write!(f, "\nresumed from wave {w}")?;
+        }
+        if self.luts > 0 {
+            write!(
+                f,
+                "\nfused LUTs        {}\nlut launches      {}\nbootstraps        {}",
+                self.luts, self.lut_launches, self.bootstraps
+            )?;
         }
         if self.retries > 0 || self.evicted_workers > 0 || self.checkpoints > 0 {
             write!(
@@ -196,6 +226,82 @@ impl std::fmt::Display for ExecStats {
 /// per-wave `thread::scope` spawns onto the shared pool.
 pub const PARALLEL_WAVE_MIN: usize = 2;
 
+/// Bootstraps the TFHE engine executes for `nl`: one per binary gate
+/// plus one per non-affine LUT cone
+/// ([`pytfhe_netlist::LutSpec::bootstraps`]). `Not`,
+/// `Buf`, constants, and affine LUTs are linear. All executors report
+/// this through [`ExecStats::bootstraps`], so boolean-decomposed and
+/// LUT-lowered runs of the same workload compare on one denominator.
+pub fn netlist_bootstraps(nl: &Netlist) -> u64 {
+    nl.nodes()
+        .iter()
+        .map(|node| match *node {
+            Node::Input => 0,
+            Node::Gate { kind, .. } => u64::from(!kind.is_const() && !kind.is_unary()),
+            Node::Lut { spec, .. } => spec.bootstraps(),
+        })
+        .sum()
+}
+
+/// Evaluates one scheduled node in place (shared by the serial paths of
+/// every executor). `msg_precision` is `Some` on LUT-lowered netlists,
+/// where constants must ride the message encoding.
+fn eval_node<E: GateEngine>(
+    engine: &E,
+    nodes: &[Node],
+    values: &mut [E::Value],
+    g: u32,
+    msg_precision: Option<u8>,
+    scratch: &mut E::Scratch,
+) {
+    let out = eval_node_value(engine, nodes, values, g, msg_precision, scratch);
+    values[g as usize] = out;
+}
+
+/// Allocating node evaluation against a read-only value table (the
+/// fault-tolerant executor's workers collect results off to the side).
+fn eval_node_value<E: GateEngine>(
+    engine: &E,
+    nodes: &[Node],
+    values: &[E::Value],
+    g: u32,
+    msg_precision: Option<u8>,
+    scratch: &mut E::Scratch,
+) -> E::Value {
+    match nodes[g as usize] {
+        Node::Gate { kind, a, b } => match msg_precision {
+            Some(p) if kind.is_const() => engine.constant_message(kind == GateKind::Const1, p),
+            _ => engine.eval(kind, &values[a.index()], &values[b.index()], scratch),
+        },
+        Node::Lut { spec, ins } => {
+            let refs = [
+                &values[ins[0].index()],
+                &values[ins[1].index()],
+                &values[ins[2].index()],
+                &values[ins[3].index()],
+            ];
+            engine.eval_lut(spec, &refs, scratch)
+        }
+        Node::Input => unreachable!("schedules contain only computed nodes"),
+    }
+}
+
+/// The `(table, leaf refs)` batch item for LUT node `g`.
+fn lut_item<'v, V>(nodes: &[Node], values: &'v [V], g: u32) -> (u16, [&'v V; 4]) {
+    let Node::Lut { spec, ins } = nodes[g as usize] else {
+        unreachable!("bucket contains only LUT nodes")
+    };
+    (
+        spec.table,
+        [
+            &values[ins[0].index()],
+            &values[ins[1].index()],
+            &values[ins[2].index()],
+            &values[ins[3].index()],
+        ],
+    )
+}
+
 /// Runs `nl` on `inputs` with a single thread, in node order (valid
 /// because netlists are topologically ordered by construction).
 ///
@@ -218,20 +324,23 @@ pub fn execute<E: GateEngine>(
     let mut values: Vec<E::Value> = vec![filler; nl.num_nodes()];
     let mut scratch = engine.scratch();
     let mut next_input = 0;
-    for (i, node) in nl.nodes().iter().enumerate() {
+    let msg_precision = nl.lut_precision();
+    let nodes = nl.nodes();
+    for (i, node) in nodes.iter().enumerate() {
         match *node {
             Node::Input => {
                 values[i] = inputs[next_input].clone();
                 next_input += 1;
             }
-            Node::Gate { kind, a, b } => {
-                let out = engine.eval(kind, &values[a.index()], &values[b.index()], &mut scratch);
-                values[i] = out;
+            Node::Gate { .. } | Node::Lut { .. } => {
+                eval_node(engine, nodes, &mut values, i as u32, msg_precision, &mut scratch);
             }
         }
     }
     let outputs = nl.outputs().iter().map(|o| values[o.index()].clone()).collect();
     let mut stats = ExecStats::for_gates(nl.num_gates());
+    stats.luts = nl.num_luts();
+    stats.bootstraps = netlist_bootstraps(nl);
     stats.wall_s = start.elapsed().as_secs_f64();
     stats.record_metrics();
     Ok((outputs, stats))
@@ -273,9 +382,11 @@ pub fn execute_parallel<E: GateEngine>(
         values[slot.index()] = input.clone();
     }
     let nodes = nl.nodes();
+    let msg_precision = nl.lut_precision();
     let grain = engine.parallel_grain().max(PARALLEL_WAVE_MIN);
     let mut waves_run = 0;
     let mut steals = 0u64;
+    let mut lut_launches = 0u64;
     // Serial scratch is created lazily once and reused across every
     // narrow wave; pool scratches are grown to the widest fan-out seen
     // so far and reused across waves (keyed by chunk index so the
@@ -286,6 +397,11 @@ pub fn execute_parallel<E: GateEngine>(
     // Stage buffer for pooled waves: workers write results here and
     // the main thread swaps them into `values` after the barrier.
     let mut stage: Vec<E::Value> = Vec::new();
+    // Per-wave partition, reused across waves: gates and affine LUTs in
+    // wave order, bootstrapping LUTs bucketed by (width, precision) so
+    // each bucket dispatches as batched same-width kernels.
+    let mut inline: Vec<u32> = Vec::new();
+    let mut buckets: std::collections::BTreeMap<(u8, u8), Vec<u32>> = Default::default();
     for (wave_idx, wave) in schedule.waves.iter().enumerate() {
         if wave.is_empty() {
             continue;
@@ -294,60 +410,127 @@ pub fn execute_parallel<E: GateEngine>(
         let _wave_span =
             telemetry::span_with("exec", || format!("wave {wave_idx}: {} gates", wave.len()));
         telemetry::counter_sample("exec", "wave_width", wave.len() as f64);
+        inline.clear();
+        buckets.values_mut().for_each(Vec::clear);
+        for &g in wave {
+            match nodes[g as usize] {
+                Node::Lut { spec, .. } if spec.bootstraps() > 0 => {
+                    buckets.entry((spec.width, spec.precision)).or_default().push(g);
+                }
+                _ => inline.push(g),
+            }
+        }
         if wave.len() < grain || workers == 1 {
-            // Serial fast path: no pool dispatch for narrow waves.
+            // Serial fast path: no pool dispatch for narrow waves, but
+            // LUT buckets still go through the batched kernels.
             let scratch = serial_scratch.get_or_insert_with(|| engine.scratch());
-            for &g in wave {
-                let Node::Gate { kind, a, b } = nodes[g as usize] else { unreachable!() };
-                values[g as usize] =
-                    engine.eval(kind, &values[a.index()], &values[b.index()], scratch);
+            for &g in &inline {
+                eval_node(engine, nodes, &mut values, g, msg_precision, scratch);
+            }
+            for (&(w, p), ids) in buckets.iter().filter(|(_, ids)| !ids.is_empty()) {
+                if stage.len() < ids.len() {
+                    stage.resize_with(ids.len(), || engine.constant(false));
+                }
+                let items: Vec<_> = ids.iter().map(|&g| lut_item(nodes, &values, g)).collect();
+                engine.eval_lut_batch(w, p, &items, &mut stage[..ids.len()], scratch);
+                drop(items);
+                lut_launches += 1;
+                for (i, &g) in ids.iter().enumerate() {
+                    std::mem::swap(&mut values[g as usize], &mut stage[i]);
+                }
             }
             continue;
         }
         let chunk = wave.len().div_ceil(workers);
-        let n_chunks = wave.len().div_ceil(chunk);
-        while pool_scratches.len() < n_chunks {
-            pool_scratches.push(engine.scratch());
-        }
         if stage.len() < wave.len() {
             stage.resize_with(wave.len(), || engine.constant(false));
         }
+        // Count the chunks first so every job gets a dedicated scratch
+        // slot.
+        let n_chunks = inline.len().div_ceil(chunk)
+            + buckets.values().map(|ids| ids.len().div_ceil(chunk)).sum::<usize>();
+        while pool_scratches.len() < n_chunks {
+            pool_scratches.push(engine.scratch());
+        }
         let cells = SlotCells::new(std::mem::take(&mut pool_scratches));
+        let cells_ref = &cells;
         let values_ref = &values;
-        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(n_chunks);
-        for ((slot, part), stage_part) in
-            wave.chunks(chunk).enumerate().zip(stage[..wave.len()].chunks_mut(chunk))
-        {
-            let cells_ref = &cells;
-            jobs.push(Box::new(move |lane| {
-                let _chunk_span = telemetry::worker_span_with(
-                    "exec",
-                    || format!("wave {wave_idx} chunk: {} gates", part.len()),
-                    lane as u32,
-                );
-                // SAFETY: `slot` is unique per job (one chunk, one
-                // slot), so no two jobs touch the same scratch.
-                let scratch = unsafe { cells_ref.slot(slot) };
-                for (&g, out) in part.iter().zip(stage_part.iter_mut()) {
-                    let Node::Gate { kind, a, b } = nodes[g as usize] else {
-                        unreachable!("schedule contains only gates")
-                    };
-                    engine.eval_into(
-                        kind,
-                        &values_ref[a.index()],
-                        &values_ref[b.index()],
-                        scratch,
-                        out,
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        let mut stage_rest: &mut [E::Value] = &mut stage[..wave.len()];
+        let mut slot = 0usize;
+        if !inline.is_empty() {
+            let (inline_stage, rest) = stage_rest.split_at_mut(inline.len());
+            stage_rest = rest;
+            for (part, stage_part) in inline.chunks(chunk).zip(inline_stage.chunks_mut(chunk)) {
+                let job_slot = slot;
+                slot += 1;
+                jobs.push(Box::new(move |lane| {
+                    let _chunk_span = telemetry::worker_span_with(
+                        "exec",
+                        || format!("wave {wave_idx} chunk: {} gates", part.len()),
+                        lane as u32,
                     );
-                }
-            }));
+                    // SAFETY: `job_slot` is unique per job (one chunk,
+                    // one slot), so no two jobs touch the same scratch.
+                    let scratch = unsafe { cells_ref.slot(job_slot) };
+                    for (&g, out) in part.iter().zip(stage_part.iter_mut()) {
+                        match nodes[g as usize] {
+                            Node::Gate { kind, a, b } => match msg_precision {
+                                Some(p) if kind.is_const() => {
+                                    *out = engine.constant_message(kind == GateKind::Const1, p);
+                                }
+                                _ => engine.eval_into(
+                                    kind,
+                                    &values_ref[a.index()],
+                                    &values_ref[b.index()],
+                                    scratch,
+                                    out,
+                                ),
+                            },
+                            Node::Lut { spec, ins } => {
+                                let refs = [
+                                    &values_ref[ins[0].index()],
+                                    &values_ref[ins[1].index()],
+                                    &values_ref[ins[2].index()],
+                                    &values_ref[ins[3].index()],
+                                ];
+                                engine.eval_lut_into(spec, &refs, scratch, out);
+                            }
+                            Node::Input => unreachable!("schedules contain only computed nodes"),
+                        }
+                    }
+                }));
+            }
+        }
+        for (&(w, p), ids) in buckets.iter().filter(|(_, ids)| !ids.is_empty()) {
+            let (bucket_stage, rest) = stage_rest.split_at_mut(ids.len());
+            stage_rest = rest;
+            for (part, stage_part) in ids.chunks(chunk).zip(bucket_stage.chunks_mut(chunk)) {
+                let job_slot = slot;
+                slot += 1;
+                lut_launches += 1;
+                jobs.push(Box::new(move |lane| {
+                    let _chunk_span = telemetry::worker_span_with(
+                        "exec",
+                        || format!("wave {wave_idx} lut{w} chunk: {} cones", part.len()),
+                        lane as u32,
+                    );
+                    // SAFETY: unique slot per job, as above.
+                    let scratch = unsafe { cells_ref.slot(job_slot) };
+                    let items: Vec<_> =
+                        part.iter().map(|&g| lut_item(nodes, values_ref, g)).collect();
+                    engine.eval_lut_batch(w, p, &items, stage_part, scratch);
+                }));
+            }
         }
         let run = WorkerPool::global().run(workers, jobs);
         pool_scratches = cells.into_inner();
         steals += run?.steals;
-        // Barrier passed: publish the staged wave results. Swap (not
+        // Barrier passed: publish the staged wave results in partition
+        // order (inline nodes first, then the LUT buckets). Swap (not
         // clone) so ciphertext buffers move without reallocation.
-        for (i, &g) in wave.iter().enumerate() {
+        let order = inline.iter().chain(buckets.values().flatten());
+        for (i, &g) in order.enumerate() {
             std::mem::swap(&mut values[g as usize], &mut stage[i]);
         }
     }
@@ -355,6 +538,9 @@ pub fn execute_parallel<E: GateEngine>(
     let mut stats = ExecStats::for_gates(nl.num_gates());
     stats.waves = waves_run;
     stats.steals = steals;
+    stats.luts = nl.num_luts();
+    stats.lut_launches = lut_launches;
+    stats.bootstraps = netlist_bootstraps(nl);
     stats.wall_s = start.elapsed().as_secs_f64();
     stats.record_metrics();
     Ok((outputs, stats))
@@ -439,6 +625,9 @@ where
     let levels = Levels::compute(nl);
     let schedule = LevelSchedule::from_levels(nl, &levels);
     let mut stats = ExecStats::for_gates(nl.num_gates());
+    stats.luts = nl.num_luts();
+    stats.bootstraps = netlist_bootstraps(nl);
+    let msg_precision = nl.lut_precision();
     let filler = engine.constant(false);
     let mut values: Vec<E::Value> = vec![filler; nl.num_nodes()];
     for (slot, input) in nl.inputs().iter().zip(inputs) {
@@ -450,15 +639,23 @@ where
     let nodes = nl.nodes();
     let mut last_read = vec![0u32; nl.num_nodes()];
     for (i, node) in nodes.iter().enumerate() {
-        if let Node::Gate { kind, a, b } = *node {
-            if kind.is_const() {
-                continue;
+        let l = levels.level[i];
+        match *node {
+            Node::Gate { kind, a, b } => {
+                if kind.is_const() {
+                    continue;
+                }
+                last_read[a.index()] = last_read[a.index()].max(l);
+                if !kind.is_unary() {
+                    last_read[b.index()] = last_read[b.index()].max(l);
+                }
             }
-            let l = levels.level[i];
-            last_read[a.index()] = last_read[a.index()].max(l);
-            if !kind.is_unary() {
-                last_read[b.index()] = last_read[b.index()].max(l);
+            Node::Lut { spec, ins } => {
+                for id in &ins[..spec.width as usize] {
+                    last_read[id.index()] = last_read[id.index()].max(l);
+                }
             }
+            Node::Input => {}
         }
     }
     let mut is_output = vec![false; nl.num_nodes()];
@@ -513,7 +710,15 @@ where
                     .map(|(part, &worker)| {
                         let handle = scope.spawn(move || {
                             run_chunk(
-                                engine, nodes, values_ref, part, wave_idx, worker, faults, policy,
+                                engine,
+                                nodes,
+                                values_ref,
+                                part,
+                                wave_idx,
+                                worker,
+                                faults,
+                                policy,
+                                msg_precision,
                             )
                         });
                         (worker, handle)
@@ -559,7 +764,7 @@ where
             if let Some(store) = store.as_deref_mut() {
                 let frontier = (0..nl.num_nodes()).filter_map(|i| {
                     let computed_gate =
-                        matches!(nodes[i], Node::Gate { .. }) && levels.level[i] <= wave_idx as u32;
+                        !matches!(nodes[i], Node::Input) && levels.level[i] <= wave_idx as u32;
                     let live = last_read[i] > wave_idx as u32 || is_output[i];
                     (computed_gate && live).then(|| (i as u32, &values[i]))
                 });
@@ -590,6 +795,7 @@ fn run_chunk<E, F>(
     worker: usize,
     faults: &F,
     policy: &RetryPolicy,
+    msg_precision: Option<u8>,
 ) -> WorkerOutcome<E::Value>
 where
     E: GateEngine,
@@ -607,9 +813,6 @@ where
     let mut results = Vec::with_capacity(part.len());
     let mut retries = 0u64;
     for &g in part {
-        let Node::Gate { kind, a, b } = nodes[g as usize] else {
-            unreachable!("schedule contains only gates")
-        };
         let mut attempt = 0u32;
         loop {
             attempt += 1;
@@ -643,7 +846,7 @@ where
                 std::thread::sleep(policy.backoff(g, attempt));
                 continue;
             }
-            let out = engine.eval(kind, &values[a.index()], &values[b.index()], &mut scratch);
+            let out = eval_node_value(engine, nodes, values, g, msg_precision, &mut scratch);
             results.push((g, out));
             break;
         }

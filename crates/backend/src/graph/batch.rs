@@ -2,20 +2,37 @@
 //! into same-kind [`GateGroup`]s, the unit a replay dispatches as one
 //! batched kernel.
 
-use crate::graph::plan::{GateGroup, GateTask, WavePlan};
+use crate::graph::plan::{GateGroup, GateTask, LutGroup, LutTask, WavePlan};
 use pytfhe_netlist::{GateKind, Netlist, Node};
+use std::collections::BTreeMap;
 
-/// Groups one wave's gate nodes by gate kind, preserving node order
-/// within each group. Group order follows the opcode table so captures
-/// are deterministic regardless of netlist construction order.
+/// Groups one wave's gate nodes by gate kind and its fused LUT nodes by
+/// `(width, precision, bootstrapping)`, preserving node order within
+/// each group. Group order follows the opcode table (gates) and the
+/// bucket key (LUTs) so captures are deterministic regardless of
+/// netlist construction order. Splitting affine LUTs (width-1
+/// constants, buffers, negations) from bootstrapping ones keeps every
+/// [`LutGroup`] homogeneous, so a replay picks the batched-PBS or
+/// linear path per group.
 pub(crate) fn group_wave(nl: &Netlist, wave: &[u32]) -> WavePlan {
     // Bucket by opcode: 16 possible kinds, most waves use a handful.
     let mut buckets: [Vec<GateTask>; 16] = Default::default();
+    let mut lut_buckets: BTreeMap<(u8, u8, bool), Vec<LutTask>> = BTreeMap::new();
     for &id in wave {
-        let Node::Gate { kind, a, b } = nl.node(pytfhe_netlist::NodeId(id)) else {
-            continue; // inputs are fed by the caller, not evaluated
-        };
-        buckets[kind.opcode() as usize].push(GateTask { out: id, a: a.0, b: b.0 });
+        match nl.node(pytfhe_netlist::NodeId(id)) {
+            Node::Gate { kind, a, b } => {
+                buckets[kind.opcode() as usize].push(GateTask { out: id, a: a.0, b: b.0 });
+            }
+            Node::Lut { spec, ins } => {
+                let key = (spec.width, spec.precision, spec.bootstraps() > 0);
+                lut_buckets.entry(key).or_default().push(LutTask {
+                    out: id,
+                    table: spec.table,
+                    ins: [ins[0].0, ins[1].0, ins[2].0, ins[3].0],
+                });
+            }
+            Node::Input => {} // inputs are fed by the caller, not evaluated
+        }
     }
     let groups = buckets
         .into_iter()
@@ -26,7 +43,11 @@ pub(crate) fn group_wave(nl: &Netlist, wave: &[u32]) -> WavePlan {
             tasks,
         })
         .collect();
-    WavePlan { groups }
+    let lut_groups = lut_buckets
+        .into_iter()
+        .map(|((width, precision, _), tasks)| LutGroup { width, precision, tasks })
+        .collect();
+    WavePlan { groups, lut_groups }
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub fn capture(nl: &Netlist, cfg: &CaptureConfig) -> Result<KernelPlan, ExecErro
     let mut cur_gates = 0u64;
     for wave in &sched.waves {
         let plan: WavePlan = group_wave(nl, wave);
-        if plan.groups.is_empty() {
+        if plan.groups.is_empty() && plan.lut_groups.is_empty() {
             continue;
         }
         cur_gates += plan.bootstrapped();
@@ -61,6 +61,7 @@ pub fn capture(nl: &Netlist, cfg: &CaptureConfig) -> Result<KernelPlan, ExecErro
         inputs: nl.inputs().iter().map(|id| id.0).collect(),
         outputs: nl.outputs().iter().map(|id| id.0).collect(),
         batches,
+        message_precision: nl.lut_precision().unwrap_or(0),
     })
 }
 

@@ -27,7 +27,9 @@ mod plan;
 mod replay;
 
 pub use capture::{capture, CaptureConfig};
-pub use plan::{counts_toward_batch, GateGroup, GateTask, KernelPlan, SubGraph, WavePlan};
+pub use plan::{
+    counts_toward_batch, GateGroup, GateTask, KernelPlan, LutGroup, LutTask, SubGraph, WavePlan,
+};
 pub use replay::{replay, ReplayLanes, ReplayReport};
 
 use crate::checkpoint::netlist_fingerprint;
@@ -150,6 +152,9 @@ impl KernelGraph {
         stats.kernel_launches = report.kernel_launches;
         stats.kernels_by_kind = report.kernels_by_kind;
         stats.steals = report.steals;
+        stats.luts = report.luts;
+        stats.lut_launches = report.lut_launches;
+        stats.bootstraps = plan.bootstraps();
         stats.plan_cached = cached;
         stats.capture_s = capture_s;
         stats.replay_s = replay_start.elapsed().as_secs_f64();

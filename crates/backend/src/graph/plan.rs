@@ -4,7 +4,7 @@
 //! like the paper's serialized CUDA graphs.
 
 use crate::error::ExecError;
-use pytfhe_netlist::GateKind;
+use pytfhe_netlist::{GateKind, LutSpec};
 use pytfhe_wire as wire;
 use pytfhe_wire::Vintage;
 
@@ -31,6 +31,52 @@ pub struct GateGroup {
     pub tasks: Vec<GateTask>,
 }
 
+/// One fused LUT instance inside a batched programmable-bootstrap
+/// kernel: look up `table` on the message-encoded leaves in `ins` (only
+/// the group width's prefix is read; unused slots repeat a valid slot,
+/// exactly as [`pytfhe_netlist::Node::Lut`] pads them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LutTask {
+    /// Destination value slot (the netlist node id).
+    pub out: u32,
+    /// Truth table: bit `j` is the output for leaf pattern `j`.
+    pub table: u16,
+    /// Leaf value slots, LSB-first.
+    pub ins: [u32; 4],
+}
+
+/// All fused LUTs of one width and precision within one wave — replayed
+/// as a single batched programmable-bootstrap launch. Capture keeps
+/// groups *homogeneous*: either every task bootstraps or every task is
+/// affine (width-1 constants, buffers, negations), so a replay picks the
+/// batched-PBS or linear path per group, never per task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LutGroup {
+    /// Leaves read by every task.
+    pub width: u8,
+    /// Message precision (bits) of the wire encoding.
+    pub precision: u8,
+    /// The independent LUT instances.
+    pub tasks: Vec<LutTask>,
+}
+
+impl LutGroup {
+    /// The [`LutSpec`] of one task in this group.
+    pub fn spec_of(&self, task: &LutTask) -> LutSpec {
+        LutSpec::new(self.width, self.precision, task.table)
+    }
+
+    /// Programmable bootstraps this group launches.
+    pub fn bootstraps(&self) -> u64 {
+        self.tasks.iter().map(|t| self.spec_of(t).bootstraps()).sum()
+    }
+
+    /// Whether every task is affine (evaluated without a bootstrap).
+    pub fn is_affine(&self) -> bool {
+        self.bootstraps() == 0
+    }
+}
+
 /// One topological wave: groups are mutually independent (they only read
 /// slots written by earlier waves), so a replay may run them — and the
 /// tasks within them — in any order or in parallel.
@@ -38,23 +84,39 @@ pub struct GateGroup {
 pub struct WavePlan {
     /// Same-kind kernel groups.
     pub groups: Vec<GateGroup>,
+    /// Same-width fused-LUT kernel groups (empty on boolean-decomposed
+    /// programs).
+    pub lut_groups: Vec<LutGroup>,
 }
 
 impl WavePlan {
-    /// Gates across all groups.
+    /// Gates across all groups (fused LUTs not included; see
+    /// [`WavePlan::num_luts`]).
     pub fn num_gates(&self) -> usize {
         self.groups.iter().map(|g| g.tasks.len()).sum()
     }
 
+    /// Fused LUT tasks across all LUT groups.
+    pub fn num_luts(&self) -> usize {
+        self.lut_groups.iter().map(|g| g.tasks.len()).sum()
+    }
+
+    /// Every task the wave stages: gates plus fused LUTs.
+    pub fn num_tasks(&self) -> usize {
+        self.num_gates() + self.num_luts()
+    }
+
     /// Gates that cost a bootstrap under the simulator's accounting
     /// (everything but constants and buffers), i.e. the count the
-    /// batch-cut rule accumulates.
+    /// batch-cut rule accumulates, plus the programmable bootstraps of
+    /// the wave's fused LUTs.
     pub fn bootstrapped(&self) -> u64 {
         self.groups
             .iter()
             .filter(|g| counts_toward_batch(g.kind))
             .map(|g| g.tasks.len() as u64)
-            .sum()
+            .sum::<u64>()
+            + self.lut_groups.iter().map(LutGroup::bootstraps).sum::<u64>()
     }
 }
 
@@ -101,12 +163,44 @@ pub struct KernelPlan {
     pub outputs: Vec<u32>,
     /// The sub-graph batches in execution order.
     pub batches: Vec<SubGraph>,
+    /// Message precision (bits) of every wire on a LUT-lowered program,
+    /// or 0 for boolean-decomposed programs. Nonzero precision switches
+    /// constants to the message encoding and marks the plan for the v3
+    /// wire layout.
+    pub message_precision: u8,
 }
 
 impl KernelPlan {
     /// Total gates across all batches.
     pub fn num_gates(&self) -> usize {
         self.batches.iter().map(|b| b.waves.iter().map(WavePlan::num_gates).sum::<usize>()).sum()
+    }
+
+    /// Total fused LUT tasks across all batches.
+    pub fn num_luts(&self) -> usize {
+        self.batches.iter().map(|b| b.waves.iter().map(WavePlan::num_luts).sum::<usize>()).sum()
+    }
+
+    /// Whether any wave carries fused LUT groups.
+    pub fn has_luts(&self) -> bool {
+        self.batches.iter().flat_map(|b| &b.waves).any(|w| !w.lut_groups.is_empty())
+    }
+
+    /// Bootstraps a replay executes: binary gates plus non-affine LUT
+    /// cones (`Not`, `Buf`, constants, and affine LUTs are linear).
+    pub fn bootstraps(&self) -> u64 {
+        self.batches
+            .iter()
+            .flat_map(|b| &b.waves)
+            .map(|w| {
+                w.groups
+                    .iter()
+                    .filter(|g| !g.kind.is_const() && !g.kind.is_unary())
+                    .map(|g| g.tasks.len() as u64)
+                    .sum::<u64>()
+                    + w.lut_groups.iter().map(LutGroup::bootstraps).sum::<u64>()
+            })
+            .sum()
     }
 
     /// Scheduling waves across all batches.
@@ -126,11 +220,11 @@ impl KernelPlan {
             .unwrap_or(0)
     }
 
-    /// The widest wave (gates across all of its groups) — the staging
-    /// arena a whole-wave parallel replay needs, since every group of a
-    /// wave is staged before any result is scattered back.
+    /// The widest wave (gate *and* LUT tasks across all of its groups) —
+    /// the staging arena a whole-wave parallel replay needs, since every
+    /// group of a wave is staged before any result is scattered back.
     pub fn max_wave_len(&self) -> usize {
-        self.batches.iter().flat_map(|b| &b.waves).map(WavePlan::num_gates).max().unwrap_or(0)
+        self.batches.iter().flat_map(|b| &b.waves).map(WavePlan::num_tasks).max().unwrap_or(0)
     }
 }
 
@@ -138,24 +232,37 @@ impl KernelPlan {
 const PLAN_MAGIC: &[u8; 4] = b"PTKG";
 /// Legacy pre-envelope version byte.
 const PLAN_VERSION: u8 = 1;
-/// Current plan body version inside the wire envelope. The body layout
-/// is byte-identical to legacy v1 after its magic+version prefix; the
-/// envelope adds the integrity and versioning the raw layout lacked.
+/// Plan body version inside the wire envelope for boolean-decomposed
+/// plans. The body layout is byte-identical to legacy v1 after its
+/// magic+version prefix; the envelope adds the integrity and versioning
+/// the raw layout lacked.
 const PLAN_WIRE_VERSION: u16 = 2;
+/// Plan body version for LUT-lowered plans: v2 plus a message-precision
+/// byte after the node count and a fused-LUT group section per wave.
+/// LUT-free plans keep encoding as v2, byte for byte, so existing
+/// cached artifacts and golden fixtures are untouched.
+const PLAN_WIRE_VERSION_LUT: u16 = 3;
 
 impl KernelPlan {
     /// Serializes the plan into a checksummed
     /// [`wire envelope`](pytfhe_wire): magic, format id, version,
-    /// payload length, CRC32C over header and payload.
+    /// payload length, CRC32C over header and payload. Plans without
+    /// fused LUTs use the v2 body; LUT-lowered plans the v3 body.
     pub fn to_bytes(&self) -> Vec<u8> {
-        wire::encode(wire::Format::KernelPlan, PLAN_WIRE_VERSION, &self.body_bytes())
+        let with_luts = self.has_luts() || self.message_precision != 0;
+        let version = if with_luts { PLAN_WIRE_VERSION_LUT } else { PLAN_WIRE_VERSION };
+        wire::encode(wire::Format::KernelPlan, version, &self.body_bytes(with_luts))
     }
 
-    /// The plan body shared by the enveloped and legacy layouts.
-    fn body_bytes(&self) -> Vec<u8> {
+    /// The plan body shared by the enveloped and legacy layouts
+    /// (`with_luts` selects the v3 extensions).
+    fn body_bytes(&self, with_luts: bool) -> Vec<u8> {
         let mut out = Vec::new();
         put_u64(&mut out, self.fingerprint);
         put_u64(&mut out, self.num_nodes as u64);
+        if with_luts {
+            out.push(self.message_precision);
+        }
         put_u32_list(&mut out, &self.inputs);
         put_u32_list(&mut out, &self.outputs);
         put_u32(&mut out, self.batches.len() as u32);
@@ -170,6 +277,21 @@ impl KernelPlan {
                         put_u32(&mut out, t.out);
                         put_u32(&mut out, t.a);
                         put_u32(&mut out, t.b);
+                    }
+                }
+                if with_luts {
+                    put_u32(&mut out, wave.lut_groups.len() as u32);
+                    for group in &wave.lut_groups {
+                        out.push(group.width);
+                        out.push(group.precision);
+                        put_u32(&mut out, group.tasks.len() as u32);
+                        for t in &group.tasks {
+                            put_u32(&mut out, t.out);
+                            out.extend_from_slice(&t.table.to_le_bytes());
+                            for slot in t.ins {
+                                put_u32(&mut out, slot);
+                            }
+                        }
                     }
                 }
             }
@@ -204,9 +326,10 @@ impl KernelPlan {
             let env = wire::decode_expecting(
                 bytes,
                 wire::Format::KernelPlan,
-                PLAN_WIRE_VERSION..=PLAN_WIRE_VERSION,
+                PLAN_WIRE_VERSION..=PLAN_WIRE_VERSION_LUT,
             )?;
-            return Ok((Self::parse_body(env.payload)?, Vintage::Current));
+            let with_luts = env.version == PLAN_WIRE_VERSION_LUT;
+            return Ok((Self::parse_body(env.payload, with_luts)?, Vintage::Current));
         }
         let mut r = Reader { bytes, pos: 0 };
         if r.take(4)? != PLAN_MAGIC {
@@ -215,14 +338,18 @@ impl KernelPlan {
         if r.u8()? != PLAN_VERSION {
             return Err(bad("unsupported version"));
         }
-        Ok((Self::parse_body(&bytes[5..])?, Vintage::Legacy))
+        Ok((Self::parse_body(&bytes[5..], false)?, Vintage::Legacy))
     }
 
-    /// Parses the shared body layout.
-    fn parse_body(bytes: &[u8]) -> Result<Self, ExecError> {
+    /// Parses the shared body layout (`with_luts` for the v3 extensions).
+    fn parse_body(bytes: &[u8], with_luts: bool) -> Result<Self, ExecError> {
         let mut r = Reader { bytes, pos: 0 };
         let fingerprint = r.u64()?;
         let num_nodes = usize::try_from(r.u64()?).map_err(|_| bad("node count overflow"))?;
+        let message_precision = if with_luts { r.u8()? } else { 0 };
+        if message_precision > 4 {
+            return Err(bad("message precision out of range"));
+        }
         let inputs = r.u32_list()?;
         let outputs = r.u32_list()?;
         let num_batches = r.u32()? as usize;
@@ -242,14 +369,36 @@ impl KernelPlan {
                     }
                     groups.push(GateGroup { kind, tasks });
                 }
-                waves.push(WavePlan { groups });
+                let mut lut_groups = Vec::new();
+                if with_luts {
+                    let num_lut_groups = r.u32()? as usize;
+                    lut_groups.reserve(num_lut_groups.min(1024));
+                    for _ in 0..num_lut_groups {
+                        let width = r.u8()?;
+                        let precision = r.u8()?;
+                        if !(1..=4).contains(&width) || precision < width || precision > 4 {
+                            return Err(bad("bad LUT group shape"));
+                        }
+                        let num_tasks = r.u32()? as usize;
+                        let mut tasks = Vec::with_capacity(num_tasks.min(65_536));
+                        for _ in 0..num_tasks {
+                            let out = r.u32()?;
+                            let table = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
+                            let ins = [r.u32()?, r.u32()?, r.u32()?, r.u32()?];
+                            tasks.push(LutTask { out, table, ins });
+                        }
+                        lut_groups.push(LutGroup { width, precision, tasks });
+                    }
+                }
+                waves.push(WavePlan { groups, lut_groups });
             }
             batches.push(SubGraph { waves });
         }
         if r.pos != bytes.len() {
             return Err(bad("trailing bytes"));
         }
-        let plan = KernelPlan { fingerprint, num_nodes, inputs, outputs, batches };
+        let plan =
+            KernelPlan { fingerprint, num_nodes, inputs, outputs, batches, message_precision };
         plan.check_slots()?;
         Ok(plan)
     }
@@ -266,7 +415,14 @@ impl KernelPlan {
             .flat_map(|w| &w.groups)
             .flat_map(|g| &g.tasks)
             .all(|t| ok(t.out) && ok(t.a) && ok(t.b));
-        if wires && gates {
+        let luts = self
+            .batches
+            .iter()
+            .flat_map(|b| &b.waves)
+            .flat_map(|w| &w.lut_groups)
+            .flat_map(|g| &g.tasks)
+            .all(|t| ok(t.out) && t.ins.iter().all(|&s| ok(s)));
+        if wires && gates && luts {
             Ok(())
         } else {
             Err(bad("slot out of range"))
@@ -357,6 +513,7 @@ mod tests {
                                 tasks: vec![GateTask { out: 4, a: 0, b: 0 }],
                             },
                         ],
+                        lut_groups: vec![],
                     }],
                 },
                 SubGraph {
@@ -368,9 +525,44 @@ mod tests {
                                 GateTask { out: 6, a: 3, b: 4 },
                             ],
                         }],
+                        lut_groups: vec![],
                     }],
                 },
             ],
+            message_precision: 0,
+        }
+    }
+
+    fn sample_lut_plan() -> KernelPlan {
+        KernelPlan {
+            fingerprint: 0x1234_5678_9ABC_DEF0,
+            num_nodes: 6,
+            inputs: vec![0, 1, 2],
+            outputs: vec![5],
+            batches: vec![SubGraph {
+                waves: vec![
+                    WavePlan {
+                        groups: vec![],
+                        lut_groups: vec![LutGroup {
+                            width: 3,
+                            precision: 3,
+                            tasks: vec![
+                                LutTask { out: 3, table: 0b1001_0110, ins: [0, 1, 2, 0] },
+                                LutTask { out: 4, table: 0b1110_1000, ins: [0, 1, 2, 0] },
+                            ],
+                        }],
+                    },
+                    WavePlan {
+                        groups: vec![],
+                        lut_groups: vec![LutGroup {
+                            width: 1,
+                            precision: 3,
+                            tasks: vec![LutTask { out: 5, table: 0b01, ins: [3, 3, 3, 3] }],
+                        }],
+                    },
+                ],
+            }],
+            message_precision: 3,
         }
     }
 
@@ -380,7 +572,7 @@ mod tests {
         let mut out = Vec::new();
         out.extend_from_slice(PLAN_MAGIC);
         out.push(PLAN_VERSION);
-        out.extend_from_slice(&plan.body_bytes());
+        out.extend_from_slice(&plan.body_bytes(false));
         out
     }
 
@@ -391,6 +583,56 @@ mod tests {
         let (back, vintage) = KernelPlan::from_bytes_tagged(&bytes).unwrap();
         assert_eq!(back, plan);
         assert_eq!(vintage, Vintage::Current);
+    }
+
+    #[test]
+    fn lut_free_plans_stay_on_the_v2_layout() {
+        // A LUT-free plan's bytes must not change when the encoder
+        // learns the v3 extensions: cached artifacts written before the
+        // LUT era stay valid, and v2-only readers keep working.
+        let plan = sample_plan();
+        let bytes = plan.to_bytes();
+        let env = pytfhe_wire::decode(&bytes).unwrap();
+        assert_eq!(env.version, PLAN_WIRE_VERSION);
+    }
+
+    #[test]
+    fn lut_plans_round_trip_on_the_v3_layout() {
+        let plan = sample_lut_plan();
+        assert!(plan.has_luts());
+        let bytes = plan.to_bytes();
+        let env = pytfhe_wire::decode(&bytes).unwrap();
+        assert_eq!(env.version, PLAN_WIRE_VERSION_LUT);
+        let (back, vintage) = KernelPlan::from_bytes_tagged(&bytes).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(vintage, Vintage::Current);
+    }
+
+    #[test]
+    fn lut_accounting_distinguishes_affine_cones() {
+        let plan = sample_lut_plan();
+        assert_eq!(plan.num_luts(), 3);
+        // Two width-3 cones bootstrap; the width-1 negation is affine.
+        assert_eq!(plan.bootstraps(), 2);
+        let wave1 = &plan.batches[0].waves[1];
+        assert!(wave1.lut_groups[0].is_affine());
+        assert_eq!(wave1.bootstrapped(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lut_groups() {
+        let mut plan = sample_lut_plan();
+        plan.batches[0].waves[0].lut_groups[0].tasks[0].ins[1] = 99;
+        assert!(matches!(
+            KernelPlan::from_bytes(&plan.to_bytes()),
+            Err(ExecError::BadPlan { reason: "slot out of range" })
+        ));
+        let mut plan = sample_lut_plan();
+        plan.batches[0].waves[0].lut_groups[0].width = 5;
+        assert!(matches!(
+            KernelPlan::from_bytes(&plan.to_bytes()),
+            Err(ExecError::BadPlan { reason: "bad LUT group shape" })
+        ));
     }
 
     #[test]

@@ -20,8 +20,9 @@
 
 use crate::engine::GateEngine;
 use crate::error::ExecError;
-use crate::graph::plan::{KernelPlan, WavePlan};
+use crate::graph::plan::{KernelPlan, LutTask, WavePlan};
 use crate::pool::{Job, SlotCells, WorkerPool};
+use pytfhe_netlist::{GateKind, LutSpec};
 use pytfhe_telemetry as telemetry;
 
 /// Reusable replay storage: the value arena (one slot per netlist
@@ -103,6 +104,11 @@ pub struct ReplayReport {
     pub kernel_launches: u64,
     /// Kernel launches per gate kind, indexed by opcode.
     pub kernels_by_kind: [u64; 16],
+    /// Fused LUT nodes evaluated.
+    pub luts: usize,
+    /// Batched LUT kernel launches (bootstrapping groups only; affine
+    /// groups run linearly and launch nothing).
+    pub lut_launches: u64,
     /// Pool tasks executed by a lane other than the one they were
     /// queued on (work-stealing activity across the replay's waves).
     pub steals: u64,
@@ -132,7 +138,9 @@ pub fn replay<E: GateEngine>(
         });
     }
     lanes.warm(engine, plan);
-    let mut report = ReplayReport { gates: plan.num_gates(), ..ReplayReport::default() };
+    let mut report =
+        ReplayReport { gates: plan.num_gates(), luts: plan.num_luts(), ..ReplayReport::default() };
+    let msg_precision = (plan.message_precision > 0).then_some(plan.message_precision);
     for (&slot, input) in plan.inputs.iter().zip(inputs) {
         lanes.values[slot as usize].clone_from(input);
     }
@@ -143,11 +151,22 @@ pub fn replay<E: GateEngine>(
         });
         for wave in &batch.waves {
             report.waves += 1;
-            run_wave(engine, wave, lanes, &mut report)?;
+            run_wave(engine, wave, msg_precision, lanes, &mut report)?;
         }
     }
     let outputs = plan.outputs.iter().map(|&s| lanes.values[s as usize].clone()).collect();
     Ok((outputs, report))
+}
+
+/// The four operand references of a LUT task (unused slots alias the
+/// first, mirroring the netlist's padding).
+fn lut_refs<'v, V>(values: &'v [V], t: &LutTask) -> [&'v V; 4] {
+    [
+        &values[t.ins[0] as usize],
+        &values[t.ins[1] as usize],
+        &values[t.ins[2] as usize],
+        &values[t.ins[3] as usize],
+    ]
 }
 
 /// Executes one wave: every group's results are staged (the wave's other
@@ -155,13 +174,21 @@ pub fn replay<E: GateEngine>(
 /// Wide waves split each group into per-lane chunks and run all chunks
 /// of all groups as a single pool dispatch with intra-wave stealing;
 /// narrow waves run inline on one scratch.
+///
+/// When the plan carries a message precision (LUT-lowered netlists),
+/// constant gate groups are filled via [`GateEngine::constant_message`]
+/// so constants land on the same encoding the packed LUT windows
+/// expect. Bootstrapping LUT groups dispatch through
+/// [`GateEngine::eval_lut_batch`]; affine groups (width-1 tables) run
+/// linearly through [`GateEngine::eval_lut_into`].
 fn run_wave<E: GateEngine>(
     engine: &E,
     wave: &WavePlan,
+    msg_precision: Option<u8>,
     lanes: &mut ReplayLanes<E>,
     report: &mut ReplayReport,
 ) -> Result<(), ExecError> {
-    let total = wave.num_gates();
+    let total = wave.num_tasks();
     if total == 0 {
         return Ok(());
     }
@@ -174,6 +201,14 @@ fn run_wave<E: GateEngine>(
         for group in &wave.groups {
             let stage = &mut lanes.stage[staged..staged + group.tasks.len()];
             staged += group.tasks.len();
+            if let Some(p) = msg_precision.filter(|_| group.kind.is_const()) {
+                let bit = group.kind == GateKind::Const1;
+                for out in stage.iter_mut() {
+                    *out = engine.constant_message(bit, p);
+                }
+                record_launches(report, group.kind, 1);
+                continue;
+            }
             let pairs: Vec<(&E::Value, &E::Value)> = group
                 .tasks
                 .iter()
@@ -181,6 +216,27 @@ fn run_wave<E: GateEngine>(
                 .collect();
             engine.eval_batch(group.kind, &pairs, stage, &mut lanes.scratches[0]);
             record_launches(report, group.kind, 1);
+        }
+        for group in &wave.lut_groups {
+            let stage = &mut lanes.stage[staged..staged + group.tasks.len()];
+            staged += group.tasks.len();
+            if group.is_affine() {
+                for (t, out) in group.tasks.iter().zip(stage.iter_mut()) {
+                    let ins = lut_refs(values, t);
+                    engine.eval_lut_into(group.spec_of(t), &ins, &mut lanes.scratches[0], out);
+                }
+            } else {
+                let items: Vec<(u16, [&E::Value; 4])> =
+                    group.tasks.iter().map(|t| (t.table, lut_refs(values, t))).collect();
+                engine.eval_lut_batch(
+                    group.width,
+                    group.precision,
+                    &items,
+                    stage,
+                    &mut lanes.scratches[0],
+                );
+                report.lut_launches += 1;
+            }
         }
     } else {
         lanes.ensure_scratches(engine, workers);
@@ -197,6 +253,16 @@ fn run_wave<E: GateEngine>(
             let (group_stage, rest) = stage_rest.split_at_mut(group.tasks.len());
             stage_rest = rest;
             let kind = group.kind;
+            if let Some(p) = msg_precision.filter(|_| kind.is_const()) {
+                // Constants are allocation-free encodes: filling them
+                // inline is cheaper than a pool round-trip.
+                let bit = kind == GateKind::Const1;
+                for out in group_stage.iter_mut() {
+                    *out = engine.constant_message(bit, p);
+                }
+                record_launches(report, kind, 1);
+                continue;
+            }
             let n_chunks = group.tasks.len().div_ceil(chunk) as u64;
             record_launches(report, kind, n_chunks);
             for (task_chunk, stage_chunk) in
@@ -214,12 +280,47 @@ fn run_wave<E: GateEngine>(
                 }));
             }
         }
+        for group in &wave.lut_groups {
+            let (group_stage, rest) = stage_rest.split_at_mut(group.tasks.len());
+            stage_rest = rest;
+            let (width, precision) = (group.width, group.precision);
+            let affine = group.is_affine();
+            if !affine {
+                report.lut_launches += group.tasks.len().div_ceil(chunk) as u64;
+            }
+            for (task_chunk, stage_chunk) in
+                group.tasks.chunks(chunk).zip(group_stage.chunks_mut(chunk))
+            {
+                jobs.push(Box::new(move |lane: usize| {
+                    // SAFETY: the pool runs at most one task per lane at
+                    // a time, and `lane < workers == cells.len()`.
+                    let scratch = unsafe { cells.slot(lane) };
+                    if affine {
+                        for (t, out) in task_chunk.iter().zip(stage_chunk.iter_mut()) {
+                            let ins = lut_refs(values, t);
+                            let spec = LutSpec::new(width, precision, t.table);
+                            engine.eval_lut_into(spec, &ins, scratch, out);
+                        }
+                    } else {
+                        let items: Vec<(u16, [&E::Value; 4])> =
+                            task_chunk.iter().map(|t| (t.table, lut_refs(values, t))).collect();
+                        engine.eval_lut_batch(width, precision, &items, stage_chunk, scratch);
+                    }
+                }));
+            }
+        }
         let run = WorkerPool::global().run(workers, jobs);
         *scratches = scratch_cells.into_inner();
         report.steals += run?.steals;
     }
     let mut staged = 0;
     for group in &wave.groups {
+        for t in &group.tasks {
+            std::mem::swap(&mut lanes.values[t.out as usize], &mut lanes.stage[staged]);
+            staged += 1;
+        }
+    }
+    for group in &wave.lut_groups {
         for t in &group.tasks {
             std::mem::swap(&mut lanes.values[t.out as usize], &mut lanes.stage[staged]);
             staged += 1;

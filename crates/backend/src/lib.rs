@@ -60,7 +60,9 @@ pub use checkpoint::{
 pub use cost::{CpuCostModel, GpuCostModel};
 pub use engine::{GateEngine, PlainEngine, TfheEngine};
 pub use error::ExecError;
-pub use exec::{execute, execute_parallel, execute_resilient, ExecStats, ResilientConfig};
+pub use exec::{
+    execute, execute_parallel, execute_resilient, netlist_bootstraps, ExecStats, ResilientConfig,
+};
 pub use fault::{
     FaultInjector, NoFaults, RetryPolicy, SeededFaults, SeededStorageFaults, StorageFault, TaskFate,
 };

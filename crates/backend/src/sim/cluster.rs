@@ -363,27 +363,44 @@ impl ClusterSim {
         let submit_ns = to_ns(self.cost.task_submit_s);
         let workers = self.config.workers().max(1);
 
-        // Dependency counts and successor lists over *costly* gates;
-        // constants/buffers are free and resolve transparently.
+        // Dependency counts and successor lists over *costly* tasks
+        // (bootstrapped gates and non-affine fused LUTs); constants,
+        // buffers, and affine LUTs are free and resolve transparently.
         let n = nl.num_nodes();
         let mut deps = vec![0u32; n];
         let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let is_free = |kind: GateKind| kind.is_const() || kind == GateKind::Buf;
+        let is_free_gate = |kind: GateKind| kind.is_const() || kind == GateKind::Buf;
+        // Free nodes always have at most one costly operand, so the
+        // chain-on-first-finish rule in `resolve` stays correct.
+        let node_free = |node: &Node| match node {
+            Node::Gate { kind, .. } => is_free_gate(*kind),
+            Node::Lut { spec, .. } => spec.bootstraps() == 0,
+            Node::Input => true,
+        };
+        let operands = |node: &Node| -> Vec<usize> {
+            match node {
+                Node::Gate { kind, .. } if kind.is_const() => Vec::new(),
+                Node::Gate { kind, a, b } => {
+                    if kind.is_unary() {
+                        vec![a.index()]
+                    } else {
+                        vec![a.index(), b.index()]
+                    }
+                }
+                Node::Lut { spec, ins } => {
+                    ins[..spec.width as usize].iter().map(|id| id.index()).collect()
+                }
+                Node::Input => Vec::new(),
+            }
+        };
         for (i, node) in nl.nodes().iter().enumerate() {
-            let Node::Gate { kind, a, b } = *node else { continue };
-            if kind.is_const() {
+            if matches!(node, Node::Input) {
                 continue;
             }
-            let mut operands = vec![a.index()];
-            if !kind.is_unary() {
-                operands.push(b.index());
-            }
-            for op in operands {
-                if let Node::Gate { kind: ok, .. } = nl.nodes()[op] {
-                    if !ok.is_const() {
-                        deps[i] += 1;
-                        succs[op].push(i as u32);
-                    }
+            for op in operands(node) {
+                if !node_free(&nl.nodes()[op]) {
+                    deps[i] += 1;
+                    succs[op].push(i as u32);
                 }
             }
         }
@@ -391,10 +408,8 @@ impl ClusterSim {
         let mut finish = vec![0u64; n];
         let mut ready_heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
         for (i, node) in nl.nodes().iter().enumerate() {
-            if let Node::Gate { kind, .. } = node {
-                if !is_free(*kind) && deps[i] == 0 {
-                    ready_heap.push(Reverse((0, i as u32)));
-                }
+            if !matches!(node, Node::Input) && !node_free(node) && deps[i] == 0 {
+                ready_heap.push(Reverse((0, i as u32)));
             }
         }
         let mut free: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0)).collect();
@@ -413,17 +428,14 @@ impl ClusterSim {
                 finish[node] = t;
                 for &s in &succs[node] {
                     let s = s as usize;
-                    let Node::Gate { kind, a, b } = nl.nodes()[s] else { unreachable!() };
-                    if is_free(kind) {
+                    let succ = &nl.nodes()[s];
+                    if node_free(succ) {
                         stack.push((s, t));
                     } else {
                         deps[s] -= 1;
                         if deps[s] == 0 {
-                            let ready = finish[a.index()].max(if kind.is_unary() {
-                                0
-                            } else {
-                                finish[b.index()]
-                            });
+                            let ready =
+                                operands(succ).iter().map(|&op| finish[op]).fold(0u64, u64::max);
                             heap.push(Reverse((ready, s as u32)));
                         }
                     }
@@ -433,10 +445,8 @@ impl ClusterSim {
         // Free nodes with no costly dependencies finish at time 0 and
         // must release their successors up front.
         for (i, node) in nl.nodes().iter().enumerate() {
-            if let Node::Gate { kind, .. } = node {
-                if is_free(*kind) && deps[i] == 0 {
-                    resolve(i, 0, &mut finish, &mut deps, &mut ready_heap);
-                }
+            if !matches!(node, Node::Input) && node_free(node) && deps[i] == 0 {
+                resolve(i, 0, &mut finish, &mut deps, &mut ready_heap);
             }
         }
         while let Some(Reverse((ready, i))) = ready_heap.pop() {

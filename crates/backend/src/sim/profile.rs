@@ -6,6 +6,11 @@ use pytfhe_netlist::{GateKind, Netlist, Node};
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WaveProfile {
     counts: [u64; 16],
+    /// Fused LUT nodes whose tables cost a programmable bootstrap.
+    pub lut_bootstrapped: u64,
+    /// Fused LUT nodes with affine (width-1) tables — free, like
+    /// buffers and constants.
+    pub lut_affine: u64,
 }
 
 impl WaveProfile {
@@ -14,19 +19,20 @@ impl WaveProfile {
         self.counts[kind.opcode() as usize]
     }
 
-    /// Gates in this wave that cost a bootstrap (constants and buffers
-    /// excluded — they are free on every backend).
+    /// Tasks in this wave that cost a bootstrap: gates minus constants
+    /// and buffers (free on every backend), plus non-affine fused LUTs.
     pub fn bootstrapped(&self) -> u64 {
         ALL_GATE_KINDS
             .iter()
             .filter(|k| !k.is_const() && **k != GateKind::Buf)
             .map(|k| self.count(*k))
-            .sum()
+            .sum::<u64>()
+            + self.lut_bootstrapped
     }
 
-    /// All gates in this wave.
+    /// All tasks (gates and fused LUTs) in this wave.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts.iter().sum::<u64>() + self.lut_bootstrapped + self.lut_affine
     }
 
     /// Iterates `(kind, count)` over the bootstrapped gate kinds present.
@@ -57,8 +63,19 @@ impl ProgramProfile {
         let levels = Levels::compute(nl);
         let mut waves = vec![WaveProfile::default(); levels.sizes.len()];
         for (i, node) in nl.nodes().iter().enumerate() {
-            if let Node::Gate { kind, .. } = node {
-                waves[levels.level[i] as usize].counts[kind.opcode() as usize] += 1;
+            match node {
+                Node::Gate { kind, .. } => {
+                    waves[levels.level[i] as usize].counts[kind.opcode() as usize] += 1;
+                }
+                Node::Lut { spec, .. } => {
+                    let wave = &mut waves[levels.level[i] as usize];
+                    if spec.bootstraps() > 0 {
+                        wave.lut_bootstrapped += 1;
+                    } else {
+                        wave.lut_affine += 1;
+                    }
+                }
+                Node::Input => {}
             }
         }
         ProgramProfile { waves, num_inputs: nl.num_inputs(), num_outputs: nl.outputs().len() }
@@ -110,5 +127,25 @@ mod tests {
         assert_eq!(p.num_inputs, 2);
         assert_eq!(p.num_outputs, 1);
         assert_eq!(p.waves[1].iter_bootstrapped().count(), 2);
+    }
+
+    #[test]
+    fn fused_luts_profile_by_cost() {
+        use pytfhe_netlist::LutSpec;
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let c = nl.add_input();
+        // Majority cone: one programmable bootstrap.
+        let maj = nl.add_lut(LutSpec::new(3, 3, 0b1110_1000), &[a, b, c]).unwrap();
+        // Width-1 negation: affine, free.
+        let inv = nl.add_lut(LutSpec::new(1, 3, 0b01), &[maj]).unwrap();
+        nl.mark_output(inv).unwrap();
+        let p = ProgramProfile::of(&nl);
+        assert_eq!(p.total_gates(), 2, "both LUT nodes are tasks");
+        assert_eq!(p.total_bootstrapped(), 1, "only the majority cone bootstraps");
+        assert_eq!(p.waves[1].lut_bootstrapped, 1);
+        assert_eq!(p.waves[2].lut_affine, 1);
+        assert_eq!(p.depth(), 1);
     }
 }

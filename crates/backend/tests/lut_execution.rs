@@ -1,0 +1,124 @@
+//! End-to-end tests of LUT-lowered execution: netlists rewritten by the
+//! `lut_cover` pass must compute bit-identical results to their boolean
+//! originals on every executor (serial, wavefront-parallel, and
+//! kernel-graph), in plaintext and under encryption, while strictly
+//! reducing the bootstrap count the executors report.
+
+use pytfhe_backend::{
+    execute, execute_parallel, netlist_bootstraps, KernelGraph, PlainEngine, TfheEngine,
+};
+use pytfhe_hdl::Circuit;
+use pytfhe_netlist::opt::{lut_cover, LutCoverConfig};
+use pytfhe_netlist::Netlist;
+use pytfhe_tfhe::{ClientKey, Params, SecureRng};
+use pytfhe_vipbench::Scale;
+
+/// Lowers with the default cone-cover configuration, asserting the pass
+/// actually fused something.
+fn lower(nl: &Netlist) -> Netlist {
+    let (lowered, report) = lut_cover(nl, &LutCoverConfig::default()).expect("lut_cover");
+    assert!(report.cones_fused > 0, "workload must have fusable cones");
+    assert!(
+        report.bootstraps_after < report.bootstraps_before,
+        "lowering must strictly reduce bootstraps: {report}"
+    );
+    lowered
+}
+
+#[test]
+fn lut_lowered_vipbench_matches_boolean_on_every_executor() {
+    for name in ["Parrando", "Distinctness"] {
+        let bench = pytfhe_vipbench::find(name, Scale::Test).expect("workload exists");
+        let nl = bench.netlist();
+        let lowered = lower(nl);
+        assert!(
+            netlist_bootstraps(&lowered) * 2 <= netlist_bootstraps(nl),
+            "{name}: expected >=2x bootstrap reduction, got {} -> {}",
+            netlist_bootstraps(nl),
+            netlist_bootstraps(&lowered)
+        );
+        let engine = PlainEngine::with_parallel_grain(1);
+        let graph = KernelGraph::new();
+        for seed in 0..4u64 {
+            let input = bench.sample_input(seed);
+            let bits = bench.encode_input(&input);
+            let want: Vec<bool> = nl.eval_plain(&bits);
+            let (serial, stats) = execute(&engine, &lowered, &bits).expect("execute");
+            assert_eq!(serial, want, "{name} seed {seed}: serial");
+            assert_eq!(stats.luts, lowered.num_luts());
+            assert_eq!(stats.bootstraps, netlist_bootstraps(&lowered));
+            let (parallel, pstats) =
+                execute_parallel(&engine, &lowered, &bits, 4).expect("execute_parallel");
+            assert_eq!(parallel, want, "{name} seed {seed}: parallel");
+            assert!(pstats.lut_launches > 0, "{name}: batched LUT kernels must launch");
+            let (graphed, gstats) = graph.execute(&engine, &lowered, &bits, 4).expect("graph");
+            assert_eq!(graphed, want, "{name} seed {seed}: kernel graph");
+            assert_eq!(gstats.bootstraps, netlist_bootstraps(&lowered));
+        }
+    }
+}
+
+#[test]
+fn lut_lowered_execution_is_bit_exact_under_encryption() {
+    // A 3-bit adder: small enough for real bootstrapping in a test,
+    // deep enough that cone fusion changes the schedule.
+    let w = 3;
+    let mut c = Circuit::new();
+    let a = c.input_word("a", w);
+    let b = c.input_word("b", w);
+    let sum = c.add(&a, &b);
+    c.output_word("sum", &sum);
+    let nl = c.finish().expect("netlist");
+    let (lowered, report) = lut_cover(&nl, &LutCoverConfig::default()).expect("lut_cover");
+    assert!(report.cones_fused > 0);
+    let precision = lowered.lut_precision().expect("lowered netlists carry a precision");
+
+    let mut rng = SecureRng::seed_from_u64(0x5407_1347);
+    let client = ClientKey::generate(Params::testing_shortint(), &mut rng);
+    let server = client.server_key(&mut rng);
+    let engine = TfheEngine::new(&server);
+    let graph = KernelGraph::new();
+
+    for (x, y) in [(3u64, 5u64), (7, 7), (0, 6)] {
+        let bits: Vec<bool> =
+            (0..w).map(|i| (x >> i) & 1 == 1).chain((0..w).map(|i| (y >> i) & 1 == 1)).collect();
+        let want: Vec<bool> = nl.eval_plain(&bits);
+        // Lowered netlists run in the message encoding end to end: the
+        // caller encrypts bits as messages at the netlist's precision.
+        let cts: Vec<_> = bits
+            .iter()
+            .map(|&bit| client.encrypt_message(u32::from(bit), u32::from(precision), &mut rng))
+            .collect();
+        let (out, stats) = execute(&engine, &lowered, &cts).expect("encrypted execute");
+        let got: Vec<bool> =
+            out.iter().map(|ct| client.decrypt_message(ct, u32::from(precision)) != 0).collect();
+        assert_eq!(got, want, "{x}+{y}: serial encrypted");
+        assert_eq!(stats.bootstraps, netlist_bootstraps(&lowered));
+
+        let (gout, _) = graph.execute(&engine, &lowered, &cts, 1).expect("graph execute");
+        let ggot: Vec<bool> =
+            gout.iter().map(|ct| client.decrypt_message(ct, u32::from(precision)) != 0).collect();
+        assert_eq!(ggot, want, "{x}+{y}: kernel-graph encrypted");
+    }
+}
+
+#[test]
+fn lowered_plans_survive_wire_round_trips() {
+    let bench = pytfhe_vipbench::find("Hamming", Scale::Test).expect("workload exists");
+    let lowered = lower(bench.netlist());
+    let plan =
+        pytfhe_backend::capture(&lowered, &pytfhe_backend::CaptureConfig::default()).unwrap();
+    assert!(plan.has_luts());
+    assert_eq!(plan.bootstraps(), netlist_bootstraps(&lowered));
+    let restored = pytfhe_backend::KernelPlan::from_bytes(&plan.to_bytes()).expect("round trip");
+    assert_eq!(restored, plan);
+
+    let engine = PlainEngine::new();
+    let graph = KernelGraph::new();
+    graph.adopt(restored);
+    let input = bench.sample_input(9);
+    let bits = bench.encode_input(&input);
+    let (out, stats) = graph.execute(&engine, &lowered, &bits, 1).expect("adopted plan");
+    assert!(stats.plan_cached, "adopted plan must serve the execution");
+    assert_eq!(out, bench.netlist().eval_plain(&bits));
+}

@@ -4,14 +4,16 @@
 //! repro <target> [--quick]
 //!
 //! targets: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table4
-//!          ablation kernel_graph fft simd serve all
+//!          ablation kernel_graph fft simd serve shortint all
 //!
 //! `kernel_graph` additionally writes machine-readable timings to
 //! `results/BENCH_kernel_graph.json`; `fft` writes the folded-vs-
 //! reference transform and gate timings to `results/BENCH_fft.json`;
 //! `simd` writes the scalar-vs-dispatched kernel timings to
 //! `results/BENCH_simd.json`; `serve` writes the multi-tenant serving
-//! throughput comparison to `results/BENCH_serve.json`.
+//! throughput comparison to `results/BENCH_serve.json`; `shortint`
+//! writes the LUT-lowering bootstrap reductions and exact-integer
+//! operation costs to `results/BENCH_shortint.json`.
 //! --quick: use the miniature Test/Small workload scales (fast; same
 //!          qualitative shapes). Without it the Paper scales are built,
 //!          which compiles multi-million-gate netlists and takes a few
@@ -82,6 +84,17 @@ fn main() -> ExitCode {
                     Err(e) => format!("{text}\ncould not write {path}: {e}"),
                 }
             }
+            // LUT cone-cover on VIP-Bench plus the shortint exact
+            // integer API, verified bit-exact under real encryption;
+            // full mode times a second encrypted workload.
+            "shortint" => {
+                let (text, json) = figures::shortint(quick);
+                let path = "results/BENCH_shortint.json";
+                match std::fs::write(path, &json) {
+                    Ok(()) => format!("{text}\nwrote {path}"),
+                    Err(e) => format!("{text}\ncould not write {path}: {e}"),
+                }
+            }
             _ => return None,
         })
     };
@@ -101,6 +114,7 @@ fn main() -> ExitCode {
         "fft",
         "simd",
         "serve",
+        "shortint",
     ];
     match target.as_str() {
         "all" => {

@@ -1105,6 +1105,236 @@ pub fn serve(quick: bool) -> (String, String) {
     (out, report.to_json())
 }
 
+/// Shortint + programmable-bootstrap LUT lowering: the cone-cover pass
+/// on VIP-Bench workloads (bit-exact, with the bootstrap reduction the
+/// executors actually report), encrypted end-to-end timings of boolean
+/// vs LUT-lowered execution, and the exact-integer API priced in
+/// programmable bootstraps against boolean ripple/array circuits.
+pub fn shortint(quick: bool) -> (String, String) {
+    use pytfhe_backend::{execute, netlist_bootstraps, KernelGraph, PlainEngine, TfheEngine};
+    use pytfhe_hdl::Circuit;
+    use pytfhe_netlist::opt::{lut_cover, LutCoverConfig};
+    use pytfhe_shortint::{ShortintClientKey, ShortintParams};
+    use pytfhe_tfhe::NoiseGuard;
+    use std::time::Instant;
+
+    let mut out = String::from("shortint — LUT-lowered execution and exact integer arithmetic\n\n");
+    let mut report = BenchReport::new("shortint")
+        .config("scale", "test")
+        .config("quick", quick)
+        .config("params", "testing_shortint")
+        .config("split", "message_2_carry_2");
+
+    // --- Cone-cover lowering on VIP-Bench: bit-exact, >=2x fewer
+    // bootstraps. Every workload is executed through the serial and the
+    // kernel-graph executors and compared against the boolean netlist's
+    // plain evaluation before its numbers are recorded.
+    out.push_str("LUT cone-cover on VIP-Bench (Scale::Test, verified bit-exact):\n");
+    let mut table = Table::new(&["workload", "boolean PBS", "LUT PBS", "cones", "reduction"]);
+    let engine = PlainEngine::new();
+    let graph = KernelGraph::new();
+    for name in ["Parrando", "Primality", "Distinctness", "BubbleSort"] {
+        let bench = pytfhe_vipbench::find(name, Scale::Test).expect("workload exists");
+        let nl = bench.netlist();
+        let (lowered, cover) = lut_cover(nl, &LutCoverConfig::default()).expect("lut_cover");
+        let (before, after) = (netlist_bootstraps(nl), netlist_bootstraps(&lowered));
+        assert!(
+            after * 2 <= before,
+            "{name}: LUT lowering must at least halve bootstraps, got {before} -> {after}"
+        );
+        for seed in 0..3u64 {
+            let bits = bench.encode_input(&bench.sample_input(seed));
+            let want = nl.eval_plain(&bits);
+            let (serial, stats) = execute(&engine, &lowered, &bits).expect("plain execute");
+            assert_eq!(serial, want, "{name} seed {seed}: serial lowered != boolean");
+            assert_eq!(stats.bootstraps, after, "{name}: executor bootstrap accounting");
+            let (graphed, _) = graph.execute(&engine, &lowered, &bits, 2).expect("kernel graph");
+            assert_eq!(graphed, want, "{name} seed {seed}: kernel-graph lowered != boolean");
+        }
+        let ratio = before as f64 / after as f64;
+        table.row(vec![
+            name.to_string(),
+            before.to_string(),
+            after.to_string(),
+            cover.cones_fused.to_string(),
+            format!("{ratio:.2}x"),
+        ]);
+        let key = name.to_ascii_lowercase();
+        report.metric_count(format!("{key}_bootstraps_boolean"), before);
+        report.metric_count(format!("{key}_bootstraps_lut"), after);
+        report.metric_count(format!("{key}_cones_fused"), cover.cones_fused as u64);
+        report.metric_ratio(format!("{key}_bootstrap_reduction"), ratio);
+    }
+    out.push_str(&table.render());
+
+    // --- Encrypted end to end: the boolean netlist under gate
+    // bootstrapping vs the lowered netlist under programmable
+    // bootstrapping, same inputs, decrypted outputs compared against
+    // the plain oracle.
+    let mut rng = SecureRng::seed_from_u64(0x0540_77B5);
+    let client = ClientKey::generate(Params::testing_shortint(), &mut rng);
+    let server = client.server_key(&mut rng);
+    let tfhe = TfheEngine::new(&server);
+    out.push_str("\nencrypted execution (testing_shortint parameters):\n");
+    let mut enc = Table::new(&["workload", "boolean", "LUT-lowered", "speedup"]);
+    let enc_workloads: &[&str] =
+        if quick { &["Distinctness"] } else { &["Distinctness", "Parrando"] };
+    for name in enc_workloads {
+        let bench = pytfhe_vipbench::find(name, Scale::Test).expect("workload exists");
+        let nl = bench.netlist();
+        let (lowered, _) = lut_cover(nl, &LutCoverConfig::default()).expect("lut_cover");
+        let precision = lowered.lut_precision().expect("lowered netlists carry a precision");
+        let bits = bench.encode_input(&bench.sample_input(1));
+        let want = nl.eval_plain(&bits);
+
+        let cts = client.encrypt_bits(&bits, &mut rng);
+        let t0 = Instant::now();
+        let (bool_out, _) = execute(&tfhe, nl, &cts).expect("boolean encrypted");
+        let bool_s = t0.elapsed().as_secs_f64();
+        assert_eq!(client.decrypt_bits(&bool_out), want, "{name}: boolean encrypted");
+
+        // Lowered netlists run in the message encoding end to end.
+        let mcts: Vec<_> = bits
+            .iter()
+            .map(|&b| client.encrypt_message(u32::from(b), u32::from(precision), &mut rng))
+            .collect();
+        let t0 = Instant::now();
+        let (lut_out, _) = execute(&tfhe, &lowered, &mcts).expect("LUT encrypted");
+        let lut_s = t0.elapsed().as_secs_f64();
+        let got: Vec<bool> = lut_out
+            .iter()
+            .map(|ct| client.decrypt_message(ct, u32::from(precision)) != 0)
+            .collect();
+        assert_eq!(got, want, "{name}: LUT-lowered encrypted");
+
+        enc.row(vec![
+            name.to_string(),
+            fmt_seconds(bool_s),
+            fmt_seconds(lut_s),
+            format!("{:.2}x", bool_s / lut_s),
+        ]);
+        let key = name.to_ascii_lowercase();
+        report.metric_seconds(format!("{key}_encrypted_boolean_s"), bool_s);
+        report.metric_seconds(format!("{key}_encrypted_lut_s"), lut_s);
+        report.metric_ratio(format!("{key}_encrypted_speedup"), bool_s / lut_s);
+    }
+    out.push_str(&enc.render());
+
+    // --- Exact integers: shortint radix/bivariate operations priced in
+    // programmable bootstraps against the boolean circuits computing
+    // the same function, all results checked against plain integers.
+    let split = ShortintParams::message_2_carry_2();
+    let sclient = ShortintClientKey::generate(
+        split,
+        Params::testing_shortint(),
+        &NoiseGuard::default(),
+        &mut rng,
+    )
+    .expect("testing_shortint admits 4-bit LUTs");
+    let mut sserver = sclient.server_key(&mut rng);
+    out.push_str("\nexact integers (message_2_carry_2), programmable bootstraps per op:\n");
+    let mut ops = Table::new(&["operation", "shortint PBS", "boolean PBS", "reduction"]);
+    let record = |ops: &mut Table,
+                  report: &mut BenchReport,
+                  label: &str,
+                  key: &str,
+                  pbs: u64,
+                  bool_pbs: u64| {
+        ops.row(vec![
+            label.to_string(),
+            pbs.to_string(),
+            bool_pbs.to_string(),
+            format!("{:.1}x", bool_pbs as f64 / pbs as f64),
+        ]);
+        report.metric_count(format!("{key}_shortint_bootstraps"), pbs);
+        report.metric_count(format!("{key}_boolean_bootstraps"), bool_pbs);
+        report.metric_ratio(format!("{key}_reduction"), bool_pbs as f64 / pbs as f64);
+    };
+
+    for bits in [8u32, 16] {
+        let blocks = (bits / 2) as usize; // 2 message bits per digit
+        let (x, y) = if bits == 8 { (200u64, 100u64) } else { (51_234u64, 30_111u64) };
+        let a = sclient.encrypt_radix(x, blocks, &mut rng).expect("in range");
+        let b = sclient.encrypt_radix(y, blocks, &mut rng).expect("in range");
+        sserver.reset_stats();
+        let sum = sserver.add_radix(&a, &b).expect("same length");
+        let pbs = sserver.stats().bootstraps;
+        assert_eq!(
+            sclient.decrypt_radix(&sum),
+            (x + y) & ((1u64 << bits) - 1),
+            "{bits}-bit radix add"
+        );
+        let mut c = Circuit::new();
+        let wa = c.input_word("a", bits as usize);
+        let wb = c.input_word("b", bits as usize);
+        let ws = c.add(&wa, &wb);
+        c.output_word("sum", &ws);
+        let bool_pbs = netlist_bootstraps(&c.finish().expect("adder netlist"));
+        record(
+            &mut ops,
+            &mut report,
+            &format!("add ({bits}-bit)"),
+            &format!("add{bits}"),
+            pbs,
+            bool_pbs,
+        );
+    }
+
+    // Bivariate single-bootstrap ops on one 2-bit digit vs the boolean
+    // circuits for the same functions.
+    let a = sclient.encrypt(3, &mut rng).expect("in range");
+    let b = sclient.encrypt(2, &mut rng).expect("in range");
+    let two_bit_circuit = |build: &dyn Fn(&mut Circuit, &pytfhe_hdl::Word, &pytfhe_hdl::Word)| {
+        let mut c = Circuit::new();
+        let wa = c.input_word("a", 2);
+        let wb = c.input_word("b", 2);
+        build(&mut c, &wa, &wb);
+        netlist_bootstraps(&c.finish().expect("netlist"))
+    };
+
+    sserver.reset_stats();
+    let prod = sserver.mul_low(&a, &b).expect("bivariate split");
+    assert_eq!(sclient.decrypt(&prod), (3 * 2) % 4, "mul_low oracle");
+    let mul_bool = two_bit_circuit(&|c, wa, wb| {
+        let p = c.mul_unsigned(wa, wb);
+        c.output_word("p", &p);
+    });
+    record(
+        &mut ops,
+        &mut report,
+        "mul_low (2-bit)",
+        "mul_low",
+        sserver.stats().bootstraps,
+        mul_bool,
+    );
+
+    sserver.reset_stats();
+    let ord = sserver.cmp(&a, &b).expect("bivariate split");
+    assert_eq!(sclient.decrypt(&ord), 2, "3 > 2");
+    let cmp_bool = two_bit_circuit(&|c, wa, wb| {
+        let lt = c.lt_unsigned(wa, wb).expect("same width");
+        let eq = c.eq(wa, wb).expect("same width");
+        c.output_word("ord", &pytfhe_hdl::Word::from_bits(vec![lt, eq]));
+    });
+    record(&mut ops, &mut report, "cmp (2-bit)", "cmp", sserver.stats().bootstraps, cmp_bool);
+
+    sserver.reset_stats();
+    let bigger = sserver.max(&a, &b).expect("bivariate split");
+    assert_eq!(sclient.decrypt(&bigger), 3, "max oracle");
+    let max_bool = two_bit_circuit(&|c, wa, wb| {
+        let m = c.max_int(wa, wb, false).expect("same width");
+        c.output_word("m", &m);
+    });
+    record(&mut ops, &mut report, "max (2-bit)", "max", sserver.stats().bootstraps, max_bool);
+
+    out.push_str(&ops.render());
+    out.push_str(
+        "\nall lowered executions decrypt to the boolean oracle; reductions are\n\
+         counted over the executors' own bootstrap accounting.\n",
+    );
+    (out, report.to_json())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,10 @@ use pytfhe_netlist::Netlist;
 use pytfhe_telemetry as telemetry;
 use pytfhe_tfhe::{ClientKey, LweCiphertext, NoiseModel, Params, SecureRng, ServerKey, TfheError};
 
+/// Re-exported from [`pytfhe_tfhe`], where the guard lives so lower
+/// layers (e.g. shortint keygen) can run the same admission check.
+pub use pytfhe_tfhe::NoiseGuard;
+
 /// The data owner: holds the secret key, encrypts inputs, decrypts
 /// results. Never ships secret material.
 #[derive(Debug)]
@@ -69,62 +73,6 @@ impl Client {
         assert_eq!(bits.len() % dtype.width(), 0, "ragged ciphertext vector");
         bits.chunks(dtype.width()).map(|ch| dtype.decode_f64(ch)).collect()
     }
-}
-
-/// Admission guardrail on an evaluation key's analytical noise budget.
-///
-/// A key whose parameter set predicts too high a per-gate failure
-/// probability ([`NoiseModel::gate_failure_probability`]) will corrupt
-/// results silently — a bootstrapped gate that fails does not error, it
-/// returns the wrong bit. The guard turns that into an explicit
-/// admission decision at key-install time: [`Server::with_noise_guard`]
-/// refuses such keys with [`TfheError::NoiseBudgetExceeded`], while
-/// [`Server::new`] admits them but publishes a telemetry warning.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NoiseGuard {
-    /// Maximum acceptable analytical per-gate failure probability.
-    pub max_gate_failure_probability: f64,
-}
-
-impl Default for NoiseGuard {
-    fn default() -> Self {
-        // 2^-40 (~9e-13): real parameter sets sit tens of orders of
-        // magnitude below this (`default_128` predicts ~2e-48), while
-        // the deliberately weak `Params::testing` (~6e-12) trips it.
-        NoiseGuard { max_gate_failure_probability: 2f64.powi(-40) }
-    }
-}
-
-impl NoiseGuard {
-    /// A guard admitting keys whose predicted per-gate failure
-    /// probability is at most `p`.
-    pub fn max_probability(p: f64) -> Self {
-        NoiseGuard { max_gate_failure_probability: p }
-    }
-
-    /// Checks `params` against the guard, returning the predicted
-    /// probability on success.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TfheError::NoiseBudgetExceeded`] when the prediction
-    /// exceeds the threshold.
-    pub fn admit(&self, params: &Params) -> Result<f64, TfheError> {
-        let p = NoiseModel::new(*params).gate_failure_probability();
-        if p > self.max_gate_failure_probability {
-            return Err(TfheError::NoiseBudgetExceeded {
-                probability_atto: to_atto(p),
-                threshold_atto: to_atto(self.max_gate_failure_probability),
-            });
-        }
-        Ok(p)
-    }
-}
-
-/// Probability → integral atto-units (the representation
-/// [`TfheError::NoiseBudgetExceeded`] carries to stay `Eq`).
-fn to_atto(p: f64) -> u64 {
-    (p.clamp(0.0, 1.0) * 1e18).round() as u64
 }
 
 /// The untrusted evaluator: holds only the public evaluation key and the

@@ -17,8 +17,19 @@
 //! All passes preserve the number and order of primary inputs and outputs,
 //! so an optimized netlist is a drop-in replacement for the original.
 
-use crate::{GateKind, Netlist, NetlistError, Node, NodeId, Port};
+//! A fifth pass changes the *execution model* rather than the gate count
+//! and therefore runs separately from [`optimize`]:
+//!
+//! * [`lut_cover`] — extracts fanout-free multi-gate cones of up to
+//!   `max_width` inputs and fuses each into a single [`Node::Lut`]
+//!   evaluated by one programmable bootstrap, then lowers every
+//!   remaining gate to an equivalent width-≤2 LUT so the whole netlist
+//!   runs on one message encoding. Cones are fused only when they
+//!   strictly reduce the bootstrap count.
+
+use crate::{GateKind, LutSpec, Netlist, NetlistError, Node, NodeId, Port};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Result of resolving an old node through a rewrite: either a known
 /// constant or a node in the new netlist.
@@ -165,11 +176,55 @@ pub fn constant_fold(nl: &Netlist) -> (Netlist, PassStats) {
                 };
                 rw.map.push(lit);
             }
+            Node::Lut { spec, ins } => {
+                let lit = fold_lut(&mut rw, spec, &ins);
+                rw.map.push(lit);
+            }
         }
     }
     let out = rw.finish(nl);
     let stats = PassStats { gates_before: before, gates_after: out.num_gates() };
     (out, stats)
+}
+
+/// Folds a LUT node: constant inputs specialize the table to a narrower
+/// LUT; fully-constant and passthrough tables disappear. The result stays
+/// in LUT form (never a two-input [`GateKind`]), preserving the lowered
+/// netlist's single-encoding invariant.
+fn fold_lut(rw: &mut Rewriter, spec: LutSpec, ins: &[NodeId]) -> Lit {
+    let mut width = spec.width;
+    let mut table = spec.table;
+    let mut ops: Vec<NodeId> = Vec::with_capacity(width as usize);
+    for &input in ins.iter().take(spec.width as usize) {
+        match rw.resolve(input) {
+            Lit::Id(id) => ops.push(id),
+            Lit::Const(c) => {
+                // Fix the input currently at position `ops.len()` to `c`:
+                // keep the table entries whose bit at that position is `c`.
+                let pos = ops.len();
+                let mut narrowed = 0u16;
+                for j in 0..1usize << (width - 1) {
+                    let low = j & ((1 << pos) - 1);
+                    let high = j >> pos;
+                    let full = low | (usize::from(c) << pos) | (high << (pos + 1));
+                    narrowed |= ((table >> full) & 1) << j;
+                }
+                table = narrowed;
+                width -= 1;
+            }
+        }
+    }
+    if width == 0 {
+        return Lit::Const(table & 1 == 1);
+    }
+    let folded = LutSpec::new(width, spec.precision, table);
+    if let Some(c) = folded.as_const() {
+        return Lit::Const(c);
+    }
+    if folded.is_passthrough() {
+        return Lit::Id(ops[0]);
+    }
+    Lit::Id(rw.out.add_lut(folded, &ops).expect("operands exist in rewritten netlist"))
 }
 
 /// Core folding rules for a single gate; emits a gate only when no rule
@@ -254,12 +309,14 @@ fn specialize(rw: &mut Rewriter, kind: GateKind, c: bool, other: Lit, const_is_a
 /// subsequent [`dce`] pass.
 pub fn absorb_inverters(nl: &Netlist) -> (Netlist, PassStats) {
     let before = nl.num_gates();
-    // Which old nodes are NOT gates, and what do they negate?
+    // Which old nodes are inverters (NOT gates or negation LUTs), and
+    // what do they negate?
     let negand: Vec<Option<NodeId>> = nl
         .nodes()
         .iter()
         .map(|n| match n {
             Node::Gate { kind: GateKind::Not, a, .. } => Some(*a),
+            Node::Lut { spec, ins } if spec.is_negation() => Some(ins[0]),
             _ => None,
         })
         .collect();
@@ -294,6 +351,30 @@ pub fn absorb_inverters(nl: &Netlist) -> (Netlist, PassStats) {
                 };
                 rw.map.push(lit);
             }
+            Node::Lut { spec, mut ins } => {
+                // An inverter feeding input `i` folds into the table by
+                // flipping the table along that axis.
+                let mut table = spec.table;
+                for i in 0..spec.width as usize {
+                    if let Some(n) = negand[ins[i].index()] {
+                        ins[i] = n;
+                        let mut flipped = 0u16;
+                        for j in 0..spec.entries() {
+                            flipped |= ((table >> (j ^ (1 << i))) & 1) << j;
+                        }
+                        table = flipped;
+                    }
+                }
+                let ops: Vec<NodeId> = ins[..spec.width as usize]
+                    .iter()
+                    .map(|&op| match rw.resolve(op) {
+                        Lit::Id(id) => id,
+                        Lit::Const(_) => unreachable!("absorb pass never produces constants"),
+                    })
+                    .collect();
+                let folded = LutSpec::new(spec.width, spec.precision, table);
+                rw.map.push(Lit::Id(rw.out.add_lut(folded, &ops).expect("operands exist")));
+            }
         }
     }
     let out = rw.finish(nl);
@@ -308,9 +389,28 @@ pub fn cse(nl: &Netlist) -> (Netlist, PassStats) {
     let mut rw = Rewriter::new(nl);
     let mut table: HashMap<(GateKind, NodeId, NodeId), NodeId> =
         HashMap::with_capacity(nl.num_gates());
+    let mut lut_table: HashMap<(LutSpec, [NodeId; crate::MAX_LUT_INPUTS]), NodeId> = HashMap::new();
     for node in nl.nodes() {
         match *node {
             Node::Input => rw.copy_input(),
+            Node::Lut { spec, ins } => {
+                let mut ops = [NodeId(0); crate::MAX_LUT_INPUTS];
+                for (slot, op) in ops.iter_mut().zip(ins) {
+                    *slot = match rw.resolve(op) {
+                        Lit::Id(id) => id,
+                        Lit::Const(_) => unreachable!("cse operates on fold-free netlists"),
+                    };
+                }
+                let lit = match lut_table.get(&(spec, ops)) {
+                    Some(&existing) => Lit::Id(existing),
+                    None => {
+                        let id = rw.out.add_lut(spec, &ops).expect("operands exist");
+                        lut_table.insert((spec, ops), id);
+                        Lit::Id(id)
+                    }
+                };
+                rw.map.push(lit);
+            }
             Node::Gate { kind, a, b } => {
                 if kind.is_const() {
                     let key = (kind, NodeId(0), NodeId(0));
@@ -369,19 +469,41 @@ pub fn dce(nl: &Netlist) -> (Netlist, PassStats) {
         if !live[i] {
             continue;
         }
-        if let Node::Gate { kind, a, b } = nl.nodes()[i] {
-            if !kind.is_const() {
-                live[a.index()] = true;
-                if !kind.is_unary() {
-                    live[b.index()] = true;
+        match nl.nodes()[i] {
+            Node::Gate { kind, a, b } => {
+                if !kind.is_const() {
+                    live[a.index()] = true;
+                    if !kind.is_unary() {
+                        live[b.index()] = true;
+                    }
                 }
             }
+            Node::Lut { spec, ins } => {
+                for op in &ins[..spec.width as usize] {
+                    live[op.index()] = true;
+                }
+            }
+            Node::Input => {}
         }
     }
     let mut rw = Rewriter::new(nl);
     for (i, node) in nl.nodes().iter().enumerate() {
         match *node {
             Node::Input => rw.copy_input(),
+            Node::Lut { spec, ins } => {
+                if live[i] {
+                    let ops: Vec<NodeId> = ins[..spec.width as usize]
+                        .iter()
+                        .map(|&op| match rw.resolve(op) {
+                            Lit::Id(id) => id,
+                            Lit::Const(_) => unreachable!("dce never produces constants"),
+                        })
+                        .collect();
+                    rw.map.push(Lit::Id(rw.out.add_lut(spec, &ops).expect("operands exist")));
+                } else {
+                    rw.map.push(Lit::Const(false));
+                }
+            }
             Node::Gate { kind, a, b } => {
                 if live[i] {
                     if kind.is_const() {
@@ -482,6 +604,290 @@ pub fn optimize(nl: &Netlist, config: &OptConfig) -> Result<(Netlist, OptReport)
     }
     report.gates_after = current.num_gates();
     Ok((current, report))
+}
+
+/// Configuration of the [`lut_cover`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LutCoverConfig {
+    /// Maximum cone width (LUT inputs), `2..=MAX_LUT_INPUTS`. Callers
+    /// should clamp this to what the target parameter set can decode
+    /// (`NoiseModel::max_lut_width` in `pytfhe-tfhe`).
+    pub max_width: usize,
+    /// Minimum number of bootstrapped gates a cone must absorb to be
+    /// fused. The default of 2 fuses only cones that strictly reduce the
+    /// bootstrap count (2 gates → 1 programmable bootstrap).
+    pub min_absorbed: usize,
+}
+
+impl Default for LutCoverConfig {
+    fn default() -> Self {
+        LutCoverConfig { max_width: crate::MAX_LUT_INPUTS, min_absorbed: 2 }
+    }
+}
+
+/// Report of a [`lut_cover`] run — the LUT-cone coverage numbers
+/// surfaced by `netlist::stats` consumers and the shortint benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LutCoverReport {
+    /// Multi-gate cones fused into LUT nodes.
+    pub cones_fused: usize,
+    /// Gates absorbed into some cone (removed from the netlist).
+    pub gates_absorbed: usize,
+    /// LUT nodes in the lowered netlist (fused cones plus 1:1-lowered
+    /// leftover gates).
+    pub luts_emitted: usize,
+    /// Bootstrapped gates before lowering.
+    pub bootstraps_before: usize,
+    /// Bootstrapping programmable LUT evaluations after lowering.
+    pub bootstraps_after: usize,
+}
+
+impl LutCoverReport {
+    /// Bootstraps eliminated by the pass.
+    pub fn bootstraps_saved(&self) -> usize {
+        self.bootstraps_before.saturating_sub(self.bootstraps_after)
+    }
+}
+
+impl fmt::Display for LutCoverReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cones fused, {} gates absorbed, {} LUTs emitted, {} -> {} bootstraps ({} saved)",
+            self.cones_fused,
+            self.gates_absorbed,
+            self.luts_emitted,
+            self.bootstraps_before,
+            self.bootstraps_after,
+            self.bootstraps_saved()
+        )
+    }
+}
+
+/// Covers the netlist with fused LUT cones and lowers it to the message
+/// encoding: fanout-free cones of up to `max_width` inputs whose fusion
+/// strictly reduces the bootstrap count become single [`Node::Lut`]
+/// nodes, and every remaining gate is converted to the equivalent
+/// width-≤2 LUT so all wires share one message encoding. Constants stay
+/// as [`GateKind::Const0`]/[`GateKind::Const1`] gates (executed as
+/// trivial message-encoded samples).
+///
+/// The lowered netlist computes the same function — `eval_plain` results
+/// are bit-identical — but executes each fused cone with one
+/// programmable bootstrap instead of one bootstrap per gate.
+///
+/// A netlist that already contains LUT nodes is returned unchanged with
+/// an identity report (the pass is not re-entrant: the cone-growth cost
+/// model reasons about two-input gates).
+///
+/// # Errors
+///
+/// Returns an error if the input netlist fails validation.
+pub fn lut_cover(
+    nl: &Netlist,
+    config: &LutCoverConfig,
+) -> Result<(Netlist, LutCoverReport), NetlistError> {
+    nl.validate()?;
+    assert!(
+        (2..=crate::MAX_LUT_INPUTS).contains(&config.max_width),
+        "max_width {} out of range",
+        config.max_width
+    );
+    let identity = LutCoverReport {
+        bootstraps_before: nl.num_bootstrapped_gates(),
+        bootstraps_after: nl.num_bootstrapped_gates(),
+        luts_emitted: nl.num_luts(),
+        ..LutCoverReport::default()
+    };
+    if nl.num_luts() > 0 {
+        return Ok((nl.clone(), identity));
+    }
+
+    // Reference counts (gate operand reads + output marks) and output
+    // flags: a gate is absorbable only when its sole consumer is inside
+    // the cone being grown.
+    let n = nl.num_nodes();
+    let mut fanout = vec![0usize; n];
+    let mut is_output = vec![false; n];
+    for node in nl.nodes() {
+        if let Node::Gate { kind, a, b } = *node {
+            if kind.is_const() {
+                continue;
+            }
+            fanout[a.index()] += 1;
+            if !kind.is_unary() {
+                fanout[b.index()] += 1;
+            }
+        }
+    }
+    for &out in nl.outputs() {
+        fanout[out.index()] += 1;
+        is_output[out.index()] = true;
+    }
+
+    // Is this node a gate a cone may swallow (anything but inputs and
+    // constants)?
+    let expandable = |id: NodeId| match nl.node(id) {
+        Node::Gate { kind, .. } => !kind.is_const(),
+        _ => false,
+    };
+    let costs_bootstrap = |id: NodeId| match nl.node(id) {
+        Node::Gate { kind, .. } => !kind.is_const() && kind != GateKind::Buf,
+        _ => false,
+    };
+
+    // Grow a cone per root, most-recent roots first so deep cones get
+    // first claim on shared structure.
+    let mut absorbed = vec![false; n];
+    struct Cone {
+        leaves: Vec<NodeId>,
+        members: Vec<NodeId>, // ascending id order, root included
+    }
+    let mut cones: HashMap<usize, Cone> = HashMap::new();
+    for i in (0..n).rev() {
+        let root = NodeId(i as u32);
+        if absorbed[i] || !costs_bootstrap(root) {
+            continue;
+        }
+        let Node::Gate { kind, a, b } = nl.node(root) else { unreachable!() };
+        let mut leaves: Vec<NodeId> = vec![a];
+        if !kind.is_unary() && b != a {
+            leaves.push(b);
+        }
+        let mut members = vec![root];
+        loop {
+            // Find a leaf gate whose only consumer is this cone and whose
+            // expansion keeps the leaf set within `max_width`.
+            let candidate = leaves.iter().position(|&u| {
+                if !expandable(u) || absorbed[u.index()] || is_output[u.index()] {
+                    return false;
+                }
+                if fanout[u.index()] != 1 {
+                    return false;
+                }
+                let Node::Gate { kind, a, b } = nl.node(u) else { unreachable!() };
+                let mut grown = leaves.len() - 1;
+                if !leaves.contains(&a) {
+                    grown += 1;
+                }
+                if !kind.is_unary() && b != a && !leaves.contains(&b) {
+                    grown += 1;
+                }
+                grown <= config.max_width
+            });
+            let Some(pos) = candidate else { break };
+            let u = leaves.swap_remove(pos);
+            let Node::Gate { kind, a, b } = nl.node(u) else { unreachable!() };
+            if !leaves.contains(&a) {
+                leaves.push(a);
+            }
+            if !kind.is_unary() && !leaves.contains(&b) {
+                leaves.push(b);
+            }
+            members.push(u);
+        }
+        let absorbed_bootstraps = members.iter().filter(|&&m| costs_bootstrap(m)).count();
+        if members.len() < 2 || absorbed_bootstraps < config.min_absorbed {
+            continue;
+        }
+        for &m in &members {
+            if m != root {
+                absorbed[m.index()] = true;
+            }
+        }
+        members.sort_unstable();
+        cones.insert(i, Cone { leaves, members });
+    }
+
+    // One netlist-global wire precision: the widest fused cone (and at
+    // least 2, the width of 1:1-lowered binary gates).
+    let q = cones.values().map(|c| c.leaves.len()).max().unwrap_or(0).max(2) as u8;
+
+    // Truth table of a cone: evaluate its members (ascending id = topo
+    // order) over all leaf patterns.
+    let cone_table = |cone: &Cone| -> u16 {
+        let mut table = 0u16;
+        let mut values: HashMap<NodeId, bool> = HashMap::new();
+        for pattern in 0..1usize << cone.leaves.len() {
+            values.clear();
+            for (bit, &leaf) in cone.leaves.iter().enumerate() {
+                values.insert(leaf, (pattern >> bit) & 1 == 1);
+            }
+            for &m in &cone.members {
+                let Node::Gate { kind, a, b } = nl.node(m) else { unreachable!() };
+                let va = values[&a];
+                let vb = if kind.is_unary() || kind.is_const() { va } else { values[&b] };
+                values.insert(m, kind.eval(va, vb));
+            }
+            let root = *cone.members.last().expect("cone has a root");
+            table |= u16::from(values[&root]) << pattern;
+        }
+        table
+    };
+
+    // Rebuild: fused roots become wide LUTs, leftover gates lower 1:1.
+    let mut rw = Rewriter::new(nl);
+    let mut report = LutCoverReport {
+        cones_fused: cones.len(),
+        bootstraps_before: nl.num_bootstrapped_gates(),
+        ..LutCoverReport::default()
+    };
+    for (i, node) in nl.nodes().iter().enumerate() {
+        match *node {
+            Node::Input => rw.copy_input(),
+            Node::Lut { .. } => unreachable!("handled by the early return"),
+            Node::Gate { kind, a, b } => {
+                if absorbed[i] {
+                    // Swallowed by some cone; nothing reads this slot.
+                    rw.map.push(Lit::Const(false));
+                    report.gates_absorbed += 1;
+                    continue;
+                }
+                if let Some(cone) = cones.get(&i) {
+                    let table = cone_table(cone);
+                    let ops: Vec<NodeId> = cone
+                        .leaves
+                        .iter()
+                        .map(|&l| match rw.resolve(l) {
+                            Lit::Id(id) => id,
+                            Lit::Const(_) => unreachable!("leaves are never absorbed"),
+                        })
+                        .collect();
+                    let spec = LutSpec::new(cone.leaves.len() as u8, q, table);
+                    rw.map.push(Lit::Id(rw.out.add_lut(spec, &ops).expect("leaves exist")));
+                    continue;
+                }
+                if kind.is_const() {
+                    let id = rw.out.add_gate(kind, NodeId(0), NodeId(0)).expect("const gate");
+                    rw.map.push(Lit::Id(id));
+                    continue;
+                }
+                let (Lit::Id(ia), Lit::Id(ib)) = (rw.resolve(a), rw.resolve(b)) else {
+                    unreachable!("operands of live gates are never absorbed")
+                };
+                let lit = if kind.is_unary() {
+                    let table = if kind == GateKind::Not { 0b01 } else { 0b10 };
+                    Lit::Id(rw.out.add_lut(LutSpec::new(1, q, table), &[ia]).expect("operand"))
+                } else {
+                    let mut table = 0u16;
+                    for j in 0..4usize {
+                        table |= u16::from(kind.eval(j & 1 == 1, j >> 1 == 1)) << j;
+                    }
+                    Lit::Id(
+                        rw.out
+                            .add_lut(LutSpec::new(2, q, table), &[ia, ib])
+                            .expect("operands exist"),
+                    )
+                };
+                rw.map.push(lit);
+            }
+        }
+    }
+    let out = rw.finish(nl);
+    report.luts_emitted = out.num_luts();
+    report.bootstraps_after = out.num_bootstrapped_gates();
+    debug_assert!(report.bootstraps_after <= report.bootstraps_before);
+    Ok((out, report))
 }
 
 #[cfg(test)]
@@ -627,6 +1033,177 @@ mod tests {
     fn optimize_rejects_invalid() {
         let nl = Netlist::new();
         assert!(optimize(&nl, &OptConfig::default()).is_err());
+    }
+
+    /// A 2-bit ripple-carry adder: classic multi-gate cones (sum and
+    /// carry trees) with reconvergent fanout at the carry.
+    fn two_bit_adder() -> Netlist {
+        let mut nl = Netlist::new();
+        let a0 = nl.add_input();
+        let a1 = nl.add_input();
+        let b0 = nl.add_input();
+        let b1 = nl.add_input();
+        let s0 = nl.add_gate(GateKind::Xor, a0, b0).unwrap();
+        let c0 = nl.add_gate(GateKind::And, a0, b0).unwrap();
+        let x1 = nl.add_gate(GateKind::Xor, a1, b1).unwrap();
+        let s1 = nl.add_gate(GateKind::Xor, x1, c0).unwrap();
+        let t1 = nl.add_gate(GateKind::And, x1, c0).unwrap();
+        let t2 = nl.add_gate(GateKind::And, a1, b1).unwrap();
+        let c1 = nl.add_gate(GateKind::Or, t1, t2).unwrap();
+        nl.mark_output(s0).unwrap();
+        nl.mark_output(s1).unwrap();
+        nl.mark_output(c1).unwrap();
+        nl
+    }
+
+    #[test]
+    fn lut_cover_fuses_cones_and_preserves_semantics() {
+        let nl = two_bit_adder();
+        let (lowered, report) = lut_cover(&nl, &LutCoverConfig::default()).unwrap();
+        assert_equivalent(&nl, &lowered);
+        lowered.validate().unwrap();
+        // Lowered netlists hold only Input/Lut/Const nodes.
+        for node in lowered.nodes() {
+            match node {
+                Node::Input | Node::Lut { .. } => {}
+                Node::Gate { kind, .. } => assert!(kind.is_const(), "leftover gate {kind}"),
+            }
+        }
+        assert!(report.cones_fused >= 1, "{report}");
+        assert!(report.gates_absorbed >= 1, "{report}");
+        assert!(
+            report.bootstraps_after < report.bootstraps_before,
+            "fusion must strictly reduce bootstraps: {report}"
+        );
+        assert_eq!(report.luts_emitted, lowered.num_luts());
+        // All LUTs share the netlist-global precision.
+        let q = lowered.lut_precision().unwrap();
+        for node in lowered.nodes() {
+            if let Node::Lut { spec, .. } = node {
+                assert_eq!(spec.precision, q);
+                assert!(spec.width <= q);
+            }
+        }
+    }
+
+    #[test]
+    fn lut_cover_respects_width_limit() {
+        let nl = two_bit_adder();
+        for max_width in 2..=4 {
+            let cfg = LutCoverConfig { max_width, ..LutCoverConfig::default() };
+            let (lowered, _) = lut_cover(&nl, &cfg).unwrap();
+            assert_equivalent(&nl, &lowered);
+            for node in lowered.nodes() {
+                if let Node::Lut { spec, .. } = node {
+                    assert!((spec.width as usize) <= max_width);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut_cover_keeps_shared_gates_unfused() {
+        // c0 has fanout 2 (both consumers), so it must stay its own LUT.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let c = nl.add_input();
+        let shared = nl.add_gate(GateKind::And, a, b).unwrap();
+        let u = nl.add_gate(GateKind::Xor, shared, c).unwrap();
+        let v = nl.add_gate(GateKind::Or, shared, c).unwrap();
+        nl.mark_output(u).unwrap();
+        nl.mark_output(v).unwrap();
+        let (lowered, report) = lut_cover(&nl, &LutCoverConfig::default()).unwrap();
+        assert_equivalent(&nl, &lowered);
+        // No single-consumer interior gates exist, so nothing fuses and
+        // the bootstrap count carries over 1:1.
+        assert_eq!(report.cones_fused, 0);
+        assert_eq!(report.bootstraps_after, report.bootstraps_before);
+    }
+
+    #[test]
+    fn lut_cover_absorbs_inverter_chains() {
+        // NOT(AND(NOT a, b)) collapses into one width-2 LUT.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let na = nl.add_gate(GateKind::Not, a, a).unwrap();
+        let g = nl.add_gate(GateKind::And, na, b).unwrap();
+        let out = nl.add_gate(GateKind::Not, g, g).unwrap();
+        nl.mark_output(out).unwrap();
+        let (lowered, report) = lut_cover(&nl, &LutCoverConfig::default()).unwrap();
+        assert_equivalent(&nl, &lowered);
+        assert_eq!(report.cones_fused, 1);
+        assert_eq!(lowered.num_bootstrapped_gates(), 1);
+    }
+
+    #[test]
+    fn lowered_netlists_survive_the_optimizer() {
+        let nl = two_bit_adder();
+        let (lowered, _) = lut_cover(&nl, &LutCoverConfig::default()).unwrap();
+        let (opt, _) = optimize(&lowered, &OptConfig::default()).unwrap();
+        assert_equivalent(&nl, &opt);
+        // The optimizer must not resurrect two-input boolean gates.
+        for node in opt.nodes() {
+            if let Node::Gate { kind, .. } = node {
+                assert!(kind.is_const(), "optimizer reintroduced gate {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_specializes_constant_lut_inputs() {
+        use crate::LutSpec;
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let one = nl.add_gate(GateKind::Const1, a, a).unwrap();
+        // maj(a, b, 1) = a | b.
+        let maj: u16 = (0..8).fold(0, |t, j: u16| t | (u16::from(j.count_ones() >= 2) << j));
+        let g = nl.add_lut(LutSpec::new(3, 3, maj), &[a, b, one]).unwrap();
+        nl.mark_output(g).unwrap();
+        let (opt, _) = constant_fold(&nl);
+        assert_equivalent(&nl, &opt);
+        let Node::Lut { spec, .. } = opt.node(opt.outputs()[0]) else {
+            panic!("expected a narrowed LUT")
+        };
+        assert_eq!(spec.width, 2);
+        assert_eq!(spec.table, 0b1110); // OR truth table
+    }
+
+    #[test]
+    fn cse_merges_identical_luts() {
+        use crate::LutSpec;
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let spec = LutSpec::new(2, 2, 0b0110);
+        let g1 = nl.add_lut(spec, &[a, b]).unwrap();
+        let g2 = nl.add_lut(spec, &[a, b]).unwrap();
+        let h = nl.add_lut(LutSpec::new(2, 2, 0b1000), &[g1, g2]).unwrap();
+        nl.mark_output(h).unwrap();
+        let (opt, _) = cse(&nl);
+        let (opt, _) = dce(&opt);
+        assert_equivalent(&nl, &opt);
+        assert_eq!(opt.num_luts(), 2);
+    }
+
+    #[test]
+    fn absorb_folds_inverters_into_lut_tables() {
+        use crate::LutSpec;
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let na = nl.add_lut(LutSpec::new(1, 2, 0b01), &[a]).unwrap();
+        let g = nl.add_lut(LutSpec::new(2, 2, 0b1000), &[na, b]).unwrap(); // AND(na, b)
+        nl.mark_output(g).unwrap();
+        let (step, _) = absorb_inverters(&nl);
+        assert_equivalent(&nl, &step);
+        let (opt, _) = dce(&step);
+        assert_equivalent(&nl, &opt);
+        assert_eq!(opt.num_luts(), 1);
+        let Node::Lut { spec, .. } = opt.node(opt.outputs()[0]) else { panic!("lut expected") };
+        assert_eq!(spec.table, 0b0100); // ANDNY truth table: !a & b
     }
 
     #[test]

@@ -28,21 +28,28 @@ impl Levels {
         let mut level = vec![0u32; nl.num_nodes()];
         let mut max_level = 0u32;
         for (i, node) in nl.nodes().iter().enumerate() {
-            if let Node::Gate { kind, a, b } = *node {
-                let l = if kind.is_const() {
-                    0
-                } else if kind.is_unary() {
-                    level[a.index()] + 1
-                } else {
-                    level[a.index()].max(level[b.index()]) + 1
-                };
-                level[i] = l;
-                max_level = max_level.max(l);
-            }
+            let l = match *node {
+                Node::Input => continue,
+                Node::Gate { kind, a, b } => {
+                    if kind.is_const() {
+                        0
+                    } else if kind.is_unary() {
+                        level[a.index()] + 1
+                    } else {
+                        level[a.index()].max(level[b.index()]) + 1
+                    }
+                }
+                Node::Lut { spec, ins } => {
+                    ins[..spec.width as usize].iter().map(|op| level[op.index()]).max().unwrap_or(0)
+                        + 1
+                }
+            };
+            level[i] = l;
+            max_level = max_level.max(l);
         }
         let mut sizes = vec![0u64; max_level as usize + 1];
         for (i, node) in nl.nodes().iter().enumerate() {
-            if matches!(node, Node::Gate { .. }) {
+            if !matches!(node, Node::Input) {
                 sizes[level[i] as usize] += 1;
             }
         }
@@ -90,7 +97,7 @@ impl LevelSchedule {
     pub fn from_levels(nl: &Netlist, levels: &Levels) -> Self {
         let mut waves: Vec<Vec<u32>> = vec![Vec::new(); levels.sizes.len()];
         for (i, node) in nl.nodes().iter().enumerate() {
-            if matches!(node, Node::Gate { .. }) {
+            if !matches!(node, Node::Input) {
                 waves[levels.level[i] as usize].push(i as u32);
             }
         }

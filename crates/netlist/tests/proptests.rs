@@ -1,9 +1,11 @@
 //! Property-based tests of the netlist IR and its optimization passes.
 
 use proptest::prelude::*;
-use pytfhe_netlist::opt::{absorb_inverters, constant_fold, cse, dce, optimize, OptConfig};
+use pytfhe_netlist::opt::{
+    absorb_inverters, constant_fold, cse, dce, lut_cover, optimize, LutCoverConfig, OptConfig,
+};
 use pytfhe_netlist::topo::{LevelSchedule, Levels};
-use pytfhe_netlist::{GateKind, Netlist, NodeId, ALL_GATE_KINDS};
+use pytfhe_netlist::{GateKind, Netlist, Node, NodeId, ALL_GATE_KINDS};
 
 fn random_netlist(inputs: usize, max_gates: usize) -> impl Strategy<Value = Netlist> {
     prop::collection::vec(
@@ -81,6 +83,33 @@ proptest! {
         prop_assert!(opt.validate().is_ok());
         prop_assert_eq!(opt.num_inputs(), nl.num_inputs());
         prop_assert_eq!(opt.outputs().len(), nl.outputs().len());
+    }
+
+    /// LUT covering is bit-exact on random circuits at every width
+    /// limit, never increases the bootstrap count, and produces only
+    /// Input/Lut/Const nodes.
+    #[test]
+    fn lut_cover_is_bit_exact_on_random_circuits(
+        nl in random_netlist(5, 100),
+        max_width in 2usize..5,
+        bits in prop::collection::vec(any::<bool>(), 5),
+    ) {
+        let want = nl.eval_plain(&bits);
+        let cfg = LutCoverConfig { max_width, ..LutCoverConfig::default() };
+        let (lowered, report) = lut_cover(&nl, &cfg).expect("valid input");
+        prop_assert_eq!(&lowered.eval_plain(&bits), &want);
+        prop_assert!(lowered.validate().is_ok());
+        prop_assert!(report.bootstraps_after <= report.bootstraps_before, "{}", report);
+        prop_assert_eq!(report.luts_emitted, lowered.num_luts());
+        for node in lowered.nodes() {
+            match node {
+                Node::Input | Node::Lut { .. } => {}
+                Node::Gate { kind, .. } => prop_assert!(kind.is_const(), "leftover {}", kind),
+            }
+        }
+        // The optimizer accepts (and preserves) lowered netlists.
+        let (opt, _) = optimize(&lowered, &OptConfig::default()).expect("valid lowered");
+        prop_assert_eq!(&opt.eval_plain(&bits), &want);
     }
 
     /// Gate histograms and stats are consistent with direct counts.

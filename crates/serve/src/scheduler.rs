@@ -184,6 +184,15 @@ impl Scheduler {
                 inputs.len()
             )));
         }
+        // The wire program format cannot encode fused LUT nodes, so a
+        // LUT-bearing netlist here means a caller bypassed assembly;
+        // the cross-tenant wave drainer only batches boolean gates.
+        if nl.num_luts() > 0 {
+            return Err(ServeError::Protocol(format!(
+                "program carries {} fused LUT nodes; serving requires boolean gate programs",
+                nl.num_luts()
+            )));
+        }
         let mut values: Vec<Option<LweCiphertext>> = vec![None; nl.num_nodes()];
         for (node, ct) in nl.inputs().to_vec().into_iter().zip(inputs) {
             values[node.index()] = Some(ct);

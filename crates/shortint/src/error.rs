@@ -1,0 +1,62 @@
+use pytfhe_tfhe::TfheError;
+use std::fmt;
+
+/// Errors of the shortint layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShortintError {
+    /// The parameter set cannot decode the requested precision within
+    /// the noise guard's failure-probability budget (keygen admission).
+    Noise(TfheError),
+    /// Invalid message/carry split.
+    BadParams { message_bits: u32, carry_bits: u32 },
+    /// A plaintext does not fit the message space.
+    MessageOutOfRange { value: u64, space: u64 },
+    /// An operation would overflow the carry space, silently wrapping
+    /// the plaintext window.
+    DegreeOverflow { degree: u64, space: u64 },
+    /// Bivariate ops pack `lhs · 2^m + rhs` into one window, which
+    /// needs `2 · message_bits ≤ message_bits + carry_bits`.
+    BivariateUnsupported { message_bits: u32, carry_bits: u32 },
+    /// Radix operands have different block counts.
+    RadixLengthMismatch { lhs: usize, rhs: usize },
+    /// A radix value does not fit the requested block count.
+    RadixOutOfRange { value: u64, bits: u32 },
+}
+
+impl fmt::Display for ShortintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShortintError::Noise(e) => write!(f, "noise admission refused: {e}"),
+            ShortintError::BadParams { message_bits, carry_bits } => {
+                write!(
+                    f,
+                    "invalid shortint split: {message_bits} message + {carry_bits} carry bits"
+                )
+            }
+            ShortintError::MessageOutOfRange { value, space } => {
+                write!(f, "message {value} outside the {space}-value message space")
+            }
+            ShortintError::DegreeOverflow { degree, space } => {
+                write!(f, "degree {degree} would overflow the {space}-value plaintext window")
+            }
+            ShortintError::BivariateUnsupported { message_bits, carry_bits } => write!(
+                f,
+                "bivariate LUTs need carry_bits >= message_bits, got {message_bits}+{carry_bits}"
+            ),
+            ShortintError::RadixLengthMismatch { lhs, rhs } => {
+                write!(f, "radix operands have {lhs} vs {rhs} blocks")
+            }
+            ShortintError::RadixOutOfRange { value, bits } => {
+                write!(f, "value {value} does not fit {bits} radix bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShortintError {}
+
+impl From<TfheError> for ShortintError {
+    fn from(e: TfheError) -> Self {
+        ShortintError::Noise(e)
+    }
+}

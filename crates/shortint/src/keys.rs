@@ -1,0 +1,346 @@
+use crate::{ShortintError, ShortintParams};
+use pytfhe_telemetry as telemetry;
+use pytfhe_tfhe::{
+    ClientKey, GateScratch, LweCiphertext, NoiseGuard, Params, SecureRng, ServerKey,
+};
+
+/// A multi-bit ciphertext: one LWE sample carrying a value on the
+/// half-torus message encoding, plus the *degree* — a conservative
+/// plaintext upper bound the server tracks so linear operations can
+/// prove they stay inside the carry headroom without decrypting.
+#[derive(Debug, Clone)]
+pub struct Shortint {
+    pub(crate) ct: LweCiphertext,
+    pub(crate) degree: u64,
+}
+
+impl Shortint {
+    /// The tracked plaintext upper bound.
+    pub fn degree(&self) -> u64 {
+        self.degree
+    }
+
+    /// The raw LWE sample.
+    pub fn ciphertext(&self) -> &LweCiphertext {
+        &self.ct
+    }
+}
+
+/// Client-side shortint key: the boolean [`ClientKey`] plus the
+/// message/carry split every ciphertext under it uses.
+#[derive(Debug, Clone)]
+pub struct ShortintClientKey {
+    inner: ClientKey,
+    shortint: ShortintParams,
+}
+
+impl ShortintClientKey {
+    /// Generates a key after the noise guard admits the split: the
+    /// analytical decode-failure probability of the *worst* packed LUT
+    /// this split performs (bivariate packing at full precision) must
+    /// stay under the guard's budget, so precisions the parameter set
+    /// cannot decode are refused with a typed error instead of
+    /// corrupting results silently at runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`ShortintError::Noise`] when admission fails.
+    pub fn generate(
+        shortint: ShortintParams,
+        params: Params,
+        guard: &NoiseGuard,
+        rng: &mut SecureRng,
+    ) -> Result<Self, ShortintError> {
+        guard.admit_lut(&params, shortint.total_bits(), shortint.worst_coeff_sq_sum())?;
+        Ok(ShortintClientKey { inner: ClientKey::generate(params, rng), shortint })
+    }
+
+    /// The message/carry split.
+    pub fn shortint_params(&self) -> ShortintParams {
+        self.shortint
+    }
+
+    /// The underlying boolean client key.
+    pub fn inner(&self) -> &ClientKey {
+        &self.inner
+    }
+
+    /// Encrypts a message-space value.
+    ///
+    /// # Errors
+    ///
+    /// [`ShortintError::MessageOutOfRange`] when `m` exceeds the
+    /// message space.
+    pub fn encrypt(&self, m: u64, rng: &mut SecureRng) -> Result<Shortint, ShortintError> {
+        if m >= self.shortint.message_space() {
+            return Err(ShortintError::MessageOutOfRange {
+                value: m,
+                space: self.shortint.message_space(),
+            });
+        }
+        let ct = self.inner.encrypt_message(m as u32, self.shortint.total_bits(), rng);
+        Ok(Shortint { ct, degree: self.shortint.message_space() - 1 })
+    }
+
+    /// Decrypts the full plaintext window (message plus any unresolved
+    /// carries). Callers wanting the message alone take the result
+    /// modulo [`ShortintParams::message_space`], or bootstrap with
+    /// [`ShortintServerKey::message_extract`] first.
+    pub fn decrypt(&self, ct: &Shortint) -> u64 {
+        u64::from(self.inner.decrypt_message(&ct.ct, self.shortint.total_bits()))
+    }
+
+    /// Derives the matching server key.
+    pub fn server_key(&self, rng: &mut SecureRng) -> ShortintServerKey {
+        let inner = self.inner.server_key(rng);
+        let scratch = inner.gate_scratch();
+        let packed = inner.constant(false);
+        ShortintServerKey {
+            inner,
+            shortint: self.shortint,
+            scratch,
+            packed,
+            stats: ShortintStats::default(),
+        }
+    }
+}
+
+/// Bootstraps and linear operations a server key has performed —
+/// programmable bootstraps are the unit everything in this codebase is
+/// priced in, so callers can check an algorithm's cost directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShortintStats {
+    /// Programmable bootstraps run (one per LUT evaluation).
+    pub bootstraps: u64,
+    /// Linear operations (additions, packings) — no bootstrap.
+    pub linear_ops: u64,
+}
+
+/// Server-side shortint key: the boolean [`ServerKey`] plus reusable
+/// scratch, so the hot path ([`pytfhe_tfhe::ServerKey::apply_lut_into`])
+/// allocates nothing after warm-up. Operations take `&mut self` for the
+/// scratch; clone the key for concurrent evaluation streams.
+#[derive(Debug)]
+pub struct ShortintServerKey {
+    inner: ServerKey,
+    shortint: ShortintParams,
+    scratch: GateScratch,
+    packed: LweCiphertext,
+    stats: ShortintStats,
+}
+
+impl ShortintServerKey {
+    /// The message/carry split.
+    pub fn shortint_params(&self) -> ShortintParams {
+        self.shortint
+    }
+
+    /// The underlying boolean server key.
+    pub fn inner(&self) -> &ServerKey {
+        &self.inner
+    }
+
+    /// Operation counters since construction or the last reset.
+    pub fn stats(&self) -> ShortintStats {
+        self.stats
+    }
+
+    /// Zeroes the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ShortintStats::default();
+    }
+
+    fn count_bootstrap(&mut self) {
+        self.stats.bootstraps += 1;
+        if telemetry::enabled() {
+            telemetry::metrics().counter_add("shortint_bootstraps_total", 1);
+        }
+    }
+
+    fn count_linear(&mut self) {
+        self.stats.linear_ops += 1;
+        if telemetry::enabled() {
+            telemetry::metrics().counter_add("shortint_linear_ops_total", 1);
+        }
+    }
+
+    /// Applies a univariate function in one programmable bootstrap.
+    /// `f` is tabulated over the full plaintext window (so it sees
+    /// unresolved carries) and its outputs are reduced modulo the
+    /// window; the result's degree is the table maximum over inputs the
+    /// operand can actually take.
+    pub fn apply_lut(&mut self, a: &Shortint, f: impl Fn(u64) -> u64) -> Shortint {
+        let space = self.shortint.total_space();
+        let table: Vec<u32> = (0..space).map(|v| (f(v) % space) as u32).collect();
+        let degree = table[..=(a.degree as usize).min(space as usize - 1)]
+            .iter()
+            .map(|&v| u64::from(v))
+            .max()
+            .unwrap_or(0);
+        let mut out = self.inner.constant(false);
+        self.inner.apply_lut_into(
+            &a.ct,
+            &table,
+            self.shortint.total_bits(),
+            &mut self.scratch,
+            &mut out,
+        );
+        self.count_bootstrap();
+        Shortint { ct: out, degree }
+    }
+
+    /// Resolves the operand to its message: `v mod 2^m`, one bootstrap.
+    pub fn message_extract(&mut self, a: &Shortint) -> Shortint {
+        let m = self.shortint.message_space();
+        let mut out = self.apply_lut(a, |v| v % m);
+        out.degree = out.degree.min(a.degree).min(m - 1);
+        out
+    }
+
+    /// Extracts the carries above the message: `v / 2^m`, one bootstrap.
+    pub fn carry_extract(&mut self, a: &Shortint) -> Shortint {
+        let m = self.shortint.message_space();
+        let mut out = self.apply_lut(a, |v| v / m);
+        out.degree = out.degree.min(a.degree / m);
+        out
+    }
+
+    /// Adds without carry management: one linear operation, degrees
+    /// accumulate into the carry space.
+    ///
+    /// # Errors
+    ///
+    /// [`ShortintError::DegreeOverflow`] when the summed degrees would
+    /// wrap the plaintext window.
+    pub fn unchecked_add(&mut self, a: &Shortint, b: &Shortint) -> Result<Shortint, ShortintError> {
+        let degree = a.degree + b.degree;
+        if degree >= self.shortint.total_space() {
+            return Err(ShortintError::DegreeOverflow {
+                degree,
+                space: self.shortint.total_space(),
+            });
+        }
+        let mut out = self.inner.constant(false);
+        self.inner.pack_messages_into(
+            self.shortint.total_bits(),
+            &[(1, &a.ct), (1, &b.ct)],
+            &mut out,
+        );
+        self.count_linear();
+        Ok(Shortint { ct: out, degree })
+    }
+
+    /// Exact addition into the plaintext window: operands are
+    /// bootstrap-reduced to their messages only when the carry space
+    /// could not absorb the sum, then added linearly. The result may
+    /// carry (degree up to `2·(2^m − 1)`); follow with
+    /// [`ShortintServerKey::message_extract`] /
+    /// [`ShortintServerKey::carry_extract`] to normalize.
+    pub fn add(&mut self, a: &Shortint, b: &Shortint) -> Shortint {
+        let space = self.shortint.total_space();
+        let (mut a, mut b) = (a.clone(), b.clone());
+        if a.degree + b.degree >= space {
+            // Reduce the larger operand first; one bootstrap usually
+            // restores enough headroom.
+            if a.degree >= b.degree {
+                a = self.message_extract(&a);
+            } else {
+                b = self.message_extract(&b);
+            }
+        }
+        if a.degree + b.degree >= space {
+            if a.degree >= b.degree {
+                a = self.message_extract(&a);
+            } else {
+                b = self.message_extract(&b);
+            }
+        }
+        self.unchecked_add(&a, &b).expect("message-reduced operands fit the window")
+    }
+
+    /// Applies a bivariate function in **one** programmable bootstrap:
+    /// the operands are packed as `lhs · 2^m + rhs` (a linear
+    /// operation), and a single LUT over the packed window computes
+    /// `f(lhs, rhs)`. Operands above the message space are
+    /// bootstrap-reduced first; `f`'s outputs are reduced modulo the
+    /// plaintext window.
+    ///
+    /// # Errors
+    ///
+    /// [`ShortintError::BivariateUnsupported`] when the split has no
+    /// packing room (`2m > total`).
+    pub fn bivariate(
+        &mut self,
+        a: &Shortint,
+        b: &Shortint,
+        f: impl Fn(u64, u64) -> u64,
+    ) -> Result<Shortint, ShortintError> {
+        if !self.shortint.supports_bivariate() {
+            return Err(ShortintError::BivariateUnsupported {
+                message_bits: self.shortint.message_bits(),
+                carry_bits: self.shortint.carry_bits(),
+            });
+        }
+        let m = self.shortint.message_space();
+        let space = self.shortint.total_space();
+        let a = if a.degree < m { a.clone() } else { self.message_extract(a) };
+        let b = if b.degree < m { b.clone() } else { self.message_extract(b) };
+        self.inner.pack_messages_into(
+            self.shortint.total_bits(),
+            &[(m as i32, &a.ct), (1, &b.ct)],
+            &mut self.packed,
+        );
+        self.count_linear();
+        let table: Vec<u32> =
+            (0..space).map(|idx| (f((idx / m) % m, idx % m) % space) as u32).collect();
+        let degree = (0..=a.degree)
+            .flat_map(|x| (0..=b.degree).map(move |y| (x, y)))
+            .map(|(x, y)| u64::from(table[(x * m + y) as usize]))
+            .max()
+            .unwrap_or(0);
+        let mut out = self.inner.constant(false);
+        self.inner.apply_lut_into(
+            &self.packed,
+            &table,
+            self.shortint.total_bits(),
+            &mut self.scratch,
+            &mut out,
+        );
+        self.count_bootstrap();
+        Ok(Shortint { ct: out, degree })
+    }
+
+    /// The low message-space half of the product: `(a·b) mod 2^m`, one
+    /// bootstrap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShortintServerKey::bivariate`] errors.
+    pub fn mul_low(&mut self, a: &Shortint, b: &Shortint) -> Result<Shortint, ShortintError> {
+        let m = self.shortint.message_space();
+        self.bivariate(a, b, |x, y| (x * y) % m)
+    }
+
+    /// Three-way comparison in one bootstrap: 0 when `a < b`, 1 when
+    /// equal, 2 when `a > b`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShortintServerKey::bivariate`] errors.
+    pub fn cmp(&mut self, a: &Shortint, b: &Shortint) -> Result<Shortint, ShortintError> {
+        self.bivariate(a, b, |x, y| match x.cmp(&y) {
+            std::cmp::Ordering::Less => 0,
+            std::cmp::Ordering::Equal => 1,
+            std::cmp::Ordering::Greater => 2,
+        })
+    }
+
+    /// The larger operand, one bootstrap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShortintServerKey::bivariate`] errors.
+    pub fn max(&mut self, a: &Shortint, b: &Shortint) -> Result<Shortint, ShortintError> {
+        self.bivariate(a, b, u64::max)
+    }
+}

@@ -1,0 +1,55 @@
+//! # pytfhe-shortint — exact multi-bit integers over TFHE
+//!
+//! Boolean TFHE spends one bootstrap per two-input gate; a 4-bit adder
+//! is ~20 bootstraps. This crate moves arithmetic to *shortint*
+//! ciphertexts: a single LWE sample carries a 1–4-bit value on the
+//! half-torus message encoding, split into a **message** and a
+//! **carry** space ([`ShortintParams`]). Linear operations (addition,
+//! packing) are bootstrap-free and accumulate into the carry space;
+//! one *programmable bootstrap* then evaluates an arbitrary lookup
+//! table over the whole window, resetting the carries
+//! ([`ShortintServerKey::apply_lut`]).
+//!
+//! Bivariate functions cost the **same single bootstrap**: the operands
+//! are packed as `lhs · 2^m + rhs` with one linear combination, and a
+//! LUT over the packed window computes anything of two arguments —
+//! multiplication, comparison, maximum
+//! ([`ShortintServerKey::bivariate`]). Values wider than one digit
+//! compose as radix vectors with rippled carry extraction
+//! ([`RadixCiphertext`]).
+//!
+//! Key generation runs the analytical noise admission check up front
+//! ([`pytfhe_tfhe::NoiseGuard::admit_lut`]): a parameter set that
+//! cannot decode the requested precision within the failure-probability
+//! budget is refused with a typed error, never a silently wrong result.
+//!
+//! ```
+//! use pytfhe_shortint::{ShortintClientKey, ShortintParams};
+//! use pytfhe_tfhe::{NoiseGuard, Params, SecureRng};
+//!
+//! let mut rng = SecureRng::seed_from_u64(7);
+//! let client = ShortintClientKey::generate(
+//!     ShortintParams::message_2_carry_2(),
+//!     Params::testing_shortint(),
+//!     &NoiseGuard::default(),
+//!     &mut rng,
+//! )
+//! .expect("parameters admit 4-bit LUTs");
+//! let mut server = client.server_key(&mut rng);
+//! let a = client.encrypt(3, &mut rng).unwrap();
+//! let b = client.encrypt(2, &mut rng).unwrap();
+//! let product = server.mul_low(&a, &b).unwrap(); // one bootstrap
+//! assert_eq!(client.decrypt(&product), (3 * 2) % 4); // low product digit
+//! let bigger = server.max(&a, &b).unwrap(); // also one bootstrap
+//! assert_eq!(client.decrypt(&bigger), 3);
+//! ```
+
+mod error;
+mod keys;
+mod params;
+mod radix;
+
+pub use error::ShortintError;
+pub use keys::{Shortint, ShortintClientKey, ShortintServerKey, ShortintStats};
+pub use params::ShortintParams;
+pub use radix::RadixCiphertext;

@@ -1,0 +1,103 @@
+//! Radix composition: wide exact integers as little-endian vectors of
+//! shortint digits, with bootstrap-driven carry propagation. An 8-bit
+//! value under the `message_2_carry_2` split is 4 digits; 16-bit is 8.
+
+use crate::{Shortint, ShortintClientKey, ShortintError, ShortintServerKey};
+use pytfhe_tfhe::SecureRng;
+
+/// A wide integer: `blocks[i]` holds bits `[i·m, (i+1)·m)` of the value
+/// under an `m`-message-bit split.
+#[derive(Debug, Clone)]
+pub struct RadixCiphertext {
+    blocks: Vec<Shortint>,
+}
+
+impl RadixCiphertext {
+    /// The digit vector, least significant first.
+    pub fn blocks(&self) -> &[Shortint] {
+        &self.blocks
+    }
+
+    /// Plaintext bits this radix value spans.
+    pub fn bits(&self, client: &ShortintClientKey) -> u32 {
+        self.blocks.len() as u32 * client.shortint_params().message_bits()
+    }
+}
+
+impl ShortintClientKey {
+    /// Encrypts `value` into `blocks` radix digits.
+    ///
+    /// # Errors
+    ///
+    /// [`ShortintError::RadixOutOfRange`] when the value needs more
+    /// bits than the digits hold.
+    pub fn encrypt_radix(
+        &self,
+        value: u64,
+        blocks: usize,
+        rng: &mut SecureRng,
+    ) -> Result<RadixCiphertext, ShortintError> {
+        let m = self.shortint_params().message_bits();
+        let bits = blocks as u32 * m;
+        if bits < 64 && value >= 1 << bits {
+            return Err(ShortintError::RadixOutOfRange { value, bits });
+        }
+        let mask = self.shortint_params().message_space() - 1;
+        let blocks = (0..blocks)
+            .map(|i| self.encrypt((value >> (i as u32 * m)) & mask, rng))
+            .collect::<Result<_, _>>()?;
+        Ok(RadixCiphertext { blocks })
+    }
+
+    /// Decrypts a radix value, reducing each digit to its message (the
+    /// server's carry propagation keeps digits reduced, so this is a
+    /// plain weighted sum).
+    pub fn decrypt_radix(&self, ct: &RadixCiphertext) -> u64 {
+        let m = self.shortint_params().message_bits();
+        let mask = self.shortint_params().message_space() - 1;
+        ct.blocks
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, b)| acc | ((self.decrypt(b) & mask) << (i as u32 * m)))
+    }
+}
+
+impl ShortintServerKey {
+    /// Exact wrapping addition modulo `2^(blocks·m)`: digits are added
+    /// linearly, then each position's carry is extracted and rippled
+    /// into the next — two bootstraps per digit (one carry extract, one
+    /// message extract), zero for the top digit's dropped carry-out.
+    ///
+    /// # Errors
+    ///
+    /// [`ShortintError::RadixLengthMismatch`] on different block
+    /// counts, [`ShortintError::DegreeOverflow`] when the split's carry
+    /// space cannot hold `digit + digit + carry` (needs at least one
+    /// carry bit).
+    pub fn add_radix(
+        &mut self,
+        a: &RadixCiphertext,
+        b: &RadixCiphertext,
+    ) -> Result<RadixCiphertext, ShortintError> {
+        if a.blocks.len() != b.blocks.len() {
+            return Err(ShortintError::RadixLengthMismatch {
+                lhs: a.blocks.len(),
+                rhs: b.blocks.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(a.blocks.len());
+        let mut carry: Option<Shortint> = None;
+        let last = a.blocks.len().saturating_sub(1);
+        for (i, (da, db)) in a.blocks.iter().zip(&b.blocks).enumerate() {
+            let mut sum = self.unchecked_add(da, db)?;
+            if let Some(c) = carry.take() {
+                sum = self.unchecked_add(&sum, &c)?;
+            }
+            if i < last {
+                carry = Some(self.carry_extract(&sum));
+            }
+            out.push(self.message_extract(&sum));
+        }
+        Ok(RadixCiphertext { blocks: out })
+    }
+}

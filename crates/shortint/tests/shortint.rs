@@ -1,0 +1,177 @@
+//! Oracle tests of the shortint layer against plain integer arithmetic:
+//! every encrypted operation must agree with the corresponding `u64`
+//! computation, across every message/carry split the parameter set
+//! admits, under whichever SIMD path `PYTFHE_SIMD` selects.
+
+use proptest::prelude::*;
+use pytfhe_shortint::{ShortintClientKey, ShortintError, ShortintParams, ShortintServerKey};
+use pytfhe_tfhe::{NoiseGuard, Params, SecureRng, TfheError};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One registry entry per message/carry split: the split plus its
+/// leaked key pair.
+type KeyEntry = (u32, u32, &'static ShortintClientKey, &'static Mutex<ShortintServerKey>);
+
+/// One key pair per message/carry split, generated on first use and
+/// shared across the suite (bootstrap keygen is the expensive part).
+fn keys(
+    message_bits: u32,
+    carry_bits: u32,
+) -> (&'static ShortintClientKey, MutexGuard<'static, ShortintServerKey>) {
+    static CELLS: OnceLock<Mutex<Vec<KeyEntry>>> = OnceLock::new();
+    let registry = CELLS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut reg = registry.lock().unwrap();
+    if let Some(&(_, _, ck, sk)) = reg.iter().find(|e| e.0 == message_bits && e.1 == carry_bits) {
+        return (ck, sk.lock().unwrap());
+    }
+    let mut rng = SecureRng::seed_from_u64(0xC0DE + u64::from(message_bits * 8 + carry_bits));
+    let split = ShortintParams::new(message_bits, carry_bits).expect("valid split");
+    let client = ShortintClientKey::generate(
+        split,
+        Params::testing_shortint(),
+        &NoiseGuard::default(),
+        &mut rng,
+    )
+    .expect("testing_shortint admits 4-bit LUTs");
+    let server = client.server_key(&mut rng);
+    let ck: &'static ShortintClientKey = Box::leak(Box::new(client));
+    let sk: &'static Mutex<ShortintServerKey> = Box::leak(Box::new(Mutex::new(server)));
+    reg.push((message_bits, carry_bits, ck, sk));
+    (ck, sk.lock().unwrap())
+}
+
+#[test]
+fn round_trips_cover_every_admissible_precision() {
+    // All splits with 1..=4 total bits of precision.
+    for (m, c) in [(1, 0), (1, 1), (2, 0), (2, 1), (1, 2), (2, 2), (4, 0), (1, 3)] {
+        let split = ShortintParams::new(m, c).expect("valid split");
+        let mut rng = SecureRng::seed_from_u64(0x0DD + u64::from(m * 8 + c));
+        let client = ShortintClientKey::generate(
+            split,
+            Params::testing_shortint(),
+            &NoiseGuard::default(),
+            &mut rng,
+        )
+        .expect("admissible");
+        for v in 0..split.message_space() {
+            let ct = client.encrypt(v, &mut rng).expect("in range");
+            assert_eq!(client.decrypt(&ct), v, "split {m}+{c}, value {v}");
+        }
+        assert!(matches!(
+            client.encrypt(split.message_space(), &mut rng),
+            Err(ShortintError::MessageOutOfRange { .. })
+        ));
+    }
+}
+
+#[test]
+fn keygen_refuses_parameters_that_cannot_decode_the_precision() {
+    // The boolean-grade testing parameters decode 1-bit gates reliably
+    // but their mod-switch noise overwhelms multi-bit windows: the
+    // guard must refuse with a typed error rather than hand out keys
+    // that corrupt results silently.
+    let mut rng = SecureRng::seed_from_u64(99);
+    let refused = ShortintClientKey::generate(
+        ShortintParams::message_2_carry_2(),
+        Params::testing(),
+        &NoiseGuard::default(),
+        &mut rng,
+    );
+    assert!(
+        matches!(refused, Err(ShortintError::Noise(TfheError::NoiseBudgetExceeded { .. }))),
+        "got {refused:?}"
+    );
+}
+
+#[test]
+fn linear_adds_are_bootstrap_free_and_bivariates_cost_one() {
+    let (client, mut server) = keys(2, 2);
+    let mut rng = SecureRng::seed_from_u64(4242);
+    let a = client.encrypt(2, &mut rng).unwrap();
+    let b = client.encrypt(3, &mut rng).unwrap();
+    server.reset_stats();
+    let sum = server.add(&a, &b);
+    assert_eq!(client.decrypt(&sum), 5, "carry space holds 2+3 exactly");
+    assert_eq!(server.stats().bootstraps, 0, "linear add must not bootstrap");
+    assert_eq!(server.stats().linear_ops, 1);
+    server.reset_stats();
+    let prod = server.mul_low(&a, &b).unwrap();
+    assert_eq!(client.decrypt(&prod), (2 * 3) % 4);
+    assert_eq!(server.stats().bootstraps, 1, "fresh bivariate costs exactly one bootstrap");
+}
+
+#[test]
+fn carry_chains_normalize_through_extraction() {
+    let (client, mut server) = keys(2, 2);
+    let mut rng = SecureRng::seed_from_u64(777);
+    let three = client.encrypt(3, &mut rng).unwrap();
+    // 3+3+3+3 = 12 fills the carry space (degree 12 < 16).
+    let mut acc = server.add(&three, &three);
+    acc = server.add(&acc, &three);
+    acc = server.add(&acc, &three);
+    assert_eq!(client.decrypt(&acc), 12);
+    assert_eq!(client.decrypt(&server.message_extract(&acc)), 12 % 4);
+    assert_eq!(client.decrypt(&server.carry_extract(&acc)), 12 / 4);
+    // One more add exceeds the window; `add` must auto-reduce instead
+    // of wrapping silently.
+    let wide = server.add(&acc, &three);
+    assert_eq!(client.decrypt(&wide) % 4, (12 + 3) % 4);
+}
+
+#[test]
+fn radix_adds_are_exact_for_8_and_16_bit_values() {
+    let (client, mut server) = keys(2, 2);
+    let mut rng = SecureRng::seed_from_u64(31337);
+    for (x, y, bits) in
+        [(200u64, 100u64, 8u32), (255, 255, 8), (0, 173, 8), (51_234, 30_111, 16), (65_535, 1, 16)]
+    {
+        let blocks = (bits / 2) as usize; // 2 message bits per digit
+        let a = client.encrypt_radix(x, blocks, &mut rng).unwrap();
+        let b = client.encrypt_radix(y, blocks, &mut rng).unwrap();
+        server.reset_stats();
+        let sum = server.add_radix(&a, &b).unwrap();
+        let want = (x + y) & ((1 << bits) - 1);
+        assert_eq!(client.decrypt_radix(&sum), want, "{x}+{y} mod 2^{bits}");
+        assert!(
+            server.stats().bootstraps <= 2 * blocks as u64,
+            "carry propagation is at most two bootstraps per digit"
+        );
+    }
+    assert!(matches!(
+        client.encrypt_radix(256, 4, &mut SecureRng::seed_from_u64(1)),
+        Err(ShortintError::RadixOutOfRange { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bivariate LUT ops agree with the plain-integer oracles for every
+    /// operand pair the message space admits.
+    #[test]
+    fn bivariate_ops_match_plain_integers(x in 0u64..4, y in 0u64..4) {
+        let (client, mut server) = keys(2, 2);
+        let mut rng = SecureRng::seed_from_u64(x * 31 + y * 7 + 1);
+        let a = client.encrypt(x, &mut rng).unwrap();
+        let b = client.encrypt(y, &mut rng).unwrap();
+        prop_assert_eq!(client.decrypt(&server.mul_low(&a, &b).unwrap()), (x * y) % 4);
+        prop_assert_eq!(client.decrypt(&server.max(&a, &b).unwrap()), x.max(y));
+        let ord = client.decrypt(&server.cmp(&a, &b).unwrap());
+        prop_assert_eq!(ord, match x.cmp(&y) {
+            std::cmp::Ordering::Less => 0,
+            std::cmp::Ordering::Equal => 1,
+            std::cmp::Ordering::Greater => 2,
+        });
+        prop_assert_eq!(client.decrypt(&server.add(&a, &b)), x + y);
+    }
+
+    /// Univariate LUTs evaluate arbitrary functions over the window.
+    #[test]
+    fn unary_luts_match_their_tables(x in 0u64..4, k in 1u64..15) {
+        let (client, mut server) = keys(2, 2);
+        let mut rng = SecureRng::seed_from_u64(x * 131 + k);
+        let a = client.encrypt(x, &mut rng).unwrap();
+        let out = server.apply_lut(&a, |v| (v * k + 3) % 16);
+        prop_assert_eq!(client.decrypt(&out), (x * k + 3) % 16);
+    }
+}

@@ -179,6 +179,37 @@ impl BootstrappingKey {
         scratch.acc.extract_lwe()
     }
 
+    /// Like [`BootstrappingKey::programmable_bootstrap`], writing the
+    /// dimension-`k·N` result into `out` with zero heap allocation (all
+    /// intermediates live in `scratch`) — the hot-path variant behind
+    /// [`crate::ServerKey::apply_lut_into`].
+    pub fn programmable_bootstrap_into(
+        &self,
+        ct: &LweCiphertext,
+        lut: &TorusPoly,
+        scratch: &mut BootstrapScratch,
+        out: &mut LweCiphertext,
+    ) {
+        self.programmable_bootstrap_slices_into(ct.mask(), ct.body(), lut, scratch, out);
+    }
+
+    /// Slice-level variant of
+    /// [`BootstrappingKey::programmable_bootstrap_into`] for batched
+    /// callers whose inputs live in struct-of-arrays slots.
+    pub fn programmable_bootstrap_slices_into(
+        &self,
+        mask: &[Torus32],
+        body: Torus32,
+        lut: &TorusPoly,
+        scratch: &mut BootstrapScratch,
+        out: &mut LweCiphertext,
+    ) {
+        assert_eq!(lut.len(), self.params.poly_size, "LUT must have N entries");
+        scratch.tv.copy_from(lut);
+        self.blind_rotate_noalloc(mask, body, scratch);
+        scratch.acc.extract_lwe_into(out);
+    }
+
     /// Gate bootstrapping without the final key switch: maps any input
     /// with phase in `(0, 1/2)` to a fresh encryption of `+mu` and phase in
     /// `(-1/2, 0)` to `-mu`, as a dimension-`k·N` LWE sample. Allocates
@@ -312,6 +343,70 @@ impl BootstrappingKey {
                 p.fill_assign(Torus32::ZERO);
             }
             tv.mul_by_xk_into((n2 - barb) % n2, &mut acc[lane].b);
+        }
+        for (i, bk_i) in self.tgsw.iter().enumerate() {
+            active.clear();
+            for (lane, (mask, _)) in inputs.iter().enumerate() {
+                if mask[i].mod_switch(n) != 0 {
+                    active.push(lane);
+                }
+            }
+            if active.is_empty() {
+                continue;
+            }
+            for (slot, &lane) in active.iter().enumerate() {
+                let bara = inputs[lane].0[i].mod_switch(n);
+                acc[lane].rotate_into(bara, &mut diff[slot]);
+                diff[slot].sub_assign(&acc[lane]);
+            }
+            let live = active.len();
+            bk_i.external_product_batch_into(&diff[..live], &self.plan, ep, &mut ext[..live]);
+            for (slot, &lane) in active.iter().enumerate() {
+                acc[lane].add_assign(&ext[slot]);
+            }
+        }
+        for (lane, out) in outs.iter_mut().enumerate() {
+            acc[lane].extract_lwe_into(out);
+        }
+    }
+
+    /// Lockstep batched *programmable* bootstrapping with one test
+    /// vector per lane: the generalization of
+    /// [`BootstrappingKey::bootstrap_raw_batch_into`] that carries
+    /// netlist LUT groups. Every lane's accumulator is initialized by
+    /// rotating its own `tvs[lane]`; the CMUX chain that follows is
+    /// test-vector independent, so lanes with different lookup tables
+    /// (and even different packed widths) share one batched launch.
+    /// Per-lane results are bit-identical to
+    /// [`BootstrappingKey::programmable_bootstrap_into`] on the same
+    /// inputs. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lanes exceed the scratch, the slice lengths disagree,
+    /// or any test vector is not `N` entries long.
+    pub fn programmable_bootstrap_batch_into(
+        &self,
+        inputs: &[(&[Torus32], Torus32)],
+        tvs: &[&TorusPoly],
+        scratch: &mut BatchBootstrapScratch,
+        outs: &mut [LweCiphertext],
+    ) {
+        let b = inputs.len();
+        assert!(b > 0 && b <= scratch.ep.max_lanes(), "batch width {b} exceeds scratch");
+        assert_eq!(tvs.len(), b, "one test vector per lane");
+        debug_assert_eq!(outs.len(), b);
+        let n = self.params.poly_size;
+        let n2 = 2 * n;
+        let BatchBootstrapScratch { acc, diff, ext, active, ep, tv: _ } = scratch;
+        for (lane, (mask, body)) in inputs.iter().enumerate() {
+            debug_assert_eq!(mask.len(), self.params.lwe_dim);
+            assert_eq!(tvs[lane].len(), n, "LUT must have N entries");
+            let barb = body.mod_switch(n);
+            for p in &mut acc[lane].a {
+                p.fill_assign(Torus32::ZERO);
+            }
+            tvs[lane].mul_by_xk_into((n2 - barb) % n2, &mut acc[lane].b);
         }
         for (i, bk_i) in self.tgsw.iter().enumerate() {
             active.clear();
@@ -524,6 +619,38 @@ mod tests {
                 bk.bootstrap_raw_into(ct, mu, &mut single, &mut want);
                 assert_eq!(got.a, want.a, "width {width}: mask diverged");
                 assert_eq!(got.b, want.b, "width {width}: body diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_programmable_bootstrap_matches_single_path_bit_exactly() {
+        let _g = crate::ntt::transform_guard().read().unwrap();
+        let (params, lwe_key, _tlwe_key, bk, mut rng) = setup();
+        let n = params.poly_size;
+        let mut single = bk.boot_scratch();
+        let mut batch = bk.batch_scratch(4);
+        let out_dim = params.glwe_dim * params.poly_size;
+        // Distinct per-lane test vectors: the whole point of the
+        // generalized batch is carrying mixed lookup tables.
+        let tvs: Vec<TorusPoly> = (0..4).map(|_| TorusPoly::uniform(n, &mut rng)).collect();
+        for width in 1..=4usize {
+            let cts: Vec<LweCiphertext> = (0..width)
+                .map(|i| {
+                    let msg = Torus32::from_f64((i as f64 + 0.5) / 16.0);
+                    lwe_key.encrypt(msg, params.lwe_noise_stdev, &mut rng)
+                })
+                .collect();
+            let inputs: Vec<(&[Torus32], Torus32)> =
+                cts.iter().map(|ct| (ct.a.as_slice(), ct.b)).collect();
+            let tv_refs: Vec<&TorusPoly> = tvs.iter().take(width).collect();
+            let mut outs = vec![LweCiphertext::trivial(Torus32::ZERO, out_dim); width];
+            bk.programmable_bootstrap_batch_into(&inputs, &tv_refs, &mut batch, &mut outs);
+            for (lane, (ct, got)) in cts.iter().zip(&outs).enumerate() {
+                let mut want = LweCiphertext::trivial(Torus32::ZERO, out_dim);
+                bk.programmable_bootstrap_into(ct, &tvs[lane], &mut single, &mut want);
+                assert_eq!(got.a, want.a, "width {width} lane {lane}: mask diverged");
+                assert_eq!(got.b, want.b, "width {width} lane {lane}: body diverged");
             }
         }
     }

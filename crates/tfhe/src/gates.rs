@@ -16,7 +16,9 @@
 
 use crate::bootstrap::{BatchBootstrapScratch, BootstrapScratch, BootstrappingKey};
 use crate::keys::{ServerKey, MU_LOG2_DENOM};
+use crate::lut::PackedLutTables;
 use crate::lwe::{LweCiphertext, LweSoa};
+use crate::poly::TorusPoly;
 use crate::torus::Torus32;
 
 /// The ten bootstrapped binary gates, as data: each is a linear
@@ -130,13 +132,17 @@ pub const FUSE_CHUNK: usize = 8;
 #[derive(Debug)]
 pub struct GateScratch {
     pub(crate) boot: BootstrapScratch,
-    batch: BatchBootstrapScratch,
-    combo: LweCiphertext,
-    raw: LweCiphertext,
+    pub(crate) batch: BatchBootstrapScratch,
+    pub(crate) combo: LweCiphertext,
+    pub(crate) raw: LweCiphertext,
     raw2: LweCiphertext,
     sum: LweCiphertext,
-    raws: Vec<LweCiphertext>,
-    soa: LweSoa,
+    pub(crate) raws: Vec<LweCiphertext>,
+    pub(crate) soa: LweSoa,
+    /// Reusable test-vector buffer for [`ServerKey::apply_lut_into`].
+    pub(crate) tv_buf: TorusPoly,
+    /// Compiled boolean-LUT test vectors (`crate::lut`), cached per worker.
+    pub(crate) luts: PackedLutTables,
 }
 
 /// Timing breakdown of one gate evaluation, used to regenerate Figure 7.
@@ -179,7 +185,7 @@ impl ServerKey {
     /// through the dispatched [`crate::simd`] `axpy` kernel; wrapping
     /// multiply-accumulate is bit-identical to `|coeff|` repeated
     /// additions/subtractions mod 2^32.
-    fn axpy(out: &mut LweCiphertext, coeff: i32, ct: &LweCiphertext) {
+    pub(crate) fn axpy(out: &mut LweCiphertext, coeff: i32, ct: &LweCiphertext) {
         crate::simd::kernels().axpy(out.mask_mut(), coeff, ct.mask());
         out.b += coeff * ct.body();
     }
@@ -213,6 +219,8 @@ impl ServerKey {
             sum: LweCiphertext::trivial(Torus32::ZERO, ext_dim),
             raws: vec![LweCiphertext::trivial(Torus32::ZERO, ext_dim); FUSE_CHUNK],
             soa: LweSoa::new(n),
+            tv_buf: TorusPoly::zero(self.params.poly_size),
+            luts: PackedLutTables::new(),
         }
     }
 

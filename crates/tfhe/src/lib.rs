@@ -75,8 +75,9 @@ pub use bootstrap::BootstrapScratch;
 pub use error::TfheError;
 pub use gates::{BootGate, GateScratch, FUSE_CHUNK};
 pub use keys::{ClientKey, ServerKey};
+pub use lut::{build_test_vector, decode_message, encode_message, PackedLutTables};
 pub use lwe::{LweCiphertext, LweKey, LweSoa};
-pub use noise::NoiseModel;
+pub use noise::{NoiseGuard, NoiseModel};
 pub use ntt::Transform;
 pub use params::{Params, SecurityLevel};
 pub use rng::SecureRng;
